@@ -1,0 +1,404 @@
+//! A small AVR assembler.
+//!
+//! Reuses the lexer and constant-expression engine from `snap-asm`.
+//! Two passes: sizes are fixed per mnemonic (`lds`/`sts` are two flash
+//! words, everything else one), so pass 1 assigns label addresses and
+//! pass 2 resolves operands. Supported directives: `.org`, `.equ`.
+
+use crate::isa::{AvrBranch, AvrInstr, Ptr};
+use snap_asm::expr::{Cursor, Expr};
+use snap_asm::lexer::{tokenize, Token};
+use snap_asm::AsmError;
+use std::collections::BTreeMap;
+
+/// An assembled AVR program: a sparse flash image plus symbols.
+#[derive(Debug, Clone)]
+pub struct AvrProgram {
+    /// Flash image indexed by word address; two-word instructions
+    /// occupy their first slot (the second is `None`).
+    pub flash: Vec<Option<AvrInstr>>,
+    /// Label and `.equ` values.
+    pub symbols: BTreeMap<String, i64>,
+}
+
+impl AvrProgram {
+    /// Look up a symbol as a flash/SRAM address.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).map(|&v| v as u16)
+    }
+
+    /// Number of flash words occupied (code size; ×2 for bytes).
+    pub fn words_used(&self) -> usize {
+        self.flash.iter().filter(|s| s.is_some()).map(|s| s.unwrap().words() as usize).sum()
+    }
+
+    /// Code size in bytes.
+    pub fn code_bytes(&self) -> usize {
+        self.words_used() * 2
+    }
+}
+
+enum Operand {
+    Reg(u8),
+    Expr(Expr),
+    Pointer { ptr: Ptr, post_inc: bool },
+}
+
+struct Stmt {
+    line: usize,
+    addr: u16,
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+const MODULE: &str = "<avr>";
+
+/// Assemble AVR source.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+pub fn assemble_avr(source: &str) -> Result<AvrProgram, AsmError> {
+    let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut lc: u16 = 0;
+
+    // ---- pass 1 ----
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let tokens = tokenize(MODULE, line, raw)?;
+        let mut rest: &[Token] = &tokens;
+        while let [Token::Ident(name), Token::Colon, tail @ ..] = rest {
+            if name.starts_with('.') {
+                break;
+            }
+            if parse_reg(name).is_some() {
+                return Err(AsmError::new(MODULE, line, format!("`{name}` is a register")));
+            }
+            if symbols.insert(name.clone(), lc as i64).is_some() {
+                return Err(AsmError::new(MODULE, line, format!("duplicate symbol `{name}`")));
+            }
+            rest = tail;
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        match rest {
+            [Token::Ident(d), tail @ ..] if d.starts_with('.') => match d.as_str() {
+                ".org" => {
+                    let v = eval_now(tail, &symbols, line)?;
+                    lc = v as u16;
+                }
+                ".equ" => match tail {
+                    [Token::Ident(name), Token::Comma, expr @ ..] if !expr.is_empty() => {
+                        let v = eval_now(expr, &symbols, line)?;
+                        if symbols.insert(name.clone(), v).is_some() {
+                            return Err(AsmError::new(
+                                MODULE,
+                                line,
+                                format!("duplicate symbol `{name}`"),
+                            ));
+                        }
+                    }
+                    _ => return Err(AsmError::new(MODULE, line, ".equ expects `name, expr`")),
+                },
+                other => {
+                    return Err(AsmError::new(MODULE, line, format!("unknown directive `{other}`")))
+                }
+            },
+            [Token::Ident(m), tail @ ..] => {
+                let size = mnemonic_words(m)
+                    .ok_or_else(|| AsmError::new(MODULE, line, format!("unknown mnemonic `{m}`")))?;
+                let operands = parse_operands(tail, line)?;
+                stmts.push(Stmt { line, addr: lc, mnemonic: m.clone(), operands });
+                lc = lc.wrapping_add(size);
+            }
+            _ => return Err(AsmError::new(MODULE, line, "expected label, directive or instruction")),
+        }
+    }
+
+    // ---- pass 2 ----
+    let top = stmts.iter().map(|s| s.addr as usize + 2).max().unwrap_or(0);
+    let mut flash: Vec<Option<AvrInstr>> = vec![None; top];
+    for stmt in &stmts {
+        let ins = build(stmt, &symbols)?;
+        flash[stmt.addr as usize] = Some(ins);
+    }
+    Ok(AvrProgram { flash, symbols })
+}
+
+fn eval_now(tokens: &[Token], symbols: &BTreeMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    let mut c = Cursor::new(tokens, MODULE, line);
+    let e = c.parse_expr()?;
+    if !c.at_end() {
+        return Err(c.error("trailing tokens"));
+    }
+    e.eval(symbols, MODULE, line)
+}
+
+fn parse_reg(name: &str) -> Option<u8> {
+    let rest = name.strip_prefix('r').or_else(|| name.strip_prefix('R'))?;
+    let n: u8 = rest.parse().ok()?;
+    (n < 32).then_some(n)
+}
+
+fn parse_operands(tokens: &[Token], line: usize) -> Result<Vec<Operand>, AsmError> {
+    let mut out = Vec::new();
+    if tokens.is_empty() {
+        return Ok(out);
+    }
+    let mut start = 0;
+    let mut chunks = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t, Token::Comma) {
+            chunks.push(&tokens[start..i]);
+            start = i + 1;
+        }
+    }
+    chunks.push(&tokens[start..]);
+    for chunk in chunks {
+        out.push(parse_operand(chunk, line)?);
+    }
+    Ok(out)
+}
+
+fn parse_operand(tokens: &[Token], line: usize) -> Result<Operand, AsmError> {
+    match tokens {
+        [Token::Ident(name)] => {
+            if let Some(r) = parse_reg(name) {
+                return Ok(Operand::Reg(r));
+            }
+            if let Some(ptr) = parse_ptr(name) {
+                return Ok(Operand::Pointer { ptr, post_inc: false });
+            }
+            Ok(Operand::Expr(Expr::Sym(name.clone())))
+        }
+        [Token::Ident(name), Token::Plus] if parse_ptr(name).is_some() => {
+            Ok(Operand::Pointer { ptr: parse_ptr(name).unwrap(), post_inc: true })
+        }
+        _ => {
+            let mut c = Cursor::new(tokens, MODULE, line);
+            let e = c.parse_expr()?;
+            if !c.at_end() {
+                return Err(c.error("trailing tokens in operand"));
+            }
+            Ok(Operand::Expr(e))
+        }
+    }
+}
+
+fn parse_ptr(name: &str) -> Option<Ptr> {
+    match name {
+        "X" | "x" => Some(Ptr::X),
+        "Y" | "y" => Some(Ptr::Y),
+        "Z" | "z" => Some(Ptr::Z),
+        _ => None,
+    }
+}
+
+fn mnemonic_words(m: &str) -> Option<u16> {
+    Some(match m {
+        "lds" | "sts" => 2,
+        "ldi" | "mov" | "add" | "adc" | "sub" | "sbc" | "and" | "or" | "eor" | "subi" | "sbci"
+        | "andi" | "ori" | "inc" | "dec" | "com" | "neg" | "lsr" | "ror" | "asr" | "swap" | "cp" | "cpc"
+        | "cpi" | "breq" | "brne" | "brcs" | "brcc" | "brlt" | "brge" | "rjmp" | "ijmp"
+        | "rcall" | "icall" | "ret" | "reti" | "ld" | "st" | "push" | "pop" | "in" | "out"
+        | "adiw" | "sbiw" | "sei" | "cli" | "sleep" | "nop" | "break" => 1,
+        _ => return None,
+    })
+}
+
+fn build(stmt: &Stmt, symbols: &BTreeMap<String, i64>) -> Result<AvrInstr, AsmError> {
+    let line = stmt.line;
+    let m = stmt.mnemonic.as_str();
+    let ops = &stmt.operands;
+    let bad = || AsmError::new(MODULE, line, format!("invalid operands for `{m}`"));
+
+    let imm8 = |e: &Expr| -> Result<u8, AsmError> {
+        let v = e.eval(symbols, MODULE, line)?;
+        if !(-128..=255).contains(&v) {
+            return Err(AsmError::new(MODULE, line, format!("{v} does not fit in 8 bits")));
+        }
+        Ok(v as u8)
+    };
+    let imm16 = |e: &Expr| -> Result<u16, AsmError> { e.eval_word(symbols, MODULE, line) };
+
+    let rr2 = |f: fn(u8, u8) -> AvrInstr| match ops.as_slice() {
+        [Operand::Reg(a), Operand::Reg(b)] => Ok(f(*a, *b)),
+        _ => Err(bad()),
+    };
+    let ri = |hi_only: bool, f: &dyn Fn(u8, u8) -> AvrInstr| match ops.as_slice() {
+        [Operand::Reg(a), Operand::Expr(e)] => {
+            if hi_only && *a < 16 {
+                return Err(AsmError::new(
+                    MODULE,
+                    line,
+                    format!("`{m}` requires r16-r31, got r{a}"),
+                ));
+            }
+            Ok(f(*a, imm8(e)?))
+        }
+        _ => Err(bad()),
+    };
+    let r1 = |f: fn(u8) -> AvrInstr| match ops.as_slice() {
+        [Operand::Reg(a)] => Ok(f(*a)),
+        _ => Err(bad()),
+    };
+    let br = |cond: AvrBranch| match ops.as_slice() {
+        [Operand::Expr(e)] => Ok(AvrInstr::Br { cond, target: imm16(e)? }),
+        _ => Err(bad()),
+    };
+
+    match m {
+        "ldi" => ri(true, &|rd, k| AvrInstr::Ldi { rd, k }),
+        "mov" => rr2(|rd, rr| AvrInstr::Mov { rd, rr }),
+        "add" => rr2(|rd, rr| AvrInstr::Add { rd, rr }),
+        "adc" => rr2(|rd, rr| AvrInstr::Adc { rd, rr }),
+        "sub" => rr2(|rd, rr| AvrInstr::Sub { rd, rr }),
+        "sbc" => rr2(|rd, rr| AvrInstr::Sbc { rd, rr }),
+        "and" => rr2(|rd, rr| AvrInstr::And { rd, rr }),
+        "or" => rr2(|rd, rr| AvrInstr::Or { rd, rr }),
+        "eor" => rr2(|rd, rr| AvrInstr::Eor { rd, rr }),
+        "subi" => ri(true, &|rd, k| AvrInstr::Subi { rd, k }),
+        "sbci" => ri(true, &|rd, k| AvrInstr::Sbci { rd, k }),
+        "andi" => ri(true, &|rd, k| AvrInstr::Andi { rd, k }),
+        "ori" => ri(true, &|rd, k| AvrInstr::Ori { rd, k }),
+        "cpi" => ri(true, &|rd, k| AvrInstr::Cpi { rd, k }),
+        "inc" => r1(|rd| AvrInstr::Inc { rd }),
+        "dec" => r1(|rd| AvrInstr::Dec { rd }),
+        "com" => r1(|rd| AvrInstr::Com { rd }),
+        "neg" => r1(|rd| AvrInstr::Neg { rd }),
+        "lsr" => r1(|rd| AvrInstr::Lsr { rd }),
+        "ror" => r1(|rd| AvrInstr::Ror { rd }),
+        "asr" => r1(|rd| AvrInstr::Asr { rd }),
+        "swap" => r1(|rd| AvrInstr::Swap { rd }),
+        "push" => r1(|rr| AvrInstr::Push { rr }),
+        "pop" => r1(|rd| AvrInstr::Pop { rd }),
+        "cp" => rr2(|rd, rr| AvrInstr::Cp { rd, rr }),
+        "cpc" => rr2(|rd, rr| AvrInstr::Cpc { rd, rr }),
+        "breq" => br(AvrBranch::Eq),
+        "brne" => br(AvrBranch::Ne),
+        "brcs" => br(AvrBranch::Cs),
+        "brcc" => br(AvrBranch::Cc),
+        "brlt" => br(AvrBranch::Lt),
+        "brge" => br(AvrBranch::Ge),
+        "rjmp" => match ops.as_slice() {
+            [Operand::Expr(e)] => Ok(AvrInstr::Rjmp { target: imm16(e)? }),
+            _ => Err(bad()),
+        },
+        "rcall" => match ops.as_slice() {
+            [Operand::Expr(e)] => Ok(AvrInstr::Rcall { target: imm16(e)? }),
+            _ => Err(bad()),
+        },
+        "ijmp" => Ok(AvrInstr::Ijmp),
+        "icall" => Ok(AvrInstr::Icall),
+        "ret" => Ok(AvrInstr::Ret),
+        "reti" => Ok(AvrInstr::Reti),
+        "lds" => match ops.as_slice() {
+            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::Lds { rd: *rd, addr: imm16(e)? }),
+            _ => Err(bad()),
+        },
+        "sts" => match ops.as_slice() {
+            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Sts { addr: imm16(e)?, rr: *rr }),
+            _ => Err(bad()),
+        },
+        "ld" => match ops.as_slice() {
+            [Operand::Reg(rd), Operand::Pointer { ptr, post_inc }] => {
+                Ok(AvrInstr::Ld { rd: *rd, ptr: *ptr, post_inc: *post_inc })
+            }
+            _ => Err(bad()),
+        },
+        "st" => match ops.as_slice() {
+            [Operand::Pointer { ptr, post_inc }, Operand::Reg(rr)] => {
+                Ok(AvrInstr::St { ptr: *ptr, rr: *rr, post_inc: *post_inc })
+            }
+            _ => Err(bad()),
+        },
+        "in" => match ops.as_slice() {
+            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::In { rd: *rd, io: imm8(e)? }),
+            _ => Err(bad()),
+        },
+        "out" => match ops.as_slice() {
+            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Out { io: imm8(e)?, rr: *rr }),
+            _ => Err(bad()),
+        },
+        "adiw" | "sbiw" => match ops.as_slice() {
+            [Operand::Reg(pair), Operand::Expr(e)] => {
+                if ![24, 26, 28, 30].contains(pair) {
+                    return Err(AsmError::new(MODULE, line, "adiw/sbiw need r24/r26/r28/r30"));
+                }
+                let k = imm8(e)?;
+                Ok(if m == "adiw" {
+                    AvrInstr::Adiw { pair: *pair, k }
+                } else {
+                    AvrInstr::Sbiw { pair: *pair, k }
+                })
+            }
+            _ => Err(bad()),
+        },
+        "sei" => Ok(AvrInstr::Sei),
+        "cli" => Ok(AvrInstr::Cli),
+        "sleep" => Ok(AvrInstr::Sleep),
+        "nop" => Ok(AvrInstr::Nop),
+        "break" => Ok(AvrInstr::Break),
+        other => Err(AsmError::new(MODULE, line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_sizes() {
+        let p = assemble_avr("start:\nldi r16, 1\nsts 0x100, r16\nend:\nbreak").unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        // ldi = 1 word, sts = 2 words.
+        assert_eq!(p.symbol("end"), Some(3));
+        assert_eq!(p.code_bytes(), 8);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble_avr(".equ PORTB, 0x05\nout PORTB, r16\nldi r17, 1<<3\nbreak").unwrap();
+        assert_eq!(p.flash[0], Some(AvrInstr::Out { io: 5, rr: 16 }));
+        assert_eq!(p.flash[1], Some(AvrInstr::Ldi { rd: 17, k: 8 }));
+    }
+
+    #[test]
+    fn pointer_operands() {
+        let p = assemble_avr("ld r0, X+\nst Y, r1\nld r2, Z+").unwrap();
+        assert_eq!(p.flash[0], Some(AvrInstr::Ld { rd: 0, ptr: Ptr::X, post_inc: true }));
+        assert_eq!(p.flash[1], Some(AvrInstr::St { ptr: Ptr::Y, rr: 1, post_inc: false }));
+        assert_eq!(p.flash[2], Some(AvrInstr::Ld { rd: 2, ptr: Ptr::Z, post_inc: true }));
+    }
+
+    #[test]
+    fn branch_targets_resolve() {
+        let p = assemble_avr("loop:\ndec r16\nbrne loop\nbreak").unwrap();
+        assert_eq!(p.flash[1], Some(AvrInstr::Br { cond: AvrBranch::Ne, target: 0 }));
+    }
+
+    #[test]
+    fn ldi_low_register_rejected() {
+        let err = assemble_avr("ldi r2, 5").unwrap_err();
+        assert!(err.to_string().contains("r16-r31"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        assert!(assemble_avr("frob r1").is_err());
+    }
+
+    #[test]
+    fn adiw_pair_check() {
+        assert!(assemble_avr("adiw r26, 1").is_ok());
+        assert!(assemble_avr("adiw r20, 1").is_err());
+    }
+
+    #[test]
+    fn negative_immediates_allowed_as_bytes() {
+        let p = assemble_avr("ldi r16, -1").unwrap();
+        assert_eq!(p.flash[0], Some(AvrInstr::Ldi { rd: 16, k: 0xff }));
+    }
+}

@@ -1,0 +1,169 @@
+//! The AVR-subset instruction set.
+//!
+//! Enough of the ATmega128 ISA to express a TinyOS-style runtime, with
+//! datasheet cycle costs. Program-counter-relative encodings are
+//! resolved to absolute word addresses by the assembler (cycle counts,
+//! not bit patterns, are what the paper's comparison measures).
+
+/// Pointer registers for indirect loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ptr {
+    /// `X` = r27:r26.
+    X,
+    /// `Y` = r29:r28.
+    Y,
+    /// `Z` = r31:r30.
+    Z,
+}
+
+impl Ptr {
+    /// Index of the low register of the pair.
+    pub fn lo_reg(self) -> usize {
+        match self {
+            Ptr::X => 26,
+            Ptr::Y => 28,
+            Ptr::Z => 30,
+        }
+    }
+}
+
+/// Branch conditions (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvrBranch {
+    /// `breq` — Z set.
+    Eq,
+    /// `brne` — Z clear.
+    Ne,
+    /// `brcs` — C set (unsigned <).
+    Cs,
+    /// `brcc` — C clear (unsigned >=).
+    Cc,
+    /// `brlt` — signed <.
+    Lt,
+    /// `brge` — signed >=.
+    Ge,
+}
+
+/// One AVR instruction (decoded form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AvrInstr {
+    /// `ldi Rd, K` (Rd in r16–r31).
+    Ldi { rd: u8, k: u8 },
+    Mov { rd: u8, rr: u8 },
+    Add { rd: u8, rr: u8 },
+    Adc { rd: u8, rr: u8 },
+    Sub { rd: u8, rr: u8 },
+    Sbc { rd: u8, rr: u8 },
+    And { rd: u8, rr: u8 },
+    Or { rd: u8, rr: u8 },
+    Eor { rd: u8, rr: u8 },
+    /// `subi Rd, K` (Rd in r16–r31).
+    Subi { rd: u8, k: u8 },
+    Sbci { rd: u8, k: u8 },
+    Andi { rd: u8, k: u8 },
+    Ori { rd: u8, k: u8 },
+    Inc { rd: u8 },
+    Dec { rd: u8 },
+    Com { rd: u8 },
+    Neg { rd: u8 },
+    Lsr { rd: u8 },
+    /// Rotate right through carry.
+    Ror { rd: u8 },
+    Asr { rd: u8 },
+    Swap { rd: u8 },
+    Cp { rd: u8, rr: u8 },
+    Cpc { rd: u8, rr: u8 },
+    Cpi { rd: u8, k: u8 },
+    /// Conditional branch to an absolute word address.
+    Br { cond: AvrBranch, target: u16 },
+    /// Unconditional jump (absolute word address).
+    Rjmp { target: u16 },
+    /// Indirect jump via Z.
+    Ijmp,
+    /// Call (absolute word address).
+    Rcall { target: u16 },
+    /// Indirect call via Z.
+    Icall,
+    Ret,
+    Reti,
+    /// Direct SRAM load (two words).
+    Lds { rd: u8, addr: u16 },
+    /// Direct SRAM store (two words).
+    Sts { addr: u16, rr: u8 },
+    /// Indirect load, optional post-increment.
+    Ld { rd: u8, ptr: Ptr, post_inc: bool },
+    /// Indirect store, optional post-increment.
+    St { ptr: Ptr, rr: u8, post_inc: bool },
+    Push { rr: u8 },
+    Pop { rd: u8 },
+    /// Read an I/O register.
+    In { rd: u8, io: u8 },
+    /// Write an I/O register.
+    Out { io: u8, rr: u8 },
+    /// Add immediate to word pair (r24/r26/r28/r30).
+    Adiw { pair: u8, k: u8 },
+    Sbiw { pair: u8, k: u8 },
+    Sei,
+    Cli,
+    Sleep,
+    Nop,
+    /// Stop the simulation (the AVR `break` instruction, which halts
+    /// the OCD; the test harness uses it as "benchmark done").
+    Break,
+}
+
+impl AvrInstr {
+    /// Base cycle cost (taken branches add one in the core).
+    pub fn cycles(&self) -> u64 {
+        use AvrInstr as I;
+        match self {
+            I::Rjmp { .. } | I::Ijmp => 2,
+            I::Rcall { .. } | I::Icall => 3,
+            I::Ret | I::Reti => 4,
+            I::Lds { .. } | I::Sts { .. } | I::Ld { .. } | I::St { .. } => 2,
+            I::Push { .. } | I::Pop { .. } => 2,
+            I::Adiw { .. } | I::Sbiw { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Flash footprint in 16-bit words.
+    pub fn words(&self) -> u16 {
+        match self {
+            AvrInstr::Lds { .. } | AvrInstr::Sts { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_costs_match_datasheet() {
+        assert_eq!(AvrInstr::Ldi { rd: 16, k: 0 }.cycles(), 1);
+        assert_eq!(AvrInstr::Add { rd: 0, rr: 1 }.cycles(), 1);
+        assert_eq!(AvrInstr::Lds { rd: 0, addr: 0 }.cycles(), 2);
+        assert_eq!(AvrInstr::Push { rr: 0 }.cycles(), 2);
+        assert_eq!(AvrInstr::Rcall { target: 0 }.cycles(), 3);
+        assert_eq!(AvrInstr::Ret.cycles(), 4);
+        assert_eq!(AvrInstr::Reti.cycles(), 4);
+        assert_eq!(AvrInstr::Out { io: 0, rr: 0 }.cycles(), 1);
+    }
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(AvrInstr::Lds { rd: 0, addr: 0 }.words(), 2);
+        assert_eq!(AvrInstr::Sts { addr: 0, rr: 0 }.words(), 2);
+        assert_eq!(AvrInstr::Rjmp { target: 0 }.words(), 1);
+    }
+
+    #[test]
+    fn pointer_pairs() {
+        assert_eq!(Ptr::X.lo_reg(), 26);
+        assert_eq!(Ptr::Y.lo_reg(), 28);
+        assert_eq!(Ptr::Z.lo_reg(), 30);
+    }
+}

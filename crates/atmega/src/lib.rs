@@ -1,0 +1,36 @@
+//! # atmega — the baseline: an AVR-subset microcontroller with a
+//! TinyOS-like runtime
+//!
+//! The paper compares SNAP/LE against the Berkeley MICA motes: an Atmel
+//! ATmega128L (8-bit AVR RISC, 4 MIPS at 3 V, ≈1500 pJ/ins) running
+//! TinyOS, whose event-driven programming model is built from hardware
+//! interrupts plus a software FIFO task scheduler. This crate rebuilds
+//! that baseline at the level the paper measures it — *cycle counts of
+//! interrupt service routines, the scheduler, and application tasks*:
+//!
+//! * [`isa`] — an AVR-subset instruction set with per-instruction cycle
+//!   costs taken from the AVR datasheet (1-cycle ALU, 2-cycle SRAM
+//!   load/store, 2-cycle push/pop, 4-cycle ret/reti, ...).
+//! * [`asm`] — a small AVR assembler (reusing `snap-asm`'s lexer and
+//!   expression engine).
+//! * [`core`] — the clocked core: SREG flags, 32 registers, SRAM,
+//!   stack, interrupt dispatch with AVR-style entry cost, `sleep`, and
+//!   the peripherals the benchmarks need (compare-match timer, ADC,
+//!   SPI byte interface, LED port).
+//! * [`tinyos`] — the TinyOS-like runtime written in AVR assembly:
+//!   virtualized timers scanned in the timer ISR, a FIFO task queue
+//!   with interrupt-safe post, the main scheduler loop, and the
+//!   Blink / Sense / radio-stack applications of §4.6.
+//!
+//! Energy uses the ATmega128L constants from `snap-energy::avr`.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod core;
+pub mod isa;
+pub mod tinyos;
+
+pub use crate::core::{AvrCore, AvrCoreError, IoPorts, Irq};
+pub use asm::{assemble_avr, AvrProgram};
+pub use isa::AvrInstr;

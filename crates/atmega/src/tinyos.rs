@@ -1,0 +1,782 @@
+//! The TinyOS-like runtime, in AVR assembly.
+//!
+//! "TinyOS is not an operating system in the traditional sense; rather,
+//! it provides a set of software components that abstracts a hardware
+//! interrupt as an event, and implements a simple FIFO task scheduler"
+//! (paper §3). This module rebuilds that software layer the way the
+//! paper measured it with AVR Studio:
+//!
+//! * a **FIFO task queue** of function pointers in SRAM with an
+//!   interrupt-safe `post` (`tos_post` / `tos_post_isr`);
+//! * a **scheduler main loop** that pops tasks, `icall`s them, and
+//!   executes `sleep` when the queue is empty;
+//! * **virtualized timers**: the hardware compare-match ISR saves the
+//!   caller-saved registers (as avr-gcc ISRs must), scans eight
+//!   software timer slots, decrements the active ones and, on expiry,
+//!   reloads the period, marks the slot fired and posts the generic
+//!   timer-dispatch task — which later (in task context) calls each
+//!   fired slot's `fired` handler;
+//! * the three §4.6 applications: **Blink** (fired handler posts the
+//!   LED-toggle task), **Sense** (fired handler starts an ADC
+//!   conversion; the ADC ISR buffers the sample and posts the averaging
+//!   task) and the **radio stack** (per-byte CRC-16 + SEC-DED encode,
+//!   SPI byte interface driven by the SPI-complete ISR).
+//!
+//! Every layer costs cycles on this platform precisely because it is
+//! software; on SNAP/LE the equivalents (event queue, timer registers,
+//! word-wide radio FIFO) are hardware.
+
+use crate::asm::{assemble_avr, AvrProgram};
+use crate::core::{AvrCore, Irq};
+use snap_asm::AsmError;
+
+/// SRAM layout and I/O equates shared by all TinyOS-like programs.
+pub const TOS_DEFS: &str = "
+.equ PORTB,   0x05
+.equ TCCR,    0x10
+.equ OCRL,    0x11
+.equ OCRH,    0x12
+.equ ADCSRA,  0x15
+.equ ADCD,    0x16
+.equ SPDR,    0x18
+
+; task queue: 8 function pointers at 0x0200, head/tail bytes
+.equ TQ_PAGE, 0x02
+.equ TQ_HEAD, 0x0210
+.equ TQ_TAIL, 0x0211
+; virtual timers: 8 slots x 8 bytes at 0x0240
+; slot: [0]=active [1]=rem_lo [2]=rem_hi [3]=fn_lo [4]=fn_hi
+;       [5]=per_lo [6]=per_hi [7]=fired
+.equ VT_LO,   0x40
+.equ VT_HI,   0x02
+";
+
+/// The scheduler, task queue and virtual-timer ISR.
+pub const TOS_RUNTIME: &str = "
+; ---- post a task (Z = function pointer) ----
+tos_post:               ; from task context: mask interrupts around it
+    cli
+    rcall tos_post_isr
+    sei
+    ret
+tos_post_isr:           ; from ISR context (interrupts already off)
+    lds  r18, TQ_TAIL
+    mov  r26, r18
+    add  r26, r18       ; tail * 2
+    ldi  r27, TQ_PAGE
+    st   X+, r30
+    st   X, r31
+    inc  r18
+    andi r18, 7
+    sts  TQ_TAIL, r18
+    ret
+
+; ---- scheduler main loop ----
+tos_main:
+    cli
+    lds  r18, TQ_HEAD
+    lds  r19, TQ_TAIL
+    cp   r18, r19
+    brne tos_run
+    sei
+    sleep
+    rjmp tos_main
+tos_run:
+    mov  r26, r18
+    add  r26, r18
+    ldi  r27, TQ_PAGE
+    ld   r30, X+
+    ld   r31, X
+    inc  r18
+    andi r18, 7
+    sts  TQ_HEAD, r18
+    sei
+    icall
+    rjmp tos_main
+
+; ---- hardware timer ISR: scan the virtual timers ----
+tos_timer_isr:
+    push r18
+    push r19
+    push r20
+    push r21
+    push r22
+    push r24
+    push r25
+    push r26
+    push r27
+    push r30
+    push r31
+    ldi  r21, 0
+    ldi  r26, VT_LO
+    ldi  r27, VT_HI
+    ldi  r20, 8
+tos_vt_loop:
+    ld   r18, X+        ; active?            (X at 1)
+    cpi  r18, 1
+    brne tos_vt_skip
+    ld   r18, X+        ; rem_lo             (X at 2)
+    ld   r19, X+        ; rem_hi             (X at 3)
+    subi r18, 1
+    sbci r19, 0
+    cp   r18, r21
+    cpc  r19, r21
+    breq tos_vt_fire
+    sbiw r26, 2         ; back to rem_lo     (X at 1)
+    st   X+, r18
+    st   X+, r19        ;                    (X at 3)
+    adiw r26, 5         ; next slot          (X at 8)
+    rjmp tos_vt_next
+tos_vt_fire:
+    adiw r26, 2         ; to per_lo          (X at 5)
+    ld   r18, X+        ; per_lo             (X at 6)
+    ld   r19, X+        ; per_hi             (X at 7)
+    ldi  r30, 1
+    st   X+, r30        ; fired = 1          (X at 8)
+    sbiw r26, 7         ; to rem_lo          (X at 1)
+    st   X+, r18        ; rem = period
+    st   X+, r19        ;                    (X at 3)
+    adiw r26, 5         ; next slot          (X at 8)
+    push r26
+    push r27
+    ldi  r30, tos_timer_task & 0xff
+    ldi  r31, tos_timer_task >> 8
+    rcall tos_post_isr
+    pop  r27
+    pop  r26
+    rjmp tos_vt_next
+tos_vt_skip:
+    adiw r26, 7         ; next slot          (X at 8)
+tos_vt_next:
+    dec  r20
+    brne tos_vt_loop
+    pop  r31
+    pop  r30
+    pop  r27
+    pop  r26
+    pop  r25
+    pop  r24
+    pop  r22
+    pop  r21
+    pop  r20
+    pop  r19
+    pop  r18
+    reti
+
+; ---- timer dispatch task: call every fired slot's handler ----
+tos_timer_task:
+    ldi  r26, VT_LO
+    ldi  r27, VT_HI
+    ldi  r20, 8
+tos_tt_loop:
+    adiw r26, 7         ; to fired flag      (X at 7)
+    ld   r18, X
+    cpi  r18, 1
+    brne tos_tt_next
+    ldi  r18, 0
+    st   X, r18         ; clear fired
+    sbiw r26, 4         ; to fn_lo           (X at 3)
+    ld   r30, X+
+    ld   r31, X+        ;                    (X at 5)
+    push r26
+    push r27
+    push r20
+    icall               ; the app's fired handler
+    pop  r20
+    pop  r27
+    pop  r26
+    adiw r26, 2         ;                    (X at 7)
+tos_tt_next:
+    adiw r26, 1         ; next slot          (X at 8)
+    dec  r20
+    brne tos_tt_loop
+    ret
+";
+
+/// Boot code: clear the queue, configure virtual timer 0 with period
+/// `vt_period` ticks and handler `fired_label`, start the hardware
+/// timer with compare value `ocr` (period = `ocr` × 64 cycles), enable
+/// interrupts and enter the scheduler.
+pub fn tos_boot(fired_label: &str, vt_period: u16, ocr: u16) -> String {
+    format!(
+        "
+boot:
+    ldi  r18, 0
+    sts  TQ_HEAD, r18
+    sts  TQ_TAIL, r18
+    ldi  r26, VT_LO
+    ldi  r27, VT_HI
+    ldi  r18, 1
+    st   X+, r18        ; active
+    ldi  r18, {per_lo}
+    st   X+, r18        ; rem_lo
+    ldi  r18, {per_hi}
+    st   X+, r18        ; rem_hi
+    ldi  r18, {fired} & 0xff
+    st   X+, r18        ; fn_lo
+    ldi  r18, {fired} >> 8
+    st   X+, r18        ; fn_hi
+    ldi  r18, {per_lo}
+    st   X+, r18        ; per_lo
+    ldi  r18, {per_hi}
+    st   X+, r18        ; per_hi
+    ldi  r18, 0
+    st   X+, r18        ; fired = 0
+    ldi  r18, {ocr_lo}
+    out  OCRL, r18
+    ldi  r18, {ocr_hi}
+    out  OCRH, r18
+    ldi  r18, 1
+    out  TCCR, r18
+    sei
+    rjmp tos_main
+",
+        fired = fired_label,
+        per_lo = vt_period & 0xff,
+        per_hi = vt_period >> 8,
+        ocr_lo = ocr & 0xff,
+        ocr_hi = ocr >> 8,
+    )
+}
+
+/// The Blink application: the fired handler posts the toggle task.
+pub const BLINK_APP: &str = "
+.equ BLINK_STATE, 0x0300
+blink_fired:
+    ldi  r30, blink_task & 0xff
+    ldi  r31, blink_task >> 8
+    rcall tos_post
+    ret
+blink_task:
+    lds  r18, BLINK_STATE
+    ldi  r19, 1
+    eor  r18, r19
+    sts  BLINK_STATE, r18
+    out  PORTB, r18
+    ret
+";
+
+/// The Sense application: sample the ADC, keep the last 16 readings,
+/// display the averaged high bits.
+pub const SENSE_APP: &str = "
+.equ SENSE_BUF,  0x0310
+.equ SENSE_POS,  0x0320
+sense_fired:
+    ldi  r18, 1
+    out  ADCSRA, r18    ; start a conversion; completion is an interrupt
+    ret
+sense_adc_isr:
+    push r18
+    push r19
+    push r26
+    push r27
+    push r30
+    push r31
+    in   r18, ADCD
+    lds  r19, SENSE_POS
+    mov  r26, r19
+    ori  r26, 0x10      ; SENSE_BUF | pos (buffer is 16-aligned)
+    ldi  r27, 0x03
+    st   X, r18
+    inc  r19
+    andi r19, 15
+    sts  SENSE_POS, r19
+    ldi  r30, sense_task & 0xff
+    ldi  r31, sense_task >> 8
+    rcall tos_post_isr
+    pop  r31
+    pop  r30
+    pop  r27
+    pop  r26
+    pop  r19
+    pop  r18
+    reti
+sense_task:
+    ldi  r26, 0x10
+    ldi  r27, 0x03
+    ldi  r20, 16
+    ldi  r18, 0         ; sum lo
+    ldi  r19, 0         ; sum hi
+    ldi  r21, 0
+sense_sum:
+    ld   r24, X+
+    add  r18, r24
+    adc  r19, r21
+    dec  r20
+    brne sense_sum
+    ldi  r20, 4         ; /16
+sense_shift:
+    lsr  r19
+    ror  r18
+    dec  r20
+    brne sense_shift
+    mov  r24, r18       ; display bits 7..5 of the 8-bit average
+    ldi  r20, 5
+sense_disp:
+    lsr  r24
+    dec  r20
+    brne sense_disp
+    andi r24, 7
+    out  PORTB, r24
+    ret
+";
+
+/// The radio-stack application: per-byte CRC-16 + bit-serial SEC-DED
+/// encode (tap table in SRAM, as the 8-bit code keeps it), expanding
+/// each data byte into three radio bytes (data, parity, complement
+/// check) shipped through the SPI byte interface; the SPI-complete ISR
+/// sequences the three bytes and posts the next byte's send task.
+pub const RADIOSTACK_APP: &str = "
+.equ RS_MSG,   0x0330
+.equ RS_POS,   0x0338
+.equ RS_CRCL,  0x033a
+.equ RS_CRCH,  0x033b
+.equ RS_PAR,   0x033c
+.equ RS_PHASE, 0x033d
+.equ RS_DONE,  0x033e
+.equ RS_CHECK, 0x033f
+.equ RS_TAPS,  0x0340
+
+; one-time init of the SEC-DED tap table (H-matrix columns per data bit)
+rs_init_taps:
+    ldi  r26, 0x40
+    ldi  r27, 0x03
+    ldi  r18, 0x3
+    st   X+, r18
+    ldi  r18, 0x5
+    st   X+, r18
+    ldi  r18, 0x6
+    st   X+, r18
+    ldi  r18, 0x7
+    st   X+, r18
+    ldi  r18, 0x9
+    st   X+, r18
+    ldi  r18, 0xa
+    st   X+, r18
+    ldi  r18, 0xb
+    st   X+, r18
+    ldi  r18, 0xc
+    st   X+, r18
+    ret
+
+rs_send_task:
+    lds  r18, RS_POS
+    mov  r26, r18
+    ori  r26, 0x30      ; RS_MSG | pos (8-byte message, 8-aligned)
+    ldi  r27, 0x03
+    ld   r24, X         ; the data byte
+    inc  r18
+    andi r18, 7
+    sts  RS_POS, r18
+    ; CRC-16/CCITT over the byte
+    lds  r19, RS_CRCL
+    lds  r20, RS_CRCH
+    eor  r20, r24       ; crc ^= byte << 8
+    ldi  r21, 8
+rs_crc_loop:
+    add  r19, r19       ; crc <<= 1
+    adc  r20, r20
+    brcc rs_crc_noxor
+    ldi  r22, 0x21
+    eor  r19, r22
+    ldi  r22, 0x10
+    eor  r20, r22
+rs_crc_noxor:
+    dec  r21
+    brne rs_crc_loop
+    sts  RS_CRCL, r19
+    sts  RS_CRCH, r20
+    ; SEC-DED, bit-serial with the SRAM tap table (like the 8-bit code):
+    ; for each set data bit, xor the corresponding H column into the
+    ; parity accumulator.
+    ldi  r23, 0         ; parity accumulator
+    ldi  r21, 8
+    mov  r25, r24       ; working copy
+    ldi  r28, 0x40      ; Y -> RS_TAPS
+    ldi  r29, 0x03
+rs_sec_loop:
+    lsr  r25
+    brcc rs_sec_skip
+    ld   r18, Y
+    eor  r23, r18
+rs_sec_skip:
+    adiw r28, 1
+    dec  r21
+    brne rs_sec_loop
+    ; overall parity bit over data + parity nibble
+    mov  r25, r24
+    eor  r25, r23
+    rcall rs_parity
+    add  r23, r23
+    or   r23, r22
+    sts  RS_PAR, r23
+    ; complement check byte (double-error detection across the triple)
+    mov  r25, r24
+    com  r25
+    sts  RS_CHECK, r25
+    ldi  r18, 0
+    sts  RS_PHASE, r18
+    out  SPDR, r24      ; ship the data byte; SPI completion interrupts
+    ret
+
+rs_spi_isr:
+    push r18
+    push r26
+    push r27
+    push r30
+    push r31
+    lds  r18, RS_PHASE
+    cpi  r18, 0
+    brne rs_spi_not_first
+    lds  r18, RS_PAR
+    out  SPDR, r18      ; ship the parity byte
+    ldi  r18, 1
+    sts  RS_PHASE, r18
+    rjmp rs_spi_out
+rs_spi_not_first:
+    cpi  r18, 1
+    brne rs_spi_third
+    lds  r18, RS_CHECK
+    out  SPDR, r18      ; ship the complement check byte
+    ldi  r18, 2
+    sts  RS_PHASE, r18
+    rjmp rs_spi_out
+rs_spi_third:
+    ldi  r18, 0
+    sts  RS_PHASE, r18
+    lds  r18, RS_DONE
+    inc  r18
+    sts  RS_DONE, r18
+    ldi  r30, rs_send_task & 0xff
+    ldi  r31, rs_send_task >> 8
+    rcall tos_post_isr  ; chain the next byte
+rs_spi_out:
+    pop  r31
+    pop  r30
+    pop  r27
+    pop  r26
+    pop  r18
+    reti
+
+; parity of r25 -> r22; clobbers r21
+rs_parity:
+    mov  r22, r25
+    mov  r21, r22
+    swap r21
+    eor  r22, r21
+    mov  r21, r22
+    lsr  r21
+    lsr  r21
+    eor  r22, r21
+    mov  r21, r22
+    lsr  r21
+    eor  r22, r21
+    andi r22, 1
+    ret
+";
+
+/// Assemble the Blink program and wire its vectors.
+///
+/// The virtual-timer tick is ≈1 ms (OCR 62 → 3968 cycles at 4 MHz) and
+/// Blink fires every tick.
+pub fn blink_system() -> Result<(AvrCore, AvrProgram), AsmError> {
+    let src = format!("{TOS_DEFS}{}{TOS_RUNTIME}{BLINK_APP}", tos_boot("blink_fired", 1, 62));
+    let program = assemble_avr(&src)?;
+    let mut core = AvrCore::new(program.flash.clone());
+    core.set_vector(Irq::Timer, program.symbol("tos_timer_isr").expect("isr symbol"));
+    Ok((core, program))
+}
+
+/// Assemble the Sense program and wire its vectors.
+pub fn sense_system() -> Result<(AvrCore, AvrProgram), AsmError> {
+    let src = format!("{TOS_DEFS}{}{TOS_RUNTIME}{SENSE_APP}", tos_boot("sense_fired", 1, 62));
+    let program = assemble_avr(&src)?;
+    let mut core = AvrCore::new(program.flash.clone());
+    core.set_vector(Irq::Timer, program.symbol("tos_timer_isr").expect("isr symbol"));
+    core.set_vector(Irq::Adc, program.symbol("sense_adc_isr").expect("isr symbol"));
+    Ok((core, program))
+}
+
+/// Assemble the radio-stack program (no periodic timer; the benchmark
+/// driver posts `rs_send_task` per byte) and wire its vectors.
+pub fn radiostack_system() -> Result<(AvrCore, AvrProgram), AsmError> {
+    // Boot: clear queue, post the first send task, enter the scheduler.
+    let boot = "
+boot:
+    ldi  r18, 0
+    sts  TQ_HEAD, r18
+    sts  TQ_TAIL, r18
+    rcall rs_init_taps
+    ldi  r30, rs_send_task & 0xff
+    ldi  r31, rs_send_task >> 8
+    rcall tos_post
+    sei
+    rjmp tos_main
+";
+    let src = format!("{TOS_DEFS}{boot}{TOS_RUNTIME}{RADIOSTACK_APP}");
+    let program = assemble_avr(&src)?;
+    let mut core = AvrCore::new(program.flash.clone());
+    core.set_vector(Irq::Spi, program.symbol("rs_spi_isr").expect("isr symbol"));
+    Ok((core, program))
+}
+
+/// Measured cycles for one steady-state Blink iteration, split into
+/// the ISR+scheduler overhead and the LED-toggling task itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TosCycles {
+    /// Active cycles of a whole iteration.
+    pub total: u64,
+    /// Cycles spent in the application task proper.
+    pub useful: u64,
+}
+
+impl TosCycles {
+    /// Scheduling/ISR overhead cycles.
+    pub fn overhead(&self) -> u64 {
+        self.total - self.useful
+    }
+}
+
+/// Measure one steady-state Blink iteration (paper Fig. 5: 523 cycles,
+/// 16 useful).
+///
+/// # Panics
+///
+/// Panics if the runtime misbehaves (assembled from constants, so this
+/// indicates a bug, not bad input).
+pub fn measure_blink_cycles() -> TosCycles {
+    let (mut core, _) = blink_system().expect("blink assembles");
+    // Warm up two blinks, then measure between consecutive toggles.
+    run_until_toggles(&mut core, 2);
+    let start = core.active_cycles();
+    run_until_toggles(&mut core, 1);
+    let total = core.active_cycles() - start;
+    // The useful work is blink_task: lds(2) eor(1) ldi(1) sts(2) out(1)
+    // ret(4) + icall(3) = 14 cycles.
+    TosCycles { total, useful: 14 }
+}
+
+/// Measure one steady-state Sense iteration (paper: 1118 cycles, 781
+/// overhead).
+///
+/// # Panics
+///
+/// Panics on runtime misbehaviour (see [`measure_blink_cycles`]).
+pub fn measure_sense_cycles() -> TosCycles {
+    let (mut core, _) = sense_system().expect("sense assembles");
+    core.set_adc_reading(128);
+    run_until_port_writes(&mut core, 2);
+    let start = core.active_cycles();
+    run_until_port_writes(&mut core, 1);
+    let total = core.active_cycles() - start;
+    // Useful work: the sense_task body (sum 16 + shifts + display),
+    // measured structurally: 16*(2+1+1+1+2)-1 + setup ~ 10 + shifts ~24
+    // + display ~18 + ret 4 + icall 3. Use the paper's framing: task
+    // cycles are "useful", ISR + scheduler are overhead.
+    let useful = sense_task_cycles();
+    TosCycles { total, useful }
+}
+
+fn sense_task_cycles() -> u64 {
+    // Run the task in isolation on a scratch core to count its cycles.
+    let src = format!(
+        "{TOS_DEFS}
+boot:
+    rcall sense_task
+    break
+{SENSE_APP}{TOS_RUNTIME}"
+    );
+    let program = assemble_avr(&src).expect("assembles");
+    let mut core = AvrCore::new(program.flash.clone());
+    core.run_until_break(100_000).expect("runs");
+    core.active_cycles() - 4 // minus rcall+break framing (3+1)
+}
+
+/// Measure the steady-state cost of sending one data byte through the
+/// radio stack (paper: ≈780 cycles/byte on the mote), excluding the
+/// dead time while SPI shifts bits.
+///
+/// # Panics
+///
+/// Panics on runtime misbehaviour (see [`measure_blink_cycles`]).
+pub fn measure_radiostack_cycles_per_byte() -> u64 {
+    let (mut core, program) = radiostack_system().expect("assembles");
+    // Preload the message and a driver hook: after each byte completes,
+    // post the next send. We emulate the driver by re-posting from Rust
+    // between runs (the ISR counts completions in RS_DONE).
+    for (i, b) in [0x12u8, 0x34, 0x56, 0x78].iter().enumerate() {
+        core.sram_write(0x0330 + i as u16, *b);
+    }
+    let done_addr = program.symbol("RS_DONE").expect("equ symbol");
+    // Byte 1 (warm-up); the SPI ISR chains the next byte's task.
+    run_until_sram_equals(&mut core, done_addr, 1);
+    let start = core.active_cycles();
+    run_until_sram_equals(&mut core, done_addr, 2);
+    core.active_cycles() - start
+}
+
+fn run_until_toggles(core: &mut AvrCore, n: usize) {
+    let target = core.ports().portb_history.len() + n;
+    while core.ports().portb_history.len() < target {
+        core.step().expect("blink runs clean");
+    }
+}
+
+fn run_until_port_writes(core: &mut AvrCore, n: usize) {
+    run_until_toggles(core, n);
+}
+
+fn run_until_sram_equals(core: &mut AvrCore, addr: u16, value: u8) {
+    let mut guard = 0u64;
+    while core.sram(addr) != value {
+        core.step().expect("radio stack runs clean");
+        guard += 1;
+        assert!(guard < 2_000_000, "radio stack did not progress");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blink_toggles_the_led() {
+        let (mut core, _) = blink_system().unwrap();
+        run_until_toggles(&mut core, 4);
+        let hist = &core.ports().portb_history;
+        let values: Vec<u8> = hist.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1, 0, 1, 0]);
+        // Blinks are ~3968 wall cycles apart (OCR 62 x 64).
+        let dt = hist[2].0 - hist[1].0;
+        assert!((3800..4200).contains(&dt), "period {dt}");
+    }
+
+    #[test]
+    fn blink_cycles_match_fig5_band() {
+        let c = measure_blink_cycles();
+        // Paper: 523 total, 16 useful, 507 overhead. Same shape: a few
+        // hundred total, overhead ~95%.
+        assert!((250..=700).contains(&c.total), "total {}", c.total);
+        assert!(c.useful < 20);
+        let overhead_frac = c.overhead() as f64 / c.total as f64;
+        assert!(overhead_frac > 0.9, "overhead {overhead_frac}");
+    }
+
+    #[test]
+    fn sense_displays_average_high_bits() {
+        let (mut core, _) = sense_system().unwrap();
+        core.set_adc_reading(224); // high bits 224>>5 = 7
+        run_until_port_writes(&mut core, 20);
+        assert_eq!(core.ports().portb(), 7);
+    }
+
+    #[test]
+    fn sense_cycles_match_paper_band() {
+        let c = measure_sense_cycles();
+        // Paper: 1118 total with 781 overhead (>70%).
+        assert!((500..=1500).contains(&c.total), "total {}", c.total);
+        let overhead_frac = c.overhead() as f64 / c.total as f64;
+        assert!(overhead_frac > 0.55, "overhead {overhead_frac}");
+    }
+
+    #[test]
+    fn radiostack_sends_data_and_parity_bytes() {
+        let (mut core, program) = radiostack_system().unwrap();
+        for (i, b) in [0xabu8, 0xcd].iter().enumerate() {
+            core.sram_write(0x0330 + i as u16, *b);
+        }
+        let done = program.symbol("RS_DONE").unwrap();
+        run_until_sram_equals(&mut core, done, 1);
+        // Three SPI bytes per data byte: data, parity, complement check.
+        assert_eq!(core.spi_sent().len(), 3);
+        assert_eq!(core.spi_sent()[0], 0xab);
+        assert_eq!(core.spi_sent()[2], !0xabu8);
+    }
+
+    #[test]
+    fn radiostack_cycles_match_paper_band() {
+        let cycles = measure_radiostack_cycles_per_byte();
+        // Paper: ~780 cycles per byte on the mote.
+        assert!((350..=1100).contains(&cycles), "cycles {cycles}");
+    }
+
+    #[test]
+    fn radiostack_crc_matches_reference() {
+        // Cross-check the AVR CRC against the SNAP-side reference.
+        let (mut core, program) = radiostack_system().unwrap();
+        for (i, b) in [0x12u8, 0x34].iter().enumerate() {
+            core.sram_write(0x0330 + i as u16, *b);
+        }
+        let done = program.symbol("RS_DONE").unwrap();
+        run_until_sram_equals(&mut core, done, 2);
+        let crc =
+            (core.sram(program.symbol("RS_CRCH").unwrap()) as u16) << 8
+                | core.sram(program.symbol("RS_CRCL").unwrap()) as u16;
+        // Reference CRC-16/CCITT of [0x12, 0x34] from init 0.
+        let mut expect = 0u16;
+        for &b in &[0x12u8, 0x34] {
+            expect ^= (b as u16) << 8;
+            for _ in 0..8 {
+                expect = if expect & 0x8000 != 0 { (expect << 1) ^ 0x1021 } else { expect << 1 };
+            }
+        }
+        assert_eq!(crc, expect);
+    }
+
+    #[test]
+    fn two_virtual_timers_multiplex_one_hardware_timer() {
+        // vt0 (period 1 tick) drives blink_fired; vt1 (period 3 ticks)
+        // drives a second handler that counts into SRAM — both served
+        // by the single compare-match ISR, like TinyOS's timer module.
+        let second_app = "
+second_fired:
+    lds  r18, 0x0308
+    inc  r18
+    sts  0x0308, r18
+    ret
+";
+        let boot = tos_boot("blink_fired", 1, 62);
+        // Extend boot: before `rjmp tos_main`, configure vt slot 1.
+        let boot = boot.replace(
+            "    sei\n    rjmp tos_main",
+            "
+    ldi  r26, VT_LO + 8
+    ldi  r27, VT_HI
+    ldi  r18, 1
+    st   X+, r18        ; active
+    ldi  r18, 3
+    st   X+, r18        ; rem_lo
+    ldi  r18, 0
+    st   X+, r18        ; rem_hi
+    ldi  r18, second_fired & 0xff
+    st   X+, r18
+    ldi  r18, second_fired >> 8
+    st   X+, r18
+    ldi  r18, 3
+    st   X+, r18        ; per_lo
+    ldi  r18, 0
+    st   X+, r18        ; per_hi
+    st   X+, r18        ; fired = 0
+    sei
+    rjmp tos_main",
+        );
+        let src = format!("{TOS_DEFS}{boot}{TOS_RUNTIME}{BLINK_APP}{second_app}");
+        let program = assemble_avr(&src).unwrap();
+        let mut core = AvrCore::new(program.flash.clone());
+        core.set_vector(Irq::Timer, program.symbol("tos_timer_isr").unwrap());
+        // 12 hardware ticks: vt0 fires 12x, vt1 fires 4x.
+        run_until_toggles(&mut core, 12);
+        let seconds = core.sram(0x0308);
+        assert!((3..=5).contains(&seconds), "vt1 fired {seconds} times over 12 ticks");
+    }
+
+    #[test]
+    fn scheduler_sleeps_between_events() {
+        let (mut core, _) = blink_system().unwrap();
+        run_until_toggles(&mut core, 5);
+        // Over 5 blinks (~20k wall cycles) the core was active for only
+        // a few thousand.
+        let duty = core.active_cycles() as f64 / core.wall_cycles() as f64;
+        assert!(duty < 0.25, "duty {duty}");
+    }
+}

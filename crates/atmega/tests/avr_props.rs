@@ -1,0 +1,134 @@
+//! Property tests for the AVR-subset baseline: its arithmetic must
+//! match a Rust reference model, or the TinyOS cycle comparisons would
+//! be measuring a broken machine.
+
+use atmega::asm::assemble_avr;
+use atmega::AvrCore;
+use proptest::prelude::*;
+
+/// Run a fragment that leaves its result in r16 and stores it to 0x80.
+fn run_store_r16(body: &str) -> u8 {
+    let src = format!("{body}\nsts 0x80, r16\nbreak");
+    let p = assemble_avr(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut core = AvrCore::new(p.flash.clone());
+    core.run_until_break(10_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    core.sram(0x80)
+}
+
+proptest! {
+    /// 8-bit add/sub/logic match wrapping reference semantics.
+    #[test]
+    fn alu_matches_reference(a in any::<u8>(), b in any::<u8>(), op in 0usize..7) {
+        let (mnemonic, expect): (&str, u8) = match op {
+            0 => ("add", a.wrapping_add(b)),
+            1 => ("sub", a.wrapping_sub(b)),
+            2 => ("and", a & b),
+            3 => ("or", a | b),
+            4 => ("eor", a ^ b),
+            5 => ("mov", b),
+            _ => ("cp", a), // cp leaves r16 untouched
+        };
+        let body = format!("ldi r16, {a}\nldi r17, {b}\n{mnemonic} r16, r17");
+        prop_assert_eq!(run_store_r16(&body), expect, "{} {} {}", mnemonic, a, b);
+    }
+
+    /// 16-bit add via add/adc matches u16 arithmetic (the runtime's CRC
+    /// shifting depends on this).
+    #[test]
+    fn carry_chain_matches_u16(x in any::<u16>(), y in any::<u16>()) {
+        let body = format!(
+            "ldi r16, {xl}\nldi r17, {xh}\nldi r18, {yl}\nldi r19, {yh}\n\
+             add r16, r18\nadc r17, r19\nsts 0x81, r17",
+            xl = x & 0xff,
+            xh = x >> 8,
+            yl = y & 0xff,
+            yh = y >> 8,
+        );
+        let src = format!("{body}\nsts 0x80, r16\nbreak");
+        let p = assemble_avr(&src).unwrap();
+        let mut core = AvrCore::new(p.flash.clone());
+        core.run_until_break(10_000).unwrap();
+        let got = (core.sram(0x81) as u16) << 8 | core.sram(0x80) as u16;
+        prop_assert_eq!(got, x.wrapping_add(y));
+    }
+
+    /// 16-bit left shift (add/adc) and right shift (lsr/ror) pairs match
+    /// the reference — these are the radio stack's CRC primitives.
+    #[test]
+    fn shift_pairs_match(x in any::<u16>()) {
+        // Left: (lo,hi) <<= 1.
+        let left = format!(
+            "ldi r16, {lo}\nldi r17, {hi}\nadd r16, r16\nadc r17, r17\nsts 0x81, r17",
+            lo = x & 0xff,
+            hi = x >> 8,
+        );
+        let src = format!("{left}\nsts 0x80, r16\nbreak");
+        let p = assemble_avr(&src).unwrap();
+        let mut core = AvrCore::new(p.flash.clone());
+        core.run_until_break(10_000).unwrap();
+        let got = (core.sram(0x81) as u16) << 8 | core.sram(0x80) as u16;
+        prop_assert_eq!(got, x.wrapping_shl(1));
+
+        // Right: (hi,lo) >>= 1 through carry.
+        let right = format!(
+            "ldi r16, {lo}\nldi r17, {hi}\nlsr r17\nror r16\nsts 0x81, r17",
+            lo = x & 0xff,
+            hi = x >> 8,
+        );
+        let src = format!("{right}\nsts 0x80, r16\nbreak");
+        let p = assemble_avr(&src).unwrap();
+        let mut core = AvrCore::new(p.flash.clone());
+        core.run_until_break(10_000).unwrap();
+        let got = (core.sram(0x81) as u16) << 8 | core.sram(0x80) as u16;
+        prop_assert_eq!(got, x >> 1);
+    }
+
+    /// Signed branches agree with `i8` comparison.
+    #[test]
+    fn signed_branches_match(a in any::<i8>(), b in any::<i8>()) {
+        let body = format!(
+            "ldi r16, {a}\nldi r17, {b}\ncp r16, r17\nbrlt yes\nldi r16, 0\nrjmp out\nyes:\nldi r16, 1\nout:",
+            a = a as u8,
+            b = b as u8,
+        );
+        prop_assert_eq!(run_store_r16(&body) == 1, a < b, "{} < {}", a, b);
+    }
+
+    /// Unsigned branches agree with `u8` comparison.
+    #[test]
+    fn unsigned_branches_match(a in any::<u8>(), b in any::<u8>()) {
+        let body = format!(
+            "ldi r16, {a}\nldi r17, {b}\ncp r16, r17\nbrcs yes\nldi r16, 0\nrjmp out\nyes:\nldi r16, 1\nout:"
+        );
+        prop_assert_eq!(run_store_r16(&body) == 1, a < b, "{} <u {}", a, b);
+    }
+
+    /// Push/pop round trips arbitrary register sets through the stack.
+    #[test]
+    fn stack_round_trip(values in prop::collection::vec(any::<u8>(), 1..8)) {
+        let mut src = String::new();
+        for (i, v) in values.iter().enumerate() {
+            src.push_str(&format!("ldi r{}, {v}\n", 16 + i));
+        }
+        for i in 0..values.len() {
+            src.push_str(&format!("push r{}\n", 16 + i));
+        }
+        // Clobber, then restore in reverse order.
+        for i in 0..values.len() {
+            src.push_str(&format!("ldi r{}, 0\n", 16 + i));
+        }
+        for i in (0..values.len()).rev() {
+            src.push_str(&format!("pop r{}\n", 16 + i));
+        }
+        for (i, _) in values.iter().enumerate() {
+            src.push_str(&format!("sts {}, r{}\n", 0x90 + i, 16 + i));
+        }
+        src.push_str("break");
+        let p = assemble_avr(&src).unwrap();
+        let mut core = AvrCore::new(p.flash.clone());
+        core.run_until_break(100_000).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(core.sram(0x90 + i as u16), *v);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench ablation_bus` — regenerates this experiment's table.
+fn main() {
+    bench::ablation::print_bus_ablation();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench ablation_compiler` — regenerates this experiment's table.
+fn main() {
+    bench::ablation::print_compiler_ablation();
+}

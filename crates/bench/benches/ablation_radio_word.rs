@@ -1,0 +1,4 @@
+//! `cargo bench --bench ablation_radio_word` — regenerates this experiment's table.
+fn main() {
+    bench::ablation::print_radio_ablation();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench energy_breakdown` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_breakdown();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench ext_csma` — extension experiment.
+fn main() {
+    bench::ext::print_contention();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench ext_leakage` — extension experiment.
+fn main() {
+    bench::ext::print_leakage();
+}

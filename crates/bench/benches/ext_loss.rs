@@ -1,0 +1,4 @@
+//! `cargo bench --bench ext_loss` — extension experiment.
+fn main() {
+    bench::ext::print_loss_sweep();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench ext_voltage_sweep` — extension experiment.
+fn main() {
+    bench::ext::print_voltage_sweep();
+}

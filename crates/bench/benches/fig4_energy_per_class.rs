@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig4_energy_per_class` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_fig4();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig5_blink` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_fig5();
+}

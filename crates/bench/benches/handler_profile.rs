@@ -1,0 +1,4 @@
+//! `cargo bench --bench handler_profile` — per-handler accounting.
+fn main() {
+    bench::experiments::print_handler_profile();
+}

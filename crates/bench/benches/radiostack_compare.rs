@@ -1,0 +1,4 @@
+//! `cargo bench --bench radiostack_compare` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_radiostack();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench sense_compare` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_sense();
+}

@@ -1,0 +1,36 @@
+//! Criterion microbenchmarks of the simulator hot paths (how fast the
+//! reproduction itself runs; not a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_core::{CoreConfig, Processor};
+use snap_isa::{AluImmOp, AluOp, Instruction, Reg};
+
+fn bench_core(c: &mut Criterion) {
+    // A tight arithmetic loop: 3 instructions per iteration.
+    let prog = [
+        Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R1, imm: 10_000 },
+        Instruction::AluReg { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1 },
+        Instruction::AluImm { op: AluImmOp::Subi, rd: Reg::R1, imm: 1 },
+        Instruction::Branch {
+            cond: snap_isa::BranchCond::Nez,
+            ra: Reg::R1,
+            rb: Reg::R0,
+            target: 2,
+        },
+        Instruction::Halt,
+    ];
+    c.bench_function("simulate_30k_instructions", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(CoreConfig::default());
+            cpu.load_program(&prog).unwrap();
+            cpu.run_to_halt(40_000).unwrap();
+            assert!(cpu.stats().instructions > 30_000);
+        })
+    });
+    c.bench_function("assemble_mac_aodv", |b| {
+        b.iter(|| snap_apps::aodv::relay_program(3, &[(9, 2)]).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

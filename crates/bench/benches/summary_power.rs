@@ -1,0 +1,4 @@
+//! `cargo bench --bench summary_power` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_summary();
+}

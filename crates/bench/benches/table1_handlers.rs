@@ -1,0 +1,4 @@
+//! `cargo bench --bench table1_handlers` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_table1();
+}

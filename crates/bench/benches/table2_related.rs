@@ -1,0 +1,4 @@
+//! `cargo bench --bench table2_related` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_table2();
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench throughput_mips` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_throughput();
+}

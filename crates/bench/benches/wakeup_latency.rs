@@ -1,0 +1,4 @@
+//! `cargo bench --bench wakeup_latency` — regenerates this experiment's table.
+fn main() {
+    bench::experiments::print_wakeup();
+}

@@ -1,0 +1,270 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Bus hierarchy** (paper §3.1): the two-level fast/slow bus
+//!    organization vs a single flat bus.
+//! 2. **Word-wide radio interface** (paper §3.3): the message
+//!    coprocessor's word-by-word events vs a bit-by-bit interrupt
+//!    scheme like the microcontrollers use.
+//! 3. **Compiler quality** (paper §4.5): `snapcc`'s naive (lcc-like)
+//!    output vs hand-written assembly for the same function.
+//!
+//! (The fourth ablation — hardware event queue vs software scheduler —
+//! is the Fig. 5 experiment itself.)
+
+use crate::report;
+use dess::SimDuration;
+use snap_apps::prelude::{install_handler, PRELUDE};
+use snap_asm::assemble_modules;
+use snap_core::{CoreConfig, CoreStats, Processor};
+use snap_energy::model::BusModel;
+use snap_energy::OperatingPoint;
+use snap_node::{Node, NodeConfig};
+
+/// Result of one ablation arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arm {
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Busy time in ns.
+    pub busy_ns: f64,
+    /// Energy in nJ.
+    pub energy_nj: f64,
+}
+
+impl From<CoreStats> for Arm {
+    fn from(d: CoreStats) -> Arm {
+        Arm {
+            instructions: d.instructions,
+            busy_ns: d.busy_time.as_ns(),
+            energy_nj: d.energy.as_nj(),
+        }
+    }
+}
+
+/// Run the Temperature app (5 samples) on a given bus organization.
+pub fn run_temperature_with_bus(bus: BusModel) -> Arm {
+    let program = snap_apps::apps::temperature_program().expect("assembles");
+    let core = CoreConfig { bus, ..CoreConfig::at(OperatingPoint::V1_8) };
+    let cfg = NodeConfig { core, ..NodeConfig::default() };
+    let mut node = Node::new(cfg);
+    node.load(&program).expect("fits");
+    node.sensors_mut().set_reading(snap_apps::apps::TEMP_SENSOR, 50);
+    node.run_for(SimDuration::from_us(50)).expect("boot");
+    let before = node.cpu().stats();
+    node.run_for(SimDuration::from_us(2_350)).expect("samples");
+    node.cpu().stats().since(&before).into()
+}
+
+/// Bus-hierarchy ablation: hierarchical vs flat busses.
+pub fn ablate_bus() -> (Arm, Arm) {
+    (run_temperature_with_bus(BusModel::Hierarchical), run_temperature_with_bus(BusModel::Flat))
+}
+
+/// A receive handler that gets one *bit* per event (the bit-by-bit
+/// interrupt scheme of conventional microcontrollers, emulated on the
+/// event queue) and assembles words in software.
+const BIT_RX_APP: &str = "
+.data
+bit_acc:    .word 0
+bit_count:  .word 0
+bit_words:  .word 0
+
+.text
+bit_rx:
+    mov     r2, r15            ; the bit (0/1)
+    lw      r3, bit_acc(r0)
+    slli    r3, 1
+    or      r3, r2
+    sw      r3, bit_acc(r0)
+    lw      r4, bit_count(r0)
+    addi    r4, 1
+    sw      r4, bit_count(r0)
+    li      r5, 16
+    bne     r4, r5, bit_rx_out
+    sw      r0, bit_count(r0)
+    lw      r6, bit_words(r0)
+    addi    r6, 1
+    sw      r6, bit_words(r0)
+bit_rx_out:
+    done
+";
+
+/// A receive handler that gets one whole word per event (the SNAP
+/// message-coprocessor scheme).
+const WORD_RX_APP: &str = "
+.data
+word_buf:   .space 8
+word_count: .word 0
+
+.text
+word_rx:
+    mov     r2, r15
+    lw      r3, word_count(r0)
+    sw      r2, word_buf(r3)
+    addi    r3, 1
+    sw      r3, word_count(r0)
+    done
+";
+
+fn run_rx_program(app: &str, handler: &str, events: &[u16]) -> Arm {
+    let boot = format!(
+        "boot:\n{}    li      r15, 0x1001\n    done\n",
+        install_handler("EV_RX", handler)
+    );
+    let program = assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("app.s", app)])
+        .expect("assembles");
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).expect("fits");
+    node.run_for(SimDuration::from_us(10)).expect("boot");
+    let before = node.cpu().stats();
+    for &e in events {
+        assert!(node.deliver_rx(e), "event lost");
+        node.run_for(SimDuration::from_us(60)).expect("handler");
+    }
+    node.cpu().stats().since(&before).into()
+}
+
+/// Word-interface ablation: deliver a 5-word message as 5 word events
+/// vs 80 bit events. Returns `(word_interface, bit_interface)`.
+pub fn ablate_radio_interface() -> (Arm, Arm) {
+    let message = [0x1234u16, 0x5678, 0x9abc, 0xdef0, 0x0f0f];
+    let word_arm = run_rx_program(WORD_RX_APP, "word_rx", &message);
+    let bits: Vec<u16> =
+        message.iter().flat_map(|w| (0..16).rev().map(move |i| (w >> i) & 1)).collect();
+    let bit_arm = run_rx_program(BIT_RX_APP, "bit_rx", &bits);
+    (word_arm, bit_arm)
+}
+
+/// Hand-written assembly for the compiler ablation's workload: sum a
+/// 16-word DMEM buffer and count values above a threshold.
+const HAND_SUM_ASM: &str = "
+    li      r1, 0          ; sum
+    li      r2, 0          ; index
+    li      r3, 0          ; above-threshold count
+    li      r4, 100        ; threshold
+sum_loop:
+    lw      r5, buf(r2)
+    add     r1, r5
+    bleu    r5, r4, sum_skip
+    addi    r3, 1
+sum_skip:
+    addi    r2, 1
+    li      r6, 16
+    bltu    r2, r6, sum_loop
+    halt
+
+.data
+buf: .space 16
+";
+
+/// The same workload in C (compiled by `snapcc` with its naive,
+/// lcc-like codegen).
+const C_SUM_SRC: &str = "
+int buf[16];
+int above;
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        sum = sum + buf[i];
+        if (buf[i] > 100) above = above + 1;
+    }
+    return sum;
+}
+";
+
+fn fill_buf(cpu: &mut Processor, base: u16) {
+    let values: Vec<u16> = (0..16).map(|i| (i * 37 + 5) as u16).collect();
+    cpu.load_data(base, &values).expect("buffer fits");
+}
+
+/// Compiler ablation: returns `(hand_assembly, snapcc)` arms for the
+/// identical workload, verifying both compute the same sum.
+pub fn ablate_compiler() -> (Arm, Arm) {
+    // Hand assembly.
+    let asm_prog = snap_asm::assemble(HAND_SUM_ASM).expect("assembles");
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_image(0, &asm_prog.imem_image()).expect("fits");
+    fill_buf(&mut cpu, asm_prog.symbol("buf").expect("buf symbol"));
+    cpu.run_to_halt(10_000).expect("runs");
+    let hand_sum = cpu.regs().read(snap_isa::Reg::R1);
+    let hand: Arm = cpu.stats().into();
+
+    // snapcc.
+    let c_prog = snapcc::compile_to_program(C_SUM_SRC).expect("compiles");
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_image(0, &c_prog.imem_image()).expect("fits");
+    cpu.load_data(0, &c_prog.dmem_image()).expect("fits");
+    fill_buf(&mut cpu, c_prog.symbol("buf").expect("buf symbol"));
+    cpu.run_to_halt(100_000).expect("runs");
+    let c_sum = cpu.regs().read(snap_isa::Reg::R1);
+    let compiled: Arm = cpu.stats().into();
+
+    assert_eq!(hand_sum, c_sum, "both implementations must agree");
+    (hand, compiled)
+}
+
+/// Print the bus ablation.
+pub fn print_bus_ablation() {
+    report::title("Ablation - two-level bus hierarchy vs flat bus");
+    let (hier, flat) = ablate_bus();
+    println!("  hierarchical: {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ", hier.instructions, hier.busy_ns, hier.energy_nj);
+    println!("  flat:         {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ", flat.instructions, flat.busy_ns, flat.energy_nj);
+    report::note(&format!(
+        "hierarchy saves {:.0}% latency and {:.0}% energy on the temperature app",
+        (1.0 - hier.busy_ns / flat.busy_ns) * 100.0,
+        (1.0 - hier.energy_nj / flat.energy_nj) * 100.0
+    ));
+}
+
+/// Print the radio-interface ablation.
+pub fn print_radio_ablation() {
+    report::title("Ablation - word-wide radio events vs bit-by-bit interrupts");
+    let (word, bit) = ablate_radio_interface();
+    println!("  word events (5/message): {:>6} ins  {:>8.2} nJ", word.instructions, word.energy_nj);
+    println!("  bit events (80/message): {:>6} ins  {:>8.2} nJ", bit.instructions, bit.energy_nj);
+    report::note(&format!(
+        "the word interface is x{:.1} cheaper in instructions (paper Section 3.3's motivation)",
+        bit.instructions as f64 / word.instructions as f64
+    ));
+}
+
+/// Print the compiler ablation.
+pub fn print_compiler_ablation() {
+    report::title("Ablation - hand assembly vs snapcc (unoptimized, lcc-like)");
+    let (hand, compiled) = ablate_compiler();
+    println!("  hand asm: {:>6} ins  {:>8.2} nJ", hand.instructions, hand.energy_nj);
+    println!("  snapcc:   {:>6} ins  {:>8.2} nJ", compiled.instructions, compiled.energy_nj);
+    report::note(&format!(
+        "naive compilation costs x{:.1} instructions (paper Section 4.5: unnecessary load/stores)",
+        compiled.instructions as f64 / hand.instructions as f64
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_hierarchy_wins() {
+        let (hier, flat) = ablate_bus();
+        assert_eq!(hier.instructions, flat.instructions, "same program");
+        assert!(hier.busy_ns < flat.busy_ns, "hierarchy must be faster");
+        assert!(hier.energy_nj < flat.energy_nj, "hierarchy must be cheaper");
+    }
+
+    #[test]
+    fn word_interface_wins_bigly() {
+        let (word, bit) = ablate_radio_interface();
+        let ratio = bit.instructions as f64 / word.instructions as f64;
+        assert!(ratio > 5.0, "word interface only x{ratio} better");
+    }
+
+    #[test]
+    fn compiler_overhead_is_real_but_bounded() {
+        let (hand, compiled) = ablate_compiler();
+        let ratio = compiled.instructions as f64 / hand.instructions as f64;
+        assert!(ratio > 1.5, "snapcc should cost more than hand asm, x{ratio}");
+        assert!(ratio < 12.0, "snapcc should not be absurd, x{ratio}");
+    }
+}

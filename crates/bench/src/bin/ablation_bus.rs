@@ -1,0 +1,4 @@
+//! Bus-hierarchy ablation (DESIGN.md section 6).
+fn main() {
+    bench::ablation::print_bus_ablation();
+}

@@ -1,0 +1,4 @@
+//! Compiler-quality ablation (DESIGN.md section 6).
+fn main() {
+    bench::ablation::print_compiler_ablation();
+}

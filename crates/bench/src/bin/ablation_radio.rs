@@ -1,0 +1,4 @@
+//! Radio word-interface ablation (DESIGN.md section 6).
+fn main() {
+    bench::ablation::print_radio_ablation();
+}

@@ -1,0 +1,16 @@
+//! Runs every experiment in order: the full paper reproduction report.
+fn main() {
+    bench::experiments::print_fig4();
+    bench::experiments::print_table1();
+    bench::experiments::print_throughput();
+    bench::experiments::print_wakeup();
+    bench::experiments::print_breakdown();
+    bench::experiments::print_fig5();
+    bench::experiments::print_sense();
+    bench::experiments::print_radiostack();
+    bench::experiments::print_table2();
+    bench::experiments::print_summary();
+    bench::ablation::print_bus_ablation();
+    bench::ablation::print_radio_ablation();
+    bench::ablation::print_compiler_ablation();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.4 energy distribution.
+fn main() {
+    bench::experiments::print_breakdown();
+}

@@ -1,0 +1,4 @@
+//! Extension: CSMA backoff under contention.
+fn main() {
+    bench::ext::print_contention();
+}

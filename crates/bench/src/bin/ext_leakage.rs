@@ -1,0 +1,4 @@
+//! Extension: idle-leakage sensitivity (paper section 6 open question).
+fn main() {
+    bench::ext::print_leakage();
+}

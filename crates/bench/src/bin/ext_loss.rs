@@ -1,0 +1,4 @@
+//! Extension: packet delivery under per-word fading.
+fn main() {
+    bench::ext::print_loss_sweep();
+}

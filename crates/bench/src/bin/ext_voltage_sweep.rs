@@ -1,0 +1,4 @@
+//! Extension: voltage/energy trade-off sweep (paper section 6).
+fn main() {
+    bench::ext::print_voltage_sweep();
+}

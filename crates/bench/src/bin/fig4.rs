@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (energy per instruction type).
+fn main() {
+    bench::experiments::print_fig4();
+}

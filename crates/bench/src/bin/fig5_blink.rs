@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (Blink: TinyOS vs SNAP).
+fn main() {
+    bench::experiments::print_fig5();
+}

@@ -1,0 +1,4 @@
+//! Per-handler profile of a relay node (live Table-1-style accounting).
+fn main() {
+    bench::experiments::print_handler_profile();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.6 radio-stack comparison.
+fn main() {
+    bench::experiments::print_radiostack();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.6 Sense comparison.
+fn main() {
+    bench::experiments::print_sense();
+}

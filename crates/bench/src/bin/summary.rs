@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.7 results summary.
+fn main() {
+    bench::experiments::print_summary();
+}

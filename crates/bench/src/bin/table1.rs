@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (handler statistics with energy).
+fn main() {
+    bench::experiments::print_table1();
+}

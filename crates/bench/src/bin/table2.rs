@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (related microcontrollers).
+fn main() {
+    bench::experiments::print_table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.3 throughput numbers.
+fn main() {
+    bench::experiments::print_throughput();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.3 wake-up latencies.
+fn main() {
+    bench::experiments::print_wakeup();
+}

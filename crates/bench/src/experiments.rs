@@ -1,0 +1,449 @@
+//! The non-Fig.-4 experiments: throughput, wake-up, energy
+//! distribution, the three TinyOS comparisons, Table 2 and the §4.7
+//! summary. Each returns structured results; the bins/bench targets
+//! print them against `paper`.
+
+use crate::paper;
+use crate::report;
+use atmega::tinyos;
+use dess::SimDuration;
+use snap_apps::measure::{
+    measure_blink, measure_components, measure_radiostack_byte, measure_sense, measure_table1,
+};
+use snap_core::{CoreConfig, Processor};
+use snap_energy::{related_processors, AvrEnergyModel, Component, OperatingPoint};
+use snap_isa::Instruction;
+
+/// §4.3 throughput: average MIPS over the Table 1 benchmark mix.
+pub fn measure_mips(point: OperatingPoint) -> f64 {
+    let rows = measure_table1(point);
+    let instructions: u64 = rows.iter().map(|r| r.instructions).sum();
+    let busy: SimDuration = rows.iter().map(|r| r.busy_time).sum();
+    instructions as f64 / busy.as_us()
+}
+
+/// §4.3 wake-up latency: time from event arrival at an idle core to
+/// handler dispatch.
+pub fn measure_wakeup_ns(point: OperatingPoint) -> f64 {
+    let mut cpu = Processor::new(CoreConfig::at(point));
+    cpu.load_program(&[Instruction::Done]).expect("fits");
+    cpu.run_until_idle(10).expect("boots to sleep");
+    let t0 = cpu.now();
+    cpu.post_sensor_irq();
+    cpu.step().expect("wakes");
+    (cpu.now() - t0).as_ns()
+}
+
+/// §4.4 energy distribution: `(component, fraction-of-core-energy)`
+/// plus memory's share of the total.
+pub fn measure_breakdown(point: OperatingPoint) -> (Vec<(Component, f64)>, f64) {
+    let components = measure_components(point);
+    let core_fracs = Component::CORE_SPLIT
+        .iter()
+        .map(|&(c, _)| (c, components.core_fraction(c)))
+        .collect();
+    let memory_share = components.memory_total() / components.total();
+    (core_fracs, memory_share)
+}
+
+/// One platform side of a §4.6 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Mote (TinyOS/AVR) cycles.
+    pub avr_cycles: u64,
+    /// SNAP cycles.
+    pub snap_cycles: u64,
+    /// Mote energy, nJ.
+    pub avr_nj: f64,
+    /// SNAP energy at 1.8 V, nJ.
+    pub snap_nj_1v8: f64,
+    /// SNAP energy at 0.6 V, nJ.
+    pub snap_nj_0v6: f64,
+}
+
+impl Comparison {
+    /// Cycle-reduction factor (mote / SNAP).
+    pub fn cycle_ratio(&self) -> f64 {
+        self.avr_cycles as f64 / self.snap_cycles as f64
+    }
+}
+
+fn avr_energy_nj(cycles: u64) -> f64 {
+    AvrEnergyModel::atmega128l().task_energy(cycles).as_nj()
+}
+
+/// Fig. 5: the Blink comparison.
+pub fn compare_blink() -> Comparison {
+    let avr = tinyos::measure_blink_cycles();
+    let snap18 = measure_blink(OperatingPoint::V1_8);
+    let snap06 = measure_blink(OperatingPoint::V0_6);
+    Comparison {
+        avr_cycles: avr.total,
+        snap_cycles: snap18.cycles,
+        avr_nj: avr_energy_nj(avr.total),
+        snap_nj_1v8: snap18.energy.as_nj(),
+        snap_nj_0v6: snap06.energy.as_nj(),
+    }
+}
+
+/// §4.6: the Sense comparison (returns overhead cycles too).
+pub fn compare_sense() -> (Comparison, u64) {
+    let avr = tinyos::measure_sense_cycles();
+    let snap18 = measure_sense(OperatingPoint::V1_8);
+    let snap06 = measure_sense(OperatingPoint::V0_6);
+    (
+        Comparison {
+            avr_cycles: avr.total,
+            snap_cycles: snap18.cycles,
+            avr_nj: avr_energy_nj(avr.total),
+            snap_nj_1v8: snap18.energy.as_nj(),
+            snap_nj_0v6: snap06.energy.as_nj(),
+        },
+        avr.overhead(),
+    )
+}
+
+/// §4.6: the radio-stack per-byte comparison.
+pub fn compare_radiostack() -> Comparison {
+    let avr_cycles = tinyos::measure_radiostack_cycles_per_byte();
+    let snap18 = measure_radiostack_byte(OperatingPoint::V1_8);
+    let snap06 = measure_radiostack_byte(OperatingPoint::V0_6);
+    Comparison {
+        avr_cycles,
+        snap_cycles: snap18.cycles,
+        avr_nj: avr_energy_nj(avr_cycles),
+        snap_nj_1v8: snap18.energy.as_nj(),
+        snap_nj_0v6: snap06.energy.as_nj(),
+    }
+}
+
+/// A measured SNAP/LE row for Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapRow {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Measured MIPS on the benchmark mix.
+    pub mips: f64,
+    /// Average pJ per instruction on the benchmark mix.
+    pub energy_per_ins_pj: f64,
+}
+
+/// Measure the two SNAP/LE rows of Table 2 (0.6 V and 1.8 V).
+pub fn measure_snap_rows() -> [SnapRow; 2] {
+    let row = |point: OperatingPoint| {
+        let rows = measure_table1(point);
+        let instructions: u64 = rows.iter().map(|r| r.instructions).sum();
+        let busy: SimDuration = rows.iter().map(|r| r.busy_time).sum();
+        let energy: f64 = rows.iter().map(|r| r.energy.as_pj()).sum();
+        SnapRow {
+            vdd: point.vdd(),
+            mips: instructions as f64 / busy.as_us(),
+            energy_per_ins_pj: energy / instructions as f64,
+        }
+    };
+    [row(OperatingPoint::V0_6), row(OperatingPoint::V1_8)]
+}
+
+/// §4.7 summary: handler-energy band (nJ) and active power band (nW)
+/// at ten events per second, for one operating point.
+pub fn measure_summary(point: OperatingPoint) -> ((f64, f64), (f64, f64)) {
+    let rows = measure_table1(point);
+    let min_nj =
+        rows.iter().map(|r| r.energy.as_nj()).fold(f64::INFINITY, f64::min);
+    let max_nj = rows.iter().map(|r| r.energy.as_nj()).fold(0.0f64, f64::max);
+    // Ten handlers per second: power = 10 x handler energy per second.
+    let to_nw = |nj: f64| nj * 10.0; // nJ x 10/s = 10 nW per nJ
+    ((min_nj, max_nj), (to_nw(min_nj), to_nw(max_nj)))
+}
+
+/// Per-handler profile of a relay node serving a busy period: receive
+/// a packet, forward it, answer a route request (Table 1's per-task
+/// accounting, measured live from one node's profile counters).
+pub fn print_handler_profile() {
+    use dess::SimDuration;
+    use snap_apps::aodv::relay_program;
+    use snap_apps::packet::Packet;
+    use snap_node::{Node, NodeConfig};
+
+    report::title("Per-handler profile of a relay node (Table 1 accounting, live)");
+    let program = relay_program(3, &[(9, 2), (7, 4)]).expect("assembles");
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).expect("fits");
+    node.run_for(SimDuration::from_ms(1)).expect("boot");
+    // Traffic: two data packets to forward and one route request.
+    for packet in [
+        Packet::data(9, 1, vec![1, 2]),
+        Packet::route_request(3, 1, 7),
+        Packet::data(9, 4, vec![3]),
+    ] {
+        for w in packet.encode() {
+            node.deliver_rx(w);
+            node.run_for(SimDuration::from_us(900)).expect("rx");
+        }
+        node.run_for(SimDuration::from_ms(12)).expect("tx completes");
+    }
+    let profile = node.cpu().profile();
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>12}",
+        "handler", "dispatches", "instructions", "ins/dispatch", "energy"
+    );
+    let boot = profile.boot();
+    println!(
+        "{:<16} {:>10} {:>12} {:>12.1} {:>12}",
+        "(boot)", 1, boot.instructions, boot.instructions as f64, boot.energy.to_string()
+    );
+    for (event, stats) in profile.dispatched() {
+        println!(
+            "{:<16} {:>10} {:>12} {:>12.1} {:>12}",
+            event.to_string(),
+            stats.dispatches,
+            stats.instructions,
+            stats.instructions_per_dispatch(),
+            stats.energy.to_string()
+        );
+    }
+    report::note("radio-rx covers packet assembly + routing dispatch; radio-tx-done");
+    report::note("covers the word-by-word transmit pump; timer2 is the CSMA backoff");
+}
+
+// ---- printed reports (shared by bins and bench targets) ----
+
+/// Print Fig. 4.
+pub fn print_fig4() {
+    report::title("Fig. 4 - energy per instruction type");
+    for point in OperatingPoint::PAPER_POINTS {
+        report::heading(&point.label().to_string());
+        for row in crate::fig4::measure_fig4(point) {
+            println!(
+                "  {:<12} {:>8.1} pJ/ins   {:>7.2} ns/ins",
+                row.class.label(),
+                row.energy_pj,
+                row.latency_ns
+            );
+        }
+    }
+    report::note("paper bands: <300 pJ at 1.8V; <75 pJ (many <25) at 0.6V;");
+    report::note("tiers: one-word reg < two-word imm < memory ops");
+}
+
+/// Print Table 1.
+pub fn print_table1() {
+    report::title("Table 1 - handler code statistics with energy");
+    for (i, point) in OperatingPoint::PAPER_POINTS.into_iter().enumerate() {
+        report::heading(&point.label());
+        for (row, paper_row) in measure_table1(point).iter().zip(paper::TABLE1) {
+            let (paper_nj, paper_pj) = match i {
+                0 => (paper_row.2, paper_row.3),
+                1 => (paper_row.4, paper_row.5),
+                _ => (paper_row.6, paper_row.7),
+            };
+            println!(
+                "  {:<20} insts paper {:>4} meas {:>4} | E paper {:>6.1}nJ meas {:>6.1}nJ | pJ/ins paper {:>5.0} meas {:>5.0}",
+                row.name,
+                paper_row.1,
+                row.instructions,
+                paper_nj,
+                row.energy.as_nj(),
+                paper_pj,
+                row.energy_per_instruction().as_pj(),
+            );
+        }
+    }
+    let rows = measure_table1(OperatingPoint::V1_8);
+    let total: usize = [0usize, 2, 4, 5].iter().map(|&i| rows[i].code_bytes).sum();
+    report::note(&format!(
+        "total code size of the distinct programs: {total} bytes (paper: ~2.8 KB)"
+    ));
+}
+
+/// Print §4.3 throughput.
+pub fn print_throughput() {
+    report::title("Section 4.3 - average throughput (benchmark mix)");
+    for (point, (_, paper_mips)) in OperatingPoint::PAPER_POINTS.into_iter().zip(paper::MIPS) {
+        report::row(&format!("MIPS @ {}", point.label()), paper_mips, measure_mips(point), "MIPS");
+    }
+}
+
+/// Print §4.3 wake-up latency.
+pub fn print_wakeup() {
+    report::title("Section 4.3 - idle-to-active wake-up latency");
+    for (point, (_, paper_ns)) in OperatingPoint::PAPER_POINTS.into_iter().zip(paper::WAKEUP_NS) {
+        report::row(&format!("wakeup @ {}", point.label()), paper_ns, measure_wakeup_ns(point), "ns");
+    }
+    report::note("Atmel baseline: 4,000,000 - 65,000,000 ns (4-65 ms)");
+}
+
+/// Print §4.4 energy distribution.
+pub fn print_breakdown() {
+    report::title("Section 4.4 - core energy distribution");
+    let (fracs, memory_share) = measure_breakdown(OperatingPoint::V1_8);
+    for ((component, measured), (label, paper_frac)) in fracs.iter().zip(paper::CORE_SPLIT) {
+        debug_assert_eq!(component.label(), label);
+        report::row(&format!("core share: {component}"), paper_frac * 100.0, measured * 100.0, "%");
+    }
+    report::row("memory share of total", paper::MEMORY_SHARE * 100.0, memory_share * 100.0, "%");
+}
+
+/// Print Fig. 5.
+pub fn print_fig5() {
+    report::title("Fig. 5 - periodic LED Blink: TinyOS/mote vs SNAP");
+    let c = compare_blink();
+    report::row_u64("mote cycles/blink", paper::BLINK.avr_total, c.avr_cycles, "cycles");
+    report::row_u64("SNAP cycles/blink", paper::BLINK.snap_cycles, c.snap_cycles, "cycles");
+    report::row("mote energy/blink", paper::BLINK.avr_nj, c.avr_nj, "nJ");
+    report::row("SNAP energy @1.8V", paper::BLINK.snap_nj_1v8, c.snap_nj_1v8, "nJ");
+    report::row("SNAP energy @0.6V", paper::BLINK.snap_nj_0v6, c.snap_nj_0v6, "nJ");
+    report::note(&format!(
+        "cycle reduction: paper x{:.1}, measured x{:.1}",
+        paper::BLINK.avr_total as f64 / paper::BLINK.snap_cycles as f64,
+        c.cycle_ratio()
+    ));
+}
+
+/// Print the Sense comparison.
+pub fn print_sense() {
+    report::title("Section 4.6 - Sense: TinyOS/mote vs SNAP");
+    let (c, overhead) = compare_sense();
+    report::row_u64("mote cycles/iteration", paper::SENSE.0, c.avr_cycles, "cycles");
+    report::row_u64("mote overhead cycles", paper::SENSE.1, overhead, "cycles");
+    report::row_u64("SNAP cycles/iteration", paper::SENSE.2, c.snap_cycles, "cycles");
+    report::note(&format!(
+        "overhead fraction: paper {:.0}%, measured {:.0}%",
+        paper::SENSE.1 as f64 / paper::SENSE.0 as f64 * 100.0,
+        overhead as f64 / c.avr_cycles as f64 * 100.0
+    ));
+}
+
+/// Print the radio-stack comparison.
+pub fn print_radiostack() {
+    report::title("Section 4.6 - MICA high-speed radio stack, per byte");
+    let c = compare_radiostack();
+    report::row_u64("mote cycles/byte", paper::RADIOSTACK.0, c.avr_cycles, "cycles");
+    report::row_u64("SNAP cycles/byte", paper::RADIOSTACK.1, c.snap_cycles, "cycles");
+    report::note(&format!(
+        "reduction: paper {:.0}%, measured {:.0}%",
+        (1.0 - paper::RADIOSTACK.1 as f64 / paper::RADIOSTACK.0 as f64) * 100.0,
+        (1.0 - c.snap_cycles as f64 / c.avr_cycles as f64) * 100.0
+    ));
+}
+
+/// Print Table 2.
+pub fn print_table2() {
+    report::title("Table 2 - related microcontrollers");
+    println!(
+        "{:<22} {:>8} {:>10} {:>9} {:>12}",
+        "processor", "clocked", "MIPS", "Vdd", "pJ/ins"
+    );
+    for r in related_processors() {
+        println!(
+            "{:<22} {:>8} {:>10} {:>9} {:>12}",
+            r.name,
+            if r.clocked { "yes" } else { "no" },
+            format!("{}-{}", r.mips.0, r.mips.1),
+            format!("{}-{}", r.voltage.0, r.voltage.1),
+            format!("{}-{}", r.energy_per_ins_pj.0, r.energy_per_ins_pj.1),
+        );
+    }
+    for row in measure_snap_rows() {
+        println!(
+            "{:<22} {:>8} {:>10.0} {:>9.1} {:>12.0}   (measured)",
+            format!("SNAP/LE @{}V", row.vdd),
+            "no",
+            row.mips,
+            row.vdd,
+            row.energy_per_ins_pj,
+        );
+    }
+    let snap06 = measure_snap_rows()[0];
+    report::row(
+        "Atmel/SNAP energy ratio",
+        paper::ATMEL_ENERGY_RATIO,
+        1500.0 / snap06.energy_per_ins_pj,
+        "x",
+    );
+}
+
+/// Print the §4.7 summary.
+pub fn print_summary() {
+    report::title("Section 4.7 - results summary");
+    let ((lo18, hi18), (plo18, phi18)) = measure_summary(OperatingPoint::V1_8);
+    let ((lo06, hi06), (plo06, phi06)) = measure_summary(OperatingPoint::V0_6);
+    report::row("handler energy min @1.8V", paper::HANDLER_NJ_1V8.0, lo18, "nJ");
+    report::row("handler energy max @1.8V", paper::HANDLER_NJ_1V8.1, hi18, "nJ");
+    report::row("handler energy min @0.6V", paper::HANDLER_NJ_0V6.0, lo06, "nJ");
+    report::row("handler energy max @0.6V", paper::HANDLER_NJ_0V6.1, hi06, "nJ");
+    report::row("active power min @1.8V", paper::ACTIVE_NW_1V8.0, plo18, "nW");
+    report::row("active power max @1.8V", paper::ACTIVE_NW_1V8.1, phi18, "nW");
+    report::row("active power min @0.6V", paper::ACTIVE_NW_0V6.0, plo06, "nW");
+    report::row("active power max @0.6V", paper::ACTIVE_NW_0V6.1, phi06, "nW");
+    report::note("active power assumes ten handlers per second (paper Section 4.7)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mips_band() {
+        // Paper: 240 MIPS at 1.8 V. Accept 25% tolerance (mix-dependent).
+        let mips = measure_mips(OperatingPoint::V1_8);
+        assert!((180.0..300.0).contains(&mips), "{mips} MIPS");
+        // Voltage scaling: ~x3.93 and ~x8.57 slower.
+        let m09 = measure_mips(OperatingPoint::V0_9);
+        let m06 = measure_mips(OperatingPoint::V0_6);
+        assert!((mips / m09 - 3.93).abs() < 0.1, "{}", mips / m09);
+        assert!((mips / m06 - 8.57).abs() < 0.1, "{}", mips / m06);
+    }
+
+    #[test]
+    fn wakeup_matches_gate_delay_model() {
+        for (point, (_, paper_ns)) in
+            OperatingPoint::PAPER_POINTS.into_iter().zip(paper::WAKEUP_NS)
+        {
+            let ns = measure_wakeup_ns(point);
+            assert!((ns - paper_ns).abs() < 0.2, "{point}: {ns} vs {paper_ns}");
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_paper_split() {
+        let (fracs, memory_share) = measure_breakdown(OperatingPoint::V1_8);
+        for ((_, measured), (label, paper_frac)) in fracs.iter().zip(paper::CORE_SPLIT) {
+            assert!(
+                (measured - paper_frac).abs() < 0.02,
+                "{label}: {measured} vs {paper_frac}"
+            );
+        }
+        assert!((0.40..0.60).contains(&memory_share), "memory share {memory_share}");
+    }
+
+    #[test]
+    fn comparisons_have_paper_shape() {
+        let blink = compare_blink();
+        assert!(blink.cycle_ratio() > 8.0, "blink ratio {}", blink.cycle_ratio());
+        assert!(blink.avr_nj / blink.snap_nj_1v8 > 50.0);
+        let (sense, overhead) = compare_sense();
+        assert!(sense.cycle_ratio() > 2.5, "sense ratio {}", sense.cycle_ratio());
+        assert!(overhead as f64 / sense.avr_cycles as f64 > 0.55);
+        let rs = compare_radiostack();
+        assert!(rs.cycle_ratio() > 1.2, "radio stack ratio {}", rs.cycle_ratio());
+    }
+
+    #[test]
+    fn table2_snap_rows() {
+        let [low, high] = measure_snap_rows();
+        assert!(low.vdd < high.vdd);
+        assert!((15.0..35.0).contains(&low.energy_per_ins_pj), "{}", low.energy_per_ins_pj);
+        assert!((150.0..280.0).contains(&high.energy_per_ins_pj), "{}", high.energy_per_ins_pj);
+        // The headline ratio: Atmel 1500 pJ/ins vs SNAP at 0.6 V ~ 68x.
+        let ratio = 1500.0 / low.energy_per_ins_pj;
+        assert!((45.0..90.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn summary_bands() {
+        let ((lo, hi), (plo, phi)) = measure_summary(OperatingPoint::V0_6);
+        assert!(lo > 0.5 && hi < 12.0, "handler band {lo}-{hi} nJ");
+        assert!(plo > 5.0 && phi < 120.0, "power band {plo}-{phi} nW");
+    }
+}

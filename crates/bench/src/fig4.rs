@@ -1,0 +1,249 @@
+//! Fig. 4 — energy per instruction type.
+//!
+//! Methodology per §4.4: "running programs of one thousand of each
+//! instruction using uniformly distributed random operands, and
+//! averaging across the type of instruction", at 1.8 / 0.9 / 0.6 V.
+//! The figure covers the commonly executed classes; `done` (which
+//! sleeps) and IMEM stores (which would overwrite the running program)
+//! are excluded, as in the paper's figure.
+
+use dess::SplitMix64;
+use snap_core::{CoreConfig, Processor};
+use snap_energy::OperatingPoint;
+use snap_isa::{
+    AluImmOp, AluOp, BranchCond, Instruction, InstructionClass, Reg, ShiftOp,
+};
+
+/// Instructions per class (the paper's methodology).
+pub const INSTANCES: usize = 1000;
+
+/// The classes Fig. 4 reports, in display order.
+pub const FIG4_CLASSES: [InstructionClass; 12] = [
+    InstructionClass::ArithReg,
+    InstructionClass::LogicalReg,
+    InstructionClass::Shift,
+    InstructionClass::ArithImm,
+    InstructionClass::LogicalImm,
+    InstructionClass::Load,
+    InstructionClass::Store,
+    InstructionClass::Branch,
+    InstructionClass::Jump,
+    InstructionClass::Timer,
+    InstructionClass::Bitfield,
+    InstructionClass::Rand,
+];
+
+/// Measured energy/latency for one class at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEnergy {
+    /// The class.
+    pub class: InstructionClass,
+    /// Average energy per instruction, pJ.
+    pub energy_pj: f64,
+    /// Average latency per instruction, ns.
+    pub latency_ns: f64,
+    /// Instances measured.
+    pub count: u64,
+}
+
+/// Registers used as random operands (excluding conventions and the
+/// timer-number register r9).
+const OPERANDS: [Reg; 8] = [
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+];
+
+fn rand_reg(rng: &mut SplitMix64) -> Reg {
+    OPERANDS[rng.next_below(OPERANDS.len() as u64) as usize]
+}
+
+/// Generate one instruction of `class` for the word address `at`.
+fn gen_instruction(class: InstructionClass, at: u16, rng: &mut SplitMix64) -> Instruction {
+    use InstructionClass as C;
+    let rd = rand_reg(rng);
+    let rs = rand_reg(rng);
+    let imm = rng.next_u16();
+    match class {
+        C::ArithReg => {
+            const OPS: [AluOp; 8] = [
+                AluOp::Add,
+                AluOp::Addc,
+                AluOp::Sub,
+                AluOp::Subc,
+                AluOp::Mov,
+                AluOp::Neg,
+                AluOp::Slt,
+                AluOp::Sltu,
+            ];
+            Instruction::AluReg { op: OPS[rng.next_below(8) as usize], rd, rs }
+        }
+        C::LogicalReg => {
+            const OPS: [AluOp; 4] = [AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Not];
+            Instruction::AluReg { op: OPS[rng.next_below(4) as usize], rd, rs }
+        }
+        C::Shift => {
+            const OPS: [ShiftOp; 5] =
+                [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Rol, ShiftOp::Ror];
+            let op = OPS[rng.next_below(5) as usize];
+            if rng.next_below(2) == 0 {
+                Instruction::ShiftReg { op, rd, rs }
+            } else {
+                Instruction::ShiftImm { op, rd, amount: (imm & 0xf) as u8 }
+            }
+        }
+        C::ArithImm => {
+            const OPS: [AluImmOp; 5] =
+                [AluImmOp::Addi, AluImmOp::Subi, AluImmOp::Li, AluImmOp::Slti, AluImmOp::Sltiu];
+            Instruction::AluImm { op: OPS[rng.next_below(5) as usize], rd, imm }
+        }
+        C::LogicalImm => {
+            const OPS: [AluImmOp; 3] = [AluImmOp::Andi, AluImmOp::Ori, AluImmOp::Xori];
+            Instruction::AluImm { op: OPS[rng.next_below(3) as usize], rd, imm }
+        }
+        C::Load => Instruction::Load { rd, base: rs, offset: imm },
+        C::Store => Instruction::Store { rs: rd, base: rs, offset: imm },
+        // Branches compare random operands but always land on the next
+        // instruction, so taken and not-taken paths both continue.
+        C::Branch => {
+            const CONDS: [BranchCond; 6] = [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ];
+            Instruction::Branch {
+                cond: CONDS[rng.next_below(6) as usize],
+                ra: rd,
+                rb: rs,
+                target: at + 2,
+            }
+        }
+        C::Jump => {
+            if rng.next_below(2) == 0 {
+                Instruction::Jmp { target: at + 2 }
+            } else {
+                Instruction::Jal { rd: Reg::R11, target: at + 2 }
+            }
+        }
+        // r9 is pre-seeded with a valid timer number; schedhi stages a
+        // value without starting a countdown, cancel on an idle timer
+        // posts nothing.
+        C::Timer => {
+            if rng.next_below(4) == 0 {
+                Instruction::Cancel { rt: Reg::R9 }
+            } else {
+                Instruction::SchedHi { rt: Reg::R9, rv: rs }
+            }
+        }
+        C::Bitfield => Instruction::Bfs { rd, rs, mask: imm },
+        C::Rand => {
+            if rng.next_below(4) == 0 {
+                Instruction::Seed { rs }
+            } else {
+                Instruction::Rand { rd }
+            }
+        }
+        other => unreachable!("class {other} is not part of Fig. 4"),
+    }
+}
+
+/// Measure one class at one operating point.
+///
+/// # Panics
+///
+/// Panics if the generated program misbehaves (a harness bug).
+pub fn measure_class(class: InstructionClass, point: OperatingPoint) -> ClassEnergy {
+    let mut rng = SplitMix64::new(0xF164 ^ class as u64);
+    let mut program = Vec::with_capacity(INSTANCES + 1);
+    let mut at: u16 = 0;
+    for _ in 0..INSTANCES {
+        let ins = gen_instruction(class, at, &mut rng);
+        at += ins.word_count() as u16;
+        program.push(ins);
+    }
+    program.push(Instruction::Halt);
+
+    let mut cpu = Processor::new(CoreConfig::at(point));
+    cpu.load_program(&program).expect("fig4 program fits IMEM");
+    // Uniformly random operand registers (the paper's methodology),
+    // seeded directly so the setup does not pollute the class counters.
+    for reg in OPERANDS {
+        cpu.regs_mut().write(reg, rng.next_u16());
+    }
+    cpu.regs_mut().write(Reg::R9, rng.next_below(3) as u16); // timer number
+    cpu.run_to_halt(INSTANCES as u64 + 10).expect("fig4 program runs clean");
+
+    let stats = cpu.acct().class_stats(class);
+    assert_eq!(stats.count, INSTANCES as u64, "{class}: exact instance count");
+    let busy = cpu.acct().busy_time();
+    ClassEnergy {
+        class,
+        energy_pj: stats.energy.as_pj() / stats.count as f64,
+        // Remove the single halt instruction's latency from the average.
+        latency_ns: busy.as_ns() / (stats.count + 1) as f64,
+        count: stats.count,
+    }
+}
+
+/// Measure all Fig. 4 classes at one operating point.
+pub fn measure_fig4(point: OperatingPoint) -> Vec<ClassEnergy> {
+    FIG4_CLASSES.into_iter().map(|c| measure_class(c, point)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_measured_exactly() {
+        for row in measure_fig4(OperatingPoint::V1_8) {
+            assert_eq!(row.count, INSTANCES as u64, "{}", row.class);
+            assert!(row.energy_pj > 0.0);
+            assert!(row.latency_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_bands_hold() {
+        // < 300 pJ at 1.8 V for every class; < 75 pJ at 0.6 V with many
+        // classes under 25 pJ.
+        for row in measure_fig4(OperatingPoint::V1_8) {
+            assert!(row.energy_pj < crate::paper::FIG4_MAX_PJ_1V8, "{}: {}", row.class, row.energy_pj);
+        }
+        let at06 = measure_fig4(OperatingPoint::V0_6);
+        let mut under25 = 0;
+        for row in &at06 {
+            assert!(row.energy_pj < crate::paper::FIG4_MAX_PJ_0V6, "{}: {}", row.class, row.energy_pj);
+            if row.energy_pj < 25.0 {
+                under25 += 1;
+            }
+        }
+        assert!(under25 >= 5, "many classes under 25 pJ, got {under25}");
+    }
+
+    #[test]
+    fn tier_ordering() {
+        let rows = measure_fig4(OperatingPoint::V1_8);
+        let by = |c: InstructionClass| rows.iter().find(|r| r.class == c).unwrap().energy_pj;
+        use InstructionClass as C;
+        assert!(by(C::ArithReg) < by(C::ArithImm));
+        assert!(by(C::ArithImm) < by(C::Load));
+        assert!(by(C::LogicalReg) < by(C::LogicalImm));
+        assert!(by(C::Store) > by(C::ArithImm));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = measure_fig4(OperatingPoint::V0_9);
+        let b = measure_fig4(OperatingPoint::V0_9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's published numbers, as printed in ASPLOS'04.
+//!
+//! Every experiment compares its measurement against these. We expect
+//! to match *shape* (who wins, rough factors, orderings), not absolute
+//! SPICE-calibrated values.
+
+/// One Table 1 row: `(task, dynamic instructions, E(nJ)@1.8V,
+/// pJ/ins@1.8V, E(nJ)@0.9V, pJ/ins@0.9V, E(nJ)@0.6V, pJ/ins@0.6V)`.
+pub type Table1Row = (&'static str, u64, f64, f64, f64, f64, f64, f64);
+
+/// Table 1 as published.
+pub const TABLE1: [Table1Row; 6] = [
+    ("Packet Transmission", 70, 15.1, 216.0, 3.8, 54.0, 1.6, 24.0),
+    ("Packet Reception", 103, 22.5, 218.0, 5.6, 56.0, 2.5, 24.0),
+    ("AODV Route Reply", 224, 48.1, 215.0, 12.0, 54.0, 5.2, 23.0),
+    ("AODV Forward", 245, 53.7, 219.0, 13.5, 55.0, 5.9, 24.0),
+    ("Temperature App", 140, 30.5, 218.0, 7.7, 55.0, 3.4, 24.0),
+    ("Threshold App", 155, 33.7, 217.0, 8.5, 54.7, 3.8, 24.0),
+];
+
+/// §4.3: throughput in MIPS at 1.8 / 0.9 / 0.6 V.
+pub const MIPS: [(f64, f64); 3] = [(1.8, 240.0), (0.9, 61.0), (0.6, 28.0)];
+
+/// §4.3: wake-up latency in ns at 1.8 / 0.9 / 0.6 V (18 gate delays).
+pub const WAKEUP_NS: [(f64, f64); 3] = [(1.8, 2.5), (0.9, 9.8), (0.6, 21.4)];
+
+/// §4.4: energy distribution within the core (fractions of core energy).
+pub const CORE_SPLIT: [(&str, f64); 5] = [
+    ("datapath", 0.33),
+    ("fetch", 0.20),
+    ("decode", 0.16),
+    ("mem-interface", 0.09),
+    ("misc", 0.22),
+];
+
+/// §4.4: memory's share of total per-instruction energy ("about half").
+pub const MEMORY_SHARE: f64 = 0.5;
+
+/// Fig. 5 / §4.6 Blink: cycles per blink and energy.
+pub struct BlinkPaper {
+    /// Mote total cycles per blink.
+    pub avr_total: u64,
+    /// Mote cycles doing the actual blinking.
+    pub avr_useful: u64,
+    /// SNAP cycles per blink.
+    pub snap_cycles: u64,
+    /// Mote energy per blink, nJ.
+    pub avr_nj: f64,
+    /// SNAP energy per blink at 1.8 V, nJ.
+    pub snap_nj_1v8: f64,
+    /// SNAP energy per blink at 0.6 V, nJ.
+    pub snap_nj_0v6: f64,
+}
+
+/// Fig. 5 constants.
+pub const BLINK: BlinkPaper = BlinkPaper {
+    avr_total: 523,
+    avr_useful: 16,
+    snap_cycles: 41,
+    avr_nj: 1960.0,
+    snap_nj_1v8: 6.8,
+    snap_nj_0v6: 0.5,
+};
+
+/// §4.6 Sense: mote cycles (total, overhead) and SNAP cycles.
+pub const SENSE: (u64, u64, u64) = (1118, 781, 261);
+
+/// §4.6 radio stack: mote cycles/byte, SNAP cycles/byte.
+pub const RADIOSTACK: (u64, u64) = (780, 331);
+
+/// §4.7: handler energy bands, nJ — (min, max) at 1.8 V and 0.6 V.
+pub const HANDLER_NJ_1V8: (f64, f64) = (15.0, 55.0);
+/// §4.7 band at 0.6 V.
+pub const HANDLER_NJ_0V6: (f64, f64) = (1.6, 5.9);
+
+/// §4.7: active power at ≤10 events/s — (min, max) nW at 1.8 V / 0.6 V.
+pub const ACTIVE_NW_1V8: (f64, f64) = (150.0, 550.0);
+/// §4.7 band at 0.6 V.
+pub const ACTIVE_NW_0V6: (f64, f64) = (16.0, 58.0);
+
+/// Fig. 4 qualitative bands at 1.8 V: all classes < 300 pJ; the three
+/// tiers (one-word reg, two-word imm, memory ops).
+pub const FIG4_MAX_PJ_1V8: f64 = 300.0;
+/// Fig. 4: at 0.6 V everything under 75 pJ, many classes under 25.
+pub const FIG4_MAX_PJ_0V6: f64 = 75.0;
+
+/// Table 2: Atmel energy / SNAP@0.6V energy ("almost 68 times").
+pub const ATMEL_ENERGY_RATIO: f64 = 68.0;

@@ -1,0 +1,30 @@
+//! Small helpers for printing `paper vs measured` tables.
+
+/// Print a title with an underline.
+pub fn title(text: &str) {
+    println!("\n{text}");
+    println!("{}", "=".repeat(text.len()));
+}
+
+/// Print a sub-heading.
+pub fn heading(text: &str) {
+    println!("\n-- {text} --");
+}
+
+/// One `paper vs measured` row with a ratio column.
+pub fn row(label: &str, paper: f64, measured: f64, unit: &str) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!(
+        "{label:<28} paper {paper:>10.2} {unit:<7} measured {measured:>10.2} {unit:<7} (x{ratio:.2})"
+    );
+}
+
+/// A row with integer values.
+pub fn row_u64(label: &str, paper: u64, measured: u64, unit: &str) {
+    row(label, paper as f64, measured as f64, unit);
+}
+
+/// A free-form annotation line.
+pub fn note(text: &str) {
+    println!("   {text}");
+}

@@ -1,0 +1,32 @@
+//! Smoke test: every experiment report runs to completion (the bins
+//! and bench targets share these functions, so `cargo test` covers the
+//! whole harness).
+
+#[test]
+fn all_reports_run() {
+    bench::experiments::print_table1();
+    bench::experiments::print_throughput();
+    bench::experiments::print_wakeup();
+    bench::experiments::print_breakdown();
+    bench::experiments::print_fig5();
+    bench::experiments::print_sense();
+    bench::experiments::print_radiostack();
+    bench::experiments::print_table2();
+    bench::experiments::print_summary();
+    bench::experiments::print_handler_profile();
+    bench::ablation::print_bus_ablation();
+    bench::ablation::print_radio_ablation();
+    bench::ablation::print_compiler_ablation();
+    bench::ext::print_leakage();
+}
+
+#[test]
+fn fig4_report_runs() {
+    bench::experiments::print_fig4();
+}
+
+#[test]
+fn ext_reports_run() {
+    bench::ext::print_voltage_sweep();
+    bench::ext::print_contention();
+}

@@ -1,0 +1,189 @@
+//! The pending-event calendar.
+//!
+//! A deterministic priority queue of `(SimTime, E)` pairs. Events
+//! scheduled for the same instant pop in insertion (FIFO) order, which
+//! keeps multi-node network simulations reproducible run-to-run.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic pending-event calendar.
+///
+/// # Example
+///
+/// ```
+/// use dess::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_ps(10), 'x');
+/// cal.schedule(SimTime::from_ps(10), 'y'); // same instant: FIFO
+/// assert_eq!(cal.pop().map(|(_, e)| e), Some('x'));
+/// assert_eq!(cal.pop().map(|(_, e)| e), Some('y'));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Calendar<E> {
+        Calendar { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Remove pending events matching a predicate (linear scan; used for
+    /// cancellations). Returns how many were removed.
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<Entry<E>> = self.heap.drain().filter(|e| !pred(&e.event)).collect();
+        self.heap.extend(kept);
+        before - self.heap.len()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        for (t, e) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            cal.schedule(SimTime::from_ps(t), e);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_ps(42);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ps(7), ());
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ps(7)));
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+        cal.pop();
+        assert_eq!(cal.peek_time(), None);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut cal = Calendar::new();
+        for i in 0..10 {
+            cal.schedule(SimTime::from_ps(i), i);
+        }
+        let removed = cal.cancel_where(|&e| e % 2 == 0);
+        assert_eq!(removed, 5);
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::ZERO + SimDuration::from_ns(1), 1);
+        cal.clear();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn fifo_holds_after_interleaved_pops() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_ps(5);
+        cal.schedule(t, 1);
+        cal.schedule(t, 2);
+        assert_eq!(cal.pop().unwrap().1, 1);
+        cal.schedule(t, 3);
+        assert_eq!(cal.pop().unwrap().1, 2);
+        assert_eq!(cal.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dess — discrete-event simulation substrate
+//!
+//! Foundation for every simulator in the SNAP/LE reproduction:
+//!
+//! * [`time`] — picosecond-resolution simulated time. Asynchronous (QDI)
+//!   hardware has no clock, so all latencies in the SNAP/LE model are real
+//!   time quantities (gate delays scaled by supply voltage), not cycle
+//!   counts; picoseconds are fine-grained enough for an 18-gate-delay
+//!   wake-up at 1.8 V (2.5 ns) and wide enough (u64) for days of
+//!   simulated node lifetime.
+//! * [`calendar`] — a deterministic pending-event calendar with stable
+//!   FIFO ordering for simultaneous events.
+//! * [`rng`] — small deterministic generators: a 16-bit Galois LFSR
+//!   mirroring SNAP's `rand` hardware and a SplitMix64 for workload
+//!   generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use dess::{Calendar, SimDuration, SimTime};
+//!
+//! let mut cal = Calendar::new();
+//! cal.schedule(SimTime::ZERO + SimDuration::from_ns(5), "b");
+//! cal.schedule(SimTime::ZERO + SimDuration::from_ns(2), "a");
+//! let (t, ev) = cal.pop().unwrap();
+//! assert_eq!((t.as_ns(), ev), (2.0, "a"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod rng;
+pub mod time;
+
+pub use calendar::Calendar;
+pub use rng::{Lfsr16, SplitMix64};
+pub use time::{SimDuration, SimTime};

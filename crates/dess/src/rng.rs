@@ -1,0 +1,206 @@
+//! Deterministic random-number generators.
+//!
+//! * [`Lfsr16`] models SNAP's pseudo-random-number hardware: the paper
+//!   (§3.1) lists a linear-feedback shift register among the execution
+//!   units, driven by the `rand`/`seed` instructions. We use the standard
+//!   16-bit maximal-length Galois LFSR (taps 16, 14, 13, 11 — polynomial
+//!   `0xB400`), which cycles through all 65535 non-zero states.
+//! * [`SplitMix64`] is a tiny, high-quality 64-bit generator used by
+//!   workload generators and tests where we need independence from the
+//!   modelled hardware.
+
+/// The 16-bit Galois LFSR behind SNAP's `rand` instruction.
+///
+/// # Example
+///
+/// ```
+/// use dess::Lfsr16;
+///
+/// let mut lfsr = Lfsr16::new(0xACE1);
+/// let a = lfsr.next_word();
+/// let b = lfsr.next_word();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+/// Feedback polynomial for the maximal-length 16-bit Galois LFSR.
+const LFSR_TAPS: u16 = 0xB400;
+
+impl Lfsr16 {
+    /// Create an LFSR with the given seed.
+    ///
+    /// A zero seed would lock the register (the all-zero state is a fixed
+    /// point), so the hardware maps it to 1; we do the same.
+    pub fn new(seed: u16) -> Lfsr16 {
+        Lfsr16 { state: if seed == 0 { 1 } else { seed } }
+    }
+
+    /// Re-seed the register (the `seed` instruction).
+    pub fn seed(&mut self, seed: u16) {
+        self.state = if seed == 0 { 1 } else { seed };
+    }
+
+    /// Advance one bit-step of the Galois LFSR.
+    pub fn step(&mut self) -> u16 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= LFSR_TAPS;
+        }
+        self.state
+    }
+
+    /// Produce the next 16-bit pseudo-random word (the `rand`
+    /// instruction): sixteen bit-steps.
+    pub fn next_word(&mut self) -> u16 {
+        for _ in 0..15 {
+            self.step();
+        }
+        self.step()
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+}
+
+impl Default for Lfsr16 {
+    /// The power-on seed used by the simulator (`0xACE1`, a conventional
+    /// LFSR example seed).
+    fn default() -> Lfsr16 {
+        Lfsr16::new(0xACE1)
+    }
+}
+
+/// SplitMix64: a fast, well-distributed 64-bit generator for workload
+/// synthesis and tests.
+///
+/// # Example
+///
+/// ```
+/// use dess::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(7);
+/// let x = rng.next_u64();
+/// let y = rng.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 16-bit value (for SNAP operand generation).
+    pub fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lfsr_is_maximal_length() {
+        let mut lfsr = Lfsr16::new(1);
+        let mut seen = HashSet::new();
+        for _ in 0..65_535 {
+            assert!(seen.insert(lfsr.step()), "LFSR state repeated early");
+        }
+        // After the full period we are back at the starting state.
+        assert_eq!(lfsr.state(), 1);
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero() {
+        let mut lfsr = Lfsr16::new(0xACE1);
+        for _ in 0..70_000 {
+            assert_ne!(lfsr.step(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let lfsr = Lfsr16::new(0);
+        assert_eq!(lfsr.state(), 1);
+        let mut l2 = Lfsr16::new(5);
+        l2.seed(0);
+        assert_eq!(l2.state(), 1);
+    }
+
+    #[test]
+    fn lfsr_is_deterministic() {
+        let mut a = Lfsr16::new(0xBEEF);
+        let mut b = Lfsr16::new(0xBEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_word(), b.next_word());
+        }
+    }
+
+    #[test]
+    fn splitmix_distribution_sanity() {
+        let mut rng = SplitMix64::new(42);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[(rng.next_u16() >> 12) as usize] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&count), "bucket {i} skewed: {count}");
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = SplitMix64::new(9);
+        for bound in [1u64, 2, 7, 100, 65_536] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_unit_interval() {
+        let mut rng = SplitMix64::new(1234);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Picosecond-resolution simulated time.
+//!
+//! [`SimTime`] is an absolute instant since simulation start; a
+//! [`SimDuration`] is the (non-negative) span between instants. Both wrap
+//! a `u64` count of picoseconds, giving ~213 days of range — far beyond
+//! any experiment in the paper — while still resolving single gate delays
+//! (≈139 ps at 1.8 V).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+const PS_PER_MS: u64 = 1_000_000_000;
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An absolute instant of simulated time, in picoseconds since start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// An instant from a raw picosecond count.
+    pub const fn from_ps(ps: u64) -> SimTime {
+        SimTime(ps)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This instant in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This instant in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// This instant in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "since() called with a later instant ({} > {})",
+            earlier,
+            self
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier` is after `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span from a raw picosecond count.
+    pub const fn from_ps(ps: u64) -> SimDuration {
+        SimDuration(ps)
+    }
+
+    /// A span of whole nanoseconds.
+    pub const fn from_ns(ns: u64) -> SimDuration {
+        SimDuration(ns * PS_PER_NS)
+    }
+
+    /// A span of whole microseconds.
+    pub const fn from_us(us: u64) -> SimDuration {
+        SimDuration(us * PS_PER_US)
+    }
+
+    /// A span of whole milliseconds.
+    pub const fn from_ms(ms: u64) -> SimDuration {
+        SimDuration(ms * PS_PER_MS)
+    }
+
+    /// A span of whole seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * PS_PER_S)
+    }
+
+    /// A span from fractional nanoseconds, rounded to the nearest
+    /// picosecond. Used for voltage-scaled gate delays (e.g. 138.9 ps).
+    pub fn from_ns_f64(ns: f64) -> SimDuration {
+        assert!(ns >= 0.0 && ns.is_finite(), "duration must be finite and non-negative");
+        SimDuration((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This span in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// This span in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This span in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// This span in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// `true` when the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("simulated duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative simulated duration"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("simulated duration overflow"))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: f64) -> SimDuration {
+        assert!(rhs >= 0.0 && rhs.is_finite(), "duration scale must be finite and non-negative");
+        SimDuration((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// Shared pretty-printer: picks the largest unit that keeps the value ≥ 1.
+macro_rules! fmt_time_body {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let ps = self.0;
+            if ps >= PS_PER_S {
+                write!(f, "{:.3}s", ps as f64 / PS_PER_S as f64)
+            } else if ps >= PS_PER_MS {
+                write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+            } else if ps >= PS_PER_US {
+                write!(f, "{:.3}us", ps as f64 / PS_PER_US as f64)
+            } else if ps >= PS_PER_NS {
+                write!(f, "{:.3}ns", ps as f64 / PS_PER_NS as f64)
+            } else {
+                write!(f, "{}ps", ps)
+            }
+        }
+    };
+}
+
+impl fmt::Display for SimTime {
+    fmt_time_body!();
+}
+
+impl fmt::Display for SimDuration {
+    fmt_time_body!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimDuration::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimDuration::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimDuration::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(SimDuration::from_ns_f64(2.5).as_ps(), 2_500);
+        assert!((SimDuration::from_ms(3).as_us() - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_ns(10);
+        let u = t + SimDuration::from_ns(5);
+        assert_eq!((u - t).as_ps(), 5_000);
+        assert_eq!(u.since(t), SimDuration::from_ns(5));
+        assert_eq!(t.saturating_since(u), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_ns(4) * 3, SimDuration::from_ns(12));
+        assert_eq!(SimDuration::from_ns(12) / 4, SimDuration::from_ns(3));
+        assert_eq!(SimDuration::from_ns(10) * 0.5, SimDuration::from_ns(5));
+        let total: SimDuration = (1..=3).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_on_reversed_order() {
+        let t = SimTime::from_ps(5);
+        let _ = SimTime::ZERO.since(t);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_ps(512).to_string(), "512ps");
+        assert_eq!(SimDuration::from_ns(2).to_string(), "2.000ns");
+        assert_eq!(SimDuration::from_us(833).to_string(), "833.000us");
+        assert_eq!(SimDuration::from_ms(65).to_string(), "65.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimTime::from_ps(1_500).to_string(), "1.500ns");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ps(1) < SimTime::from_ps(2));
+        assert!(SimDuration::from_ns(1) < SimDuration::from_us(1));
+    }
+}

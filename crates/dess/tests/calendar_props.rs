@@ -1,0 +1,70 @@
+//! Property tests for the pending-event calendar: it must behave
+//! exactly like a stable sort by (time, insertion order).
+
+use dess::{Calendar, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping everything yields a stable sort of the scheduled events.
+    #[test]
+    fn calendar_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 0..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_ps(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| cal.pop().map(|(t, e)| (t.as_ps(), e))).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Interleaved schedule/pop never pops out of order relative to the
+    /// remaining set.
+    #[test]
+    fn interleaved_operations_stay_ordered(ops in prop::collection::vec((any::<bool>(), 0u64..100), 1..200)) {
+        let mut cal = Calendar::new();
+        let mut seq = 0usize;
+        let mut last_popped: Option<u64> = None;
+        for (push, t) in ops {
+            if push || cal.is_empty() {
+                // Scheduling into the past relative to pops is allowed by
+                // the structure (the *simulator* guards causality), so
+                // clamp test inputs to the last popped time.
+                let t = t.max(last_popped.unwrap_or(0));
+                cal.schedule(SimTime::from_ps(t), seq);
+                seq += 1;
+            } else {
+                let (t, _) = cal.pop().unwrap();
+                if let Some(prev) = last_popped {
+                    prop_assert!(t.as_ps() >= prev);
+                }
+                last_popped = Some(t.as_ps());
+            }
+        }
+    }
+
+    /// cancel_where removes exactly the matching events and preserves
+    /// the order of the rest.
+    #[test]
+    fn cancel_where_preserves_order(times in prop::collection::vec(0u64..50, 0..100)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_ps(t), i);
+        }
+        let removed = cal.cancel_where(|&i| i % 3 == 0);
+        let expected_removed = times.iter().enumerate().filter(|(i, _)| i % 3 == 0).count();
+        prop_assert_eq!(removed, expected_removed);
+        let mut expect: Vec<(u64, usize)> = times
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(i, &t)| (t, i))
+            .collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| cal.pop().map(|(t, e)| (t.as_ps(), e))).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,306 @@
+//! The simplified AODV routing layer (SNAP assembly).
+//!
+//! The paper evaluates "a simplified routing layer based on AODV"
+//! (§4.2). This module implements the two handlers Table 1 measures:
+//!
+//! * **Route Reply** — a neighbour broadcasts a route-lookup request
+//!   (RREQ); we look the target up in our DMEM routing table and answer
+//!   with a route-reply (RREP) packet through the MAC layer.
+//! * **Packet Forward** — a DATA packet destined for another node
+//!   arrives; we look up the next hop, rewrite the source byte of the
+//!   header (exercising `bfs`, which the ISA added exactly for such
+//!   field updates), copy the packet to the TX buffer and retransmit.
+//!
+//! The routing table is eight `(dest, next_hop)` word pairs in DMEM,
+//! initialized per scenario through [`routing_table_module`].
+
+use crate::mac::{mac_boot, MAC};
+use crate::prelude::PRELUDE;
+use snap_asm::{assemble_modules, AsmError, Program};
+
+/// Maximum routing-table entries.
+pub const RT_ENTRIES: usize = 8;
+
+/// The AODV routing module. Expects `rt_table` (from
+/// [`routing_table_module`]) and the MAC layer; provides `rx_dispatch`
+/// and expects the application to provide `app_deliver` (or link
+/// [`APP_DELIVER_STUB`]).
+pub const AODV: &str = r"
+; ================= AODV routing layer =================
+.data
+aodv_rreps:   .word 0      ; route replies generated
+aodv_fwds:    .word 0      ; packets forwarded
+aodv_local:   .word 0      ; packets delivered to this node
+aodv_drops:   .word 0      ; forwards suppressed (no route / split horizon)
+
+.text
+; Routing-layer dispatch; entered by jmp from the MAC with a verified
+; packet in mac_rx_buf.
+;   r2 = header word, r3 = dst, r4 = our id, r5 = type|len word, r6 = type
+rx_dispatch:
+    lw      r2, mac_rx_buf+0(r0)
+    mov     r3, r2
+    srli    r3, 8
+    lw      r4, node_id(r0)
+    lw      r5, mac_rx_buf+1(r0)
+    mov     r6, r5
+    srli    r6, 8
+    li      r7, PKT_RREQ
+    beq     r6, r7, aodv_rreq
+    li      r7, PKT_DATA
+    beq     r6, r7, aodv_data
+    li      r7, PKT_DRREQ
+    beq     r6, r7, aodv_drreq
+    li      r7, PKT_DRREP
+    beq     r6, r7, aodv_drrep
+    done                       ; RREP and unknown types terminate here
+
+aodv_data:
+    beq     r3, r4, aodv_deliver
+    jmp     aodv_forward
+
+aodv_deliver:
+    lw      r6, aodv_local(r0)
+    addi    r6, 1
+    sw      r6, aodv_local(r0)
+    jmp     app_deliver        ; application consumes mac_rx_buf payload
+
+; ---- Route Reply: answer an RREQ with our routing-table entry ----
+aodv_rreq:
+    lw      r7, mac_rx_buf+2(r0)   ; requested destination
+    call    rt_lookup              ; -> r8 = next hop (0xffff if none)
+    ; RREP header: dst = requester (src byte of the RREQ), src = us
+    andi    r2, 0xff
+    slli    r2, 8
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r5, PKT_RREP << 8 | 2
+    sw      r5, mac_tx_buf+1(r0)
+    sw      r7, mac_tx_buf+2(r0)   ; payload: [dest, next_hop]
+    sw      r8, mac_tx_buf+3(r0)
+    lw      r5, aodv_rreps(r0)
+    addi    r5, 1
+    sw      r5, aodv_rreps(r0)
+    li      r1, 4
+    call    mac_send
+    done
+
+; ---- Forward: relay a DATA packet toward its destination ----
+aodv_forward:
+    mov     r7, r3
+    call    rt_lookup              ; r8 = next hop (advisory on broadcast radio)
+    ; no route: drop
+    li      r9, 0xffff
+    beq     r8, r9, aodv_fwd_drop
+    ; split horizon: the src byte is the previous hop (each forwarder
+    ; rewrites it); if our next hop IS the previous hop, forwarding
+    ; would bounce the packet backwards forever on a broadcast channel.
+    lw      r2, mac_rx_buf+0(r0)
+    mov     r9, r2
+    andi    r9, 0xff
+    beq     r9, r8, aodv_fwd_drop
+    bfs     r2, r4, 0xff           ; rewrite src byte to our id
+    sw      r2, mac_tx_buf+0(r0)
+    lw      r5, mac_rx_buf+1(r0)
+    sw      r5, mac_tx_buf+1(r0)
+    andi    r5, 0xff
+    addi    r5, 2                  ; header + payload word count
+    li      r6, 2
+aodv_fwd_copy:
+    bgeu    r6, r5, aodv_fwd_go
+    lw      r9, mac_rx_buf(r6)
+    sw      r9, mac_tx_buf(r6)
+    addi    r6, 1
+    jmp     aodv_fwd_copy
+aodv_fwd_go:
+    lw      r2, aodv_fwds(r0)
+    addi    r2, 1
+    sw      r2, aodv_fwds(r0)
+    mov     r1, r5
+    call    mac_send
+    done
+
+aodv_fwd_drop:
+    lw      r2, aodv_drops(r0)
+    addi    r2, 1
+    sw      r2, aodv_drops(r0)
+    done
+
+; ---- routing-table lookup ----
+;   in:  r7 = destination
+;   out: r8 = next hop, 0xffff when no route
+;   clobbers r9, r10
+rt_lookup:
+    li      r8, 0xffff
+    li      r9, 0
+rt_lookup_loop:
+    lw      r10, rt_table(r9)
+    bne     r10, r7, rt_lookup_next
+    addi    r9, 1
+    lw      r8, rt_table(r9)
+    ret
+rt_lookup_next:
+    addi    r9, 2
+    li      r10, 16
+    bltu    r9, r10, rt_lookup_loop
+    ret
+";
+
+/// `app_deliver` stub for nodes without an application layer.
+pub const APP_DELIVER_STUB: &str = "
+app_deliver:
+    done
+";
+
+/// Generate the `rt_table` data module from `(dest, next_hop)` routes.
+///
+/// # Panics
+///
+/// Panics when more than [`RT_ENTRIES`] routes are given.
+pub fn routing_table_module(routes: &[(u8, u8)]) -> String {
+    assert!(routes.len() <= RT_ENTRIES, "at most {RT_ENTRIES} routes");
+    let mut out = String::from(".data\nrt_table:\n");
+    for &(dest, hop) in routes {
+        out.push_str(&format!("    .word {dest}, {hop}\n"));
+    }
+    // Unused entries hold dest 0xffff, which never matches an 8-bit dst.
+    for _ in routes.len()..RT_ENTRIES {
+        out.push_str("    .word 0xffff, 0xffff\n");
+    }
+    out.push_str(".text\n");
+    out
+}
+
+/// Assemble a full network-node program: MAC + AODV + routing table +
+/// an application module providing `app_deliver` (and any extra
+/// handlers installed by `extra_boot`).
+pub fn aodv_node_program(
+    node_id: u8,
+    routes: &[(u8, u8)],
+    extra_boot: &str,
+    app: &str,
+) -> Result<Program, AsmError> {
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &mac_boot(node_id, extra_boot)),
+        ("mac.s", MAC),
+        ("aodv.s", AODV),
+        ("disc.s", crate::discovery::DISCOVERY_STUB),
+        ("rt.s", &routing_table_module(routes)),
+        ("app.s", app),
+    ])
+}
+
+/// Convenience: a relay node (stub application).
+pub fn relay_program(node_id: u8, routes: &[(u8, u8)]) -> Result<Program, AsmError> {
+    aodv_node_program(node_id, routes, "", APP_DELIVER_STUB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketType};
+    use dess::SimDuration;
+    use snap_node::{Node, NodeConfig, NodeOutput};
+
+    fn relay_node(id: u8, routes: &[(u8, u8)]) -> (Node, Program) {
+        let program = relay_program(id, routes).unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        (node, program)
+    }
+
+    fn deliver_packet(node: &mut Node, packet: &Packet) -> Vec<NodeOutput> {
+        let mut out = Vec::new();
+        for w in packet.encode() {
+            assert!(node.deliver_rx(w), "word {w:#06x} not heard");
+            out.extend(node.run_for(SimDuration::from_us(900)).unwrap());
+        }
+        out
+    }
+
+    fn transmitted_words(out: &[NodeOutput]) -> Vec<u16> {
+        out.iter()
+            .filter_map(|o| match o {
+                NodeOutput::Transmitted { word, .. } => Some(*word),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn route_reply_answers_rreq() {
+        let (mut node, program) = relay_node(3, &[(7, 4), (9, 2)]);
+        // Node 1 asks node 3: how do I reach 9?
+        let mut out = deliver_packet(&mut node, &Packet::route_request(3, 1, 9));
+        out.extend(node.run_for(SimDuration::from_ms(10)).unwrap());
+        let words = transmitted_words(&out);
+        let reply = Packet::decode(&words).expect("valid RREP");
+        assert_eq!(reply.ptype, PacketType::RouteReply);
+        assert_eq!(reply.dst, 1);
+        assert_eq!(reply.src, 3);
+        assert_eq!(reply.payload, vec![9, 2]); // dest 9 via next hop 2
+        let rreps = program.symbol("aodv_rreps").unwrap();
+        assert_eq!(node.cpu().dmem().read(rreps), 1);
+    }
+
+    #[test]
+    fn rreq_for_unknown_dest_replies_no_route() {
+        let (mut node, _) = relay_node(3, &[(7, 4)]);
+        let mut out = deliver_packet(&mut node, &Packet::route_request(3, 1, 200));
+        out.extend(node.run_for(SimDuration::from_ms(10)).unwrap());
+        let reply = Packet::decode(&transmitted_words(&out)).unwrap();
+        assert_eq!(reply.payload, vec![200, 0xffff]);
+    }
+
+    #[test]
+    fn forwards_data_for_another_node() {
+        let (mut node, program) = relay_node(3, &[(9, 2)]);
+        let data = Packet::data(9, 1, vec![0xcafe, 0xf00d]);
+        let mut out = deliver_packet(&mut node, &data);
+        out.extend(node.run_for(SimDuration::from_ms(10)).unwrap());
+        let fwd = Packet::decode(&transmitted_words(&out)).expect("forwarded packet");
+        assert_eq!(fwd.dst, 9);
+        assert_eq!(fwd.src, 3, "source rewritten to the relay");
+        assert_eq!(fwd.payload, vec![0xcafe, 0xf00d]);
+        let fwds = program.symbol("aodv_fwds").unwrap();
+        assert_eq!(node.cpu().dmem().read(fwds), 1);
+    }
+
+    #[test]
+    fn delivers_data_addressed_to_self() {
+        let (mut node, program) = relay_node(3, &[]);
+        let mut out = deliver_packet(&mut node, &Packet::data(3, 1, vec![42]));
+        out.extend(node.run_for(SimDuration::from_ms(5)).unwrap());
+        assert!(transmitted_words(&out).is_empty(), "no retransmission");
+        let local = program.symbol("aodv_local").unwrap();
+        assert_eq!(node.cpu().dmem().read(local), 1);
+    }
+
+    #[test]
+    fn rrep_packets_are_not_reforwarded() {
+        let (mut node, _) = relay_node(3, &[(1, 1)]);
+        // An RREP addressed elsewhere floats by; we must stay silent.
+        let rrep = Packet { dst: 1, src: 2, ptype: PacketType::RouteReply, payload: vec![9, 2] };
+        let mut out = deliver_packet(&mut node, &rrep);
+        out.extend(node.run_for(SimDuration::from_ms(5)).unwrap());
+        assert!(transmitted_words(&out).is_empty());
+    }
+
+    #[test]
+    fn table_1_scale_dynamic_instruction_counts() {
+        // Sanity-check that handler work is in the paper's range
+        // (tens to a few hundred instructions), not thousands.
+        let (mut node, _) = relay_node(3, &[(9, 2)]);
+        let before = node.cpu().stats();
+        deliver_packet(&mut node, &Packet::data(9, 1, vec![1, 2]));
+        node.run_for(SimDuration::from_ms(10)).unwrap();
+        let d = node.cpu().stats().since(&before);
+        assert!(
+            (100..400).contains(&d.instructions),
+            "AODV forward took {} instructions",
+            d.instructions
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The two Table 1 sensor applications.
+//!
+//! * **Temperature Sense** — "Simulates reading a sensor and computing a
+//!   running average and logging the value." A periodic timer queries
+//!   the temperature sensor; each reply updates an exponential running
+//!   average (`avg += (x - avg) / 8`, shifts only — the core has no
+//!   divider) and appends the raw reading to a circular DMEM log.
+//! * **Range Comparison / Threshold** — "Simulates receiving a packet,
+//!   comparing two fields, and logging the larger of the two." Runs on
+//!   top of the MAC + AODV stack: its `app_deliver` hook compares the
+//!   two payload words of a DATA packet and logs the larger.
+
+use crate::aodv::aodv_node_program;
+use crate::prelude::{install_handler, PRELUDE};
+use snap_asm::{assemble_modules, AsmError, Program};
+
+/// Temperature sensor id used by the app.
+pub const TEMP_SENSOR: u16 = 0;
+
+/// Sampling period in timer ticks (µs at the default tick).
+pub const TEMP_PERIOD_TICKS: u16 = 500;
+
+/// The Temperature Sense application (standalone; no MAC).
+pub const TEMPERATURE: &str = r"
+; ================= Temperature Sense =================
+.data
+temp_avg:     .word 0
+temp_log:     .space 32
+temp_log_pos: .word 0
+temp_samples: .word 0
+
+.text
+; timer-0 handler: poll the temperature sensor, re-arm the timer
+temp_timer:
+    li      r2, CMD_QUERY | 0   ; query sensor 0
+    mov     r15, r2
+    li      r1, 0
+    schedhi r1, r0
+    li      r2, 500             ; TEMP_PERIOD_TICKS
+    schedlo r1, r2
+    done
+
+; sensor-reply handler: running average + log
+temp_reply:
+    mov     r2, r15             ; the reading
+    lw      r3, temp_avg(r0)
+    mov     r4, r2
+    sub     r4, r3              ; x - avg
+    srai    r4, 3               ; (x - avg) / 8
+    add     r3, r4
+    sw      r3, temp_avg(r0)
+    lw      r5, temp_log_pos(r0)
+    sw      r2, temp_log(r5)
+    addi    r5, 1
+    andi    r5, 31              ; 32-entry circular log
+    sw      r5, temp_log_pos(r0)
+    lw      r6, temp_samples(r0)
+    addi    r6, 1
+    sw      r6, temp_samples(r0)
+    done
+";
+
+/// Boot extra for the temperature app: install handlers, start timer 0.
+pub fn temperature_boot_extra() -> String {
+    let mut s = String::new();
+    s.push_str(&install_handler("EV_TIMER0", "temp_timer"));
+    s.push_str(&install_handler("EV_REPLY", "temp_reply"));
+    // First sample after 100 ticks, leaving boot clearly separable
+    // from steady-state sampling for the Table 1 measurements.
+    s.push_str("    li      r1, 0\n    schedhi r1, r0\n    li      r2, 100\n    schedlo r1, r2\n");
+    s
+}
+
+/// Assemble the standalone Temperature Sense program.
+pub fn temperature_program() -> Result<Program, AsmError> {
+    let boot = format!("boot:\n{}    done\n", temperature_boot_extra());
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &boot),
+        ("temp.s", TEMPERATURE),
+    ])
+}
+
+/// The Threshold / Range Comparison application module (provides
+/// `app_deliver` for the AODV stack).
+pub const THRESHOLD: &str = r"
+; ================= Range Comparison / Threshold =================
+.data
+thr_log:      .space 16
+thr_log_pos:  .word 0
+thr_count:    .word 0
+
+.text
+; app_deliver: DATA packet for us is in mac_rx_buf; payload words are
+; at indices 2 and 3. Log the larger.
+app_deliver:
+    lw      r2, mac_rx_buf+2(r0)
+    lw      r3, mac_rx_buf+3(r0)
+    bgeu    r2, r3, thr_keep_a
+    mov     r2, r3
+thr_keep_a:
+    lw      r4, thr_log_pos(r0)
+    sw      r2, thr_log(r4)
+    addi    r4, 1
+    andi    r4, 15
+    sw      r4, thr_log_pos(r0)
+    lw      r5, thr_count(r0)
+    addi    r5, 1
+    sw      r5, thr_count(r0)
+    done
+";
+
+/// Assemble the Threshold node: MAC + AODV + threshold app.
+pub fn threshold_program(node_id: u8) -> Result<Program, AsmError> {
+    aodv_node_program(node_id, &[], "", THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use dess::SimDuration;
+    use snap_node::{Node, NodeConfig};
+
+    #[test]
+    fn temperature_samples_and_averages() {
+        let program = temperature_program().unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.sensors_mut().set_reading(TEMP_SENSOR, 80);
+        // 5 samples: first at ~100us, then every 500us.
+        node.run_for(SimDuration::from_us(2_400)).unwrap();
+        let samples = program.symbol("temp_samples").unwrap();
+        assert_eq!(node.cpu().dmem().read(samples), 5);
+        // Average converges toward 80 from 0: after 5 EWMA steps,
+        // avg = 80 * (1 - (7/8)^5) ~ 41.
+        let avg = node.cpu().dmem().read(program.symbol("temp_avg").unwrap());
+        assert!((35..=48).contains(&avg), "avg {avg}");
+        // Log holds the raw readings.
+        let log = program.symbol("temp_log").unwrap();
+        assert_eq!(node.cpu().dmem().read(log), 80);
+        assert_eq!(node.cpu().dmem().read(log + 4), 80);
+    }
+
+    #[test]
+    fn temperature_tracks_changing_input() {
+        let program = temperature_program().unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.sensors_mut().set_reading(TEMP_SENSOR, 100);
+        node.run_for(SimDuration::from_ms(20)).unwrap();
+        let avg_addr = program.symbol("temp_avg").unwrap();
+        let avg_high = node.cpu().dmem().read(avg_addr);
+        assert!((88..=100).contains(&avg_high), "converged avg {avg_high}");
+        node.sensors_mut().set_reading(TEMP_SENSOR, 20);
+        node.run_for(SimDuration::from_ms(20)).unwrap();
+        let avg_low = node.cpu().dmem().read(avg_addr);
+        assert!(avg_low < 40, "avg should fall, got {avg_low}");
+    }
+
+    #[test]
+    fn threshold_logs_larger_field() {
+        let program = threshold_program(4).unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        for w in Packet::data(4, 1, vec![120, 340]).encode() {
+            node.deliver_rx(w);
+            node.run_for(SimDuration::from_us(900)).unwrap();
+        }
+        for w in Packet::data(4, 1, vec![900, 7]).encode() {
+            node.deliver_rx(w);
+            node.run_for(SimDuration::from_us(900)).unwrap();
+        }
+        let log = program.symbol("thr_log").unwrap();
+        assert_eq!(node.cpu().dmem().read(log), 340);
+        assert_eq!(node.cpu().dmem().read(log + 1), 900);
+        assert_eq!(node.cpu().dmem().read(program.symbol("thr_count").unwrap()), 2);
+    }
+
+    #[test]
+    fn threshold_compare_is_unsigned() {
+        let program = threshold_program(4).unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        for w in Packet::data(4, 1, vec![0x8000, 5]).encode() {
+            node.deliver_rx(w);
+            node.run_for(SimDuration::from_us(900)).unwrap();
+        }
+        let log = program.symbol("thr_log").unwrap();
+        assert_eq!(node.cpu().dmem().read(log), 0x8000);
+    }
+}

@@ -1,0 +1,231 @@
+//! Over-the-radio bootstrapping (paper §3.1).
+//!
+//! "The core can write to either the IMEM or the DMEM, allowing it to
+//! modify its own code (and also providing a way to bootstrap the
+//! processor by sending it code over the radio link)." This module is
+//! that bootloader: a tiny resident program whose radio handler
+//! assembles a code image word-by-word, writes it into IMEM with `isw`,
+//! verifies a checksum and jumps to the new program's entry point.
+//!
+//! ## Stream format (16-bit words)
+//!
+//! ```text
+//! MAGIC(0xB007)  base  len  w0 .. w(len-1)  checksum
+//! ```
+//!
+//! where `checksum` is the wrapping sum of `base`, `len` and all code
+//! words. A bad checksum resets the state machine; the node stays in
+//! the bootloader and can accept a retransmission.
+
+use crate::prelude::{install_handler, PRELUDE};
+use snap_asm::{assemble_modules, AsmError, Program};
+use snap_isa::Word;
+
+/// First word of a boot stream.
+pub const MAGIC: Word = 0xB007;
+
+/// The resident bootloader.
+///
+/// State machine states: 0 = waiting for magic, 1 = expecting base,
+/// 2 = expecting length, 3 = receiving code, 4 — never stored — the
+/// checksum word completes the transfer directly from state 3.
+pub const BOOTLOADER: &str = r"
+; ================= radio bootloader =================
+.data
+bl_state:   .word 0
+bl_base:    .word 0
+bl_len:     .word 0
+bl_idx:     .word 0
+bl_sum:     .word 0
+bl_loads:   .word 0     ; successful boots
+bl_errors:  .word 0     ; checksum failures
+
+.text
+bl_rx:
+    mov     r2, r15            ; the arriving word
+    lw      r3, bl_state(r0)
+    beqz    r3, bl_wait_magic
+    li      r4, 1
+    beq     r3, r4, bl_take_base
+    li      r4, 2
+    beq     r3, r4, bl_take_len
+    ; state 3: code word or final checksum
+    lw      r5, bl_idx(r0)
+    lw      r6, bl_len(r0)
+    beq     r5, r6, bl_take_csum
+    ; store the code word at base + idx
+    lw      r7, bl_base(r0)
+    add     r7, r5
+    isw     r2, 0(r7)
+    addi    r5, 1
+    sw      r5, bl_idx(r0)
+    lw      r8, bl_sum(r0)
+    add     r8, r2
+    sw      r8, bl_sum(r0)
+    done
+
+bl_wait_magic:
+    li      r4, 0xB007
+    bne     r2, r4, bl_out
+    li      r3, 1
+    sw      r3, bl_state(r0)
+    sw      r0, bl_sum(r0)
+    sw      r0, bl_idx(r0)
+    done
+
+bl_take_base:
+    sw      r2, bl_base(r0)
+    lw      r8, bl_sum(r0)
+    add     r8, r2
+    sw      r8, bl_sum(r0)
+    li      r3, 2
+    sw      r3, bl_state(r0)
+    done
+
+bl_take_len:
+    sw      r2, bl_len(r0)
+    lw      r8, bl_sum(r0)
+    add     r8, r2
+    sw      r8, bl_sum(r0)
+    li      r3, 3
+    sw      r3, bl_state(r0)
+    done
+
+bl_take_csum:
+    sw      r0, bl_state(r0)   ; transfer over either way
+    lw      r8, bl_sum(r0)
+    bne     r8, r2, bl_bad
+    lw      r3, bl_loads(r0)
+    addi    r3, 1
+    sw      r3, bl_loads(r0)
+    ; jump into the freshly written program
+    lw      r7, bl_base(r0)
+    jr      r7
+bl_bad:
+    lw      r3, bl_errors(r0)
+    addi    r3, 1
+    sw      r3, bl_errors(r0)
+    done
+
+bl_out:
+    done
+";
+
+/// Assemble the resident bootloader program.
+pub fn bootloader_program() -> Result<Program, AsmError> {
+    let mut extra = install_handler("EV_RX", "bl_rx");
+    extra.push_str("    li      r15, CMD_RXON\n");
+    let boot = format!("boot:\n{extra}    done\n");
+    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("bl.s", BOOTLOADER)])
+}
+
+/// Encode a code image into a boot stream for transmission.
+pub fn encode_bootstream(base: Word, image: &[Word]) -> Vec<Word> {
+    let mut out = Vec::with_capacity(image.len() + 4);
+    out.push(MAGIC);
+    out.push(base);
+    out.push(image.len() as Word);
+    out.extend_from_slice(image);
+    let sum = image
+        .iter()
+        .fold(base.wrapping_add(image.len() as Word), |acc, &w| acc.wrapping_add(w));
+    out.push(sum);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dess::SimDuration;
+    use snap_asm::assemble;
+    use snap_node::{Node, NodeConfig};
+
+    /// A stage-2 application, assembled to run at 0x200: its entry
+    /// (re)arms a periodic timer whose handler toggles the LED.
+    fn stage2() -> (Vec<Word>, u16) {
+        let src = r"
+            .org 0x200
+        entry:
+            li      r1, 0
+            li      r2, s2_tick
+            setaddr r1, r2
+            li      r1, 0
+            schedhi r1, r0
+            li      r2, 100
+            schedlo r1, r2
+            done
+        s2_tick:
+            lw      r3, 0x300(r0)
+            xori    r3, 1
+            sw      r3, 0x300(r0)
+            li      r4, 0x4000
+            or      r4, r3
+            mov     r15, r4
+            li      r1, 0
+            schedhi r1, r0
+            li      r2, 100
+            schedlo r1, r2
+            done
+        ";
+        let program = assemble(src).unwrap();
+        let image = program.imem_image()[0x200..].to_vec();
+        (image, 0x200)
+    }
+
+    fn fresh_bootloader_node() -> (Node, Program) {
+        let program = bootloader_program().unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        (node, program)
+    }
+
+    fn stream(node: &mut Node, words: &[Word]) {
+        for &w in words {
+            assert!(node.deliver_rx(w), "boot word lost");
+            node.run_for(SimDuration::from_us(900)).unwrap();
+        }
+    }
+
+    #[test]
+    fn boots_a_streamed_program() {
+        let (mut node, program) = fresh_bootloader_node();
+        let (image, base) = stage2();
+        stream(&mut node, &encode_bootstream(base, &image));
+        // The streamed blinker is now running: LED toggles every 100 us.
+        node.run_for(SimDuration::from_ms(2)).unwrap();
+        assert!(node.led().writes() >= 15, "stage 2 must blink, got {}", node.led().writes());
+        let loads = program.symbol("bl_loads").unwrap();
+        assert_eq!(node.cpu().dmem().read(loads), 1);
+    }
+
+    #[test]
+    fn corrupted_stream_is_rejected_and_retry_succeeds() {
+        let (mut node, program) = fresh_bootloader_node();
+        let (image, base) = stage2();
+        let mut bad = encode_bootstream(base, &image);
+        let last = bad.len() - 1;
+        bad[last] ^= 1; // corrupt the checksum
+        stream(&mut node, &bad);
+        let errors = program.symbol("bl_errors").unwrap();
+        assert_eq!(node.cpu().dmem().read(errors), 1);
+        assert_eq!(node.led().writes(), 0, "must not jump into a bad image");
+        // Retransmission succeeds: the state machine reset cleanly.
+        stream(&mut node, &encode_bootstream(base, &image));
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        assert!(node.led().writes() > 0);
+        let loads = program.symbol("bl_loads").unwrap();
+        assert_eq!(node.cpu().dmem().read(loads), 1);
+    }
+
+    #[test]
+    fn noise_before_magic_is_ignored() {
+        let (mut node, program) = fresh_bootloader_node();
+        stream(&mut node, &[0x1234, 0xffff, 0x0000]);
+        let (image, base) = stage2();
+        stream(&mut node, &encode_bootstream(base, &image));
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        let loads = program.symbol("bl_loads").unwrap();
+        assert_eq!(node.cpu().dmem().read(loads), 1);
+    }
+}

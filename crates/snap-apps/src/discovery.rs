@@ -1,0 +1,206 @@
+//! AODV route discovery (extension).
+//!
+//! The paper's "simplified routing layer" answers route requests from a
+//! *static* table (that is exactly what Table 1's Route Reply handler
+//! measures). This module adds the part real AODV is known for —
+//! on-demand discovery:
+//!
+//! * a **discovery request** (`PKT_DRREQ`) floods the network: each
+//!   node that sees it for the first time learns the *reverse* route to
+//!   the origin (via the previous hop in the rewritten `src` byte) and
+//!   rebroadcasts; duplicates are suppressed by an `(origin, id)` key;
+//! * the **target** answers with a **discovery reply** (`PKT_DRREP`)
+//!   that travels hop-by-hop back along the learned reverse routes;
+//!   every node on the way (and finally the origin) learns the
+//!   *forward* route to the target.
+//!
+//! After a discovery completes, ordinary DATA forwarding (the paper's
+//! handler) works over the learned entries.
+
+use crate::aodv::{routing_table_module, AODV};
+use crate::mac::{mac_boot_with_backoff, MAC};
+use crate::prelude::PRELUDE;
+use snap_asm::{assemble_modules, AsmError, Program};
+
+/// Route-discovery handlers and the `aodv_discover` entry point.
+pub const DISCOVERY: &str = r"
+; ================= AODV route discovery =================
+.data
+disc_seen:  .word 0xffff   ; last (origin << 8 | id) observed
+disc_id:    .word 0        ; our next discovery id
+disc_done:  .word 0        ; discoveries completed at this origin
+disc_ra:    .word 0        ; saved link register
+
+.text
+; Initiate discovery of the destination in r1. Callable from handlers
+; (`call aodv_discover`); the caller issues `done` afterwards.
+aodv_discover:
+    sw      r14, disc_ra(r0)
+    lw      r4, node_id(r0)
+    lw      r5, disc_id(r0)
+    addi    r5, 1
+    sw      r5, disc_id(r0)
+    ; mark our own flood as seen so the echo is suppressed
+    mov     r6, r4
+    slli    r6, 8
+    mov     r7, r5
+    andi    r7, 0xff
+    or      r6, r7
+    sw      r6, disc_seen(r0)
+    ; DRREQ: dst = broadcast, src = me, payload [target, origin, id]
+    li      r2, 0xff00
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r2, PKT_DRREQ << 8 | 3
+    sw      r2, mac_tx_buf+1(r0)
+    sw      r1, mac_tx_buf+2(r0)
+    sw      r4, mac_tx_buf+3(r0)
+    sw      r5, mac_tx_buf+4(r0)
+    li      r1, 5
+    call    mac_send
+    lw      r14, disc_ra(r0)
+    ret
+
+; DRREQ arrives (dispatched with r2 = header, r4 = our id).
+aodv_drreq:
+    lw      r7, mac_rx_buf+3(r0)   ; origin
+    mov     r8, r7
+    slli    r8, 8
+    lw      r9, mac_rx_buf+4(r0)   ; id
+    andi    r9, 0xff
+    or      r8, r9
+    lw      r9, disc_seen(r0)
+    beq     r8, r9, aodv_disc_out  ; duplicate: suppress
+    sw      r8, disc_seen(r0)
+    ; learn the reverse route: origin via the previous hop (src byte)
+    mov     r10, r2
+    andi    r10, 0xff
+    mov     r9, r7
+    call    rt_insert
+    ; are we the target?
+    lw      r7, mac_rx_buf+2(r0)
+    beq     r7, r4, aodv_drreq_reply
+    ; rebroadcast with src rewritten to us
+    lw      r2, mac_rx_buf+0(r0)
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    lw      r5, mac_rx_buf+1(r0)
+    sw      r5, mac_tx_buf+1(r0)
+    lw      r5, mac_rx_buf+2(r0)
+    sw      r5, mac_tx_buf+2(r0)
+    lw      r5, mac_rx_buf+3(r0)
+    sw      r5, mac_tx_buf+3(r0)
+    lw      r5, mac_rx_buf+4(r0)
+    sw      r5, mac_tx_buf+4(r0)
+    li      r1, 5
+    call    mac_send
+    done
+aodv_drreq_reply:
+    ; DRREP back to the previous hop: payload [target = us, origin]
+    lw      r2, mac_rx_buf+0(r0)
+    andi    r2, 0xff
+    slli    r2, 8
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r5, PKT_DRREP << 8 | 2
+    sw      r5, mac_tx_buf+1(r0)
+    sw      r4, mac_tx_buf+2(r0)
+    lw      r5, mac_rx_buf+3(r0)
+    sw      r5, mac_tx_buf+3(r0)
+    li      r1, 4
+    call    mac_send
+    done
+
+; DRREP arrives (r3 = dst, r4 = our id).
+aodv_drrep:
+    bne     r3, r4, aodv_disc_out  ; overheard someone else's reply
+    ; learn the forward route: target via the previous hop
+    lw      r9, mac_rx_buf+2(r0)
+    lw      r10, mac_rx_buf+0(r0)
+    andi    r10, 0xff
+    call    rt_insert
+    ; did the reply reach its origin?
+    lw      r7, mac_rx_buf+3(r0)
+    beq     r7, r4, aodv_drrep_done
+    ; relay toward the origin along the reverse route
+    call    rt_lookup              ; r7 = origin -> r8 = next hop
+    li      r9, 0xffff
+    beq     r8, r9, aodv_disc_out  ; reverse route missing: drop
+    mov     r2, r8
+    slli    r2, 8
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r5, PKT_DRREP << 8 | 2
+    sw      r5, mac_tx_buf+1(r0)
+    lw      r5, mac_rx_buf+2(r0)
+    sw      r5, mac_tx_buf+2(r0)
+    lw      r5, mac_rx_buf+3(r0)
+    sw      r5, mac_tx_buf+3(r0)
+    li      r1, 4
+    call    mac_send
+    done
+aodv_drrep_done:
+    lw      r5, disc_done(r0)
+    addi    r5, 1
+    sw      r5, disc_done(r0)
+    done
+aodv_disc_out:
+    done
+
+; Insert or update a routing-table entry.
+;   in: r9 = destination, r10 = next hop
+;   clobbers r5, r11, r12
+rt_insert:
+    li      r11, 0
+rt_ins_loop:
+    lw      r12, rt_table(r11)
+    beq     r12, r9, rt_ins_write  ; update existing entry
+    li      r5, 0xffff
+    beq     r12, r5, rt_ins_write  ; claim an empty slot
+    addi    r11, 2
+    li      r5, 16
+    bltu    r11, r5, rt_ins_loop
+    ret                            ; table full: drop the route
+rt_ins_write:
+    sw      r9, rt_table(r11)
+    addi    r11, 1
+    sw      r10, rt_table(r11)
+    ret
+";
+
+/// Stub for programs that link AODV without discovery (the dispatch
+/// references the handler labels).
+pub const DISCOVERY_STUB: &str = "
+aodv_drreq:
+    done
+aodv_drrep:
+    done
+";
+
+/// Assemble a network node with MAC + AODV + route discovery. `routes`
+/// pre-seeds the table (usually empty — discovery fills it); `app`
+/// must provide `app_deliver`.
+///
+/// `backoff_mask` sets the CSMA contention window (see
+/// [`mac_boot_with_backoff`]): floods make *simultaneous* responders
+/// likely, and on this ALOHA-like MAC two transmissions that start
+/// within one word time collide — dense topologies need a window of
+/// several packet air-times (e.g. `0x3fff` ≈ 16 ms) to separate the
+/// rebroadcast race, while sparse chains can keep the default `0x3f`.
+pub fn aodv_discovery_program(
+    node_id: u8,
+    routes: &[(u8, u8)],
+    extra_boot: &str,
+    app: &str,
+    backoff_mask: u16,
+) -> Result<Program, AsmError> {
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &mac_boot_with_backoff(node_id, extra_boot, backoff_mask)),
+        ("mac.s", MAC),
+        ("aodv.s", AODV),
+        ("disc.s", DISCOVERY),
+        ("rt.s", &routing_table_module(routes)),
+        ("app.s", app),
+    ])
+}

@@ -1,0 +1,49 @@
+//! # snap-apps — the paper's sensor-network software, in SNAP assembly
+//!
+//! The benchmark suite of §4.2, written as event handlers for the SNAP
+//! ISA and assembled with `snap-asm`:
+//!
+//! * [`mac`] — an 802.11-flavoured MAC layer: CSMA random backoff (using
+//!   the `rand` instruction), word-by-word transmission driven by
+//!   `RadioTxDone` events, packet assembly from `RadioRx` events, and a
+//!   checksum. Provides the *Packet Transmission* and *Packet Reception*
+//!   rows of Table 1.
+//! * [`aodv`] — a simplified AODV routing layer: routing table in DMEM,
+//!   route-reply (RREP) generation and data-packet forwarding. Provides
+//!   the *AODV Route Reply* and *AODV Forward* rows.
+//! * [`apps`] — the two sensor applications: *Temperature Sense*
+//!   (periodic sampling, running average, log) and *Range Comparison /
+//!   Threshold* (compare two packet fields, log the larger).
+//! * [`blink`] / [`sense`] — ports of the TinyOS example applications
+//!   used in §4.6 and Fig. 5.
+//! * [`radiostack`] — a port of the MICA high-speed radio stack's
+//!   per-byte processing: SEC-DED encoding plus CRC-16, ending in a
+//!   radio transmit.
+//! * [`discovery`] — AODV route *discovery* (extension): DRREQ
+//!   flooding with duplicate suppression and reverse-path learning,
+//!   DRREP unicast back to the origin.
+//! * [`bootloader`] — over-the-radio bootstrapping: a resident loader
+//!   that writes a streamed code image into IMEM (`isw`) and jumps to
+//!   it (paper §3.1).
+//! * [`packet`] — Rust-side packet encode/decode shared by scenarios and
+//!   the network simulator.
+//! * [`measure`] — the measurement harness behind Table 1: runs each
+//!   handler on a simulated node and reports dynamic instructions,
+//!   cycles and energy.
+
+#![warn(missing_docs)]
+
+pub mod aodv;
+pub mod apps;
+pub mod bootloader;
+pub mod discovery;
+pub mod blink;
+pub mod measure;
+pub mod mac;
+pub mod packet;
+pub mod prelude;
+pub mod radiostack;
+pub mod sense;
+
+pub use measure::{measure_all_handlers, measure_table1, HandlerMeasurement};
+pub use packet::{Packet, PacketType};

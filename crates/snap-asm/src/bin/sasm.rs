@@ -1,0 +1,103 @@
+//! `sasm` — the SNAP assembler, as a command-line tool.
+//!
+//! ```text
+//! sasm [--listing] [--symbols] [-o OUT.bin] FILE.s [FILE2.s ...]
+//! ```
+//!
+//! Assembles and links the given modules in order. With `-o`, writes the
+//! flattened IMEM image as little-endian 16-bit words (a DMEM image is
+//! written to `OUT.dmem` when the program has a data section). With
+//! `--listing`, prints a disassembly listing; with `--symbols`, the
+//! symbol table.
+
+use snap_asm::{disassemble, Assembler};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut listing = false;
+    let mut symbols = false;
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listing" => listing = true,
+            "--symbols" => symbols = true,
+            "-o" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("sasm: -o requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: sasm [--listing] [--symbols] [-o OUT.bin] FILE.s ...");
+                return ExitCode::SUCCESS;
+            }
+            other => inputs.push(other.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("sasm: no input files (try --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut asm = Assembler::new();
+    for path in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(source) => {
+                asm.add_module(path.clone(), source);
+            }
+            Err(e) => {
+                eprintln!("sasm: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let program = match asm.link() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sasm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "assembled {} module(s): {} code bytes, {} data words",
+        inputs.len(),
+        program.code_bytes(),
+        program.dmem_image().len()
+    );
+    if symbols {
+        println!("\nsymbols:");
+        for (name, value) in program.symbols() {
+            println!("  {name:<24} {value:#06x}");
+        }
+    }
+    if listing {
+        println!("\nlisting:");
+        for line in disassemble(0, &program.imem_image()) {
+            println!("  {line}");
+        }
+    }
+    if let Some(path) = out {
+        let image = program.imem_image();
+        let bytes: Vec<u8> = image.iter().flat_map(|w| w.to_le_bytes()).collect();
+        if let Err(e) = std::fs::write(&path, bytes) {
+            eprintln!("sasm: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let dmem = program.dmem_image();
+        if !dmem.is_empty() {
+            let dpath = format!("{path}.dmem");
+            let bytes: Vec<u8> = dmem.iter().flat_map(|w| w.to_le_bytes()).collect();
+            if let Err(e) = std::fs::write(&dpath, bytes) {
+                eprintln!("sasm: {dpath}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,66 @@
+//! `sdis` — the SNAP disassembler, as a command-line tool.
+//!
+//! ```text
+//! sdis [--base ADDR] FILE.bin
+//! ```
+//!
+//! Reads a little-endian 16-bit word image (as written by `sasm -o`)
+//! and prints a listing.
+
+use snap_asm::disassemble;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut base: u16 = 0;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--base" => {
+                let Some(v) = args.next() else {
+                    eprintln!("sdis: --base requires a value");
+                    return ExitCode::FAILURE;
+                };
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u16::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                match parsed {
+                    Ok(b) => base = b,
+                    Err(_) => {
+                        eprintln!("sdis: bad base address `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: sdis [--base ADDR] FILE.bin");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(path) = input else {
+        eprintln!("sdis: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("sdis: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if bytes.len() % 2 != 0 {
+        eprintln!("sdis: {path}: odd byte count (not a word image)");
+        return ExitCode::FAILURE;
+    }
+    let words: Vec<u16> =
+        bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+    for line in disassemble(base, &words) {
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}

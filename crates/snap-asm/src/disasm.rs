@@ -1,0 +1,127 @@
+//! Disassembler: word images back to readable listings.
+
+use snap_isa::{Addr, Instruction, Word};
+use std::fmt;
+
+/// One line of disassembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisasmLine {
+    /// Word address of the first word.
+    pub addr: Addr,
+    /// The raw words (one or two).
+    pub words: Vec<Word>,
+    /// The decoded instruction, or `None` for undecodable words
+    /// (rendered as `.word`).
+    pub instruction: Option<Instruction>,
+}
+
+impl fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let raw: Vec<String> = self.words.iter().map(|w| format!("{w:04x}")).collect();
+        let raw = raw.join(" ");
+        match &self.instruction {
+            Some(ins) => write!(f, "{:#05x}:  {raw:<10} {ins}", self.addr),
+            None => write!(f, "{:#05x}:  {raw:<10} .word {:#06x}", self.addr, self.words[0]),
+        }
+    }
+}
+
+/// Disassemble a word image starting at address `base`.
+///
+/// Decoding is linear: each undecodable word is emitted as a `.word`
+/// line and decoding continues at the next word, so data interleaved
+/// with code degrades gracefully.
+///
+/// ```
+/// use snap_asm::{assemble, disassemble};
+///
+/// let program = assemble("li r1, 7\n halt")?;
+/// let listing = disassemble(0, &program.imem_image());
+/// assert_eq!(listing[0].instruction.unwrap().to_string(), "li r1, 0x7");
+/// # Ok::<(), snap_asm::AsmError>(())
+/// ```
+pub fn disassemble(base: Addr, image: &[Word]) -> Vec<DisasmLine> {
+    let mut lines = Vec::new();
+    let mut i = 0;
+    while i < image.len() {
+        let addr = base.wrapping_add(i as Addr);
+        let first = image[i];
+        let two = Instruction::first_word_is_two_word(first);
+        let second = if two { image.get(i + 1).copied() } else { None };
+        match Instruction::decode(first, second) {
+            Ok(ins) => {
+                let n = ins.word_count();
+                lines.push(DisasmLine {
+                    addr,
+                    words: image[i..i + n].to_vec(),
+                    instruction: Some(ins),
+                });
+                i += n;
+            }
+            Err(_) => {
+                lines.push(DisasmLine { addr, words: vec![first], instruction: None });
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    #[test]
+    fn round_trip_through_assembler() {
+        let p = assemble(
+            r"
+                li   r1, 0x1234
+                add  r1, r2
+                lw   r3, 7(r1)
+            l:  bnez r3, l
+                done
+            ",
+        )
+        .unwrap();
+        let lines = disassemble(0, &p.imem_image());
+        let texts: Vec<String> =
+            lines.iter().map(|l| l.instruction.as_ref().unwrap().to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "li r1, 0x1234",
+                "add r1, r2",
+                "lw r3, 0x7(r1)",
+                "bnez r3, 0x5",
+                "done",
+            ]
+        );
+    }
+
+    #[test]
+    fn undecodable_words_become_word_directives() {
+        let lines = disassemble(0, &[0xffff, Instruction::Nop.encode().first()]);
+        assert!(lines[0].instruction.is_none());
+        assert!(lines[0].to_string().contains(".word 0xffff"));
+        assert_eq!(lines[1].instruction, Some(Instruction::Nop));
+    }
+
+    #[test]
+    fn two_word_instruction_cut_at_end() {
+        // `jmp` missing its immediate at the image end degrades to .word.
+        let first = Instruction::Jmp { target: 1 }.encode().first();
+        let lines = disassemble(0, &[first]);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].instruction.is_none());
+    }
+
+    #[test]
+    fn addresses_advance_by_word_count() {
+        let p = assemble("li r1, 1\n nop\n li r2, 2").unwrap();
+        let lines = disassemble(0x100, &p.imem_image());
+        assert_eq!(lines[0].addr, 0x100);
+        assert_eq!(lines[1].addr, 0x102);
+        assert_eq!(lines[2].addr, 0x103);
+    }
+}

@@ -1,0 +1,40 @@
+//! Assembler diagnostics.
+
+use std::fmt;
+
+/// An assembly error, located by module name and 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Module (source) name, `"<input>"` for single-source assembly.
+    pub module: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    /// An error at a specific line.
+    pub fn new(module: impl Into<String>, line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { module: module.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.module, self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = AsmError::new("mac.s", 17, "unknown mnemonic `frob`");
+        assert_eq!(e.to_string(), "mac.s:17: unknown mnemonic `frob`");
+    }
+}

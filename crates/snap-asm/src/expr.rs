@@ -1,0 +1,281 @@
+//! Constant-expression parsing and evaluation.
+//!
+//! Operand expressions support integer literals, symbols (labels and
+//! `.equ` constants), unary minus, and the binary operators
+//! `* / + - << >> & ^ |` with conventional precedence. Evaluation is
+//! deferred to the assembler's second pass, when every label address is
+//! known.
+
+use crate::error::AsmError;
+use crate::lexer::Token;
+use std::collections::BTreeMap;
+
+/// A parsed constant expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Symbol reference (label or constant).
+    Sym(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators, in increasing precedence tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&`
+    And,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl BinOp {
+    fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Shl | BinOp::Shr => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul => 6,
+        }
+    }
+
+    fn from_token(token: &Token) -> Option<BinOp> {
+        match token {
+            Token::Pipe => Some(BinOp::Or),
+            Token::Caret => Some(BinOp::Xor),
+            Token::Amp => Some(BinOp::And),
+            Token::Shl => Some(BinOp::Shl),
+            Token::Shr => Some(BinOp::Shr),
+            Token::Plus => Some(BinOp::Add),
+            Token::Minus => Some(BinOp::Sub),
+            Token::Star => Some(BinOp::Mul),
+            _ => None,
+        }
+    }
+}
+
+/// A token cursor over one operand's tokens.
+pub struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    module: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `tokens` with diagnostics location.
+    pub fn new(tokens: &'a [Token], module: &'a str, line: usize) -> Cursor<'a> {
+        Cursor { tokens, pos: 0, module, line }
+    }
+
+    /// The next token without consuming it.
+    pub fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Consume and return the next token.
+    #[allow(clippy::should_implement_trait)] // a cursor, not an Iterator
+    pub fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// `true` when all tokens are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Create a located error.
+    pub fn error(&self, message: impl Into<String>) -> AsmError {
+        AsmError::new(self.module, self.line, message)
+    }
+
+    /// Parse a full expression (precedence climbing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on malformed expressions.
+    pub fn parse_expr(&mut self) -> Result<Expr, AsmError> {
+        self.parse_binary(0)
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, AsmError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.peek().and_then(BinOp::from_token) {
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.next();
+            let rhs = self.parse_binary(op.precedence() + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, AsmError> {
+        match self.next() {
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.parse_unary()?))),
+            Some(Token::Plus) => self.parse_unary(),
+            Some(Token::Number(n)) => Ok(Expr::Num(*n)),
+            Some(Token::Ident(name)) => Ok(Expr::Sym(name.clone())),
+            Some(Token::LParen) => {
+                let inner = self.parse_binary(0)?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.error("expected `)`")),
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluate against a symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming any undefined symbol.
+    pub fn eval(
+        &self,
+        symbols: &BTreeMap<String, i64>,
+        module: &str,
+        line: usize,
+    ) -> Result<i64, AsmError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym(name) => symbols
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::new(module, line, format!("undefined symbol `{name}`"))),
+            Expr::Neg(inner) => Ok(inner.eval(symbols, module, line)?.wrapping_neg()),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(symbols, module, line)?;
+                let b = b.eval(symbols, module, line)?;
+                Ok(match op {
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::And => a & b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                })
+            }
+        }
+    }
+
+    /// Evaluate and narrow to a 16-bit word. Values in `-32768..=65535`
+    /// are accepted; negatives wrap to two's complement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined symbols or out-of-range values.
+    pub fn eval_word(
+        &self,
+        symbols: &BTreeMap<String, i64>,
+        module: &str,
+        line: usize,
+    ) -> Result<u16, AsmError> {
+        let v = self.eval(symbols, module, line)?;
+        if !(-32768..=65535).contains(&v) {
+            return Err(AsmError::new(
+                module,
+                line,
+                format!("value {v} does not fit in 16 bits"),
+            ));
+        }
+        Ok(v as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn eval(src: &str) -> i64 {
+        let toks = tokenize("<t>", 1, src).unwrap();
+        let mut c = Cursor::new(&toks, "<t>", 1);
+        let e = c.parse_expr().unwrap();
+        assert!(c.at_end(), "trailing tokens in {src:?}");
+        e.eval(&BTreeMap::new(), "<t>", 1).unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("1+2*3"), 7);
+        assert_eq!(eval("(1+2)*3"), 9);
+        assert_eq!(eval("1|2&3"), 3);
+        assert_eq!(eval("1<<4+1"), 1 << 5); // + binds tighter than <<
+        assert_eq!(eval("0xff & 0x0f | 0x30"), 0x3f);
+        assert_eq!(eval("6-2-1"), 3); // left associative
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-5+8"), 3);
+        assert_eq!(eval("--4"), 4);
+        assert_eq!(eval("2*-3"), -6);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let toks = tokenize("<t>", 1, "base + 2*4").unwrap();
+        let mut c = Cursor::new(&toks, "<t>", 1);
+        let e = c.parse_expr().unwrap();
+        let mut sym = BTreeMap::new();
+        sym.insert("base".to_string(), 0x100);
+        assert_eq!(e.eval(&sym, "<t>", 1).unwrap(), 0x108);
+    }
+
+    #[test]
+    fn undefined_symbol_is_error() {
+        let toks = tokenize("<t>", 4, "missing").unwrap();
+        let mut c = Cursor::new(&toks, "<t>", 4);
+        let e = c.parse_expr().unwrap();
+        let err = e.eval(&BTreeMap::new(), "<t>", 4).unwrap_err();
+        assert!(err.to_string().contains("undefined symbol `missing`"));
+    }
+
+    #[test]
+    fn word_narrowing() {
+        let sym = BTreeMap::new();
+        let fit = |v: i64| Expr::Num(v).eval_word(&sym, "<t>", 1);
+        assert_eq!(fit(65535).unwrap(), 0xffff);
+        assert_eq!(fit(-1).unwrap(), 0xffff);
+        assert_eq!(fit(-32768).unwrap(), 0x8000);
+        assert!(fit(65536).is_err());
+        assert!(fit(-32769).is_err());
+    }
+
+    #[test]
+    fn malformed_expressions() {
+        for bad in ["+", "(1", "1*", ""] {
+            let toks = tokenize("<t>", 1, bad).unwrap();
+            let mut c = Cursor::new(&toks, "<t>", 1);
+            assert!(c.parse_expr().is_err(), "{bad:?} should fail");
+        }
+    }
+}

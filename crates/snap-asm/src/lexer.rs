@@ -1,0 +1,317 @@
+//! Line tokenizer.
+//!
+//! Assembly is line-oriented; the lexer turns one line into a token
+//! vector. Numbers, identifiers, punctuation and operators are enough —
+//! structure (labels vs mnemonics vs operands) is the parser's job.
+
+use crate::error::AsmError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier, mnemonic, register name or directive (with leading `.`).
+    Ident(String),
+    /// Integer literal (already parsed; char literals become their code).
+    Number(i64),
+    /// String literal (for `.ascii`).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Tokenize one source line (comments already allowed in-line).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for malformed literals or unexpected characters.
+pub fn tokenize(module: &str, line_no: usize, line: &str) -> Result<Vec<Token>, AsmError> {
+    let err = |msg: String| AsmError::new(module, line_no, msg);
+    let mut tokens = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => break, // comment to end of line
+            '/' if bytes.get(i + 1) == Some(&b'/') => break,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token::Caret);
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'<') => {
+                tokens.push(Token::Shl);
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token::Shr);
+                i += 2;
+            }
+            '"' => {
+                let (s, consumed) = lex_string(&line[i..])
+                    .ok_or_else(|| err("unterminated string literal".into()))?;
+                tokens.push(Token::Str(s));
+                i += consumed;
+            }
+            '\'' => {
+                let (v, consumed) = lex_char(&line[i..])
+                    .ok_or_else(|| err("malformed character literal".into()))?;
+                tokens.push(Token::Number(v));
+                i += consumed;
+            }
+            '0'..='9' => {
+                let (v, consumed) = lex_number(&line[i..])
+                    .ok_or_else(|| err(format!("malformed number near `{}`", &line[i..])))?;
+                tokens.push(Token::Number(v));
+                i += consumed;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(line[start..i].to_string()));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_number(s: &str) -> Option<(i64, usize)> {
+    let bytes = s.as_bytes();
+    let (radix, skip) = if s.starts_with("0x") || s.starts_with("0X") {
+        (16, 2)
+    } else if s.starts_with("0b") || s.starts_with("0B") {
+        (2, 2)
+    } else {
+        (10, 0)
+    };
+    let mut end = skip;
+    while end < bytes.len() && (bytes[end] as char).is_digit(radix) {
+        end += 1;
+    }
+    if end == skip {
+        return None;
+    }
+    let v = i64::from_str_radix(&s[skip..end], radix).ok()?;
+    Some((v, end))
+}
+
+fn lex_string(s: &str) -> Option<(String, usize)> {
+    // s starts with '"'
+    let mut out = String::new();
+    let mut chars = s.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, i + 1)),
+            '\\' => match chars.next()?.1 {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+fn lex_char(s: &str) -> Option<(i64, usize)> {
+    // s starts with '\''
+    let mut it = s.chars();
+    it.next(); // opening quote
+    let c = it.next()?;
+    let (value, content_len) = if c == '\\' {
+        let esc = it.next()?;
+        let v = match esc {
+            'n' => '\n',
+            't' => '\t',
+            '0' => '\0',
+            other => other, // \\, \' and any other escaped char stand for themselves
+        };
+        (v as i64, 1 + esc.len_utf8())
+    } else {
+        (c as i64, c.len_utf8())
+    };
+    if it.next() == Some('\'') {
+        Some((value, 1 + content_len + 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        tokenize("<t>", 1, s).unwrap()
+    }
+
+    #[test]
+    fn basic_instruction_line() {
+        assert_eq!(
+            lex("  add r1, r2 ; sum"),
+            vec![
+                Token::Ident("add".into()),
+                Token::Ident("r1".into()),
+                Token::Comma,
+                Token::Ident("r2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn label_and_memory_operand() {
+        assert_eq!(
+            lex("loop: lw r2, 4(r13)"),
+            vec![
+                Token::Ident("loop".into()),
+                Token::Colon,
+                Token::Ident("lw".into()),
+                Token::Ident("r2".into()),
+                Token::Comma,
+                Token::Number(4),
+                Token::LParen,
+                Token::Ident("r13".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_radixes() {
+        assert_eq!(lex("0x1F 0b101 42"), vec![
+            Token::Number(31),
+            Token::Number(5),
+            Token::Number(42),
+        ]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(lex("'A'"), vec![Token::Number(65)]);
+        assert_eq!(lex("'\\n'"), vec![Token::Number(10)]);
+    }
+
+    #[test]
+    fn string_literal_with_escapes() {
+        assert_eq!(lex(r#".ascii "hi\n""#), vec![
+            Token::Ident(".ascii".into()),
+            Token::Str("hi\n".into()),
+        ]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("1+2-3*4&5|6^7<<8>>9"),
+            vec![
+                Token::Number(1),
+                Token::Plus,
+                Token::Number(2),
+                Token::Minus,
+                Token::Number(3),
+                Token::Star,
+                Token::Number(4),
+                Token::Amp,
+                Token::Number(5),
+                Token::Pipe,
+                Token::Number(6),
+                Token::Caret,
+                Token::Number(7),
+                Token::Shl,
+                Token::Number(8),
+                Token::Shr,
+                Token::Number(9),
+            ]
+        );
+    }
+
+    #[test]
+    fn comment_styles() {
+        assert!(lex("; whole line").is_empty());
+        assert!(lex("# hash comment").is_empty());
+        assert!(lex("// slashes").is_empty());
+        assert_eq!(lex("nop // trailing").len(), 1);
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(tokenize("<t>", 3, "add @r1").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = tokenize("<t>", 9, r#".ascii "oops"#).unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        assert_eq!(err.line, 9);
+    }
+}

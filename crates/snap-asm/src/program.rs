@@ -1,0 +1,168 @@
+//! Assembled program images.
+
+use crate::error::AsmError;
+use snap_isa::{Addr, Word, MEM_WORDS};
+use std::collections::BTreeMap;
+
+/// A contiguous run of words at a fixed base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Base word address.
+    pub base: Addr,
+    /// The words.
+    pub words: Vec<Word>,
+}
+
+impl Segment {
+    /// One-past-the-end address.
+    pub fn end(&self) -> usize {
+        self.base as usize + self.words.len()
+    }
+}
+
+/// A fully assembled and linked program: IMEM and DMEM segments plus the
+/// symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    imem: Vec<Segment>,
+    dmem: Vec<Segment>,
+    symbols: BTreeMap<String, i64>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        imem: Vec<Segment>,
+        dmem: Vec<Segment>,
+        symbols: BTreeMap<String, i64>,
+    ) -> Result<Program, AsmError> {
+        check_overlap(&imem, "imem")?;
+        check_overlap(&dmem, "dmem")?;
+        Ok(Program { imem, dmem, symbols })
+    }
+
+    /// IMEM segments, sorted by base address.
+    pub fn imem_segments(&self) -> &[Segment] {
+        &self.imem
+    }
+
+    /// DMEM segments, sorted by base address.
+    pub fn dmem_segments(&self) -> &[Segment] {
+        &self.dmem
+    }
+
+    /// Look up a symbol's value (label address or `.equ` constant).
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).map(|&v| v as Addr)
+    }
+
+    /// The full symbol table.
+    pub fn symbols(&self) -> &BTreeMap<String, i64> {
+        &self.symbols
+    }
+
+    /// Flattened IMEM image from address 0 to the highest used word,
+    /// zero-filled between segments.
+    pub fn imem_image(&self) -> Vec<Word> {
+        flatten(&self.imem)
+    }
+
+    /// Flattened DMEM image (see [`Program::imem_image`]).
+    pub fn dmem_image(&self) -> Vec<Word> {
+        flatten(&self.dmem)
+    }
+
+    /// Total IMEM words actually emitted (code size; the paper reports
+    /// handler code sizes in bytes — multiply by two).
+    pub fn imem_words_used(&self) -> usize {
+        self.imem.iter().map(|s| s.words.len()).sum()
+    }
+
+    /// Code size in bytes, as the paper reports it.
+    pub fn code_bytes(&self) -> usize {
+        self.imem_words_used() * 2
+    }
+}
+
+fn flatten(segments: &[Segment]) -> Vec<Word> {
+    let len = segments.iter().map(Segment::end).max().unwrap_or(0);
+    let mut image = vec![0; len];
+    for seg in segments {
+        image[seg.base as usize..seg.end()].copy_from_slice(&seg.words);
+    }
+    image
+}
+
+fn check_overlap(segments: &[Segment], bank: &str) -> Result<(), AsmError> {
+    let mut sorted: Vec<&Segment> = segments.iter().collect();
+    sorted.sort_by_key(|s| s.base);
+    for pair in sorted.windows(2) {
+        if pair[0].end() > pair[1].base as usize {
+            return Err(AsmError::new(
+                "<link>",
+                0,
+                format!(
+                    "{bank} segments overlap: [{:#05x}..{:#05x}) and [{:#05x}..)",
+                    pair[0].base,
+                    pair[0].end(),
+                    pair[1].base
+                ),
+            ));
+        }
+    }
+    if let Some(last) = sorted.last() {
+        if last.end() > MEM_WORDS {
+            return Err(AsmError::new(
+                "<link>",
+                0,
+                format!("{bank} image ends at {:#x}, beyond the 4KB bank", last.end()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(base: Addr, words: &[Word]) -> Segment {
+        Segment { base, words: words.to_vec() }
+    }
+
+    #[test]
+    fn flatten_zero_fills_gaps() {
+        let p = Program::new(
+            vec![seg(0, &[1, 2]), seg(5, &[9])],
+            vec![],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(p.imem_image(), vec![1, 2, 0, 0, 0, 9]);
+        assert_eq!(p.imem_words_used(), 3);
+        assert_eq!(p.code_bytes(), 6);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let err = Program::new(
+            vec![seg(0, &[1, 2, 3]), seg(2, &[9])],
+            vec![],
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn beyond_bank_is_rejected() {
+        let err = Program::new(vec![seg(2047, &[1, 2])], vec![], BTreeMap::new()).unwrap_err();
+        assert!(err.to_string().contains("beyond"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert!(p.imem_image().is_empty());
+        assert_eq!(p.symbol("x"), None);
+    }
+}

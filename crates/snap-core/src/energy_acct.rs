@@ -1,0 +1,239 @@
+//! Per-instruction energy and latency accounting.
+//!
+//! Every executed instruction is folded into three views:
+//!
+//! * a running total (energy, busy time, instruction count),
+//! * a per-class histogram — the data behind Fig. 4 and the "most
+//!   frequently executed instructions" analysis of §4.5,
+//! * a per-component attribution — the data behind the §4.4 energy
+//!   distribution.
+
+use dess::SimDuration;
+use snap_energy::model::{BusModel, InstrShape, SnapEnergyModel, SnapTimingModel};
+use snap_energy::{ComponentEnergy, Energy, OperatingPoint};
+use snap_isa::{Instruction, InstructionClass};
+use std::collections::BTreeMap;
+
+/// Derive the energy-model shape of an instruction.
+pub fn shape_of(ins: &Instruction) -> InstrShape {
+    InstrShape {
+        class: ins.class(),
+        words: ins.word_count(),
+        dmem: ins.accesses_dmem(),
+        imem_data: ins.accesses_imem_data(),
+    }
+}
+
+/// Count and energy for one instruction class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Dynamic instructions of this class.
+    pub count: u64,
+    /// Total energy spent by this class.
+    pub energy: Energy,
+}
+
+/// The core's energy/latency accountant.
+#[derive(Debug, Clone)]
+pub struct EnergyAccountant {
+    energy_model: SnapEnergyModel,
+    timing_model: SnapTimingModel,
+    components: ComponentEnergy,
+    per_class: BTreeMap<InstructionClass, ClassStats>,
+    total_energy: Energy,
+    busy_time: SimDuration,
+    instructions: u64,
+    cycles: u64,
+}
+
+impl EnergyAccountant {
+    /// An accountant at the given operating point.
+    pub fn new(point: OperatingPoint) -> EnergyAccountant {
+        EnergyAccountant::with_bus(point, BusModel::default())
+    }
+
+    /// An accountant with an explicit bus organization (ablations).
+    pub fn with_bus(point: OperatingPoint, bus: BusModel) -> EnergyAccountant {
+        EnergyAccountant {
+            energy_model: SnapEnergyModel::new(point).with_bus(bus),
+            timing_model: SnapTimingModel::new(point).with_bus(bus),
+            components: ComponentEnergy::new(),
+            per_class: BTreeMap::new(),
+            total_energy: Energy::ZERO,
+            busy_time: SimDuration::ZERO,
+            instructions: 0,
+            cycles: 0,
+        }
+    }
+
+    /// The underlying energy model.
+    pub fn energy_model(&self) -> &SnapEnergyModel {
+        &self.energy_model
+    }
+
+    /// The underlying timing model.
+    pub fn timing_model(&self) -> &SnapTimingModel {
+        &self.timing_model
+    }
+
+    /// Record one executed instruction; returns its latency so the core
+    /// can advance simulated time.
+    pub fn record(&mut self, ins: &Instruction) -> SimDuration {
+        let shape = shape_of(ins);
+        let energy = self.energy_model.instruction_energy(shape);
+        let latency = self.timing_model.instruction_latency(shape);
+        self.components.merge(&self.energy_model.instruction_energy_by_component(shape));
+        let entry = self.per_class.entry(shape.class).or_default();
+        entry.count += 1;
+        entry.energy += energy;
+        self.total_energy += energy;
+        self.busy_time += latency;
+        self.instructions += 1;
+        self.cycles += shape.words as u64
+            + shape.dmem as u64
+            + shape.imem_data as u64;
+        latency
+    }
+
+    /// Total energy of all recorded instructions.
+    pub fn total_energy(&self) -> Energy {
+        self.total_energy
+    }
+
+    /// Total execution (busy) time of all recorded instructions.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of recorded (dynamic) instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Asynchronous "cycles": IMEM words fetched plus data-memory
+    /// accesses. The paper's TinyOS comparisons (§4.6) count cycles on
+    /// both platforms; for the clockless SNAP/LE this occupancy count is
+    /// the natural equivalent (a two-word instruction takes two cycles,
+    /// paper §3.1).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Average energy per instruction; zero when nothing was recorded.
+    pub fn energy_per_instruction(&self) -> Energy {
+        if self.instructions == 0 {
+            return Energy::ZERO;
+        }
+        self.total_energy / self.instructions as f64
+    }
+
+    /// Average throughput in MIPS over the busy time; zero when nothing
+    /// was recorded.
+    pub fn mips(&self) -> f64 {
+        if self.busy_time.is_zero() {
+            return 0.0;
+        }
+        self.instructions as f64 / self.busy_time.as_us()
+    }
+
+    /// Per-class statistics, ordered by class.
+    pub fn per_class(&self) -> impl Iterator<Item = (InstructionClass, ClassStats)> + '_ {
+        self.per_class.iter().map(|(&c, &s)| (c, s))
+    }
+
+    /// Statistics for one class.
+    pub fn class_stats(&self, class: InstructionClass) -> ClassStats {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+
+    /// The per-component energy attribution.
+    pub fn components(&self) -> &ComponentEnergy {
+        &self.components
+    }
+
+    /// Reset all counters (the models are kept).
+    pub fn reset(&mut self) {
+        self.components = ComponentEnergy::new();
+        self.per_class.clear();
+        self.total_energy = Energy::ZERO;
+        self.busy_time = SimDuration::ZERO;
+        self.instructions = 0;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::{AluImmOp, AluOp, Reg};
+
+    fn add() -> Instruction {
+        Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 }
+    }
+
+    fn li() -> Instruction {
+        Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R1, imm: 5 }
+    }
+
+    fn load() -> Instruction {
+        Instruction::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }
+    }
+
+    #[test]
+    fn recording_accumulates() {
+        let mut a = EnergyAccountant::new(OperatingPoint::V1_8);
+        let lat = a.record(&add());
+        assert!(!lat.is_zero());
+        a.record(&li());
+        a.record(&load());
+        assert_eq!(a.instructions(), 3);
+        assert!(a.total_energy().as_pj() > 0.0);
+        assert_eq!(a.class_stats(InstructionClass::ArithReg).count, 1);
+        assert_eq!(a.class_stats(InstructionClass::ArithImm).count, 1);
+        assert_eq!(a.class_stats(InstructionClass::Load).count, 1);
+        assert_eq!(a.class_stats(InstructionClass::Nop).count, 0);
+    }
+
+    #[test]
+    fn component_total_matches_energy_total() {
+        let mut a = EnergyAccountant::new(OperatingPoint::V0_6);
+        for _ in 0..10 {
+            a.record(&add());
+            a.record(&load());
+        }
+        assert!((a.components().total().as_pj() - a.total_energy().as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn averages() {
+        let mut a = EnergyAccountant::new(OperatingPoint::V1_8);
+        assert_eq!(a.energy_per_instruction(), Energy::ZERO);
+        assert_eq!(a.mips(), 0.0);
+        for _ in 0..100 {
+            a.record(&add());
+        }
+        let per = a.energy_per_instruction();
+        assert!((per.as_pj() - a.total_energy().as_pj() / 100.0).abs() < 1e-9);
+        assert!(a.mips() > 100.0, "{}", a.mips());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut a = EnergyAccountant::new(OperatingPoint::V0_9);
+        a.record(&add());
+        a.reset();
+        assert_eq!(a.instructions(), 0);
+        assert_eq!(a.total_energy(), Energy::ZERO);
+        assert!(a.busy_time().is_zero());
+        assert_eq!(a.per_class().count(), 0);
+    }
+
+    #[test]
+    fn shape_of_derives_memory_flags() {
+        let s = shape_of(&load());
+        assert!(s.dmem && !s.imem_data);
+        assert_eq!(s.words, 2);
+        let s = shape_of(&Instruction::ImemStore { rs: Reg::R1, base: Reg::R2, offset: 0 });
+        assert!(s.imem_data && !s.dmem);
+    }
+}

@@ -1,0 +1,149 @@
+//! The hardware event queue.
+//!
+//! The event queue is the centrepiece of SNAP's OS-free design (paper
+//! §3.1): a FIFO of event tokens inserted by the timer and message
+//! coprocessors and drained by instruction fetch at each `done`. Because
+//! handlers run to completion, the queue also guarantees handler
+//! atomicity — a new event can never preempt a running handler.
+//!
+//! The queue is finite; if a handler runs too long, pending events are
+//! dropped (paper §4.2 raises exactly this concern when sizing
+//! handlers). Drops are counted so benchmarks can report them.
+
+use snap_isa::EventToken;
+use std::collections::VecDeque;
+
+/// Default queue capacity in tokens. The paper does not publish the
+/// depth; eight matches the handler-table size and is configurable via
+/// [`EventQueue::with_capacity`].
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// The hardware FIFO of pending event tokens.
+#[derive(Debug, Clone)]
+pub struct EventQueue {
+    fifo: VecDeque<EventToken>,
+    capacity: usize,
+    dropped: u64,
+    inserted: u64,
+}
+
+impl EventQueue {
+    /// A queue with the default capacity.
+    pub fn new() -> EventQueue {
+        EventQueue::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A queue holding at most `capacity` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> EventQueue {
+        assert!(capacity > 0, "event queue capacity must be positive");
+        EventQueue { fifo: VecDeque::with_capacity(capacity), capacity, dropped: 0, inserted: 0 }
+    }
+
+    /// Insert a token at the tail. Returns `false` (and counts a drop)
+    /// when the queue is full.
+    pub fn push(&mut self, token: EventToken) -> bool {
+        if self.fifo.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.inserted += 1;
+        self.fifo.push_back(token);
+        true
+    }
+
+    /// Remove the head token, if any.
+    pub fn pop(&mut self) -> Option<EventToken> {
+        self.fifo.pop_front()
+    }
+
+    /// The head token without removing it.
+    pub fn peek(&self) -> Option<EventToken> {
+        self.fifo.front().copied()
+    }
+
+    /// Number of pending tokens.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// `true` when no tokens are pending.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tokens dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Tokens successfully inserted over the queue's lifetime.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::EventKind;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(EventKind::Timer0.into());
+        q.push(EventKind::RadioRx.into());
+        assert_eq!(q.pop().unwrap().kind(), EventKind::Timer0);
+        assert_eq!(q.pop().unwrap().kind(), EventKind::RadioRx);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q = EventQueue::with_capacity(2);
+        assert!(q.push(EventKind::Timer0.into()));
+        assert!(q.push(EventKind::Timer1.into()));
+        assert!(!q.push(EventKind::Timer2.into()));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.inserted(), 2);
+    }
+
+    #[test]
+    fn peek_is_nondestructive() {
+        let mut q = EventQueue::new();
+        q.push(EventKind::SensorIrq.into());
+        assert_eq!(q.peek().unwrap().kind(), EventKind::SensorIrq);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventQueue::with_capacity(0);
+    }
+
+    #[test]
+    fn drained_queue_accepts_again() {
+        let mut q = EventQueue::with_capacity(1);
+        assert!(q.push(EventKind::Timer0.into()));
+        assert!(!q.push(EventKind::Timer1.into()));
+        q.pop();
+        assert!(q.push(EventKind::Timer2.into()));
+        assert_eq!(q.dropped(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! The on-chip memory banks.
+//!
+//! SNAP/LE has two 4 KB banks and no caches (paper §3.1): the IMEM holds
+//! instructions and the DMEM holds data. Both are word-addressed (2048
+//! 16-bit words). Like the hardware, the banks decode only the low
+//! eleven address bits — higher bits are ignored, so addresses wrap
+//! rather than fault.
+
+use snap_isa::{Addr, Word, MEM_WORDS};
+
+const ADDR_MASK: usize = MEM_WORDS - 1;
+
+/// One 4 KB, word-addressed memory bank.
+#[derive(Debug, Clone)]
+pub struct MemBank {
+    words: Box<[Word; MEM_WORDS]>,
+    name: &'static str,
+}
+
+impl MemBank {
+    /// A zeroed bank with a name used in diagnostics (`"imem"`/`"dmem"`).
+    pub fn new(name: &'static str) -> MemBank {
+        MemBank { words: Box::new([0; MEM_WORDS]), name }
+    }
+
+    /// The bank's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Read the word at `addr` (the address wraps modulo 2048).
+    pub fn read(&self, addr: Addr) -> Word {
+        self.words[addr as usize & ADDR_MASK]
+    }
+
+    /// Write the word at `addr` (the address wraps modulo 2048).
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        self.words[addr as usize & ADDR_MASK] = value;
+    }
+
+    /// Copy `image` into the bank starting at word address `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if the image does not fit.
+    pub fn load(&mut self, base: Addr, image: &[Word]) -> Result<(), LoadError> {
+        let base = base as usize;
+        if base + image.len() > MEM_WORDS {
+            return Err(LoadError {
+                bank: self.name,
+                base,
+                len: image.len(),
+            });
+        }
+        self.words[base..base + image.len()].copy_from_slice(image);
+        Ok(())
+    }
+
+    /// Zero the whole bank.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// View the whole bank as a word slice.
+    pub fn as_words(&self) -> &[Word] {
+        &self.words[..]
+    }
+}
+
+/// Error returned when a program image does not fit in a bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    bank: &'static str,
+    base: usize,
+    len: usize,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "image of {} words at base {} does not fit in {} ({} words)",
+            self.len, self.base, self.bank, MEM_WORDS
+        )
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = MemBank::new("dmem");
+        m.write(0, 0xdead);
+        m.write(2047, 0xbeef);
+        assert_eq!(m.read(0), 0xdead);
+        assert_eq!(m.read(2047), 0xbeef);
+    }
+
+    #[test]
+    fn addresses_wrap_like_hardware() {
+        let mut m = MemBank::new("dmem");
+        m.write(2048, 0x1234); // wraps to 0
+        assert_eq!(m.read(0), 0x1234);
+        assert_eq!(m.read(0x8000 | 5), m.read(5));
+    }
+
+    #[test]
+    fn load_image() {
+        let mut m = MemBank::new("imem");
+        m.load(10, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read(10), 1);
+        assert_eq!(m.read(12), 3);
+        assert_eq!(m.read(9), 0);
+    }
+
+    #[test]
+    fn oversized_load_is_rejected() {
+        let mut m = MemBank::new("imem");
+        let image = vec![0u16; 100];
+        let err = m.load(2000, &image).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut m = MemBank::new("dmem");
+        m.write(7, 9);
+        m.clear();
+        assert!(m.as_words().iter().all(|&w| w == 0));
+    }
+}

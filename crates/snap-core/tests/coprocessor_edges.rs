@@ -1,0 +1,191 @@
+//! Edge cases of the timer and message coprocessors, exercised through
+//! real programs on the core.
+
+use dess::{SimDuration, SimTime};
+use snap_core::{CoreConfig, CoreState, Processor, StepError};
+use snap_isa::{AluImmOp, AluOp, EventKind, Instruction, Reg, Word};
+
+fn li(rd: Reg, imm: Word) -> Instruction {
+    Instruction::AluImm { op: AluImmOp::Li, rd, imm }
+}
+
+fn cpu_with(prog: &[Instruction]) -> Processor {
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_program(prog).unwrap();
+    cpu
+}
+
+fn install(table: &mut Vec<Instruction>, ev: EventKind, addr: Word) {
+    table.push(li(Reg::R1, ev.index() as Word));
+    table.push(li(Reg::R2, addr));
+    table.push(Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 });
+}
+
+/// Rescheduling an active timer replaces its countdown (the second
+/// schedlo wins); only one expiry token arrives.
+#[test]
+fn reschedule_active_timer_replaces_countdown() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::Timer0, 0x80);
+    boot.extend([
+        li(Reg::R3, 0),
+        li(Reg::R4, 10_000),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // 10 ms...
+        li(Reg::R4, 200),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // ...no: 200 us
+        Instruction::Done,
+    ]);
+    let handler = [li(Reg::R9, 0x77), Instruction::Halt];
+    let mut cpu = cpu_with(&boot);
+    let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_to_halt(1_000).unwrap();
+    assert_eq!(cpu.regs().read(Reg::R9), 0x77);
+    assert!(cpu.now().as_us() < 1_000.0, "fired at {} (10ms schedule not replaced?)", cpu.now());
+    assert_eq!(cpu.timers().scheduled(), 2);
+    assert_eq!(cpu.timers().expired(), 1);
+}
+
+/// The full 24-bit timer range works: high bits via schedhi.
+#[test]
+fn timer_24_bit_range() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::Timer1, 0x80);
+    boot.extend([
+        li(Reg::R3, 1),
+        li(Reg::R4, 0x0001),
+        Instruction::SchedHi { rt: Reg::R3, rv: Reg::R4 }, // top byte = 1
+        li(Reg::R4, 0x0000),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // 0x010000 ticks
+        Instruction::Done,
+    ]);
+    let handler = [Instruction::Halt];
+    let mut cpu = cpu_with(&boot);
+    let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_to_halt(1_000).unwrap();
+    // 0x010000 us = 65.536 ms.
+    assert!((cpu.now().as_ms() - 65.536).abs() < 0.2, "{}", cpu.now());
+}
+
+/// schedhi's staged value stays with the register and combines with the
+/// next schedlo.
+#[test]
+fn schedhi_combines_with_next_schedlo() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::Timer2, 0x80);
+    boot.extend([
+        li(Reg::R3, 2),
+        li(Reg::R4, 0x0002),
+        Instruction::SchedHi { rt: Reg::R3, rv: Reg::R4 },
+        li(Reg::R4, 100),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 },
+        Instruction::Done,
+    ]);
+    let mut cpu = cpu_with(&boot);
+    let handler = [Instruction::Halt];
+    let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_to_halt(1_000).unwrap();
+    // 0x020064 ticks = 131172 us.
+    assert!((cpu.now().as_ms() - 131.172).abs() < 0.3, "{}", cpu.now());
+}
+
+/// Cancelling then rescheduling in one handler: the cancel token and
+/// the new expiry both arrive, in order.
+#[test]
+fn cancel_then_reschedule_orders_tokens() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::Timer0, 0x80);
+    boot.extend([
+        li(Reg::R3, 0),
+        li(Reg::R4, 5_000),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 },
+        Instruction::Cancel { rt: Reg::R3 }, // token 1 (cancellation)
+        li(Reg::R4, 50),
+        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // token 2 at +50us
+        Instruction::Done,
+    ]);
+    // Handler counts invocations at DMEM 0x10; halts on the second.
+    let handler_src: Vec<Instruction> = vec![
+        Instruction::Load { rd: Reg::R5, base: Reg::R0, offset: 0x10 },   // 0x80..82
+        Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::R5, imm: 1 },  // 0x82..84
+        Instruction::Store { rs: Reg::R5, base: Reg::R0, offset: 0x10 },  // 0x84..86
+        Instruction::AluImm { op: AluImmOp::Slti, rd: Reg::R5, imm: 2 },  // 0x86..88
+        Instruction::Branch {
+            cond: snap_isa::BranchCond::Eqz,
+            ra: Reg::R5,
+            rb: Reg::R0,
+            target: 0x80 + 11, // second invocation (count >= 2): halt
+        },                                                                // 0x88..8a
+        Instruction::Done,                                                // 0x8a
+        Instruction::Halt,                                                // 0x8b
+    ];
+    let mut cpu = cpu_with(&boot);
+    let img: Vec<Word> = handler_src.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_to_halt(1_000).unwrap();
+    assert_eq!(cpu.dmem().read(0x10), 2, "cancel token + expiry token");
+    assert_eq!(cpu.timers().cancelled(), 1);
+    assert_eq!(cpu.timers().expired(), 1);
+}
+
+/// Every instruction that reads r15 pops exactly one FIFO entry; an
+/// instruction reading it twice pops twice.
+#[test]
+fn r15_double_read_pops_twice() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::RadioRx, 0x80);
+    boot.push(li(Reg::R15, snap_isa::MsgCommand::RadioRxOn.encode()));
+    boot.push(Instruction::Done);
+    // Handler: r3 = r15; r3 += r15 (pops two queued words).
+    let handler = [
+        li(Reg::R3, 0),
+        Instruction::AluReg { op: AluOp::Mov, rd: Reg::R3, rs: Reg::R15 },
+        Instruction::AluReg { op: AluOp::Add, rd: Reg::R3, rs: Reg::R15 },
+        Instruction::Halt,
+    ];
+    let mut cpu = cpu_with(&boot);
+    let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_until_idle(100).unwrap();
+    cpu.post_radio_rx(30);
+    cpu.post_radio_rx(12);
+    cpu.run_to_halt(100).unwrap();
+    assert_eq!(cpu.regs().read(Reg::R3), 42);
+    assert_eq!(cpu.msg().outgoing_len(), 0);
+}
+
+/// A handler that underflows the FIFO faults deterministically.
+#[test]
+fn r15_underflow_faults_with_address() {
+    let mut boot = Vec::new();
+    install(&mut boot, EventKind::SensorIrq, 0x80);
+    boot.push(Instruction::Done);
+    let handler = [Instruction::AluReg { op: AluOp::Mov, rd: Reg::R3, rs: Reg::R15 }];
+    let mut cpu = cpu_with(&boot);
+    let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+    cpu.load_image(0x80, &img).unwrap();
+    cpu.run_until_idle(100).unwrap();
+    cpu.post_sensor_irq();
+    let err = cpu.run_to_halt(100).unwrap_err();
+    assert_eq!(err, StepError::MsgPortEmpty { at: 0x80 });
+}
+
+/// Sleep accounting: advance_idle splits wall time into sleep time and
+/// never goes backwards.
+#[test]
+fn advance_idle_accounting() {
+    let mut cpu = cpu_with(&[Instruction::Done]);
+    cpu.run_until_idle(10).unwrap();
+    assert_eq!(cpu.state(), CoreState::Asleep);
+    let t0 = cpu.now();
+    let target = t0 + SimDuration::from_ms(3);
+    let reached = cpu.advance_idle(target);
+    assert_eq!(reached, target);
+    // Advancing to the past is a no-op.
+    let same = cpu.advance_idle(SimTime::ZERO);
+    assert_eq!(same, target);
+    let stats = cpu.stats();
+    assert!((stats.sleep_time.as_ms() - 3.0).abs() < 0.01, "{}", stats.sleep_time);
+}

@@ -1,0 +1,207 @@
+//! Component-level energy attribution.
+//!
+//! Paper §4.4: within the processor core (excluding memories), 33 % of
+//! the energy goes to the datapath (including the data busses), 20 % to
+//! instruction fetch, 16 % to decode, 9 % to the memory interface, and
+//! 22 % to miscellaneous logic (decoupling buffers, control). The core
+//! as a whole is about half of the per-instruction energy; the other
+//! half is memory access.
+
+use crate::units::Energy;
+use std::fmt;
+
+/// A unit of the processor that energy can be attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// Execution units and the data busses.
+    Datapath,
+    /// Instruction fetch (including the event-queue head logic).
+    Fetch,
+    /// Instruction decode.
+    Decode,
+    /// The core's interface to the memories.
+    MemInterface,
+    /// Decoupling buffers and miscellaneous control.
+    Misc,
+    /// Instruction-memory accesses (fetch words + `ilw`/`isw` data).
+    Imem,
+    /// Data-memory accesses.
+    Dmem,
+}
+
+impl Component {
+    /// All components, in display order.
+    pub const ALL: [Component; 7] = [
+        Component::Datapath,
+        Component::Fetch,
+        Component::Decode,
+        Component::MemInterface,
+        Component::Misc,
+        Component::Imem,
+        Component::Dmem,
+    ];
+
+    /// The paper's §4.4 split of *core* energy across core components.
+    pub const CORE_SPLIT: [(Component, f64); 5] = [
+        (Component::Datapath, 0.33),
+        (Component::Fetch, 0.20),
+        (Component::Decode, 0.16),
+        (Component::MemInterface, 0.09),
+        (Component::Misc, 0.22),
+    ];
+
+    /// `true` for the memory components (IMEM/DMEM).
+    pub fn is_memory(self) -> bool {
+        matches!(self, Component::Imem | Component::Dmem)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Datapath => "datapath",
+            Component::Fetch => "fetch",
+            Component::Decode => "decode",
+            Component::MemInterface => "mem-interface",
+            Component::Misc => "misc",
+            Component::Imem => "imem",
+            Component::Dmem => "dmem",
+        }
+    }
+
+    fn ordinal(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Energy attributed per component; an accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComponentEnergy {
+    per: [Energy; 7],
+}
+
+impl ComponentEnergy {
+    /// An all-zero attribution.
+    pub fn new() -> ComponentEnergy {
+        ComponentEnergy::default()
+    }
+
+    /// Add energy to a component.
+    pub fn add(&mut self, component: Component, energy: Energy) {
+        self.per[component.ordinal()] += energy;
+    }
+
+    /// Merge another attribution into this one.
+    pub fn merge(&mut self, other: &ComponentEnergy) {
+        for c in Component::ALL {
+            self.per[c.ordinal()] += other.get(c);
+        }
+    }
+
+    /// Energy attributed to one component.
+    pub fn get(&self, component: Component) -> Energy {
+        self.per[component.ordinal()]
+    }
+
+    /// Total energy across all components.
+    pub fn total(&self) -> Energy {
+        self.per.iter().copied().sum()
+    }
+
+    /// Total energy attributed to memories (IMEM + DMEM).
+    pub fn memory_total(&self) -> Energy {
+        self.get(Component::Imem) + self.get(Component::Dmem)
+    }
+
+    /// Total energy attributed to the core (everything but memories).
+    pub fn core_total(&self) -> Energy {
+        self.total() - self.memory_total()
+    }
+
+    /// Fraction of *core* energy attributed to a core component.
+    ///
+    /// Returns 0 when no core energy has been recorded.
+    pub fn core_fraction(&self, component: Component) -> f64 {
+        let core = self.core_total().as_pj();
+        if core == 0.0 || component.is_memory() {
+            return 0.0;
+        }
+        self.get(component).as_pj() / core
+    }
+
+    /// Iterate `(component, energy)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Energy)> + '_ {
+        Component::ALL.into_iter().map(move |c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Display for ComponentEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "total {total}")?;
+        for (c, e) in self.iter() {
+            let pct = if total.as_pj() > 0.0 { e.as_pj() / total.as_pj() * 100.0 } else { 0.0 };
+            writeln!(f, "  {c:<14} {e:>12} ({pct:4.1}%)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_split_sums_to_one() {
+        let sum: f64 = Component::CORE_SPLIT.iter().map(|(_, frac)| frac).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "{sum}");
+    }
+
+    #[test]
+    fn accumulation_and_totals() {
+        let mut ce = ComponentEnergy::new();
+        ce.add(Component::Datapath, Energy::from_pj(33.0));
+        ce.add(Component::Fetch, Energy::from_pj(20.0));
+        ce.add(Component::Imem, Energy::from_pj(40.0));
+        ce.add(Component::Dmem, Energy::from_pj(7.0));
+        assert!((ce.total().as_pj() - 100.0).abs() < 1e-12);
+        assert!((ce.memory_total().as_pj() - 47.0).abs() < 1e-12);
+        assert!((ce.core_total().as_pj() - 53.0).abs() < 1e-12);
+        assert!((ce.core_fraction(Component::Datapath) - 33.0 / 53.0).abs() < 1e-12);
+        assert_eq!(ce.core_fraction(Component::Imem), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_pointwise() {
+        let mut a = ComponentEnergy::new();
+        a.add(Component::Misc, Energy::from_pj(5.0));
+        let mut b = ComponentEnergy::new();
+        b.add(Component::Misc, Energy::from_pj(7.0));
+        b.add(Component::Dmem, Energy::from_pj(1.0));
+        a.merge(&b);
+        assert!((a.get(Component::Misc).as_pj() - 12.0).abs() < 1e-12);
+        assert!((a.get(Component::Dmem).as_pj() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let ce = ComponentEnergy::new();
+        assert_eq!(ce.core_fraction(Component::Fetch), 0.0);
+        assert_eq!(ce.total(), Energy::ZERO);
+    }
+
+    #[test]
+    fn display_contains_all_components() {
+        let mut ce = ComponentEnergy::new();
+        ce.add(Component::Decode, Energy::from_pj(16.0));
+        let s = ce.to_string();
+        for c in Component::ALL {
+            assert!(s.contains(c.label()), "missing {c}");
+        }
+    }
+}

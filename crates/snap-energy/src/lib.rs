@@ -1,0 +1,39 @@
+//! # snap-energy — energy and timing models
+//!
+//! The paper evaluates SNAP/LE with SPICE-calibrated switch-level
+//! simulation of a transistor-level 180 nm design. This crate replaces
+//! that apparatus with an *architectural* energy/timing model whose
+//! constants are calibrated to the paper's published numbers:
+//!
+//! * energy scales with the square of the supply voltage
+//!   (216–219 → 54–56 → 23–24 pJ/ins across 1.8/0.9/0.6 V is a clean V²
+//!   sequence);
+//! * delay scales by ×1 / ×3.93 / ×8.57 across the same voltages (both
+//!   the 240/61/28 MIPS and the 2.5/9.8/21.4 ns wake-up sequences give
+//!   the same factors);
+//! * per-instruction energy decomposes into a core part plus memory
+//!   parts (one IMEM word per instruction word fetched, one DMEM access
+//!   for loads/stores) — the paper reports memory as "about half" of the
+//!   energy per instruction;
+//! * the core part splits 33 % datapath / 20 % fetch / 16 % decode /
+//!   9 % memory interface / 22 % miscellaneous (paper §4.4).
+//!
+//! The same crate carries the baseline models: the ATmega128L-class
+//! microcontroller constants (≈1500 pJ/ins at 3 V and 4 MIPS, paper
+//! Table 2 and §4.6) and the static rows of Table 2.
+
+#![warn(missing_docs)]
+
+pub mod avr;
+pub mod breakdown;
+pub mod model;
+pub mod related;
+pub mod units;
+pub mod voltage;
+
+pub use avr::AvrEnergyModel;
+pub use breakdown::{Component, ComponentEnergy};
+pub use model::{SnapEnergyModel, SnapTimingModel};
+pub use related::{related_processors, RelatedProcessor};
+pub use units::{Energy, Power};
+pub use voltage::OperatingPoint;

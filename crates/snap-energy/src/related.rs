@@ -1,0 +1,137 @@
+//! The static rows of Table 2: related microcontrollers.
+//!
+//! Literature data quoted by the paper for the processors it compares
+//! against. The two SNAP/LE rows are *measured* by the benchmark harness
+//! (crate `bench`, binary `table2`) rather than stored here.
+
+use serde::{Deserialize, Serialize};
+
+/// One comparison row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelatedProcessor {
+    /// Processor name.
+    pub name: &'static str,
+    /// Short context note from the paper.
+    pub note: &'static str,
+    /// `true` for clocked (synchronous) designs.
+    pub clocked: bool,
+    /// Throughput band in MIPS (min, max).
+    pub mips: (f64, f64),
+    /// Datapath width in bits.
+    pub datapath_bits: u8,
+    /// On-chip / directly-attached memory description.
+    pub memory: &'static str,
+    /// Supply-voltage band in volts (min, max).
+    pub voltage: (f64, f64),
+    /// Energy per instruction band in picojoules (min, max).
+    pub energy_per_ins_pj: (f64, f64),
+}
+
+/// The static (literature) rows of Table 2, in the paper's order.
+pub fn related_processors() -> Vec<RelatedProcessor> {
+    vec![
+        RelatedProcessor {
+            name: "Atmel Mega128L",
+            note: "AVR RISC core used by MICA2 Mote, MEDUSA-II",
+            clocked: true,
+            mips: (4.0, 4.0),
+            datapath_bits: 8,
+            memory: "4-8K",
+            voltage: (3.0, 3.0),
+            energy_per_ins_pj: (1_500.0, 1_500.0),
+        },
+        RelatedProcessor {
+            name: "Intel XScale",
+            note: "High end ARM cores, used in Rockwell sensors, Intel Mote",
+            clocked: true,
+            mips: (200.0, 400.0),
+            datapath_bits: 32,
+            memory: "16-32MB",
+            voltage: (1.3, 1.65),
+            energy_per_ins_pj: (890.0, 1_028.0),
+        },
+        RelatedProcessor {
+            name: "DVS Microprocessor",
+            note: "Dynamic voltage scaled custom ARM8",
+            clocked: true,
+            mips: (7.0, 84.0),
+            datapath_bits: 32,
+            memory: "16KB",
+            voltage: (1.8, 3.8),
+            energy_per_ins_pj: (540.0, 5_600.0),
+        },
+        RelatedProcessor {
+            name: "CoolRISC",
+            note: "XE88 microcontroller",
+            clocked: true,
+            mips: (1.0, 1.0),
+            datapath_bits: 8,
+            memory: "22KB",
+            voltage: (2.4, 2.4),
+            energy_per_ins_pj: (720.0, 720.0),
+        },
+        RelatedProcessor {
+            name: "Lutonium",
+            note: "8051 compatible in TSMC 0.18um (asynchronous QDI)",
+            clocked: false,
+            mips: (200.0, 200.0),
+            datapath_bits: 8,
+            memory: "8KB",
+            voltage: (1.8, 1.8),
+            energy_per_ins_pj: (500.0, 500.0),
+        },
+        RelatedProcessor {
+            name: "Aspro-216",
+            note: "Custom async microcontroller in STM 0.25um",
+            clocked: false,
+            mips: (25.0, 140.0),
+            datapath_bits: 16,
+            memory: "64KB",
+            voltage: (1.0, 2.5),
+            energy_per_ins_pj: (1_000.0, 3_000.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_literature_rows() {
+        assert_eq!(related_processors().len(), 6);
+    }
+
+    #[test]
+    fn snap_at_0v6_beats_every_row_on_energy() {
+        // Paper: SNAP/LE at 0.6 V is ≈24 pJ/ins; the cheapest related
+        // processor (Lutonium) is 500 pJ/ins. The Atmel is "almost 68x".
+        let snap_pj = 24.0;
+        for row in related_processors() {
+            assert!(
+                row.energy_per_ins_pj.0 / snap_pj > 20.0,
+                "{} should be >20x SNAP energy",
+                row.name
+            );
+        }
+        let atmel = &related_processors()[0];
+        let ratio = atmel.energy_per_ins_pj.0 / snap_pj;
+        assert!((60.0..70.0).contains(&ratio), "Atmel ratio {ratio}");
+    }
+
+    #[test]
+    fn rows_have_sane_bands() {
+        for row in related_processors() {
+            assert!(row.mips.0 <= row.mips.1, "{}", row.name);
+            assert!(row.voltage.0 <= row.voltage.1, "{}", row.name);
+            assert!(row.energy_per_ins_pj.0 <= row.energy_per_ins_pj.1, "{}", row.name);
+            assert!(matches!(row.datapath_bits, 8 | 16 | 32), "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn debug_output_names_rows() {
+        let dbg = format!("{:?}", related_processors());
+        assert!(dbg.contains("Lutonium") && dbg.contains("Aspro-216"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Energy and power quantities.
+//!
+//! Picojoules are the paper's working unit ("picojoule computing"); a
+//! whole handler is tens of nanojoules and a node-month is millijoules,
+//! all comfortably inside `f64`.
+
+use dess::SimDuration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An amount of energy, stored in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// From picojoules.
+    pub const fn from_pj(pj: f64) -> Energy {
+        Energy(pj)
+    }
+
+    /// From nanojoules.
+    pub fn from_nj(nj: f64) -> Energy {
+        Energy(nj * 1e3)
+    }
+
+    /// In picojoules.
+    pub const fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// In nanojoules.
+    pub fn as_nj(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// In microjoules.
+    pub fn as_uj(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Average power when this energy is spent over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn over(self, dt: SimDuration) -> Power {
+        assert!(!dt.is_zero(), "cannot compute power over a zero duration");
+        // pJ / ps = W
+        Power::from_watts(self.0 / dt.as_ps() as f64)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Energy {
+    type Output = Energy;
+
+    fn mul(self, rhs: u64) -> Energy {
+        Energy(self.0 * rhs as f64)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Div<Energy> for Energy {
+    type Output = f64;
+
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pj = self.0;
+        if pj.abs() >= 1e6 {
+            write!(f, "{:.2}uJ", pj / 1e6)
+        } else if pj.abs() >= 1e3 {
+            write!(f, "{:.2}nJ", pj / 1e3)
+        } else {
+            write!(f, "{:.1}pJ", pj)
+        }
+    }
+}
+
+/// Electrical power, stored in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// From watts.
+    pub const fn from_watts(w: f64) -> Power {
+        Power(w)
+    }
+
+    /// From nanowatts.
+    pub fn from_nw(nw: f64) -> Power {
+        Power(nw * 1e-9)
+    }
+
+    /// From milliwatts.
+    pub fn from_mw(mw: f64) -> Power {
+        Power(mw * 1e-3)
+    }
+
+    /// In watts.
+    pub const fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// In nanowatts.
+    pub fn as_nw(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// In microwatts.
+    pub fn as_uw(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// In milliwatts.
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Energy spent sustaining this power for `dt`.
+    pub fn for_duration(self, dt: SimDuration) -> Energy {
+        // W * ps = pJ
+        Energy::from_pj(self.0 * dt.as_ps() as f64)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.0;
+        if w.abs() >= 1e-3 {
+            write!(f, "{:.2}mW", w * 1e3)
+        } else if w.abs() >= 1e-6 {
+            write!(f, "{:.2}uW", w * 1e6)
+        } else {
+            write!(f, "{:.1}nW", w * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Energy::from_nj(1.5).as_pj(), 1500.0);
+        assert!((Energy::from_pj(2e6).as_uj() - 2.0).abs() < 1e-12);
+        assert!((Power::from_mw(15.0).as_watts() - 0.015).abs() < 1e-12);
+        assert!((Power::from_nw(550.0).as_uw() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        // 218 pJ per instruction at 240 MIPS => 218pJ / 4.1667ns = 52.3mW? No:
+        // 218 pJ / 4166.7 ps = 0.0523 W. Sanity-check the arithmetic.
+        let e = Energy::from_pj(218.0);
+        let p = e.over(SimDuration::from_ps(4_167));
+        assert!((p.as_mw() - 52.3).abs() < 0.2, "{p}");
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // Paper §4.7: one 5.8 nJ handler (0.6 V) ten times per second is 58 nW.
+        let p = Power::from_nw(58.0);
+        let e = p.for_duration(SimDuration::from_ms(100));
+        assert!((e.as_nj() - 5.8).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Energy = [1.0, 2.0, 3.0].into_iter().map(Energy::from_pj).sum();
+        assert_eq!(total.as_pj(), 6.0);
+        assert_eq!((Energy::from_pj(4.0) * 2.5).as_pj(), 10.0);
+        assert_eq!((Energy::from_pj(9.0) / 3.0).as_pj(), 3.0);
+        assert_eq!(Energy::from_pj(9.0) / Energy::from_pj(3.0), 3.0);
+        assert_eq!((Energy::from_pj(9.0) - Energy::from_pj(3.0)).as_pj(), 6.0);
+        assert_eq!((Energy::from_pj(3.0) * 4u64).as_pj(), 12.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Energy::from_pj(24.0).to_string(), "24.0pJ");
+        assert_eq!(Energy::from_pj(5_800.0).to_string(), "5.80nJ");
+        assert_eq!(Energy::from_pj(1_960_000.0).to_string(), "1.96uJ");
+        assert_eq!(Power::from_nw(150.0).to_string(), "150.0nW");
+        assert_eq!(Power::from_mw(15.0).to_string(), "15.00mW");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn power_over_zero_duration_panics() {
+        let _ = Energy::from_pj(1.0).over(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Supply-voltage operating points.
+//!
+//! The paper evaluates SNAP/LE at 1.8 V (nominal for TSMC 180 nm), 0.9 V
+//! and 0.6 V. Two scaling laws connect the points:
+//!
+//! * **Energy** — switching energy goes as C·V², so
+//!   `scale = (V / 1.8)²`. The paper's measured averages
+//!   (216–219 / 54–56 / 23–24 pJ/ins) follow this exactly.
+//! * **Delay** — the paper's throughput (240 / 61 / 28 MIPS) and wake-up
+//!   (2.5 / 9.8 / 21.4 ns) sequences both give delay factors of
+//!   ×1 / ×3.93 / ×8.57; we store those calibrated factors per point.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Nominal supply for the 180 nm process.
+const NOMINAL_VDD: f64 = 1.8;
+
+/// A supply-voltage operating point with its calibrated delay factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    vdd: f64,
+    delay_factor: f64,
+}
+
+impl OperatingPoint {
+    /// 1.8 V — nominal voltage; 240 MIPS, ~218 pJ/ins.
+    pub const V1_8: OperatingPoint = OperatingPoint { vdd: 1.8, delay_factor: 1.0 };
+
+    /// 0.9 V — 61 MIPS, ~55 pJ/ins.
+    pub const V0_9: OperatingPoint = OperatingPoint { vdd: 0.9, delay_factor: 3.93 };
+
+    /// 0.6 V — the paper's target deployment point; 28 MIPS, ~24 pJ/ins.
+    pub const V0_6: OperatingPoint = OperatingPoint { vdd: 0.6, delay_factor: 8.57 };
+
+    /// The three operating points evaluated in the paper, highest first
+    /// (matching the order of Table 1's columns).
+    pub const PAPER_POINTS: [OperatingPoint; 3] =
+        [OperatingPoint::V1_8, OperatingPoint::V0_9, OperatingPoint::V0_6];
+
+    /// A custom operating point.
+    ///
+    /// `delay_factor` is the circuit slow-down relative to 1.8 V; use the
+    /// paper-calibrated constants ([`OperatingPoint::V1_8`] etc.) for the
+    /// published voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vdd > 0` and `delay_factor >= 1`.
+    pub fn new(vdd: f64, delay_factor: f64) -> OperatingPoint {
+        assert!(vdd > 0.0, "supply voltage must be positive");
+        assert!(delay_factor >= 1.0, "delay factor is relative to nominal (>= 1)");
+        OperatingPoint { vdd, delay_factor }
+    }
+
+    /// The supply voltage in volts.
+    pub fn vdd(self) -> f64 {
+        self.vdd
+    }
+
+    /// Energy scale relative to 1.8 V: `(V / 1.8)²`.
+    pub fn energy_scale(self) -> f64 {
+        let r = self.vdd / NOMINAL_VDD;
+        r * r
+    }
+
+    /// Circuit delay factor relative to 1.8 V.
+    pub fn delay_factor(self) -> f64 {
+        self.delay_factor
+    }
+
+    /// A short label such as `"1.8V"` used in table headers.
+    pub fn label(self) -> String {
+        format!("{:.1}V", self.vdd)
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}V (×{:.2} delay)", self.vdd, self.delay_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_quadratically() {
+        assert!((OperatingPoint::V1_8.energy_scale() - 1.0).abs() < 1e-12);
+        assert!((OperatingPoint::V0_9.energy_scale() - 0.25).abs() < 1e-12);
+        assert!((OperatingPoint::V0_6.energy_scale() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_energy_sequence_is_v_squared() {
+        // 218 pJ/ins at 1.8 V should land in the paper's 0.9/0.6 V bands.
+        let base = 218.0;
+        let at_09 = base * OperatingPoint::V0_9.energy_scale();
+        let at_06 = base * OperatingPoint::V0_6.energy_scale();
+        assert!((54.0..=56.0).contains(&at_09), "{at_09}");
+        assert!((23.0..=25.0).contains(&at_06), "{at_06}");
+    }
+
+    #[test]
+    fn delay_factors_match_paper_mips() {
+        // 240 MIPS at 1.8 V implies 61 and 28 MIPS at the lower points.
+        assert!((240.0 / OperatingPoint::V0_9.delay_factor() - 61.0).abs() < 1.0);
+        assert!((240.0 / OperatingPoint::V0_6.delay_factor() - 28.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn custom_point() {
+        let p = OperatingPoint::new(1.2, 2.0);
+        assert!((p.energy_scale() - (1.2f64 / 1.8).powi(2)).abs() < 1e-12);
+        assert_eq!(p.label(), "1.2V");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_vdd_rejected() {
+        let _ = OperatingPoint::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Binary decoding: 16-bit words → [`Instruction`].
+
+use crate::encode::{event_fn, jump_fn, mem_fn, net_fn, opcode, timer_fn};
+use crate::instr::{AluImmOp, AluOp, BranchCond, Instruction, ShiftOp};
+use crate::reg::Reg;
+use crate::{DecodeError, Word};
+
+impl Instruction {
+    /// Decode an instruction from its first word and (for two-word
+    /// instructions) the following word.
+    ///
+    /// # Errors
+    ///
+    /// * [`DecodeError::IllegalInstruction`] — unassigned opcode/function.
+    /// * [`DecodeError::MissingImmediate`] — `first` starts a two-word
+    ///   instruction but `second` is `None`.
+    pub fn decode(first: Word, second: Option<Word>) -> Result<Instruction, DecodeError> {
+        let op = first >> 12;
+        let rd = Reg::from_index_truncated(first >> 8);
+        let rs = Reg::from_index_truncated(first >> 4);
+        let func = first & 0xf;
+        let illegal = || DecodeError::IllegalInstruction { word: first };
+        let imm = || -> Result<Word, DecodeError> {
+            second.ok_or(DecodeError::MissingImmediate { word: first })
+        };
+
+        match op {
+            opcode::ALU_REG => {
+                let alu = *AluOp::ALL.get(func as usize).ok_or_else(illegal)?;
+                Ok(Instruction::AluReg { op: alu, rd, rs })
+            }
+            opcode::SHIFT_REG => {
+                let sh = *ShiftOp::ALL.get(func as usize).ok_or_else(illegal)?;
+                Ok(Instruction::ShiftReg { op: sh, rd, rs })
+            }
+            opcode::ALU_IMM => {
+                let alu = AluImmOp::from_fn_code(func).ok_or_else(illegal)?;
+                Ok(Instruction::AluImm { op: alu, rd, imm: imm()? })
+            }
+            opcode::SHIFT_IMM => {
+                let sh = *ShiftOp::ALL.get(func as usize).ok_or_else(illegal)?;
+                let amount = ((first >> 4) & 0xf) as u8;
+                Ok(Instruction::ShiftImm { op: sh, rd, amount })
+            }
+            opcode::DMEM => match func {
+                mem_fn::LOAD => Ok(Instruction::Load { rd, base: rs, offset: imm()? }),
+                mem_fn::STORE => Ok(Instruction::Store { rs: rd, base: rs, offset: imm()? }),
+                _ => Err(illegal()),
+            },
+            opcode::IMEM => match func {
+                mem_fn::LOAD => Ok(Instruction::ImemLoad { rd, base: rs, offset: imm()? }),
+                mem_fn::STORE => Ok(Instruction::ImemStore { rs: rd, base: rs, offset: imm()? }),
+                _ => Err(illegal()),
+            },
+            opcode::BRANCH => {
+                let cond = *BranchCond::ALL.get(func as usize).ok_or_else(illegal)?;
+                let rb = if cond.is_unary() { Reg::R0 } else { rs };
+                Ok(Instruction::Branch { cond, ra: rd, rb, target: imm()? })
+            }
+            opcode::JUMP => match func {
+                jump_fn::JMP => Ok(Instruction::Jmp { target: imm()? }),
+                jump_fn::JAL => Ok(Instruction::Jal { rd, target: imm()? }),
+                jump_fn::JR => Ok(Instruction::Jr { rs }),
+                jump_fn::JALR => Ok(Instruction::Jalr { rd, rs }),
+                _ => Err(illegal()),
+            },
+            opcode::TIMER => match func {
+                timer_fn::SCHEDHI => Ok(Instruction::SchedHi { rt: rd, rv: rs }),
+                timer_fn::SCHEDLO => Ok(Instruction::SchedLo { rt: rd, rv: rs }),
+                timer_fn::CANCEL => Ok(Instruction::Cancel { rt: rd }),
+                _ => Err(illegal()),
+            },
+            opcode::NET => match func {
+                net_fn::BFS => Ok(Instruction::Bfs { rd, rs, mask: imm()? }),
+                net_fn::RAND => Ok(Instruction::Rand { rd }),
+                net_fn::SEED => Ok(Instruction::Seed { rs }),
+                _ => Err(illegal()),
+            },
+            opcode::EVENT => match func {
+                event_fn::DONE => Ok(Instruction::Done),
+                event_fn::SETADDR => Ok(Instruction::SetAddr { rev: rd, raddr: rs }),
+                event_fn::NOP => Ok(Instruction::Nop),
+                event_fn::HALT => Ok(Instruction::Halt),
+                event_fn::SWEV => Ok(Instruction::SwEvent { rn: rd }),
+                _ => Err(illegal()),
+            },
+            _ => Err(illegal()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::EncodedWords;
+
+    /// A representative instance of every instruction variant.
+    pub(crate) fn sample_instructions() -> Vec<Instruction> {
+        let mut v = Vec::new();
+        for op in AluOp::ALL {
+            v.push(Instruction::AluReg { op, rd: Reg::R3, rs: Reg::R7 });
+        }
+        for op in AluImmOp::ALL {
+            v.push(Instruction::AluImm { op, rd: Reg::R12, imm: 0xbeef });
+        }
+        for op in ShiftOp::ALL {
+            v.push(Instruction::ShiftReg { op, rd: Reg::R1, rs: Reg::R2 });
+            v.push(Instruction::ShiftImm { op, rd: Reg::R1, amount: 9 });
+        }
+        v.push(Instruction::Load { rd: Reg::R4, base: Reg::R5, offset: 0x10 });
+        v.push(Instruction::Store { rs: Reg::R4, base: Reg::R5, offset: 0x11 });
+        v.push(Instruction::ImemLoad { rd: Reg::R4, base: Reg::R5, offset: 0x12 });
+        v.push(Instruction::ImemStore { rs: Reg::R4, base: Reg::R5, offset: 0x13 });
+        for cond in BranchCond::ALL {
+            let rb = if cond.is_unary() { Reg::R0 } else { Reg::R9 };
+            v.push(Instruction::Branch { cond, ra: Reg::R8, rb, target: 0x123 });
+        }
+        v.push(Instruction::Jmp { target: 0x200 });
+        v.push(Instruction::Jal { rd: Reg::R14, target: 0x201 });
+        v.push(Instruction::Jr { rs: Reg::R14 });
+        v.push(Instruction::Jalr { rd: Reg::R14, rs: Reg::R6 });
+        v.push(Instruction::SchedHi { rt: Reg::R1, rv: Reg::R2 });
+        v.push(Instruction::SchedLo { rt: Reg::R1, rv: Reg::R2 });
+        v.push(Instruction::Cancel { rt: Reg::R1 });
+        v.push(Instruction::Bfs { rd: Reg::R2, rs: Reg::R3, mask: 0x0ff0 });
+        v.push(Instruction::Rand { rd: Reg::R10 });
+        v.push(Instruction::Seed { rs: Reg::R10 });
+        v.push(Instruction::Done);
+        v.push(Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 });
+        v.push(Instruction::Nop);
+        v.push(Instruction::Halt);
+        v.push(Instruction::SwEvent { rn: Reg::R3 });
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_variants() {
+        for ins in sample_instructions() {
+            let w = ins.encode();
+            let back = Instruction::decode(w.first(), w.second())
+                .unwrap_or_else(|e| panic!("decoding {ins}: {e}"));
+            assert_eq!(back, ins, "round trip of {ins}");
+        }
+    }
+
+    #[test]
+    fn word_count_matches_encoding() {
+        for ins in sample_instructions() {
+            assert_eq!(ins.encode().len(), ins.word_count(), "{ins}");
+            assert_eq!(ins.is_two_word(), ins.word_count() == 2, "{ins}");
+        }
+    }
+
+    #[test]
+    fn first_word_two_word_predicate_agrees() {
+        for ins in sample_instructions() {
+            let w = ins.encode();
+            assert_eq!(
+                Instruction::first_word_is_two_word(w.first()),
+                ins.is_two_word(),
+                "{ins}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_word_without_immediate_is_error() {
+        let w = Instruction::Jmp { target: 5 }.encode();
+        assert_eq!(
+            Instruction::decode(w.first(), None),
+            Err(DecodeError::MissingImmediate { word: w.first() })
+        );
+    }
+
+    #[test]
+    fn illegal_opcodes_are_rejected() {
+        // Opcodes 0xb..=0xf are unassigned.
+        for op in 0xbu16..=0xf {
+            let word = op << 12;
+            assert_eq!(
+                Instruction::decode(word, Some(0)),
+                Err(DecodeError::IllegalInstruction { word })
+            );
+        }
+        // Unassigned function codes inside assigned groups.
+        for word in [0x000c_u16, 0x1005, 0x2001, 0x4002, 0x5003, 0x7004, 0x8003, 0x9003, 0xa005] {
+            assert_eq!(
+                Instruction::decode(word, Some(0)),
+                Err(DecodeError::IllegalInstruction { word }),
+                "word {word:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn msg_port_detection() {
+        let read = Instruction::AluReg { op: AluOp::Mov, rd: Reg::R1, rs: Reg::R15 };
+        assert!(read.reads_msg_port());
+        assert!(!read.writes_msg_port());
+
+        let write = Instruction::AluReg { op: AluOp::Mov, rd: Reg::R15, rs: Reg::R1 };
+        assert!(write.writes_msg_port());
+        assert!(!write.reads_msg_port());
+
+        // Destructive add reads its destination too.
+        let rmw = Instruction::AluReg { op: AluOp::Add, rd: Reg::R15, rs: Reg::R1 };
+        assert!(rmw.reads_msg_port() && rmw.writes_msg_port());
+    }
+
+    #[test]
+    fn classes_are_stable() {
+        use crate::instr::InstructionClass as C;
+        let cases = [
+            (Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 }, C::ArithReg),
+            (Instruction::AluReg { op: AluOp::And, rd: Reg::R1, rs: Reg::R2 }, C::LogicalReg),
+            (Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::R1, imm: 1 }, C::ArithImm),
+            (Instruction::AluImm { op: AluImmOp::Ori, rd: Reg::R1, imm: 1 }, C::LogicalImm),
+            (Instruction::ShiftImm { op: ShiftOp::Sll, rd: Reg::R1, amount: 1 }, C::Shift),
+            (Instruction::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }, C::Load),
+            (Instruction::Store { rs: Reg::R1, base: Reg::R2, offset: 0 }, C::Store),
+            (Instruction::Jmp { target: 0 }, C::Jump),
+            (Instruction::Done, C::Event),
+        ];
+        for (ins, class) in cases {
+            assert_eq!(ins.class(), class, "{ins}");
+        }
+    }
+
+    #[test]
+    fn display_formats_reasonably() {
+        let ins = Instruction::Load { rd: Reg::R4, base: Reg::R13, offset: 0x20 };
+        assert_eq!(ins.to_string(), "lw r4, 0x20(r13)");
+        assert_eq!(Instruction::Done.to_string(), "done");
+        assert_eq!(
+            Instruction::Branch { cond: BranchCond::Eqz, ra: Reg::R2, rb: Reg::R0, target: 0x40 }
+                .to_string(),
+            "beqz r2, 0x40"
+        );
+    }
+
+    #[test]
+    fn encoded_words_iterates_in_memory_order() {
+        let two = EncodedWords::two(0xaaaa, 0xbbbb);
+        assert_eq!(two.into_iter().collect::<Vec<_>>(), vec![0xaaaa, 0xbbbb]);
+        let one = EncodedWords::one(0x1234);
+        assert_eq!(one.into_iter().collect::<Vec<_>>(), vec![0x1234]);
+    }
+}
+
+#[cfg(test)]
+mod exhaustive {
+    use super::*;
+
+    /// Sweep all 65536 possible first words: decoding either succeeds
+    /// (and is stable under canonical re-encoding) or reports an
+    /// illegal instruction — never panics, never disagrees with the
+    /// fetch unit's two-word predicate.
+    #[test]
+    fn all_first_words_decode_or_reject() {
+        let mut legal = 0u32;
+        for first in 0..=u16::MAX {
+            match Instruction::decode(first, Some(0x1234)) {
+                Ok(ins) => {
+                    legal += 1;
+                    assert_eq!(
+                        Instruction::first_word_is_two_word(first),
+                        ins.is_two_word(),
+                        "{first:#06x}"
+                    );
+                    let enc = ins.encode();
+                    let again = Instruction::decode(enc.first(), enc.second()).unwrap();
+                    assert_eq!(again, ins, "{first:#06x}");
+                }
+                Err(DecodeError::IllegalInstruction { word }) => {
+                    assert_eq!(word, first);
+                }
+                Err(other) => panic!("{first:#06x}: unexpected {other}"),
+            }
+        }
+        // Regression canary on the opcode map: 11 assigned major
+        // opcodes with their current function-code subsets.
+        assert_eq!(legal, 14_592, "the encoding map changed");
+    }
+}

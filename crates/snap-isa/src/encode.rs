@@ -1,0 +1,170 @@
+//! Binary encoding: [`Instruction`] → one or two 16-bit words.
+//!
+//! Every instruction encodes; there is no failure case because all field
+//! widths are enforced by the Rust types (`Reg` is 4 bits, shift amounts
+//! are masked to 4 bits, immediates are full 16-bit words).
+
+use crate::instr::{EncodedWords, Instruction};
+use crate::reg::Reg;
+use crate::Word;
+
+/// Major opcode values (bits 15:12 of the first word).
+pub(crate) mod opcode {
+    pub const ALU_REG: u16 = 0x0;
+    pub const SHIFT_REG: u16 = 0x1;
+    pub const ALU_IMM: u16 = 0x2;
+    pub const SHIFT_IMM: u16 = 0x3;
+    pub const DMEM: u16 = 0x4;
+    pub const IMEM: u16 = 0x5;
+    pub const BRANCH: u16 = 0x6;
+    pub const JUMP: u16 = 0x7;
+    pub const TIMER: u16 = 0x8;
+    pub const NET: u16 = 0x9;
+    pub const EVENT: u16 = 0xa;
+}
+
+/// Function codes within the `JUMP` group.
+pub(crate) mod jump_fn {
+    pub const JMP: u16 = 0;
+    pub const JAL: u16 = 1;
+    pub const JR: u16 = 2;
+    pub const JALR: u16 = 3;
+}
+
+/// Function codes within the `TIMER` group.
+pub(crate) mod timer_fn {
+    pub const SCHEDHI: u16 = 0;
+    pub const SCHEDLO: u16 = 1;
+    pub const CANCEL: u16 = 2;
+}
+
+/// Function codes within the `NET` group.
+pub(crate) mod net_fn {
+    pub const BFS: u16 = 0;
+    pub const RAND: u16 = 1;
+    pub const SEED: u16 = 2;
+}
+
+/// Function codes within the `EVENT` group.
+pub(crate) mod event_fn {
+    pub const DONE: u16 = 0;
+    pub const SETADDR: u16 = 1;
+    pub const NOP: u16 = 2;
+    pub const HALT: u16 = 3;
+    pub const SWEV: u16 = 4;
+}
+
+/// Function codes within the memory groups (`DMEM`, `IMEM`).
+pub(crate) mod mem_fn {
+    pub const LOAD: u16 = 0;
+    pub const STORE: u16 = 1;
+}
+
+fn word(op: u16, rd: Reg, rs: Reg, func: u16) -> Word {
+    debug_assert!(op <= 0xf && func <= 0xf);
+    (op << 12) | ((rd.index() as u16) << 8) | ((rs.index() as u16) << 4) | func
+}
+
+fn word_raw_rs(op: u16, rd: Reg, rs_field: u16, func: u16) -> Word {
+    debug_assert!(op <= 0xf && rs_field <= 0xf && func <= 0xf);
+    (op << 12) | ((rd.index() as u16) << 8) | (rs_field << 4) | func
+}
+
+impl Instruction {
+    /// Encode to one or two 16-bit words.
+    pub fn encode(&self) -> EncodedWords {
+        use opcode as op;
+        match *self {
+            Instruction::AluReg { op: alu, rd, rs } => {
+                EncodedWords::one(word(op::ALU_REG, rd, rs, alu.fn_code()))
+            }
+            Instruction::AluImm { op: alu, rd, imm } => {
+                EncodedWords::two(word(op::ALU_IMM, rd, Reg::R0, alu.fn_code()), imm)
+            }
+            Instruction::ShiftReg { op: sh, rd, rs } => {
+                EncodedWords::one(word(op::SHIFT_REG, rd, rs, sh.fn_code()))
+            }
+            Instruction::ShiftImm { op: sh, rd, amount } => EncodedWords::one(word_raw_rs(
+                op::SHIFT_IMM,
+                rd,
+                (amount & 0xf) as u16,
+                sh.fn_code(),
+            )),
+            Instruction::Load { rd, base, offset } => {
+                EncodedWords::two(word(op::DMEM, rd, base, mem_fn::LOAD), offset)
+            }
+            Instruction::Store { rs, base, offset } => {
+                EncodedWords::two(word(op::DMEM, rs, base, mem_fn::STORE), offset)
+            }
+            Instruction::ImemLoad { rd, base, offset } => {
+                EncodedWords::two(word(op::IMEM, rd, base, mem_fn::LOAD), offset)
+            }
+            Instruction::ImemStore { rs, base, offset } => {
+                EncodedWords::two(word(op::IMEM, rs, base, mem_fn::STORE), offset)
+            }
+            Instruction::Branch { cond, ra, rb, target } => {
+                let rb = if cond.is_unary() { Reg::R0 } else { rb };
+                EncodedWords::two(word(op::BRANCH, ra, rb, cond.fn_code()), target)
+            }
+            Instruction::Jmp { target } => {
+                EncodedWords::two(word(op::JUMP, Reg::R0, Reg::R0, jump_fn::JMP), target)
+            }
+            Instruction::Jal { rd, target } => {
+                EncodedWords::two(word(op::JUMP, rd, Reg::R0, jump_fn::JAL), target)
+            }
+            Instruction::Jr { rs } => {
+                EncodedWords::one(word(op::JUMP, Reg::R0, rs, jump_fn::JR))
+            }
+            Instruction::Jalr { rd, rs } => {
+                EncodedWords::one(word(op::JUMP, rd, rs, jump_fn::JALR))
+            }
+            Instruction::SchedHi { rt, rv } => {
+                EncodedWords::one(word(op::TIMER, rt, rv, timer_fn::SCHEDHI))
+            }
+            Instruction::SchedLo { rt, rv } => {
+                EncodedWords::one(word(op::TIMER, rt, rv, timer_fn::SCHEDLO))
+            }
+            Instruction::Cancel { rt } => {
+                EncodedWords::one(word(op::TIMER, rt, Reg::R0, timer_fn::CANCEL))
+            }
+            Instruction::Bfs { rd, rs, mask } => {
+                EncodedWords::two(word(op::NET, rd, rs, net_fn::BFS), mask)
+            }
+            Instruction::Rand { rd } => {
+                EncodedWords::one(word(op::NET, rd, Reg::R0, net_fn::RAND))
+            }
+            Instruction::Seed { rs } => {
+                EncodedWords::one(word(op::NET, Reg::R0, rs, net_fn::SEED))
+            }
+            Instruction::Done => {
+                EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::DONE))
+            }
+            Instruction::SetAddr { rev, raddr } => {
+                EncodedWords::one(word(op::EVENT, rev, raddr, event_fn::SETADDR))
+            }
+            Instruction::Nop => {
+                EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::NOP))
+            }
+            Instruction::Halt => {
+                EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::HALT))
+            }
+            Instruction::SwEvent { rn } => {
+                EncodedWords::one(word(op::EVENT, rn, Reg::R0, event_fn::SWEV))
+            }
+        }
+    }
+
+    /// Whether a first instruction word indicates a two-word instruction,
+    /// without fully decoding it. The fetch unit uses this to know whether
+    /// to fetch the immediate word.
+    pub fn first_word_is_two_word(first: Word) -> bool {
+        let op = first >> 12;
+        let func = first & 0xf;
+        match op {
+            opcode::ALU_IMM | opcode::DMEM | opcode::IMEM | opcode::BRANCH => true,
+            opcode::JUMP => func == jump_fn::JMP || func == jump_fn::JAL,
+            opcode::NET => func == net_fn::BFS,
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,853 @@
+//! Instruction definitions and classification.
+//!
+//! The SNAP ISA (paper §3.4) groups into five categories:
+//!
+//! 1. standard RISC instructions (arithmetic, logic, shifts, jumps,
+//!    branches, per-bank memory access, add/sub-with-carry),
+//! 2. timer-coprocessor instructions (`schedhi`, `schedlo`, `cancel`),
+//! 3. message-coprocessor communication (implicit, via `r15`),
+//! 4. network-protocol instructions (`bfs`, `rand`, `seed`),
+//! 5. event-driven execution instructions (`done`, `setaddr`).
+//!
+//! ## Binary encoding
+//!
+//! The paper does not publish encodings; ours uses a fixed field layout
+//! for the first word —
+//!
+//! ```text
+//!  15      12 11       8 7        4 3        0
+//! +----------+----------+----------+----------+
+//! |  opcode  |    rd    |    rs    |    fn    |
+//! +----------+----------+----------+----------+
+//! ```
+//!
+//! — and two-word instructions carry a full 16-bit immediate in the
+//! following word (immediate operands, memory offsets, branch/jump
+//! targets, `bfs` masks). Two-word instructions take two cycles, exactly
+//! as in the paper.
+//!
+//! | opcode | group |
+//! |--------|-------------------------------|
+//! | `0x0`  | ALU register–register         |
+//! | `0x1`  | shift by register             |
+//! | `0x2`  | ALU immediate (two-word)      |
+//! | `0x3`  | shift by 4-bit immediate      |
+//! | `0x4`  | DMEM load/store (two-word)    |
+//! | `0x5`  | IMEM load/store (two-word)    |
+//! | `0x6`  | conditional branch (two-word) |
+//! | `0x7`  | jumps (`jmp`/`jal` two-word; `jr`/`jalr` one-word) |
+//! | `0x8`  | timer coprocessor             |
+//! | `0x9`  | network protocol (`bfs` two-word; `rand`/`seed` one-word) |
+//! | `0xa`  | event-driven execution        |
+
+use crate::reg::Reg;
+use crate::{Addr, Word};
+use std::fmt;
+
+/// Register–register ALU operations (`opcode 0x0`). All are one-word and
+/// destructive: `rd = rd op rs` (unary forms compute `rd = op rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rd + rs`; sets the carry flag.
+    Add,
+    /// `rd = rd + rs + carry`; sets the carry flag (multi-precision adds).
+    Addc,
+    /// `rd = rd - rs`; sets the carry flag (borrow).
+    Sub,
+    /// `rd = rd - rs - carry`; sets the carry flag (multi-precision subs).
+    Subc,
+    /// `rd = rd & rs`.
+    And,
+    /// `rd = rd | rs`.
+    Or,
+    /// `rd = rd ^ rs`.
+    Xor,
+    /// `rd = !rs` (bitwise complement of `rs`).
+    Not,
+    /// `rd = rs`.
+    Mov,
+    /// `rd = -rs` (two's-complement negate).
+    Neg,
+    /// `rd = (rd <s rs) ? 1 : 0` (signed compare).
+    Slt,
+    /// `rd = (rd <u rs) ? 1 : 0` (unsigned compare).
+    Sltu,
+}
+
+impl AluOp {
+    /// All register-ALU operations.
+    pub const ALL: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Addc,
+        AluOp::Sub,
+        AluOp::Subc,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Not,
+        AluOp::Mov,
+        AluOp::Neg,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// The 4-bit function code for this operation.
+    pub fn fn_code(self) -> u16 {
+        self as u16
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Addc => "addc",
+            AluOp::Sub => "sub",
+            AluOp::Subc => "subc",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Not => "not",
+            AluOp::Mov => "mov",
+            AluOp::Neg => "neg",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+
+    /// `true` for logic operations (reported separately in Fig. 4).
+    pub fn is_logical(self) -> bool {
+        matches!(self, AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Not)
+    }
+}
+
+/// ALU-immediate operations (`opcode 0x2`, two-word): `rd = rd op imm`
+/// (`li` loads the immediate directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `rd = rd + imm`; sets carry.
+    Addi,
+    /// `rd = rd - imm`; sets carry (borrow).
+    Subi,
+    /// `rd = rd & imm`.
+    Andi,
+    /// `rd = rd | imm`.
+    Ori,
+    /// `rd = rd ^ imm`.
+    Xori,
+    /// `rd = imm` (load 16-bit immediate).
+    Li,
+    /// `rd = (rd <s imm) ? 1 : 0`.
+    Slti,
+    /// `rd = (rd <u imm) ? 1 : 0`.
+    Sltiu,
+}
+
+impl AluImmOp {
+    /// All immediate-ALU operations.
+    pub const ALL: [AluImmOp; 8] = [
+        AluImmOp::Addi,
+        AluImmOp::Subi,
+        AluImmOp::Andi,
+        AluImmOp::Ori,
+        AluImmOp::Xori,
+        AluImmOp::Li,
+        AluImmOp::Slti,
+        AluImmOp::Sltiu,
+    ];
+
+    /// The 4-bit function code (mirrors the register form where one exists).
+    pub fn fn_code(self) -> u16 {
+        match self {
+            AluImmOp::Addi => 0,
+            AluImmOp::Subi => 2,
+            AluImmOp::Andi => 4,
+            AluImmOp::Ori => 5,
+            AluImmOp::Xori => 6,
+            AluImmOp::Li => 8,
+            AluImmOp::Slti => 10,
+            AluImmOp::Sltiu => 11,
+        }
+    }
+
+    pub(crate) fn from_fn_code(code: u16) -> Option<AluImmOp> {
+        AluImmOp::ALL.into_iter().find(|op| op.fn_code() == code)
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Subi => "subi",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Li => "li",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+        }
+    }
+
+    /// `true` for logic operations (reported separately in Fig. 4).
+    pub fn is_logical(self) -> bool {
+        matches!(self, AluImmOp::Andi | AluImmOp::Ori | AluImmOp::Xori)
+    }
+}
+
+/// Shift operations, shared between register (`opcode 0x1`) and immediate
+/// (`opcode 0x3`) forms. Both forms are one-word instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Rotate left (used by the CRC inner loops of the radio stack).
+    Rol,
+    /// Rotate right.
+    Ror,
+}
+
+impl ShiftOp {
+    /// All shift operations.
+    pub const ALL: [ShiftOp; 5] =
+        [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Rol, ShiftOp::Ror];
+
+    /// The 4-bit function code.
+    pub fn fn_code(self) -> u16 {
+        self as u16
+    }
+
+    /// The register-form assembly mnemonic (`sll`); the immediate form
+    /// appends `i` (`slli`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+            ShiftOp::Rol => "rol",
+            ShiftOp::Ror => "ror",
+        }
+    }
+
+    /// The immediate-form mnemonic (`slli`, `srli`, ...).
+    pub fn imm_mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "slli",
+            ShiftOp::Srl => "srli",
+            ShiftOp::Sra => "srai",
+            ShiftOp::Rol => "roli",
+            ShiftOp::Ror => "rori",
+        }
+    }
+}
+
+/// Branch conditions (`opcode 0x6`, two-word with absolute word target).
+///
+/// `Eqz`/`Nez` test a single register; their `rb` operand is canonically
+/// `r0` and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken when `ra == rb`.
+    Eq,
+    /// Taken when `ra != rb`.
+    Ne,
+    /// Taken when `ra <s rb` (signed).
+    Lt,
+    /// Taken when `ra >=s rb` (signed).
+    Ge,
+    /// Taken when `ra <u rb` (unsigned).
+    Ltu,
+    /// Taken when `ra >=u rb` (unsigned).
+    Geu,
+    /// Taken when `ra == 0`.
+    Eqz,
+    /// Taken when `ra != 0`.
+    Nez,
+}
+
+impl BranchCond {
+    /// All branch conditions.
+    pub const ALL: [BranchCond; 8] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+        BranchCond::Eqz,
+        BranchCond::Nez,
+    ];
+
+    /// The 4-bit function code.
+    pub fn fn_code(self) -> u16 {
+        self as u16
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+            BranchCond::Eqz => "beqz",
+            BranchCond::Nez => "bnez",
+        }
+    }
+
+    /// `true` when the condition only inspects `ra` (`beqz`, `bnez`).
+    pub fn is_unary(self) -> bool {
+        matches!(self, BranchCond::Eqz | BranchCond::Nez)
+    }
+
+    /// Evaluate the condition on two operand values.
+    pub fn eval(self, a: Word, b: Word) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i16) < (b as i16),
+            BranchCond::Ge => (a as i16) >= (b as i16),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+            BranchCond::Eqz => a == 0,
+            BranchCond::Nez => a != 0,
+        }
+    }
+}
+
+/// A decoded SNAP instruction.
+///
+/// See the [module documentation](self) for the binary encoding. Two-word
+/// instructions ([`Instruction::is_two_word`]) cost an extra fetch cycle
+/// and an extra IMEM word of energy, exactly the distinction the paper's
+/// Fig. 4 draws between one-word, two-word and memory instruction classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Register–register ALU operation: `rd = rd op rs`.
+    AluReg {
+        /// The operation.
+        op: AluOp,
+        /// Destination (and first source) register.
+        rd: Reg,
+        /// Second source register.
+        rs: Reg,
+    },
+    /// ALU-immediate operation (two-word): `rd = rd op imm`.
+    AluImm {
+        /// The operation.
+        op: AluImmOp,
+        /// Destination (and source) register.
+        rd: Reg,
+        /// 16-bit immediate operand.
+        imm: Word,
+    },
+    /// Shift by register: `rd = rd shift (rs & 15)`.
+    ShiftReg {
+        /// The shift kind.
+        op: ShiftOp,
+        /// Destination (and source) register.
+        rd: Reg,
+        /// Register holding the shift amount (only the low 4 bits used).
+        rs: Reg,
+    },
+    /// Shift by 4-bit immediate: `rd = rd shift amount`.
+    ShiftImm {
+        /// The shift kind.
+        op: ShiftOp,
+        /// Destination (and source) register.
+        rd: Reg,
+        /// Shift amount, 0–15.
+        amount: u8,
+    },
+    /// DMEM load (two-word): `rd = DMEM[base + offset]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: Word,
+    },
+    /// DMEM store (two-word): `DMEM[base + offset] = rs`.
+    Store {
+        /// Register holding the value to store.
+        rs: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: Word,
+    },
+    /// IMEM load (two-word): `rd = IMEM[base + offset]`. Lets programs
+    /// inspect their own code.
+    ImemLoad {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: Word,
+    },
+    /// IMEM store (two-word): `IMEM[base + offset] = rs`. Self-modifying
+    /// code / over-the-radio bootstrapping (paper §3.1).
+    ImemStore {
+        /// Register holding the value to store.
+        rs: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base.
+        offset: Word,
+    },
+    /// Conditional branch to an absolute word address (two-word).
+    Branch {
+        /// The condition.
+        cond: BranchCond,
+        /// First operand register.
+        ra: Reg,
+        /// Second operand register (canonically `r0` for `beqz`/`bnez`).
+        rb: Reg,
+        /// Absolute IMEM word address of the branch target.
+        target: Addr,
+    },
+    /// Unconditional jump to an absolute word address (two-word).
+    Jmp {
+        /// Absolute IMEM word address of the target.
+        target: Addr,
+    },
+    /// Jump-and-link (two-word): `rd = return address; pc = target`.
+    Jal {
+        /// Register receiving the return (word) address.
+        rd: Reg,
+        /// Absolute IMEM word address of the target.
+        target: Addr,
+    },
+    /// Jump to register (one-word): `pc = rs`.
+    Jr {
+        /// Register holding the target word address.
+        rs: Reg,
+    },
+    /// Jump-and-link register (one-word): `rd = return address; pc = rs`.
+    Jalr {
+        /// Register receiving the return (word) address.
+        rd: Reg,
+        /// Register holding the target word address.
+        rs: Reg,
+    },
+    /// `schedhi $tsreg, $val` — set the top 8 bits of a 24-bit timer
+    /// register (paper §3.2/§3.4). `rt` holds the timer number, `rv` the
+    /// value (low 8 bits used).
+    SchedHi {
+        /// Register holding the timer number (0–2).
+        rt: Reg,
+        /// Register holding the high 8 bits of the timeout.
+        rv: Reg,
+    },
+    /// `schedlo $tsreg, $val` — set the low 16 bits of a timer register
+    /// and start it decrementing.
+    SchedLo {
+        /// Register holding the timer number (0–2).
+        rt: Reg,
+        /// Register holding the low 16 bits of the timeout.
+        rv: Reg,
+    },
+    /// `cancel $tsreg` — cancel a scheduled timer. A cancelled timer still
+    /// inserts an event token (paper §3.2 race-avoidance rule).
+    Cancel {
+        /// Register holding the timer number (0–2).
+        rt: Reg,
+    },
+    /// Bit-field set (two-word): `rd = (rd & !mask) | (rs & mask)`.
+    Bfs {
+        /// Destination register.
+        rd: Reg,
+        /// Source register supplying the field bits.
+        rs: Reg,
+        /// Mask selecting which bits of `rd` are replaced.
+        mask: Word,
+    },
+    /// `rand rd` — next pseudo-random value from the hardware LFSR.
+    Rand {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `seed rs` — seed the hardware LFSR.
+    Seed {
+        /// Register holding the seed value.
+        rs: Reg,
+    },
+    /// `done` — end of handler: fetch stalls until the next event token.
+    Done,
+    /// `setaddr rev, raddr` — write the event-handler table:
+    /// `table[rev & 7] = raddr`.
+    SetAddr {
+        /// Register holding the event number.
+        rev: Reg,
+        /// Register holding the handler's word address.
+        raddr: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Stop the simulation (simulator extension, not in the paper; used by
+    /// standalone test programs that have no more events to wait for).
+    Halt,
+    /// Post a software event to the core's own event queue (simulator
+    /// extension used for TinyOS-style task chaining): event number in
+    /// `rn & 7`.
+    SwEvent {
+        /// Register holding the event number.
+        rn: Reg,
+    },
+}
+
+/// Instruction classes used for energy and timing attribution.
+///
+/// These mirror the categories of the paper's Fig. 4 ("Arith Reg",
+/// "Shift", "Arith Imm", "Logical Imm", loads/stores, ...) plus the
+/// coprocessor/event classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstructionClass {
+    /// One-word register arithmetic (`add`, `sub`, `slt`, `mov`, ...).
+    ArithReg,
+    /// One-word register logic (`and`, `or`, `xor`, `not`).
+    LogicalReg,
+    /// One-word shifts (register or immediate amount).
+    Shift,
+    /// Two-word immediate arithmetic (`addi`, `li`, `slti`, ...).
+    ArithImm,
+    /// Two-word immediate logic (`andi`, `ori`, `xori`).
+    LogicalImm,
+    /// Two-word DMEM load.
+    Load,
+    /// Two-word DMEM store.
+    Store,
+    /// Two-word IMEM load.
+    ImemLoad,
+    /// Two-word IMEM store.
+    ImemStore,
+    /// Two-word conditional branch.
+    Branch,
+    /// Jumps (`jmp`/`jal` two-word, `jr`/`jalr` one-word).
+    Jump,
+    /// Timer-coprocessor instructions.
+    Timer,
+    /// `bfs` bit-field set.
+    Bitfield,
+    /// `rand` / `seed` LFSR instructions.
+    Rand,
+    /// Event-driven execution (`done`, `setaddr`, `swev`, `halt`).
+    Event,
+    /// `nop`.
+    Nop,
+}
+
+impl InstructionClass {
+    /// All classes, in display order.
+    pub const ALL: [InstructionClass; 16] = [
+        InstructionClass::ArithReg,
+        InstructionClass::LogicalReg,
+        InstructionClass::Shift,
+        InstructionClass::ArithImm,
+        InstructionClass::LogicalImm,
+        InstructionClass::Load,
+        InstructionClass::Store,
+        InstructionClass::ImemLoad,
+        InstructionClass::ImemStore,
+        InstructionClass::Branch,
+        InstructionClass::Jump,
+        InstructionClass::Timer,
+        InstructionClass::Bitfield,
+        InstructionClass::Rand,
+        InstructionClass::Event,
+        InstructionClass::Nop,
+    ];
+
+    /// Human-readable label matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstructionClass::ArithReg => "Arith Reg",
+            InstructionClass::LogicalReg => "Logical Reg",
+            InstructionClass::Shift => "Shift",
+            InstructionClass::ArithImm => "Arith Imm",
+            InstructionClass::LogicalImm => "Logical Imm",
+            InstructionClass::Load => "Load",
+            InstructionClass::Store => "Store",
+            InstructionClass::ImemLoad => "IMEM Load",
+            InstructionClass::ImemStore => "IMEM Store",
+            InstructionClass::Branch => "Branch",
+            InstructionClass::Jump => "Jump",
+            InstructionClass::Timer => "Timer",
+            InstructionClass::Bitfield => "Bitfield",
+            InstructionClass::Rand => "Rand",
+            InstructionClass::Event => "Event",
+            InstructionClass::Nop => "Nop",
+        }
+    }
+}
+
+impl fmt::Display for InstructionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The binary form of an instruction: one or two 16-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncodedWords {
+    first: Word,
+    second: Option<Word>,
+}
+
+impl EncodedWords {
+    /// A one-word encoding.
+    pub fn one(first: Word) -> EncodedWords {
+        EncodedWords { first, second: None }
+    }
+
+    /// A two-word encoding.
+    pub fn two(first: Word, second: Word) -> EncodedWords {
+        EncodedWords { first, second: Some(second) }
+    }
+
+    /// The first (or only) instruction word.
+    pub fn first(&self) -> Word {
+        self.first
+    }
+
+    /// The immediate word, if this is a two-word instruction.
+    pub fn second(&self) -> Option<Word> {
+        self.second
+    }
+
+    /// Number of words (1 or 2).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        if self.second.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Iterate over the words in memory order.
+    pub fn iter(&self) -> impl Iterator<Item = Word> + '_ {
+        std::iter::once(self.first).chain(self.second)
+    }
+}
+
+impl IntoIterator for EncodedWords {
+    type Item = Word;
+    type IntoIter = std::iter::Chain<std::iter::Once<Word>, std::option::IntoIter<Word>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        std::iter::once(self.first).chain(self.second)
+    }
+}
+
+impl Instruction {
+    /// The energy/timing class of this instruction (Fig. 4 categories).
+    pub fn class(&self) -> InstructionClass {
+        match self {
+            Instruction::AluReg { op: AluOp::Mov, .. } => InstructionClass::ArithReg,
+            Instruction::AluReg { op, .. } if op.is_logical() => InstructionClass::LogicalReg,
+            Instruction::AluReg { .. } => InstructionClass::ArithReg,
+            Instruction::AluImm { op, .. } if op.is_logical() => InstructionClass::LogicalImm,
+            Instruction::AluImm { .. } => InstructionClass::ArithImm,
+            Instruction::ShiftReg { .. } | Instruction::ShiftImm { .. } => InstructionClass::Shift,
+            Instruction::Load { .. } => InstructionClass::Load,
+            Instruction::Store { .. } => InstructionClass::Store,
+            Instruction::ImemLoad { .. } => InstructionClass::ImemLoad,
+            Instruction::ImemStore { .. } => InstructionClass::ImemStore,
+            Instruction::Branch { .. } => InstructionClass::Branch,
+            Instruction::Jmp { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Jr { .. }
+            | Instruction::Jalr { .. } => InstructionClass::Jump,
+            Instruction::SchedHi { .. } | Instruction::SchedLo { .. } | Instruction::Cancel { .. } => {
+                InstructionClass::Timer
+            }
+            Instruction::Bfs { .. } => InstructionClass::Bitfield,
+            Instruction::Rand { .. } | Instruction::Seed { .. } => InstructionClass::Rand,
+            Instruction::Done
+            | Instruction::SetAddr { .. }
+            | Instruction::Halt
+            | Instruction::SwEvent { .. } => InstructionClass::Event,
+            Instruction::Nop => InstructionClass::Nop,
+        }
+    }
+
+    /// Number of 16-bit IMEM words this instruction occupies (1 or 2).
+    pub fn word_count(&self) -> usize {
+        if self.is_two_word() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// `true` when the instruction carries a 16-bit immediate word.
+    pub fn is_two_word(&self) -> bool {
+        matches!(
+            self,
+            Instruction::AluImm { .. }
+                | Instruction::Load { .. }
+                | Instruction::Store { .. }
+                | Instruction::ImemLoad { .. }
+                | Instruction::ImemStore { .. }
+                | Instruction::Branch { .. }
+                | Instruction::Jmp { .. }
+                | Instruction::Jal { .. }
+                | Instruction::Bfs { .. }
+        )
+    }
+
+    /// `true` when execution performs a DMEM access.
+    pub fn accesses_dmem(&self) -> bool {
+        matches!(self, Instruction::Load { .. } | Instruction::Store { .. })
+    }
+
+    /// `true` when execution performs a *data* access to IMEM (beyond
+    /// instruction fetch).
+    pub fn accesses_imem_data(&self) -> bool {
+        matches!(self, Instruction::ImemLoad { .. } | Instruction::ImemStore { .. })
+    }
+
+    /// Registers read by this instruction, in operand order.
+    ///
+    /// Used by the core to detect reads of the `r15` message port. Note
+    /// that destructive ALU/shift destination registers are also sources.
+    pub fn source_regs(&self) -> Vec<Reg> {
+        match *self {
+            Instruction::AluReg { op: AluOp::Mov | AluOp::Not | AluOp::Neg, rs, .. } => vec![rs],
+            Instruction::AluReg { rd, rs, .. } => vec![rd, rs],
+            Instruction::AluImm { op: AluImmOp::Li, .. } => vec![],
+            Instruction::AluImm { rd, .. } => vec![rd],
+            Instruction::ShiftReg { rd, rs, .. } => vec![rd, rs],
+            Instruction::ShiftImm { rd, .. } => vec![rd],
+            Instruction::Load { base, .. } => vec![base],
+            Instruction::Store { rs, base, .. } => vec![rs, base],
+            Instruction::ImemLoad { base, .. } => vec![base],
+            Instruction::ImemStore { rs, base, .. } => vec![rs, base],
+            Instruction::Branch { cond, ra, rb, .. } => {
+                if cond.is_unary() {
+                    vec![ra]
+                } else {
+                    vec![ra, rb]
+                }
+            }
+            Instruction::Jmp { .. } => vec![],
+            Instruction::Jal { .. } => vec![],
+            Instruction::Jr { rs } => vec![rs],
+            Instruction::Jalr { rs, .. } => vec![rs],
+            Instruction::SchedHi { rt, rv } | Instruction::SchedLo { rt, rv } => vec![rt, rv],
+            Instruction::Cancel { rt } => vec![rt],
+            Instruction::Bfs { rd, rs, .. } => vec![rd, rs],
+            Instruction::Rand { .. } => vec![],
+            Instruction::Seed { rs } => vec![rs],
+            Instruction::Done | Instruction::Nop | Instruction::Halt => vec![],
+            Instruction::SetAddr { rev, raddr } => vec![rev, raddr],
+            Instruction::SwEvent { rn } => vec![rn],
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn dest_reg(&self) -> Option<Reg> {
+        match *self {
+            Instruction::AluReg { rd, .. }
+            | Instruction::AluImm { rd, .. }
+            | Instruction::ShiftReg { rd, .. }
+            | Instruction::ShiftImm { rd, .. }
+            | Instruction::Load { rd, .. }
+            | Instruction::ImemLoad { rd, .. }
+            | Instruction::Jal { rd, .. }
+            | Instruction::Jalr { rd, .. }
+            | Instruction::Bfs { rd, .. }
+            | Instruction::Rand { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// `true` when this instruction reads the `r15` message port (popping
+    /// the message coprocessor's outgoing FIFO).
+    pub fn reads_msg_port(&self) -> bool {
+        self.source_regs().contains(&Reg::MSG_PORT)
+    }
+
+    /// `true` when this instruction writes the `r15` message port (pushing
+    /// onto the message coprocessor's incoming FIFO).
+    pub fn writes_msg_port(&self) -> bool {
+        self.dest_reg() == Some(Reg::MSG_PORT)
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::AluReg { op, .. } => op.mnemonic(),
+            Instruction::AluImm { op, .. } => op.mnemonic(),
+            Instruction::ShiftReg { op, .. } => op.mnemonic(),
+            Instruction::ShiftImm { op, .. } => op.imm_mnemonic(),
+            Instruction::Load { .. } => "lw",
+            Instruction::Store { .. } => "sw",
+            Instruction::ImemLoad { .. } => "ilw",
+            Instruction::ImemStore { .. } => "isw",
+            Instruction::Branch { cond, .. } => cond.mnemonic(),
+            Instruction::Jmp { .. } => "jmp",
+            Instruction::Jal { .. } => "jal",
+            Instruction::Jr { .. } => "jr",
+            Instruction::Jalr { .. } => "jalr",
+            Instruction::SchedHi { .. } => "schedhi",
+            Instruction::SchedLo { .. } => "schedlo",
+            Instruction::Cancel { .. } => "cancel",
+            Instruction::Bfs { .. } => "bfs",
+            Instruction::Rand { .. } => "rand",
+            Instruction::Seed { .. } => "seed",
+            Instruction::Done => "done",
+            Instruction::SetAddr { .. } => "setaddr",
+            Instruction::Nop => "nop",
+            Instruction::Halt => "halt",
+            Instruction::SwEvent { .. } => "swev",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match *self {
+            Instruction::AluReg { rd, rs, .. } | Instruction::ShiftReg { rd, rs, .. } => {
+                write!(f, "{m} {rd}, {rs}")
+            }
+            Instruction::AluImm { rd, imm, .. } => write!(f, "{m} {rd}, {imm:#x}"),
+            Instruction::ShiftImm { rd, amount, .. } => write!(f, "{m} {rd}, {amount}"),
+            Instruction::Load { rd, base, offset } | Instruction::ImemLoad { rd, base, offset } => {
+                write!(f, "{m} {rd}, {offset:#x}({base})")
+            }
+            Instruction::Store { rs, base, offset } | Instruction::ImemStore { rs, base, offset } => {
+                write!(f, "{m} {rs}, {offset:#x}({base})")
+            }
+            Instruction::Branch { cond, ra, rb, target } => {
+                if cond.is_unary() {
+                    write!(f, "{m} {ra}, {target:#x}")
+                } else {
+                    write!(f, "{m} {ra}, {rb}, {target:#x}")
+                }
+            }
+            Instruction::Jmp { target } => write!(f, "{m} {target:#x}"),
+            Instruction::Jal { rd, target } => write!(f, "{m} {rd}, {target:#x}"),
+            Instruction::Jr { rs } => write!(f, "{m} {rs}"),
+            Instruction::Jalr { rd, rs } => write!(f, "{m} {rd}, {rs}"),
+            Instruction::SchedHi { rt, rv } | Instruction::SchedLo { rt, rv } => {
+                write!(f, "{m} {rt}, {rv}")
+            }
+            Instruction::Cancel { rt } => write!(f, "{m} {rt}"),
+            Instruction::Bfs { rd, rs, mask } => write!(f, "{m} {rd}, {rs}, {mask:#x}"),
+            Instruction::Rand { rd } => write!(f, "{m} {rd}"),
+            Instruction::Seed { rs } => write!(f, "{m} {rs}"),
+            Instruction::SetAddr { rev, raddr } => write!(f, "{m} {rev}, {raddr}"),
+            Instruction::Done | Instruction::Nop | Instruction::Halt => f.write_str(m),
+            Instruction::SwEvent { rn } => write!(f, "{m} {rn}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Message-coprocessor command words.
+//!
+//! All communication with the radio and sensors goes through the two
+//! 16-bit FIFOs mapped to `r15` (paper §3.3). The core configures the
+//! coprocessor by writing *command words*; this module defines their
+//! encoding. The paper describes the commands (RX, TX-followed-by-data,
+//! Query) without binary values, so we fix a concrete layout:
+//!
+//! ```text
+//!  15   12 11                    0
+//! +-------+-----------------------+
+//! |  cmd  |       argument        |
+//! +-------+-----------------------+
+//! ```
+//!
+//! | cmd   | meaning |
+//! |-------|---------|
+//! | `0x1` | radio control: arg bit 0 = receiver enable |
+//! | `0x2` | transmit: the next word written to `r15` is radio payload |
+//! | `0x3` | query sensor number `arg` (reply arrives as a `SensorReply` event) |
+//! | `0x4` | drive `arg` onto the output port (LEDs in the Blink benchmarks) |
+
+use crate::Word;
+use std::fmt;
+
+const CMD_SHIFT: u16 = 12;
+const ARG_MASK: u16 = 0x0fff;
+
+const CMD_RADIO_CTRL: u16 = 0x1;
+const CMD_RADIO_TX: u16 = 0x2;
+const CMD_QUERY: u16 = 0x3;
+const CMD_PORT_WRITE: u16 = 0x4;
+
+/// A decoded message-coprocessor command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgCommand {
+    /// Enable the radio receiver; subsequent incoming words raise
+    /// `RadioRx` events with the data in the outgoing FIFO.
+    RadioRxOn,
+    /// Disable the radio (neither receiving nor transmitting).
+    RadioOff,
+    /// Transmit: the *next* word written to `r15` is sent over the radio;
+    /// completion raises a `RadioTxDone` event.
+    RadioTx,
+    /// Poll sensor `id` (0–4095); the reading is delivered through the
+    /// outgoing FIFO with a `SensorReply` event.
+    QuerySensor(u16),
+    /// Drive a 12-bit value onto the node's output port (LEDs/GPIO).
+    PortWrite(u16),
+}
+
+impl MsgCommand {
+    /// Encode to the 16-bit command word written to `r15`.
+    pub fn encode(self) -> Word {
+        match self {
+            MsgCommand::RadioRxOn => (CMD_RADIO_CTRL << CMD_SHIFT) | 1,
+            MsgCommand::RadioOff => CMD_RADIO_CTRL << CMD_SHIFT,
+            MsgCommand::RadioTx => CMD_RADIO_TX << CMD_SHIFT,
+            MsgCommand::QuerySensor(id) => (CMD_QUERY << CMD_SHIFT) | (id & ARG_MASK),
+            MsgCommand::PortWrite(v) => (CMD_PORT_WRITE << CMD_SHIFT) | (v & ARG_MASK),
+        }
+    }
+
+    /// Decode a word written to `r15` as a command.
+    ///
+    /// Returns `None` for words outside the command space — the message
+    /// coprocessor treats those as protocol errors unless it is expecting
+    /// transmit payload.
+    pub fn decode(word: Word) -> Option<MsgCommand> {
+        let arg = word & ARG_MASK;
+        match word >> CMD_SHIFT {
+            CMD_RADIO_CTRL => {
+                if arg & 1 == 1 {
+                    Some(MsgCommand::RadioRxOn)
+                } else {
+                    Some(MsgCommand::RadioOff)
+                }
+            }
+            CMD_RADIO_TX => Some(MsgCommand::RadioTx),
+            CMD_QUERY => Some(MsgCommand::QuerySensor(arg)),
+            CMD_PORT_WRITE => Some(MsgCommand::PortWrite(arg)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MsgCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgCommand::RadioRxOn => f.write_str("radio-rx-on"),
+            MsgCommand::RadioOff => f.write_str("radio-off"),
+            MsgCommand::RadioTx => f.write_str("radio-tx"),
+            MsgCommand::QuerySensor(id) => write!(f, "query-sensor({id})"),
+            MsgCommand::PortWrite(v) => write!(f, "port-write({v:#x})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cmds = [
+            MsgCommand::RadioRxOn,
+            MsgCommand::RadioOff,
+            MsgCommand::RadioTx,
+            MsgCommand::QuerySensor(0),
+            MsgCommand::QuerySensor(0xfff),
+            MsgCommand::PortWrite(0),
+            MsgCommand::PortWrite(0xabc),
+        ];
+        for cmd in cmds {
+            assert_eq!(MsgCommand::decode(cmd.encode()), Some(cmd), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn arguments_are_masked_to_12_bits() {
+        assert_eq!(MsgCommand::QuerySensor(0xffff).encode(), MsgCommand::QuerySensor(0xfff).encode());
+        assert_eq!(MsgCommand::PortWrite(0x1005).encode(), MsgCommand::PortWrite(0x005).encode());
+    }
+
+    #[test]
+    fn non_command_words_decode_to_none() {
+        for w in [0x0000u16, 0x0abc, 0x5000, 0xffff, 0x8123] {
+            assert_eq!(MsgCommand::decode(w), None, "{w:#06x}");
+        }
+    }
+}

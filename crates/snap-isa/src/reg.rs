@@ -1,0 +1,167 @@
+//! Architectural registers.
+//!
+//! SNAP names sixteen registers `r0`–`r15`, but only fifteen are physical:
+//! `r15` is the register-mapped port to the message coprocessor. An
+//! instruction that *reads* `r15` pops the head of the coprocessor's
+//! outgoing FIFO; an instruction that *writes* `r15` pushes onto the
+//! coprocessor's incoming FIFO (paper §3.3).
+
+use std::fmt;
+
+/// Number of physical general-purpose registers (`r0`–`r14`).
+pub const NUM_PHYSICAL_REGS: usize = 15;
+
+/// An architectural register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    /// The message-coprocessor FIFO port (not a physical register).
+    R15,
+}
+
+impl Reg {
+    /// The register-mapped message-coprocessor port.
+    pub const MSG_PORT: Reg = Reg::R15;
+
+    /// All sixteen architectural register names, in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Construct a register from its 4-bit index.
+    ///
+    /// Returns `None` if `index > 15`.
+    pub fn from_index(index: u8) -> Option<Reg> {
+        Reg::ALL.get(index as usize).copied()
+    }
+
+    /// Construct a register from the low four bits of `index`, ignoring the
+    /// rest. Used by the binary decoder, where the field is exactly 4 bits.
+    pub fn from_index_truncated(index: u16) -> Reg {
+        Reg::ALL[(index & 0xf) as usize]
+    }
+
+    /// The 4-bit register index (0–15).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// `true` for `r15`, the message-coprocessor port.
+    pub fn is_msg_port(self) -> bool {
+        self == Reg::R15
+    }
+
+    /// Parse an assembly register name such as `r7` or `R7`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegError`] when the name is not `r0`–`r15`.
+    pub fn parse(name: &str) -> Result<Reg, ParseRegError> {
+        let rest = name
+            .strip_prefix('r')
+            .or_else(|| name.strip_prefix('R'))
+            .ok_or_else(|| ParseRegError { name: name.to_owned() })?;
+        let index: u8 = rest.parse().map_err(|_| ParseRegError { name: name.to_owned() })?;
+        Reg::from_index(index).ok_or_else(|| ParseRegError { name: name.to_owned() })
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+impl std::str::FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Reg::parse(s)
+    }
+}
+
+/// Error returned when a string is not a valid register name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}` (expected r0..r15)", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..16u8 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn truncated_masks_high_bits() {
+        assert_eq!(Reg::from_index_truncated(0x35), Reg::R5);
+        assert_eq!(Reg::from_index_truncated(0xf), Reg::R15);
+    }
+
+    #[test]
+    fn only_r15_is_msg_port() {
+        for r in Reg::ALL {
+            assert_eq!(r.is_msg_port(), r == Reg::R15, "{r}");
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::parse(&r.to_string()).unwrap(), r);
+        }
+        assert_eq!(Reg::parse("R12").unwrap(), Reg::R12);
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        for bad in ["r16", "r-1", "x3", "", "r", "r1x"] {
+            assert!(Reg::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The lock-step network simulator.
+//!
+//! Nodes advance together to the next instant anything can happen (a
+//! node handler, a timer, a word finishing serialization, an injected
+//! stimulus). Running nodes get a bounded work window so the loop stays
+//! efficient without letting any delivery or stimulus be skipped. When
+//! the network is large, node windows execute on parallel threads
+//! (nodes are independent between synchronization points).
+
+use crate::channel::{Channel, Transmission};
+use crate::topology::{Position, Topology};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use dess::{Calendar, SimDuration, SimTime};
+use snap_asm::Program;
+use snap_isa::Word;
+use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
+use std::collections::BTreeMap;
+
+/// Work window granted to running nodes per synchronization round.
+const RUN_QUANTUM: SimDuration = SimDuration::from_us(100);
+
+/// Node count at which windows run on parallel threads.
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// An external stimulus injected into a node on schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stimulus {
+    /// Assert the node's sensor-interrupt pin.
+    SensorIrq,
+    /// Change a sensor's reading.
+    SensorReading {
+        /// Sensor id.
+        id: u16,
+        /// New value.
+        value: Word,
+    },
+}
+
+/// The multi-node network simulator.
+pub struct NetworkSim {
+    nodes: Vec<Node>,
+    index: BTreeMap<NodeId, usize>,
+    topology: Topology,
+    channel: Channel,
+    deliveries: Calendar<Transmission>,
+    stimuli: Calendar<(NodeId, Stimulus)>,
+    trace: Trace,
+    now: SimTime,
+}
+
+impl NetworkSim {
+    /// An empty network with the given radio range.
+    pub fn new(range: f64) -> NetworkSim {
+        NetworkSim {
+            nodes: Vec::new(),
+            index: BTreeMap::new(),
+            topology: Topology::new(range),
+            channel: Channel::new(),
+            deliveries: Calendar::new(),
+            stimuli: Calendar::new(),
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Add a node at `position` running `program`. Node ids are
+    /// assigned sequentially from 1 — build each program with the
+    /// matching MAC `node_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the node's memories.
+    pub fn add_node(&mut self, program: &Program, position: Position) -> NodeId {
+        let id = NodeId(self.nodes.len() as u16 + 1);
+        let cfg = NodeConfig { id, ..NodeConfig::default() };
+        let mut node = Node::new(cfg);
+        node.load(program).expect("program fits the node memories");
+        self.topology.place(id, position);
+        self.index.insert(id, self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// The node with this id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown ids.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[self.index[&id]]
+    }
+
+    /// Mutable access to a node (fixtures: sensors, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown ids.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[self.index[&id]]
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The channel statistics.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Enable random per-word loss (fading) on the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    pub fn set_loss(&mut self, probability: f64, seed: u64) {
+        self.channel = self.channel.clone().with_loss(probability, seed);
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Global simulation time reached so far.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule a stimulus for `node` at absolute time `at`.
+    pub fn schedule(&mut self, node: NodeId, at: SimTime, stimulus: Stimulus) {
+        self.stimuli.schedule(at, (node, stimulus));
+    }
+
+    /// Run the network until `t_end`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`NodeError`] from any node.
+    pub fn run_until(&mut self, t_end: SimTime) -> Result<(), NodeError> {
+        loop {
+            let next = self.next_instant();
+            let Some(t) = next else {
+                self.advance_all(t_end)?;
+                self.now = t_end;
+                return Ok(());
+            };
+            if t >= t_end {
+                self.advance_all(t_end)?;
+                self.process_due(t_end);
+                self.now = t_end;
+                return Ok(());
+            }
+            // Window: up to the next *later* instant, capped by the
+            // quantum, so running nodes execute efficiently but no
+            // delivery or stimulus is overshot.
+            let later = self.next_instant_after(t);
+            let mut window_end = t + RUN_QUANTUM;
+            if let Some(l) = later {
+                window_end = window_end.min(l);
+            }
+            window_end = window_end.min(t_end).max(t + SimDuration::from_ps(1));
+            self.advance_all(window_end)?;
+            self.process_due(window_end);
+            self.now = window_end;
+        }
+    }
+
+    /// Run the network for `duration` from the current time.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkSim::run_until`].
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), NodeError> {
+        self.run_until(self.now + duration)
+    }
+
+    fn next_instant(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        consider(self.deliveries.peek_time());
+        consider(self.stimuli.peek_time());
+        for node in &self.nodes {
+            consider(node.next_activity());
+        }
+        next
+    }
+
+    fn next_instant_after(&self, t: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |cand: Option<SimTime>| {
+            if let Some(c) = cand {
+                if c > t {
+                    next = Some(next.map_or(c, |n| n.min(c)));
+                }
+            }
+        };
+        consider(self.deliveries.peek_time());
+        consider(self.stimuli.peek_time());
+        for node in &self.nodes {
+            consider(node.next_activity());
+        }
+        next
+    }
+
+    /// Advance every node to `deadline` (in parallel for big networks)
+    /// and fold their outputs into the channel/trace.
+    fn advance_all(&mut self, deadline: SimTime) -> Result<(), NodeError> {
+        let results: Vec<Result<Vec<NodeOutput>, NodeError>> =
+            if self.nodes.len() >= PARALLEL_THRESHOLD {
+                crossbeam::scope(|s| {
+                    let handles: Vec<_> = self
+                        .nodes
+                        .iter_mut()
+                        .map(|node| s.spawn(move |_| node.run_until(deadline)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("node thread")).collect()
+                })
+                .expect("crossbeam scope")
+            } else {
+                self.nodes.iter_mut().map(|node| node.run_until(deadline)).collect()
+            };
+
+        for (i, result) in results.into_iter().enumerate() {
+            let from = self.nodes[i].id();
+            for output in result? {
+                match output {
+                    NodeOutput::Transmitted { word, start, end } => {
+                        let tx = Transmission { from, word, start, end };
+                        self.channel.transmit(tx);
+                        self.deliveries.schedule(end, tx);
+                        self.trace.record(TraceEvent {
+                            at_ps: start.as_ps(),
+                            node: from,
+                            kind: TraceKind::Transmit { word },
+                        });
+                    }
+                    NodeOutput::LedWrite { value, at } => {
+                        self.trace.record(TraceEvent {
+                            at_ps: at.as_ps(),
+                            node: from,
+                            kind: TraceKind::Led { value },
+                        });
+                    }
+                    NodeOutput::RadioModeChanged { .. } => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver transmissions and apply stimuli due at or before `t`.
+    fn process_due(&mut self, t: SimTime) {
+        while let Some(due) = self.deliveries.peek_time() {
+            if due > t {
+                break;
+            }
+            let (_, tx) = self.deliveries.pop().expect("peeked");
+            self.deliver(tx);
+        }
+        while let Some(due) = self.stimuli.peek_time() {
+            if due > t {
+                break;
+            }
+            let (_, (id, stimulus)) = self.stimuli.pop().expect("peeked");
+            self.apply_stimulus(id, stimulus, t);
+        }
+        // Keep a couple of word-times of history for overlap checks.
+        let cutoff = SimTime::from_ps(t.as_ps().saturating_sub(SimDuration::from_ms(2).as_ps()));
+        self.channel.expire(cutoff);
+    }
+
+    fn deliver(&mut self, tx: Transmission) {
+        let receivers: Vec<NodeId> = self.topology.neighbours(tx.from);
+        for id in receivers {
+            let audible: Vec<NodeId> = self
+                .topology
+                .nodes()
+                .filter(|&n| self.topology.in_range(n, id))
+                .collect();
+            let clean = self.channel.is_clean(&tx, &audible) && !self.channel.fades();
+            let idx = self.index[&id];
+            if clean {
+                if self.nodes[idx].deliver_rx(tx.word) {
+                    self.channel.note_delivery();
+                    self.trace.record(TraceEvent {
+                        at_ps: tx.end.as_ps(),
+                        node: id,
+                        kind: TraceKind::Deliver { word: tx.word, from: tx.from },
+                    });
+                }
+            } else {
+                self.channel.note_collision();
+                self.trace.record(TraceEvent {
+                    at_ps: tx.end.as_ps(),
+                    node: id,
+                    kind: TraceKind::Collision { from: tx.from },
+                });
+            }
+        }
+    }
+
+    fn apply_stimulus(&mut self, id: NodeId, stimulus: Stimulus, at: SimTime) {
+        let idx = self.index[&id];
+        match stimulus {
+            Stimulus::SensorIrq => {
+                self.nodes[idx].trigger_sensor_irq();
+            }
+            Stimulus::SensorReading { id: sensor, value } => {
+                self.nodes[idx].sensors_mut().set_reading(sensor, value);
+            }
+        }
+        self.trace.record(TraceEvent { at_ps: at.as_ps(), node: id, kind: TraceKind::Stimulus });
+    }
+}

@@ -1,0 +1,120 @@
+//! Node positions and radio connectivity.
+
+use serde::{Deserialize, Serialize};
+use snap_node::NodeId;
+use std::collections::BTreeMap;
+
+/// A 2-D node position (unit-free; range uses the same unit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// A position.
+    pub fn new(x: f64, y: f64) -> Position {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Placement of nodes plus the (disc-model) radio range.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: BTreeMap<NodeId, Position>,
+    range: f64,
+}
+
+impl Topology {
+    /// An empty topology with the given radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `range` is positive.
+    pub fn new(range: f64) -> Topology {
+        assert!(range > 0.0, "radio range must be positive");
+        Topology { positions: BTreeMap::new(), range }
+    }
+
+    /// Place (or move) a node.
+    pub fn place(&mut self, node: NodeId, position: Position) {
+        self.positions.insert(node, position);
+    }
+
+    /// The node's position, if placed.
+    pub fn position(&self, node: NodeId) -> Option<Position> {
+        self.positions.get(&node).copied()
+    }
+
+    /// The radio range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// `true` when `b` can hear `a` (disc model; a node never hears
+    /// itself).
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        match (self.positions.get(&a), self.positions.get(&b)) {
+            (Some(pa), Some(pb)) => pa.distance(pb) <= self.range,
+            _ => false,
+        }
+    }
+
+    /// All placed nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.positions.keys().copied()
+    }
+
+    /// Nodes within range of `from` (excluding `from`).
+    pub fn neighbours(&self, from: NodeId) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.in_range(from, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disc_connectivity() {
+        let mut t = Topology::new(10.0);
+        t.place(NodeId(1), Position::new(0.0, 0.0));
+        t.place(NodeId(2), Position::new(6.0, 8.0)); // distance 10: in range
+        t.place(NodeId(3), Position::new(20.0, 0.0));
+        assert!(t.in_range(NodeId(1), NodeId(2)));
+        assert!(t.in_range(NodeId(2), NodeId(1)));
+        assert!(!t.in_range(NodeId(1), NodeId(3)));
+        assert!(!t.in_range(NodeId(1), NodeId(1)), "no self-hearing");
+        assert_eq!(t.neighbours(NodeId(1)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn unplaced_nodes_unreachable() {
+        let mut t = Topology::new(5.0);
+        t.place(NodeId(1), Position::new(0.0, 0.0));
+        assert!(!t.in_range(NodeId(1), NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_rejected() {
+        let _ = Topology::new(0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! A serializable trace of network-visible events.
+
+use serde::{Deserialize, Serialize};
+use snap_isa::Word;
+use snap_node::NodeId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A word went on the air.
+    Transmit {
+        /// The word.
+        word: Word,
+    },
+    /// A word was delivered cleanly to this node.
+    Deliver {
+        /// The word.
+        word: Word,
+        /// Who sent it.
+        from: NodeId,
+    },
+    /// A word was garbled by a collision at this node.
+    Collision {
+        /// Who sent the garbled word.
+        from: NodeId,
+    },
+    /// The node drove its LED port.
+    Led {
+        /// The driven value.
+        value: u16,
+    },
+    /// An injected stimulus fired.
+    Stimulus,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time in picoseconds.
+    pub at_ps: u64,
+    /// The node involved.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The collected trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events involving one node.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// Count events matching a predicate.
+    pub fn count<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Render the trace as JSON lines (one event per line) for external
+    /// analysis. Hand-rolled writer: the event structure is flat and
+    /// the workspace deliberately avoids a JSON dependency.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let (kind, detail) = match e.kind {
+                TraceKind::Transmit { word } => ("transmit", format!(r#","word":{word}"#)),
+                TraceKind::Deliver { word, from } => {
+                    ("deliver", format!(r#","word":{word},"from":{}"#, from.0))
+                }
+                TraceKind::Collision { from } => ("collision", format!(r#","from":{}"#, from.0)),
+                TraceKind::Led { value } => ("led", format!(r#","value":{value}"#)),
+                TraceKind::Stimulus => ("stimulus", String::new()),
+            };
+            out.push_str(&format!(
+                r#"{{"at_ps":{},"node":{},"kind":"{kind}"{detail}}}"#,
+                e.at_ps, e.node.0
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_output() {
+        let mut t = Trace::new();
+        t.record(TraceEvent { at_ps: 5, node: NodeId(2), kind: TraceKind::Deliver { word: 7, from: NodeId(1) } });
+        t.record(TraceEvent { at_ps: 9, node: NodeId(2), kind: TraceKind::Stimulus });
+        let json = t.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"at_ps":5,"node":2,"kind":"deliver","word":7,"from":1}"#);
+        assert_eq!(lines[1], r#"{"at_ps":9,"node":2,"kind":"stimulus"}"#);
+    }
+
+    #[test]
+    fn record_and_filter() {
+        let mut t = Trace::new();
+        t.record(TraceEvent { at_ps: 1, node: NodeId(1), kind: TraceKind::Transmit { word: 5 } });
+        t.record(TraceEvent { at_ps: 2, node: NodeId(2), kind: TraceKind::Led { value: 1 } });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.for_node(NodeId(1)).count(), 1);
+        assert_eq!(t.count(|e| matches!(e.kind, TraceKind::Led { .. })), 1);
+    }
+}

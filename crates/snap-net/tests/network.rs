@@ -1,0 +1,246 @@
+//! End-to-end network scenarios: real SNAP handler binaries exchanging
+//! packets over the simulated channel.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::aodv::{aodv_node_program, relay_program};
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::packet::{Packet, PacketType};
+use snap_apps::prelude::install_handler;
+use snap_net::{NetworkSim, Position, Stimulus, TraceKind};
+use snap_node::NodeId;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_ms(n)
+}
+
+/// Sender transmits a DATA packet; a nearby listener receives it.
+#[test]
+fn two_node_packet_exchange() {
+    let mut sim = NetworkSim::new(10.0);
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+    let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+    let listener = sim.add_node(
+        &mac_program(2, "", RX_DISPATCH_STUB).unwrap(),
+        Position::new(5.0, 0.0),
+    );
+    sim.schedule(sender, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(20)).unwrap();
+
+    // 5 words on the air, 5 clean deliveries at the listener.
+    assert_eq!(sim.channel().deliveries(), 5);
+    assert_eq!(sim.channel().collisions(), 0);
+    assert_eq!(sim.node(listener).radio().words_heard(), 5);
+    // The listener's MAC assembled and verified the packet.
+    let program = mac_program(2, "", RX_DISPATCH_STUB).unwrap();
+    let drops = program.symbol("mac_rx_drops").unwrap();
+    assert_eq!(sim.node(listener).cpu().dmem().read(drops), 0);
+    let buf = program.symbol("mac_rx_buf").unwrap();
+    assert_eq!(sim.node(listener).cpu().dmem().read(buf + 2), 0x1111);
+}
+
+/// A out of range of C: the relay B answers an RREQ and forwards DATA.
+#[test]
+fn three_node_aodv_forwarding_chain() {
+    let mut sim = NetworkSim::new(6.0);
+    // Node 1 (source) -- node 2 (relay) -- node 3 (sink), 5 apart.
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let source_app = format!("{}{}", send_on_irq_app(3), "\napp_deliver:\n    done\n");
+    let source = sim.add_node(
+        &aodv_node_program(1, &[(3, 2)], &extra, &source_app).unwrap(),
+        Position::new(0.0, 0.0),
+    );
+    let _relay = sim.add_node(
+        &relay_program(2, &[(3, 3), (1, 1)]).unwrap(),
+        Position::new(5.0, 0.0),
+    );
+    let sink = sim.add_node(&relay_program(3, &[]).unwrap(), Position::new(10.0, 0.0));
+    assert!(!sim.topology().in_range(source, sink), "must need the relay");
+
+    sim.schedule(source, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(40)).unwrap();
+
+    // The sink got the payload: its aodv_local counter incremented.
+    let sink_prog = relay_program(3, &[]).unwrap();
+    let local = sink_prog.symbol("aodv_local").unwrap();
+    assert_eq!(sim.node(sink).cpu().dmem().read(local), 1, "payload must reach the sink");
+    // The relay forwarded exactly one packet.
+    let relay_prog = relay_program(2, &[]).unwrap();
+    let fwds = relay_prog.symbol("aodv_fwds").unwrap();
+    assert_eq!(sim.node(NodeId(2)).cpu().dmem().read(fwds), 1);
+}
+
+/// An RREQ broadcast is answered over the air with an RREP.
+#[test]
+fn route_request_reply_over_the_air() {
+    let mut sim = NetworkSim::new(10.0);
+    // Node 1 sends an RREQ by staging it via the send app? Use a relay
+    // with a routing table as the responder and drive the RREQ from a
+    // bare MAC node.
+    let rreq = Packet::route_request(2, 1, 9);
+    // Custom app: on IRQ, stage the RREQ words.
+    let app = format!(
+        r"
+app_send_irq:
+    li      r2, {w0}
+    sw      r2, mac_tx_buf+0(r0)
+    li      r2, {w1}
+    sw      r2, mac_tx_buf+1(r0)
+    li      r2, {w2}
+    sw      r2, mac_tx_buf+2(r0)
+    li      r1, 3
+    call    mac_send
+    done
+rx_dispatch:
+    lw      r2, mac_rx_buf+1(r0)
+    srli    r2, 8
+    sw      r2, 0x100(r0)      ; log the received packet type
+    done
+",
+        w0 = rreq.encode()[0],
+        w1 = rreq.encode()[1],
+        w2 = rreq.encode()[2],
+    );
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let asker = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+    let _responder =
+        sim.add_node(&relay_program(2, &[(9, 7)]).unwrap(), Position::new(4.0, 0.0));
+
+    sim.schedule(asker, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(30)).unwrap();
+
+    // The asker logged an RREP (type 3) at DMEM 0x100.
+    assert_eq!(
+        sim.node(asker).cpu().dmem().read(0x100),
+        PacketType::RouteReply.code() as u16
+    );
+}
+
+/// Two senders colliding: the listener hears garbage, counted as
+/// collisions, and the MAC checksum rejects any partial assembly.
+#[test]
+fn simultaneous_transmitters_collide() {
+    let mut sim = NetworkSim::new(20.0);
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(3), RX_DISPATCH_STUB);
+    let a = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+    let b = sim.add_node(&mac_program(2, &extra, &app).unwrap(), Position::new(1.0, 0.0));
+    let _listener =
+        sim.add_node(&mac_program(3, "", RX_DISPATCH_STUB).unwrap(), Position::new(2.0, 0.0));
+    // Same instant: both backoffs start together; the LFSR seeds are
+    // identical, so the backoff draws coincide and words overlap.
+    sim.schedule(a, ms(2), Stimulus::SensorIrq);
+    sim.schedule(b, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(30)).unwrap();
+
+    assert!(sim.channel().collisions() > 0, "expected collisions");
+}
+
+/// Trace records transmissions, deliveries and stimuli.
+#[test]
+fn trace_captures_activity() {
+    let mut sim = NetworkSim::new(10.0);
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+    let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+    let _rx = sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(1.0, 0.0));
+    sim.schedule(sender, ms(1), Stimulus::SensorIrq);
+    sim.run_until(ms(20)).unwrap();
+
+    let tx_events = sim.trace().count(|e| matches!(e.kind, TraceKind::Transmit { .. }));
+    let rx_events = sim.trace().count(|e| matches!(e.kind, TraceKind::Deliver { .. }));
+    let stim = sim.trace().count(|e| matches!(e.kind, TraceKind::Stimulus));
+    assert_eq!(tx_events, 5);
+    assert_eq!(rx_events, 5);
+    assert_eq!(stim, 1);
+}
+
+/// Sleeping network: with no stimuli, nodes sleep and time passes with
+/// almost no instructions.
+#[test]
+fn idle_network_sleeps() {
+    let mut sim = NetworkSim::new(10.0);
+    let a = sim.add_node(&relay_program(1, &[]).unwrap(), Position::new(0.0, 0.0));
+    sim.run_until(ms(100)).unwrap();
+    let stats = sim.node(a).cpu().stats();
+    assert!(stats.instructions < 50, "boot only, got {}", stats.instructions);
+    assert!(stats.sleep_time.as_ms() > 99.0, "slept {}", stats.sleep_time);
+}
+
+/// Two identical runs produce bit-identical traces: the whole stack
+/// (LFSR backoffs, calendar FIFO tie-breaks, parallel windows) is
+/// deterministic.
+#[test]
+fn simulation_is_deterministic() {
+    fn run_once() -> Vec<snap_net::TraceEvent> {
+        let mut sim = NetworkSim::new(8.0);
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+        let a = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+        let app3 = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+        let c = sim.add_node(&mac_program(3, &extra, &app3).unwrap(), Position::new(2.0, 0.0));
+        sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(1.0, 1.0));
+        sim.schedule(a, ms(1), Stimulus::SensorIrq);
+        sim.schedule(c, ms(1), Stimulus::SensorIrq);
+        sim.run_until(ms(50)).unwrap();
+        sim.trace().events().to_vec()
+    }
+    let first = run_once();
+    let second = run_once();
+    assert!(!first.is_empty());
+    assert_eq!(first, second);
+}
+
+/// Nodes with different ids draw different CSMA backoffs (the MAC
+/// seeds its LFSR from the node id).
+#[test]
+fn backoffs_are_decorrelated_by_node_id() {
+    let mut starts = Vec::new();
+    for id in [1u8, 2, 3] {
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(9), RX_DISPATCH_STUB);
+        let program = mac_program(id, &extra, &app).unwrap();
+        let mut node = snap_node::Node::new(snap_node::NodeConfig::default());
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        let before = node.now();
+        node.trigger_sensor_irq();
+        let out = node.run_for(SimDuration::from_ms(5)).unwrap();
+        let start = out
+            .iter()
+            .find_map(|o| match o {
+                snap_node::NodeOutput::Transmitted { start, .. } => Some(*start),
+                _ => None,
+            })
+            .expect("a transmission");
+        starts.push((start - before).as_us().round() as i64);
+    }
+    assert!(
+        starts[0] != starts[1] || starts[1] != starts[2],
+        "backoffs should differ across ids: {starts:?}"
+    );
+}
+
+/// Fading: with loss probability 1 nothing arrives; the MAC's checksum
+/// machinery keeps the receiver sane; with 0 everything arrives.
+#[test]
+fn channel_fading_model() {
+    for (p, expect_all) in [(0.0, true), (1.0, false)] {
+        let mut sim = NetworkSim::new(10.0);
+        sim.set_loss(p, 42);
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+        let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+        let listener =
+            sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(3.0, 0.0));
+        sim.schedule(sender, ms(1), Stimulus::SensorIrq);
+        sim.run_until(ms(20)).unwrap();
+        if expect_all {
+            assert_eq!(sim.node(listener).radio().words_heard(), 5);
+            assert_eq!(sim.channel().faded(), 0);
+        } else {
+            assert_eq!(sim.node(listener).radio().words_heard(), 0);
+            assert_eq!(sim.channel().faded(), 5);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! `srun` — run a SNAP program on a simulated node from the command
+//! line, with optional instruction tracing.
+//!
+//! ```text
+//! srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] FILE(.s|.c|.bin)
+//! ```
+//!
+//! * `.s` sources are assembled, `.c` sources compiled (with `--c` or by
+//!   extension), anything else is loaded as a little-endian word image;
+//! * `--ms N` simulates N milliseconds (default 10);
+//! * `--trace` prints every executed instruction with its address;
+//! * exits with the node's statistics summary.
+
+use dess::SimDuration;
+use snap_core::{CoreState, StepOutcome};
+use snap_node::{Node, NodeConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut trace = false;
+    let mut millis: u64 = 10;
+    let mut vdd = String::from("1.8");
+    let mut force_c = false;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--c" => force_c = true,
+            "--ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => millis = v,
+                None => return usage("--ms requires a number"),
+            },
+            "--vdd" => match args.next() {
+                Some(v) => vdd = v,
+                None => return usage("--vdd requires a voltage"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(path) = input else { return usage("no input file") };
+
+    let point = match vdd.as_str() {
+        "1.8" => snap_energy::OperatingPoint::V1_8,
+        "0.9" => snap_energy::OperatingPoint::V0_9,
+        "0.6" => snap_energy::OperatingPoint::V0_6,
+        other => return usage(&format!("unsupported vdd `{other}` (1.8, 0.9 or 0.6)")),
+    };
+
+    // Build the program by input kind.
+    let (imem, dmem) = match load(&path, force_c) {
+        Ok(images) => images,
+        Err(e) => {
+            eprintln!("srun: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = NodeConfig { core: snap_core::CoreConfig::at(point), ..NodeConfig::default() };
+    let mut node = Node::new(cfg);
+    node.cpu_mut().load_image(0, &imem).expect("image fits IMEM");
+    node.cpu_mut().load_data(0, &dmem).expect("image fits DMEM");
+
+    if trace {
+        // Manual step loop with per-instruction output; timers are
+        // fast-forwarded like the core's standalone helpers do.
+        let deadline = dess::SimTime::ZERO + SimDuration::from_ms(millis);
+        loop {
+            match node.cpu_mut().step() {
+                Ok(StepOutcome::Executed { ins, at, .. }) => {
+                    println!("{:>12}  {at:#05x}  {ins}", node.now().to_string());
+                }
+                Ok(StepOutcome::Woke { event }) => {
+                    println!("{:>12}  ---- wake: {event}", node.now().to_string());
+                }
+                Ok(StepOutcome::Halted) => break,
+                Ok(StepOutcome::Asleep) => match node.cpu().next_timer_expiry() {
+                    Some(at) if at <= deadline => {
+                        node.cpu_mut().advance_idle(at);
+                    }
+                    _ => break,
+                },
+                Err(e) => {
+                    eprintln!("srun: fault: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if node.now() >= deadline {
+                break;
+            }
+        }
+    } else if let Err(e) = node.run_for(SimDuration::from_ms(millis)) {
+        eprintln!("srun: fault: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = node.cpu().stats();
+    println!("---");
+    println!("state:        {:?}", node.cpu().state());
+    println!("time:         {}", node.now());
+    println!("instructions: {}", stats.instructions);
+    println!("handlers:     {}", stats.handlers_dispatched);
+    println!("energy:       {}", stats.energy);
+    println!("busy/sleep:   {} / {}", stats.busy_time, stats.sleep_time);
+    if node.cpu().state() == CoreState::Running {
+        println!("(still running at the deadline)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str, force_c: bool) -> Result<(Vec<u16>, Vec<u16>), String> {
+    if force_c || path.ends_with(".c") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = snapcc::compile_to_program(&src).map_err(|e| format!("{path}: {e}"))?;
+        Ok((program.imem_image(), program.dmem_image()))
+    } else if path.ends_with(".s") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = snap_asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?;
+        Ok((program.imem_image(), program.dmem_image()))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        if bytes.len() % 2 != 0 {
+            return Err(format!("{path}: odd byte count"));
+        }
+        let words = bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+        Ok((words, Vec::new()))
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("srun: {err}");
+    }
+    eprintln!("usage: srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] FILE(.s|.c|.bin)");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

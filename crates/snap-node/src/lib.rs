@@ -1,0 +1,44 @@
+//! # snap-node — a complete simulated sensor node
+//!
+//! The node of Fig. 1: a SNAP/LE core wired to an RFM TR1000-class radio
+//! transceiver, a bank of sensors, and an output port (LEDs). The node
+//! owns the glue the paper's message coprocessor expects from its
+//! environment:
+//!
+//! * [`radio`] — a 19.2 kbps serial transceiver: transmitting one 16-bit
+//!   word takes ≈833 µs, after which the core receives a `RadioTxDone`
+//!   event; received words are posted word-by-word as `RadioRx` events.
+//! * [`sensor`] — queryable sensor registers (temperature, light, ...)
+//!   with a small reply latency, plus the external-interrupt pin.
+//! * [`led`] — the output port written through the `PortWrite` command;
+//!   the Blink benchmarks observe it.
+//! * [`node`] — the event loop that advances the core, delivers radio
+//!   and sensor events at the right simulated times, and reports what
+//!   the node did ([`NodeOutput`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use snap_node::{Node, NodeConfig};
+//! use snap_asm::assemble;
+//! use dess::SimDuration;
+//!
+//! let program = assemble("li r15, 0x402a\nhalt").unwrap(); // port <- 0x2a
+//! let mut node = Node::new(NodeConfig::default());
+//! node.load(&program).unwrap();
+//! let outputs = node.run_for(SimDuration::from_ms(1)).unwrap();
+//! assert!(!outputs.is_empty());
+//! assert_eq!(node.led().value(), 0x2a);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod led;
+pub mod node;
+pub mod radio;
+pub mod sensor;
+
+pub use led::LedPort;
+pub use node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
+pub use radio::{Radio, RadioMode, WORD_BITS};
+pub use sensor::SensorBank;

@@ -1,0 +1,574 @@
+//! The node event loop: core + radio + sensors + port, in lock-step
+//! simulated time.
+
+use crate::led::LedPort;
+use crate::radio::Radio;
+use crate::sensor::SensorBank;
+use dess::{Calendar, SimDuration, SimTime};
+use snap_asm::Program;
+use snap_core::{CoreConfig, CoreState, EnvAction, Processor, StepError, StepOutcome};
+use snap_isa::Word;
+use std::fmt;
+
+/// Identifies a node within a network simulation.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Node configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// The processor configuration.
+    pub core: CoreConfig,
+    /// Radio bit rate in bits/second.
+    pub radio_bit_rate: f64,
+    /// This node's identity.
+    pub id: NodeId,
+    /// Safety cap on instructions per [`Node::run_until`] call; a runaway
+    /// handler (infinite loop) trips [`NodeError::StepLimit`] instead of
+    /// hanging the simulation.
+    pub step_limit: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            core: CoreConfig::default(),
+            radio_bit_rate: crate::radio::DEFAULT_BIT_RATE,
+            id: NodeId(0),
+            step_limit: 10_000_000,
+        }
+    }
+}
+
+/// Externally visible things a node did during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOutput {
+    /// A radio word went on the air from `start` to `end`.
+    Transmitted {
+        /// The transmitted word.
+        word: Word,
+        /// Start of serialization.
+        start: SimTime,
+        /// End of serialization (when peers hear it).
+        end: SimTime,
+    },
+    /// The output port changed.
+    LedWrite {
+        /// The driven value.
+        value: u16,
+        /// When.
+        at: SimTime,
+    },
+    /// The radio was enabled or disabled.
+    RadioModeChanged {
+        /// `true` = receiver on.
+        enabled: bool,
+        /// When.
+        at: SimTime,
+    },
+}
+
+/// Node-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeError {
+    /// The core faulted.
+    Core {
+        /// Which node.
+        node: NodeId,
+        /// The underlying fault.
+        error: StepError,
+    },
+    /// A handler issued a radio TX while a word was still on the air
+    /// (the MAC must wait for `RadioTxDone`).
+    RadioBusy {
+        /// Which node.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+    },
+    /// The per-run instruction budget was exhausted (runaway handler).
+    StepLimit {
+        /// Which node.
+        node: NodeId,
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Core { node, error } => write!(f, "{node}: {error}"),
+            NodeError::RadioBusy { node, at } => {
+                write!(f, "{node}: radio TX while busy at {at}")
+            }
+            NodeError::StepLimit { node, limit } => {
+                write!(f, "{node}: exceeded {limit} instructions in one run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    TxDone,
+    SensorReply(Word),
+}
+
+/// A complete simulated sensor node (Fig. 1).
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    cpu: Processor,
+    radio: Radio,
+    sensors: SensorBank,
+    led: LedPort,
+    pending: Calendar<Pending>,
+    step_limit: u64,
+}
+
+impl Node {
+    /// Build a node from its configuration.
+    pub fn new(config: NodeConfig) -> Node {
+        Node {
+            id: config.id,
+            cpu: Processor::new(config.core),
+            radio: Radio::with_bit_rate(config.radio_bit_rate),
+            sensors: SensorBank::new(),
+            led: LedPort::new(),
+            pending: Calendar::new(),
+            step_limit: config.step_limit,
+        }
+    }
+
+    /// Load an assembled program (IMEM and DMEM images) into the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either image exceeds its 4 KB bank.
+    pub fn load(&mut self, program: &Program) -> Result<(), snap_core::memory::LoadError> {
+        self.cpu.load_image(0, &program.imem_image())?;
+        self.cpu.load_data(0, &program.dmem_image())
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The processor (statistics, registers, memories).
+    pub fn cpu(&self) -> &Processor {
+        &self.cpu
+    }
+
+    /// Mutable processor access (test fixtures).
+    pub fn cpu_mut(&mut self) -> &mut Processor {
+        &mut self.cpu
+    }
+
+    /// The radio.
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
+
+    /// The sensors (mutable so the environment can change readings).
+    pub fn sensors_mut(&mut self) -> &mut SensorBank {
+        &mut self.sensors
+    }
+
+    /// The sensors.
+    pub fn sensors(&self) -> &SensorBank {
+        &self.sensors
+    }
+
+    /// The output port.
+    pub fn led(&self) -> &LedPort {
+        &self.led
+    }
+
+    /// Current node-local simulated time.
+    pub fn now(&self) -> SimTime {
+        self.cpu.now()
+    }
+
+    /// Deliver a radio word from the channel. Returns `true` when the
+    /// node heard it (receiver on, not transmitting, event accepted).
+    pub fn deliver_rx(&mut self, word: Word) -> bool {
+        if !self.radio.can_hear() {
+            return false;
+        }
+        self.radio.note_heard();
+        self.cpu.post_radio_rx(word)
+    }
+
+    /// Assert the external sensor-interrupt pin.
+    pub fn trigger_sensor_irq(&mut self) -> bool {
+        self.cpu.post_sensor_irq()
+    }
+
+    /// When this node next needs attention: now if running or an event
+    /// is deliverable, the earliest pending/timer instant while asleep,
+    /// `None` when nothing will ever happen again.
+    pub fn next_activity(&self) -> Option<SimTime> {
+        match self.cpu.state() {
+            CoreState::Halted => None,
+            CoreState::Running => Some(self.cpu.now()),
+            CoreState::Asleep => {
+                if !self.cpu.event_queue().is_empty() {
+                    return Some(self.cpu.now());
+                }
+                let pending = self.pending.peek_time();
+                let timer = self.cpu.next_timer_expiry();
+                match (pending, timer) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+        }
+    }
+
+    /// Advance the node until `deadline`, executing handlers and
+    /// delivering radio/sensor events at their due times.
+    ///
+    /// # Errors
+    ///
+    /// See [`NodeError`].
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<Vec<NodeOutput>, NodeError> {
+        let mut outputs = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            self.deliver_due();
+            match self.cpu.state() {
+                CoreState::Halted => break,
+                CoreState::Running => {
+                    if self.cpu.now() >= deadline {
+                        break;
+                    }
+                    steps += 1;
+                    if steps > self.step_limit {
+                        return Err(NodeError::StepLimit { node: self.id, limit: self.step_limit });
+                    }
+                    let outcome = self
+                        .cpu
+                        .step()
+                        .map_err(|error| NodeError::Core { node: self.id, error })?;
+                    if let StepOutcome::Executed { action: Some(action), .. } = outcome {
+                        self.handle_action(action, &mut outputs)?;
+                    }
+                }
+                CoreState::Asleep => {
+                    if !self.cpu.event_queue().is_empty() {
+                        // A token is waiting: wake up.
+                        self.cpu
+                            .step()
+                            .map_err(|error| NodeError::Core { node: self.id, error })?;
+                        continue;
+                    }
+                    let next = self.next_activity();
+                    match next {
+                        Some(t) if t <= deadline => {
+                            self.cpu.advance_idle(t);
+                        }
+                        _ => {
+                            self.cpu.advance_idle(deadline);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Advance the node by `duration` from its current time.
+    ///
+    /// ```
+    /// use dess::SimDuration;
+    /// use snap_node::{Node, NodeConfig};
+    ///
+    /// let program = snap_asm::assemble("boot: li r15, 0x4003\n done")?;
+    /// let mut node = Node::new(NodeConfig::default());
+    /// node.load(&program)?;
+    /// node.run_for(SimDuration::from_us(10))?;
+    /// assert_eq!(node.led().value(), 3);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`NodeError`].
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<Vec<NodeOutput>, NodeError> {
+        self.run_until(self.cpu.now() + duration)
+    }
+
+    fn deliver_due(&mut self) {
+        while let Some(t) = self.pending.peek_time() {
+            if t > self.cpu.now() {
+                break;
+            }
+            let (_, ev) = self.pending.pop().expect("peeked");
+            match ev {
+                Pending::TxDone => {
+                    let _word = self.radio.finish_tx();
+                    self.cpu.post_radio_tx_done();
+                }
+                Pending::SensorReply(v) => {
+                    self.cpu.post_sensor_reply(v);
+                }
+            }
+        }
+    }
+
+    fn handle_action(
+        &mut self,
+        action: EnvAction,
+        outputs: &mut Vec<NodeOutput>,
+    ) -> Result<(), NodeError> {
+        let now = self.cpu.now();
+        match action {
+            EnvAction::TxWord(word) => match self.radio.start_tx(word, now) {
+                Some(end) => {
+                    self.pending.schedule(end, Pending::TxDone);
+                    outputs.push(NodeOutput::Transmitted { word, start: now, end });
+                    Ok(())
+                }
+                None => Err(NodeError::RadioBusy { node: self.id, at: now }),
+            },
+            EnvAction::RadioMode(enabled) => {
+                self.radio.set_enabled(enabled);
+                outputs.push(NodeOutput::RadioModeChanged { enabled, at: now });
+                Ok(())
+            }
+            EnvAction::Query(id) => {
+                let value = self.sensors.query(id);
+                self.pending.schedule(now + self.sensors.reply_latency(), Pending::SensorReply(value));
+                Ok(())
+            }
+            EnvAction::PortWrite(value) => {
+                self.led.write(now, value);
+                outputs.push(NodeOutput::LedWrite { value, at: now });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_asm::assemble;
+    use snap_isa::EventKind;
+
+    fn node_with(src: &str) -> Node {
+        let program = assemble(src).unwrap();
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&program).unwrap();
+        node
+    }
+
+    #[test]
+    fn port_write_surfaces_as_output() {
+        let mut node = node_with("li r15, 0x4007\nhalt");
+        let out = node.run_for(SimDuration::from_ms(1)).unwrap();
+        assert!(matches!(out[..], [NodeOutput::LedWrite { value: 7, .. }]));
+        assert_eq!(node.led().value(), 7);
+    }
+
+    #[test]
+    fn radio_tx_takes_word_time() {
+        // TX command, payload, wait for tx-done event, then halt.
+        let src = r"
+            .equ EV_TXDONE, 4
+                li      r1, EV_TXDONE
+                li      r2, after
+                setaddr r1, r2
+                li      r15, 0x2000     ; TX command
+                li      r15, 0xbeef     ; payload
+                done
+            after:
+                halt
+        ";
+        let mut node = node_with(src);
+        let out = node.run_for(SimDuration::from_ms(5)).unwrap();
+        let Some(NodeOutput::Transmitted { word, start, end }) =
+            out.iter().find(|o| matches!(o, NodeOutput::Transmitted { .. }))
+        else {
+            panic!("no transmission in {out:?}");
+        };
+        assert_eq!(*word, 0xbeef);
+        assert!(((*end - *start).as_us() - 833.3).abs() < 1.0);
+        // The node slept during the TX and woke for the done event.
+        assert_eq!(node.cpu().stats().wakeups, 1);
+        assert!(node.cpu().stats().sleep_time.as_us() > 800.0);
+    }
+
+    #[test]
+    fn sensor_query_reply_round_trip() {
+        let src = r"
+            .equ EV_REPLY, 6
+                li      r1, EV_REPLY
+                li      r2, got
+                setaddr r1, r2
+                li      r15, 0x3005     ; query sensor 5
+                done
+            got:
+                mov     r3, r15         ; pop the reading
+                halt
+        ";
+        let mut node = node_with(src);
+        node.sensors_mut().set_reading(5, 0x2bad);
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        assert_eq!(node.cpu().regs().read(snap_isa::Reg::R3), 0x2bad);
+        assert_eq!(node.sensors().queries(), 1);
+    }
+
+    #[test]
+    fn rx_word_reaches_handler() {
+        let src = r"
+            .equ EV_RX, 3
+                li      r1, EV_RX
+                li      r2, rx
+                setaddr r1, r2
+                li      r15, 0x1001     ; rx on
+                done
+            rx:
+                mov     r4, r15
+                halt
+        ";
+        let mut node = node_with(src);
+        node.run_for(SimDuration::from_us(10)).unwrap();
+        assert!(node.deliver_rx(0x1234));
+        node.run_for(SimDuration::from_us(10)).unwrap();
+        assert_eq!(node.cpu().regs().read(snap_isa::Reg::R4), 0x1234);
+        assert_eq!(node.radio().words_heard(), 1);
+    }
+
+    #[test]
+    fn rx_with_radio_off_is_lost() {
+        let mut node = node_with("done");
+        node.run_for(SimDuration::from_us(1)).unwrap();
+        assert!(!node.deliver_rx(0x5555));
+    }
+
+    #[test]
+    fn timer_driven_periodic_handler() {
+        // Schedule timer0 every 100 us; each firing writes the port and
+        // reschedules. Run 1 ms => ~10 writes.
+        let src = r"
+                li      r1, 0
+                li      r2, tick
+                setaddr r1, r2
+                call    sched
+                done
+            sched:
+                li      r3, 0
+                schedhi r1, r3
+                li      r3, 100
+                schedlo r1, r3
+                ret
+            tick:
+                li      r15, 0x4001
+                li      r15, 0x4000
+                call    sched
+                done
+        ";
+        let mut node = node_with(src);
+        node.run_for(SimDuration::from_ms(1)).unwrap();
+        let blinks = node.led().writes();
+        assert!((16..=22).contains(&blinks), "expected ~20 port writes, got {blinks}");
+        assert!(node.cpu().stats().wakeups >= 9);
+    }
+
+    #[test]
+    fn next_activity_reflects_state() {
+        let mut node = node_with("done");
+        node.run_for(SimDuration::from_us(1)).unwrap();
+        // Asleep, no timers, nothing pending.
+        assert_eq!(node.next_activity(), None);
+        node.trigger_sensor_irq();
+        assert_eq!(node.next_activity(), Some(node.now()));
+    }
+
+    #[test]
+    fn halted_node_stops() {
+        let mut node = node_with("halt");
+        node.run_for(SimDuration::from_ms(10)).unwrap();
+        assert_eq!(node.cpu().state(), snap_core::CoreState::Halted);
+        assert_eq!(node.next_activity(), None);
+        // Further runs are no-ops.
+        let out = node.run_for(SimDuration::from_ms(1)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn runaway_handler_trips_step_limit() {
+        let cfg = NodeConfig { step_limit: 1000, ..NodeConfig::default() };
+        let program = assemble("loop: jmp loop").unwrap();
+        let mut node = Node::new(cfg);
+        node.load(&program).unwrap();
+        let err = node.run_for(SimDuration::from_ms(1)).unwrap_err();
+        assert!(matches!(err, NodeError::StepLimit { limit: 1000, .. }));
+    }
+
+    #[test]
+    fn tx_while_busy_is_an_error() {
+        let src = r"
+            li r15, 0x2000
+            li r15, 1
+            li r15, 0x2000
+            li r15, 2
+            halt
+        ";
+        let mut node = node_with(src);
+        let err = node.run_for(SimDuration::from_ms(1)).unwrap_err();
+        assert!(matches!(err, NodeError::RadioBusy { .. }), "{err}");
+    }
+
+    #[test]
+    fn handler_measurement_via_stat_snapshots() {
+        // Measure a handler exactly as the Table 1 benches do.
+        let src = r"
+            .equ EV_IRQ, 5
+                li      r1, EV_IRQ
+                li      r2, h
+                setaddr r1, r2
+                done
+            h:
+                li      r3, 1
+                li      r4, 2
+                add     r3, r4
+                done
+        ";
+        let mut node = node_with(src);
+        node.run_for(SimDuration::from_us(10)).unwrap();
+        let before = node.cpu().stats();
+        node.trigger_sensor_irq();
+        node.run_for(SimDuration::from_us(10)).unwrap();
+        let d = node.cpu().stats().since(&before);
+        assert_eq!(d.instructions, 4); // li, li, add, done
+        assert_eq!(d.handlers_dispatched, 1);
+        assert!(d.energy.as_pj() > 0.0);
+        // Paper event-kind sanity: irq index is 5.
+        assert_eq!(EventKind::SensorIrq.index(), 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Node-level edge cases: radio mode transitions, sensor latency, and
+//! half-duplex behaviour.
+
+use dess::SimDuration;
+use snap_asm::assemble;
+use snap_node::{Node, NodeConfig, NodeOutput, RadioMode};
+
+fn node_with(src: &str) -> Node {
+    let program = assemble(src).unwrap();
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).unwrap();
+    node
+}
+
+/// Sensor replies arrive after the configured latency, not instantly.
+#[test]
+fn sensor_reply_takes_the_configured_latency() {
+    let src = r"
+        .equ EV_REPLY, 6
+    boot:
+        li      r1, EV_REPLY
+        li      r2, got
+        setaddr r1, r2
+        li      r15, 0x3002
+        done
+    got:
+        mov     r3, r15
+        halt
+    ";
+    let mut node = node_with(src);
+    node.sensors_mut().set_reading(2, 99);
+    node.run_for(SimDuration::from_us(5)).unwrap();
+    // Query issued in the first microseconds; the default reply latency
+    // is 10 us, so the reading must not have arrived yet.
+    assert_ne!(node.cpu().regs().read(snap_isa::Reg::R3), 99);
+    node.run_for(SimDuration::from_us(10)).unwrap();
+    assert_eq!(node.cpu().regs().read(snap_isa::Reg::R3), 99);
+}
+
+/// Half duplex: words delivered while the node transmits are lost.
+#[test]
+fn transmitting_node_cannot_hear() {
+    // Note: the tx-done handler must be installed — an empty table
+    // entry points at address 0, which would faithfully re-run boot
+    // (and re-transmit) like the real hardware would.
+    let src = r"
+        .equ EV_TXDONE, 4
+    boot:
+        li      r1, EV_TXDONE
+        li      r2, idle
+        setaddr r1, r2
+        li      r15, 0x1001    ; rx on
+        li      r15, 0x2000    ; tx
+        li      r15, 0xaaaa    ; payload: on the air for ~833us
+        done
+    idle:
+        done
+    ";
+    let mut node = node_with(src);
+    node.run_for(SimDuration::from_us(100)).unwrap();
+    assert_eq!(node.radio().mode(), RadioMode::Tx);
+    assert!(!node.deliver_rx(0x1234), "half duplex");
+    // After the word completes, reception works again.
+    node.run_for(SimDuration::from_ms(1)).unwrap();
+    assert_eq!(node.radio().mode(), RadioMode::Rx);
+    assert!(node.deliver_rx(0x1234));
+}
+
+/// Radio mode changes requested during a transmission are ignored; the
+/// radio returns to RX when the word completes.
+#[test]
+fn mode_change_during_tx_is_ignored() {
+    let src = r"
+        .equ EV_TXDONE, 4
+    boot:
+        li      r1, EV_TXDONE
+        li      r2, idle
+        setaddr r1, r2
+        li      r15, 0x1001
+        li      r15, 0x2000
+        li      r15, 0xbbbb
+        li      r15, 0x1000    ; radio off — while TX is in flight
+        done
+    idle:
+        done
+    ";
+    let mut node = node_with(src);
+    let out = node.run_for(SimDuration::from_ms(2)).unwrap();
+    // The word still went out.
+    assert!(out.iter().any(|o| matches!(o, NodeOutput::Transmitted { word: 0xbbbb, .. })));
+    assert_eq!(node.radio().mode(), RadioMode::Rx, "returns to RX after TX");
+}
+
+/// Port writes are visible in outputs and history with timestamps in
+/// ascending order.
+#[test]
+fn led_history_is_monotone() {
+    let src = r"
+    boot:
+        li      r15, 0x4001
+        li      r15, 0x4000
+        li      r15, 0x4005
+        halt
+    ";
+    let mut node = node_with(src);
+    node.run_for(SimDuration::from_ms(1)).unwrap();
+    let hist = node.led().history();
+    assert_eq!(hist.len(), 3);
+    assert!(hist.windows(2).all(|w| w[0].0 <= w[1].0));
+    assert_eq!(node.led().value(), 5);
+}
+
+/// A node asleep with an armed timer reports that expiry as its next
+/// activity; after it fires, next_activity is None again.
+#[test]
+fn next_activity_tracks_timers() {
+    let src = r"
+    boot:
+        li      r1, 0
+        li      r2, tick
+        setaddr r1, r2
+        li      r3, 0
+        schedhi r3, r0
+        li      r4, 700
+        schedlo r3, r4
+        done
+    tick:
+        done
+    ";
+    let mut node = node_with(src);
+    node.run_for(SimDuration::from_us(10)).unwrap();
+    let next = node.next_activity().expect("armed timer");
+    assert!((next.as_us() - 700.0).abs() < 5.0, "{next}");
+    node.run_for(SimDuration::from_ms(1)).unwrap();
+    assert_eq!(node.next_activity(), None, "one-shot timer consumed");
+}

@@ -1,0 +1,209 @@
+//! Abstract syntax for the C subset.
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// Global declarations in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `int name;` or `int name[len];`
+    Global {
+        /// Variable name.
+        name: String,
+        /// `Some(len)` for arrays.
+        array: Option<usize>,
+        /// Optional scalar initializer (constant).
+        init: Option<i64>,
+        /// Optional array initializer (`= {a, b, ...}`, zero-padded).
+        array_init: Option<Vec<i64>>,
+    },
+    /// A function definition.
+    Function(Function),
+}
+
+/// How a function returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FnKind {
+    /// `int f(...)` / `void f(...)` — returns with `ret`.
+    Normal,
+    /// `handler f()` — an event handler; ends with `done`.
+    Handler,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name (also its assembly label).
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Normal or handler.
+    pub kind: FnKind,
+    /// The body block.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int name;` / `int name[n];` / `int name = e;`
+    Local {
+        /// Variable name.
+        name: String,
+        /// `Some(len)` for a local array.
+        array: Option<usize>,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `if (c) t else f`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (c) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body` (each part optional).
+    For {
+        /// Init expression.
+        init: Option<Expr>,
+        /// Condition (true when absent).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `break;` — exit the innermost loop.
+    Break,
+    /// `continue;` — next iteration of the innermost loop.
+    Continue,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// `a[i]`.
+    Index {
+        /// The array variable.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `*p`.
+    Deref(Box<Expr>),
+    /// `&lvalue` (variable or element).
+    AddrOf(Box<Expr>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment `lvalue = e` (value of the expression is `e`).
+    Assign {
+        /// The target (Var / Index / Deref).
+        target: Box<Expr>,
+        /// The value.
+        value: Box<Expr>,
+    },
+    /// Prefix or postfix `++`/`--` on an lvalue.
+    IncDec {
+        /// The lvalue.
+        target: Box<Expr>,
+        /// `true` for `++`.
+        inc: bool,
+        /// `true` for prefix form (value = updated); postfix yields the
+        /// original value.
+        prefix: bool,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}

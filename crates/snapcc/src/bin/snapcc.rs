@@ -1,0 +1,99 @@
+//! `snapcc` — the C compiler driver.
+//!
+//! ```text
+//! snapcc [-S] [--done] [--run [--max-steps N]] FILE.c
+//! ```
+//!
+//! * default: compile and report code size;
+//! * `-S`: print the generated SNAP assembly;
+//! * `--done`: boot ends in `done` (event-driven program) instead of `halt`;
+//! * `--run`: execute on the simulated core and print `main`'s return
+//!   value plus energy statistics (standalone programs only).
+
+use snapcc::codegen::{BootEnd, CompileOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut emit_asm = false;
+    let mut run = false;
+    let mut max_steps: u64 = 10_000_000;
+    let mut end = BootEnd::Halt;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-S" => emit_asm = true,
+            "--run" => run = true,
+            "--done" => end = BootEnd::Done,
+            "--max-steps" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("snapcc: --max-steps requires a number");
+                    return ExitCode::FAILURE;
+                };
+                max_steps = v;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: snapcc [-S] [--done] [--run [--max-steps N]] FILE.c");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(path) = input else {
+        eprintln!("snapcc: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snapcc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = CompileOptions { end, ..CompileOptions::default() };
+    if emit_asm {
+        match snapcc::compile_to_asm(&source, options) {
+            Ok(asm) => {
+                print!("{asm}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("snapcc: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let program = match snapcc::compile_to_program_with(&source, options) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("snapcc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} bytes of code, {} data words", program.code_bytes(),
+        program.dmem_image().len());
+
+    if run {
+        use snap_core::{CoreConfig, Processor};
+        let mut cpu = Processor::new(CoreConfig::default());
+        cpu.load_image(0, &program.imem_image()).expect("image fits");
+        cpu.load_data(0, &program.dmem_image()).expect("data fits");
+        match cpu.run_to_halt(max_steps) {
+            Ok(_) => {
+                let stats = cpu.stats();
+                println!("main returned: {}", cpu.regs().read(snap_isa::Reg::R1) as i16);
+                println!("instructions:  {}", stats.instructions);
+                println!("energy:        {}", stats.energy);
+                println!("busy time:     {}", stats.busy_time);
+            }
+            Err(e) => {
+                eprintln!("snapcc: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

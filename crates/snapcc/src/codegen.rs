@@ -1,0 +1,1224 @@
+//! Naive stack-machine code generation.
+//!
+//! Register conventions (matching the hand-written assembly in
+//! `snap-apps`): `r0` is kept zero, `r13` is the software stack pointer
+//! (DMEM, growing down), `r12` the frame pointer, `r14` the link
+//! register, `r1` the expression result / return value, `r2`–`r8`
+//! scratch. Every binary operation spills its left operand to the
+//! stack — exactly the unoptimized-`lcc` behaviour the paper observed
+//! ("the compiler generated a lot of load/store operations that were
+//! unnecessary").
+//!
+//! Frame layout (word stack, growing down):
+//!
+//! ```text
+//! high | argN .. arg0 | saved ra | saved fp | local0 .. localM | low
+//!                                  ^ fp                          ^ sp
+//! ```
+//!
+//! so parameter `i` is at `fp + 2 + i` and local slot `j` at
+//! `fp - 1 - j`. Handlers have no arguments and no saved `ra`; their
+//! saved `fp` sits at `fp + 0` as well (the prologue differs only in
+//! skipping the `ra` push) and their epilogue ends with `done`.
+
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Default top-of-stack (grows down; DMEM is 0..0x7ff).
+pub const DEFAULT_STACK_TOP: u16 = 0x07f0;
+
+/// What boot code does after `main` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootEnd {
+    /// `halt` — standalone programs and tests.
+    Halt,
+    /// `done` — event-driven programs: `main` installs handlers and the
+    /// node then sleeps on the event queue.
+    Done,
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Initial stack pointer.
+    pub stack_top: u16,
+    /// Behaviour after `main` returns.
+    pub end: BootEnd,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions { stack_top: DEFAULT_STACK_TOP, end: BootEnd::Halt }
+    }
+}
+
+/// Code-generation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Use of an undeclared variable.
+    UndefinedVariable(String),
+    /// Call of an unknown function.
+    UndefinedFunction(String),
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// Callee.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Call-site argument count.
+        got: usize,
+    },
+    /// A name defined twice.
+    Duplicate(String),
+    /// `main` is missing.
+    NoMain,
+    /// `break`/`continue` outside a loop.
+    NotInLoop(&'static str),
+    /// Bad intrinsic usage.
+    BadIntrinsic {
+        /// The intrinsic.
+        name: String,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UndefinedVariable(n) => write!(f, "undefined variable `{n}`"),
+            CompileError::UndefinedFunction(n) => write!(f, "undefined function `{n}`"),
+            CompileError::ArityMismatch { name, expected, got } => {
+                write!(f, "`{name}` takes {expected} arguments, got {got}")
+            }
+            CompileError::Duplicate(n) => write!(f, "`{n}` defined twice"),
+            CompileError::NoMain => write!(f, "no `main` function"),
+            CompileError::NotInLoop(kw) => write!(f, "`{kw}` outside a loop"),
+            CompileError::BadIntrinsic { name, reason } => write!(f, "`{name}`: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Storage {
+    GlobalScalar,
+    GlobalArray,
+    Param(usize),
+    LocalScalar(usize),
+    LocalArray {
+        /// Slot of the array's highest-address element (+1 base).
+        top_slot: usize,
+    },
+}
+
+struct FnCtx {
+    name: String,
+    vars: Vec<BTreeMap<String, Storage>>,
+    next_slot: usize,
+    max_slots: usize,
+    /// `(continue target, break target)` per enclosing loop.
+    loops: Vec<(String, String)>,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<Storage> {
+        self.vars.iter().rev().find_map(|scope| scope.get(name).copied())
+    }
+}
+
+/// `(name, array length, scalar init, array init)`.
+type GlobalDef = (String, Option<usize>, Option<i64>, Option<Vec<i64>>);
+
+struct Gen {
+    out: String,
+    globals: BTreeMap<String, Storage>,
+    global_defs: Vec<GlobalDef>,
+    functions: BTreeMap<String, usize>, // name -> arity
+    handlers: BTreeSet<String>,
+    labels: usize,
+    need_mul: bool,
+    need_div: bool,
+    need_mod: bool,
+}
+
+/// Compile a parsed unit to SNAP assembly text.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile(unit: &Unit, options: CompileOptions) -> Result<String, CompileError> {
+    let mut gen = Gen {
+        out: String::new(),
+        globals: BTreeMap::new(),
+        global_defs: Vec::new(),
+        functions: BTreeMap::new(),
+        handlers: BTreeSet::new(),
+        labels: 0,
+        need_mul: false,
+        need_div: false,
+        need_mod: false,
+    };
+
+    // Collect signatures first so forward calls work.
+    for item in &unit.items {
+        match item {
+            Item::Global { name, array, init, array_init } => {
+                let storage =
+                    if array.is_some() { Storage::GlobalArray } else { Storage::GlobalScalar };
+                if gen.globals.insert(name.clone(), storage).is_some() {
+                    return Err(CompileError::Duplicate(name.clone()));
+                }
+                gen.global_defs.push((name.clone(), *array, *init, array_init.clone()));
+            }
+            Item::Function(f) => {
+                if gen.functions.insert(f.name.clone(), f.params.len()).is_some() {
+                    return Err(CompileError::Duplicate(f.name.clone()));
+                }
+                if f.kind == FnKind::Handler {
+                    gen.handlers.insert(f.name.clone());
+                }
+            }
+        }
+    }
+    if !gen.functions.contains_key("main") {
+        return Err(CompileError::NoMain);
+    }
+
+    // Boot glue.
+    gen.emit("; generated by snapcc");
+    gen.emit("__boot:");
+    gen.emit(&format!("    li      r13, {:#x}", options.stack_top));
+    gen.emit("    call    main");
+    match options.end {
+        BootEnd::Halt => gen.emit("    halt"),
+        BootEnd::Done => gen.emit("    done"),
+    }
+
+    for item in &unit.items {
+        if let Item::Function(f) = item {
+            gen.function(f)?;
+        }
+    }
+
+    gen.runtime();
+    gen.data_section();
+    Ok(std::mem::take(&mut gen.out))
+}
+
+impl Gen {
+    fn emit(&mut self, line: &str) {
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    fn label(&mut self) -> String {
+        let l = format!("__L{}", self.labels);
+        self.labels += 1;
+        l
+    }
+
+    // ---- functions ----
+
+    fn function(&mut self, f: &Function) -> Result<(), CompileError> {
+        let mut ctx = FnCtx {
+            name: f.name.clone(),
+            vars: vec![BTreeMap::new()],
+            next_slot: 0,
+            max_slots: 0,
+            loops: Vec::new(),
+        };
+        for (i, p) in f.params.iter().enumerate() {
+            if ctx.vars[0].insert(p.clone(), Storage::Param(i)).is_some() {
+                return Err(CompileError::Duplicate(p.clone()));
+            }
+        }
+
+        // Two passes over the body: first to size the frame (slots),
+        // then to emit. Sizing pass uses a throwaway emit buffer.
+        let saved_out = std::mem::take(&mut self.out);
+        let saved_labels = self.labels;
+        self.stmts(&f.body, &mut ctx)?;
+        let frame = ctx.max_slots;
+        self.out = saved_out;
+        self.labels = saved_labels;
+        ctx.vars = vec![BTreeMap::new()];
+        for (i, p) in f.params.iter().enumerate() {
+            ctx.vars[0].insert(p.clone(), Storage::Param(i));
+        }
+        ctx.next_slot = 0;
+        ctx.max_slots = 0;
+
+        self.emit("");
+        self.emit(&format!("{}:", f.name));
+        if f.kind == FnKind::Normal {
+            self.emit("    subi    r13, 1");
+            self.emit("    sw      r14, 0(r13)");
+        } else {
+            // Handlers still reserve the ra slot so that frame offsets
+            // match the Normal layout (fp+1 is simply unused).
+            self.emit("    subi    r13, 1");
+        }
+        self.emit("    subi    r13, 1");
+        self.emit("    sw      r12, 0(r13)");
+        self.emit("    mov     r12, r13");
+        if frame > 0 {
+            self.emit(&format!("    subi    r13, {frame}"));
+        }
+
+        self.stmts(&f.body, &mut ctx)?;
+
+        self.emit(&format!("{}__ret:", f.name));
+        self.emit("    mov     r13, r12");
+        self.emit("    lw      r12, 0(r13)");
+        if f.kind == FnKind::Normal {
+            self.emit("    lw      r14, 1(r13)");
+            self.emit("    addi    r13, 2");
+            self.emit("    jr      r14");
+        } else {
+            self.emit("    addi    r13, 2");
+            self.emit("    done");
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt], ctx: &mut FnCtx) -> Result<(), CompileError> {
+        ctx.vars.push(BTreeMap::new());
+        let scope_base = ctx.next_slot;
+        for s in stmts {
+            self.stmt(s, ctx)?;
+        }
+        ctx.vars.pop();
+        ctx.next_slot = scope_base;
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, ctx: &mut FnCtx) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Local { name, array, init } => {
+                let storage = match array {
+                    Some(len) => {
+                        ctx.next_slot += (*len).max(1);
+                        Storage::LocalArray { top_slot: ctx.next_slot - 1 }
+                    }
+                    None => {
+                        ctx.next_slot += 1;
+                        Storage::LocalScalar(ctx.next_slot - 1)
+                    }
+                };
+                ctx.max_slots = ctx.max_slots.max(ctx.next_slot);
+                let scope = ctx.vars.last_mut().expect("scope stack nonempty");
+                if scope.insert(name.clone(), storage).is_some() {
+                    return Err(CompileError::Duplicate(name.clone()));
+                }
+                if let Some(e) = init {
+                    let target = Expr::Var(name.clone());
+                    self.expr(
+                        &Expr::Assign { target: Box::new(target), value: Box::new(e.clone()) },
+                        ctx,
+                    )?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr(e, ctx),
+            Stmt::Break => {
+                let Some((_, l_end)) = ctx.loops.last() else {
+                    return Err(CompileError::NotInLoop("break"));
+                };
+                self.emit(&format!("    jmp     {l_end}"));
+                Ok(())
+            }
+            Stmt::Continue => {
+                let Some((l_cont, _)) = ctx.loops.last() else {
+                    return Err(CompileError::NotInLoop("continue"));
+                };
+                self.emit(&format!("    jmp     {l_cont}"));
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e, ctx)?;
+                }
+                self.emit(&format!("    jmp     {}__ret", ctx.name));
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let l_else = self.label();
+                let l_end = self.label();
+                self.expr(cond, ctx)?;
+                self.emit(&format!("    beqz    r1, {l_else}"));
+                self.stmts(then_branch, ctx)?;
+                if else_branch.is_empty() {
+                    self.emit(&format!("{l_else}:"));
+                } else {
+                    self.emit(&format!("    jmp     {l_end}"));
+                    self.emit(&format!("{l_else}:"));
+                    self.stmts(else_branch, ctx)?;
+                    self.emit(&format!("{l_end}:"));
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.label();
+                let l_end = self.label();
+                self.emit(&format!("{l_top}:"));
+                self.expr(cond, ctx)?;
+                self.emit(&format!("    beqz    r1, {l_end}"));
+                ctx.loops.push((l_top.clone(), l_end.clone()));
+                self.stmts(body, ctx)?;
+                ctx.loops.pop();
+                self.emit(&format!("    jmp     {l_top}"));
+                self.emit(&format!("{l_end}:"));
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(e) = init {
+                    self.expr(e, ctx)?;
+                }
+                let l_top = self.label();
+                let l_step = self.label();
+                let l_end = self.label();
+                self.emit(&format!("{l_top}:"));
+                if let Some(c) = cond {
+                    self.expr(c, ctx)?;
+                    self.emit(&format!("    beqz    r1, {l_end}"));
+                }
+                ctx.loops.push((l_step.clone(), l_end.clone()));
+                self.stmts(body, ctx)?;
+                ctx.loops.pop();
+                self.emit(&format!("{l_step}:"));
+                if let Some(s) = step {
+                    self.expr(s, ctx)?;
+                }
+                self.emit(&format!("    jmp     {l_top}"));
+                self.emit(&format!("{l_end}:"));
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions (result in r1) ----
+
+    fn push_r1(&mut self) {
+        self.emit("    subi    r13, 1");
+        self.emit("    sw      r1, 0(r13)");
+    }
+
+    fn pop_into(&mut self, reg: &str) {
+        self.emit(&format!("    lw      {reg}, 0(r13)"));
+        self.emit("    addi    r13, 1");
+    }
+
+    fn storage_of(&self, name: &str, ctx: &FnCtx) -> Result<Storage, CompileError> {
+        ctx.lookup(name)
+            .or_else(|| self.globals.get(name).copied())
+            .ok_or_else(|| CompileError::UndefinedVariable(name.to_string()))
+    }
+
+    /// Emit code leaving the *address* of an lvalue in `r1`.
+    fn addr(&mut self, e: &Expr, ctx: &mut FnCtx) -> Result<(), CompileError> {
+        match e {
+            Expr::Var(name) => {
+                match self.storage_of(name, ctx)? {
+                    Storage::GlobalScalar | Storage::GlobalArray => {
+                        self.emit(&format!("    li      r1, {name}"));
+                    }
+                    Storage::Param(i) => {
+                        self.emit("    mov     r1, r12");
+                        self.emit(&format!("    addi    r1, {}", 2 + i));
+                    }
+                    Storage::LocalScalar(slot) => {
+                        self.emit("    mov     r1, r12");
+                        self.emit(&format!("    subi    r1, {}", slot + 1));
+                    }
+                    Storage::LocalArray { top_slot } => {
+                        // Base (element 0) is the lowest address.
+                        self.emit("    mov     r1, r12");
+                        self.emit(&format!("    subi    r1, {}", top_slot + 1));
+                    }
+                }
+                Ok(())
+            }
+            Expr::Index { base, index } => {
+                self.expr(index, ctx)?;
+                match self.storage_of(base, ctx)? {
+                    Storage::GlobalArray => {
+                        self.emit(&format!("    addi    r1, {base}"));
+                    }
+                    Storage::LocalArray { top_slot } => {
+                        self.push_r1();
+                        self.emit("    mov     r1, r12");
+                        self.emit(&format!("    subi    r1, {}", top_slot + 1));
+                        self.pop_into("r2");
+                        self.emit("    add     r1, r2");
+                    }
+                    // Scalar holding a pointer: base value + index.
+                    Storage::GlobalScalar => {
+                        self.emit(&format!("    lw      r2, {base}(r0)"));
+                        self.emit("    add     r1, r2");
+                    }
+                    Storage::Param(i) => {
+                        self.emit(&format!("    lw      r2, {}(r12)", 2 + i));
+                        self.emit("    add     r1, r2");
+                    }
+                    Storage::LocalScalar(slot) => {
+                        self.emit(&format!("    lw      r2, -{}(r12)", slot + 1));
+                        self.emit("    add     r1, r2");
+                    }
+                }
+                Ok(())
+            }
+            Expr::Deref(inner) => self.expr(inner, ctx),
+            other => Err(CompileError::BadIntrinsic {
+                name: format!("{other:?}"),
+                reason: "not an lvalue",
+            }),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, ctx: &mut FnCtx) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(v) => {
+                self.emit(&format!("    li      r1, {}", (*v as i32) & 0xffff));
+                Ok(())
+            }
+            Expr::Var(name) => {
+                match self.storage_of(name, ctx)? {
+                    Storage::GlobalScalar => self.emit(&format!("    lw      r1, {name}(r0)")),
+                    Storage::Param(i) => self.emit(&format!("    lw      r1, {}(r12)", 2 + i)),
+                    Storage::LocalScalar(slot) => {
+                        self.emit(&format!("    lw      r1, -{}(r12)", slot + 1))
+                    }
+                    // Arrays decay to their address.
+                    Storage::GlobalArray | Storage::LocalArray { .. } => {
+                        return self.addr(e, ctx)
+                    }
+                }
+                Ok(())
+            }
+            Expr::Index { .. } | Expr::Deref(_) => {
+                self.addr(e, ctx)?;
+                self.emit("    lw      r1, 0(r1)");
+                Ok(())
+            }
+            Expr::AddrOf(inner) => self.addr(inner, ctx),
+            Expr::Unary { op, operand } => {
+                self.expr(operand, ctx)?;
+                match op {
+                    UnOp::Neg => self.emit("    neg     r1, r1"),
+                    UnOp::Not => self.emit("    sltiu   r1, 1"),
+                    UnOp::BitNot => self.emit("    not     r1, r1"),
+                }
+                Ok(())
+            }
+            Expr::Assign { target, value } => {
+                self.expr(value, ctx)?;
+                // Fast path for scalar variables.
+                if let Expr::Var(name) = target.as_ref() {
+                    match self.storage_of(name, ctx)? {
+                        Storage::GlobalScalar => {
+                            self.emit(&format!("    sw      r1, {name}(r0)"));
+                            return Ok(());
+                        }
+                        Storage::Param(i) => {
+                            self.emit(&format!("    sw      r1, {}(r12)", 2 + i));
+                            return Ok(());
+                        }
+                        Storage::LocalScalar(slot) => {
+                            self.emit(&format!("    sw      r1, -{}(r12)", slot + 1));
+                            return Ok(());
+                        }
+                        _ => {}
+                    }
+                }
+                self.push_r1();
+                self.addr(target, ctx)?;
+                self.emit("    mov     r3, r1");
+                self.pop_into("r1");
+                self.emit("    sw      r1, 0(r3)");
+                Ok(())
+            }
+            Expr::Binary { op: BinOp::LAnd, lhs, rhs } => {
+                let l_false = self.label();
+                let l_end = self.label();
+                self.expr(lhs, ctx)?;
+                self.emit(&format!("    beqz    r1, {l_false}"));
+                self.expr(rhs, ctx)?;
+                self.emit(&format!("    beqz    r1, {l_false}"));
+                self.emit("    li      r1, 1");
+                self.emit(&format!("    jmp     {l_end}"));
+                self.emit(&format!("{l_false}:"));
+                self.emit("    li      r1, 0");
+                self.emit(&format!("{l_end}:"));
+                Ok(())
+            }
+            Expr::Binary { op: BinOp::LOr, lhs, rhs } => {
+                let l_true = self.label();
+                let l_end = self.label();
+                self.expr(lhs, ctx)?;
+                self.emit(&format!("    bnez    r1, {l_true}"));
+                self.expr(rhs, ctx)?;
+                self.emit(&format!("    bnez    r1, {l_true}"));
+                self.emit("    li      r1, 0");
+                self.emit(&format!("    jmp     {l_end}"));
+                self.emit(&format!("{l_true}:"));
+                self.emit("    li      r1, 1");
+                self.emit(&format!("{l_end}:"));
+                Ok(())
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs, ctx)?;
+                self.push_r1();
+                self.expr(rhs, ctx)?;
+                self.emit("    mov     r2, r1");
+                self.pop_into("r1");
+                match op {
+                    BinOp::Add => self.emit("    add     r1, r2"),
+                    BinOp::Sub => self.emit("    sub     r1, r2"),
+                    BinOp::And => self.emit("    and     r1, r2"),
+                    BinOp::Or => self.emit("    or      r1, r2"),
+                    BinOp::Xor => self.emit("    xor     r1, r2"),
+                    BinOp::Shl => self.emit("    sll     r1, r2"),
+                    BinOp::Shr => self.emit("    sra     r1, r2"),
+                    BinOp::Mul => {
+                        self.need_mul = true;
+                        self.emit("    call    __mul");
+                    }
+                    BinOp::Div => {
+                        self.need_div = true;
+                        self.emit("    call    __div");
+                    }
+                    BinOp::Mod => {
+                        self.need_mod = true;
+                        self.emit("    call    __mod");
+                    }
+                    BinOp::Lt => self.emit("    slt     r1, r2"),
+                    BinOp::Ge => {
+                        self.emit("    slt     r1, r2");
+                        self.emit("    xori    r1, 1");
+                    }
+                    BinOp::Gt => {
+                        self.emit("    slt     r2, r1");
+                        self.emit("    mov     r1, r2");
+                    }
+                    BinOp::Le => {
+                        self.emit("    slt     r2, r1");
+                        self.emit("    mov     r1, r2");
+                        self.emit("    xori    r1, 1");
+                    }
+                    BinOp::Eq => {
+                        self.emit("    xor     r1, r2");
+                        self.emit("    sltiu   r1, 1");
+                    }
+                    BinOp::Ne => {
+                        self.emit("    xor     r1, r2");
+                        self.emit("    sltiu   r1, 1");
+                        self.emit("    xori    r1, 1");
+                    }
+                    BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+                }
+                Ok(())
+            }
+            Expr::IncDec { target, inc, prefix } => {
+                let op = if *inc { "addi" } else { "subi" };
+                // Fast path for scalar variables (no address math).
+                if let Expr::Var(name) = target.as_ref() {
+                    let slot = self.storage_of(name, ctx)?;
+                    let (load, store): (String, String) = match slot {
+                        Storage::GlobalScalar => (
+                            format!("    lw      r1, {name}(r0)"),
+                            format!("    sw      r1, {name}(r0)"),
+                        ),
+                        Storage::Param(i) => (
+                            format!("    lw      r1, {}(r12)", 2 + i),
+                            format!("    sw      r1, {}(r12)", 2 + i),
+                        ),
+                        Storage::LocalScalar(slot) => (
+                            format!("    lw      r1, -{}(r12)", slot + 1),
+                            format!("    sw      r1, -{}(r12)", slot + 1),
+                        ),
+                        _ => (String::new(), String::new()),
+                    };
+                    if !load.is_empty() {
+                        self.emit(&load);
+                        if *prefix {
+                            self.emit(&format!("    {op}    r1, 1"));
+                            self.emit(&store);
+                        } else {
+                            self.emit("    mov     r2, r1");
+                            self.emit(&format!("    {op}    r2, 1"));
+                            self.emit("    subi    r13, 1");
+                            self.emit("    sw      r1, 0(r13)");
+                            self.emit("    mov     r1, r2");
+                            self.emit(&store);
+                            self.pop_into("r1");
+                        }
+                        return Ok(());
+                    }
+                }
+                // General lvalue path through the address.
+                self.addr(target, ctx)?;
+                self.emit("    mov     r3, r1");
+                self.emit("    lw      r1, 0(r3)");
+                if *prefix {
+                    self.emit(&format!("    {op}    r1, 1"));
+                    self.emit("    sw      r1, 0(r3)");
+                } else {
+                    self.emit("    mov     r2, r1");
+                    self.emit(&format!("    {op}    r2, 1"));
+                    self.emit("    sw      r2, 0(r3)");
+                }
+                Ok(())
+            }
+            Expr::Call { name, args } => self.call(name, args, ctx),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], ctx: &mut FnCtx) -> Result<(), CompileError> {
+        let arity = |n: usize| -> Result<(), CompileError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(CompileError::ArityMismatch {
+                    name: name.to_string(),
+                    expected: n,
+                    got: args.len(),
+                })
+            }
+        };
+        match name {
+            "__msg_write" => {
+                arity(1)?;
+                self.expr(&args[0], ctx)?;
+                self.emit("    mov     r15, r1");
+                Ok(())
+            }
+            "__msg_read" => {
+                arity(0)?;
+                self.emit("    mov     r1, r15");
+                Ok(())
+            }
+            "__sched" => {
+                arity(3)?;
+                self.expr(&args[0], ctx)?;
+                self.push_r1();
+                self.expr(&args[1], ctx)?;
+                self.push_r1();
+                self.expr(&args[2], ctx)?;
+                self.emit("    mov     r4, r1"); // lo
+                self.pop_into("r5"); // hi
+                self.pop_into("r1"); // timer
+                self.emit("    schedhi r1, r5");
+                self.emit("    schedlo r1, r4");
+                Ok(())
+            }
+            "__cancel" => {
+                arity(1)?;
+                self.expr(&args[0], ctx)?;
+                self.emit("    cancel  r1");
+                Ok(())
+            }
+            "__rand" => {
+                arity(0)?;
+                self.emit("    rand    r1");
+                Ok(())
+            }
+            "__seed" => {
+                arity(1)?;
+                self.expr(&args[0], ctx)?;
+                self.emit("    seed    r1");
+                Ok(())
+            }
+            "__swev" => {
+                arity(1)?;
+                self.expr(&args[0], ctx)?;
+                self.emit("    swev    r1");
+                Ok(())
+            }
+            "__halt" => {
+                arity(0)?;
+                self.emit("    halt");
+                Ok(())
+            }
+            "__setaddr" => {
+                arity(2)?;
+                let Expr::Var(fname) = &args[1] else {
+                    return Err(CompileError::BadIntrinsic {
+                        name: name.to_string(),
+                        reason: "second argument must be a function name",
+                    });
+                };
+                if !self.functions.contains_key(fname) {
+                    return Err(CompileError::UndefinedFunction(fname.clone()));
+                }
+                self.expr(&args[0], ctx)?;
+                self.emit(&format!("    li      r2, {fname}"));
+                self.emit("    setaddr r1, r2");
+                Ok(())
+            }
+            "__bfs" => {
+                arity(3)?;
+                let Expr::Int(mask) = &args[2] else {
+                    return Err(CompileError::BadIntrinsic {
+                        name: name.to_string(),
+                        reason: "mask must be an integer constant",
+                    });
+                };
+                self.expr(&args[0], ctx)?;
+                self.push_r1();
+                self.expr(&args[1], ctx)?;
+                self.emit("    mov     r2, r1");
+                self.pop_into("r1");
+                self.emit(&format!("    bfs     r1, r2, {}", (*mask as i32) & 0xffff));
+                Ok(())
+            }
+            _ => {
+                let Some(&n) = self.functions.get(name) else {
+                    return Err(CompileError::UndefinedFunction(name.to_string()));
+                };
+                if self.handlers.contains(name) {
+                    return Err(CompileError::BadIntrinsic {
+                        name: name.to_string(),
+                        reason: "handlers cannot be called directly",
+                    });
+                }
+                arity(n)?;
+                for arg in args.iter().rev() {
+                    self.expr(arg, ctx)?;
+                    self.push_r1();
+                }
+                self.emit(&format!("    call    {name}"));
+                if !args.is_empty() {
+                    self.emit(&format!("    addi    r13, {}", args.len()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---- runtime helpers ----
+
+    fn runtime(&mut self) {
+        if self.need_mul || self.need_div || self.need_mod {
+            self.emit("");
+            self.emit("; ---- snapcc runtime ----");
+        }
+        if self.need_mul {
+            self.emit(
+                "__mul:                    ; r1 * r2 -> r1; clobbers r2-r4
+    li      r3, 0
+__mul_loop:
+    beqz    r2, __mul_done
+    mov     r4, r2
+    andi    r4, 1
+    beqz    r4, __mul_skip
+    add     r3, r1
+__mul_skip:
+    slli    r1, 1
+    srli    r2, 1
+    jmp     __mul_loop
+__mul_done:
+    mov     r1, r3
+    ret",
+            );
+        }
+        if self.need_div || self.need_mod {
+            self.emit(
+                "__divu:                   ; r1 / r2 -> r1, remainder in r3
+    li      r3, 0
+    li      r4, 16
+__divu_loop:
+    slli    r3, 1
+    mov     r5, r1
+    srli    r5, 15
+    or      r3, r5
+    slli    r1, 1
+    bltu    r3, r2, __divu_no
+    sub     r3, r2
+    ori     r1, 1
+__divu_no:
+    subi    r4, 1
+    bnez    r4, __divu_loop
+    ret",
+            );
+        }
+        if self.need_div {
+            self.emit(
+                "__div:                    ; signed r1 / r2 -> r1
+    mov     r6, r1
+    srli    r6, 15
+    mov     r7, r2
+    srli    r7, 15
+    mov     r8, r6
+    xor     r8, r7
+    beqz    r6, __div_a
+    neg     r1, r1
+__div_a:
+    beqz    r7, __div_b
+    neg     r2, r2
+__div_b:
+    subi    r13, 1
+    sw      r14, 0(r13)
+    call    __divu
+    lw      r14, 0(r13)
+    addi    r13, 1
+    beqz    r8, __div_done
+    neg     r1, r1
+__div_done:
+    ret",
+            );
+        }
+        if self.need_mod {
+            self.emit(
+                "__mod:                    ; signed r1 % r2 -> r1 (sign of dividend)
+    mov     r6, r1
+    srli    r6, 15
+    beqz    r6, __mod_a
+    neg     r1, r1
+__mod_a:
+    mov     r7, r2
+    srli    r7, 15
+    beqz    r7, __mod_b
+    neg     r2, r2
+__mod_b:
+    subi    r13, 1
+    sw      r14, 0(r13)
+    call    __divu
+    lw      r14, 0(r13)
+    addi    r13, 1
+    mov     r1, r3
+    beqz    r6, __mod_done
+    neg     r1, r1
+__mod_done:
+    ret",
+            );
+        }
+    }
+
+    fn data_section(&mut self) {
+        if self.global_defs.is_empty() {
+            return;
+        }
+        self.emit("");
+        self.emit(".data");
+        let defs = std::mem::take(&mut self.global_defs);
+        for (name, array, init, array_init) in &defs {
+            match (array, array_init) {
+                (Some(len), Some(values)) => {
+                    let len = (*len).max(1);
+                    let mut words: Vec<String> =
+                        values.iter().map(|v| ((*v as i32) & 0xffff).to_string()).collect();
+                    words.resize(len, "0".to_string());
+                    self.emit(&format!("{name}: .word {}", words.join(", ")));
+                }
+                (Some(len), None) => {
+                    self.emit(&format!("{name}: .space {}", (*len).max(1)));
+                }
+                (None, _) => {
+                    self.emit(&format!("{name}: .word {}", init.unwrap_or(0)));
+                }
+            }
+        }
+        self.global_defs = defs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_to_program;
+    use snap_core::{CoreConfig, Processor};
+    use snap_isa::Reg;
+
+    /// Compile, run to halt, return `main`'s return value (r1).
+    fn run_c(src: &str) -> u16 {
+        let program = compile_to_program(src).unwrap_or_else(|e| panic!("{e}"));
+        let mut cpu = Processor::new(CoreConfig::default());
+        cpu.load_image(0, &program.imem_image()).unwrap();
+        cpu.load_data(0, &program.dmem_image()).unwrap();
+        cpu.run_to_halt(2_000_000).unwrap_or_else(|e| panic!("{e}"));
+        cpu.regs().read(Reg::R1)
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        assert_eq!(run_c("int main() { int a = 6; int b = 7; return a * b; }"), 42);
+        assert_eq!(run_c("int main() { return (3 + 4) * 2 - 5; }"), 9);
+        assert_eq!(run_c("int main() { return 100 / 7; }"), 14);
+        assert_eq!(run_c("int main() { return 100 % 7; }"), 2);
+        assert_eq!(run_c("int main() { return -9 / 2; }") as i16, -4);
+        assert_eq!(run_c("int main() { return -9 % 2; }") as i16, -1);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run_c("int main() { return 3 < 5; }"), 1);
+        assert_eq!(run_c("int main() { return 5 < 3; }"), 0);
+        assert_eq!(run_c("int main() { return -1 < 1; }"), 1);
+        assert_eq!(run_c("int main() { return 3 <= 3; }"), 1);
+        assert_eq!(run_c("int main() { return 4 > 3; }"), 1);
+        assert_eq!(run_c("int main() { return 3 >= 4; }"), 0);
+        assert_eq!(run_c("int main() { return 7 == 7; }"), 1);
+        assert_eq!(run_c("int main() { return 7 != 7; }"), 0);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(run_c("int main() { return 1 && 2; }"), 1);
+        assert_eq!(run_c("int main() { return 0 && 1; }"), 0);
+        assert_eq!(run_c("int main() { return 0 || 3; }"), 1);
+        assert_eq!(run_c("int main() { return 0 || 0; }"), 0);
+        assert_eq!(run_c("int main() { return !5; }"), 0);
+        assert_eq!(run_c("int main() { return !0; }"), 1);
+        assert_eq!(run_c("int main() { return ~0; }"), 0xffff);
+        assert_eq!(run_c("int main() { return 1 << 10; }"), 1024);
+        assert_eq!(run_c("int main() { return 0x55 & 0x0f | 0x30 ^ 0x10; }"), 0x25);
+    }
+
+    #[test]
+    fn short_circuit_has_no_side_effect() {
+        let src = "
+            int hits;
+            int bump() { hits = hits + 1; return 1; }
+            int main() { 0 && bump(); 1 || bump(); return hits; }
+        ";
+        assert_eq!(run_c(src), 0);
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = "
+            int main() {
+                int s = 0;
+                int i;
+                for (i = 1; i <= 10; i = i + 1) s = s + i;
+                while (s > 50) s = s - 1;
+                if (s == 50) return 1; else return 0;
+            }
+        ";
+        assert_eq!(run_c(src), 1);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert_eq!(run_c("int main() { int a = 10; a += 5; a -= 2; a *= 3; return a; }"), 39);
+        assert_eq!(run_c("int main() { int a = 100; a /= 7; a %= 4; return a; }"), 2);
+        assert_eq!(
+            run_c("int main() { int a = 0xf0; a &= 0x3c; a |= 1; a ^= 0xff; a <<= 2; a >>= 1; return a; }"),
+            ((((0xf0 & 0x3c) | 1) ^ 0xff) << 2) >> 1
+        );
+        let src = "
+            int buf[4];
+            int main() { int i = 2; buf[i] += 7; buf[i] += 1; return buf[2]; }
+        ";
+        assert_eq!(run_c(src), 8);
+    }
+
+    #[test]
+    fn increment_decrement() {
+        assert_eq!(run_c("int main() { int a = 5; return ++a; }"), 6);
+        assert_eq!(run_c("int main() { int a = 5; return a++; }"), 5);
+        assert_eq!(run_c("int main() { int a = 5; a++; ++a; return a; }"), 7);
+        assert_eq!(run_c("int main() { int a = 5; return --a + a--; }"), 8); // 4 + 4
+        assert_eq!(
+            run_c("int main() { int s = 0; int i; for (i = 0; i < 5; i++) s += i; return s; }"),
+            10
+        );
+        let src = "
+            int buf[3];
+            int main() { int i = 0; buf[i++] = 7; buf[i++] = 8; return buf[0] * 10 + buf[1] + i; }
+        ";
+        assert_eq!(run_c(src), 80);
+    }
+
+    #[test]
+    fn global_array_initializers() {
+        let src = "
+            int table[5] = {10, 20, 30};
+            int main() { return table[0] + table[1] + table[2] + table[3] + table[4]; }
+        ";
+        assert_eq!(run_c(src), 60);
+        let neg = "int t[2] = {-1, -2}; int main() { return t[0] + t[1]; }";
+        assert_eq!(run_c(neg) as i16, -3);
+        use crate::SnapccError;
+        let err = crate::compile_to_program("int x = 0; int y[1] = {1, 2}; int main() { return 0; }")
+            .unwrap_err();
+        assert!(matches!(err, SnapccError::Parse(_)), "too many initializers");
+    }
+
+    #[test]
+    fn break_and_continue() {
+        // Sum odd numbers below 10, stopping at 20.
+        let src = "
+            int main() {
+                int s = 0; int i;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i % 2 == 0) continue;
+                    if (s > 20) break;
+                    s = s + i;
+                }
+                return s;
+            }
+        ";
+        // 1+3+5+7 = 16, +9 = 25 > 20? s>20 checked before adding: after
+        // 1,3,5,7 s=16; i=9: 16<=20 so add -> 25; i=11: 25>20 -> break.
+        assert_eq!(run_c(src), 25);
+        let src2 = "
+            int main() {
+                int n = 0;
+                while (1) { n = n + 1; if (n == 7) break; }
+                return n;
+            }
+        ";
+        assert_eq!(run_c(src2), 7);
+    }
+
+    #[test]
+    fn break_outside_loop_is_an_error() {
+        use crate::SnapccError;
+        let err = compile_to_program("int main() { break; return 0; }").unwrap_err();
+        assert!(matches!(err, SnapccError::Compile(CompileError::NotInLoop("break"))));
+        let err = compile_to_program("int main() { continue; return 0; }").unwrap_err();
+        assert!(matches!(err, SnapccError::Compile(CompileError::NotInLoop("continue"))));
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let src = "
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(12); }
+        ";
+        assert_eq!(run_c(src), 144);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let src = "
+            int total = 5;
+            int buf[8];
+            int main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) buf[i] = i * i;
+                for (i = 0; i < 8; i = i + 1) total = total + buf[i];
+                return total;
+            }
+        ";
+        assert_eq!(run_c(src), 5 + (0..8).map(|i| i * i).sum::<u16>());
+    }
+
+    #[test]
+    fn local_arrays_and_bubble_sort() {
+        let src = "
+            int main() {
+                int a[5];
+                int i; int j; int t;
+                a[0] = 9; a[1] = 1; a[2] = 8; a[3] = 3; a[4] = 5;
+                for (i = 0; i < 5; i = i + 1)
+                    for (j = 0; j + 1 < 5 - i; j = j + 1)
+                        if (a[j] > a[j + 1]) { t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }
+                return a[0] * 10000 + a[1] * 1000 + a[2] * 100 + a[3] * 10 + a[4];
+            }
+        ";
+        assert_eq!(run_c(src), 13589);
+    }
+
+    #[test]
+    fn pointers() {
+        let src = "
+            int g;
+            int set(int p, int v) { *p = v; return 0; }
+            int main() {
+                int x = 1;
+                set(&x, 41);
+                set(&g, 1);
+                return x + g;
+            }
+        ";
+        assert_eq!(run_c(src), 42);
+    }
+
+    #[test]
+    fn pointer_indexing() {
+        let src = "
+            int buf[4];
+            int sum(int p, int n) {
+                int s = 0; int i;
+                for (i = 0; i < n; i = i + 1) s = s + p[i];
+                return s;
+            }
+            int main() {
+                buf[0] = 10; buf[1] = 20; buf[2] = 30; buf[3] = 40;
+                return sum(buf, 4);
+            }
+        ";
+        assert_eq!(run_c(src), 100);
+    }
+
+    #[test]
+    fn intrinsics_rand_seed() {
+        let src = "
+            int main() {
+                int a; int b;
+                __seed(0x1234);
+                a = __rand();
+                __seed(0x1234);
+                b = __rand();
+                return a == b;
+            }
+        ";
+        assert_eq!(run_c(src), 1);
+    }
+
+    #[test]
+    fn nested_scopes_shadow() {
+        let src = "
+            int main() {
+                int x = 1;
+                if (1) { int x = 10; x = x + 1; }
+                return x;
+            }
+        ";
+        assert_eq!(run_c(src), 1);
+    }
+
+    #[test]
+    fn compile_errors() {
+        use crate::SnapccError;
+        let undef = compile_to_program("int main() { return y; }").unwrap_err();
+        assert!(matches!(undef, SnapccError::Compile(CompileError::UndefinedVariable(_))));
+        let nomain = compile_to_program("int f() { return 1; }").unwrap_err();
+        assert!(matches!(nomain, SnapccError::Compile(CompileError::NoMain)));
+        let arity = compile_to_program("int f(int a) { return a; } int main() { return f(); }")
+            .unwrap_err();
+        assert!(matches!(arity, SnapccError::Compile(CompileError::ArityMismatch { .. })));
+        let dup = compile_to_program("int x; int x; int main() { return 0; }").unwrap_err();
+        assert!(matches!(dup, SnapccError::Compile(CompileError::Duplicate(_))));
+    }
+
+    #[test]
+    fn generated_code_is_load_store_heavy() {
+        // The paper's §4.5 observation: unoptimized compilation makes
+        // Load the second most frequent class. Check the profile.
+        let src = "
+            int main() {
+                int s = 0; int i;
+                for (i = 0; i < 20; i = i + 1) s = s + i * 3;
+                return s;
+            }
+        ";
+        let program = compile_to_program(src).unwrap();
+        let mut cpu = Processor::new(CoreConfig::default());
+        cpu.load_image(0, &program.imem_image()).unwrap();
+        cpu.run_to_halt(1_000_000).unwrap();
+        use snap_isa::InstructionClass as C;
+        let loads = cpu.acct().class_stats(C::Load).count + cpu.acct().class_stats(C::Store).count;
+        let total = cpu.acct().instructions();
+        let frac = loads as f64 / total as f64;
+        assert!(frac > 0.2, "load/store fraction {frac} should be large (naive codegen)");
+    }
+}

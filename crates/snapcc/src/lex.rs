@@ -1,0 +1,235 @@
+//! The C lexer.
+
+use std::fmt;
+
+/// C token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, hex `0x`, or character `'c'`).
+    Int(i64),
+    /// Punctuation / operator, e.g. `"+"`, `"<<"`, `"=="`.
+    Punct(&'static str),
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: CTok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTokenError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CTokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CTokenError {}
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
+    "~", "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+/// Tokenize a C source string.
+///
+/// # Errors
+///
+/// Returns [`CTokenError`] on malformed literals or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CTokenError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if source[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if source[i..].starts_with("/*") {
+            let end = source[i + 2..]
+                .find("*/")
+                .ok_or_else(|| CTokenError { line, message: "unterminated comment".into() })?;
+            line += source[i..i + 2 + end].matches('\n').count();
+            i += end + 4;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (v, n) = lex_number(&source[i..])
+                .ok_or_else(|| CTokenError { line, message: "malformed number".into() })?;
+            out.push(Spanned { tok: CTok::Int(v), line });
+            i += n;
+            continue;
+        }
+        if c == '\'' {
+            let rest = &source[i + 1..];
+            let mut chars = rest.chars();
+            let ch = chars.next().ok_or_else(|| CTokenError {
+                line,
+                message: "unterminated character literal".into(),
+            })?;
+            let (value, consumed) = if ch == '\\' {
+                let esc = chars.next().ok_or_else(|| CTokenError {
+                    line,
+                    message: "bad escape".into(),
+                })?;
+                let v = match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    '0' => '\0',
+                    other => other,
+                };
+                (v as i64, 2)
+            } else {
+                (ch as i64, 1)
+            };
+            if rest[consumed..].starts_with('\'') {
+                out.push(Spanned { tok: CTok::Int(value), line });
+                i += consumed + 2;
+                continue;
+            }
+            return Err(CTokenError { line, message: "unterminated character literal".into() });
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned { tok: CTok::Ident(source[start..i].to_string()), line });
+            continue;
+        }
+        if let Some(p) = PUNCTS.iter().find(|p| source[i..].starts_with(**p)) {
+            out.push(Spanned { tok: CTok::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        return Err(CTokenError { line, message: format!("unexpected character `{c}`") });
+    }
+    Ok(out)
+}
+
+fn lex_number(s: &str) -> Option<(i64, usize)> {
+    let bytes = s.as_bytes();
+    let (radix, skip) = if s.starts_with("0x") || s.starts_with("0X") { (16, 2) } else { (10, 0) };
+    let mut end = skip;
+    while end < bytes.len() && (bytes[end] as char).is_digit(radix) {
+        end += 1;
+    }
+    if end == skip {
+        return None;
+    }
+    Some((i64::from_str_radix(&s[skip..end], radix).ok()?, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<CTok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                CTok::Ident("int".into()),
+                CTok::Ident("x".into()),
+                CTok::Punct("="),
+                CTok::Int(42),
+                CTok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_punct_wins() {
+        assert_eq!(toks("a<<=b"), vec![
+            CTok::Ident("a".into()),
+            CTok::Punct("<<="),
+            CTok::Ident("b".into()),
+        ]);
+        assert_eq!(toks("x+++y"), vec![
+            CTok::Ident("x".into()),
+            CTok::Punct("++"),
+            CTok::Punct("+"),
+            CTok::Ident("y".into()),
+        ]);
+        assert_eq!(toks("a<=b==c&&d"), vec![
+            CTok::Ident("a".into()),
+            CTok::Punct("<="),
+            CTok::Ident("b".into()),
+            CTok::Punct("=="),
+            CTok::Ident("c".into()),
+            CTok::Punct("&&"),
+            CTok::Ident("d".into()),
+        ]);
+    }
+
+    #[test]
+    fn numbers_and_chars() {
+        assert_eq!(toks("0x1F 10 'A' '\\n'"), vec![
+            CTok::Int(31),
+            CTok::Int(10),
+            CTok::Int(65),
+            CTok::Int(10),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // line\n b /* block\n more */ c"), vec![
+            CTok::Ident("a".into()),
+            CTok::Ident("b".into()),
+            CTok::Ident("c".into()),
+        ]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'a").is_err());
+    }
+}

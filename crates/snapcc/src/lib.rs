@@ -1,0 +1,136 @@
+//! # snapcc — a small C compiler targeting the SNAP ISA
+//!
+//! The paper ported `lcc` to SNAP and notes (§4.2, §4.5) that it ran
+//! *without optimizations*, generating "a lot of load/store operations
+//! that were unnecessary" — making `Load` the second most frequent
+//! instruction class in the handler benchmarks. `snapcc` reproduces
+//! that compiler: a deliberately naive, stack-machine-style code
+//! generator for a C subset, so compiled handlers exhibit the same
+//! spill-heavy profile the paper measured.
+//!
+//! ## Language subset
+//!
+//! * `int` (16-bit) scalars, global/local variables, global and local
+//!   `int` arrays, pointers (`&`, `*`, pointer arithmetic in words);
+//! * functions with `int` parameters and `int`/`void` returns,
+//!   including recursion (software stack in DMEM);
+//! * `handler` functions — no parameters, terminated by `done` instead
+//!   of `ret` — the paper's event-handler programming model;
+//! * statements: blocks, `if`/`else`, `while`, `for`, `break`,
+//!   `continue`, `return`, expression statements, local declarations
+//!   with initializers; global arrays take `{…}` initializers;
+//! * expressions: `= + - * / % & | ^ << >> < <= > >= == != && || ! ~`
+//!   unary minus, compound assignment (`+=` …), prefix/postfix
+//!   `++`/`--`, calls, array indexing, parentheses. `*` `/` `%`
+//!   compile to runtime helpers (SNAP has no multiplier/divider).
+//!
+//! ## Intrinsics (the hardware/software interface of §3.4)
+//!
+//! | intrinsic | lowers to |
+//! |---|---|
+//! | `__msg_write(x)` | write `x` to `r15` (message coprocessor) |
+//! | `__msg_read()` | read `r15` |
+//! | `__sched(t, hi, lo)` | `schedhi`/`schedlo` |
+//! | `__cancel(t)` | `cancel` |
+//! | `__rand()` / `__seed(x)` | `rand` / `seed` |
+//! | `__setaddr(ev, f)` | `setaddr` with `f`'s address |
+//! | `__swev(n)` | `swev` (post a software event) |
+//! | `__bfs(d, s, m)` | `bfs` (constant mask) |
+//! | `__halt()` | `halt` |
+//!
+//! ## Example
+//!
+//! ```
+//! use snapcc::compile_to_program;
+//!
+//! let program = compile_to_program(
+//!     "int main() { int s; int i; s = 0; for (i = 1; i <= 10; i = i + 1) s = s + i; return s; }",
+//! ).unwrap();
+//! assert!(program.imem_image().len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lex;
+pub mod parse;
+
+pub use codegen::{compile, CompileError, CompileOptions};
+pub use lex::CTokenError;
+pub use parse::ParseError;
+
+use snap_asm::Program;
+
+/// Errors from the whole compile-to-binary pipeline.
+#[derive(Debug)]
+pub enum SnapccError {
+    /// Lexical error.
+    Lex(CTokenError),
+    /// Parse error.
+    Parse(ParseError),
+    /// Code-generation error.
+    Compile(CompileError),
+    /// The generated assembly failed to assemble (compiler bug).
+    Assemble(snap_asm::AsmError),
+}
+
+impl std::fmt::Display for SnapccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapccError::Lex(e) => write!(f, "lex error: {e}"),
+            SnapccError::Parse(e) => write!(f, "parse error: {e}"),
+            SnapccError::Compile(e) => write!(f, "compile error: {e}"),
+            SnapccError::Assemble(e) => write!(f, "internal: generated assembly invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapccError {}
+
+/// Compile C source all the way to a loadable [`Program`] with the
+/// default options (boot calls `main`, then `halt`).
+///
+/// # Errors
+///
+/// Returns [`SnapccError`] for invalid source (or an internal error if
+/// the generated assembly is malformed).
+pub fn compile_to_program(source: &str) -> Result<Program, SnapccError> {
+    compile_to_program_with(source, CompileOptions::default())
+}
+
+/// Compile C source to a [`Program`] with explicit options.
+///
+/// # Errors
+///
+/// See [`compile_to_program`].
+pub fn compile_to_program_with(
+    source: &str,
+    options: CompileOptions,
+) -> Result<Program, SnapccError> {
+    let tokens = lex::lex(source).map_err(SnapccError::Lex)?;
+    let unit = parse::parse(&tokens).map_err(SnapccError::Parse)?;
+    let asm = compile(&unit, options).map_err(SnapccError::Compile)?;
+    snap_asm::assemble(&asm).map_err(SnapccError::Assemble)
+}
+
+/// Compile C source to SNAP assembly text (for inspection and the
+/// compiler-quality ablation bench).
+///
+/// ```
+/// use snapcc::{compile_to_asm, CompileOptions};
+///
+/// let asm = compile_to_asm("int main() { return 1 + 2; }", CompileOptions::default())?;
+/// assert!(asm.contains("call    main"));
+/// assert!(asm.contains("add     r1, r2"));
+/// # Ok::<(), snapcc::SnapccError>(())
+/// ```
+///
+/// # Errors
+///
+/// See [`compile_to_program`].
+pub fn compile_to_asm(source: &str, options: CompileOptions) -> Result<String, SnapccError> {
+    let tokens = lex::lex(source).map_err(SnapccError::Lex)?;
+    let unit = parse::parse(&tokens).map_err(SnapccError::Parse)?;
+    compile(&unit, options).map_err(SnapccError::Compile)
+}

@@ -1,0 +1,542 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::*;
+use crate::lex::{CTok, Spanned};
+use std::fmt;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 at end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+}
+
+/// Parse a token stream into a [`Unit`].
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(tokens: &[Spanned]) -> Result<Unit, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Unit { items })
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&CTok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<&CTok> {
+        let t = self.tokens.get(self.pos).map(|t| &t.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&CTok::Punct(leak(p))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(CTok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump().cloned() {
+            Some(CTok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    // ---- items ----
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        if self.eat_kw("handler") {
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Item::Function(Function {
+                name,
+                params: Vec::new(),
+                kind: FnKind::Handler,
+                body,
+            }));
+        }
+        if !(self.eat_kw("int") || self.eat_kw("void")) {
+            return Err(self.err("expected `int`, `void` or `handler`"));
+        }
+        let name = self.ident()?;
+        if self.eat_punct("(") {
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    if self.eat_kw("void") && self.eat_punct(")") {
+                        break;
+                    }
+                    if !self.eat_kw("int") {
+                        return Err(self.err("expected `int` parameter"));
+                    }
+                    params.push(self.ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            let body = self.block()?;
+            return Ok(Item::Function(Function { name, params, kind: FnKind::Normal, body }));
+        }
+        // Global variable.
+        let array = if self.eat_punct("[") {
+            let n = self.const_int()?;
+            self.expect_punct("]")?;
+            Some(n as usize)
+        } else {
+            None
+        };
+        let mut init = None;
+        let mut array_init = None;
+        if self.eat_punct("=") {
+            if self.eat_punct("{") {
+                if array.is_none() {
+                    return Err(self.err("brace initializer on a scalar"));
+                }
+                let mut values = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        values.push(self.const_int()?);
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                if values.len() > array.unwrap_or(0) {
+                    return Err(self.err("too many initializers"));
+                }
+                array_init = Some(values);
+            } else {
+                init = Some(self.const_int()?);
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(Item::Global { name, array, init, array_init })
+    }
+
+    fn const_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_punct("-");
+        match self.bump().cloned() {
+            Some(CTok::Int(v)) => Ok(if neg { -v } else { v }),
+            other => Err(self.err(format!("expected integer constant, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("int") {
+            let name = self.ident()?;
+            let array = if self.eat_punct("[") {
+                let n = self.const_int()?;
+                self.expect_punct("]")?;
+                Some(n as usize)
+            } else {
+                None
+            };
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            self.expect_punct(";")?;
+            if array.is_some() && init.is_some() {
+                return Err(self.err("array initializers are not supported"));
+            }
+            return Ok(Stmt::Local { name, array, init });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_branch = self.stmt_or_block()?;
+            let else_branch = if self.eat_kw("else") { self.stmt_or_block()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then_branch, else_branch });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") { None } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let cond = if self.eat_punct(";") { None } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let step = if self.eat_punct(")") { None } else {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Some(e)
+            };
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == Some(&CTok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        if self.eat_punct("=") {
+            let value = self.assignment()?;
+            if !matches!(lhs, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                return Err(self.err("invalid assignment target"));
+            }
+            return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+        }
+        // Compound assignment: `a op= b` desugars to `a = a op b`.
+        // (The lvalue expression is evaluated twice, like any naive
+        // compiler would — fine for our side-effect-free lvalues.)
+        const COMPOUND: [(&str, BinOp); 10] = [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Mod),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ];
+        for (punct, op) in COMPOUND {
+            if self.eat_punct(punct) {
+                let rhs = self.assignment()?;
+                if !matches!(lhs, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                    return Err(self.err("invalid assignment target"));
+                }
+                let value =
+                    Expr::Binary { op, lhs: Box::new(lhs.clone()), rhs: Box::new(rhs) };
+                return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(CTok::Punct(p)) = self.peek() {
+            let Some((op, prec)) = bin_op(p) else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("++") {
+            let target = self.unary()?;
+            if !matches!(target, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                return Err(self.err("`++` requires an lvalue"));
+            }
+            return Ok(Expr::IncDec { target: Box::new(target), inc: true, prefix: true });
+        }
+        if self.eat_punct("--") {
+            let target = self.unary()?;
+            if !matches!(target, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                return Err(self.err("`--` requires an lvalue"));
+            }
+            return Ok(Expr::IncDec { target: Box::new(target), inc: false, prefix: true });
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(self.unary()?) });
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(self.unary()?) });
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Unary { op: UnOp::BitNot, operand: Box::new(self.unary()?) });
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            let inner = self.unary()?;
+            if !matches!(inner, Expr::Var(_) | Expr::Index { .. }) {
+                return Err(self.err("`&` requires a variable or array element"));
+            }
+            return Ok(Expr::AddrOf(Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.postfix_primary()?;
+        loop {
+            if self.eat_punct("++") {
+                if !matches!(e, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                    return Err(self.err("`++` requires an lvalue"));
+                }
+                e = Expr::IncDec { target: Box::new(e), inc: true, prefix: false };
+            } else if self.eat_punct("--") {
+                if !matches!(e, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
+                    return Err(self.err("`--` requires an lvalue"));
+                }
+                e = Expr::IncDec { target: Box::new(e), inc: false, prefix: false };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn postfix_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump().cloned() {
+            Some(CTok::Int(v)) => Ok(Expr::Int(v)),
+            Some(CTok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(CTok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                if self.eat_punct("[") {
+                    let index = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Index { base: name, index: Box::new(index) });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn bin_op(p: &str) -> Option<(BinOp, u8)> {
+    Some(match p {
+        "||" => (BinOp::LOr, 1),
+        "&&" => (BinOp::LAnd, 2),
+        "|" => (BinOp::Or, 3),
+        "^" => (BinOp::Xor, 4),
+        "&" => (BinOp::And, 5),
+        "==" => (BinOp::Eq, 6),
+        "!=" => (BinOp::Ne, 6),
+        "<" => (BinOp::Lt, 7),
+        "<=" => (BinOp::Le, 7),
+        ">" => (BinOp::Gt, 7),
+        ">=" => (BinOp::Ge, 7),
+        "<<" => (BinOp::Shl, 8),
+        ">>" => (BinOp::Shr, 8),
+        "+" => (BinOp::Add, 9),
+        "-" => (BinOp::Sub, 9),
+        "*" => (BinOp::Mul, 10),
+        "/" => (BinOp::Div, 10),
+        "%" => (BinOp::Mod, 10),
+        _ => return None,
+    })
+}
+
+/// `CTok::Punct` holds `&'static str`; map dynamic names onto the
+/// static table to compare.
+fn leak(p: &str) -> &'static str {
+    const ALL: &[&str] = &[
+        "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+        "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+        "=", "!", "~", "(", ")", "{", "}", "[", "]", ";", ",",
+    ];
+    ALL.iter().find(|s| **s == p).copied().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn globals_and_functions() {
+        let u = parse_src("int x; int buf[8]; int y = 5; int main() { return 0; }");
+        assert_eq!(u.items.len(), 4);
+        assert_eq!(
+            u.items[0],
+            Item::Global { name: "x".into(), array: None, init: None, array_init: None }
+        );
+        assert_eq!(
+            u.items[1],
+            Item::Global { name: "buf".into(), array: Some(8), init: None, array_init: None }
+        );
+        assert_eq!(u.items[2], Item::Global { name: "y".into(), array: None, init: Some(5), array_init: None });
+    }
+
+    #[test]
+    fn handler_functions() {
+        let u = parse_src("handler tick() { __swev(7); }");
+        let Item::Function(f) = &u.items[0] else { panic!() };
+        assert_eq!(f.kind, FnKind::Handler);
+        assert!(f.params.is_empty());
+    }
+
+    #[test]
+    fn precedence() {
+        let u = parse_src("int f() { return 1 + 2 * 3; }");
+        let Item::Function(f) = &u.items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Binary { op: BinOp::Add, rhs, .. })) = &f.body[0] else {
+            panic!("{:?}", f.body[0])
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn control_flow() {
+        let u = parse_src(
+            "int f(int n) { int s = 0; for (;;) { if (n <= 0) return s; s = s + n; n = n - 1; } }",
+        );
+        let Item::Function(f) = &u.items[0] else { panic!() };
+        assert_eq!(f.params, vec!["n"]);
+        assert!(matches!(f.body[1], Stmt::For { init: None, cond: None, step: None, .. }));
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        parse_src("int f(int p) { *p = 1; return p[2] + *(p + 1) + &p - 1; }");
+    }
+
+    #[test]
+    fn assignment_chains_right() {
+        let u = parse_src("int f() { int a; int b; a = b = 3; return a; }");
+        let Item::Function(f) = &u.items[0] else { panic!() };
+        let Stmt::Expr(Expr::Assign { value, .. }) = &f.body[2] else { panic!() };
+        assert!(matches!(**value, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&lex("int f() { return }").unwrap()).is_err());
+        assert!(parse(&lex("float x;").unwrap()).is_err());
+        assert!(parse(&lex("int f() { 1 = 2; }").unwrap()).is_err());
+        assert!(parse(&lex("int f() {").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Differential testing of snapcc: random C expressions are compiled,
+//! executed on the simulated SNAP core, and compared against a Rust
+//! reference evaluator with the machine's wrapping 16-bit semantics.
+
+use proptest::prelude::*;
+use snap_core::{CoreConfig, Processor};
+use snap_isa::Reg;
+use snapcc::compile_to_program;
+
+/// A tiny expression AST mirrored in both directions: rendered to C
+/// source, and evaluated in Rust.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i16),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Shr(Box<E>, u8),
+    Neg(Box<E>),
+    Not(Box<E>),
+    BitNot(Box<E>),
+    Lt(Box<E>, Box<E>),
+    Le(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    LAnd(Box<E>, Box<E>),
+    LOr(Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Const(v) => {
+                if *v < 0 {
+                    // Parenthesize negatives so they survive any context.
+                    format!("(0 - {})", (*v as i32).unsigned_abs())
+                } else {
+                    format!("{v}")
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            E::Mod(a, b) => format!("({} % {})", a.render(), b.render()),
+            E::And(a, b) => format!("({} & {})", a.render(), b.render()),
+            E::Or(a, b) => format!("({} | {})", a.render(), b.render()),
+            E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            E::Shl(a, k) => format!("({} << {k})", a.render()),
+            E::Shr(a, k) => format!("({} >> {k})", a.render()),
+            E::Neg(a) => format!("(-{})", a.render()),
+            E::Not(a) => format!("(!{})", a.render()),
+            E::BitNot(a) => format!("(~{})", a.render()),
+            E::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+            E::Le(a, b) => format!("({} <= {})", a.render(), b.render()),
+            E::Eq(a, b) => format!("({} == {})", a.render(), b.render()),
+            E::LAnd(a, b) => format!("({} && {})", a.render(), b.render()),
+            E::LOr(a, b) => format!("({} || {})", a.render(), b.render()),
+        }
+    }
+
+    /// Reference semantics: 16-bit wrapping, C-style truncating division
+    /// (division by zero follows the hardware's restoring divider:
+    /// quotient all-ones, remainder the dividend — see snapcc's `__divu`).
+    fn eval(&self) -> i16 {
+        match self {
+            E::Const(v) => *v,
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::Div(a, b) => {
+                let (x, y) = (a.eval(), b.eval());
+                machine_div(x, y)
+            }
+            E::Mod(a, b) => {
+                let (x, y) = (a.eval(), b.eval());
+                machine_mod(x, y)
+            }
+            E::And(a, b) => a.eval() & b.eval(),
+            E::Or(a, b) => a.eval() | b.eval(),
+            E::Xor(a, b) => a.eval() ^ b.eval(),
+            E::Shl(a, k) => ((a.eval() as u16) << k) as i16,
+            E::Shr(a, k) => a.eval() >> k,
+            E::Neg(a) => a.eval().wrapping_neg(),
+            E::Not(a) => (a.eval() == 0) as i16,
+            E::BitNot(a) => !a.eval(),
+            E::Lt(a, b) => (a.eval() < b.eval()) as i16,
+            E::Le(a, b) => (a.eval() <= b.eval()) as i16,
+            E::Eq(a, b) => (a.eval() == b.eval()) as i16,
+            E::LAnd(a, b) => (a.eval() != 0 && b.eval() != 0) as i16,
+            E::LOr(a, b) => (a.eval() != 0 || b.eval() != 0) as i16,
+        }
+    }
+}
+
+/// The machine's signed division: restoring unsigned divide on wrapped
+/// magnitudes, sign fixed up afterwards.
+fn machine_div(a: i16, b: i16) -> i16 {
+    let sign = (a < 0) ^ (b < 0);
+    let mag_a = if a < 0 { (a as u16).wrapping_neg() } else { a as u16 };
+    let mag_b = if b < 0 { (b as u16).wrapping_neg() } else { b as u16 };
+    let q = divu(mag_a, mag_b).0;
+    if sign {
+        (q as i16).wrapping_neg()
+    } else {
+        q as i16
+    }
+}
+
+fn machine_mod(a: i16, b: i16) -> i16 {
+    let neg = a < 0;
+    let mag_a = if a < 0 { (a as u16).wrapping_neg() } else { a as u16 };
+    let mag_b = if b < 0 { (b as u16).wrapping_neg() } else { b as u16 };
+    let r = divu(mag_a, mag_b).1;
+    if neg {
+        (r as i16).wrapping_neg()
+    } else {
+        r as i16
+    }
+}
+
+/// The `__divu` restoring divider, bit for bit.
+fn divu(mut n: u16, d: u16) -> (u16, u16) {
+    let mut r: u16 = 0;
+    for _ in 0..16 {
+        r = (r << 1) | (n >> 15);
+        n <<= 1;
+        // `bltu` skips the subtract when r < d; for d == 0 the compare
+        // is never true, so the divider subtracts every round (the
+        // hardware's division-by-zero behaviour).
+        if r >= d {
+            r = r.wrapping_sub(d);
+            n |= 1;
+        }
+    }
+    (n, r)
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = any::<i16>().prop_map(E::Const);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::Shl(Box::new(a), k)),
+            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::Shr(Box::new(a), k)),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            inner.clone().prop_map(|a| E::BitNot(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::LAnd(Box::new(a), Box::new(b))),
+            (inner, inner_clone_hack()).prop_map(|(a, b)| E::LOr(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+// prop_recursive closures take one `inner`; give LOr a fresh constant
+// strategy for its right side to keep the macro tidy.
+fn inner_clone_hack() -> impl Strategy<Value = E> {
+    any::<i16>().prop_map(E::Const)
+}
+
+fn run_main(src: &str) -> i16 {
+    let program = compile_to_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_image(0, &program.imem_image()).unwrap();
+    cpu.load_data(0, &program.dmem_image()).unwrap();
+    cpu.run_to_halt(5_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    cpu.regs().read(Reg::R1) as i16
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled expressions compute exactly what the reference computes.
+    #[test]
+    fn expressions_match_reference(e in expr()) {
+        let src = format!("int main() {{ return {}; }}", e.render());
+        let got = run_main(&src);
+        let expect = e.eval();
+        prop_assert_eq!(got, expect, "\n{}", src);
+    }
+
+    /// The calling convention survives arbitrary argument counts and
+    /// values: a function receives its arguments in declaration order.
+    #[test]
+    fn calling_convention_preserves_arguments(args in prop::collection::vec(any::<i16>(), 1..6)) {
+        let params: Vec<String> = (0..args.len()).map(|i| format!("int p{i}")).collect();
+        // Weighted sum distinguishes argument order.
+        let body: Vec<String> =
+            (0..args.len()).map(|i| format!("p{i} * {}", i + 1)).collect();
+        let call_args: Vec<String> = args
+            .iter()
+            .map(|v| if *v < 0 { format!("(0 - {})", (*v as i32).unsigned_abs()) } else { v.to_string() })
+            .collect();
+        let src = format!(
+            "int f({}) {{ return {}; }} int main() {{ return f({}); }}",
+            params.join(", "),
+            body.join(" + "),
+            call_args.join(", "),
+        );
+        let expect = args
+            .iter()
+            .enumerate()
+            .fold(0i16, |acc, (i, v)| {
+                acc.wrapping_add(v.wrapping_mul((i + 1) as i16))
+            });
+        prop_assert_eq!(run_main(&src), expect, "\n{}", src);
+    }
+
+    /// Recursion depth: a recursive sum to n works for any small n
+    /// (stack discipline, frame reuse).
+    #[test]
+    fn recursive_sum_matches(n in 0i16..200) {
+        let src = format!(
+            "int sum(int n) {{ if (n <= 0) return 0; return n + sum(n - 1); }}
+             int main() {{ return sum({n}); }}"
+        );
+        let expect = (0..=n as i32).sum::<i32>() as i16;
+        prop_assert_eq!(run_main(&src), expect);
+    }
+
+    /// Global array writes then reads are coherent under arbitrary
+    /// index/value sequences.
+    #[test]
+    fn array_store_load_coherence(ops in prop::collection::vec((0usize..8, any::<i16>()), 1..12)) {
+        let mut stmts = String::new();
+        let mut model = [0i16; 8];
+        for (i, v) in &ops {
+            let rendered = if *v < 0 {
+                format!("(0 - {})", (*v as i32).unsigned_abs())
+            } else {
+                v.to_string()
+            };
+            stmts.push_str(&format!("a[{i}] = {rendered}; "));
+            model[*i] = *v;
+        }
+        let expect = model
+            .iter()
+            .enumerate()
+            .fold(0i16, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul((i + 1) as i16)));
+        let sum: Vec<String> = (0..8).map(|i| format!("a[{i}] * {}", i + 1)).collect();
+        let src = format!(
+            "int a[8]; int main() {{ {stmts} return {}; }}",
+            sum.join(" + ")
+        );
+        prop_assert_eq!(run_main(&src), expect, "\n{}", src);
+    }
+}

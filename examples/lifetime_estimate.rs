@@ -1,0 +1,83 @@
+//! Node-lifetime projection: the paper's bottom line. Given a battery
+//! and an event rate, how long does a data-monitoring node last on
+//! SNAP/LE vs on an ATmega128L-class mote?
+//!
+//! Uses *measured* per-handler energy from the simulator (Table 1's
+//! AODV Forward row — a relay node's workload) plus each platform's
+//! idle story: SNAP sleeps at its (placeholder) leakage; the mote pays
+//! its active power for the handler time plus TinyOS overhead cycles.
+//!
+//! ```sh
+//! cargo run --example lifetime_estimate
+//! ```
+
+use snap_apps::measure::measure_aodv_forward;
+use snap_energy::model::SnapEnergyModel;
+use snap_energy::{AvrEnergyModel, Energy, OperatingPoint};
+
+/// A CR2450 coin cell: ~620 mAh at 3 V ≈ 6.7 kJ. Use 2/3 usable.
+const BATTERY_J: f64 = 4_500.0;
+
+fn years(seconds: f64) -> f64 {
+    seconds / (365.25 * 24.0 * 3600.0)
+}
+
+fn project_snap(point: OperatingPoint, events_per_s: f64) -> (f64, Energy) {
+    let handler = measure_aodv_forward(point);
+    let model = SnapEnergyModel::new(point);
+    // Average power = handler energy x rate + idle leakage.
+    let active_w = handler.energy.as_pj() * 1e-12 * events_per_s;
+    let total_w = active_w + model.idle_leakage().as_watts();
+    (years(BATTERY_J / total_w), handler.energy)
+}
+
+fn project_avr(events_per_s: f64) -> f64 {
+    let model = AvrEnergyModel::atmega128l();
+    // The same relay handler on the mote: the paper's handlers are
+    // 70-245 instructions of *application* work, but the mote also pays
+    // TinyOS overhead. Scale from the measured Fig. 5 shape: ~5x
+    // overhead on top of useful cycles. Assume 245 useful instructions
+    // x ~1.5 cycles + 5x overhead ~ 2200 cycles per event.
+    let cycles_per_event = 2_200u64;
+    let event_energy = model.task_energy(cycles_per_event);
+    let active_w = event_energy.as_pj() * 1e-12 * events_per_s;
+    // Idle: even the ATmega's best sleep mode draws ~25 uA at 3 V with
+    // the watchdog on (datasheet); that is 75 uW — the dominant term.
+    let idle_w = 75e-6;
+    years(BATTERY_J / (active_w + idle_w))
+}
+
+fn main() {
+    println!("battery: {BATTERY_J:.0} J usable (CR2450-class coin cell)\n");
+    println!(
+        "{:>10} | {:>14} {:>14} | {:>14} | {:>8}",
+        "events/s", "SNAP@0.6V yrs", "SNAP@1.8V yrs", "ATmega yrs", "gain"
+    );
+    for events_per_s in [0.1, 1.0, 10.0, 100.0] {
+        let (snap06, e06) = project_snap(OperatingPoint::V0_6, events_per_s);
+        let (snap18, _) = project_snap(OperatingPoint::V1_8, events_per_s);
+        let avr = project_avr(events_per_s);
+        println!(
+            "{:>10} | {:>14.1} {:>14.1} | {:>14.2} | {:>7.0}x",
+            events_per_s,
+            snap06,
+            snap18,
+            avr,
+            snap06 / avr
+        );
+        if events_per_s == 10.0 {
+            println!(
+                "{:>10}   (per event at 0.6V: {}; paper band 1.6-5.9 nJ)",
+                "", e06
+            );
+        }
+    }
+    println!(
+        "\nCaveats: SNAP idle leakage is the paper's open question — we use the \
+         10 nW placeholder from snap-energy; the mote's 75 uW sleep floor \
+         dominates its lifetime, which is exactly the paper's architectural point."
+    );
+
+    let (snap06, _) = project_snap(OperatingPoint::V0_6, 10.0);
+    assert!(snap06 > 100.0, "SNAP at 0.6 V should be leakage-bound, effectively decades");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: assemble an event-driven SNAP program, run it on a
+//! simulated node, and read back energy statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dess::SimDuration;
+use snap_asm::assemble;
+use snap_node::{Node, NodeConfig};
+
+fn main() {
+    // An event-driven blinker in SNAP assembly: timer 0 fires every
+    // millisecond; its handler toggles the LED port and re-arms the
+    // timer; between events the core is asleep (zero switching
+    // activity).
+    let source = r"
+        .equ EV_TIMER0, 0
+        .equ CMD_PORT,  0x4000
+
+    boot:
+        li      r1, 0           ; event number
+        li      r2, tick        ; handler address
+        setaddr r1, r2
+        call    arm
+        done                    ; boot ends: sleep until the event
+
+    arm:                        ; (re)arm timer 0 for 1000 ticks = 1 ms
+        li      r1, 0
+        schedhi r1, r0
+        li      r2, 1000
+        schedlo r1, r2
+        ret
+
+    tick:
+        lw      r3, state(r0)
+        xori    r3, 1
+        sw      r3, state(r0)
+        li      r4, CMD_PORT
+        or      r4, r3
+        mov     r15, r4         ; write the message coprocessor port
+        call    arm
+        done
+
+        .data
+    state:  .word 0
+    ";
+
+    let program = assemble(source).expect("assembles");
+    println!("code size: {} bytes", program.code_bytes());
+
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).expect("loads");
+
+    // Run one simulated second.
+    node.run_for(SimDuration::from_secs(1)).expect("runs");
+
+    let stats = node.cpu().stats();
+    println!("simulated time:     {}", node.now());
+    println!("LED toggles:        {}", node.led().writes());
+    println!("handlers run:       {}", stats.handlers_dispatched);
+    println!("instructions:       {}", stats.instructions);
+    println!("busy time:          {}", stats.busy_time);
+    println!("sleep time:         {}", stats.sleep_time);
+    println!("energy used:        {}", stats.energy);
+    println!("energy/instruction: {}", stats.energy_per_instruction());
+    println!(
+        "duty cycle:         {:.4}%",
+        stats.busy_time.as_ns() / (stats.busy_time.as_ns() + stats.sleep_time.as_ns()) * 100.0
+    );
+
+    assert!(node.led().writes() >= 990, "the blinker must blink");
+}

@@ -1,0 +1,17 @@
+//! # snaple — umbrella crate for the SNAP/LE reproduction
+//!
+//! Re-exports every crate in the workspace so examples and integration
+//! tests can reach the whole system through one dependency. See the
+//! repository `README.md` for an architecture overview and `DESIGN.md`
+//! for the paper-to-module map.
+
+pub use atmega;
+pub use dess;
+pub use snap_apps;
+pub use snap_asm;
+pub use snap_core;
+pub use snap_energy;
+pub use snap_isa;
+pub use snap_net;
+pub use snap_node;
+pub use snapcc;

@@ -1,0 +1,165 @@
+//! End-to-end AODV route discovery over the simulated radio: a flood
+//! teaches every node on the path, the reply installs forward routes,
+//! and a subsequent DATA packet rides the learned entries.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::discovery::aodv_discovery_program;
+use snap_apps::prelude::install_handler;
+use snap_asm::Program;
+use snap_net::{NetworkSim, Position, Stimulus};
+use snap_node::NodeId;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_ms(n)
+}
+
+/// Origin app: first IRQ starts a discovery for node 3; once the reply
+/// has come back (disc_done > 0), the next IRQ sends data to node 3.
+const ORIGIN_APP: &str = r"
+app_irq:
+    lw      r5, disc_done(r0)
+    bnez    r5, app_send_data
+    li      r1, 3
+    call    aodv_discover
+    done
+app_send_data:
+    li      r2, 3 << 8
+    lw      r4, node_id(r0)
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r2, PKT_DATA << 8 | 1
+    sw      r2, mac_tx_buf+1(r0)
+    li      r2, 0xd15c
+    sw      r2, mac_tx_buf+2(r0)
+    li      r1, 3
+    call    mac_send
+    done
+
+app_deliver:
+    done
+";
+
+const RELAY_APP: &str = "
+app_deliver:
+    done
+";
+
+fn programs(backoff_mask: u16) -> (Program, Program, Program) {
+    let boot = install_handler("EV_IRQ", "app_irq");
+    let origin =
+        aodv_discovery_program(1, &[], &boot, ORIGIN_APP, backoff_mask).expect("origin assembles");
+    let relay =
+        aodv_discovery_program(2, &[], "", RELAY_APP, backoff_mask).expect("relay assembles");
+    let target =
+        aodv_discovery_program(3, &[], "", RELAY_APP, backoff_mask).expect("target assembles");
+    (origin, relay, target)
+}
+
+fn route_of(sim: &NetworkSim, program: &Program, node: NodeId, dest: u16) -> Option<u16> {
+    let table = program.symbol("rt_table").unwrap();
+    for slot in 0..8 {
+        let d = sim.node(node).cpu().dmem().read(table + slot * 2);
+        if d == dest {
+            return Some(sim.node(node).cpu().dmem().read(table + slot * 2 + 1));
+        }
+    }
+    None
+}
+
+#[test]
+fn discovery_learns_routes_and_data_follows() {
+    let (origin_prog, relay_prog, target_prog) = programs(0x3f);
+    let mut sim = NetworkSim::new(6.0);
+    // 1 -- 2 -- 3 in a line; 1 cannot hear 3.
+    let origin = sim.add_node(&origin_prog, Position::new(0.0, 0.0));
+    let relay = sim.add_node(&relay_prog, Position::new(5.0, 0.0));
+    let target = sim.add_node(&target_prog, Position::new(10.0, 0.0));
+    assert!(!sim.topology().in_range(origin, target));
+
+    // Discovery round.
+    sim.schedule(origin, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(80)).unwrap();
+
+    // The origin completed a discovery and learned 3-via-2.
+    let done = origin_prog.symbol("disc_done").unwrap();
+    assert_eq!(sim.node(origin).cpu().dmem().read(done), 1, "discovery must complete");
+    assert_eq!(route_of(&sim, &origin_prog, origin, 3), Some(2));
+    // The relay learned both directions.
+    assert_eq!(route_of(&sim, &relay_prog, relay, 1), Some(1));
+    assert_eq!(route_of(&sim, &relay_prog, relay, 3), Some(3));
+    // The target learned the reverse route to the origin.
+    assert_eq!(route_of(&sim, &target_prog, target, 1), Some(2));
+
+    // Data round over the learned routes.
+    sim.schedule(origin, ms(90), Stimulus::SensorIrq);
+    sim.run_until(ms(160)).unwrap();
+
+    let local = target_prog.symbol("aodv_local").unwrap();
+    assert_eq!(sim.node(target).cpu().dmem().read(local), 1, "payload must reach the target");
+    let buf = target_prog.symbol("mac_rx_buf").unwrap();
+    assert_eq!(sim.node(target).cpu().dmem().read(buf + 2), 0xd15c);
+    let fwds = relay_prog.symbol("aodv_fwds").unwrap();
+    assert_eq!(sim.node(relay).cpu().dmem().read(fwds), 1);
+}
+
+#[test]
+fn duplicate_suppression_bounds_the_flood() {
+    // Fully connected: the worst flood case, and also a collision trap —
+    // the relay's rebroadcast and the target's reply race within one
+    // word time (the MAC is ALOHA-like), so a single round may lose the
+    // DRREP. Discovery succeeds under *retries* (each round uses fresh
+    // ids and fresh backoff draws), while duplicate suppression keeps
+    // every round's traffic bounded.
+    // A wide contention window (16 ms) lets the rebroadcast/reply race
+    // resolve; see aodv_discovery_program's backoff discussion.
+    let (origin_prog, relay_prog, target_prog) = programs(0x3fff);
+    let mut sim = NetworkSim::new(25.0);
+    let origin = sim.add_node(&origin_prog, Position::new(0.0, 0.0));
+    let relay = sim.add_node(&relay_prog, Position::new(5.0, 0.0));
+    let target = sim.add_node(&target_prog, Position::new(10.0, 0.0));
+
+    let done = origin_prog.symbol("disc_done").unwrap();
+    let mut rounds = 0;
+    for round in 0..5 {
+        rounds = round + 1;
+        let at = ms(2 + 80 * round);
+        sim.schedule(origin, at, Stimulus::SensorIrq);
+        sim.run_until(at + SimDuration::from_ms(78)).unwrap();
+        if sim.node(origin).cpu().dmem().read(done) > 0 {
+            break;
+        }
+    }
+    assert!(
+        sim.node(origin).cpu().dmem().read(done) >= 1,
+        "discovery must succeed within 5 rounds"
+    );
+    // The very first flood was heard by everyone (single transmitter):
+    // both peers learned the reverse route to the origin.
+    assert_eq!(route_of(&sim, &relay_prog, relay, 1), Some(1));
+    assert_eq!(route_of(&sim, &target_prog, target, 1), Some(1));
+    // Bounded traffic: per round at most 1 DRREQ + 2 rebroadcast/reply
+    // transmissions of <= 5 words, plus the final DRREP legs.
+    let tx_events =
+        sim.trace().count(|e| matches!(e.kind, snap_net::TraceKind::Transmit { .. }));
+    let per_round_cap = 5 + 2 * 5 + 2 * 4;
+    assert!(
+        tx_events <= per_round_cap * rounds as usize,
+        "flood not bounded: {tx_events} words over {rounds} rounds"
+    );
+}
+
+#[test]
+fn discovery_for_unreachable_target_learns_nothing_at_origin() {
+    let (origin_prog, relay_prog, _) = programs(0x3f);
+    let mut sim = NetworkSim::new(6.0);
+    let origin = sim.add_node(&origin_prog, Position::new(0.0, 0.0));
+    let _relay = sim.add_node(&relay_prog, Position::new(5.0, 0.0));
+    // Node 3 does not exist.
+
+    sim.schedule(origin, ms(2), Stimulus::SensorIrq);
+    sim.run_until(ms(120)).unwrap();
+
+    let done = origin_prog.symbol("disc_done").unwrap();
+    assert_eq!(sim.node(origin).cpu().dmem().read(done), 0, "no reply can arrive");
+    assert_eq!(route_of(&sim, &origin_prog, origin, 3), None);
+}

@@ -1,0 +1,360 @@
+//! Cross-crate integration: the whole stack working together —
+//! compiler → assembler → core → node → network.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::aodv::relay_program;
+use snap_apps::packet::Packet;
+use snap_net::{NetworkSim, Position, Stimulus};
+use snap_node::{Node, NodeConfig};
+use snapcc::codegen::{BootEnd, CompileOptions};
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_ms(n)
+}
+
+/// A node whose handlers were written in C (snapcc) exchanges packets
+/// with nodes running hand-written assembly — the toolchains must be
+/// ABI-compatible on the wire.
+#[test]
+fn c_compiled_node_talks_to_asm_nodes() {
+    // A C node that, on sensor IRQ, sends a DATA packet to node 2 by
+    // driving the radio directly (TX command + payload per word,
+    // sequenced by tx-done events).
+    let c_source = r"
+        int msg[5];
+        int pos;
+        int total;
+
+        handler irq() {
+            // Packet: dst=2,src=1 | DATA,len=1 | payload | checksum
+            msg[0] = 2 * 256 + 1;
+            msg[1] = 1 * 256 + 1;
+            msg[2] = 777;
+            msg[3] = msg[0] + msg[1] + msg[2];
+            total = 4;
+            pos = 1;
+            __msg_write(0x2000);
+            __msg_write(msg[0]);
+        }
+
+        handler txdone() {
+            if (pos < total) {
+                __msg_write(0x2000);
+                __msg_write(msg[pos]);
+                pos = pos + 1;
+            }
+        }
+
+        int main() {
+            __setaddr(5, irq);
+            __setaddr(4, txdone);
+            __msg_write(0x1001);   // radio on
+            return 0;
+        }
+    ";
+    let options = CompileOptions { end: BootEnd::Done, ..CompileOptions::default() };
+    let c_program = snapcc::compile_to_program_with(c_source, options).expect("compiles");
+
+    let mut sim = NetworkSim::new(10.0);
+    let sender = sim.add_node(&c_program, Position::new(0.0, 0.0));
+    let receiver = sim.add_node(&relay_program(2, &[]).unwrap(), Position::new(3.0, 0.0));
+
+    sim.schedule(sender, ms(1), Stimulus::SensorIrq);
+    sim.run_until(ms(20)).unwrap();
+
+    // The assembly receiver's AODV layer delivered the C node's packet.
+    let prog = relay_program(2, &[]).unwrap();
+    let local = prog.symbol("aodv_local").unwrap();
+    assert_eq!(sim.node(receiver).cpu().dmem().read(local), 1);
+    let buf = prog.symbol("mac_rx_buf").unwrap();
+    assert_eq!(sim.node(receiver).cpu().dmem().read(buf + 2), 777);
+}
+
+/// The same handler workload measured at all three voltages executes
+/// identical instructions, scaled energy (V²), scaled time.
+#[test]
+fn voltage_scaling_is_exact_across_the_stack() {
+    use snap_apps::measure::measure_aodv_forward;
+    use snap_energy::OperatingPoint;
+
+    let at18 = measure_aodv_forward(OperatingPoint::V1_8);
+    let at09 = measure_aodv_forward(OperatingPoint::V0_9);
+    let at06 = measure_aodv_forward(OperatingPoint::V0_6);
+
+    assert_eq!(at18.instructions, at09.instructions);
+    assert_eq!(at18.instructions, at06.instructions);
+    assert!((at09.energy.as_pj() / at18.energy.as_pj() - 0.25).abs() < 1e-9);
+    assert!((at06.energy.as_pj() / at18.energy.as_pj() - 1.0 / 9.0).abs() < 1e-9);
+    let t_ratio = at06.busy_time.as_ps() as f64 / at18.busy_time.as_ps() as f64;
+    assert!((t_ratio - 8.57).abs() < 0.05, "delay ratio {t_ratio}");
+}
+
+/// A ten-node network runs without deadlock or node faults, exercising
+/// the parallel advancement path (>= 8 nodes).
+#[test]
+fn ten_node_network_is_stable() {
+    let mut sim = NetworkSim::new(4.0);
+    // A line of relays, each with a route to its right neighbour.
+    for i in 1..=10u8 {
+        let routes: Vec<(u8, u8)> = if i < 10 { vec![(10, i + 1)] } else { vec![] };
+        sim.add_node(&relay_program(i, &routes).unwrap(), Position::new(3.0 * i as f64, 0.0));
+    }
+    // Kick a packet from node 1 toward node 10 by injecting it as if
+    // node 0 (outside) had sent it to node 1's radio.
+    let words = Packet::data(10, 0, vec![0xfeed]).encode();
+    sim.run_until(ms(1)).unwrap();
+    for w in words {
+        sim.node_mut(snap_node::NodeId(1)).deliver_rx(w);
+        sim.run_for(SimDuration::from_us(900)).unwrap();
+    }
+    sim.run_until(ms(400)).unwrap();
+
+    // The packet walked the whole line: node 10 delivered it locally.
+    let prog = relay_program(10, &[]).unwrap();
+    let local = prog.symbol("aodv_local").unwrap();
+    assert_eq!(
+        sim.node(snap_node::NodeId(10)).cpu().dmem().read(local),
+        1,
+        "packet must traverse nine hops"
+    );
+    // Every intermediate node forwarded exactly once.
+    let fwds = prog.symbol("aodv_fwds").unwrap();
+    for i in 1..=9u16 {
+        assert_eq!(
+            sim.node(snap_node::NodeId(i)).cpu().dmem().read(fwds),
+            1,
+            "node {i} must forward exactly once"
+        );
+    }
+}
+
+/// Self-modifying code over the "radio": bootstrap a node by writing
+/// its IMEM through `isw`, then jump into the new code (paper §3.1's
+/// over-the-radio bootstrapping story, condensed).
+#[test]
+fn imem_bootstrap_path_works() {
+    use snap_asm::assemble;
+
+    // Stage-1 loader: copies a 3-word stage-2 image from DMEM into
+    // IMEM at 0x100, then jumps to it. Stage-2 sets r5 and halts.
+    let src = r"
+        .equ STAGE2, 0x100
+    boot:
+        li      r1, 0          ; index
+    copy:
+        lw      r2, image(r1)
+        mov     r3, r1
+        addi    r3, STAGE2
+        isw     r2, 0(r3)
+        addi    r1, 1
+        li      r4, 3
+        bltu    r1, r4, copy
+        jmp     STAGE2
+
+        .data
+    image:
+        .word 0x2508, 0x00aa, 0xa003   ; li r5, 0xaa ; halt
+    ";
+    let program = assemble(src).unwrap();
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).unwrap();
+    node.run_for(SimDuration::from_ms(1)).unwrap();
+    assert_eq!(node.cpu().regs().read(snap_isa::Reg::R5), 0xaa);
+}
+
+/// Event-queue overflow under a flood: deliveries beyond the queue
+/// depth are dropped and counted, and the node keeps working after.
+#[test]
+fn event_flood_drops_gracefully() {
+    use snap_asm::assemble;
+    // A deliberately slow handler (long loop) so events pile up.
+    let src = r"
+        .equ EV_IRQ, 5
+    boot:
+        li      r1, EV_IRQ
+        li      r2, slow
+        setaddr r1, r2
+        done
+    slow:
+        li      r3, 2000
+    spin:
+        subi    r3, 1
+        bnez    r3, spin
+        lw      r4, count(r0)
+        addi    r4, 1
+        sw      r4, count(r0)
+        done
+        .data
+    count: .word 0
+    ";
+    let program = assemble(src).unwrap();
+    let mut node = Node::new(NodeConfig::default());
+    node.load(&program).unwrap();
+    node.run_for(SimDuration::from_us(10)).unwrap();
+    // Flood 50 IRQs while the first handler runs.
+    for _ in 0..50 {
+        node.trigger_sensor_irq();
+    }
+    node.run_for(SimDuration::from_ms(5)).unwrap();
+    let stats = node.cpu().stats();
+    assert!(stats.events_dropped > 0, "flood must overflow the queue");
+    assert_eq!(stats.events_dropped + stats.events_inserted, 50);
+    // The handler ran once per *inserted* event.
+    let count = program.symbol("count").unwrap();
+    assert_eq!(node.cpu().dmem().read(count) as u64, stats.events_inserted);
+    // The node still responds afterwards.
+    node.trigger_sensor_irq();
+    node.run_for(SimDuration::from_ms(1)).unwrap();
+    assert_eq!(node.cpu().dmem().read(count) as u64, stats.events_inserted + 1);
+}
+
+/// Over-the-radio bootstrapping across the simulated network: a
+/// flasher node streams a code image; the target's bootloader writes
+/// it into IMEM (`isw`), verifies the checksum and jumps into it
+/// (paper §3.1's "bootstrap the processor by sending it code over the
+/// radio link").
+#[test]
+fn bootstream_over_the_air_from_another_node() {
+    use snap_apps::bootloader::{bootloader_program, encode_bootstream};
+    use snap_apps::prelude::{install_handler, PRELUDE};
+    use snap_asm::{assemble, assemble_modules};
+
+    // Stage 2: a blinker assembled to run at 0x200.
+    let stage2_src = r"
+        .org 0x200
+    entry:
+        li      r1, 0
+        li      r2, s2_tick
+        setaddr r1, r2
+        li      r1, 0
+        schedhi r1, r0
+        li      r2, 100
+        schedlo r1, r2
+        done
+    s2_tick:
+        lw      r3, 0x300(r0)
+        xori    r3, 1
+        sw      r3, 0x300(r0)
+        li      r4, 0x4000
+        or      r4, r3
+        mov     r15, r4
+        li      r1, 0
+        schedhi r1, r0
+        li      r2, 100
+        schedlo r1, r2
+        done
+    ";
+    let image = assemble(stage2_src).unwrap().imem_image()[0x200..].to_vec();
+    let words = encode_bootstream(0x200, &image);
+
+    // The flasher transmits the stream from a DMEM table, one word per
+    // tx-done event.
+    let table: Vec<String> = words.iter().map(|w| format!("    .word {w}")).collect();
+    let flasher_src = format!(
+        r"
+fl_irq:
+    sw      r0, 0x380(r0)
+    call    fl_next
+    done
+fl_txdone:
+    lw      r2, 0x380(r0)
+    li      r3, {len}
+    bgeu    r2, r3, fl_done
+    call    fl_next
+fl_done:
+    done
+fl_next:
+    lw      r2, 0x380(r0)
+    lw      r3, fl_table(r2)
+    addi    r2, 1
+    sw      r2, 0x380(r0)
+    li      r15, 0x2000
+    mov     r15, r3
+    ret
+
+.data
+fl_table:
+{table}
+",
+        len = words.len(),
+        table = table.join("\n"),
+    );
+    let mut boot = install_handler("EV_IRQ", "fl_irq");
+    boot.push_str(&install_handler("EV_TXDONE", "fl_txdone"));
+    let flasher = assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &format!("boot:\n{boot}    done\n")),
+        ("fl.s", &flasher_src),
+    ])
+    .unwrap();
+
+    let mut sim = NetworkSim::new(10.0);
+    let fl = sim.add_node(&flasher, Position::new(0.0, 0.0));
+    let target = sim.add_node(&bootloader_program().unwrap(), Position::new(5.0, 0.0));
+    sim.schedule(fl, ms(1), Stimulus::SensorIrq);
+    sim.run_until(ms(60)).unwrap();
+
+    let bl = bootloader_program().unwrap();
+    assert_eq!(sim.node(target).cpu().dmem().read(bl.symbol("bl_loads").unwrap()), 1);
+    assert!(sim.node(target).led().writes() > 10, "flashed blinker must run");
+}
+
+/// Twenty sampling nodes reporting to a sink keep the parallel network
+/// simulator stable and deterministic at scale.
+#[test]
+fn twenty_node_sampling_field() {
+    use snap_apps::aodv::aodv_node_program;
+    use snap_apps::prelude::install_handler;
+
+    // Every node samples its sensor on IRQ and reports to the sink
+    // (node 1) — all within one hop in a dense grid.
+    const FIELD_APP: &str = r"
+app_irq:
+    li      r15, 0x3000        ; query sensor 0
+    done
+app_reading:
+    mov     r5, r15
+    li      r2, 1 << 8
+    lw      r4, node_id(r0)
+    bfs     r2, r4, 0xff
+    sw      r2, mac_tx_buf+0(r0)
+    li      r2, PKT_DATA << 8 | 1
+    sw      r2, mac_tx_buf+1(r0)
+    sw      r5, mac_tx_buf+2(r0)
+    li      r1, 3
+    call    mac_send
+    done
+app_deliver:
+    done
+";
+    let mut sim = NetworkSim::new(100.0);
+    let mut boot = install_handler("EV_IRQ", "app_irq");
+    boot.push_str(&install_handler("EV_REPLY", "app_reading"));
+    let sink_prog = aodv_node_program(1, &[], "", "app_deliver:\n    done\n").unwrap();
+    let sink = sim.add_node(&sink_prog, Position::new(0.0, 0.0));
+    for i in 2..=20u8 {
+        let program = aodv_node_program(i, &[], &boot, FIELD_APP).unwrap();
+        let id = sim.add_node(&program, Position::new(f64::from(i), 1.0));
+        sim.node_mut(id).sensors_mut().set_reading(0, 40 + i as u16);
+    }
+    // Stagger the sampling so the shared channel is not saturated.
+    for i in 2..=20u64 {
+        sim.schedule(
+            snap_node::NodeId(i as u16),
+            ms(10 * i),
+            Stimulus::SensorIrq,
+        );
+    }
+    sim.run_until(ms(400)).unwrap();
+
+    let local = sink_prog.symbol("aodv_local").unwrap();
+    let delivered = sim.node(sink).cpu().dmem().read(local);
+    assert!(
+        (15..=19).contains(&delivered),
+        "most reports must arrive (collisions may eat a few): {delivered}"
+    );
+    // No node faulted, every sampler transmitted.
+    for i in 2..=20u16 {
+        assert!(sim.node(snap_node::NodeId(i)).radio().words_sent() >= 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Workspace helper: counts lines of code per crate.
+use std::{fs, path::Path};
+
+fn count_dir(p: &Path) -> usize {
+    let mut n = 0;
+    if let Ok(rd) = fs::read_dir(p) {
+        for e in rd.flatten() {
+            let path = e.path();
+            if path.is_dir() {
+                n += count_dir(&path);
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                n += fs::read_to_string(&path).map(|s| s.lines().count()).unwrap_or(0);
+            }
+        }
+    }
+    n
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf();
+    let mut total = 0;
+    for sub in ["crates", "tests", "examples"] {
+        let p = root.join(sub);
+        let n = count_dir(&p);
+        println!("{sub:10} {n:>7}");
+        total += n;
+    }
+    println!("{:10} {total:>7}", "total");
+}
