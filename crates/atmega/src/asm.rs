@@ -29,7 +29,11 @@ impl AvrProgram {
 
     /// Number of flash words occupied (code size; ×2 for bytes).
     pub fn words_used(&self) -> usize {
-        self.flash.iter().filter(|s| s.is_some()).map(|s| s.unwrap().words() as usize).sum()
+        self.flash
+            .iter()
+            .filter(|s| s.is_some())
+            .map(|s| s.unwrap().words() as usize)
+            .sum()
     }
 
     /// Code size in bytes.
@@ -73,10 +77,18 @@ pub fn assemble_avr(source: &str) -> Result<AvrProgram, AsmError> {
                 break;
             }
             if parse_reg(name).is_some() {
-                return Err(AsmError::new(MODULE, line, format!("`{name}` is a register")));
+                return Err(AsmError::new(
+                    MODULE,
+                    line,
+                    format!("`{name}` is a register"),
+                ));
             }
             if symbols.insert(name.clone(), lc as i64).is_some() {
-                return Err(AsmError::new(MODULE, line, format!("duplicate symbol `{name}`")));
+                return Err(AsmError::new(
+                    MODULE,
+                    line,
+                    format!("duplicate symbol `{name}`"),
+                ));
             }
             rest = tail;
         }
@@ -103,17 +115,33 @@ pub fn assemble_avr(source: &str) -> Result<AvrProgram, AsmError> {
                     _ => return Err(AsmError::new(MODULE, line, ".equ expects `name, expr`")),
                 },
                 other => {
-                    return Err(AsmError::new(MODULE, line, format!("unknown directive `{other}`")))
+                    return Err(AsmError::new(
+                        MODULE,
+                        line,
+                        format!("unknown directive `{other}`"),
+                    ))
                 }
             },
             [Token::Ident(m), tail @ ..] => {
-                let size = mnemonic_words(m)
-                    .ok_or_else(|| AsmError::new(MODULE, line, format!("unknown mnemonic `{m}`")))?;
+                let size = mnemonic_words(m).ok_or_else(|| {
+                    AsmError::new(MODULE, line, format!("unknown mnemonic `{m}`"))
+                })?;
                 let operands = parse_operands(tail, line)?;
-                stmts.push(Stmt { line, addr: lc, mnemonic: m.clone(), operands });
+                stmts.push(Stmt {
+                    line,
+                    addr: lc,
+                    mnemonic: m.clone(),
+                    operands,
+                });
                 lc = lc.wrapping_add(size);
             }
-            _ => return Err(AsmError::new(MODULE, line, "expected label, directive or instruction")),
+            _ => {
+                return Err(AsmError::new(
+                    MODULE,
+                    line,
+                    "expected label, directive or instruction",
+                ))
+            }
         }
     }
 
@@ -127,7 +155,11 @@ pub fn assemble_avr(source: &str) -> Result<AvrProgram, AsmError> {
     Ok(AvrProgram { flash, symbols })
 }
 
-fn eval_now(tokens: &[Token], symbols: &BTreeMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+fn eval_now(
+    tokens: &[Token],
+    symbols: &BTreeMap<String, i64>,
+    line: usize,
+) -> Result<i64, AsmError> {
     let mut c = Cursor::new(tokens, MODULE, line);
     let e = c.parse_expr()?;
     if !c.at_end() {
@@ -169,13 +201,17 @@ fn parse_operand(tokens: &[Token], line: usize) -> Result<Operand, AsmError> {
                 return Ok(Operand::Reg(r));
             }
             if let Some(ptr) = parse_ptr(name) {
-                return Ok(Operand::Pointer { ptr, post_inc: false });
+                return Ok(Operand::Pointer {
+                    ptr,
+                    post_inc: false,
+                });
             }
             Ok(Operand::Expr(Expr::Sym(name.clone())))
         }
-        [Token::Ident(name), Token::Plus] if parse_ptr(name).is_some() => {
-            Ok(Operand::Pointer { ptr: parse_ptr(name).unwrap(), post_inc: true })
-        }
+        [Token::Ident(name), Token::Plus] if parse_ptr(name).is_some() => Ok(Operand::Pointer {
+            ptr: parse_ptr(name).unwrap(),
+            post_inc: true,
+        }),
         _ => {
             let mut c = Cursor::new(tokens, MODULE, line);
             let e = c.parse_expr()?;
@@ -200,10 +236,10 @@ fn mnemonic_words(m: &str) -> Option<u16> {
     Some(match m {
         "lds" | "sts" => 2,
         "ldi" | "mov" | "add" | "adc" | "sub" | "sbc" | "and" | "or" | "eor" | "subi" | "sbci"
-        | "andi" | "ori" | "inc" | "dec" | "com" | "neg" | "lsr" | "ror" | "asr" | "swap" | "cp" | "cpc"
-        | "cpi" | "breq" | "brne" | "brcs" | "brcc" | "brlt" | "brge" | "rjmp" | "ijmp"
-        | "rcall" | "icall" | "ret" | "reti" | "ld" | "st" | "push" | "pop" | "in" | "out"
-        | "adiw" | "sbiw" | "sei" | "cli" | "sleep" | "nop" | "break" => 1,
+        | "andi" | "ori" | "inc" | "dec" | "com" | "neg" | "lsr" | "ror" | "asr" | "swap"
+        | "cp" | "cpc" | "cpi" | "breq" | "brne" | "brcs" | "brcc" | "brlt" | "brge" | "rjmp"
+        | "ijmp" | "rcall" | "icall" | "ret" | "reti" | "ld" | "st" | "push" | "pop" | "in"
+        | "out" | "adiw" | "sbiw" | "sei" | "cli" | "sleep" | "nop" | "break" => 1,
         _ => return None,
     })
 }
@@ -217,7 +253,11 @@ fn build(stmt: &Stmt, symbols: &BTreeMap<String, i64>) -> Result<AvrInstr, AsmEr
     let imm8 = |e: &Expr| -> Result<u8, AsmError> {
         let v = e.eval(symbols, MODULE, line)?;
         if !(-128..=255).contains(&v) {
-            return Err(AsmError::new(MODULE, line, format!("{v} does not fit in 8 bits")));
+            return Err(AsmError::new(
+                MODULE,
+                line,
+                format!("{v} does not fit in 8 bits"),
+            ));
         }
         Ok(v as u8)
     };
@@ -245,7 +285,10 @@ fn build(stmt: &Stmt, symbols: &BTreeMap<String, i64>) -> Result<AvrInstr, AsmEr
         _ => Err(bad()),
     };
     let br = |cond: AvrBranch| match ops.as_slice() {
-        [Operand::Expr(e)] => Ok(AvrInstr::Br { cond, target: imm16(e)? }),
+        [Operand::Expr(e)] => Ok(AvrInstr::Br {
+            cond,
+            target: imm16(e)?,
+        }),
         _ => Err(bad()),
     };
 
@@ -295,37 +338,57 @@ fn build(stmt: &Stmt, symbols: &BTreeMap<String, i64>) -> Result<AvrInstr, AsmEr
         "ret" => Ok(AvrInstr::Ret),
         "reti" => Ok(AvrInstr::Reti),
         "lds" => match ops.as_slice() {
-            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::Lds { rd: *rd, addr: imm16(e)? }),
+            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::Lds {
+                rd: *rd,
+                addr: imm16(e)?,
+            }),
             _ => Err(bad()),
         },
         "sts" => match ops.as_slice() {
-            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Sts { addr: imm16(e)?, rr: *rr }),
+            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Sts {
+                addr: imm16(e)?,
+                rr: *rr,
+            }),
             _ => Err(bad()),
         },
         "ld" => match ops.as_slice() {
-            [Operand::Reg(rd), Operand::Pointer { ptr, post_inc }] => {
-                Ok(AvrInstr::Ld { rd: *rd, ptr: *ptr, post_inc: *post_inc })
-            }
+            [Operand::Reg(rd), Operand::Pointer { ptr, post_inc }] => Ok(AvrInstr::Ld {
+                rd: *rd,
+                ptr: *ptr,
+                post_inc: *post_inc,
+            }),
             _ => Err(bad()),
         },
         "st" => match ops.as_slice() {
-            [Operand::Pointer { ptr, post_inc }, Operand::Reg(rr)] => {
-                Ok(AvrInstr::St { ptr: *ptr, rr: *rr, post_inc: *post_inc })
-            }
+            [Operand::Pointer { ptr, post_inc }, Operand::Reg(rr)] => Ok(AvrInstr::St {
+                ptr: *ptr,
+                rr: *rr,
+                post_inc: *post_inc,
+            }),
             _ => Err(bad()),
         },
         "in" => match ops.as_slice() {
-            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::In { rd: *rd, io: imm8(e)? }),
+            [Operand::Reg(rd), Operand::Expr(e)] => Ok(AvrInstr::In {
+                rd: *rd,
+                io: imm8(e)?,
+            }),
             _ => Err(bad()),
         },
         "out" => match ops.as_slice() {
-            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Out { io: imm8(e)?, rr: *rr }),
+            [Operand::Expr(e), Operand::Reg(rr)] => Ok(AvrInstr::Out {
+                io: imm8(e)?,
+                rr: *rr,
+            }),
             _ => Err(bad()),
         },
         "adiw" | "sbiw" => match ops.as_slice() {
             [Operand::Reg(pair), Operand::Expr(e)] => {
                 if ![24, 26, 28, 30].contains(pair) {
-                    return Err(AsmError::new(MODULE, line, "adiw/sbiw need r24/r26/r28/r30"));
+                    return Err(AsmError::new(
+                        MODULE,
+                        line,
+                        "adiw/sbiw need r24/r26/r28/r30",
+                    ));
                 }
                 let k = imm8(e)?;
                 Ok(if m == "adiw" {
@@ -341,7 +404,11 @@ fn build(stmt: &Stmt, symbols: &BTreeMap<String, i64>) -> Result<AvrInstr, AsmEr
         "sleep" => Ok(AvrInstr::Sleep),
         "nop" => Ok(AvrInstr::Nop),
         "break" => Ok(AvrInstr::Break),
-        other => Err(AsmError::new(MODULE, line, format!("unknown mnemonic `{other}`"))),
+        other => Err(AsmError::new(
+            MODULE,
+            line,
+            format!("unknown mnemonic `{other}`"),
+        )),
     }
 }
 
@@ -368,15 +435,42 @@ mod tests {
     #[test]
     fn pointer_operands() {
         let p = assemble_avr("ld r0, X+\nst Y, r1\nld r2, Z+").unwrap();
-        assert_eq!(p.flash[0], Some(AvrInstr::Ld { rd: 0, ptr: Ptr::X, post_inc: true }));
-        assert_eq!(p.flash[1], Some(AvrInstr::St { ptr: Ptr::Y, rr: 1, post_inc: false }));
-        assert_eq!(p.flash[2], Some(AvrInstr::Ld { rd: 2, ptr: Ptr::Z, post_inc: true }));
+        assert_eq!(
+            p.flash[0],
+            Some(AvrInstr::Ld {
+                rd: 0,
+                ptr: Ptr::X,
+                post_inc: true
+            })
+        );
+        assert_eq!(
+            p.flash[1],
+            Some(AvrInstr::St {
+                ptr: Ptr::Y,
+                rr: 1,
+                post_inc: false
+            })
+        );
+        assert_eq!(
+            p.flash[2],
+            Some(AvrInstr::Ld {
+                rd: 2,
+                ptr: Ptr::Z,
+                post_inc: true
+            })
+        );
     }
 
     #[test]
     fn branch_targets_resolve() {
         let p = assemble_avr("loop:\ndec r16\nbrne loop\nbreak").unwrap();
-        assert_eq!(p.flash[1], Some(AvrInstr::Br { cond: AvrBranch::Ne, target: 0 }));
+        assert_eq!(
+            p.flash[1],
+            Some(AvrInstr::Br {
+                cond: AvrBranch::Ne,
+                target: 0
+            })
+        );
     }
 
     #[test]

@@ -186,7 +186,11 @@ impl AvrCore {
             pending: [false; 3],
             timer: Timer::default(),
             adc: Adc::default(),
-            spi: Spi { done_at: None, byte_cycles: SPI_BYTE_CYCLES, sent: Vec::new() },
+            spi: Spi {
+                done_at: None,
+                byte_cycles: SPI_BYTE_CYCLES,
+                sent: Vec::new(),
+            },
             ports: IoPorts::default(),
             irqs_taken: 0,
         }
@@ -467,10 +471,9 @@ impl AvrCore {
             }
             io::OCRL => self.timer.ocr = (self.timer.ocr & 0xff00) | v as u16,
             io::OCRH => self.timer.ocr = (self.timer.ocr & 0x00ff) | ((v as u16) << 8),
-            io::ADCSRA
-                if v & 1 != 0 => {
-                    self.adc.done_at = Some(self.wall_cycles + ADC_CONVERSION_CYCLES);
-                }
+            io::ADCSRA if v & 1 != 0 => {
+                self.adc.done_at = Some(self.wall_cycles + ADC_CONVERSION_CYCLES);
+            }
             io::SPDR => {
                 self.spi.sent.push(v);
                 self.spi.done_at = Some(self.wall_cycles + self.spi.byte_cycles);
@@ -502,7 +505,8 @@ impl AvrCore {
             }
             I::Adc { rd, rr } => {
                 let c = self.flag_c;
-                self.regs[rd as usize] = self.do_add(self.regs[rd as usize], self.regs[rr as usize], c)
+                self.regs[rd as usize] =
+                    self.do_add(self.regs[rd as usize], self.regs[rr as usize], c)
             }
             I::Sub { rd, rr } => {
                 self.regs[rd as usize] =
@@ -658,8 +662,8 @@ impl AvrCore {
             I::Out { io, rr } => self.io_write(io, self.regs[rr as usize]),
             I::Adiw { pair, k } => {
                 let lo = pair as usize;
-                let v = ((self.regs[lo + 1] as u16) << 8 | self.regs[lo] as u16)
-                    .wrapping_add(k as u16);
+                let v =
+                    ((self.regs[lo + 1] as u16) << 8 | self.regs[lo] as u16).wrapping_add(k as u16);
                 self.regs[lo] = (v & 0xff) as u8;
                 self.regs[lo + 1] = (v >> 8) as u8;
                 self.flag_z = v == 0;
@@ -758,10 +762,7 @@ mod tests {
 
     #[test]
     fn call_ret_stack() {
-        let core = run(
-            "rcall f\nsts 0xa0, r16\nbreak\nf:\nldi r16, 9\nret",
-            100,
-        );
+        let core = run("rcall f\nsts 0xa0, r16\nbreak\nf:\nldi r16, 9\nret", 100);
         assert_eq!(core.sram(0xa0), 9);
         assert_eq!(core.active_cycles(), 3 + 1 + 4 + 2 + 1);
     }
@@ -892,7 +893,11 @@ mod tests {
         let mut core = AvrCore::new(p.flash.clone());
         core.set_vector(Irq::Timer, p.symbol("isr").unwrap());
         core.run_until_break(10_000).unwrap();
-        assert_eq!(core.sram(0xb1), 0, "masked: ISR must not have run before sei");
+        assert_eq!(
+            core.sram(0xb1),
+            0,
+            "masked: ISR must not have run before sei"
+        );
         // Only one pending flag exists per source, so the several missed
         // periods collapse into a single delivery after sei.
         assert_eq!(core.sram(0xb0), 1);
@@ -948,7 +953,10 @@ mod tests {
 
     #[test]
     fn led_port_history() {
-        let core = run("ldi r16, 1\nout 0x05, r16\nldi r16, 0\nout 0x05, r16\nbreak", 100);
+        let core = run(
+            "ldi r16, 1\nout 0x05, r16\nldi r16, 0\nout 0x05, r16\nbreak",
+            100,
+        );
         assert_eq!(core.ports().portb_history.len(), 2);
         assert_eq!(core.ports().portb(), 0);
     }

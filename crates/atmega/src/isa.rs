@@ -49,61 +49,162 @@ pub enum AvrBranch {
 #[allow(missing_docs)]
 pub enum AvrInstr {
     /// `ldi Rd, K` (Rd in r16–r31).
-    Ldi { rd: u8, k: u8 },
-    Mov { rd: u8, rr: u8 },
-    Add { rd: u8, rr: u8 },
-    Adc { rd: u8, rr: u8 },
-    Sub { rd: u8, rr: u8 },
-    Sbc { rd: u8, rr: u8 },
-    And { rd: u8, rr: u8 },
-    Or { rd: u8, rr: u8 },
-    Eor { rd: u8, rr: u8 },
+    Ldi {
+        rd: u8,
+        k: u8,
+    },
+    Mov {
+        rd: u8,
+        rr: u8,
+    },
+    Add {
+        rd: u8,
+        rr: u8,
+    },
+    Adc {
+        rd: u8,
+        rr: u8,
+    },
+    Sub {
+        rd: u8,
+        rr: u8,
+    },
+    Sbc {
+        rd: u8,
+        rr: u8,
+    },
+    And {
+        rd: u8,
+        rr: u8,
+    },
+    Or {
+        rd: u8,
+        rr: u8,
+    },
+    Eor {
+        rd: u8,
+        rr: u8,
+    },
     /// `subi Rd, K` (Rd in r16–r31).
-    Subi { rd: u8, k: u8 },
-    Sbci { rd: u8, k: u8 },
-    Andi { rd: u8, k: u8 },
-    Ori { rd: u8, k: u8 },
-    Inc { rd: u8 },
-    Dec { rd: u8 },
-    Com { rd: u8 },
-    Neg { rd: u8 },
-    Lsr { rd: u8 },
+    Subi {
+        rd: u8,
+        k: u8,
+    },
+    Sbci {
+        rd: u8,
+        k: u8,
+    },
+    Andi {
+        rd: u8,
+        k: u8,
+    },
+    Ori {
+        rd: u8,
+        k: u8,
+    },
+    Inc {
+        rd: u8,
+    },
+    Dec {
+        rd: u8,
+    },
+    Com {
+        rd: u8,
+    },
+    Neg {
+        rd: u8,
+    },
+    Lsr {
+        rd: u8,
+    },
     /// Rotate right through carry.
-    Ror { rd: u8 },
-    Asr { rd: u8 },
-    Swap { rd: u8 },
-    Cp { rd: u8, rr: u8 },
-    Cpc { rd: u8, rr: u8 },
-    Cpi { rd: u8, k: u8 },
+    Ror {
+        rd: u8,
+    },
+    Asr {
+        rd: u8,
+    },
+    Swap {
+        rd: u8,
+    },
+    Cp {
+        rd: u8,
+        rr: u8,
+    },
+    Cpc {
+        rd: u8,
+        rr: u8,
+    },
+    Cpi {
+        rd: u8,
+        k: u8,
+    },
     /// Conditional branch to an absolute word address.
-    Br { cond: AvrBranch, target: u16 },
+    Br {
+        cond: AvrBranch,
+        target: u16,
+    },
     /// Unconditional jump (absolute word address).
-    Rjmp { target: u16 },
+    Rjmp {
+        target: u16,
+    },
     /// Indirect jump via Z.
     Ijmp,
     /// Call (absolute word address).
-    Rcall { target: u16 },
+    Rcall {
+        target: u16,
+    },
     /// Indirect call via Z.
     Icall,
     Ret,
     Reti,
     /// Direct SRAM load (two words).
-    Lds { rd: u8, addr: u16 },
+    Lds {
+        rd: u8,
+        addr: u16,
+    },
     /// Direct SRAM store (two words).
-    Sts { addr: u16, rr: u8 },
+    Sts {
+        addr: u16,
+        rr: u8,
+    },
     /// Indirect load, optional post-increment.
-    Ld { rd: u8, ptr: Ptr, post_inc: bool },
+    Ld {
+        rd: u8,
+        ptr: Ptr,
+        post_inc: bool,
+    },
     /// Indirect store, optional post-increment.
-    St { ptr: Ptr, rr: u8, post_inc: bool },
-    Push { rr: u8 },
-    Pop { rd: u8 },
+    St {
+        ptr: Ptr,
+        rr: u8,
+        post_inc: bool,
+    },
+    Push {
+        rr: u8,
+    },
+    Pop {
+        rd: u8,
+    },
     /// Read an I/O register.
-    In { rd: u8, io: u8 },
+    In {
+        rd: u8,
+        io: u8,
+    },
     /// Write an I/O register.
-    Out { io: u8, rr: u8 },
+    Out {
+        io: u8,
+        rr: u8,
+    },
     /// Add immediate to word pair (r24/r26/r28/r30).
-    Adiw { pair: u8, k: u8 },
-    Sbiw { pair: u8, k: u8 },
+    Adiw {
+        pair: u8,
+        k: u8,
+    },
+    Sbiw {
+        pair: u8,
+        k: u8,
+    },
     Sei,
     Cli,
     Sleep,

@@ -480,20 +480,35 @@ rs_parity:
 /// The virtual-timer tick is ≈1 ms (OCR 62 → 3968 cycles at 4 MHz) and
 /// Blink fires every tick.
 pub fn blink_system() -> Result<(AvrCore, AvrProgram), AsmError> {
-    let src = format!("{TOS_DEFS}{}{TOS_RUNTIME}{BLINK_APP}", tos_boot("blink_fired", 1, 62));
+    let src = format!(
+        "{TOS_DEFS}{}{TOS_RUNTIME}{BLINK_APP}",
+        tos_boot("blink_fired", 1, 62)
+    );
     let program = assemble_avr(&src)?;
     let mut core = AvrCore::new(program.flash.clone());
-    core.set_vector(Irq::Timer, program.symbol("tos_timer_isr").expect("isr symbol"));
+    core.set_vector(
+        Irq::Timer,
+        program.symbol("tos_timer_isr").expect("isr symbol"),
+    );
     Ok((core, program))
 }
 
 /// Assemble the Sense program and wire its vectors.
 pub fn sense_system() -> Result<(AvrCore, AvrProgram), AsmError> {
-    let src = format!("{TOS_DEFS}{}{TOS_RUNTIME}{SENSE_APP}", tos_boot("sense_fired", 1, 62));
+    let src = format!(
+        "{TOS_DEFS}{}{TOS_RUNTIME}{SENSE_APP}",
+        tos_boot("sense_fired", 1, 62)
+    );
     let program = assemble_avr(&src)?;
     let mut core = AvrCore::new(program.flash.clone());
-    core.set_vector(Irq::Timer, program.symbol("tos_timer_isr").expect("isr symbol"));
-    core.set_vector(Irq::Adc, program.symbol("sense_adc_isr").expect("isr symbol"));
+    core.set_vector(
+        Irq::Timer,
+        program.symbol("tos_timer_isr").expect("isr symbol"),
+    );
+    core.set_vector(
+        Irq::Adc,
+        program.symbol("sense_adc_isr").expect("isr symbol"),
+    );
     Ok((core, program))
 }
 
@@ -709,15 +724,18 @@ mod tests {
         }
         let done = program.symbol("RS_DONE").unwrap();
         run_until_sram_equals(&mut core, done, 2);
-        let crc =
-            (core.sram(program.symbol("RS_CRCH").unwrap()) as u16) << 8
-                | core.sram(program.symbol("RS_CRCL").unwrap()) as u16;
+        let crc = (core.sram(program.symbol("RS_CRCH").unwrap()) as u16) << 8
+            | core.sram(program.symbol("RS_CRCL").unwrap()) as u16;
         // Reference CRC-16/CCITT of [0x12, 0x34] from init 0.
         let mut expect = 0u16;
         for &b in &[0x12u8, 0x34] {
             expect ^= (b as u16) << 8;
             for _ in 0..8 {
-                expect = if expect & 0x8000 != 0 { (expect << 1) ^ 0x1021 } else { expect << 1 };
+                expect = if expect & 0x8000 != 0 {
+                    (expect << 1) ^ 0x1021
+                } else {
+                    expect << 1
+                };
             }
         }
         assert_eq!(crc, expect);
@@ -767,7 +785,10 @@ second_fired:
         // 12 hardware ticks: vt0 fires 12x, vt1 fires 4x.
         run_until_toggles(&mut core, 12);
         let seconds = core.sram(0x0308);
-        assert!((3..=5).contains(&seconds), "vt1 fired {seconds} times over 12 ticks");
+        assert!(
+            (3..=5).contains(&seconds),
+            "vt1 fired {seconds} times over 12 ticks"
+        );
     }
 
     #[test]

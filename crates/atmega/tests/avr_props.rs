@@ -11,7 +11,8 @@ fn run_store_r16(body: &str) -> u8 {
     let src = format!("{body}\nsts 0x80, r16\nbreak");
     let p = assemble_avr(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let mut core = AvrCore::new(p.flash.clone());
-    core.run_until_break(10_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    core.run_until_break(10_000)
+        .unwrap_or_else(|e| panic!("{e}\n{src}"));
     core.sram(0x80)
 }
 

@@ -1,16 +1,43 @@
 //! Criterion microbenchmarks of the simulator hot paths (how fast the
-//! reproduction itself runs; not a paper figure).
+//! reproduction itself runs; not a paper figure), plus a regression
+//! harness: `cargo bench --bench sim_speed -- --json` re-measures the
+//! scenarios and writes `BENCH_sim_speed.json` at the repo root with
+//! the speedup over the recorded pre-fast-path baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Bencher, Criterion};
+use dess::{SimDuration, SimTime};
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
 use snap_core::{CoreConfig, Processor};
 use snap_isa::{AluImmOp, AluOp, Instruction, Reg};
+use snap_net::{NetworkSim, Position, Stimulus};
 
-fn bench_core(c: &mut Criterion) {
+/// Baseline timings measured on this tree immediately before the
+/// fast-path changes (predecoded IMEM, persistent worker pool, cached
+/// neighbourhoods), release profile, same machine; the minimum of six
+/// runs, so reported speedups are conservative. `--json` reports
+/// current timings as a speedup over these.
+const BASELINE_30K_US: f64 = 1_562.0;
+const BASELINE_NET_US: f64 = 163_100.0;
+
+fn core_loop_program() -> [Instruction; 5] {
     // A tight arithmetic loop: 3 instructions per iteration.
-    let prog = [
-        Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R1, imm: 10_000 },
-        Instruction::AluReg { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1 },
-        Instruction::AluImm { op: AluImmOp::Subi, rd: Reg::R1, imm: 1 },
+    [
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd: Reg::R1,
+            imm: 10_000,
+        },
+        Instruction::AluReg {
+            op: AluOp::Add,
+            rd: Reg::R2,
+            rs: Reg::R1,
+        },
+        Instruction::AluImm {
+            op: AluImmOp::Subi,
+            rd: Reg::R1,
+            imm: 1,
+        },
         Instruction::Branch {
             cond: snap_isa::BranchCond::Nez,
             ra: Reg::R1,
@@ -18,19 +45,111 @@ fn bench_core(c: &mut Criterion) {
             target: 2,
         },
         Instruction::Halt,
-    ];
+    ]
+}
+
+fn run_core_loop(prog: &[Instruction]) {
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_program(prog).unwrap();
+    cpu.run_to_halt(40_000).unwrap();
+    assert!(cpu.stats().instructions > 30_000);
+}
+
+/// A 25-node CSMA mesh on a 5x5 grid: every node runs the MAC with a
+/// send-on-IRQ app targeting its successor, IRQs staggered so traffic
+/// overlaps. 25 nodes is past `PARALLEL_THRESHOLD`, so this exercises
+/// the parallel node-window path as well as delivery range scans.
+fn run_net_mesh() {
+    let mut sim = NetworkSim::new(12.0);
+    for i in 0u8..25 {
+        let dst = if i == 24 { 1 } else { i + 2 };
+        let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let program = mac_program(i + 1, &extra, &app).expect("assembles");
+        let (row, col) = (f64::from(i / 5), f64::from(i % 5));
+        sim.add_node(&program, Position::new(col * 10.0, row * 10.0));
+    }
+    let ids: Vec<_> = sim.topology().nodes().collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        // ~833 µs word time: a 1.5 ms stagger lets early packets land
+        // cleanly while later ones overlap and collide — both delivery
+        // outcomes are exercised.
+        let at = SimTime::ZERO + SimDuration::from_us(1_000 + 1_500 * i as u64);
+        sim.schedule(id, at, Stimulus::SensorIrq);
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(60))
+        .expect("network runs");
+    assert!(sim.channel().deliveries() > 0, "mesh must carry traffic");
+}
+
+fn bench_core(c: &mut Criterion) {
+    let prog = core_loop_program();
     c.bench_function("simulate_30k_instructions", |b| {
-        b.iter(|| {
-            let mut cpu = Processor::new(CoreConfig::default());
-            cpu.load_program(&prog).unwrap();
-            cpu.run_to_halt(40_000).unwrap();
-            assert!(cpu.stats().instructions > 30_000);
-        })
+        b.iter(|| run_core_loop(&prog))
     });
     c.bench_function("assemble_mac_aodv", |b| {
         b.iter(|| snap_apps::aodv::relay_program(3, &[(9, 2)]).unwrap())
     });
 }
 
-criterion_group!(benches, bench_core);
-criterion_main!(benches);
+fn bench_net(c: &mut Criterion) {
+    c.bench_function("net_speed_25_node_mesh", |b| b.iter(run_net_mesh));
+}
+
+criterion_group!(benches, bench_core, bench_net);
+
+/// Measure both regression scenarios and write `BENCH_sim_speed.json`.
+fn run_json() {
+    let mut c = Criterion::default();
+    let prog = core_loop_program();
+    let core = c.measure_function(&mut |b: &mut Bencher| b.iter(|| run_core_loop(&prog)));
+    let net = c.measure_function(&mut |b: &mut Bencher| b.iter(run_net_mesh));
+
+    let core_us = core.mean.as_secs_f64() * 1e6;
+    let net_us = net.mean.as_secs_f64() * 1e6;
+    let entry = |name: &str, baseline_us: f64, current_us: f64, iters: u64| {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"baseline_us\": {:.1},\n",
+                "      \"current_us\": {:.1},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"iterations\": {}\n",
+                "    }}"
+            ),
+            name,
+            baseline_us,
+            current_us,
+            baseline_us / current_us,
+            iters
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"sim_speed\",\n  \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
+        entry(
+            "simulate_30k_instructions",
+            BASELINE_30K_US,
+            core_us,
+            core.iterations
+        ),
+        entry(
+            "net_speed_25_node_mesh",
+            BASELINE_NET_US,
+            net_us,
+            net.iterations
+        ),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_speed.json");
+    std::fs::write(path, &json).expect("write BENCH_sim_speed.json");
+    print!("{json}");
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        run_json();
+    } else {
+        benches();
+    }
+}

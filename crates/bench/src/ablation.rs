@@ -44,11 +44,18 @@ impl From<CoreStats> for Arm {
 /// Run the Temperature app (5 samples) on a given bus organization.
 pub fn run_temperature_with_bus(bus: BusModel) -> Arm {
     let program = snap_apps::apps::temperature_program().expect("assembles");
-    let core = CoreConfig { bus, ..CoreConfig::at(OperatingPoint::V1_8) };
-    let cfg = NodeConfig { core, ..NodeConfig::default() };
+    let core = CoreConfig {
+        bus,
+        ..CoreConfig::at(OperatingPoint::V1_8)
+    };
+    let cfg = NodeConfig {
+        core,
+        ..NodeConfig::default()
+    };
     let mut node = Node::new(cfg);
     node.load(&program).expect("fits");
-    node.sensors_mut().set_reading(snap_apps::apps::TEMP_SENSOR, 50);
+    node.sensors_mut()
+        .set_reading(snap_apps::apps::TEMP_SENSOR, 50);
     node.run_for(SimDuration::from_us(50)).expect("boot");
     let before = node.cpu().stats();
     node.run_for(SimDuration::from_us(2_350)).expect("samples");
@@ -57,7 +64,10 @@ pub fn run_temperature_with_bus(bus: BusModel) -> Arm {
 
 /// Bus-hierarchy ablation: hierarchical vs flat busses.
 pub fn ablate_bus() -> (Arm, Arm) {
-    (run_temperature_with_bus(BusModel::Hierarchical), run_temperature_with_bus(BusModel::Flat))
+    (
+        run_temperature_with_bus(BusModel::Hierarchical),
+        run_temperature_with_bus(BusModel::Flat),
+    )
 }
 
 /// A receive handler that gets one *bit* per event (the bit-by-bit
@@ -129,8 +139,10 @@ fn run_rx_program(app: &str, handler: &str, events: &[u16]) -> Arm {
 pub fn ablate_radio_interface() -> (Arm, Arm) {
     let message = [0x1234u16, 0x5678, 0x9abc, 0xdef0, 0x0f0f];
     let word_arm = run_rx_program(WORD_RX_APP, "word_rx", &message);
-    let bits: Vec<u16> =
-        message.iter().flat_map(|w| (0..16).rev().map(move |i| (w >> i) & 1)).collect();
+    let bits: Vec<u16> = message
+        .iter()
+        .flat_map(|w| (0..16).rev().map(move |i| (w >> i) & 1))
+        .collect();
     let bit_arm = run_rx_program(BIT_RX_APP, "bit_rx", &bits);
     (word_arm, bit_arm)
 }
@@ -208,8 +220,14 @@ pub fn ablate_compiler() -> (Arm, Arm) {
 pub fn print_bus_ablation() {
     report::title("Ablation - two-level bus hierarchy vs flat bus");
     let (hier, flat) = ablate_bus();
-    println!("  hierarchical: {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ", hier.instructions, hier.busy_ns, hier.energy_nj);
-    println!("  flat:         {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ", flat.instructions, flat.busy_ns, flat.energy_nj);
+    println!(
+        "  hierarchical: {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ",
+        hier.instructions, hier.busy_ns, hier.energy_nj
+    );
+    println!(
+        "  flat:         {:>6} ins  {:>9.1} ns busy  {:>7.2} nJ",
+        flat.instructions, flat.busy_ns, flat.energy_nj
+    );
     report::note(&format!(
         "hierarchy saves {:.0}% latency and {:.0}% energy on the temperature app",
         (1.0 - hier.busy_ns / flat.busy_ns) * 100.0,
@@ -221,8 +239,14 @@ pub fn print_bus_ablation() {
 pub fn print_radio_ablation() {
     report::title("Ablation - word-wide radio events vs bit-by-bit interrupts");
     let (word, bit) = ablate_radio_interface();
-    println!("  word events (5/message): {:>6} ins  {:>8.2} nJ", word.instructions, word.energy_nj);
-    println!("  bit events (80/message): {:>6} ins  {:>8.2} nJ", bit.instructions, bit.energy_nj);
+    println!(
+        "  word events (5/message): {:>6} ins  {:>8.2} nJ",
+        word.instructions, word.energy_nj
+    );
+    println!(
+        "  bit events (80/message): {:>6} ins  {:>8.2} nJ",
+        bit.instructions, bit.energy_nj
+    );
     report::note(&format!(
         "the word interface is x{:.1} cheaper in instructions (paper Section 3.3's motivation)",
         bit.instructions as f64 / word.instructions as f64
@@ -233,8 +257,14 @@ pub fn print_radio_ablation() {
 pub fn print_compiler_ablation() {
     report::title("Ablation - hand assembly vs snapcc (unoptimized, lcc-like)");
     let (hand, compiled) = ablate_compiler();
-    println!("  hand asm: {:>6} ins  {:>8.2} nJ", hand.instructions, hand.energy_nj);
-    println!("  snapcc:   {:>6} ins  {:>8.2} nJ", compiled.instructions, compiled.energy_nj);
+    println!(
+        "  hand asm: {:>6} ins  {:>8.2} nJ",
+        hand.instructions, hand.energy_nj
+    );
+    println!(
+        "  snapcc:   {:>6} ins  {:>8.2} nJ",
+        compiled.instructions, compiled.energy_nj
+    );
     report::note(&format!(
         "naive compilation costs x{:.1} instructions (paper Section 4.5: unnecessary load/stores)",
         compiled.instructions as f64 / hand.instructions as f64
@@ -264,7 +294,10 @@ mod tests {
     fn compiler_overhead_is_real_but_bounded() {
         let (hand, compiled) = ablate_compiler();
         let ratio = compiled.instructions as f64 / hand.instructions as f64;
-        assert!(ratio > 1.5, "snapcc should cost more than hand asm, x{ratio}");
+        assert!(
+            ratio > 1.5,
+            "snapcc should cost more than hand asm, x{ratio}"
+        );
         assert!(ratio < 12.0, "snapcc should not be absurd, x{ratio}");
     }
 }

@@ -148,8 +148,10 @@ pub fn measure_snap_rows() -> [SnapRow; 2] {
 /// at ten events per second, for one operating point.
 pub fn measure_summary(point: OperatingPoint) -> ((f64, f64), (f64, f64)) {
     let rows = measure_table1(point);
-    let min_nj =
-        rows.iter().map(|r| r.energy.as_nj()).fold(f64::INFINITY, f64::min);
+    let min_nj = rows
+        .iter()
+        .map(|r| r.energy.as_nj())
+        .fold(f64::INFINITY, f64::min);
     let max_nj = rows.iter().map(|r| r.energy.as_nj()).fold(0.0f64, f64::max);
     // Ten handlers per second: power = 10 x handler energy per second.
     let to_nw = |nj: f64| nj * 10.0; // nJ x 10/s = 10 nW per nJ
@@ -180,7 +182,8 @@ pub fn print_handler_profile() {
             node.deliver_rx(w);
             node.run_for(SimDuration::from_us(900)).expect("rx");
         }
-        node.run_for(SimDuration::from_ms(12)).expect("tx completes");
+        node.run_for(SimDuration::from_ms(12))
+            .expect("tx completes");
     }
     let profile = node.cpu().profile();
     println!(
@@ -190,7 +193,11 @@ pub fn print_handler_profile() {
     let boot = profile.boot();
     println!(
         "{:<16} {:>10} {:>12} {:>12.1} {:>12}",
-        "(boot)", 1, boot.instructions, boot.instructions as f64, boot.energy.to_string()
+        "(boot)",
+        1,
+        boot.instructions,
+        boot.instructions as f64,
+        boot.energy.to_string()
     );
     for (event, stats) in profile.dispatched() {
         println!(
@@ -260,15 +267,28 @@ pub fn print_table1() {
 pub fn print_throughput() {
     report::title("Section 4.3 - average throughput (benchmark mix)");
     for (point, (_, paper_mips)) in OperatingPoint::PAPER_POINTS.into_iter().zip(paper::MIPS) {
-        report::row(&format!("MIPS @ {}", point.label()), paper_mips, measure_mips(point), "MIPS");
+        report::row(
+            &format!("MIPS @ {}", point.label()),
+            paper_mips,
+            measure_mips(point),
+            "MIPS",
+        );
     }
 }
 
 /// Print §4.3 wake-up latency.
 pub fn print_wakeup() {
     report::title("Section 4.3 - idle-to-active wake-up latency");
-    for (point, (_, paper_ns)) in OperatingPoint::PAPER_POINTS.into_iter().zip(paper::WAKEUP_NS) {
-        report::row(&format!("wakeup @ {}", point.label()), paper_ns, measure_wakeup_ns(point), "ns");
+    for (point, (_, paper_ns)) in OperatingPoint::PAPER_POINTS
+        .into_iter()
+        .zip(paper::WAKEUP_NS)
+    {
+        report::row(
+            &format!("wakeup @ {}", point.label()),
+            paper_ns,
+            measure_wakeup_ns(point),
+            "ns",
+        );
     }
     report::note("Atmel baseline: 4,000,000 - 65,000,000 ns (4-65 ms)");
 }
@@ -279,20 +299,50 @@ pub fn print_breakdown() {
     let (fracs, memory_share) = measure_breakdown(OperatingPoint::V1_8);
     for ((component, measured), (label, paper_frac)) in fracs.iter().zip(paper::CORE_SPLIT) {
         debug_assert_eq!(component.label(), label);
-        report::row(&format!("core share: {component}"), paper_frac * 100.0, measured * 100.0, "%");
+        report::row(
+            &format!("core share: {component}"),
+            paper_frac * 100.0,
+            measured * 100.0,
+            "%",
+        );
     }
-    report::row("memory share of total", paper::MEMORY_SHARE * 100.0, memory_share * 100.0, "%");
+    report::row(
+        "memory share of total",
+        paper::MEMORY_SHARE * 100.0,
+        memory_share * 100.0,
+        "%",
+    );
 }
 
 /// Print Fig. 5.
 pub fn print_fig5() {
     report::title("Fig. 5 - periodic LED Blink: TinyOS/mote vs SNAP");
     let c = compare_blink();
-    report::row_u64("mote cycles/blink", paper::BLINK.avr_total, c.avr_cycles, "cycles");
-    report::row_u64("SNAP cycles/blink", paper::BLINK.snap_cycles, c.snap_cycles, "cycles");
+    report::row_u64(
+        "mote cycles/blink",
+        paper::BLINK.avr_total,
+        c.avr_cycles,
+        "cycles",
+    );
+    report::row_u64(
+        "SNAP cycles/blink",
+        paper::BLINK.snap_cycles,
+        c.snap_cycles,
+        "cycles",
+    );
     report::row("mote energy/blink", paper::BLINK.avr_nj, c.avr_nj, "nJ");
-    report::row("SNAP energy @1.8V", paper::BLINK.snap_nj_1v8, c.snap_nj_1v8, "nJ");
-    report::row("SNAP energy @0.6V", paper::BLINK.snap_nj_0v6, c.snap_nj_0v6, "nJ");
+    report::row(
+        "SNAP energy @1.8V",
+        paper::BLINK.snap_nj_1v8,
+        c.snap_nj_1v8,
+        "nJ",
+    );
+    report::row(
+        "SNAP energy @0.6V",
+        paper::BLINK.snap_nj_0v6,
+        c.snap_nj_0v6,
+        "nJ",
+    );
     report::note(&format!(
         "cycle reduction: paper x{:.1}, measured x{:.1}",
         paper::BLINK.avr_total as f64 / paper::BLINK.snap_cycles as f64,
@@ -304,9 +354,19 @@ pub fn print_fig5() {
 pub fn print_sense() {
     report::title("Section 4.6 - Sense: TinyOS/mote vs SNAP");
     let (c, overhead) = compare_sense();
-    report::row_u64("mote cycles/iteration", paper::SENSE.0, c.avr_cycles, "cycles");
+    report::row_u64(
+        "mote cycles/iteration",
+        paper::SENSE.0,
+        c.avr_cycles,
+        "cycles",
+    );
     report::row_u64("mote overhead cycles", paper::SENSE.1, overhead, "cycles");
-    report::row_u64("SNAP cycles/iteration", paper::SENSE.2, c.snap_cycles, "cycles");
+    report::row_u64(
+        "SNAP cycles/iteration",
+        paper::SENSE.2,
+        c.snap_cycles,
+        "cycles",
+    );
     report::note(&format!(
         "overhead fraction: paper {:.0}%, measured {:.0}%",
         paper::SENSE.1 as f64 / paper::SENSE.0 as f64 * 100.0,
@@ -318,8 +378,18 @@ pub fn print_sense() {
 pub fn print_radiostack() {
     report::title("Section 4.6 - MICA high-speed radio stack, per byte");
     let c = compare_radiostack();
-    report::row_u64("mote cycles/byte", paper::RADIOSTACK.0, c.avr_cycles, "cycles");
-    report::row_u64("SNAP cycles/byte", paper::RADIOSTACK.1, c.snap_cycles, "cycles");
+    report::row_u64(
+        "mote cycles/byte",
+        paper::RADIOSTACK.0,
+        c.avr_cycles,
+        "cycles",
+    );
+    report::row_u64(
+        "SNAP cycles/byte",
+        paper::RADIOSTACK.1,
+        c.snap_cycles,
+        "cycles",
+    );
     report::note(&format!(
         "reduction: paper {:.0}%, measured {:.0}%",
         (1.0 - paper::RADIOSTACK.1 as f64 / paper::RADIOSTACK.0 as f64) * 100.0,
@@ -368,14 +438,54 @@ pub fn print_summary() {
     report::title("Section 4.7 - results summary");
     let ((lo18, hi18), (plo18, phi18)) = measure_summary(OperatingPoint::V1_8);
     let ((lo06, hi06), (plo06, phi06)) = measure_summary(OperatingPoint::V0_6);
-    report::row("handler energy min @1.8V", paper::HANDLER_NJ_1V8.0, lo18, "nJ");
-    report::row("handler energy max @1.8V", paper::HANDLER_NJ_1V8.1, hi18, "nJ");
-    report::row("handler energy min @0.6V", paper::HANDLER_NJ_0V6.0, lo06, "nJ");
-    report::row("handler energy max @0.6V", paper::HANDLER_NJ_0V6.1, hi06, "nJ");
-    report::row("active power min @1.8V", paper::ACTIVE_NW_1V8.0, plo18, "nW");
-    report::row("active power max @1.8V", paper::ACTIVE_NW_1V8.1, phi18, "nW");
-    report::row("active power min @0.6V", paper::ACTIVE_NW_0V6.0, plo06, "nW");
-    report::row("active power max @0.6V", paper::ACTIVE_NW_0V6.1, phi06, "nW");
+    report::row(
+        "handler energy min @1.8V",
+        paper::HANDLER_NJ_1V8.0,
+        lo18,
+        "nJ",
+    );
+    report::row(
+        "handler energy max @1.8V",
+        paper::HANDLER_NJ_1V8.1,
+        hi18,
+        "nJ",
+    );
+    report::row(
+        "handler energy min @0.6V",
+        paper::HANDLER_NJ_0V6.0,
+        lo06,
+        "nJ",
+    );
+    report::row(
+        "handler energy max @0.6V",
+        paper::HANDLER_NJ_0V6.1,
+        hi06,
+        "nJ",
+    );
+    report::row(
+        "active power min @1.8V",
+        paper::ACTIVE_NW_1V8.0,
+        plo18,
+        "nW",
+    );
+    report::row(
+        "active power max @1.8V",
+        paper::ACTIVE_NW_1V8.1,
+        phi18,
+        "nW",
+    );
+    report::row(
+        "active power min @0.6V",
+        paper::ACTIVE_NW_0V6.0,
+        plo06,
+        "nW",
+    );
+    report::row(
+        "active power max @0.6V",
+        paper::ACTIVE_NW_0V6.1,
+        phi06,
+        "nW",
+    );
     report::note("active power assumes ten handlers per second (paper Section 4.7)");
 }
 
@@ -397,8 +507,9 @@ mod tests {
 
     #[test]
     fn wakeup_matches_gate_delay_model() {
-        for (point, (_, paper_ns)) in
-            OperatingPoint::PAPER_POINTS.into_iter().zip(paper::WAKEUP_NS)
+        for (point, (_, paper_ns)) in OperatingPoint::PAPER_POINTS
+            .into_iter()
+            .zip(paper::WAKEUP_NS)
         {
             let ns = measure_wakeup_ns(point);
             assert!((ns - paper_ns).abs() < 0.2, "{point}: {ns} vs {paper_ns}");
@@ -414,27 +525,50 @@ mod tests {
                 "{label}: {measured} vs {paper_frac}"
             );
         }
-        assert!((0.40..0.60).contains(&memory_share), "memory share {memory_share}");
+        assert!(
+            (0.40..0.60).contains(&memory_share),
+            "memory share {memory_share}"
+        );
     }
 
     #[test]
     fn comparisons_have_paper_shape() {
         let blink = compare_blink();
-        assert!(blink.cycle_ratio() > 8.0, "blink ratio {}", blink.cycle_ratio());
+        assert!(
+            blink.cycle_ratio() > 8.0,
+            "blink ratio {}",
+            blink.cycle_ratio()
+        );
         assert!(blink.avr_nj / blink.snap_nj_1v8 > 50.0);
         let (sense, overhead) = compare_sense();
-        assert!(sense.cycle_ratio() > 2.5, "sense ratio {}", sense.cycle_ratio());
+        assert!(
+            sense.cycle_ratio() > 2.5,
+            "sense ratio {}",
+            sense.cycle_ratio()
+        );
         assert!(overhead as f64 / sense.avr_cycles as f64 > 0.55);
         let rs = compare_radiostack();
-        assert!(rs.cycle_ratio() > 1.2, "radio stack ratio {}", rs.cycle_ratio());
+        assert!(
+            rs.cycle_ratio() > 1.2,
+            "radio stack ratio {}",
+            rs.cycle_ratio()
+        );
     }
 
     #[test]
     fn table2_snap_rows() {
         let [low, high] = measure_snap_rows();
         assert!(low.vdd < high.vdd);
-        assert!((15.0..35.0).contains(&low.energy_per_ins_pj), "{}", low.energy_per_ins_pj);
-        assert!((150.0..280.0).contains(&high.energy_per_ins_pj), "{}", high.energy_per_ins_pj);
+        assert!(
+            (15.0..35.0).contains(&low.energy_per_ins_pj),
+            "{}",
+            low.energy_per_ins_pj
+        );
+        assert!(
+            (150.0..280.0).contains(&high.energy_per_ins_pj),
+            "{}",
+            high.energy_per_ins_pj
+        );
         // The headline ratio: Atmel 1500 pJ/ins vs SNAP at 0.6 V ~ 68x.
         let ratio = 1500.0 / low.energy_per_ins_pj;
         assert!((45.0..90.0).contains(&ratio), "ratio {ratio}");

@@ -13,10 +13,10 @@
 use crate::report;
 use dess::{SimDuration, SimTime};
 use snap_apps::mac::{mac_boot_with_backoff, mac_program, send_on_irq_app, MAC, RX_DISPATCH_STUB};
-use snap_apps::prelude::PRELUDE;
-use snap_asm::assemble_modules;
 use snap_apps::measure::measure_aodv_forward;
 use snap_apps::prelude::install_handler;
+use snap_apps::prelude::PRELUDE;
+use snap_asm::assemble_modules;
 use snap_energy::OperatingPoint;
 use snap_net::{NetworkSim, Position, Stimulus};
 
@@ -107,7 +107,10 @@ pub fn contention(senders: usize) -> ContentionRow {
         // air-times, so the random draws can actually separate senders.
         let program = assemble_modules(&[
             ("prelude.s", PRELUDE),
-            ("boot.s", &mac_boot_with_backoff(i as u8 + 1, &extra, 0xffff)),
+            (
+                "boot.s",
+                &mac_boot_with_backoff(i as u8 + 1, &extra, 0xffff),
+            ),
             ("mac.s", MAC),
             ("app.s", &app),
         ])
@@ -123,7 +126,8 @@ pub fn contention(senders: usize) -> ContentionRow {
     for &id in &ids {
         sim.schedule(id, t0, Stimulus::SensorIrq);
     }
-    sim.run_until(SimTime::ZERO + SimDuration::from_ms(200)).expect("network runs");
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(200))
+        .expect("network runs");
     ContentionRow {
         senders,
         deliveries: sim.channel().deliveries(),
@@ -134,11 +138,18 @@ pub fn contention(senders: usize) -> ContentionRow {
 /// Print the contention experiment.
 pub fn print_contention() {
     report::title("Extension - CSMA random backoff under contention");
-    println!("{:>8} {:>12} {:>12} {:>10}", "senders", "deliveries", "collisions", "loss");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "senders", "deliveries", "collisions", "loss"
+    );
     for n in [1usize, 2, 3, 4, 6, 8] {
         let row = contention(n);
         let total = row.deliveries + row.collisions;
-        let loss = if total > 0 { row.collisions as f64 / total as f64 * 100.0 } else { 0.0 };
+        let loss = if total > 0 {
+            row.collisions as f64 / total as f64 * 100.0
+        } else {
+            0.0
+        };
         println!(
             "{:>8} {:>12} {:>12} {:>9.0}%",
             row.senders, row.deliveries, row.collisions, loss
@@ -257,9 +268,15 @@ rx_dispatch:
             Stimulus::SensorIrq,
         );
     }
-    sim.run_until(SimTime::ZERO + SimDuration::from_ms(2 + 10 * n + 20)).expect("runs");
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(2 + 10 * n + 20))
+        .expect("runs");
     let received = sim.node(listener).cpu().dmem().read(0x100) as u64;
-    LossRow { word_loss, sent: n, received, analytic: (1.0 - word_loss).powi(5) }
+    LossRow {
+        word_loss,
+        sent: n,
+        received,
+        analytic: (1.0 - word_loss).powi(5),
+    }
 }
 
 /// Print the loss sweep.
@@ -291,8 +308,16 @@ mod tests {
     #[test]
     fn fit_matches_published_points() {
         assert!((delay_factor_fit(1.8) - 1.0).abs() < 1e-9);
-        assert!((delay_factor_fit(0.9) - 3.93).abs() < 0.3, "{}", delay_factor_fit(0.9));
-        assert!((delay_factor_fit(0.6) - 8.57).abs() < 0.9, "{}", delay_factor_fit(0.6));
+        assert!(
+            (delay_factor_fit(0.9) - 3.93).abs() < 0.3,
+            "{}",
+            delay_factor_fit(0.9)
+        );
+        assert!(
+            (delay_factor_fit(0.6) - 8.57).abs() < 0.9,
+            "{}",
+            delay_factor_fit(0.6)
+        );
     }
 
     #[test]
@@ -300,7 +325,10 @@ mod tests {
         let rows = voltage_sweep();
         for pair in rows.windows(2) {
             assert!(pair[0].vdd > pair[1].vdd);
-            assert!(pair[0].pj_per_ins > pair[1].pj_per_ins, "energy falls with voltage");
+            assert!(
+                pair[0].pj_per_ins > pair[1].pj_per_ins,
+                "energy falls with voltage"
+            );
             assert!(pair[0].mips > pair[1].mips, "speed falls with voltage");
         }
         // Even at the lowest point, thousands of handlers/s remain —
@@ -340,6 +368,9 @@ mod tests {
     #[test]
     fn heavy_contention_collides() {
         let row = contention(6);
-        assert!(row.collisions > 0, "six simultaneous senders must collide: {row:?}");
+        assert!(
+            row.collisions > 0,
+            "six simultaneous senders must collide: {row:?}"
+        );
     }
 }

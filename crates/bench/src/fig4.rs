@@ -10,9 +10,7 @@
 use dess::SplitMix64;
 use snap_core::{CoreConfig, Processor};
 use snap_energy::OperatingPoint;
-use snap_isa::{
-    AluImmOp, AluOp, BranchCond, Instruction, InstructionClass, Reg, ShiftOp,
-};
+use snap_isa::{AluImmOp, AluOp, BranchCond, Instruction, InstructionClass, Reg, ShiftOp};
 
 /// Instructions per class (the paper's methodology).
 pub const INSTANCES: usize = 1000;
@@ -81,33 +79,71 @@ fn gen_instruction(class: InstructionClass, at: u16, rng: &mut SplitMix64) -> In
                 AluOp::Slt,
                 AluOp::Sltu,
             ];
-            Instruction::AluReg { op: OPS[rng.next_below(8) as usize], rd, rs }
+            Instruction::AluReg {
+                op: OPS[rng.next_below(8) as usize],
+                rd,
+                rs,
+            }
         }
         C::LogicalReg => {
             const OPS: [AluOp; 4] = [AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Not];
-            Instruction::AluReg { op: OPS[rng.next_below(4) as usize], rd, rs }
+            Instruction::AluReg {
+                op: OPS[rng.next_below(4) as usize],
+                rd,
+                rs,
+            }
         }
         C::Shift => {
-            const OPS: [ShiftOp; 5] =
-                [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Rol, ShiftOp::Ror];
+            const OPS: [ShiftOp; 5] = [
+                ShiftOp::Sll,
+                ShiftOp::Srl,
+                ShiftOp::Sra,
+                ShiftOp::Rol,
+                ShiftOp::Ror,
+            ];
             let op = OPS[rng.next_below(5) as usize];
             if rng.next_below(2) == 0 {
                 Instruction::ShiftReg { op, rd, rs }
             } else {
-                Instruction::ShiftImm { op, rd, amount: (imm & 0xf) as u8 }
+                Instruction::ShiftImm {
+                    op,
+                    rd,
+                    amount: (imm & 0xf) as u8,
+                }
             }
         }
         C::ArithImm => {
-            const OPS: [AluImmOp; 5] =
-                [AluImmOp::Addi, AluImmOp::Subi, AluImmOp::Li, AluImmOp::Slti, AluImmOp::Sltiu];
-            Instruction::AluImm { op: OPS[rng.next_below(5) as usize], rd, imm }
+            const OPS: [AluImmOp; 5] = [
+                AluImmOp::Addi,
+                AluImmOp::Subi,
+                AluImmOp::Li,
+                AluImmOp::Slti,
+                AluImmOp::Sltiu,
+            ];
+            Instruction::AluImm {
+                op: OPS[rng.next_below(5) as usize],
+                rd,
+                imm,
+            }
         }
         C::LogicalImm => {
             const OPS: [AluImmOp; 3] = [AluImmOp::Andi, AluImmOp::Ori, AluImmOp::Xori];
-            Instruction::AluImm { op: OPS[rng.next_below(3) as usize], rd, imm }
+            Instruction::AluImm {
+                op: OPS[rng.next_below(3) as usize],
+                rd,
+                imm,
+            }
         }
-        C::Load => Instruction::Load { rd, base: rs, offset: imm },
-        C::Store => Instruction::Store { rs: rd, base: rs, offset: imm },
+        C::Load => Instruction::Load {
+            rd,
+            base: rs,
+            offset: imm,
+        },
+        C::Store => Instruction::Store {
+            rs: rd,
+            base: rs,
+            offset: imm,
+        },
         // Branches compare random operands but always land on the next
         // instruction, so taken and not-taken paths both continue.
         C::Branch => {
@@ -130,7 +166,10 @@ fn gen_instruction(class: InstructionClass, at: u16, rng: &mut SplitMix64) -> In
             if rng.next_below(2) == 0 {
                 Instruction::Jmp { target: at + 2 }
             } else {
-                Instruction::Jal { rd: Reg::R11, target: at + 2 }
+                Instruction::Jal {
+                    rd: Reg::R11,
+                    target: at + 2,
+                }
             }
         }
         // r9 is pre-seeded with a valid timer number; schedhi stages a
@@ -140,7 +179,10 @@ fn gen_instruction(class: InstructionClass, at: u16, rng: &mut SplitMix64) -> In
             if rng.next_below(4) == 0 {
                 Instruction::Cancel { rt: Reg::R9 }
             } else {
-                Instruction::SchedHi { rt: Reg::R9, rv: rs }
+                Instruction::SchedHi {
+                    rt: Reg::R9,
+                    rv: rs,
+                }
             }
         }
         C::Bitfield => Instruction::Bfs { rd, rs, mask: imm },
@@ -179,10 +221,14 @@ pub fn measure_class(class: InstructionClass, point: OperatingPoint) -> ClassEne
         cpu.regs_mut().write(reg, rng.next_u16());
     }
     cpu.regs_mut().write(Reg::R9, rng.next_below(3) as u16); // timer number
-    cpu.run_to_halt(INSTANCES as u64 + 10).expect("fig4 program runs clean");
+    cpu.run_to_halt(INSTANCES as u64 + 10)
+        .expect("fig4 program runs clean");
 
     let stats = cpu.acct().class_stats(class);
-    assert_eq!(stats.count, INSTANCES as u64, "{class}: exact instance count");
+    assert_eq!(
+        stats.count, INSTANCES as u64,
+        "{class}: exact instance count"
+    );
     let busy = cpu.acct().busy_time();
     ClassEnergy {
         class,
@@ -195,7 +241,10 @@ pub fn measure_class(class: InstructionClass, point: OperatingPoint) -> ClassEne
 
 /// Measure all Fig. 4 classes at one operating point.
 pub fn measure_fig4(point: OperatingPoint) -> Vec<ClassEnergy> {
-    FIG4_CLASSES.into_iter().map(|c| measure_class(c, point)).collect()
+    FIG4_CLASSES
+        .into_iter()
+        .map(|c| measure_class(c, point))
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,12 +265,22 @@ mod tests {
         // < 300 pJ at 1.8 V for every class; < 75 pJ at 0.6 V with many
         // classes under 25 pJ.
         for row in measure_fig4(OperatingPoint::V1_8) {
-            assert!(row.energy_pj < crate::paper::FIG4_MAX_PJ_1V8, "{}: {}", row.class, row.energy_pj);
+            assert!(
+                row.energy_pj < crate::paper::FIG4_MAX_PJ_1V8,
+                "{}: {}",
+                row.class,
+                row.energy_pj
+            );
         }
         let at06 = measure_fig4(OperatingPoint::V0_6);
         let mut under25 = 0;
         for row in &at06 {
-            assert!(row.energy_pj < crate::paper::FIG4_MAX_PJ_0V6, "{}: {}", row.class, row.energy_pj);
+            assert!(
+                row.energy_pj < crate::paper::FIG4_MAX_PJ_0V6,
+                "{}: {}",
+                row.class,
+                row.energy_pj
+            );
             if row.energy_pj < 25.0 {
                 under25 += 1;
             }

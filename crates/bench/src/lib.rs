@@ -25,8 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
-pub mod ext;
 pub mod experiments;
+pub mod ext;
 pub mod fig4;
 pub mod paper;
 pub mod report;

@@ -13,7 +13,11 @@ pub fn heading(text: &str) {
 
 /// One `paper vs measured` row with a ratio column.
 pub fn row(label: &str, paper: f64, measured: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!(
         "{label:<28} paper {paper:>10.2} {unit:<7} measured {measured:>10.2} {unit:<7} (x{ratio:.2})"
     );

@@ -57,7 +57,10 @@ pub struct Calendar<E> {
 impl<E> Calendar<E> {
     /// An empty calendar.
     pub fn new() -> Calendar<E> {
-        Calendar { heap: BinaryHeap::new(), next_seq: 0 }
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` at absolute time `at`.

@@ -35,7 +35,9 @@ impl Lfsr16 {
     /// A zero seed would lock the register (the all-zero state is a fixed
     /// point), so the hardware maps it to 1; we do the same.
     pub fn new(seed: u16) -> Lfsr16 {
-        Lfsr16 { state: if seed == 0 { 1 } else { seed } }
+        Lfsr16 {
+            state: if seed == 0 { 1 } else { seed },
+        }
     }
 
     /// Re-seed the register (the `seed` instruction).

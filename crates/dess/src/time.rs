@@ -110,7 +110,10 @@ impl SimDuration {
     /// A span from fractional nanoseconds, rounded to the nearest
     /// picosecond. Used for voltage-scaled gate delays (e.g. 138.9 ps).
     pub fn from_ns_f64(ns: f64) -> SimDuration {
-        assert!(ns >= 0.0 && ns.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            ns >= 0.0 && ns.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((ns * PS_PER_NS as f64).round() as u64)
     }
 
@@ -171,7 +174,11 @@ impl Add for SimDuration {
     type Output = SimDuration;
 
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -185,7 +192,11 @@ impl Sub for SimDuration {
     type Output = SimDuration;
 
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative simulated duration"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative simulated duration"),
+        )
     }
 }
 
@@ -199,7 +210,11 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
 
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -207,7 +222,10 @@ impl Mul<f64> for SimDuration {
     type Output = SimDuration;
 
     fn mul(self, rhs: f64) -> SimDuration {
-        assert!(rhs >= 0.0 && rhs.is_finite(), "duration scale must be finite and non-negative");
+        assert!(
+            rhs >= 0.0 && rhs.is_finite(),
+            "duration scale must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * rhs).round() as u64)
     }
 }

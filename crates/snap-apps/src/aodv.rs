@@ -282,7 +282,12 @@ mod tests {
     fn rrep_packets_are_not_reforwarded() {
         let (mut node, _) = relay_node(3, &[(1, 1)]);
         // An RREP addressed elsewhere floats by; we must stay silent.
-        let rrep = Packet { dst: 1, src: 2, ptype: PacketType::RouteReply, payload: vec![9, 2] };
+        let rrep = Packet {
+            dst: 1,
+            src: 2,
+            ptype: PacketType::RouteReply,
+            payload: vec![9, 2],
+        };
         let mut out = deliver_packet(&mut node, &rrep);
         out.extend(node.run_for(SimDuration::from_ms(5)).unwrap());
         assert!(transmitted_words(&out).is_empty());

@@ -175,7 +175,10 @@ mod tests {
         let log = program.symbol("thr_log").unwrap();
         assert_eq!(node.cpu().dmem().read(log), 340);
         assert_eq!(node.cpu().dmem().read(log + 1), 900);
-        assert_eq!(node.cpu().dmem().read(program.symbol("thr_count").unwrap()), 2);
+        assert_eq!(
+            node.cpu().dmem().read(program.symbol("thr_count").unwrap()),
+            2
+        );
     }
 
     #[test]

@@ -55,9 +55,14 @@ pub fn blink_program() -> Result<Program, AsmError> {
     let mut extra = String::new();
     extra.push_str(&install_handler("EV_TIMER0", "blink_timer"));
     extra.push_str(&install_handler("EV_SOFT", "blink_task"));
-    extra.push_str("    li      r1, 0\n    schedhi r1, r0\n    li      r2, 1\n    schedlo r1, r2\n");
+    extra
+        .push_str("    li      r1, 0\n    schedhi r1, r0\n    li      r2, 1\n    schedlo r1, r2\n");
     let boot = format!("boot:\n{extra}    done\n");
-    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("blink.s", BLINK)])
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &boot),
+        ("blink.s", BLINK),
+    ])
 }
 
 #[cfg(test)]
@@ -97,7 +102,11 @@ mod tests {
         // Fig. 5: SNAP blink is 41 cycles (vs 523 on the mote). Our port
         // lands in the same few-tens band.
         assert!((20..=60).contains(&d.cycles), "cycles {}", d.cycles);
-        assert!((10..=40).contains(&d.instructions), "instructions {}", d.instructions);
+        assert!(
+            (10..=40).contains(&d.instructions),
+            "instructions {}",
+            d.instructions
+        );
         assert_eq!(d.handlers_dispatched, 2, "timer handler + posted task");
     }
 
@@ -109,15 +118,26 @@ mod tests {
         // the mote). Check the order of magnitude at both points.
         for (point, max_nj) in [(OperatingPoint::V1_8, 12.0), (OperatingPoint::V0_6, 1.5)] {
             let program = blink_program().unwrap();
-            let cfg = NodeConfig { core: CoreConfig::at(point), ..NodeConfig::default() };
+            let cfg = NodeConfig {
+                core: CoreConfig::at(point),
+                ..NodeConfig::default()
+            };
             let mut node = Node::new(cfg);
             node.load(&program).unwrap();
             node.run_for(SimDuration::from_ms(2)).unwrap();
             let before = node.cpu().stats();
             node.run_for(SimDuration::from_ms(1)).unwrap();
             let d = node.cpu().stats().since(&before);
-            assert!(d.energy.as_nj() < max_nj, "{point:?}: {} per blink", d.energy);
-            assert!(d.energy.as_nj() > 0.1 * max_nj, "{point:?}: {} per blink", d.energy);
+            assert!(
+                d.energy.as_nj() < max_nj,
+                "{point:?}: {} per blink",
+                d.energy
+            );
+            assert!(
+                d.energy.as_nj() > 0.1 * max_nj,
+                "{point:?}: {} per blink",
+                d.energy
+            );
         }
     }
 

@@ -116,7 +116,11 @@ pub fn bootloader_program() -> Result<Program, AsmError> {
     let mut extra = install_handler("EV_RX", "bl_rx");
     extra.push_str("    li      r15, CMD_RXON\n");
     let boot = format!("boot:\n{extra}    done\n");
-    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("bl.s", BOOTLOADER)])
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &boot),
+        ("bl.s", BOOTLOADER),
+    ])
 }
 
 /// Encode a code image into a boot stream for transmission.
@@ -128,7 +132,9 @@ pub fn encode_bootstream(base: Word, image: &[Word]) -> Vec<Word> {
     out.extend_from_slice(image);
     let sum = image
         .iter()
-        .fold(base.wrapping_add(image.len() as Word), |acc, &w| acc.wrapping_add(w));
+        .fold(base.wrapping_add(image.len() as Word), |acc, &w| {
+            acc.wrapping_add(w)
+        });
     out.push(sum);
     out
 }
@@ -194,7 +200,11 @@ mod tests {
         stream(&mut node, &encode_bootstream(base, &image));
         // The streamed blinker is now running: LED toggles every 100 us.
         node.run_for(SimDuration::from_ms(2)).unwrap();
-        assert!(node.led().writes() >= 15, "stage 2 must blink, got {}", node.led().writes());
+        assert!(
+            node.led().writes() >= 15,
+            "stage 2 must blink, got {}",
+            node.led().writes()
+        );
         let loads = program.symbol("bl_loads").unwrap();
         assert_eq!(node.cpu().dmem().read(loads), 1);
     }

@@ -196,7 +196,10 @@ pub fn aodv_discovery_program(
 ) -> Result<Program, AsmError> {
     assemble_modules(&[
         ("prelude.s", PRELUDE),
-        ("boot.s", &mac_boot_with_backoff(node_id, extra_boot, backoff_mask)),
+        (
+            "boot.s",
+            &mac_boot_with_backoff(node_id, extra_boot, backoff_mask),
+        ),
         ("mac.s", MAC),
         ("aodv.s", AODV),
         ("disc.s", DISCOVERY),

@@ -35,11 +35,11 @@
 
 pub mod aodv;
 pub mod apps;
+pub mod blink;
 pub mod bootloader;
 pub mod discovery;
-pub mod blink;
-pub mod measure;
 pub mod mac;
+pub mod measure;
 pub mod packet;
 pub mod prelude;
 pub mod radiostack;

@@ -177,7 +177,9 @@ pub fn mac_boot_with_backoff(node_id: u8, extra: &str, backoff_mask: u16) -> Str
     boot.push_str(&install_handler("EV_TXDONE", "mac_txdone"));
     boot.push_str(&install_handler("EV_TIMER2", "mac_backoff_timer"));
     boot.push_str(&install_handler("EV_TIMER1", "mac_rx_timeout"));
-    boot.push_str(&format!("    li      r1, {node_id}\n    sw      r1, node_id(r0)\n"));
+    boot.push_str(&format!(
+        "    li      r1, {node_id}\n    sw      r1, node_id(r0)\n"
+    ));
     // Decorrelate the backoff draws of different nodes (the paper's
     // `seed` instruction exists for exactly this).
     boot.push_str(&format!(

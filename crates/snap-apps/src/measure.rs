@@ -54,7 +54,10 @@ impl HandlerMeasurement {
 }
 
 fn node_at(point: OperatingPoint, program: &Program) -> Node {
-    let cfg = NodeConfig { core: CoreConfig::at(point), ..NodeConfig::default() };
+    let cfg = NodeConfig {
+        core: CoreConfig::at(point),
+        ..NodeConfig::default()
+    };
     let mut node = Node::new(cfg);
     node.load(program).expect("program fits the 4KB banks");
     node
@@ -81,7 +84,8 @@ fn finish(
 }
 
 fn settle(node: &mut Node) -> CoreStats {
-    node.run_for(SimDuration::from_ms(1)).expect("boot runs clean");
+    node.run_for(SimDuration::from_ms(1))
+        .expect("boot runs clean");
     node.cpu().stats()
 }
 
@@ -89,7 +93,8 @@ fn deliver_words(node: &mut Node, words: &[u16]) {
     for &w in words {
         assert!(node.deliver_rx(w), "radio word {w:#06x} lost");
         // One radio word time between arrivals (19.2 kbps).
-        node.run_for(SimDuration::from_us(834)).expect("rx handler runs clean");
+        node.run_for(SimDuration::from_us(834))
+            .expect("rx handler runs clean");
     }
 }
 
@@ -102,7 +107,8 @@ pub fn measure_packet_transmission(point: OperatingPoint) -> HandlerMeasurement 
     let mut node = node_at(point, &program);
     let before = settle(&mut node);
     node.trigger_sensor_irq();
-    node.run_for(SimDuration::from_ms(10)).expect("tx completes");
+    node.run_for(SimDuration::from_ms(10))
+        .expect("tx completes");
     finish("Packet Transmission", point, &program, &node, &before)
 }
 
@@ -112,7 +118,10 @@ pub fn measure_packet_reception(point: OperatingPoint) -> HandlerMeasurement {
     let program = mac_program(5, "", RX_DISPATCH_STUB).expect("assembles");
     let mut node = node_at(point, &program);
     let before = settle(&mut node);
-    deliver_words(&mut node, &Packet::data(5, 2, vec![0x1111, 0x2222]).encode());
+    deliver_words(
+        &mut node,
+        &Packet::data(5, 2, vec![0x1111, 0x2222]).encode(),
+    );
     finish("Packet Reception", point, &program, &node, &before)
 }
 
@@ -123,7 +132,8 @@ pub fn measure_aodv_route_reply(point: OperatingPoint) -> HandlerMeasurement {
     let mut node = node_at(point, &program);
     let before = settle(&mut node);
     deliver_words(&mut node, &Packet::route_request(3, 1, 9).encode());
-    node.run_for(SimDuration::from_ms(10)).expect("rrep transmits");
+    node.run_for(SimDuration::from_ms(10))
+        .expect("rrep transmits");
     finish("AODV Route Reply", point, &program, &node, &before)
 }
 
@@ -133,8 +143,12 @@ pub fn measure_aodv_forward(point: OperatingPoint) -> HandlerMeasurement {
     let program = relay_program(3, &[(9, 2)]).expect("assembles");
     let mut node = node_at(point, &program);
     let before = settle(&mut node);
-    deliver_words(&mut node, &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode());
-    node.run_for(SimDuration::from_ms(10)).expect("forward transmits");
+    deliver_words(
+        &mut node,
+        &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode(),
+    );
+    node.run_for(SimDuration::from_ms(10))
+        .expect("forward transmits");
     finish("AODV Forward", point, &program, &node, &before)
 }
 
@@ -144,10 +158,12 @@ pub fn measure_temperature(point: OperatingPoint) -> HandlerMeasurement {
     let mut node = node_at(point, &program);
     node.sensors_mut().set_reading(TEMP_SENSOR, 73);
     // Boot only (first sample is at 100 µs); snapshot at 50 µs.
-    node.run_for(SimDuration::from_us(50)).expect("boot runs clean");
+    node.run_for(SimDuration::from_us(50))
+        .expect("boot runs clean");
     let before = node.cpu().stats();
     // Five samples: 100 µs + 4 × 500 µs, plus margin.
-    node.run_for(SimDuration::from_us(2_350)).expect("samples run clean");
+    node.run_for(SimDuration::from_us(2_350))
+        .expect("samples run clean");
     finish("Temperature App", point, &program, &node, &before)
 }
 
@@ -175,7 +191,10 @@ pub fn measure_table1(point: OperatingPoint) -> Vec<HandlerMeasurement> {
 
 /// All Table 1 rows at all three paper operating points.
 pub fn measure_all_handlers() -> Vec<HandlerMeasurement> {
-    OperatingPoint::PAPER_POINTS.into_iter().flat_map(measure_table1).collect()
+    OperatingPoint::PAPER_POINTS
+        .into_iter()
+        .flat_map(measure_table1)
+        .collect()
 }
 
 /// Per-component energy attribution over a representative handler
@@ -183,9 +202,14 @@ pub fn measure_all_handlers() -> Vec<HandlerMeasurement> {
 pub fn measure_components(point: OperatingPoint) -> snap_energy::ComponentEnergy {
     let program = relay_program(3, &[(9, 2)]).expect("assembles");
     let mut node = node_at(point, &program);
-    node.run_for(SimDuration::from_ms(1)).expect("boot runs clean");
-    deliver_words(&mut node, &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode());
-    node.run_for(SimDuration::from_ms(10)).expect("forward completes");
+    node.run_for(SimDuration::from_ms(1))
+        .expect("boot runs clean");
+    deliver_words(
+        &mut node,
+        &Packet::data(9, 1, vec![0xcafe, 0xf00d]).encode(),
+    );
+    node.run_for(SimDuration::from_ms(10))
+        .expect("forward completes");
     *node.cpu().acct().components()
 }
 
@@ -194,9 +218,11 @@ pub fn measure_components(point: OperatingPoint) -> snap_energy::ComponentEnergy
 pub fn measure_blink(point: OperatingPoint) -> HandlerMeasurement {
     let program = blink_program().expect("assembles");
     let mut node = node_at(point, &program);
-    node.run_for(SimDuration::from_ms(2)).expect("boot runs clean");
+    node.run_for(SimDuration::from_ms(2))
+        .expect("boot runs clean");
     let before = node.cpu().stats();
-    node.run_for(SimDuration::from_ms(1)).expect("one blink period");
+    node.run_for(SimDuration::from_ms(1))
+        .expect("one blink period");
     finish("Blink", point, &program, &node, &before)
 }
 
@@ -208,7 +234,8 @@ pub fn measure_sense(point: OperatingPoint) -> HandlerMeasurement {
     node.sensors_mut().set_reading(ADC_SENSOR, 512);
     node.run_for(SimDuration::from_ms(20)).expect("warm-up");
     let before = node.cpu().stats();
-    node.run_for(SimDuration::from_ms(1)).expect("one sense period");
+    node.run_for(SimDuration::from_ms(1))
+        .expect("one sense period");
     finish("Sense", point, &program, &node, &before)
 }
 
@@ -221,7 +248,8 @@ pub fn measure_radiostack_byte(point: OperatingPoint) -> HandlerMeasurement {
     node.run_for(SimDuration::from_ms(2)).expect("warm-up byte");
     let before = node.cpu().stats();
     node.trigger_sensor_irq();
-    node.run_for(SimDuration::from_ms(2)).expect("measured byte");
+    node.run_for(SimDuration::from_ms(2))
+        .expect("measured byte");
     finish("Radio stack byte", point, &program, &node, &before)
 }
 
@@ -237,8 +265,14 @@ mod tests {
         // time + CSMA dispatch). Bands are regression guards around the
         // current calibration.
         let rows = measure_table1(OperatingPoint::V1_8);
-        let expected: [(u64, u64); 6] =
-            [(70, 140), (85, 125), (180, 260), (210, 290), (90, 170), (105, 185)];
+        let expected: [(u64, u64); 6] = [
+            (70, 140),
+            (85, 125),
+            (180, 260),
+            (210, 290),
+            (90, 170),
+            (105, 185),
+        ];
         for (row, (lo, hi)) in rows.iter().zip(expected) {
             assert!(
                 (lo..=hi).contains(&row.instructions),
@@ -258,7 +292,12 @@ mod tests {
         // checksum at transmit time and pay a CSMA backoff timer),
         // a documented deviation from the paper's 70-vs-103.
         let rows = measure_table1(OperatingPoint::V1_8);
-        let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap().instructions;
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.name.contains(n))
+                .unwrap()
+                .instructions
+        };
         assert!(by_name("Forward") > by_name("Route Reply"));
         assert!(by_name("Route Reply") > by_name("Transmission"));
         assert!(by_name("Route Reply") > by_name("Reception"));
@@ -321,11 +360,23 @@ mod tests {
     #[test]
     fn blink_sense_radiostack_measurements() {
         let blink = measure_blink(OperatingPoint::V1_8);
-        assert!((20..=60).contains(&blink.cycles), "blink {} cycles", blink.cycles);
+        assert!(
+            (20..=60).contains(&blink.cycles),
+            "blink {} cycles",
+            blink.cycles
+        );
         let sense = measure_sense(OperatingPoint::V1_8);
-        assert!((120..=350).contains(&sense.cycles), "sense {} cycles", sense.cycles);
+        assert!(
+            (120..=350).contains(&sense.cycles),
+            "sense {} cycles",
+            sense.cycles
+        );
         let rs = measure_radiostack_byte(OperatingPoint::V1_8);
-        assert!((200..=450).contains(&rs.cycles), "radio stack {} cycles", rs.cycles);
+        assert!(
+            (200..=450).contains(&rs.cycles),
+            "radio stack {} cycles",
+            rs.cycles
+        );
         // Relative order: blink < sense < radio stack (paper: 41 < 261 < 331).
         assert!(blink.cycles < sense.cycles && sense.cycles < rs.cycles);
     }

@@ -68,12 +68,22 @@ pub struct Packet {
 impl Packet {
     /// A data packet.
     pub fn data(dst: u8, src: u8, payload: Vec<Word>) -> Packet {
-        Packet { dst, src, ptype: PacketType::Data, payload }
+        Packet {
+            dst,
+            src,
+            ptype: PacketType::Data,
+            payload,
+        }
     }
 
     /// An AODV route request for `target`.
     pub fn route_request(dst: u8, src: u8, target: u8) -> Packet {
-        Packet { dst, src, ptype: PacketType::RouteRequest, payload: vec![target as Word] }
+        Packet {
+            dst,
+            src,
+            ptype: PacketType::RouteRequest,
+            payload: vec![target as Word],
+        }
     }
 
     /// Encode to wire words, appending the checksum.

@@ -42,9 +42,7 @@ pub const PRELUDE: &str = r"
 ///
 /// Boot-code building block used by the per-scenario boot modules.
 pub fn install_handler(event_equ: &str, handler_label: &str) -> String {
-    format!(
-        "    li      r1, {event_equ}\n    li      r2, {handler_label}\n    setaddr r1, r2\n"
-    )
+    format!("    li      r1, {event_equ}\n    li      r2, {handler_label}\n    setaddr r1, r2\n")
 }
 
 #[cfg(test)]
@@ -79,7 +77,11 @@ mod tests {
 
     #[test]
     fn install_handler_emits_setaddr() {
-        let src = format!("{}\nboot:\n{}    halt\nh: done", "", install_handler("EV_RX", "h"));
+        let src = format!(
+            "{}\nboot:\n{}    halt\nh: done",
+            "",
+            install_handler("EV_RX", "h")
+        );
         let p = assemble_modules(&[("p.s", PRELUDE), ("b.s", &src)]).unwrap();
         assert!(p.symbol("h").is_some());
     }

@@ -36,7 +36,11 @@ pub fn secded_encode(byte: u8) -> Word {
 pub fn crc16_step(crc: u16, byte: u8) -> u16 {
     let mut crc = crc ^ ((byte as u16) << 8);
     for _ in 0..8 {
-        crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ 0x1021
+        } else {
+            crc << 1
+        };
     }
     crc
 }
@@ -137,7 +141,11 @@ pub fn radiostack_program() -> Result<Program, AsmError> {
     extra.push_str(&install_handler("EV_IRQ", "rs_irq"));
     extra.push_str(&install_handler("EV_TXDONE", "rs_txdone"));
     let boot = format!("boot:\n{extra}    done\n");
-    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("rs.s", RADIOSTACK)])
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &boot),
+        ("rs.s", RADIOSTACK),
+    ])
 }
 
 #[cfg(test)]
@@ -164,7 +172,9 @@ mod tests {
     #[test]
     fn reference_crc_known_vector() {
         // CRC-16/CCITT-FALSE of "123456789" with init 0xFFFF is 0x29B1.
-        let crc = b"123456789".iter().fold(0xffffu16, |c, &b| crc16_step(c, b));
+        let crc = b"123456789"
+            .iter()
+            .fold(0xffffu16, |c, &b| crc16_step(c, b));
         assert_eq!(crc, 0x29b1);
     }
 
@@ -196,7 +206,9 @@ mod tests {
     #[test]
     fn asm_crc_matches_reference() {
         let (node, program, _) = run_bytes(3);
-        let expect = [0x12u8, 0x34, 0x56].iter().fold(0u16, |c, &b| crc16_step(c, b));
+        let expect = [0x12u8, 0x34, 0x56]
+            .iter()
+            .fold(0u16, |c, &b| crc16_step(c, b));
         let crc = node.cpu().dmem().read(program.symbol("rs_crc").unwrap());
         assert_eq!(crc, expect);
     }

@@ -83,9 +83,14 @@ pub fn sense_program() -> Result<Program, AsmError> {
     extra.push_str(&install_handler("EV_TIMER0", "sense_timer"));
     extra.push_str(&install_handler("EV_REPLY", "sense_adc"));
     extra.push_str(&install_handler("EV_SOFT", "sense_task"));
-    extra.push_str("    li      r1, 0\n    schedhi r1, r0\n    li      r2, 1\n    schedlo r1, r2\n");
+    extra
+        .push_str("    li      r1, 0\n    schedhi r1, r0\n    li      r2, 1\n    schedlo r1, r2\n");
     let boot = format!("boot:\n{extra}    done\n");
-    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("sense.s", SENSE)])
+    assemble_modules(&[
+        ("prelude.s", PRELUDE),
+        ("boot.s", &boot),
+        ("sense.s", SENSE),
+    ])
 }
 
 #[cfg(test)]
@@ -108,7 +113,10 @@ mod tests {
         // Constant reading 0x0400 (1024): mean 1024; >>7 & 7 = 0b000? 1024>>7=8 &7=0.
         // Use 0x03ff (1023): filled buffer mean 1023 -> 1023>>7 = 7.
         let (node, program) = run_sense(0x03ff, 25);
-        let iters = node.cpu().dmem().read(program.symbol("sense_iters").unwrap());
+        let iters = node
+            .cpu()
+            .dmem()
+            .read(program.symbol("sense_iters").unwrap());
         assert!(iters >= 16, "iterations {iters}");
         assert_eq!(node.led().value(), 7);
     }

@@ -42,7 +42,10 @@ impl Operand {
 /// A pass-2 work item.
 #[derive(Debug)]
 enum Payload {
-    Instr { mnemonic: String, operands: Vec<Operand> },
+    Instr {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
     Words(Vec<Expr>),
     Ascii(String),
     Space(usize),
@@ -184,7 +187,11 @@ impl Assembler {
                             ".space" => {
                                 let n = eval_now(tail, &symbols, module, line)?;
                                 if n < 0 {
-                                    return Err(AsmError::new(module, line, ".space size is negative"));
+                                    return Err(AsmError::new(
+                                        module,
+                                        line,
+                                        ".space size is negative",
+                                    ));
                                 }
                                 items.push(Item {
                                     module: module.clone(),
@@ -208,7 +215,11 @@ impl Assembler {
                                     *lc = bump(*lc, n, module, line)?;
                                 }
                                 _ => {
-                                    return Err(AsmError::new(module, line, ".ascii expects one string"))
+                                    return Err(AsmError::new(
+                                        module,
+                                        line,
+                                        ".ascii expects one string",
+                                    ))
                                 }
                             },
                             ".global" | ".globl" => {} // all symbols are global
@@ -222,17 +233,19 @@ impl Assembler {
                         }
                     }
                     [Token::Ident(mnemonic), tail @ ..] => {
-                        let size = mnemonic_size(mnemonic)
-                            .ok_or_else(|| {
-                                AsmError::new(module, line, format!("unknown mnemonic `{mnemonic}`"))
-                            })?;
+                        let size = mnemonic_size(mnemonic).ok_or_else(|| {
+                            AsmError::new(module, line, format!("unknown mnemonic `{mnemonic}`"))
+                        })?;
                         let operands = parse_operands(tail, module, line)?;
                         items.push(Item {
                             module: module.clone(),
                             line,
                             section,
                             addr: *lc,
-                            payload: Payload::Instr { mnemonic: mnemonic.clone(), operands },
+                            payload: Payload::Instr {
+                                mnemonic: mnemonic.clone(),
+                                operands,
+                            },
                         });
                         *lc = bump(*lc, size, module, line)?;
                     }
@@ -330,7 +343,13 @@ fn preprocess(module: &str, source: &str) -> Result<Vec<(usize, String)>, AsmErr
                 ));
             }
             let params: Vec<String> = parts.map(str::to_string).collect();
-            current = Some((name.to_string(), Macro { params, body: Vec::new() }));
+            current = Some((
+                name.to_string(),
+                Macro {
+                    params,
+                    body: Vec::new(),
+                },
+            ));
             continue;
         }
         if trimmed.starts_with(".endm") {
@@ -338,7 +357,11 @@ fn preprocess(module: &str, source: &str) -> Result<Vec<(usize, String)>, AsmErr
                 return Err(AsmError::new(module, line, ".endm without .macro"));
             };
             if macros.insert(name.clone(), mac).is_some() {
-                return Err(AsmError::new(module, line, format!("macro `{name}` defined twice")));
+                return Err(AsmError::new(
+                    module,
+                    line,
+                    format!("macro `{name}` defined twice"),
+                ));
             }
             continue;
         }
@@ -387,7 +410,11 @@ fn preprocess(module: &str, source: &str) -> Result<Vec<(usize, String)>, AsmErr
         out.push((line, raw.to_string()));
     }
     if current.is_some() {
-        return Err(AsmError::new(module, source.lines().count(), "unterminated .macro"));
+        return Err(AsmError::new(
+            module,
+            source.lines().count(),
+            "unterminated .macro",
+        ));
     }
     Ok(out)
 }
@@ -400,10 +427,18 @@ fn define(
     value: i64,
 ) -> Result<(), AsmError> {
     if reg_by_name(name).is_some() {
-        return Err(AsmError::new(module, line, format!("`{name}` is a register name")));
+        return Err(AsmError::new(
+            module,
+            line,
+            format!("`{name}` is a register name"),
+        ));
     }
     if symbols.insert(name.to_string(), value).is_some() {
-        return Err(AsmError::new(module, line, format!("duplicate symbol `{name}`")));
+        return Err(AsmError::new(
+            module,
+            line,
+            format!("duplicate symbol `{name}`"),
+        ));
     }
     Ok(())
 }
@@ -437,7 +472,11 @@ fn split_equ<'a>(
 ) -> Result<(&'a str, &'a [Token]), AsmError> {
     match tokens {
         [Token::Ident(name), Token::Comma, rest @ ..] if !rest.is_empty() => Ok((name, rest)),
-        _ => Err(AsmError::new(module, line, ".equ expects `name, expression`")),
+        _ => Err(AsmError::new(
+            module,
+            line,
+            ".equ expects `name, expression`",
+        )),
     }
 }
 
@@ -445,7 +484,11 @@ fn in_addr_range(v: i64, module: &str, line: usize) -> Result<Addr, AsmError> {
     if (0..=0xffff).contains(&v) {
         Ok(v as Addr)
     } else {
-        Err(AsmError::new(module, line, format!("address {v} out of range")))
+        Err(AsmError::new(
+            module,
+            line,
+            format!("address {v} out of range"),
+        ))
     }
 }
 
@@ -469,7 +512,10 @@ fn coalesce(mut writes: Vec<(Addr, Word)>, bank: &str) -> Result<Vec<Segment>, A
     for (addr, word) in writes {
         match segments.last_mut() {
             Some(seg) if seg.end() == addr as usize => seg.words.push(word),
-            _ => segments.push(Segment { base: addr, words: vec![word] }),
+            _ => segments.push(Segment {
+                base: addr,
+                words: vec![word],
+            }),
         }
     }
     Ok(segments)
@@ -528,8 +574,9 @@ fn parse_operand(tokens: &[Token], module: &str, line: usize) -> Result<Operand,
         None => Ok(Operand::Expr(expr)),
         Some(Token::LParen) => {
             let base = match c.next() {
-                Some(Token::Ident(name)) => reg_by_name(name)
-                    .ok_or_else(|| AsmError::new(module, line, format!("`{name}` is not a register"))),
+                Some(Token::Ident(name)) => reg_by_name(name).ok_or_else(|| {
+                    AsmError::new(module, line, format!("`{name}` is not a register"))
+                }),
                 _ => Err(AsmError::new(module, line, "expected base register")),
             }?;
             match (c.next(), c.at_end()) {
@@ -537,7 +584,11 @@ fn parse_operand(tokens: &[Token], module: &str, line: usize) -> Result<Operand,
                 _ => Err(AsmError::new(module, line, "malformed memory operand")),
             }
         }
-        Some(t) => Err(AsmError::new(module, line, format!("unexpected token {t:?} in operand"))),
+        Some(t) => Err(AsmError::new(
+            module,
+            line,
+            format!("unexpected token {t:?} in operand"),
+        )),
     }
 }
 
@@ -564,25 +615,43 @@ fn build_instruction(
 ) -> Result<Instruction, AsmError> {
     let fail = |msg: String| AsmError::new(module, line, msg);
     let signature = || -> String {
-        operands.iter().map(Operand::describe).collect::<Vec<_>>().join(", ")
+        operands
+            .iter()
+            .map(Operand::describe)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
-    let bad_operands =
-        || fail(format!("invalid operands for `{mnemonic}`: ({})", signature()));
+    let bad_operands = || {
+        fail(format!(
+            "invalid operands for `{mnemonic}`: ({})",
+            signature()
+        ))
+    };
 
     let word = |e: &Expr| e.eval_word(symbols, module, line);
 
     let alu_reg = |op: AluOp| match operands {
-        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::AluReg { op, rd: *rd, rs: *rs }),
+        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::AluReg {
+            op,
+            rd: *rd,
+            rs: *rs,
+        }),
         _ => Err(bad_operands()),
     };
     let alu_imm = |op: AluImmOp| match operands {
-        [Operand::Reg(rd), Operand::Expr(e)] => {
-            Ok(Instruction::AluImm { op, rd: *rd, imm: word(e)? })
-        }
+        [Operand::Reg(rd), Operand::Expr(e)] => Ok(Instruction::AluImm {
+            op,
+            rd: *rd,
+            imm: word(e)?,
+        }),
         _ => Err(bad_operands()),
     };
     let shift_reg = |op: ShiftOp| match operands {
-        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::ShiftReg { op, rd: *rd, rs: *rs }),
+        [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::ShiftReg {
+            op,
+            rd: *rd,
+            rs: *rs,
+        }),
         _ => Err(bad_operands()),
     };
     let shift_imm = |op: ShiftOp| match operands {
@@ -591,7 +660,11 @@ fn build_instruction(
             if amount > 15 {
                 return Err(fail(format!("shift amount {amount} exceeds 15")));
             }
-            Ok(Instruction::ShiftImm { op, rd: *rd, amount: amount as u8 })
+            Ok(Instruction::ShiftImm {
+                op,
+                rd: *rd,
+                amount: amount as u8,
+            })
         }
         _ => Err(bad_operands()),
     };
@@ -599,10 +672,26 @@ fn build_instruction(
         [Operand::Reg(r), Operand::Mem { offset, base }] => {
             let offset = word(offset)?;
             Ok(match (imem, store) {
-                (false, false) => Instruction::Load { rd: *r, base: *base, offset },
-                (false, true) => Instruction::Store { rs: *r, base: *base, offset },
-                (true, false) => Instruction::ImemLoad { rd: *r, base: *base, offset },
-                (true, true) => Instruction::ImemStore { rs: *r, base: *base, offset },
+                (false, false) => Instruction::Load {
+                    rd: *r,
+                    base: *base,
+                    offset,
+                },
+                (false, true) => Instruction::Store {
+                    rs: *r,
+                    base: *base,
+                    offset,
+                },
+                (true, false) => Instruction::ImemLoad {
+                    rd: *r,
+                    base: *base,
+                    offset,
+                },
+                (true, true) => Instruction::ImemStore {
+                    rs: *r,
+                    base: *base,
+                    offset,
+                },
             })
         }
         _ => Err(bad_operands()),
@@ -610,14 +699,22 @@ fn build_instruction(
     let branch = |cond: BranchCond, swap: bool| match operands {
         [Operand::Reg(ra), Operand::Reg(rb), Operand::Expr(t)] => {
             let (ra, rb) = if swap { (*rb, *ra) } else { (*ra, *rb) };
-            Ok(Instruction::Branch { cond, ra, rb, target: word(t)? })
+            Ok(Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target: word(t)?,
+            })
         }
         _ => Err(bad_operands()),
     };
     let branch_z = |cond: BranchCond| match operands {
-        [Operand::Reg(ra), Operand::Expr(t)] => {
-            Ok(Instruction::Branch { cond, ra: *ra, rb: Reg::R0, target: word(t)? })
-        }
+        [Operand::Reg(ra), Operand::Expr(t)] => Ok(Instruction::Branch {
+            cond,
+            ra: *ra,
+            rb: Reg::R0,
+            target: word(t)?,
+        }),
         _ => Err(bad_operands()),
     };
 
@@ -673,13 +770,17 @@ fn build_instruction(
             _ => Err(bad_operands()),
         },
         "jal" => match operands {
-            [Operand::Reg(rd), Operand::Expr(t)] => {
-                Ok(Instruction::Jal { rd: *rd, target: word(t)? })
-            }
+            [Operand::Reg(rd), Operand::Expr(t)] => Ok(Instruction::Jal {
+                rd: *rd,
+                target: word(t)?,
+            }),
             _ => Err(bad_operands()),
         },
         "call" => match operands {
-            [Operand::Expr(t)] => Ok(Instruction::Jal { rd: Reg::R14, target: word(t)? }),
+            [Operand::Expr(t)] => Ok(Instruction::Jal {
+                rd: Reg::R14,
+                target: word(t)?,
+            }),
             _ => Err(bad_operands()),
         },
         "jr" => match operands {
@@ -691,21 +792,15 @@ fn build_instruction(
             _ => Err(bad_operands()),
         },
         "jalr" => match operands {
-            [Operand::Reg(rd), Operand::Reg(rs)] => {
-                Ok(Instruction::Jalr { rd: *rd, rs: *rs })
-            }
+            [Operand::Reg(rd), Operand::Reg(rs)] => Ok(Instruction::Jalr { rd: *rd, rs: *rs }),
             _ => Err(bad_operands()),
         },
         "schedhi" => match operands {
-            [Operand::Reg(rt), Operand::Reg(rv)] => {
-                Ok(Instruction::SchedHi { rt: *rt, rv: *rv })
-            }
+            [Operand::Reg(rt), Operand::Reg(rv)] => Ok(Instruction::SchedHi { rt: *rt, rv: *rv }),
             _ => Err(bad_operands()),
         },
         "schedlo" => match operands {
-            [Operand::Reg(rt), Operand::Reg(rv)] => {
-                Ok(Instruction::SchedLo { rt: *rt, rv: *rv })
-            }
+            [Operand::Reg(rt), Operand::Reg(rv)] => Ok(Instruction::SchedLo { rt: *rt, rv: *rv }),
             _ => Err(bad_operands()),
         },
         "cancel" => match operands {
@@ -713,9 +808,11 @@ fn build_instruction(
             _ => Err(bad_operands()),
         },
         "bfs" => match operands {
-            [Operand::Reg(rd), Operand::Reg(rs), Operand::Expr(mask)] => {
-                Ok(Instruction::Bfs { rd: *rd, rs: *rs, mask: word(mask)? })
-            }
+            [Operand::Reg(rd), Operand::Reg(rs), Operand::Expr(mask)] => Ok(Instruction::Bfs {
+                rd: *rd,
+                rs: *rs,
+                mask: word(mask)?,
+            }),
             _ => Err(bad_operands()),
         },
         "rand" => match operands {
@@ -727,9 +824,10 @@ fn build_instruction(
             _ => Err(bad_operands()),
         },
         "setaddr" => match operands {
-            [Operand::Reg(rev), Operand::Reg(raddr)] => {
-                Ok(Instruction::SetAddr { rev: *rev, raddr: *raddr })
-            }
+            [Operand::Reg(rev), Operand::Reg(raddr)] => Ok(Instruction::SetAddr {
+                rev: *rev,
+                raddr: *raddr,
+            }),
             _ => Err(bad_operands()),
         },
         "swev" => match operands {
@@ -877,9 +975,23 @@ mod tests {
         .unwrap();
         let img = p.imem_image();
         let i0 = Instruction::decode(img[0], Some(img[1])).unwrap();
-        assert_eq!(i0, Instruction::Load { rd: Reg::R1, base: Reg::R13, offset: 2 });
+        assert_eq!(
+            i0,
+            Instruction::Load {
+                rd: Reg::R1,
+                base: Reg::R13,
+                offset: 2
+            }
+        );
         let i1 = Instruction::decode(img[2], Some(img[3])).unwrap();
-        assert_eq!(i1, Instruction::Store { rs: Reg::R1, base: Reg::R14, offset: 3 });
+        assert_eq!(
+            i1,
+            Instruction::Store {
+                rs: Reg::R1,
+                base: Reg::R14,
+                offset: 3
+            }
+        );
     }
 
     #[test]
@@ -895,9 +1007,15 @@ mod tests {
         let img = p.imem_image();
         assert_eq!(
             Instruction::decode(img[0], Some(img[1])).unwrap(),
-            Instruction::Jal { rd: Reg::R14, target: 3 }
+            Instruction::Jal {
+                rd: Reg::R14,
+                target: 3
+            }
         );
-        assert_eq!(Instruction::decode(img[3], None).unwrap(), Instruction::Jr { rs: Reg::R14 });
+        assert_eq!(
+            Instruction::decode(img[3], None).unwrap(),
+            Instruction::Jr { rs: Reg::R14 }
+        );
     }
 
     #[test]
@@ -906,11 +1024,21 @@ mod tests {
         let img = p.imem_image();
         assert_eq!(
             Instruction::decode(img[0], Some(img[1])).unwrap(),
-            Instruction::Branch { cond: BranchCond::Lt, ra: Reg::R2, rb: Reg::R1, target: 0 }
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                ra: Reg::R2,
+                rb: Reg::R1,
+                target: 0
+            }
         );
         assert_eq!(
             Instruction::decode(img[2], Some(img[3])).unwrap(),
-            Instruction::Branch { cond: BranchCond::Ge, ra: Reg::R4, rb: Reg::R3, target: 0 }
+            Instruction::Branch {
+                cond: BranchCond::Ge,
+                ra: Reg::R4,
+                rb: Reg::R3,
+                target: 0
+            }
         );
     }
 
@@ -941,7 +1069,14 @@ mod tests {
 
     #[test]
     fn wrong_operand_kinds_are_errors() {
-        for bad in ["add r1, 5", "li 5, r1", "lw r1, r2", "jmp r1", "done r1", "slli r1, 16"] {
+        for bad in [
+            "add r1, 5",
+            "li 5, r1",
+            "lw r1, r2",
+            "jmp r1",
+            "done r1",
+            "slli r1, 16",
+        ] {
             assert!(assemble(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -965,7 +1100,6 @@ mod tests {
         assert_eq!(p.symbol("a"), Some(0));
         assert_eq!(p.symbol("b"), Some(0));
     }
-
 
     #[test]
     fn macros_expand_with_parameters() {
@@ -1005,20 +1139,35 @@ mod tests {
         .unwrap();
         // Two expansions each define their own loop label: no duplicate
         // symbol error, and both exist.
-        let labels: Vec<&String> =
-            p.symbols().keys().filter(|k| k.starts_with("loop__m")).collect();
+        let labels: Vec<&String> = p
+            .symbols()
+            .keys()
+            .filter(|k| k.starts_with("loop__m"))
+            .collect();
         assert_eq!(labels.len(), 2);
     }
 
     #[test]
     fn macro_errors() {
-        assert!(assemble(".macro add x\n.endm").unwrap_err().to_string().contains("shadows"));
-        assert!(assemble(".endm").unwrap_err().to_string().contains(".endm without"));
-        assert!(assemble(".macro m x\nli r1, \\x").unwrap_err().to_string().contains("unterminated"));
+        assert!(assemble(".macro add x\n.endm")
+            .unwrap_err()
+            .to_string()
+            .contains("shadows"));
+        assert!(assemble(".endm")
+            .unwrap_err()
+            .to_string()
+            .contains(".endm without"));
+        assert!(assemble(".macro m x\nli r1, \\x")
+            .unwrap_err()
+            .to_string()
+            .contains("unterminated"));
         let err = assemble(".macro m a, b\nli \\a, \\b\n.endm\nm r1").unwrap_err();
         assert!(err.to_string().contains("takes 2 arguments"), "{err}");
         let err = assemble(".macro m\nli r1, \\oops\n.endm\nm").unwrap_err();
-        assert!(err.to_string().contains("unresolved macro parameter"), "{err}");
+        assert!(
+            err.to_string().contains("unresolved macro parameter"),
+            "{err}"
+        );
     }
 
     #[test]

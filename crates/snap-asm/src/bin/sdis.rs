@@ -57,8 +57,10 @@ fn main() -> ExitCode {
         eprintln!("sdis: {path}: odd byte count (not a word image)");
         return ExitCode::FAILURE;
     }
-    let words: Vec<u16> =
-        bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+    let words: Vec<u16> = bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
     for line in disassemble(base, &words) {
         println!("{line}");
     }

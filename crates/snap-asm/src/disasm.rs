@@ -21,7 +21,11 @@ impl fmt::Display for DisasmLine {
         let raw = raw.join(" ");
         match &self.instruction {
             Some(ins) => write!(f, "{:#05x}:  {raw:<10} {ins}", self.addr),
-            None => write!(f, "{:#05x}:  {raw:<10} .word {:#06x}", self.addr, self.words[0]),
+            None => write!(
+                f,
+                "{:#05x}:  {raw:<10} .word {:#06x}",
+                self.addr, self.words[0]
+            ),
         }
     }
 }
@@ -59,7 +63,11 @@ pub fn disassemble(base: Addr, image: &[Word]) -> Vec<DisasmLine> {
                 i += n;
             }
             Err(_) => {
-                lines.push(DisasmLine { addr, words: vec![first], instruction: None });
+                lines.push(DisasmLine {
+                    addr,
+                    words: vec![first],
+                    instruction: None,
+                });
                 i += 1;
             }
         }
@@ -85,8 +93,10 @@ mod tests {
         )
         .unwrap();
         let lines = disassemble(0, &p.imem_image());
-        let texts: Vec<String> =
-            lines.iter().map(|l| l.instruction.as_ref().unwrap().to_string()).collect();
+        let texts: Vec<String> = lines
+            .iter()
+            .map(|l| l.instruction.as_ref().unwrap().to_string())
+            .collect();
         assert_eq!(
             texts,
             vec![

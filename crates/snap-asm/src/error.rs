@@ -16,7 +16,11 @@ pub struct AsmError {
 impl AsmError {
     /// An error at a specific line.
     pub fn new(module: impl Into<String>, line: usize, message: impl Into<String>) -> AsmError {
-        AsmError { module: module.into(), line, message: message.into() }
+        AsmError {
+            module: module.into(),
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -82,7 +82,12 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// A cursor over `tokens` with diagnostics location.
     pub fn new(tokens: &'a [Token], module: &'a str, line: usize) -> Cursor<'a> {
-        Cursor { tokens, pos: 0, module, line }
+        Cursor {
+            tokens,
+            pos: 0,
+            module,
+            line,
+        }
     }
 
     /// The next token without consuming it.

@@ -248,11 +248,10 @@ mod tests {
 
     #[test]
     fn number_radixes() {
-        assert_eq!(lex("0x1F 0b101 42"), vec![
-            Token::Number(31),
-            Token::Number(5),
-            Token::Number(42),
-        ]);
+        assert_eq!(
+            lex("0x1F 0b101 42"),
+            vec![Token::Number(31), Token::Number(5), Token::Number(42),]
+        );
     }
 
     #[test]
@@ -263,10 +262,10 @@ mod tests {
 
     #[test]
     fn string_literal_with_escapes() {
-        assert_eq!(lex(r#".ascii "hi\n""#), vec![
-            Token::Ident(".ascii".into()),
-            Token::Str("hi\n".into()),
-        ]);
+        assert_eq!(
+            lex(r#".ascii "hi\n""#),
+            vec![Token::Ident(".ascii".into()), Token::Str("hi\n".into()),]
+        );
     }
 
     #[test]

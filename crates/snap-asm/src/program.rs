@@ -37,7 +37,11 @@ impl Program {
     ) -> Result<Program, AsmError> {
         check_overlap(&imem, "imem")?;
         check_overlap(&dmem, "dmem")?;
-        Ok(Program { imem, dmem, symbols })
+        Ok(Program {
+            imem,
+            dmem,
+            symbols,
+        })
     }
 
     /// IMEM segments, sorted by base address.
@@ -114,7 +118,10 @@ fn check_overlap(segments: &[Segment], bank: &str) -> Result<(), AsmError> {
             return Err(AsmError::new(
                 "<link>",
                 0,
-                format!("{bank} image ends at {:#x}, beyond the 4KB bank", last.end()),
+                format!(
+                    "{bank} image ends at {:#x}, beyond the 4KB bank",
+                    last.end()
+                ),
             ));
         }
     }
@@ -126,17 +133,15 @@ mod tests {
     use super::*;
 
     fn seg(base: Addr, words: &[Word]) -> Segment {
-        Segment { base, words: words.to_vec() }
+        Segment {
+            base,
+            words: words.to_vec(),
+        }
     }
 
     #[test]
     fn flatten_zero_fills_gaps() {
-        let p = Program::new(
-            vec![seg(0, &[1, 2]), seg(5, &[9])],
-            vec![],
-            BTreeMap::new(),
-        )
-        .unwrap();
+        let p = Program::new(vec![seg(0, &[1, 2]), seg(5, &[9])], vec![], BTreeMap::new()).unwrap();
         assert_eq!(p.imem_image(), vec![1, 2, 0, 0, 0, 9]);
         assert_eq!(p.imem_words_used(), 3);
         assert_eq!(p.code_bytes(), 6);

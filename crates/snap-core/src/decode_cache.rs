@@ -1,0 +1,146 @@
+//! Per-address predecode cache over IMEM.
+//!
+//! The simulator's hottest loop is fetch → decode → cost lookup →
+//! execute. Decoding and the energy/timing model evaluations are pure
+//! functions of the IMEM words and the core's fixed operating point,
+//! so both are done once per address and replayed on every dynamic
+//! execution. SNAP/LE programs self-modify (the paper's bootloader
+//! writes handlers into IMEM with `isw`), so the cache tracks IMEM
+//! writes: a store to `addr` invalidates the slot at `addr` and the
+//! slot at `addr - 1`, where a two-word instruction would have read
+//! `addr` as its immediate word. Bulk image loads drop everything.
+//!
+//! Correctness contract: cached entries hold the *same* decoded
+//! instruction and the *same* `f64` energy/latency values the uncached
+//! path would recompute, so traces and energy totals are bit-identical
+//! with the cache on or off (a property test in `tests/properties.rs`
+//! drives random self-modifying programs against both).
+
+use crate::energy_acct::InstrCosts;
+use snap_isa::{Addr, Instruction, MEM_WORDS};
+
+const ADDR_MASK: usize = MEM_WORDS - 1;
+
+/// One predecoded IMEM slot: the instruction starting at that address
+/// plus the accounting costs its execution charges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predecoded {
+    /// The decoded instruction.
+    pub ins: Instruction,
+    /// Precomputed energy/latency/attribution per execution.
+    pub costs: InstrCosts,
+}
+
+/// The cache: one optional [`Predecoded`] slot per IMEM word address.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    slots: Box<[Option<Predecoded>]>,
+}
+
+impl Default for DecodeCache {
+    fn default() -> DecodeCache {
+        DecodeCache::new()
+    }
+}
+
+impl DecodeCache {
+    /// An empty cache covering all of IMEM.
+    pub fn new() -> DecodeCache {
+        DecodeCache {
+            slots: vec![None; MEM_WORDS].into_boxed_slice(),
+        }
+    }
+
+    /// The cached entry whose first word is at `at`, if still valid.
+    /// Addresses wrap modulo IMEM size, mirroring the banks.
+    #[inline]
+    pub fn get(&self, at: Addr) -> Option<&Predecoded> {
+        self.slots[at as usize & ADDR_MASK].as_ref()
+    }
+
+    /// Cache the instruction whose first word is at `at`.
+    #[inline]
+    pub fn insert(&mut self, at: Addr, entry: Predecoded) {
+        self.slots[at as usize & ADDR_MASK] = Some(entry);
+    }
+
+    /// Invalidate after an IMEM word write at `addr`: the instruction
+    /// starting there and the two-word instruction starting one word
+    /// earlier (whose immediate lives at `addr`).
+    #[inline]
+    pub fn invalidate_write(&mut self, addr: Addr) {
+        self.slots[addr as usize & ADDR_MASK] = None;
+        self.slots[(addr as usize).wrapping_sub(1) & ADDR_MASK] = None;
+    }
+
+    /// Drop every entry (bulk IMEM load).
+    pub fn invalidate_all(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy_acct::EnergyAccountant;
+    use snap_energy::OperatingPoint;
+    use snap_isa::{AluImmOp, Reg};
+
+    fn entry() -> Predecoded {
+        let ins = Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd: Reg::R1,
+            imm: 1,
+        };
+        let acct = EnergyAccountant::new(OperatingPoint::V1_8);
+        Predecoded {
+            ins,
+            costs: acct.cost_of(&ins),
+        }
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut c = DecodeCache::new();
+        assert!(c.get(7).is_none());
+        c.insert(7, entry());
+        assert_eq!(c.get(7), Some(&entry()));
+        // Addresses wrap like the memory banks.
+        assert_eq!(c.get(7 + MEM_WORDS as Addr), Some(&entry()));
+    }
+
+    #[test]
+    fn write_invalidates_both_candidate_starts() {
+        let mut c = DecodeCache::new();
+        c.insert(9, entry());
+        c.insert(10, entry());
+        c.insert(11, entry());
+        c.invalidate_write(10);
+        assert!(
+            c.get(9).is_none(),
+            "two-word instruction at 9 reads word 10"
+        );
+        assert!(c.get(10).is_none());
+        assert!(c.get(11).is_some());
+    }
+
+    #[test]
+    fn write_at_zero_wraps_to_last_slot() {
+        let mut c = DecodeCache::new();
+        let last = (MEM_WORDS - 1) as Addr;
+        c.insert(last, entry());
+        c.invalidate_write(0);
+        assert!(
+            c.get(last).is_none(),
+            "two-word instruction at 2047 wraps to word 0"
+        );
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = DecodeCache::new();
+        c.insert(3, entry());
+        c.invalidate_all();
+        assert!(c.get(3).is_none());
+    }
+}

@@ -12,7 +12,6 @@ use dess::SimDuration;
 use snap_energy::model::{BusModel, InstrShape, SnapEnergyModel, SnapTimingModel};
 use snap_energy::{ComponentEnergy, Energy, OperatingPoint};
 use snap_isa::{Instruction, InstructionClass};
-use std::collections::BTreeMap;
 
 /// Derive the energy-model shape of an instruction.
 pub fn shape_of(ins: &Instruction) -> InstrShape {
@@ -22,6 +21,25 @@ pub fn shape_of(ins: &Instruction) -> InstrShape {
         dmem: ins.accesses_dmem(),
         imem_data: ins.accesses_imem_data(),
     }
+}
+
+/// Everything [`EnergyAccountant::record`] derives from the instruction
+/// alone: a pure function of the instruction and the accountant's fixed
+/// models, so callers may compute it once (e.g. per IMEM address) and
+/// replay it per dynamic execution. Replaying accumulates the exact
+/// `f64` values the uncached path would, keeping totals bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrCosts {
+    /// Instruction class (the per-class histogram key).
+    pub class: InstructionClass,
+    /// Energy charged per execution.
+    pub energy: Energy,
+    /// Latency charged per execution.
+    pub latency: SimDuration,
+    /// Per-component attribution per execution.
+    pub components: ComponentEnergy,
+    /// Occupancy cycles per execution (IMEM words + memory accesses).
+    pub cycles: u64,
 }
 
 /// Count and energy for one instruction class.
@@ -39,7 +57,7 @@ pub struct EnergyAccountant {
     energy_model: SnapEnergyModel,
     timing_model: SnapTimingModel,
     components: ComponentEnergy,
-    per_class: BTreeMap<InstructionClass, ClassStats>,
+    per_class: [ClassStats; InstructionClass::ALL.len()],
     total_energy: Energy,
     busy_time: SimDuration,
     instructions: u64,
@@ -58,7 +76,7 @@ impl EnergyAccountant {
             energy_model: SnapEnergyModel::new(point).with_bus(bus),
             timing_model: SnapTimingModel::new(point).with_bus(bus),
             components: ComponentEnergy::new(),
-            per_class: BTreeMap::new(),
+            per_class: [ClassStats::default(); InstructionClass::ALL.len()],
             total_energy: Energy::ZERO,
             busy_time: SimDuration::ZERO,
             instructions: 0,
@@ -79,20 +97,32 @@ impl EnergyAccountant {
     /// Record one executed instruction; returns its latency so the core
     /// can advance simulated time.
     pub fn record(&mut self, ins: &Instruction) -> SimDuration {
+        self.record_costs(&self.cost_of(ins))
+    }
+
+    /// The costs [`EnergyAccountant::record`] would charge for `ins`.
+    pub fn cost_of(&self, ins: &Instruction) -> InstrCosts {
         let shape = shape_of(ins);
-        let energy = self.energy_model.instruction_energy(shape);
-        let latency = self.timing_model.instruction_latency(shape);
-        self.components.merge(&self.energy_model.instruction_energy_by_component(shape));
-        let entry = self.per_class.entry(shape.class).or_default();
+        InstrCosts {
+            class: shape.class,
+            energy: self.energy_model.instruction_energy(shape),
+            latency: self.timing_model.instruction_latency(shape),
+            components: self.energy_model.instruction_energy_by_component(shape),
+            cycles: shape.words as u64 + shape.dmem as u64 + shape.imem_data as u64,
+        }
+    }
+
+    /// Record one executed instruction from precomputed costs.
+    pub fn record_costs(&mut self, costs: &InstrCosts) -> SimDuration {
+        self.components.merge(&costs.components);
+        let entry = &mut self.per_class[costs.class as usize];
         entry.count += 1;
-        entry.energy += energy;
-        self.total_energy += energy;
-        self.busy_time += latency;
+        entry.energy += costs.energy;
+        self.total_energy += costs.energy;
+        self.busy_time += costs.latency;
         self.instructions += 1;
-        self.cycles += shape.words as u64
-            + shape.dmem as u64
-            + shape.imem_data as u64;
-        latency
+        self.cycles += costs.cycles;
+        costs.latency
     }
 
     /// Total energy of all recorded instructions.
@@ -136,14 +166,17 @@ impl EnergyAccountant {
         self.instructions as f64 / self.busy_time.as_us()
     }
 
-    /// Per-class statistics, ordered by class.
+    /// Per-class statistics for recorded classes, ordered by class.
     pub fn per_class(&self) -> impl Iterator<Item = (InstructionClass, ClassStats)> + '_ {
-        self.per_class.iter().map(|(&c, &s)| (c, s))
+        InstructionClass::ALL
+            .into_iter()
+            .map(|c| (c, self.per_class[c as usize]))
+            .filter(|(_, s)| s.count > 0)
     }
 
     /// Statistics for one class.
     pub fn class_stats(&self, class: InstructionClass) -> ClassStats {
-        self.per_class.get(&class).copied().unwrap_or_default()
+        self.per_class[class as usize]
     }
 
     /// The per-component energy attribution.
@@ -154,7 +187,7 @@ impl EnergyAccountant {
     /// Reset all counters (the models are kept).
     pub fn reset(&mut self) {
         self.components = ComponentEnergy::new();
-        self.per_class.clear();
+        self.per_class = [ClassStats::default(); InstructionClass::ALL.len()];
         self.total_energy = Energy::ZERO;
         self.busy_time = SimDuration::ZERO;
         self.instructions = 0;
@@ -168,15 +201,27 @@ mod tests {
     use snap_isa::{AluImmOp, AluOp, Reg};
 
     fn add() -> Instruction {
-        Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 }
+        Instruction::AluReg {
+            op: AluOp::Add,
+            rd: Reg::R1,
+            rs: Reg::R2,
+        }
     }
 
     fn li() -> Instruction {
-        Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R1, imm: 5 }
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd: Reg::R1,
+            imm: 5,
+        }
     }
 
     fn load() -> Instruction {
-        Instruction::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }
+        Instruction::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+        }
     }
 
     #[test]
@@ -233,7 +278,11 @@ mod tests {
         let s = shape_of(&load());
         assert!(s.dmem && !s.imem_data);
         assert_eq!(s.words, 2);
-        let s = shape_of(&Instruction::ImemStore { rs: Reg::R1, base: Reg::R2, offset: 0 });
+        let s = shape_of(&Instruction::ImemStore {
+            rs: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+        });
         assert!(s.imem_data && !s.dmem);
     }
 }

@@ -40,7 +40,12 @@ impl EventQueue {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> EventQueue {
         assert!(capacity > 0, "event queue capacity must be positive");
-        EventQueue { fifo: VecDeque::with_capacity(capacity), capacity, dropped: 0, inserted: 0 }
+        EventQueue {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            inserted: 0,
+        }
     }
 
     /// Insert a token at the tail. Returns `false` (and counts a drop)

@@ -12,6 +12,9 @@
 //!   to `r15` that interface the core to the radio and sensors.
 //! * [`memory`], [`regfile`] — the 4 KB IMEM/DMEM banks and the
 //!   fifteen-entry register file with its carry flag.
+//! * [`decode_cache`] — the simulator's predecoded-IMEM fast path:
+//!   decode and model costs computed once per address, invalidated on
+//!   self-modifying `isw` stores.
 //! * [`energy_acct`] — per-instruction energy/latency accounting against
 //!   the calibrated `snap-energy` model, attributed per component and
 //!   per instruction class (reproducing Fig. 4 and §4.4).
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod decode_cache;
 pub mod energy_acct;
 pub mod event_queue;
 pub mod memory;
@@ -50,6 +54,7 @@ pub mod profile;
 pub mod regfile;
 pub mod timer_cop;
 
+pub use decode_cache::DecodeCache;
 pub use energy_acct::EnergyAccountant;
 pub use event_queue::EventQueue;
 pub use memory::MemBank;

@@ -20,7 +20,10 @@ pub struct MemBank {
 impl MemBank {
     /// A zeroed bank with a name used in diagnostics (`"imem"`/`"dmem"`).
     pub fn new(name: &'static str) -> MemBank {
-        MemBank { words: Box::new([0; MEM_WORDS]), name }
+        MemBank {
+            words: Box::new([0; MEM_WORDS]),
+            name,
+        }
     }
 
     /// The bank's diagnostic name.

@@ -45,7 +45,11 @@ pub struct BadCommand {
 
 impl std::fmt::Display for BadCommand {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "word {:#06x} written to r15 is not a message-coprocessor command", self.word)
+        write!(
+            f,
+            "word {:#06x} written to r15 is not a message-coprocessor command",
+            self.word
+        )
     }
 }
 
@@ -194,7 +198,10 @@ mod tests {
         let mut m = MsgCoprocessor::new();
         assert_eq!(m.core_write(MsgCommand::RadioTx.encode()).unwrap(), None);
         assert!(m.awaiting_tx_payload());
-        assert_eq!(m.core_write(0xabcd).unwrap(), Some(EnvAction::TxWord(0xabcd)));
+        assert_eq!(
+            m.core_write(0xabcd).unwrap(),
+            Some(EnvAction::TxWord(0xabcd))
+        );
         assert!(!m.awaiting_tx_payload());
         assert_eq!(m.words_transmitted(), 1);
     }
@@ -205,7 +212,10 @@ mod tests {
         let mut m = MsgCoprocessor::new();
         m.core_write(MsgCommand::RadioTx.encode()).unwrap();
         let cmd_looking = MsgCommand::RadioRxOn.encode();
-        assert_eq!(m.core_write(cmd_looking).unwrap(), Some(EnvAction::TxWord(cmd_looking)));
+        assert_eq!(
+            m.core_write(cmd_looking).unwrap(),
+            Some(EnvAction::TxWord(cmd_looking))
+        );
         assert!(!m.rx_enabled());
     }
 
@@ -273,6 +283,9 @@ mod tests {
         m.sensor_reply(2);
         m.radio_rx_word(3);
         assert_eq!(m.outgoing_len(), 3);
-        assert_eq!((m.core_read(), m.core_read(), m.core_read()), (Some(1), Some(2), Some(3)));
+        assert_eq!(
+            (m.core_read(), m.core_read(), m.core_read()),
+            (Some(1), Some(2), Some(3))
+        );
     }
 }

@@ -13,6 +13,7 @@
 //! delivers radio words, sensor data and time passing; the core hands
 //! back [`EnvAction`]s for its radio/sensor/port commands.
 
+use crate::decode_cache::{DecodeCache, Predecoded};
 use crate::energy_acct::EnergyAccountant;
 use crate::event_queue::EventQueue;
 use crate::memory::MemBank;
@@ -24,8 +25,8 @@ use dess::{Lfsr16, SimDuration, SimTime};
 use snap_energy::model::BusModel;
 use snap_energy::{Energy, OperatingPoint};
 use snap_isa::{
-    Addr, AluImmOp, AluOp, DecodeError, EventKind, EventToken, Instruction, Reg,
-    ShiftOp, Word, EVENT_TABLE_ENTRIES,
+    Addr, AluImmOp, AluOp, DecodeError, EventKind, EventToken, Instruction, Reg, ShiftOp, Word,
+    EVENT_TABLE_ENTRIES,
 };
 
 /// Configuration of a [`Processor`].
@@ -41,6 +42,10 @@ pub struct CoreConfig {
     pub lfsr_seed: u16,
     /// Bus organization (flat only for the `ablation_bus` bench).
     pub bus: BusModel,
+    /// Cache decoded instructions and their model costs per IMEM
+    /// address (default: on). Results are bit-identical either way;
+    /// `false` forces the straight-line path (reference for tests).
+    pub predecode: bool,
 }
 
 impl Default for CoreConfig {
@@ -51,6 +56,7 @@ impl Default for CoreConfig {
             timer_tick: SimDuration::from_us(1),
             lfsr_seed: 0xACE1,
             bus: BusModel::default(),
+            predecode: true,
         }
     }
 }
@@ -58,7 +64,10 @@ impl Default for CoreConfig {
 impl CoreConfig {
     /// The default configuration at a specific operating point.
     pub fn at(point: OperatingPoint) -> CoreConfig {
-        CoreConfig { operating_point: point, ..CoreConfig::default() }
+        CoreConfig {
+            operating_point: point,
+            ..CoreConfig::default()
+        }
     }
 }
 
@@ -150,7 +159,10 @@ impl std::fmt::Display for StepError {
         match self {
             StepError::Decode { error, at } => write!(f, "at {at:#05x}: {error}"),
             StepError::BadTimer { number, at } => {
-                write!(f, "at {at:#05x}: invalid timer register {number} (valid: 0-2)")
+                write!(
+                    f,
+                    "at {at:#05x}: invalid timer register {number} (valid: 0-2)"
+                )
             }
             StepError::BadMsgCommand { word, at } => {
                 write!(f, "at {at:#05x}: invalid message command {word:#06x}")
@@ -160,7 +172,10 @@ impl std::fmt::Display for StepError {
             }
             StepError::StepLimit { limit } => write!(f, "exceeded step budget of {limit}"),
             StepError::Stuck { at } => {
-                write!(f, "asleep forever at {at}: no pending events or active timers")
+                write!(
+                    f,
+                    "asleep forever at {at}: no pending events or active timers"
+                )
             }
         }
     }
@@ -240,6 +255,7 @@ pub struct Processor {
     config: CoreConfig,
     regs: RegFile,
     imem: MemBank,
+    decode: DecodeCache,
     dmem: MemBank,
     event_queue: EventQueue,
     timer: TimerCoprocessor,
@@ -264,6 +280,7 @@ impl Processor {
         Processor {
             regs: RegFile::new(),
             imem: MemBank::new("imem"),
+            decode: DecodeCache::new(),
             dmem: MemBank::new("dmem"),
             event_queue: EventQueue::with_capacity(config.event_queue_capacity),
             timer: TimerCoprocessor::new(config.timer_tick),
@@ -291,9 +308,14 @@ impl Processor {
     /// # Errors
     ///
     /// Returns an error when the encoded program exceeds IMEM.
-    pub fn load_program(&mut self, program: &[Instruction]) -> Result<(), crate::memory::LoadError> {
+    pub fn load_program(
+        &mut self,
+        program: &[Instruction],
+    ) -> Result<(), crate::memory::LoadError> {
         let words: Vec<Word> = program.iter().flat_map(|i| i.encode()).collect();
-        self.imem.load(0, &words)
+        self.imem.load(0, &words)?;
+        self.decode.invalidate_all();
+        Ok(())
     }
 
     /// Load a raw word image into IMEM at `base`.
@@ -301,8 +323,14 @@ impl Processor {
     /// # Errors
     ///
     /// Returns an error when the image exceeds IMEM.
-    pub fn load_image(&mut self, base: Addr, image: &[Word]) -> Result<(), crate::memory::LoadError> {
-        self.imem.load(base, image)
+    pub fn load_image(
+        &mut self,
+        base: Addr,
+        image: &[Word],
+    ) -> Result<(), crate::memory::LoadError> {
+        self.imem.load(base, image)?;
+        self.decode.invalidate_all();
+        Ok(())
     }
 
     /// Load a raw word image into DMEM at `base`.
@@ -310,7 +338,11 @@ impl Processor {
     /// # Errors
     ///
     /// Returns an error when the image exceeds DMEM.
-    pub fn load_data(&mut self, base: Addr, image: &[Word]) -> Result<(), crate::memory::LoadError> {
+    pub fn load_data(
+        &mut self,
+        base: Addr,
+        image: &[Word],
+    ) -> Result<(), crate::memory::LoadError> {
         self.dmem.load(base, image)
     }
 
@@ -463,6 +495,11 @@ impl Processor {
     }
 
     fn fire_due_timers(&mut self) {
+        // Cheap no-allocation check first: this runs after every
+        // instruction and timers are almost never due.
+        if !self.timer.any_due(self.now) {
+            return;
+        }
         for ev in self.timer.poll(self.now) {
             self.event_queue.push(EventToken::new(ev));
         }
@@ -504,7 +541,9 @@ impl Processor {
                         self.wakeup_time += wake;
                         self.wakeups += 1;
                         self.dispatch(token);
-                        Ok(StepOutcome::Woke { event: token.kind() })
+                        Ok(StepOutcome::Woke {
+                            event: token.kind(),
+                        })
                     }
                 }
             }
@@ -520,23 +559,48 @@ impl Processor {
         self.profile.note_dispatch(token.kind());
     }
 
-    /// Fetch, decode and execute the instruction at PC.
-    fn exec_one(&mut self) -> Result<StepOutcome, StepError> {
-        let at = self.pc;
+    /// Fetch, decode and derive model costs for the instruction at
+    /// `at`, bypassing the predecode cache (the cache-fill and
+    /// reference path).
+    fn decode_at(&self, at: Addr) -> Result<Predecoded, StepError> {
         let first = self.imem.read(at);
         let second = if Instruction::first_word_is_two_word(first) {
             Some(self.imem.read(at.wrapping_add(1)))
         } else {
             None
         };
-        let ins = Instruction::decode(first, second)
-            .map_err(|error| StepError::Decode { error, at })?;
+        let ins =
+            Instruction::decode(first, second).map_err(|error| StepError::Decode { error, at })?;
+        Ok(Predecoded {
+            ins,
+            costs: self.acct.cost_of(&ins),
+        })
+    }
+
+    /// Fetch, decode and execute the instruction at PC.
+    fn exec_one(&mut self) -> Result<StepOutcome, StepError> {
+        let at = self.pc;
+        let fresh;
+        // Borrow the entry out of the cache rather than copying it:
+        // `self.decode` and `self.acct`/`self.profile` are disjoint
+        // fields, so the borrows below coexist.
+        let entry: &Predecoded = if self.config.predecode {
+            if self.decode.get(at).is_none() {
+                let entry = self.decode_at(at)?;
+                self.decode.insert(at, entry);
+            }
+            self.decode.get(at).expect("just inserted")
+        } else {
+            fresh = self.decode_at(at)?;
+            &fresh
+        };
+        let ins = entry.ins;
 
         // Charge energy and advance time before the semantic effects so
         // that timer expiries observed below see the post-instruction
         // time, as the hardware would.
         let energy_before = self.acct.total_energy();
-        let latency = self.acct.record(&ins);
+        let latency = self.acct.record_costs(&entry.costs);
         self.now += latency;
         self.profile.note_instruction(
             self.current_event,
@@ -615,8 +679,14 @@ impl Processor {
                 let addr = rd_op!(base).wrapping_add(offset);
                 let value = rd_op!(rs);
                 self.imem.write(addr, value);
+                self.decode.invalidate_write(addr);
             }
-            Instruction::Branch { cond, ra, rb, target } => {
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 let a = rd_op!(ra);
                 let b = if cond.is_unary() { 0 } else { rd_op!(rb) };
                 if cond.eval(a, b) {
@@ -779,8 +849,10 @@ impl Processor {
         let mut actions = Vec::new();
         for _ in 0..max_steps {
             match self.step()? {
-                StepOutcome::Executed { action, .. } => actions.extend(action),
-                StepOutcome::Woke { .. } => {}
+                StepOutcome::Executed {
+                    action: Some(a), ..
+                } => actions.push(a),
+                StepOutcome::Executed { action: None, .. } | StepOutcome::Woke { .. } => {}
                 StepOutcome::Asleep | StepOutcome::Halted => return Ok(actions),
             }
         }
@@ -797,8 +869,10 @@ impl Processor {
         let mut actions = Vec::new();
         for _ in 0..max_steps {
             match self.step()? {
-                StepOutcome::Executed { action, .. } => actions.extend(action),
-                StepOutcome::Woke { .. } => {}
+                StepOutcome::Executed {
+                    action: Some(a), ..
+                } => actions.push(a),
+                StepOutcome::Executed { action: None, .. } | StepOutcome::Woke { .. } => {}
                 StepOutcome::Halted => return Ok(actions),
                 StepOutcome::Asleep => match self.next_timer_expiry() {
                     Some(at) => {
@@ -834,7 +908,11 @@ mod tests {
     }
 
     fn li(rd: Reg, imm: Word) -> Instruction {
-        Instruction::AluImm { op: AluImmOp::Li, rd, imm }
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd,
+            imm,
+        }
     }
 
     #[test]
@@ -842,7 +920,11 @@ mod tests {
         let mut cpu = cpu_with(&[
             li(Reg::R1, 40),
             li(Reg::R2, 2),
-            Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 },
+            Instruction::AluReg {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2,
+            },
             Instruction::Halt,
         ]);
         cpu.run_to_halt(100).unwrap();
@@ -859,8 +941,16 @@ mod tests {
             li(Reg::R2, 1),
             li(Reg::R3, 0),
             li(Reg::R4, 0),
-            Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 },
-            Instruction::AluReg { op: AluOp::Addc, rd: Reg::R3, rs: Reg::R4 },
+            Instruction::AluReg {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2,
+            },
+            Instruction::AluReg {
+                op: AluOp::Addc,
+                rd: Reg::R3,
+                rs: Reg::R4,
+            },
             Instruction::Halt,
         ]);
         cpu.run_to_halt(100).unwrap();
@@ -876,8 +966,16 @@ mod tests {
             li(Reg::R2, 1),
             li(Reg::R3, 5),
             li(Reg::R4, 0),
-            Instruction::AluReg { op: AluOp::Sub, rd: Reg::R1, rs: Reg::R2 },
-            Instruction::AluReg { op: AluOp::Subc, rd: Reg::R3, rs: Reg::R4 },
+            Instruction::AluReg {
+                op: AluOp::Sub,
+                rd: Reg::R1,
+                rs: Reg::R2,
+            },
+            Instruction::AluReg {
+                op: AluOp::Subc,
+                rd: Reg::R3,
+                rs: Reg::R4,
+            },
             Instruction::Halt,
         ]);
         cpu.run_to_halt(100).unwrap();
@@ -890,8 +988,16 @@ mod tests {
         let mut cpu = cpu_with(&[
             li(Reg::R1, 0x1234),
             li(Reg::R2, 100),
-            Instruction::Store { rs: Reg::R1, base: Reg::R2, offset: 5 },
-            Instruction::Load { rd: Reg::R3, base: Reg::R2, offset: 5 },
+            Instruction::Store {
+                rs: Reg::R1,
+                base: Reg::R2,
+                offset: 5,
+            },
+            Instruction::Load {
+                rd: Reg::R3,
+                base: Reg::R2,
+                offset: 5,
+            },
             Instruction::Halt,
         ]);
         cpu.run_to_halt(100).unwrap();
@@ -904,11 +1010,24 @@ mod tests {
         // r1 = 3; loop: r2 += r1; r1 -= 1; bnez r1, loop; halt
         // Result: r2 = 3+2+1 = 6.
         let prog = [
-            li(Reg::R1, 3),             // words 0..2
-            li(Reg::R2, 0),             // words 2..4
-            Instruction::AluReg { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1 }, // word 4
-            Instruction::AluImm { op: AluImmOp::Subi, rd: Reg::R1, imm: 1 },  // words 5..7
-            Instruction::Branch { cond: BranchCond::Nez, ra: Reg::R1, rb: Reg::R0, target: 4 },
+            li(Reg::R1, 3), // words 0..2
+            li(Reg::R2, 0), // words 2..4
+            Instruction::AluReg {
+                op: AluOp::Add,
+                rd: Reg::R2,
+                rs: Reg::R1,
+            }, // word 4
+            Instruction::AluImm {
+                op: AluImmOp::Subi,
+                rd: Reg::R1,
+                imm: 1,
+            }, // words 5..7
+            Instruction::Branch {
+                cond: BranchCond::Nez,
+                ra: Reg::R1,
+                rb: Reg::R0,
+                target: 4,
+            },
             Instruction::Halt,
         ];
         let mut cpu = cpu_with(&prog);
@@ -923,7 +1042,10 @@ mod tests {
         // 3: (pad)
         // 4: jr r14
         let prog = [
-            Instruction::Jal { rd: Reg::R14, target: 4 },
+            Instruction::Jal {
+                rd: Reg::R14,
+                target: 4,
+            },
             Instruction::Halt,
             Instruction::Nop,
             Instruction::Jr { rs: Reg::R14 },
@@ -950,7 +1072,10 @@ mod tests {
         let boot = [
             li(Reg::R1, EventKind::SensorIrq.index() as Word),
             li(Reg::R2, 20),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             Instruction::Done,
         ];
         let handler = [li(Reg::R5, 99), Instruction::Done];
@@ -963,7 +1088,12 @@ mod tests {
         let before = cpu.stats();
 
         assert!(cpu.post_sensor_irq());
-        assert!(matches!(cpu.step().unwrap(), StepOutcome::Woke { event: EventKind::SensorIrq }));
+        assert!(matches!(
+            cpu.step().unwrap(),
+            StepOutcome::Woke {
+                event: EventKind::SensorIrq
+            }
+        ));
         cpu.run_until_idle(100).unwrap();
         assert_eq!(cpu.regs().read(Reg::R5), 99);
         let d = cpu.stats().since(&before);
@@ -987,13 +1117,22 @@ mod tests {
     fn timer_schedule_fire() {
         // Boot: handler table timer0 -> 30; schedule timer 0 for 50 ticks; done.
         let boot = [
-            li(Reg::R1, 0),  // timer number and event index are both 0
+            li(Reg::R1, 0), // timer number and event index are both 0
             li(Reg::R2, 30),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             li(Reg::R3, 0),
-            Instruction::SchedHi { rt: Reg::R1, rv: Reg::R3 },
+            Instruction::SchedHi {
+                rt: Reg::R1,
+                rv: Reg::R3,
+            },
             li(Reg::R4, 50),
-            Instruction::SchedLo { rt: Reg::R1, rv: Reg::R4 },
+            Instruction::SchedLo {
+                rt: Reg::R1,
+                rv: Reg::R4,
+            },
             Instruction::Done,
         ];
         let handler = [li(Reg::R6, 7), Instruction::Halt];
@@ -1012,9 +1151,15 @@ mod tests {
         let boot = [
             li(Reg::R1, 1),
             li(Reg::R2, 40),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             li(Reg::R4, 10_000),
-            Instruction::SchedLo { rt: Reg::R1, rv: Reg::R4 },
+            Instruction::SchedLo {
+                rt: Reg::R1,
+                rv: Reg::R4,
+            },
             Instruction::Cancel { rt: Reg::R1 },
             Instruction::Done,
         ];
@@ -1056,12 +1201,19 @@ mod tests {
         let boot = [
             li(Reg::R1, EventKind::RadioRx.index() as Word),
             li(Reg::R2, 40),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             li(Reg::R15, MsgCommand::RadioRxOn.encode()),
             Instruction::Done,
         ];
         let handler = [
-            Instruction::AluReg { op: AluOp::Mov, rd: Reg::R3, rs: Reg::R15 },
+            Instruction::AluReg {
+                op: AluOp::Mov,
+                rd: Reg::R3,
+                rs: Reg::R15,
+            },
             Instruction::Halt,
         ];
         let mut cpu = cpu_with(&boot);
@@ -1075,9 +1227,11 @@ mod tests {
 
     #[test]
     fn reading_empty_msg_port_is_an_error() {
-        let mut cpu = cpu_with(&[
-            Instruction::AluReg { op: AluOp::Mov, rd: Reg::R1, rs: Reg::R15 },
-        ]);
+        let mut cpu = cpu_with(&[Instruction::AluReg {
+            op: AluOp::Mov,
+            rd: Reg::R1,
+            rs: Reg::R15,
+        }]);
         let err = cpu.run_to_halt(10).unwrap_err();
         assert_eq!(err, StepError::MsgPortEmpty { at: 0 });
     }
@@ -1094,7 +1248,10 @@ mod tests {
         let mut cpu = cpu_with(&[
             li(Reg::R1, 5),
             li(Reg::R2, 0),
-            Instruction::SchedLo { rt: Reg::R1, rv: Reg::R2 },
+            Instruction::SchedLo {
+                rt: Reg::R1,
+                rv: Reg::R2,
+            },
         ]);
         let err = cpu.run_to_halt(10).unwrap_err();
         assert!(matches!(err, StepError::BadTimer { number: 5, .. }));
@@ -1138,11 +1295,18 @@ mod tests {
         let mut cpu = cpu_with(&[
             li(Reg::R1, 0xaaaa),
             li(Reg::R2, 0x00ff),
-            Instruction::Bfs { rd: Reg::R1, rs: Reg::R2, mask: 0x0f0f },
+            Instruction::Bfs {
+                rd: Reg::R1,
+                rs: Reg::R2,
+                mask: 0x0f0f,
+            },
             Instruction::Halt,
         ]);
         cpu.run_to_halt(100).unwrap();
-        assert_eq!(cpu.regs().read(Reg::R1), (0xaaaa & !0x0f0f) | (0x00ff & 0x0f0f));
+        assert_eq!(
+            cpu.regs().read(Reg::R1),
+            (0xaaaa & !0x0f0f) | (0x00ff & 0x0f0f)
+        );
     }
 
     #[test]
@@ -1150,7 +1314,10 @@ mod tests {
         let boot = [
             li(Reg::R1, EventKind::Soft.index() as Word),
             li(Reg::R2, 40),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             Instruction::SwEvent { rn: Reg::R1 },
             Instruction::Done,
         ];
@@ -1172,9 +1339,13 @@ mod tests {
         // `li r5, 1` and `li r5, 2` share their first word; the patch
         // overwrites the immediate word of the instruction at words 6..8.
         let prog = [
-            li(Reg::R1, 2),                          // 0..2: new immediate
-            li(Reg::R3, 7),                          // 2..4: patch address
-            Instruction::ImemStore { rs: Reg::R1, base: Reg::R3, offset: 0 }, // 4..6
+            li(Reg::R1, 2), // 0..2: new immediate
+            li(Reg::R3, 7), // 2..4: patch address
+            Instruction::ImemStore {
+                rs: Reg::R1,
+                base: Reg::R3,
+                offset: 0,
+            }, // 4..6
             // patch site: words 6..8
             li(Reg::R5, 1),
             Instruction::Halt,
@@ -1205,11 +1376,18 @@ mod tests {
         let boot = [
             li(Reg::R1, EventKind::SensorIrq.index() as Word),
             li(Reg::R2, 200),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             Instruction::Done,
         ];
         let handler = [
-            Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::R5, imm: 1 },
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::R5,
+                imm: 1,
+            },
             Instruction::Done,
         ];
         let mut cpu = cpu_with(&boot);
@@ -1236,7 +1414,10 @@ mod tests {
         let boot = [
             li(Reg::R1, EventKind::SensorIrq.index() as Word),
             li(Reg::R2, 100),
-            Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 },
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
             Instruction::Done,
         ];
         let irq_handler = [li(Reg::R5, 1), li(Reg::R6, 2), Instruction::Done]; // 3 ins
@@ -1264,7 +1445,10 @@ mod tests {
 
     #[test]
     fn event_queue_overflow_drops() {
-        let cfg = CoreConfig { event_queue_capacity: 2, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            event_queue_capacity: 2,
+            ..CoreConfig::default()
+        };
         let mut cpu = Processor::new(cfg);
         cpu.load_program(&[Instruction::Done]).unwrap();
         cpu.run_until_idle(10).unwrap();

@@ -123,8 +123,16 @@ mod tests {
         let mut p = HandlerProfile::new();
         p.note_instruction(None, Energy::from_pj(1.0), SimDuration::from_ns(1));
         p.note_dispatch(EventKind::RadioRx);
-        p.note_instruction(Some(EventKind::RadioRx), Energy::from_pj(2.0), SimDuration::from_ns(1));
-        p.note_instruction(Some(EventKind::RadioRx), Energy::from_pj(2.0), SimDuration::from_ns(1));
+        p.note_instruction(
+            Some(EventKind::RadioRx),
+            Energy::from_pj(2.0),
+            SimDuration::from_ns(1),
+        );
+        p.note_instruction(
+            Some(EventKind::RadioRx),
+            Energy::from_pj(2.0),
+            SimDuration::from_ns(1),
+        );
         assert_eq!(p.boot().instructions, 1);
         assert_eq!(p.event(EventKind::RadioRx).instructions, 2);
         assert_eq!(p.event(EventKind::RadioRx).dispatches, 1);

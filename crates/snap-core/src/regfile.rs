@@ -8,7 +8,7 @@
 use snap_isa::{Reg, Word, NUM_PHYSICAL_REGS};
 
 /// The fifteen-entry register file and carry flag.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegFile {
     regs: [Word; NUM_PHYSICAL_REGS],
     carry: bool,
@@ -27,7 +27,10 @@ impl RegFile {
     /// Panics on `r15`; the core must route message-port reads to the
     /// message coprocessor before touching the register file.
     pub fn read(&self, reg: Reg) -> Word {
-        assert!(!reg.is_msg_port(), "r15 reads go to the message coprocessor");
+        assert!(
+            !reg.is_msg_port(),
+            "r15 reads go to the message coprocessor"
+        );
         self.regs[reg.index() as usize]
     }
 
@@ -37,7 +40,10 @@ impl RegFile {
     ///
     /// Panics on `r15` (see [`RegFile::read`]).
     pub fn write(&mut self, reg: Reg, value: Word) {
-        assert!(!reg.is_msg_port(), "r15 writes go to the message coprocessor");
+        assert!(
+            !reg.is_msg_port(),
+            "r15 writes go to the message coprocessor"
+        );
         self.regs[reg.index() as usize] = value;
     }
 

@@ -70,7 +70,9 @@ impl TimerCoprocessor {
     ///
     /// Returns `false` when `n` is not a valid timer number.
     pub fn sched_hi(&mut self, n: u16, value: u16) -> bool {
-        let Some(t) = self.timers.get_mut(n as usize) else { return false };
+        let Some(t) = self.timers.get_mut(n as usize) else {
+            return false;
+        };
         t.staged_hi = (value & 0xff) as u8;
         true
     }
@@ -82,7 +84,9 @@ impl TimerCoprocessor {
     /// not a valid timer number.
     pub fn sched_lo(&mut self, n: u16, value: u16, now: SimTime) -> bool {
         let tick = self.tick;
-        let Some(t) = self.timers.get_mut(n as usize) else { return false };
+        let Some(t) = self.timers.get_mut(n as usize) else {
+            return false;
+        };
         let count = ((t.staged_hi as u32) << 16) | value as u32;
         t.expiry = Some(now + tick * count as u64);
         self.scheduled += 1;
@@ -123,9 +127,19 @@ impl TimerCoprocessor {
         self.timers.iter().filter_map(|t| t.expiry).min()
     }
 
+    /// `true` when some active timer has expired at or before `now`
+    /// (what [`TimerCoprocessor::poll`] would fire), without allocating.
+    pub fn any_due(&self, now: SimTime) -> bool {
+        self.timers
+            .iter()
+            .any(|t| t.expiry.is_some_and(|at| at <= now))
+    }
+
     /// `true` when timer `n` is actively counting down.
     pub fn is_active(&self, n: u16) -> bool {
-        self.timers.get(n as usize).is_some_and(|t| t.expiry.is_some())
+        self.timers
+            .get(n as usize)
+            .is_some_and(|t| t.expiry.is_some())
     }
 
     /// Timeouts scheduled over the coprocessor's lifetime.

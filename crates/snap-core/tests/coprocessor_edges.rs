@@ -6,7 +6,11 @@ use snap_core::{CoreConfig, CoreState, Processor, StepError};
 use snap_isa::{AluImmOp, AluOp, EventKind, Instruction, Reg, Word};
 
 fn li(rd: Reg, imm: Word) -> Instruction {
-    Instruction::AluImm { op: AluImmOp::Li, rd, imm }
+    Instruction::AluImm {
+        op: AluImmOp::Li,
+        rd,
+        imm,
+    }
 }
 
 fn cpu_with(prog: &[Instruction]) -> Processor {
@@ -18,7 +22,10 @@ fn cpu_with(prog: &[Instruction]) -> Processor {
 fn install(table: &mut Vec<Instruction>, ev: EventKind, addr: Word) {
     table.push(li(Reg::R1, ev.index() as Word));
     table.push(li(Reg::R2, addr));
-    table.push(Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 });
+    table.push(Instruction::SetAddr {
+        rev: Reg::R1,
+        raddr: Reg::R2,
+    });
 }
 
 /// Rescheduling an active timer replaces its countdown (the second
@@ -30,9 +37,15 @@ fn reschedule_active_timer_replaces_countdown() {
     boot.extend([
         li(Reg::R3, 0),
         li(Reg::R4, 10_000),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // 10 ms...
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        }, // 10 ms...
         li(Reg::R4, 200),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // ...no: 200 us
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        }, // ...no: 200 us
         Instruction::Done,
     ]);
     let handler = [li(Reg::R9, 0x77), Instruction::Halt];
@@ -41,7 +54,11 @@ fn reschedule_active_timer_replaces_countdown() {
     cpu.load_image(0x80, &img).unwrap();
     cpu.run_to_halt(1_000).unwrap();
     assert_eq!(cpu.regs().read(Reg::R9), 0x77);
-    assert!(cpu.now().as_us() < 1_000.0, "fired at {} (10ms schedule not replaced?)", cpu.now());
+    assert!(
+        cpu.now().as_us() < 1_000.0,
+        "fired at {} (10ms schedule not replaced?)",
+        cpu.now()
+    );
     assert_eq!(cpu.timers().scheduled(), 2);
     assert_eq!(cpu.timers().expired(), 1);
 }
@@ -54,9 +71,15 @@ fn timer_24_bit_range() {
     boot.extend([
         li(Reg::R3, 1),
         li(Reg::R4, 0x0001),
-        Instruction::SchedHi { rt: Reg::R3, rv: Reg::R4 }, // top byte = 1
+        Instruction::SchedHi {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        }, // top byte = 1
         li(Reg::R4, 0x0000),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // 0x010000 ticks
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        }, // 0x010000 ticks
         Instruction::Done,
     ]);
     let handler = [Instruction::Halt];
@@ -77,9 +100,15 @@ fn schedhi_combines_with_next_schedlo() {
     boot.extend([
         li(Reg::R3, 2),
         li(Reg::R4, 0x0002),
-        Instruction::SchedHi { rt: Reg::R3, rv: Reg::R4 },
+        Instruction::SchedHi {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        },
         li(Reg::R4, 100),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 },
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        },
         Instruction::Done,
     ]);
     let mut cpu = cpu_with(&boot);
@@ -100,26 +129,48 @@ fn cancel_then_reschedule_orders_tokens() {
     boot.extend([
         li(Reg::R3, 0),
         li(Reg::R4, 5_000),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 },
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        },
         Instruction::Cancel { rt: Reg::R3 }, // token 1 (cancellation)
         li(Reg::R4, 50),
-        Instruction::SchedLo { rt: Reg::R3, rv: Reg::R4 }, // token 2 at +50us
+        Instruction::SchedLo {
+            rt: Reg::R3,
+            rv: Reg::R4,
+        }, // token 2 at +50us
         Instruction::Done,
     ]);
     // Handler counts invocations at DMEM 0x10; halts on the second.
     let handler_src: Vec<Instruction> = vec![
-        Instruction::Load { rd: Reg::R5, base: Reg::R0, offset: 0x10 },   // 0x80..82
-        Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::R5, imm: 1 },  // 0x82..84
-        Instruction::Store { rs: Reg::R5, base: Reg::R0, offset: 0x10 },  // 0x84..86
-        Instruction::AluImm { op: AluImmOp::Slti, rd: Reg::R5, imm: 2 },  // 0x86..88
+        Instruction::Load {
+            rd: Reg::R5,
+            base: Reg::R0,
+            offset: 0x10,
+        }, // 0x80..82
+        Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::R5,
+            imm: 1,
+        }, // 0x82..84
+        Instruction::Store {
+            rs: Reg::R5,
+            base: Reg::R0,
+            offset: 0x10,
+        }, // 0x84..86
+        Instruction::AluImm {
+            op: AluImmOp::Slti,
+            rd: Reg::R5,
+            imm: 2,
+        }, // 0x86..88
         Instruction::Branch {
             cond: snap_isa::BranchCond::Eqz,
             ra: Reg::R5,
             rb: Reg::R0,
             target: 0x80 + 11, // second invocation (count >= 2): halt
-        },                                                                // 0x88..8a
-        Instruction::Done,                                                // 0x8a
-        Instruction::Halt,                                                // 0x8b
+        }, // 0x88..8a
+        Instruction::Done, // 0x8a
+        Instruction::Halt, // 0x8b
     ];
     let mut cpu = cpu_with(&boot);
     let img: Vec<Word> = handler_src.iter().flat_map(|i| i.encode()).collect();
@@ -141,8 +192,16 @@ fn r15_double_read_pops_twice() {
     // Handler: r3 = r15; r3 += r15 (pops two queued words).
     let handler = [
         li(Reg::R3, 0),
-        Instruction::AluReg { op: AluOp::Mov, rd: Reg::R3, rs: Reg::R15 },
-        Instruction::AluReg { op: AluOp::Add, rd: Reg::R3, rs: Reg::R15 },
+        Instruction::AluReg {
+            op: AluOp::Mov,
+            rd: Reg::R3,
+            rs: Reg::R15,
+        },
+        Instruction::AluReg {
+            op: AluOp::Add,
+            rd: Reg::R3,
+            rs: Reg::R15,
+        },
         Instruction::Halt,
     ];
     let mut cpu = cpu_with(&boot);
@@ -162,7 +221,11 @@ fn r15_underflow_faults_with_address() {
     let mut boot = Vec::new();
     install(&mut boot, EventKind::SensorIrq, 0x80);
     boot.push(Instruction::Done);
-    let handler = [Instruction::AluReg { op: AluOp::Mov, rd: Reg::R3, rs: Reg::R15 }];
+    let handler = [Instruction::AluReg {
+        op: AluOp::Mov,
+        rd: Reg::R3,
+        rs: Reg::R15,
+    }];
     let mut cpu = cpu_with(&boot);
     let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
     cpu.load_image(0x80, &img).unwrap();
@@ -187,5 +250,9 @@ fn advance_idle_accounting() {
     let same = cpu.advance_idle(SimTime::ZERO);
     assert_eq!(same, target);
     let stats = cpu.stats();
-    assert!((stats.sleep_time.as_ms() - 3.0).abs() < 0.01, "{}", stats.sleep_time);
+    assert!(
+        (stats.sleep_time.as_ms() - 3.0).abs() < 0.01,
+        "{}",
+        stats.sleep_time
+    );
 }

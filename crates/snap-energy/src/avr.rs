@@ -36,9 +36,17 @@ impl AvrEnergyModel {
     /// # Panics
     ///
     /// Panics unless `clock_hz` is positive.
-    pub fn new(clock_hz: f64, energy_per_instruction: Energy, active_power: Power) -> AvrEnergyModel {
+    pub fn new(
+        clock_hz: f64,
+        energy_per_instruction: Energy,
+        active_power: Power,
+    ) -> AvrEnergyModel {
         assert!(clock_hz > 0.0, "clock frequency must be positive");
-        AvrEnergyModel { clock_hz, energy_per_instruction, active_power }
+        AvrEnergyModel {
+            clock_hz,
+            energy_per_instruction,
+            active_power,
+        }
     }
 
     /// The clock frequency in hertz.

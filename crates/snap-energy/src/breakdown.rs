@@ -145,7 +145,11 @@ impl fmt::Display for ComponentEnergy {
         let total = self.total();
         writeln!(f, "total {total}")?;
         for (c, e) in self.iter() {
-            let pct = if total.as_pj() > 0.0 { e.as_pj() / total.as_pj() * 100.0 } else { 0.0 };
+            let pct = if total.as_pj() > 0.0 {
+                e.as_pj() / total.as_pj() * 100.0
+            } else {
+                0.0
+            };
             writeln!(f, "  {c:<14} {e:>12} ({pct:4.1}%)")?;
         }
         Ok(())

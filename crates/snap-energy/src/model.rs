@@ -24,7 +24,6 @@
 //! * the Table 1 handler mixes average ≈ 216–219 pJ/ins and ≈ 240 MIPS.
 
 use crate::breakdown::{Component, ComponentEnergy};
-use serde::{Deserialize, Serialize};
 use crate::units::{Energy, Power};
 use crate::voltage::OperatingPoint;
 use dess::SimDuration;
@@ -92,7 +91,7 @@ fn class_table(class: InstructionClass) -> (f64, f64) {
 /// loaded bus: every operation pays the full bus capacitance (matching
 /// the slow-bus latency) and the datapath burns extra switching energy.
 /// Used by the `ablation_bus` bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BusModel {
     /// The paper's two-level fast/slow hierarchy.
     #[default]
@@ -123,7 +122,12 @@ pub struct InstrShape {
 impl InstrShape {
     /// Shape of a one-word, no-memory instruction of the given class.
     pub fn simple(class: InstructionClass) -> InstrShape {
-        InstrShape { class, words: 1, dmem: false, imem_data: false }
+        InstrShape {
+            class,
+            words: 1,
+            dmem: false,
+            imem_data: false,
+        }
     }
 }
 
@@ -141,7 +145,11 @@ pub struct SnapEnergyModel {
 impl SnapEnergyModel {
     /// Model at an operating point with the default leakage placeholder.
     pub fn new(point: OperatingPoint) -> SnapEnergyModel {
-        SnapEnergyModel { point, idle_leakage: Power::from_nw(10.0), bus: BusModel::default() }
+        SnapEnergyModel {
+            point,
+            idle_leakage: Power::from_nw(10.0),
+            bus: BusModel::default(),
+        }
     }
 
     /// Override the idle-leakage placeholder.
@@ -197,7 +205,10 @@ impl SnapEnergyModel {
         for (component, fraction) in Component::CORE_SPLIT {
             split.add(component, Energy::from_pj(core * fraction * scale));
         }
-        split.add(Component::Imem, Energy::from_pj(shape.words as f64 * IMEM_WORD_PJ * scale));
+        split.add(
+            Component::Imem,
+            Energy::from_pj(shape.words as f64 * IMEM_WORD_PJ * scale),
+        );
         if shape.dmem {
             split.add(Component::Dmem, Energy::from_pj(DMEM_ACCESS_PJ * scale));
         }
@@ -218,7 +229,10 @@ pub struct SnapTimingModel {
 impl SnapTimingModel {
     /// Model at an operating point.
     pub fn new(point: OperatingPoint) -> SnapTimingModel {
-        SnapTimingModel { point, bus: BusModel::default() }
+        SnapTimingModel {
+            point,
+            bus: BusModel::default(),
+        }
     }
 
     /// Select the bus organization (ablation).
@@ -269,8 +283,14 @@ mod tests {
 
     fn shape(class: C) -> InstrShape {
         let words = match class {
-            C::ArithImm | C::LogicalImm | C::Load | C::Store | C::ImemLoad | C::ImemStore
-            | C::Branch | C::Bitfield => 2,
+            C::ArithImm
+            | C::LogicalImm
+            | C::Load
+            | C::Store
+            | C::ImemLoad
+            | C::ImemStore
+            | C::Branch
+            | C::Bitfield => 2,
             _ => 1,
         };
         InstrShape {
@@ -313,7 +333,10 @@ mod tests {
                 under_25 += 1;
             }
         }
-        assert!(under_25 >= 6, "expected many classes under 25 pJ, got {under_25}");
+        assert!(
+            under_25 >= 6,
+            "expected many classes under 25 pJ, got {under_25}"
+        );
     }
 
     #[test]
@@ -324,13 +347,31 @@ mod tests {
         let m = SnapEnergyModel::new(OperatingPoint::V1_8);
         let one_word = m.instruction_energy_by_component(InstrShape::simple(C::ArithReg));
         let ratio = one_word.memory_total() / one_word.total();
-        assert!((0.25..0.45).contains(&ratio), "one-word memory share {ratio}");
+        assert!(
+            (0.25..0.45).contains(&ratio),
+            "one-word memory share {ratio}"
+        );
         // Representative mix: 40% reg ops, 25% loads/stores, 20%
         // two-word imm, 15% branches.
         let mut mix = crate::breakdown::ComponentEnergy::new();
-        let load = InstrShape { class: C::Load, words: 2, dmem: true, imem_data: false };
-        let imm = InstrShape { class: C::ArithImm, words: 2, dmem: false, imem_data: false };
-        let br = InstrShape { class: C::Branch, words: 2, dmem: false, imem_data: false };
+        let load = InstrShape {
+            class: C::Load,
+            words: 2,
+            dmem: true,
+            imem_data: false,
+        };
+        let imm = InstrShape {
+            class: C::ArithImm,
+            words: 2,
+            dmem: false,
+            imem_data: false,
+        };
+        let br = InstrShape {
+            class: C::Branch,
+            words: 2,
+            dmem: false,
+            imem_data: false,
+        };
         for _ in 0..40 {
             mix.merge(&m.instruction_energy_by_component(InstrShape::simple(C::ArithReg)));
         }
@@ -344,7 +385,10 @@ mod tests {
             mix.merge(&m.instruction_energy_by_component(br));
         }
         let mix_ratio = mix.memory_total() / mix.total();
-        assert!((0.42..0.58).contains(&mix_ratio), "mix memory share {mix_ratio}");
+        assert!(
+            (0.42..0.58).contains(&mix_ratio),
+            "mix memory share {mix_ratio}"
+        );
     }
 
     #[test]
@@ -408,8 +452,7 @@ mod tests {
 
     #[test]
     fn leakage_is_configurable() {
-        let m = SnapEnergyModel::new(OperatingPoint::V0_6)
-            .with_idle_leakage(Power::from_nw(3.0));
+        let m = SnapEnergyModel::new(OperatingPoint::V0_6).with_idle_leakage(Power::from_nw(3.0));
         assert!((m.idle_leakage().as_nw() - 3.0).abs() < 1e-12);
     }
 }

@@ -4,10 +4,8 @@
 //! against. The two SNAP/LE rows are *measured* by the benchmark harness
 //! (crate `bench`, binary `table2`) rather than stored here.
 
-use serde::{Deserialize, Serialize};
-
 /// One comparison row of the paper's Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelatedProcessor {
     /// Processor name.
     pub name: &'static str,
@@ -124,7 +122,11 @@ mod tests {
         for row in related_processors() {
             assert!(row.mips.0 <= row.mips.1, "{}", row.name);
             assert!(row.voltage.0 <= row.voltage.1, "{}", row.name);
-            assert!(row.energy_per_ins_pj.0 <= row.energy_per_ins_pj.1, "{}", row.name);
+            assert!(
+                row.energy_per_ins_pj.0 <= row.energy_per_ins_pj.1,
+                "{}",
+                row.name
+            );
             assert!(matches!(row.datapath_bits, 8 | 16 | 32), "{}", row.name);
         }
     }

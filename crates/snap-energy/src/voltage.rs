@@ -10,14 +10,13 @@
 //!   (2.5 / 9.8 / 21.4 ns) sequences both give delay factors of
 //!   ×1 / ×3.93 / ×8.57; we store those calibrated factors per point.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Nominal supply for the 180 nm process.
 const NOMINAL_VDD: f64 = 1.8;
 
 /// A supply-voltage operating point with its calibrated delay factor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     vdd: f64,
     delay_factor: f64,
@@ -25,18 +24,30 @@ pub struct OperatingPoint {
 
 impl OperatingPoint {
     /// 1.8 V — nominal voltage; 240 MIPS, ~218 pJ/ins.
-    pub const V1_8: OperatingPoint = OperatingPoint { vdd: 1.8, delay_factor: 1.0 };
+    pub const V1_8: OperatingPoint = OperatingPoint {
+        vdd: 1.8,
+        delay_factor: 1.0,
+    };
 
     /// 0.9 V — 61 MIPS, ~55 pJ/ins.
-    pub const V0_9: OperatingPoint = OperatingPoint { vdd: 0.9, delay_factor: 3.93 };
+    pub const V0_9: OperatingPoint = OperatingPoint {
+        vdd: 0.9,
+        delay_factor: 3.93,
+    };
 
     /// 0.6 V — the paper's target deployment point; 28 MIPS, ~24 pJ/ins.
-    pub const V0_6: OperatingPoint = OperatingPoint { vdd: 0.6, delay_factor: 8.57 };
+    pub const V0_6: OperatingPoint = OperatingPoint {
+        vdd: 0.6,
+        delay_factor: 8.57,
+    };
 
     /// The three operating points evaluated in the paper, highest first
     /// (matching the order of Table 1's columns).
-    pub const PAPER_POINTS: [OperatingPoint; 3] =
-        [OperatingPoint::V1_8, OperatingPoint::V0_9, OperatingPoint::V0_6];
+    pub const PAPER_POINTS: [OperatingPoint; 3] = [
+        OperatingPoint::V1_8,
+        OperatingPoint::V0_9,
+        OperatingPoint::V0_6,
+    ];
 
     /// A custom operating point.
     ///
@@ -49,7 +60,10 @@ impl OperatingPoint {
     /// Panics unless `vdd > 0` and `delay_factor >= 1`.
     pub fn new(vdd: f64, delay_factor: f64) -> OperatingPoint {
         assert!(vdd > 0.0, "supply voltage must be positive");
-        assert!(delay_factor >= 1.0, "delay factor is relative to nominal (>= 1)");
+        assert!(
+            delay_factor >= 1.0,
+            "delay factor is relative to nominal (>= 1)"
+        );
         OperatingPoint { vdd, delay_factor }
     }
 

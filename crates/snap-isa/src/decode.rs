@@ -35,7 +35,11 @@ impl Instruction {
             }
             opcode::ALU_IMM => {
                 let alu = AluImmOp::from_fn_code(func).ok_or_else(illegal)?;
-                Ok(Instruction::AluImm { op: alu, rd, imm: imm()? })
+                Ok(Instruction::AluImm {
+                    op: alu,
+                    rd,
+                    imm: imm()?,
+                })
             }
             opcode::SHIFT_IMM => {
                 let sh = *ShiftOp::ALL.get(func as usize).ok_or_else(illegal)?;
@@ -43,19 +47,40 @@ impl Instruction {
                 Ok(Instruction::ShiftImm { op: sh, rd, amount })
             }
             opcode::DMEM => match func {
-                mem_fn::LOAD => Ok(Instruction::Load { rd, base: rs, offset: imm()? }),
-                mem_fn::STORE => Ok(Instruction::Store { rs: rd, base: rs, offset: imm()? }),
+                mem_fn::LOAD => Ok(Instruction::Load {
+                    rd,
+                    base: rs,
+                    offset: imm()?,
+                }),
+                mem_fn::STORE => Ok(Instruction::Store {
+                    rs: rd,
+                    base: rs,
+                    offset: imm()?,
+                }),
                 _ => Err(illegal()),
             },
             opcode::IMEM => match func {
-                mem_fn::LOAD => Ok(Instruction::ImemLoad { rd, base: rs, offset: imm()? }),
-                mem_fn::STORE => Ok(Instruction::ImemStore { rs: rd, base: rs, offset: imm()? }),
+                mem_fn::LOAD => Ok(Instruction::ImemLoad {
+                    rd,
+                    base: rs,
+                    offset: imm()?,
+                }),
+                mem_fn::STORE => Ok(Instruction::ImemStore {
+                    rs: rd,
+                    base: rs,
+                    offset: imm()?,
+                }),
                 _ => Err(illegal()),
             },
             opcode::BRANCH => {
                 let cond = *BranchCond::ALL.get(func as usize).ok_or_else(illegal)?;
                 let rb = if cond.is_unary() { Reg::R0 } else { rs };
-                Ok(Instruction::Branch { cond, ra: rd, rb, target: imm()? })
+                Ok(Instruction::Branch {
+                    cond,
+                    ra: rd,
+                    rb,
+                    target: imm()?,
+                })
             }
             opcode::JUMP => match func {
                 jump_fn::JMP => Ok(Instruction::Jmp { target: imm()? }),
@@ -71,7 +96,11 @@ impl Instruction {
                 _ => Err(illegal()),
             },
             opcode::NET => match func {
-                net_fn::BFS => Ok(Instruction::Bfs { rd, rs, mask: imm()? }),
+                net_fn::BFS => Ok(Instruction::Bfs {
+                    rd,
+                    rs,
+                    mask: imm()?,
+                }),
                 net_fn::RAND => Ok(Instruction::Rand { rd }),
                 net_fn::SEED => Ok(Instruction::Seed { rs }),
                 _ => Err(illegal()),
@@ -98,35 +127,91 @@ mod tests {
     pub(crate) fn sample_instructions() -> Vec<Instruction> {
         let mut v = Vec::new();
         for op in AluOp::ALL {
-            v.push(Instruction::AluReg { op, rd: Reg::R3, rs: Reg::R7 });
+            v.push(Instruction::AluReg {
+                op,
+                rd: Reg::R3,
+                rs: Reg::R7,
+            });
         }
         for op in AluImmOp::ALL {
-            v.push(Instruction::AluImm { op, rd: Reg::R12, imm: 0xbeef });
+            v.push(Instruction::AluImm {
+                op,
+                rd: Reg::R12,
+                imm: 0xbeef,
+            });
         }
         for op in ShiftOp::ALL {
-            v.push(Instruction::ShiftReg { op, rd: Reg::R1, rs: Reg::R2 });
-            v.push(Instruction::ShiftImm { op, rd: Reg::R1, amount: 9 });
+            v.push(Instruction::ShiftReg {
+                op,
+                rd: Reg::R1,
+                rs: Reg::R2,
+            });
+            v.push(Instruction::ShiftImm {
+                op,
+                rd: Reg::R1,
+                amount: 9,
+            });
         }
-        v.push(Instruction::Load { rd: Reg::R4, base: Reg::R5, offset: 0x10 });
-        v.push(Instruction::Store { rs: Reg::R4, base: Reg::R5, offset: 0x11 });
-        v.push(Instruction::ImemLoad { rd: Reg::R4, base: Reg::R5, offset: 0x12 });
-        v.push(Instruction::ImemStore { rs: Reg::R4, base: Reg::R5, offset: 0x13 });
+        v.push(Instruction::Load {
+            rd: Reg::R4,
+            base: Reg::R5,
+            offset: 0x10,
+        });
+        v.push(Instruction::Store {
+            rs: Reg::R4,
+            base: Reg::R5,
+            offset: 0x11,
+        });
+        v.push(Instruction::ImemLoad {
+            rd: Reg::R4,
+            base: Reg::R5,
+            offset: 0x12,
+        });
+        v.push(Instruction::ImemStore {
+            rs: Reg::R4,
+            base: Reg::R5,
+            offset: 0x13,
+        });
         for cond in BranchCond::ALL {
             let rb = if cond.is_unary() { Reg::R0 } else { Reg::R9 };
-            v.push(Instruction::Branch { cond, ra: Reg::R8, rb, target: 0x123 });
+            v.push(Instruction::Branch {
+                cond,
+                ra: Reg::R8,
+                rb,
+                target: 0x123,
+            });
         }
         v.push(Instruction::Jmp { target: 0x200 });
-        v.push(Instruction::Jal { rd: Reg::R14, target: 0x201 });
+        v.push(Instruction::Jal {
+            rd: Reg::R14,
+            target: 0x201,
+        });
         v.push(Instruction::Jr { rs: Reg::R14 });
-        v.push(Instruction::Jalr { rd: Reg::R14, rs: Reg::R6 });
-        v.push(Instruction::SchedHi { rt: Reg::R1, rv: Reg::R2 });
-        v.push(Instruction::SchedLo { rt: Reg::R1, rv: Reg::R2 });
+        v.push(Instruction::Jalr {
+            rd: Reg::R14,
+            rs: Reg::R6,
+        });
+        v.push(Instruction::SchedHi {
+            rt: Reg::R1,
+            rv: Reg::R2,
+        });
+        v.push(Instruction::SchedLo {
+            rt: Reg::R1,
+            rv: Reg::R2,
+        });
         v.push(Instruction::Cancel { rt: Reg::R1 });
-        v.push(Instruction::Bfs { rd: Reg::R2, rs: Reg::R3, mask: 0x0ff0 });
+        v.push(Instruction::Bfs {
+            rd: Reg::R2,
+            rs: Reg::R3,
+            mask: 0x0ff0,
+        });
         v.push(Instruction::Rand { rd: Reg::R10 });
         v.push(Instruction::Seed { rs: Reg::R10 });
         v.push(Instruction::Done);
-        v.push(Instruction::SetAddr { rev: Reg::R1, raddr: Reg::R2 });
+        v.push(Instruction::SetAddr {
+            rev: Reg::R1,
+            raddr: Reg::R2,
+        });
         v.push(Instruction::Nop);
         v.push(Instruction::Halt);
         v.push(Instruction::SwEvent { rn: Reg::R3 });
@@ -183,7 +268,9 @@ mod tests {
             );
         }
         // Unassigned function codes inside assigned groups.
-        for word in [0x000c_u16, 0x1005, 0x2001, 0x4002, 0x5003, 0x7004, 0x8003, 0x9003, 0xa005] {
+        for word in [
+            0x000c_u16, 0x1005, 0x2001, 0x4002, 0x5003, 0x7004, 0x8003, 0x9003, 0xa005,
+        ] {
             assert_eq!(
                 Instruction::decode(word, Some(0)),
                 Err(DecodeError::IllegalInstruction { word }),
@@ -194,16 +281,28 @@ mod tests {
 
     #[test]
     fn msg_port_detection() {
-        let read = Instruction::AluReg { op: AluOp::Mov, rd: Reg::R1, rs: Reg::R15 };
+        let read = Instruction::AluReg {
+            op: AluOp::Mov,
+            rd: Reg::R1,
+            rs: Reg::R15,
+        };
         assert!(read.reads_msg_port());
         assert!(!read.writes_msg_port());
 
-        let write = Instruction::AluReg { op: AluOp::Mov, rd: Reg::R15, rs: Reg::R1 };
+        let write = Instruction::AluReg {
+            op: AluOp::Mov,
+            rd: Reg::R15,
+            rs: Reg::R1,
+        };
         assert!(write.writes_msg_port());
         assert!(!write.reads_msg_port());
 
         // Destructive add reads its destination too.
-        let rmw = Instruction::AluReg { op: AluOp::Add, rd: Reg::R15, rs: Reg::R1 };
+        let rmw = Instruction::AluReg {
+            op: AluOp::Add,
+            rd: Reg::R15,
+            rs: Reg::R1,
+        };
         assert!(rmw.reads_msg_port() && rmw.writes_msg_port());
     }
 
@@ -211,13 +310,62 @@ mod tests {
     fn classes_are_stable() {
         use crate::instr::InstructionClass as C;
         let cases = [
-            (Instruction::AluReg { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2 }, C::ArithReg),
-            (Instruction::AluReg { op: AluOp::And, rd: Reg::R1, rs: Reg::R2 }, C::LogicalReg),
-            (Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::R1, imm: 1 }, C::ArithImm),
-            (Instruction::AluImm { op: AluImmOp::Ori, rd: Reg::R1, imm: 1 }, C::LogicalImm),
-            (Instruction::ShiftImm { op: ShiftOp::Sll, rd: Reg::R1, amount: 1 }, C::Shift),
-            (Instruction::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }, C::Load),
-            (Instruction::Store { rs: Reg::R1, base: Reg::R2, offset: 0 }, C::Store),
+            (
+                Instruction::AluReg {
+                    op: AluOp::Add,
+                    rd: Reg::R1,
+                    rs: Reg::R2,
+                },
+                C::ArithReg,
+            ),
+            (
+                Instruction::AluReg {
+                    op: AluOp::And,
+                    rd: Reg::R1,
+                    rs: Reg::R2,
+                },
+                C::LogicalReg,
+            ),
+            (
+                Instruction::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::R1,
+                    imm: 1,
+                },
+                C::ArithImm,
+            ),
+            (
+                Instruction::AluImm {
+                    op: AluImmOp::Ori,
+                    rd: Reg::R1,
+                    imm: 1,
+                },
+                C::LogicalImm,
+            ),
+            (
+                Instruction::ShiftImm {
+                    op: ShiftOp::Sll,
+                    rd: Reg::R1,
+                    amount: 1,
+                },
+                C::Shift,
+            ),
+            (
+                Instruction::Load {
+                    rd: Reg::R1,
+                    base: Reg::R2,
+                    offset: 0,
+                },
+                C::Load,
+            ),
+            (
+                Instruction::Store {
+                    rs: Reg::R1,
+                    base: Reg::R2,
+                    offset: 0,
+                },
+                C::Store,
+            ),
             (Instruction::Jmp { target: 0 }, C::Jump),
             (Instruction::Done, C::Event),
         ];
@@ -228,12 +376,21 @@ mod tests {
 
     #[test]
     fn display_formats_reasonably() {
-        let ins = Instruction::Load { rd: Reg::R4, base: Reg::R13, offset: 0x20 };
+        let ins = Instruction::Load {
+            rd: Reg::R4,
+            base: Reg::R13,
+            offset: 0x20,
+        };
         assert_eq!(ins.to_string(), "lw r4, 0x20(r13)");
         assert_eq!(Instruction::Done.to_string(), "done");
         assert_eq!(
-            Instruction::Branch { cond: BranchCond::Eqz, ra: Reg::R2, rb: Reg::R0, target: 0x40 }
-                .to_string(),
+            Instruction::Branch {
+                cond: BranchCond::Eqz,
+                ra: Reg::R2,
+                rb: Reg::R0,
+                target: 0x40
+            }
+            .to_string(),
             "beqz r2, 0x40"
         );
     }

@@ -102,7 +102,12 @@ impl Instruction {
             Instruction::ImemStore { rs, base, offset } => {
                 EncodedWords::two(word(op::IMEM, rs, base, mem_fn::STORE), offset)
             }
-            Instruction::Branch { cond, ra, rb, target } => {
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 let rb = if cond.is_unary() { Reg::R0 } else { rb };
                 EncodedWords::two(word(op::BRANCH, ra, rb, cond.fn_code()), target)
             }
@@ -112,9 +117,7 @@ impl Instruction {
             Instruction::Jal { rd, target } => {
                 EncodedWords::two(word(op::JUMP, rd, Reg::R0, jump_fn::JAL), target)
             }
-            Instruction::Jr { rs } => {
-                EncodedWords::one(word(op::JUMP, Reg::R0, rs, jump_fn::JR))
-            }
+            Instruction::Jr { rs } => EncodedWords::one(word(op::JUMP, Reg::R0, rs, jump_fn::JR)),
             Instruction::Jalr { rd, rs } => {
                 EncodedWords::one(word(op::JUMP, rd, rs, jump_fn::JALR))
             }
@@ -130,21 +133,15 @@ impl Instruction {
             Instruction::Bfs { rd, rs, mask } => {
                 EncodedWords::two(word(op::NET, rd, rs, net_fn::BFS), mask)
             }
-            Instruction::Rand { rd } => {
-                EncodedWords::one(word(op::NET, rd, Reg::R0, net_fn::RAND))
-            }
-            Instruction::Seed { rs } => {
-                EncodedWords::one(word(op::NET, Reg::R0, rs, net_fn::SEED))
-            }
+            Instruction::Rand { rd } => EncodedWords::one(word(op::NET, rd, Reg::R0, net_fn::RAND)),
+            Instruction::Seed { rs } => EncodedWords::one(word(op::NET, Reg::R0, rs, net_fn::SEED)),
             Instruction::Done => {
                 EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::DONE))
             }
             Instruction::SetAddr { rev, raddr } => {
                 EncodedWords::one(word(op::EVENT, rev, raddr, event_fn::SETADDR))
             }
-            Instruction::Nop => {
-                EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::NOP))
-            }
+            Instruction::Nop => EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::NOP)),
             Instruction::Halt => {
                 EncodedWords::one(word(op::EVENT, Reg::R0, Reg::R0, event_fn::HALT))
             }

@@ -77,7 +77,10 @@ impl EventKind {
 
     /// `true` for the three timer events.
     pub fn is_timer(self) -> bool {
-        matches!(self, EventKind::Timer0 | EventKind::Timer1 | EventKind::Timer2)
+        matches!(
+            self,
+            EventKind::Timer0 | EventKind::Timer1 | EventKind::Timer2
+        )
     }
 }
 

@@ -211,8 +211,13 @@ pub enum ShiftOp {
 
 impl ShiftOp {
     /// All shift operations.
-    pub const ALL: [ShiftOp; 5] =
-        [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Rol, ShiftOp::Ror];
+    pub const ALL: [ShiftOp; 5] = [
+        ShiftOp::Sll,
+        ShiftOp::Srl,
+        ShiftOp::Sra,
+        ShiftOp::Rol,
+        ShiftOp::Ror,
+    ];
 
     /// The 4-bit function code.
     pub fn fn_code(self) -> u16 {
@@ -603,12 +608,18 @@ pub struct EncodedWords {
 impl EncodedWords {
     /// A one-word encoding.
     pub fn one(first: Word) -> EncodedWords {
-        EncodedWords { first, second: None }
+        EncodedWords {
+            first,
+            second: None,
+        }
     }
 
     /// A two-word encoding.
     pub fn two(first: Word, second: Word) -> EncodedWords {
-        EncodedWords { first, second: Some(second) }
+        EncodedWords {
+            first,
+            second: Some(second),
+        }
     }
 
     /// The first (or only) instruction word.
@@ -665,9 +676,9 @@ impl Instruction {
             | Instruction::Jal { .. }
             | Instruction::Jr { .. }
             | Instruction::Jalr { .. } => InstructionClass::Jump,
-            Instruction::SchedHi { .. } | Instruction::SchedLo { .. } | Instruction::Cancel { .. } => {
-                InstructionClass::Timer
-            }
+            Instruction::SchedHi { .. }
+            | Instruction::SchedLo { .. }
+            | Instruction::Cancel { .. } => InstructionClass::Timer,
             Instruction::Bfs { .. } => InstructionClass::Bitfield,
             Instruction::Rand { .. } | Instruction::Seed { .. } => InstructionClass::Rand,
             Instruction::Done
@@ -711,7 +722,10 @@ impl Instruction {
     /// `true` when execution performs a *data* access to IMEM (beyond
     /// instruction fetch).
     pub fn accesses_imem_data(&self) -> bool {
-        matches!(self, Instruction::ImemLoad { .. } | Instruction::ImemStore { .. })
+        matches!(
+            self,
+            Instruction::ImemLoad { .. } | Instruction::ImemStore { .. }
+        )
     }
 
     /// Registers read by this instruction, in operand order.
@@ -720,9 +734,15 @@ impl Instruction {
     /// that destructive ALU/shift destination registers are also sources.
     pub fn source_regs(&self) -> Vec<Reg> {
         match *self {
-            Instruction::AluReg { op: AluOp::Mov | AluOp::Not | AluOp::Neg, rs, .. } => vec![rs],
+            Instruction::AluReg {
+                op: AluOp::Mov | AluOp::Not | AluOp::Neg,
+                rs,
+                ..
+            } => vec![rs],
             Instruction::AluReg { rd, rs, .. } => vec![rd, rs],
-            Instruction::AluImm { op: AluImmOp::Li, .. } => vec![],
+            Instruction::AluImm {
+                op: AluImmOp::Li, ..
+            } => vec![],
             Instruction::AluImm { rd, .. } => vec![rd],
             Instruction::ShiftReg { rd, rs, .. } => vec![rd, rs],
             Instruction::ShiftImm { rd, .. } => vec![rd],
@@ -824,10 +844,16 @@ impl fmt::Display for Instruction {
             Instruction::Load { rd, base, offset } | Instruction::ImemLoad { rd, base, offset } => {
                 write!(f, "{m} {rd}, {offset:#x}({base})")
             }
-            Instruction::Store { rs, base, offset } | Instruction::ImemStore { rs, base, offset } => {
+            Instruction::Store { rs, base, offset }
+            | Instruction::ImemStore { rs, base, offset } => {
                 write!(f, "{m} {rs}, {offset:#x}({base})")
             }
-            Instruction::Branch { cond, ra, rb, target } => {
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 if cond.is_unary() {
                     write!(f, "{m} {ra}, {target:#x}")
                 } else {

@@ -79,7 +79,10 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "illegal instruction word {word:#06x}")
             }
             DecodeError::MissingImmediate { word } => {
-                write!(f, "two-word instruction {word:#06x} is missing its immediate word")
+                write!(
+                    f,
+                    "two-word instruction {word:#06x} is missing its immediate word"
+                )
             }
         }
     }

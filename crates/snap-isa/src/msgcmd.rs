@@ -118,8 +118,14 @@ mod tests {
 
     #[test]
     fn arguments_are_masked_to_12_bits() {
-        assert_eq!(MsgCommand::QuerySensor(0xffff).encode(), MsgCommand::QuerySensor(0xfff).encode());
-        assert_eq!(MsgCommand::PortWrite(0x1005).encode(), MsgCommand::PortWrite(0x005).encode());
+        assert_eq!(
+            MsgCommand::QuerySensor(0xffff).encode(),
+            MsgCommand::QuerySensor(0xfff).encode()
+        );
+        assert_eq!(
+            MsgCommand::PortWrite(0x1005).encode(),
+            MsgCommand::PortWrite(0x005).encode()
+        );
     }
 
     #[test]

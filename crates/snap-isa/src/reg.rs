@@ -90,9 +90,15 @@ impl Reg {
         let rest = name
             .strip_prefix('r')
             .or_else(|| name.strip_prefix('R'))
-            .ok_or_else(|| ParseRegError { name: name.to_owned() })?;
-        let index: u8 = rest.parse().map_err(|_| ParseRegError { name: name.to_owned() })?;
-        Reg::from_index(index).ok_or_else(|| ParseRegError { name: name.to_owned() })
+            .ok_or_else(|| ParseRegError {
+                name: name.to_owned(),
+            })?;
+        let index: u8 = rest.parse().map_err(|_| ParseRegError {
+            name: name.to_owned(),
+        })?;
+        Reg::from_index(index).ok_or_else(|| ParseRegError {
+            name: name.to_owned(),
+        })
     }
 }
 
@@ -118,7 +124,11 @@ pub struct ParseRegError {
 
 impl fmt::Display for ParseRegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid register name `{}` (expected r0..r15)", self.name)
+        write!(
+            f,
+            "invalid register name `{}` (expected r0..r15)",
+            self.name
+        )
     }
 }
 

@@ -68,10 +68,20 @@ impl Channel {
     ///
     /// Panics unless `0.0 <= probability <= 1.0`.
     pub fn with_loss(mut self, probability: f64, seed: u64) -> Channel {
+        self.set_loss(probability, seed);
+        self
+    }
+
+    /// Enable random per-word loss in place: statistics and in-flight
+    /// transmissions are preserved, only the fading model is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    pub fn set_loss(&mut self, probability: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&probability), "probability in [0, 1]");
         self.loss_probability = probability;
         self.rng = SplitMix64::new(seed);
-        self
     }
 
     /// Draw the fading dice for one word at one receiver. Returns
@@ -101,9 +111,10 @@ impl Channel {
     /// `audible_from`? Checks for any *other* audible transmission
     /// overlapping `tx` in time.
     pub fn is_clean(&self, tx: &Transmission, audible_from: &[NodeId]) -> bool {
-        !self.active.iter().any(|other| {
-            other != tx && audible_from.contains(&other.from) && tx.overlaps(other)
-        })
+        !self
+            .active
+            .iter()
+            .any(|other| other != tx && audible_from.contains(&other.from) && tx.overlaps(other))
     }
 
     /// Account a clean delivery.
@@ -150,7 +161,10 @@ mod tests {
     #[test]
     fn overlap_rules() {
         assert!(tx(1, 0, 833).overlaps(&tx(2, 100, 933)));
-        assert!(!tx(1, 0, 833).overlaps(&tx(2, 833, 1666)), "back-to-back is clean");
+        assert!(
+            !tx(1, 0, 833).overlaps(&tx(2, 833, 1666)),
+            "back-to-back is clean"
+        );
         assert!(tx(1, 0, 833).overlaps(&tx(2, 832, 1665)));
     }
 

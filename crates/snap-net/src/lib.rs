@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod pool;
 pub mod sim;
 pub mod topology;
 pub mod trace;
 
 pub use channel::Transmission;
+pub use pool::WorkerPool;
 pub use sim::{NetworkSim, Stimulus};
 pub use topology::{Position, Topology};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,130 @@
+//! A persistent worker pool for parallel node windows.
+//!
+//! Between synchronization points nodes are independent, so
+//! [`crate::NetworkSim`] advances them on worker threads. Spawning a
+//! thread per node per 100 µs quantum (the old `scope`-based approach)
+//! costs far more than the work in each window; this pool spawns its
+//! threads once, on first use, and reuses them for every quantum.
+//!
+//! Determinism: nodes are partitioned into contiguous chunks, one per
+//! worker, and each worker advances its chunk in index order. Results
+//! are reassembled by chunk index — never by completion order — so the
+//! fold over node outputs observes exactly the sequence the sequential
+//! path would produce.
+
+use dess::SimTime;
+use snap_node::{Node, NodeError, NodeOutput};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+type NodeResult = Result<Vec<NodeOutput>, NodeError>;
+
+/// A raw pointer to a worker's chunk, asserted safe to move across
+/// threads: chunks are disjoint `&mut [Node]` ranges and the caller
+/// blocks until every worker reports back before touching the nodes.
+struct ChunkPtr(*mut Node);
+unsafe impl Send for ChunkPtr {}
+
+struct Job {
+    chunk: usize,
+    nodes: ChunkPtr,
+    len: usize,
+    deadline: SimTime,
+    results: mpsc::Sender<(usize, Vec<NodeResult>)>,
+}
+
+/// The persistent pool. Threads start lazily on the first parallel run
+/// and exit when the pool is dropped (the job senders hang up).
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with no threads yet; they spawn on the first `run`.
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            senders: Vec::new(),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Worker threads currently alive (0 before the first `run`).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn spawn_workers(&mut self, count: usize) {
+        for i in 0..count {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("snap-net-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let nodes: &mut [Node] =
+                            unsafe { std::slice::from_raw_parts_mut(job.nodes.0, job.len) };
+                        let out: Vec<NodeResult> = nodes
+                            .iter_mut()
+                            .map(|n| n.run_until(job.deadline))
+                            .collect();
+                        // A send error means the caller died mid-run;
+                        // nothing useful left to do with the result.
+                        let _ = job.results.send((job.chunk, out));
+                    }
+                })
+                .expect("spawn pool worker");
+            self.senders.push(tx);
+            self.handles.push(handle);
+        }
+    }
+
+    /// Advance every node to `deadline` on the pool, returning each
+    /// node's result in node-index order.
+    pub fn run(&mut self, nodes: &mut [Node], deadline: SimTime) -> Vec<NodeResult> {
+        if self.handles.is_empty() {
+            let workers = std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .min(8);
+            self.spawn_workers(workers.max(1));
+        }
+        let chunk_len = nodes.len().div_ceil(self.handles.len()).max(1);
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut jobs = 0;
+        for (chunk, slice) in nodes.chunks_mut(chunk_len).enumerate() {
+            let job = Job {
+                chunk,
+                nodes: ChunkPtr(slice.as_mut_ptr()),
+                len: slice.len(),
+                deadline,
+                results: results_tx.clone(),
+            };
+            self.senders[chunk].send(job).expect("pool worker alive");
+            jobs += 1;
+        }
+        drop(results_tx);
+        let mut by_chunk: Vec<Option<Vec<NodeResult>>> = (0..jobs).map(|_| None).collect();
+        for _ in 0..jobs {
+            let (chunk, out) = results_rx.recv().expect("pool worker panicked");
+            by_chunk[chunk] = Some(out);
+        }
+        by_chunk
+            .into_iter()
+            .flat_map(|r| r.expect("every chunk reported"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // hang up: workers see Err(recv) and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! (nodes are independent between synchronization points).
 
 use crate::channel::{Channel, Transmission};
+use crate::pool::WorkerPool;
 use crate::topology::{Position, Topology};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use dess::{Calendar, SimDuration, SimTime};
@@ -19,8 +20,8 @@ use std::collections::BTreeMap;
 /// Work window granted to running nodes per synchronization round.
 const RUN_QUANTUM: SimDuration = SimDuration::from_us(100);
 
-/// Node count at which windows run on parallel threads.
-const PARALLEL_THRESHOLD: usize = 8;
+/// Default node count at which windows run on the worker pool.
+pub const PARALLEL_THRESHOLD: usize = 8;
 
 /// An external stimulus injected into a node on schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,8 @@ pub struct NetworkSim {
     stimuli: Calendar<(NodeId, Stimulus)>,
     trace: Trace,
     now: SimTime,
+    pool: WorkerPool,
+    parallel_threshold: usize,
 }
 
 impl NetworkSim {
@@ -60,7 +63,16 @@ impl NetworkSim {
             stimuli: Calendar::new(),
             trace: Trace::new(),
             now: SimTime::ZERO,
+            pool: WorkerPool::new(),
+            parallel_threshold: PARALLEL_THRESHOLD,
         }
+    }
+
+    /// Override the node count at which windows run on the worker pool
+    /// (tests force it low/high to compare parallel vs sequential runs;
+    /// both must produce bit-identical traces and energy totals).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold.max(1);
     }
 
     /// Add a node at `position` running `program`. Node ids are
@@ -72,7 +84,10 @@ impl NetworkSim {
     /// Panics if the program does not fit the node's memories.
     pub fn add_node(&mut self, program: &Program, position: Position) -> NodeId {
         let id = NodeId(self.nodes.len() as u16 + 1);
-        let cfg = NodeConfig { id, ..NodeConfig::default() };
+        let cfg = NodeConfig {
+            id,
+            ..NodeConfig::default()
+        };
         let mut node = Node::new(cfg);
         node.load(program).expect("program fits the node memories");
         self.topology.place(id, position);
@@ -115,7 +130,7 @@ impl NetworkSim {
     ///
     /// Panics unless `0.0 <= probability <= 1.0`.
     pub fn set_loss(&mut self, probability: f64, seed: u64) {
-        self.channel = self.channel.clone().with_loss(probability, seed);
+        self.channel.set_loss(probability, seed);
     }
 
     /// The event trace.
@@ -140,7 +155,7 @@ impl NetworkSim {
     /// Propagates the first [`NodeError`] from any node.
     pub fn run_until(&mut self, t_end: SimTime) -> Result<(), NodeError> {
         loop {
-            let next = self.next_instant();
+            let (next, later) = self.next_instants();
             let Some(t) = next else {
                 self.advance_all(t_end)?;
                 self.now = t_end;
@@ -155,7 +170,6 @@ impl NetworkSim {
             // Window: up to the next *later* instant, capped by the
             // quantum, so running nodes execute efficiently but no
             // delivery or stimulus is overshot.
-            let later = self.next_instant_after(t);
             let mut window_end = t + RUN_QUANTUM;
             if let Some(l) = later {
                 window_end = window_end.min(l);
@@ -176,28 +190,24 @@ impl NetworkSim {
         self.run_until(self.now + duration)
     }
 
-    fn next_instant(&self) -> Option<SimTime> {
-        let mut next: Option<SimTime> = None;
-        let mut consider = |t: Option<SimTime>| {
-            if let Some(t) = t {
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
-        };
-        consider(self.deliveries.peek_time());
-        consider(self.stimuli.peek_time());
-        for node in &self.nodes {
-            consider(node.next_activity());
-        }
-        next
-    }
-
-    fn next_instant_after(&self, t: SimTime) -> Option<SimTime> {
-        let mut next: Option<SimTime> = None;
+    /// The earliest instant anything can happen, and the earliest
+    /// instant strictly after it, in one pass over the calendars and
+    /// all node activities.
+    fn next_instants(&self) -> (Option<SimTime>, Option<SimTime>) {
+        let mut first: Option<SimTime> = None;
+        let mut second: Option<SimTime> = None;
         let mut consider = |cand: Option<SimTime>| {
-            if let Some(c) = cand {
-                if c > t {
-                    next = Some(next.map_or(c, |n| n.min(c)));
+            let Some(c) = cand else { return };
+            match first {
+                None => first = Some(c),
+                Some(f) if c < f => {
+                    second = Some(second.map_or(f, |s| s.min(f)));
+                    first = Some(c);
                 }
+                Some(f) if c > f => {
+                    second = Some(second.map_or(c, |s| s.min(c)));
+                }
+                Some(_) => {} // duplicate of the minimum
             }
         };
         consider(self.deliveries.peek_time());
@@ -205,25 +215,20 @@ impl NetworkSim {
         for node in &self.nodes {
             consider(node.next_activity());
         }
-        next
+        (first, second)
     }
 
     /// Advance every node to `deadline` (in parallel for big networks)
     /// and fold their outputs into the channel/trace.
     fn advance_all(&mut self, deadline: SimTime) -> Result<(), NodeError> {
         let results: Vec<Result<Vec<NodeOutput>, NodeError>> =
-            if self.nodes.len() >= PARALLEL_THRESHOLD {
-                crossbeam::scope(|s| {
-                    let handles: Vec<_> = self
-                        .nodes
-                        .iter_mut()
-                        .map(|node| s.spawn(move |_| node.run_until(deadline)))
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("node thread")).collect()
-                })
-                .expect("crossbeam scope")
+            if self.nodes.len() >= self.parallel_threshold {
+                self.pool.run(&mut self.nodes, deadline)
             } else {
-                self.nodes.iter_mut().map(|node| node.run_until(deadline)).collect()
+                self.nodes
+                    .iter_mut()
+                    .map(|node| node.run_until(deadline))
+                    .collect()
             };
 
         for (i, result) in results.into_iter().enumerate() {
@@ -231,7 +236,12 @@ impl NetworkSim {
             for output in result? {
                 match output {
                     NodeOutput::Transmitted { word, start, end } => {
-                        let tx = Transmission { from, word, start, end };
+                        let tx = Transmission {
+                            from,
+                            word,
+                            start,
+                            end,
+                        };
                         self.channel.transmit(tx);
                         self.deliveries.schedule(end, tx);
                         self.trace.record(TraceEvent {
@@ -276,14 +286,13 @@ impl NetworkSim {
     }
 
     fn deliver(&mut self, tx: Transmission) {
-        let receivers: Vec<NodeId> = self.topology.neighbours(tx.from);
-        for id in receivers {
-            let audible: Vec<NodeId> = self
-                .topology
-                .nodes()
-                .filter(|&n| self.topology.in_range(n, id))
-                .collect();
-            let clean = self.channel.is_clean(&tx, &audible) && !self.channel.fades();
+        // Cached neighbour slices borrow `topology`; the loop mutates
+        // only the disjoint `channel`/`nodes`/`trace` fields.
+        let receivers = self.topology.neighbours(tx.from);
+        for &id in receivers {
+            // By symmetry, what `id` hears is exactly its neighbours.
+            let audible = self.topology.neighbours(id);
+            let clean = self.channel.is_clean(&tx, audible) && !self.channel.fades();
             let idx = self.index[&id];
             if clean {
                 if self.nodes[idx].deliver_rx(tx.word) {
@@ -291,7 +300,10 @@ impl NetworkSim {
                     self.trace.record(TraceEvent {
                         at_ps: tx.end.as_ps(),
                         node: id,
-                        kind: TraceKind::Deliver { word: tx.word, from: tx.from },
+                        kind: TraceKind::Deliver {
+                            word: tx.word,
+                            from: tx.from,
+                        },
                     });
                 }
             } else {
@@ -315,6 +327,10 @@ impl NetworkSim {
                 self.nodes[idx].sensors_mut().set_reading(sensor, value);
             }
         }
-        self.trace.record(TraceEvent { at_ps: at.as_ps(), node: id, kind: TraceKind::Stimulus });
+        self.trace.record(TraceEvent {
+            at_ps: at.as_ps(),
+            node: id,
+            kind: TraceKind::Stimulus,
+        });
     }
 }

@@ -1,11 +1,10 @@
 //! Node positions and radio connectivity.
 
-use serde::{Deserialize, Serialize};
 use snap_node::NodeId;
 use std::collections::BTreeMap;
 
 /// A 2-D node position (unit-free; range uses the same unit).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Position {
     /// X coordinate.
     pub x: f64,
@@ -26,10 +25,17 @@ impl Position {
 }
 
 /// Placement of nodes plus the (disc-model) radio range.
+///
+/// Connectivity is queried far more often than it changes (every
+/// delivery consults it; placement happens at setup), so each node's
+/// neighbour list is cached sorted and rebuilt whenever a node is
+/// placed or moved. The disc model is symmetric, so one list per node
+/// doubles as both "who hears `n`" and "who `n` hears".
 #[derive(Debug, Clone)]
 pub struct Topology {
     positions: BTreeMap<NodeId, Position>,
     range: f64,
+    neighbours: BTreeMap<NodeId, Vec<NodeId>>,
 }
 
 impl Topology {
@@ -40,12 +46,28 @@ impl Topology {
     /// Panics unless `range` is positive.
     pub fn new(range: f64) -> Topology {
         assert!(range > 0.0, "radio range must be positive");
-        Topology { positions: BTreeMap::new(), range }
+        Topology {
+            positions: BTreeMap::new(),
+            range,
+            neighbours: BTreeMap::new(),
+        }
     }
 
-    /// Place (or move) a node.
+    /// Place (or move) a node; rebuilds the neighbour cache.
     pub fn place(&mut self, node: NodeId, position: Position) {
         self.positions.insert(node, position);
+        self.rebuild_neighbours();
+    }
+
+    fn rebuild_neighbours(&mut self) {
+        self.neighbours = self
+            .positions
+            .keys()
+            .map(|&n| {
+                let list = self.nodes().filter(|&m| self.in_range(n, m)).collect();
+                (n, list)
+            })
+            .collect();
     }
 
     /// The node's position, if placed.
@@ -75,9 +97,10 @@ impl Topology {
         self.positions.keys().copied()
     }
 
-    /// Nodes within range of `from` (excluding `from`).
-    pub fn neighbours(&self, from: NodeId) -> Vec<NodeId> {
-        self.nodes().filter(|&n| self.in_range(from, n)).collect()
+    /// Nodes within range of `from` (excluding `from`), in id order.
+    /// By radio symmetry this is also the set of nodes `from` hears.
+    pub fn neighbours(&self, from: NodeId) -> &[NodeId] {
+        self.neighbours.get(&from).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -103,6 +126,25 @@ mod tests {
         assert!(!t.in_range(NodeId(1), NodeId(3)));
         assert!(!t.in_range(NodeId(1), NodeId(1)), "no self-hearing");
         assert_eq!(t.neighbours(NodeId(1)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn neighbour_cache_rebuilds_on_move() {
+        let mut t = Topology::new(10.0);
+        t.place(NodeId(1), Position::new(0.0, 0.0));
+        t.place(NodeId(2), Position::new(5.0, 0.0));
+        assert_eq!(t.neighbours(NodeId(1)), vec![NodeId(2)]);
+        // Re-placing a node must refresh every cached neighbourhood.
+        t.place(NodeId(2), Position::new(50.0, 0.0));
+        assert!(t.neighbours(NodeId(1)).is_empty());
+        assert!(t.neighbours(NodeId(2)).is_empty());
+        t.place(NodeId(3), Position::new(45.0, 0.0));
+        assert_eq!(t.neighbours(NodeId(2)), vec![NodeId(3)]);
+        assert_eq!(t.neighbours(NodeId(3)), vec![NodeId(2)]);
+        assert!(
+            t.neighbours(NodeId(9)).is_empty(),
+            "unknown id has no neighbours"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! A serializable trace of network-visible events.
 
-use serde::{Deserialize, Serialize};
 use snap_isa::Word;
 use snap_node::NodeId;
 
 /// What happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A word went on the air.
     Transmit {
@@ -34,7 +33,7 @@ pub enum TraceKind {
 }
 
 /// One trace event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Simulated time in picoseconds.
     pub at_ps: u64,
@@ -45,7 +44,7 @@ pub struct TraceEvent {
 }
 
 /// The collected trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -108,20 +107,42 @@ mod tests {
     #[test]
     fn json_lines_output() {
         let mut t = Trace::new();
-        t.record(TraceEvent { at_ps: 5, node: NodeId(2), kind: TraceKind::Deliver { word: 7, from: NodeId(1) } });
-        t.record(TraceEvent { at_ps: 9, node: NodeId(2), kind: TraceKind::Stimulus });
+        t.record(TraceEvent {
+            at_ps: 5,
+            node: NodeId(2),
+            kind: TraceKind::Deliver {
+                word: 7,
+                from: NodeId(1),
+            },
+        });
+        t.record(TraceEvent {
+            at_ps: 9,
+            node: NodeId(2),
+            kind: TraceKind::Stimulus,
+        });
         let json = t.to_json_lines();
         let lines: Vec<&str> = json.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], r#"{"at_ps":5,"node":2,"kind":"deliver","word":7,"from":1}"#);
+        assert_eq!(
+            lines[0],
+            r#"{"at_ps":5,"node":2,"kind":"deliver","word":7,"from":1}"#
+        );
         assert_eq!(lines[1], r#"{"at_ps":9,"node":2,"kind":"stimulus"}"#);
     }
 
     #[test]
     fn record_and_filter() {
         let mut t = Trace::new();
-        t.record(TraceEvent { at_ps: 1, node: NodeId(1), kind: TraceKind::Transmit { word: 5 } });
-        t.record(TraceEvent { at_ps: 2, node: NodeId(2), kind: TraceKind::Led { value: 1 } });
+        t.record(TraceEvent {
+            at_ps: 1,
+            node: NodeId(1),
+            kind: TraceKind::Transmit { word: 5 },
+        });
+        t.record(TraceEvent {
+            at_ps: 2,
+            node: NodeId(2),
+            kind: TraceKind::Led { value: 1 },
+        });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.for_node(NodeId(1)).count(), 1);
         assert_eq!(t.count(|e| matches!(e.kind, TraceKind::Led { .. })), 1);

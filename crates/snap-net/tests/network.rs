@@ -19,7 +19,10 @@ fn two_node_packet_exchange() {
     let mut sim = NetworkSim::new(10.0);
     let extra = install_handler("EV_IRQ", "app_send_irq");
     let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
-    let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+    let sender = sim.add_node(
+        &mac_program(1, &extra, &app).unwrap(),
+        Position::new(0.0, 0.0),
+    );
     let listener = sim.add_node(
         &mac_program(2, "", RX_DISPATCH_STUB).unwrap(),
         Position::new(5.0, 0.0),
@@ -55,7 +58,10 @@ fn three_node_aodv_forwarding_chain() {
         Position::new(5.0, 0.0),
     );
     let sink = sim.add_node(&relay_program(3, &[]).unwrap(), Position::new(10.0, 0.0));
-    assert!(!sim.topology().in_range(source, sink), "must need the relay");
+    assert!(
+        !sim.topology().in_range(source, sink),
+        "must need the relay"
+    );
 
     sim.schedule(source, ms(2), Stimulus::SensorIrq);
     sim.run_until(ms(40)).unwrap();
@@ -63,7 +69,11 @@ fn three_node_aodv_forwarding_chain() {
     // The sink got the payload: its aodv_local counter incremented.
     let sink_prog = relay_program(3, &[]).unwrap();
     let local = sink_prog.symbol("aodv_local").unwrap();
-    assert_eq!(sim.node(sink).cpu().dmem().read(local), 1, "payload must reach the sink");
+    assert_eq!(
+        sim.node(sink).cpu().dmem().read(local),
+        1,
+        "payload must reach the sink"
+    );
     // The relay forwarded exactly one packet.
     let relay_prog = relay_program(2, &[]).unwrap();
     let fwds = relay_prog.symbol("aodv_fwds").unwrap();
@@ -102,9 +112,14 @@ rx_dispatch:
         w2 = rreq.encode()[2],
     );
     let extra = install_handler("EV_IRQ", "app_send_irq");
-    let asker = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
-    let _responder =
-        sim.add_node(&relay_program(2, &[(9, 7)]).unwrap(), Position::new(4.0, 0.0));
+    let asker = sim.add_node(
+        &mac_program(1, &extra, &app).unwrap(),
+        Position::new(0.0, 0.0),
+    );
+    let _responder = sim.add_node(
+        &relay_program(2, &[(9, 7)]).unwrap(),
+        Position::new(4.0, 0.0),
+    );
 
     sim.schedule(asker, ms(2), Stimulus::SensorIrq);
     sim.run_until(ms(30)).unwrap();
@@ -123,10 +138,18 @@ fn simultaneous_transmitters_collide() {
     let mut sim = NetworkSim::new(20.0);
     let extra = install_handler("EV_IRQ", "app_send_irq");
     let app = format!("{}{}", send_on_irq_app(3), RX_DISPATCH_STUB);
-    let a = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
-    let b = sim.add_node(&mac_program(2, &extra, &app).unwrap(), Position::new(1.0, 0.0));
-    let _listener =
-        sim.add_node(&mac_program(3, "", RX_DISPATCH_STUB).unwrap(), Position::new(2.0, 0.0));
+    let a = sim.add_node(
+        &mac_program(1, &extra, &app).unwrap(),
+        Position::new(0.0, 0.0),
+    );
+    let b = sim.add_node(
+        &mac_program(2, &extra, &app).unwrap(),
+        Position::new(1.0, 0.0),
+    );
+    let _listener = sim.add_node(
+        &mac_program(3, "", RX_DISPATCH_STUB).unwrap(),
+        Position::new(2.0, 0.0),
+    );
     // Same instant: both backoffs start together; the LFSR seeds are
     // identical, so the backoff draws coincide and words overlap.
     sim.schedule(a, ms(2), Stimulus::SensorIrq);
@@ -142,13 +165,23 @@ fn trace_captures_activity() {
     let mut sim = NetworkSim::new(10.0);
     let extra = install_handler("EV_IRQ", "app_send_irq");
     let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
-    let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
-    let _rx = sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(1.0, 0.0));
+    let sender = sim.add_node(
+        &mac_program(1, &extra, &app).unwrap(),
+        Position::new(0.0, 0.0),
+    );
+    let _rx = sim.add_node(
+        &mac_program(2, "", RX_DISPATCH_STUB).unwrap(),
+        Position::new(1.0, 0.0),
+    );
     sim.schedule(sender, ms(1), Stimulus::SensorIrq);
     sim.run_until(ms(20)).unwrap();
 
-    let tx_events = sim.trace().count(|e| matches!(e.kind, TraceKind::Transmit { .. }));
-    let rx_events = sim.trace().count(|e| matches!(e.kind, TraceKind::Deliver { .. }));
+    let tx_events = sim
+        .trace()
+        .count(|e| matches!(e.kind, TraceKind::Transmit { .. }));
+    let rx_events = sim
+        .trace()
+        .count(|e| matches!(e.kind, TraceKind::Deliver { .. }));
     let stim = sim.trace().count(|e| matches!(e.kind, TraceKind::Stimulus));
     assert_eq!(tx_events, 5);
     assert_eq!(rx_events, 5);
@@ -163,8 +196,16 @@ fn idle_network_sleeps() {
     let a = sim.add_node(&relay_program(1, &[]).unwrap(), Position::new(0.0, 0.0));
     sim.run_until(ms(100)).unwrap();
     let stats = sim.node(a).cpu().stats();
-    assert!(stats.instructions < 50, "boot only, got {}", stats.instructions);
-    assert!(stats.sleep_time.as_ms() > 99.0, "slept {}", stats.sleep_time);
+    assert!(
+        stats.instructions < 50,
+        "boot only, got {}",
+        stats.instructions
+    );
+    assert!(
+        stats.sleep_time.as_ms() > 99.0,
+        "slept {}",
+        stats.sleep_time
+    );
 }
 
 /// Two identical runs produce bit-identical traces: the whole stack
@@ -176,10 +217,19 @@ fn simulation_is_deterministic() {
         let mut sim = NetworkSim::new(8.0);
         let extra = install_handler("EV_IRQ", "app_send_irq");
         let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
-        let a = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
+        let a = sim.add_node(
+            &mac_program(1, &extra, &app).unwrap(),
+            Position::new(0.0, 0.0),
+        );
         let app3 = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
-        let c = sim.add_node(&mac_program(3, &extra, &app3).unwrap(), Position::new(2.0, 0.0));
-        sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(1.0, 1.0));
+        let c = sim.add_node(
+            &mac_program(3, &extra, &app3).unwrap(),
+            Position::new(2.0, 0.0),
+        );
+        sim.add_node(
+            &mac_program(2, "", RX_DISPATCH_STUB).unwrap(),
+            Position::new(1.0, 1.0),
+        );
         sim.schedule(a, ms(1), Stimulus::SensorIrq);
         sim.schedule(c, ms(1), Stimulus::SensorIrq);
         sim.run_until(ms(50)).unwrap();
@@ -230,9 +280,14 @@ fn channel_fading_model() {
         sim.set_loss(p, 42);
         let extra = install_handler("EV_IRQ", "app_send_irq");
         let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
-        let sender = sim.add_node(&mac_program(1, &extra, &app).unwrap(), Position::new(0.0, 0.0));
-        let listener =
-            sim.add_node(&mac_program(2, "", RX_DISPATCH_STUB).unwrap(), Position::new(3.0, 0.0));
+        let sender = sim.add_node(
+            &mac_program(1, &extra, &app).unwrap(),
+            Position::new(0.0, 0.0),
+        );
+        let listener = sim.add_node(
+            &mac_program(2, "", RX_DISPATCH_STUB).unwrap(),
+            Position::new(3.0, 0.0),
+        );
         sim.schedule(sender, ms(1), Stimulus::SensorIrq);
         sim.run_until(ms(20)).unwrap();
         if expect_all {

@@ -40,7 +40,9 @@ fn main() -> ExitCode {
             other => input = Some(other.to_string()),
         }
     }
-    let Some(path) = input else { return usage("no input file") };
+    let Some(path) = input else {
+        return usage("no input file");
+    };
 
     let point = match vdd.as_str() {
         "1.8" => snap_energy::OperatingPoint::V1_8,
@@ -58,9 +60,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = NodeConfig { core: snap_core::CoreConfig::at(point), ..NodeConfig::default() };
+    let cfg = NodeConfig {
+        core: snap_core::CoreConfig::at(point),
+        ..NodeConfig::default()
+    };
     let mut node = Node::new(cfg);
-    node.cpu_mut().load_image(0, &imem).expect("image fits IMEM");
+    node.cpu_mut()
+        .load_image(0, &imem)
+        .expect("image fits IMEM");
     node.cpu_mut().load_data(0, &dmem).expect("image fits DMEM");
 
     if trace {
@@ -124,7 +131,10 @@ fn load(path: &str, force_c: bool) -> Result<(Vec<u16>, Vec<u16>), String> {
         if bytes.len() % 2 != 0 {
             return Err(format!("{path}: odd byte count"));
         }
-        let words = bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+        let words = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
         Ok((words, Vec::new()))
     }
 }

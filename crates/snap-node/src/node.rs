@@ -11,19 +11,7 @@ use snap_isa::Word;
 use std::fmt;
 
 /// Identifies a node within a network simulation.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u16);
 
 impl fmt::Display for NodeId {
@@ -266,22 +254,30 @@ impl Node {
                     }
                     steps += 1;
                     if steps > self.step_limit {
-                        return Err(NodeError::StepLimit { node: self.id, limit: self.step_limit });
+                        return Err(NodeError::StepLimit {
+                            node: self.id,
+                            limit: self.step_limit,
+                        });
                     }
-                    let outcome = self
-                        .cpu
-                        .step()
-                        .map_err(|error| NodeError::Core { node: self.id, error })?;
-                    if let StepOutcome::Executed { action: Some(action), .. } = outcome {
+                    let outcome = self.cpu.step().map_err(|error| NodeError::Core {
+                        node: self.id,
+                        error,
+                    })?;
+                    if let StepOutcome::Executed {
+                        action: Some(action),
+                        ..
+                    } = outcome
+                    {
                         self.handle_action(action, &mut outputs)?;
                     }
                 }
                 CoreState::Asleep => {
                     if !self.cpu.event_queue().is_empty() {
                         // A token is waiting: wake up.
-                        self.cpu
-                            .step()
-                            .map_err(|error| NodeError::Core { node: self.id, error })?;
+                        self.cpu.step().map_err(|error| NodeError::Core {
+                            node: self.id,
+                            error,
+                        })?;
                         continue;
                     }
                     let next = self.next_activity();
@@ -349,10 +345,17 @@ impl Node {
             EnvAction::TxWord(word) => match self.radio.start_tx(word, now) {
                 Some(end) => {
                     self.pending.schedule(end, Pending::TxDone);
-                    outputs.push(NodeOutput::Transmitted { word, start: now, end });
+                    outputs.push(NodeOutput::Transmitted {
+                        word,
+                        start: now,
+                        end,
+                    });
                     Ok(())
                 }
-                None => Err(NodeError::RadioBusy { node: self.id, at: now }),
+                None => Err(NodeError::RadioBusy {
+                    node: self.id,
+                    at: now,
+                }),
             },
             EnvAction::RadioMode(enabled) => {
                 self.radio.set_enabled(enabled);
@@ -361,7 +364,10 @@ impl Node {
             }
             EnvAction::Query(id) => {
                 let value = self.sensors.query(id);
-                self.pending.schedule(now + self.sensors.reply_latency(), Pending::SensorReply(value));
+                self.pending.schedule(
+                    now + self.sensors.reply_latency(),
+                    Pending::SensorReply(value),
+                );
                 Ok(())
             }
             EnvAction::PortWrite(value) => {
@@ -410,8 +416,9 @@ mod tests {
         ";
         let mut node = node_with(src);
         let out = node.run_for(SimDuration::from_ms(5)).unwrap();
-        let Some(NodeOutput::Transmitted { word, start, end }) =
-            out.iter().find(|o| matches!(o, NodeOutput::Transmitted { .. }))
+        let Some(NodeOutput::Transmitted { word, start, end }) = out
+            .iter()
+            .find(|o| matches!(o, NodeOutput::Transmitted { .. }))
         else {
             panic!("no transmission in {out:?}");
         };
@@ -495,7 +502,10 @@ mod tests {
         let mut node = node_with(src);
         node.run_for(SimDuration::from_ms(1)).unwrap();
         let blinks = node.led().writes();
-        assert!((16..=22).contains(&blinks), "expected ~20 port writes, got {blinks}");
+        assert!(
+            (16..=22).contains(&blinks),
+            "expected ~20 port writes, got {blinks}"
+        );
         assert!(node.cpu().stats().wakeups >= 9);
     }
 
@@ -522,7 +532,10 @@ mod tests {
 
     #[test]
     fn runaway_handler_trips_step_limit() {
-        let cfg = NodeConfig { step_limit: 1000, ..NodeConfig::default() };
+        let cfg = NodeConfig {
+            step_limit: 1000,
+            ..NodeConfig::default()
+        };
         let program = assemble("loop: jmp loop").unwrap();
         let mut node = Node::new(cfg);
         node.load(&program).unwrap();

@@ -75,7 +75,11 @@ impl Radio {
     /// word completes and the radio returns to receive mode.
     pub fn set_enabled(&mut self, enabled: bool) {
         if self.mode != RadioMode::Tx {
-            self.mode = if enabled { RadioMode::Rx } else { RadioMode::Off };
+            self.mode = if enabled {
+                RadioMode::Rx
+            } else {
+                RadioMode::Off
+            };
         }
     }
 
@@ -102,7 +106,9 @@ impl Radio {
     ///
     /// Panics if no transmission is in flight.
     pub fn finish_tx(&mut self) -> Word {
-        self.tx_done_at.take().expect("finish_tx without a transmission in flight");
+        self.tx_done_at
+            .take()
+            .expect("finish_tx without a transmission in flight");
         self.mode = RadioMode::Rx;
         self.tx_word.take().expect("tx word recorded at start_tx")
     }
@@ -147,7 +153,11 @@ mod tests {
     #[test]
     fn word_time_is_833us_at_default_rate() {
         let r = Radio::new();
-        assert!((r.word_time().as_us() - 833.33).abs() < 0.5, "{}", r.word_time());
+        assert!(
+            (r.word_time().as_us() - 833.33).abs() < 0.5,
+            "{}",
+            r.word_time()
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ fn mode_change_during_tx_is_ignored() {
     let mut node = node_with(src);
     let out = node.run_for(SimDuration::from_ms(2)).unwrap();
     // The word still went out.
-    assert!(out.iter().any(|o| matches!(o, NodeOutput::Transmitted { word: 0xbbbb, .. })));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, NodeOutput::Transmitted { word: 0xbbbb, .. })));
     assert_eq!(node.radio().mode(), RadioMode::Rx, "returns to RX after TX");
 }
 

@@ -52,7 +52,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let options = CompileOptions { end, ..CompileOptions::default() };
+    let options = CompileOptions {
+        end,
+        ..CompileOptions::default()
+    };
     if emit_asm {
         match snapcc::compile_to_asm(&source, options) {
             Ok(asm) => {
@@ -73,18 +76,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{path}: {} bytes of code, {} data words", program.code_bytes(),
-        program.dmem_image().len());
+    println!(
+        "{path}: {} bytes of code, {} data words",
+        program.code_bytes(),
+        program.dmem_image().len()
+    );
 
     if run {
         use snap_core::{CoreConfig, Processor};
         let mut cpu = Processor::new(CoreConfig::default());
-        cpu.load_image(0, &program.imem_image()).expect("image fits");
+        cpu.load_image(0, &program.imem_image())
+            .expect("image fits");
         cpu.load_data(0, &program.dmem_image()).expect("data fits");
         match cpu.run_to_halt(max_steps) {
             Ok(_) => {
                 let stats = cpu.stats();
-                println!("main returned: {}", cpu.regs().read(snap_isa::Reg::R1) as i16);
+                println!(
+                    "main returned: {}",
+                    cpu.regs().read(snap_isa::Reg::R1) as i16
+                );
                 println!("instructions:  {}", stats.instructions);
                 println!("energy:        {}", stats.energy);
                 println!("busy time:     {}", stats.busy_time);

@@ -49,7 +49,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
-        CompileOptions { stack_top: DEFAULT_STACK_TOP, end: BootEnd::Halt }
+        CompileOptions {
+            stack_top: DEFAULT_STACK_TOP,
+            end: BootEnd::Halt,
+        }
     }
 }
 
@@ -89,7 +92,11 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::UndefinedVariable(n) => write!(f, "undefined variable `{n}`"),
             CompileError::UndefinedFunction(n) => write!(f, "undefined function `{n}`"),
-            CompileError::ArityMismatch { name, expected, got } => {
+            CompileError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "`{name}` takes {expected} arguments, got {got}")
             }
             CompileError::Duplicate(n) => write!(f, "`{n}` defined twice"),
@@ -125,7 +132,10 @@ struct FnCtx {
 
 impl FnCtx {
     fn lookup(&self, name: &str) -> Option<Storage> {
-        self.vars.iter().rev().find_map(|scope| scope.get(name).copied())
+        self.vars
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
     }
 }
 
@@ -165,16 +175,29 @@ pub fn compile(unit: &Unit, options: CompileOptions) -> Result<String, CompileEr
     // Collect signatures first so forward calls work.
     for item in &unit.items {
         match item {
-            Item::Global { name, array, init, array_init } => {
-                let storage =
-                    if array.is_some() { Storage::GlobalArray } else { Storage::GlobalScalar };
+            Item::Global {
+                name,
+                array,
+                init,
+                array_init,
+            } => {
+                let storage = if array.is_some() {
+                    Storage::GlobalArray
+                } else {
+                    Storage::GlobalScalar
+                };
                 if gen.globals.insert(name.clone(), storage).is_some() {
                     return Err(CompileError::Duplicate(name.clone()));
                 }
-                gen.global_defs.push((name.clone(), *array, *init, array_init.clone()));
+                gen.global_defs
+                    .push((name.clone(), *array, *init, array_init.clone()));
             }
             Item::Function(f) => {
-                if gen.functions.insert(f.name.clone(), f.params.len()).is_some() {
+                if gen
+                    .functions
+                    .insert(f.name.clone(), f.params.len())
+                    .is_some()
+                {
                     return Err(CompileError::Duplicate(f.name.clone()));
                 }
                 if f.kind == FnKind::Handler {
@@ -301,7 +324,9 @@ impl Gen {
                 let storage = match array {
                     Some(len) => {
                         ctx.next_slot += (*len).max(1);
-                        Storage::LocalArray { top_slot: ctx.next_slot - 1 }
+                        Storage::LocalArray {
+                            top_slot: ctx.next_slot - 1,
+                        }
                     }
                     None => {
                         ctx.next_slot += 1;
@@ -316,7 +341,10 @@ impl Gen {
                 if let Some(e) = init {
                     let target = Expr::Var(name.clone());
                     self.expr(
-                        &Expr::Assign { target: Box::new(target), value: Box::new(e.clone()) },
+                        &Expr::Assign {
+                            target: Box::new(target),
+                            value: Box::new(e.clone()),
+                        },
                         ctx,
                     )?;
                 }
@@ -344,7 +372,11 @@ impl Gen {
                 self.emit(&format!("    jmp     {}__ret", ctx.name));
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let l_else = self.label();
                 let l_end = self.label();
                 self.expr(cond, ctx)?;
@@ -373,7 +405,12 @@ impl Gen {
                 self.emit(&format!("{l_end}:"));
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(e) = init {
                     self.expr(e, ctx)?;
                 }
@@ -492,9 +529,7 @@ impl Gen {
                         self.emit(&format!("    lw      r1, -{}(r12)", slot + 1))
                     }
                     // Arrays decay to their address.
-                    Storage::GlobalArray | Storage::LocalArray { .. } => {
-                        return self.addr(e, ctx)
-                    }
+                    Storage::GlobalArray | Storage::LocalArray { .. } => return self.addr(e, ctx),
                 }
                 Ok(())
             }
@@ -540,7 +575,11 @@ impl Gen {
                 self.emit("    sw      r1, 0(r3)");
                 Ok(())
             }
-            Expr::Binary { op: BinOp::LAnd, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::LAnd,
+                lhs,
+                rhs,
+            } => {
                 let l_false = self.label();
                 let l_end = self.label();
                 self.expr(lhs, ctx)?;
@@ -554,7 +593,11 @@ impl Gen {
                 self.emit(&format!("{l_end}:"));
                 Ok(())
             }
-            Expr::Binary { op: BinOp::LOr, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::LOr,
+                lhs,
+                rhs,
+            } => {
                 let l_true = self.label();
                 let l_end = self.label();
                 self.expr(lhs, ctx)?;
@@ -621,7 +664,11 @@ impl Gen {
                 }
                 Ok(())
             }
-            Expr::IncDec { target, inc, prefix } => {
+            Expr::IncDec {
+                target,
+                inc,
+                prefix,
+            } => {
                 let op = if *inc { "addi" } else { "subi" };
                 // Fast path for scalar variables (no address math).
                 if let Expr::Var(name) = target.as_ref() {
@@ -908,8 +955,10 @@ __mod_done:
             match (array, array_init) {
                 (Some(len), Some(values)) => {
                     let len = (*len).max(1);
-                    let mut words: Vec<String> =
-                        values.iter().map(|v| ((*v as i32) & 0xffff).to_string()).collect();
+                    let mut words: Vec<String> = values
+                        .iter()
+                        .map(|v| ((*v as i32) & 0xffff).to_string())
+                        .collect();
                     words.resize(len, "0".to_string());
                     self.emit(&format!("{name}: .word {}", words.join(", ")));
                 }
@@ -944,7 +993,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_locals() {
-        assert_eq!(run_c("int main() { int a = 6; int b = 7; return a * b; }"), 42);
+        assert_eq!(
+            run_c("int main() { int a = 6; int b = 7; return a * b; }"),
+            42
+        );
         assert_eq!(run_c("int main() { return (3 + 4) * 2 - 5; }"), 9);
         assert_eq!(run_c("int main() { return 100 / 7; }"), 14);
         assert_eq!(run_c("int main() { return 100 % 7; }"), 2);
@@ -974,7 +1026,10 @@ mod tests {
         assert_eq!(run_c("int main() { return !0; }"), 1);
         assert_eq!(run_c("int main() { return ~0; }"), 0xffff);
         assert_eq!(run_c("int main() { return 1 << 10; }"), 1024);
-        assert_eq!(run_c("int main() { return 0x55 & 0x0f | 0x30 ^ 0x10; }"), 0x25);
+        assert_eq!(
+            run_c("int main() { return 0x55 & 0x0f | 0x30 ^ 0x10; }"),
+            0x25
+        );
     }
 
     #[test]
@@ -1003,8 +1058,14 @@ mod tests {
 
     #[test]
     fn compound_assignment() {
-        assert_eq!(run_c("int main() { int a = 10; a += 5; a -= 2; a *= 3; return a; }"), 39);
-        assert_eq!(run_c("int main() { int a = 100; a /= 7; a %= 4; return a; }"), 2);
+        assert_eq!(
+            run_c("int main() { int a = 10; a += 5; a -= 2; a *= 3; return a; }"),
+            39
+        );
+        assert_eq!(
+            run_c("int main() { int a = 100; a /= 7; a %= 4; return a; }"),
+            2
+        );
         assert_eq!(
             run_c("int main() { int a = 0xf0; a &= 0x3c; a |= 1; a ^= 0xff; a <<= 2; a >>= 1; return a; }"),
             ((((0xf0 & 0x3c) | 1) ^ 0xff) << 2) >> 1
@@ -1043,9 +1104,13 @@ mod tests {
         let neg = "int t[2] = {-1, -2}; int main() { return t[0] + t[1]; }";
         assert_eq!(run_c(neg) as i16, -3);
         use crate::SnapccError;
-        let err = crate::compile_to_program("int x = 0; int y[1] = {1, 2}; int main() { return 0; }")
-            .unwrap_err();
-        assert!(matches!(err, SnapccError::Parse(_)), "too many initializers");
+        let err =
+            crate::compile_to_program("int x = 0; int y[1] = {1, 2}; int main() { return 0; }")
+                .unwrap_err();
+        assert!(
+            matches!(err, SnapccError::Parse(_)),
+            "too many initializers"
+        );
     }
 
     #[test]
@@ -1079,9 +1144,15 @@ mod tests {
     fn break_outside_loop_is_an_error() {
         use crate::SnapccError;
         let err = compile_to_program("int main() { break; return 0; }").unwrap_err();
-        assert!(matches!(err, SnapccError::Compile(CompileError::NotInLoop("break"))));
+        assert!(matches!(
+            err,
+            SnapccError::Compile(CompileError::NotInLoop("break"))
+        ));
         let err = compile_to_program("int main() { continue; return 0; }").unwrap_err();
-        assert!(matches!(err, SnapccError::Compile(CompileError::NotInLoop("continue"))));
+        assert!(matches!(
+            err,
+            SnapccError::Compile(CompileError::NotInLoop("continue"))
+        ));
     }
 
     #[test]
@@ -1190,14 +1261,23 @@ mod tests {
     fn compile_errors() {
         use crate::SnapccError;
         let undef = compile_to_program("int main() { return y; }").unwrap_err();
-        assert!(matches!(undef, SnapccError::Compile(CompileError::UndefinedVariable(_))));
+        assert!(matches!(
+            undef,
+            SnapccError::Compile(CompileError::UndefinedVariable(_))
+        ));
         let nomain = compile_to_program("int f() { return 1; }").unwrap_err();
         assert!(matches!(nomain, SnapccError::Compile(CompileError::NoMain)));
         let arity = compile_to_program("int f(int a) { return a; } int main() { return f(); }")
             .unwrap_err();
-        assert!(matches!(arity, SnapccError::Compile(CompileError::ArityMismatch { .. })));
+        assert!(matches!(
+            arity,
+            SnapccError::Compile(CompileError::ArityMismatch { .. })
+        ));
         let dup = compile_to_program("int x; int x; int main() { return 0; }").unwrap_err();
-        assert!(matches!(dup, SnapccError::Compile(CompileError::Duplicate(_))));
+        assert!(matches!(
+            dup,
+            SnapccError::Compile(CompileError::Duplicate(_))
+        ));
     }
 
     #[test]
@@ -1219,6 +1299,9 @@ mod tests {
         let loads = cpu.acct().class_stats(C::Load).count + cpu.acct().class_stats(C::Store).count;
         let total = cpu.acct().instructions();
         let frac = loads as f64 / total as f64;
-        assert!(frac > 0.2, "load/store fraction {frac} should be large (naive codegen)");
+        assert!(
+            frac > 0.2,
+            "load/store fraction {frac} should be large (naive codegen)"
+        );
     }
 }

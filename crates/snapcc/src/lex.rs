@@ -42,8 +42,8 @@ impl std::error::Error for CTokenError {}
 /// Multi-character punctuation, longest first.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "<=",
-    ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
-    "~", "(", ")", "{", "}", "[", "]", ";", ",",
+    ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
 ];
 
 /// Tokenize a C source string.
@@ -75,17 +75,23 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CTokenError> {
             continue;
         }
         if source[i..].starts_with("/*") {
-            let end = source[i + 2..]
-                .find("*/")
-                .ok_or_else(|| CTokenError { line, message: "unterminated comment".into() })?;
+            let end = source[i + 2..].find("*/").ok_or_else(|| CTokenError {
+                line,
+                message: "unterminated comment".into(),
+            })?;
             line += source[i..i + 2 + end].matches('\n').count();
             i += end + 4;
             continue;
         }
         if c.is_ascii_digit() {
-            let (v, n) = lex_number(&source[i..])
-                .ok_or_else(|| CTokenError { line, message: "malformed number".into() })?;
-            out.push(Spanned { tok: CTok::Int(v), line });
+            let (v, n) = lex_number(&source[i..]).ok_or_else(|| CTokenError {
+                line,
+                message: "malformed number".into(),
+            })?;
+            out.push(Spanned {
+                tok: CTok::Int(v),
+                line,
+            });
             i += n;
             continue;
         }
@@ -112,11 +118,17 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CTokenError> {
                 (ch as i64, 1)
             };
             if rest[consumed..].starts_with('\'') {
-                out.push(Spanned { tok: CTok::Int(value), line });
+                out.push(Spanned {
+                    tok: CTok::Int(value),
+                    line,
+                });
                 i += consumed + 2;
                 continue;
             }
-            return Err(CTokenError { line, message: "unterminated character literal".into() });
+            return Err(CTokenError {
+                line,
+                message: "unterminated character literal".into(),
+            });
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
@@ -128,22 +140,35 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CTokenError> {
                     break;
                 }
             }
-            out.push(Spanned { tok: CTok::Ident(source[start..i].to_string()), line });
+            out.push(Spanned {
+                tok: CTok::Ident(source[start..i].to_string()),
+                line,
+            });
             continue;
         }
         if let Some(p) = PUNCTS.iter().find(|p| source[i..].starts_with(**p)) {
-            out.push(Spanned { tok: CTok::Punct(p), line });
+            out.push(Spanned {
+                tok: CTok::Punct(p),
+                line,
+            });
             i += p.len();
             continue;
         }
-        return Err(CTokenError { line, message: format!("unexpected character `{c}`") });
+        return Err(CTokenError {
+            line,
+            message: format!("unexpected character `{c}`"),
+        });
     }
     Ok(out)
 }
 
 fn lex_number(s: &str) -> Option<(i64, usize)> {
     let bytes = s.as_bytes();
-    let (radix, skip) = if s.starts_with("0x") || s.starts_with("0X") { (16, 2) } else { (10, 0) };
+    let (radix, skip) = if s.starts_with("0x") || s.starts_with("0X") {
+        (16, 2)
+    } else {
+        (10, 0)
+    };
     let mut end = skip;
     while end < bytes.len() && (bytes[end] as char).is_digit(radix) {
         end += 1;
@@ -178,45 +203,55 @@ mod tests {
 
     #[test]
     fn multi_char_punct_wins() {
-        assert_eq!(toks("a<<=b"), vec![
-            CTok::Ident("a".into()),
-            CTok::Punct("<<="),
-            CTok::Ident("b".into()),
-        ]);
-        assert_eq!(toks("x+++y"), vec![
-            CTok::Ident("x".into()),
-            CTok::Punct("++"),
-            CTok::Punct("+"),
-            CTok::Ident("y".into()),
-        ]);
-        assert_eq!(toks("a<=b==c&&d"), vec![
-            CTok::Ident("a".into()),
-            CTok::Punct("<="),
-            CTok::Ident("b".into()),
-            CTok::Punct("=="),
-            CTok::Ident("c".into()),
-            CTok::Punct("&&"),
-            CTok::Ident("d".into()),
-        ]);
+        assert_eq!(
+            toks("a<<=b"),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Punct("<<="),
+                CTok::Ident("b".into()),
+            ]
+        );
+        assert_eq!(
+            toks("x+++y"),
+            vec![
+                CTok::Ident("x".into()),
+                CTok::Punct("++"),
+                CTok::Punct("+"),
+                CTok::Ident("y".into()),
+            ]
+        );
+        assert_eq!(
+            toks("a<=b==c&&d"),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Punct("<="),
+                CTok::Ident("b".into()),
+                CTok::Punct("=="),
+                CTok::Ident("c".into()),
+                CTok::Punct("&&"),
+                CTok::Ident("d".into()),
+            ]
+        );
     }
 
     #[test]
     fn numbers_and_chars() {
-        assert_eq!(toks("0x1F 10 'A' '\\n'"), vec![
-            CTok::Int(31),
-            CTok::Int(10),
-            CTok::Int(65),
-            CTok::Int(10),
-        ]);
+        assert_eq!(
+            toks("0x1F 10 'A' '\\n'"),
+            vec![CTok::Int(31), CTok::Int(10), CTok::Int(65), CTok::Int(10),]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // line\n b /* block\n more */ c"), vec![
-            CTok::Ident("a".into()),
-            CTok::Ident("b".into()),
-            CTok::Ident("c".into()),
-        ]);
+        assert_eq!(
+            toks("a // line\n b /* block\n more */ c"),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Ident("b".into()),
+                CTok::Ident("c".into()),
+            ]
+        );
     }
 
     #[test]

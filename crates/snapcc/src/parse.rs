@@ -46,14 +46,16 @@ impl<'a> Parser<'a> {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).map_or_else(
-            || self.tokens.last().map_or(0, |t| t.line),
-            |t| t.line,
-        )
+        self.tokens
+            .get(self.pos)
+            .map_or_else(|| self.tokens.last().map_or(0, |t| t.line), |t| t.line)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&CTok> {
@@ -99,7 +101,10 @@ impl<'a> Parser<'a> {
         match self.bump().cloned() {
             Some(CTok::Ident(s)) => Ok(s),
             other => Err(ParseError {
-                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
+                line: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
                 message: format!("expected identifier, found {other:?}"),
             }),
         }
@@ -142,7 +147,12 @@ impl<'a> Parser<'a> {
                 }
             }
             let body = self.block()?;
-            return Ok(Item::Function(Function { name, params, kind: FnKind::Normal, body }));
+            return Ok(Item::Function(Function {
+                name,
+                params,
+                kind: FnKind::Normal,
+                body,
+            }));
         }
         // Global variable.
         let array = if self.eat_punct("[") {
@@ -178,7 +188,12 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect_punct(";")?;
-        Ok(Item::Global { name, array, init, array_init })
+        Ok(Item::Global {
+            name,
+            array,
+            init,
+            array_init,
+        })
     }
 
     fn const_int(&mut self) -> Result<i64, ParseError> {
@@ -213,7 +228,11 @@ impl<'a> Parser<'a> {
             } else {
                 None
             };
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             if array.is_some() && init.is_some() {
                 return Err(self.err("array initializers are not supported"));
@@ -225,8 +244,16 @@ impl<'a> Parser<'a> {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then_branch = self.stmt_or_block()?;
-            let else_branch = if self.eat_kw("else") { self.stmt_or_block()? } else { Vec::new() };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            let else_branch = if self.eat_kw("else") {
+                self.stmt_or_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
@@ -237,23 +264,34 @@ impl<'a> Parser<'a> {
         }
         if self.eat_kw("for") {
             self.expect_punct("(")?;
-            let init = if self.eat_punct(";") { None } else {
+            let init = if self.eat_punct(";") {
+                None
+            } else {
                 let e = self.expr()?;
                 self.expect_punct(";")?;
                 Some(e)
             };
-            let cond = if self.eat_punct(";") { None } else {
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
                 let e = self.expr()?;
                 self.expect_punct(";")?;
                 Some(e)
             };
-            let step = if self.eat_punct(")") { None } else {
+            let step = if self.eat_punct(")") {
+                None
+            } else {
                 let e = self.expr()?;
                 self.expect_punct(")")?;
                 Some(e)
             };
             let body = self.stmt_or_block()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.eat_kw("break") {
             self.expect_punct(";")?;
@@ -297,7 +335,10 @@ impl<'a> Parser<'a> {
             if !matches!(lhs, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                 return Err(self.err("invalid assignment target"));
             }
-            return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+            return Ok(Expr::Assign {
+                target: Box::new(lhs),
+                value: Box::new(value),
+            });
         }
         // Compound assignment: `a op= b` desugars to `a = a op b`.
         // (The lvalue expression is evaluated twice, like any naive
@@ -320,9 +361,15 @@ impl<'a> Parser<'a> {
                 if !matches!(lhs, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                     return Err(self.err("invalid assignment target"));
                 }
-                let value =
-                    Expr::Binary { op, lhs: Box::new(lhs.clone()), rhs: Box::new(rhs) };
-                return Ok(Expr::Assign { target: Box::new(lhs), value: Box::new(value) });
+                let value = Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs.clone()),
+                    rhs: Box::new(rhs),
+                };
+                return Ok(Expr::Assign {
+                    target: Box::new(lhs),
+                    value: Box::new(value),
+                });
             }
         }
         Ok(lhs)
@@ -337,7 +384,11 @@ impl<'a> Parser<'a> {
             }
             self.pos += 1;
             let rhs = self.binary(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -348,23 +399,40 @@ impl<'a> Parser<'a> {
             if !matches!(target, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                 return Err(self.err("`++` requires an lvalue"));
             }
-            return Ok(Expr::IncDec { target: Box::new(target), inc: true, prefix: true });
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                inc: true,
+                prefix: true,
+            });
         }
         if self.eat_punct("--") {
             let target = self.unary()?;
             if !matches!(target, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                 return Err(self.err("`--` requires an lvalue"));
             }
-            return Ok(Expr::IncDec { target: Box::new(target), inc: false, prefix: true });
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                inc: false,
+                prefix: true,
+            });
         }
         if self.eat_punct("-") {
-            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(self.unary()?),
+            });
         }
         if self.eat_punct("!") {
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(self.unary()?),
+            });
         }
         if self.eat_punct("~") {
-            return Ok(Expr::Unary { op: UnOp::BitNot, operand: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::BitNot,
+                operand: Box::new(self.unary()?),
+            });
         }
         if self.eat_punct("*") {
             return Ok(Expr::Deref(Box::new(self.unary()?)));
@@ -386,12 +454,20 @@ impl<'a> Parser<'a> {
                 if !matches!(e, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                     return Err(self.err("`++` requires an lvalue"));
                 }
-                e = Expr::IncDec { target: Box::new(e), inc: true, prefix: false };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    inc: true,
+                    prefix: false,
+                };
             } else if self.eat_punct("--") {
                 if !matches!(e, Expr::Var(_) | Expr::Index { .. } | Expr::Deref(_)) {
                     return Err(self.err("`--` requires an lvalue"));
                 }
-                e = Expr::IncDec { target: Box::new(e), inc: false, prefix: false };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    inc: false,
+                    prefix: false,
+                };
             } else {
                 return Ok(e);
             }
@@ -423,7 +499,10 @@ impl<'a> Parser<'a> {
                 if self.eat_punct("[") {
                     let index = self.expr()?;
                     self.expect_punct("]")?;
-                    return Ok(Expr::Index { base: name, index: Box::new(index) });
+                    return Ok(Expr::Index {
+                        base: name,
+                        index: Box::new(index),
+                    });
                 }
                 Ok(Expr::Var(name))
             }
@@ -460,9 +539,9 @@ fn bin_op(p: &str) -> Option<(BinOp, u8)> {
 /// static table to compare.
 fn leak(p: &str) -> &'static str {
     const ALL: &[&str] = &[
-        "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
-        "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
-        "=", "!", "~", "(", ")", "{", "}", "[", "]", ";", ",",
+        "<<=", ">>=", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "<=",
+        ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
+        "~", "(", ")", "{", "}", "[", "]", ";", ",",
     ];
     ALL.iter().find(|s| **s == p).copied().unwrap_or("")
 }
@@ -482,19 +561,39 @@ mod tests {
         assert_eq!(u.items.len(), 4);
         assert_eq!(
             u.items[0],
-            Item::Global { name: "x".into(), array: None, init: None, array_init: None }
+            Item::Global {
+                name: "x".into(),
+                array: None,
+                init: None,
+                array_init: None
+            }
         );
         assert_eq!(
             u.items[1],
-            Item::Global { name: "buf".into(), array: Some(8), init: None, array_init: None }
+            Item::Global {
+                name: "buf".into(),
+                array: Some(8),
+                init: None,
+                array_init: None
+            }
         );
-        assert_eq!(u.items[2], Item::Global { name: "y".into(), array: None, init: Some(5), array_init: None });
+        assert_eq!(
+            u.items[2],
+            Item::Global {
+                name: "y".into(),
+                array: None,
+                init: Some(5),
+                array_init: None
+            }
+        );
     }
 
     #[test]
     fn handler_functions() {
         let u = parse_src("handler tick() { __swev(7); }");
-        let Item::Function(f) = &u.items[0] else { panic!() };
+        let Item::Function(f) = &u.items[0] else {
+            panic!()
+        };
         assert_eq!(f.kind, FnKind::Handler);
         assert!(f.params.is_empty());
     }
@@ -502,8 +601,15 @@ mod tests {
     #[test]
     fn precedence() {
         let u = parse_src("int f() { return 1 + 2 * 3; }");
-        let Item::Function(f) = &u.items[0] else { panic!() };
-        let Stmt::Return(Some(Expr::Binary { op: BinOp::Add, rhs, .. })) = &f.body[0] else {
+        let Item::Function(f) = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        })) = &f.body[0]
+        else {
             panic!("{:?}", f.body[0])
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -514,9 +620,19 @@ mod tests {
         let u = parse_src(
             "int f(int n) { int s = 0; for (;;) { if (n <= 0) return s; s = s + n; n = n - 1; } }",
         );
-        let Item::Function(f) = &u.items[0] else { panic!() };
+        let Item::Function(f) = &u.items[0] else {
+            panic!()
+        };
         assert_eq!(f.params, vec!["n"]);
-        assert!(matches!(f.body[1], Stmt::For { init: None, cond: None, step: None, .. }));
+        assert!(matches!(
+            f.body[1],
+            Stmt::For {
+                init: None,
+                cond: None,
+                step: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -527,8 +643,12 @@ mod tests {
     #[test]
     fn assignment_chains_right() {
         let u = parse_src("int f() { int a; int b; a = b = 3; return a; }");
-        let Item::Function(f) = &u.items[0] else { panic!() };
-        let Stmt::Expr(Expr::Assign { value, .. }) = &f.body[2] else { panic!() };
+        let Item::Function(f) = &u.items[0] else {
+            panic!()
+        };
+        let Stmt::Expr(Expr::Assign { value, .. }) = &f.body[2] else {
+            panic!()
+        };
         assert!(matches!(**value, Expr::Assign { .. }));
     }
 

@@ -102,8 +102,16 @@ impl E {
 /// magnitudes, sign fixed up afterwards.
 fn machine_div(a: i16, b: i16) -> i16 {
     let sign = (a < 0) ^ (b < 0);
-    let mag_a = if a < 0 { (a as u16).wrapping_neg() } else { a as u16 };
-    let mag_b = if b < 0 { (b as u16).wrapping_neg() } else { b as u16 };
+    let mag_a = if a < 0 {
+        (a as u16).wrapping_neg()
+    } else {
+        a as u16
+    };
+    let mag_b = if b < 0 {
+        (b as u16).wrapping_neg()
+    } else {
+        b as u16
+    };
     let q = divu(mag_a, mag_b).0;
     if sign {
         (q as i16).wrapping_neg()
@@ -114,8 +122,16 @@ fn machine_div(a: i16, b: i16) -> i16 {
 
 fn machine_mod(a: i16, b: i16) -> i16 {
     let neg = a < 0;
-    let mag_a = if a < 0 { (a as u16).wrapping_neg() } else { a as u16 };
-    let mag_b = if b < 0 { (b as u16).wrapping_neg() } else { b as u16 };
+    let mag_a = if a < 0 {
+        (a as u16).wrapping_neg()
+    } else {
+        a as u16
+    };
+    let mag_b = if b < 0 {
+        (b as u16).wrapping_neg()
+    } else {
+        b as u16
+    };
     let r = divu(mag_a, mag_b).1;
     if neg {
         (r as i16).wrapping_neg()
@@ -178,7 +194,8 @@ fn run_main(src: &str) -> i16 {
     let mut cpu = Processor::new(CoreConfig::default());
     cpu.load_image(0, &program.imem_image()).unwrap();
     cpu.load_data(0, &program.dmem_image()).unwrap();
-    cpu.run_to_halt(5_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    cpu.run_to_halt(5_000_000)
+        .unwrap_or_else(|e| panic!("{e}\n{src}"));
     cpu.regs().read(Reg::R1) as i16
 }
 

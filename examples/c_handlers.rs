@@ -46,9 +46,15 @@ int main() {
 ";
 
 fn main() {
-    let options = CompileOptions { end: BootEnd::Done, ..CompileOptions::default() };
+    let options = CompileOptions {
+        end: BootEnd::Done,
+        ..CompileOptions::default()
+    };
     let program = compile_to_program_with(APP, options).expect("compiles");
-    println!("compiled C handlers: {} bytes of SNAP code", program.code_bytes());
+    println!(
+        "compiled C handlers: {} bytes of SNAP code",
+        program.code_bytes()
+    );
 
     let mut node = Node::new(NodeConfig::default());
     node.load(&program).expect("loads");

@@ -76,32 +76,50 @@ fn main() {
         &aodv_node_program(3, &[], "", SINK_APP).expect("sink assembles"),
         Position::new(10.0, 0.0),
     );
-    assert!(!sim.topology().in_range(source, sink), "the relay is load-bearing");
+    assert!(
+        !sim.topology().in_range(source, sink),
+        "the relay is load-bearing"
+    );
 
     // Environment: the temperature drifts; sample every 200 ms.
     for (i, temp) in [71u16, 72, 74, 73, 70].iter().enumerate() {
         let at = SimTime::ZERO + SimDuration::from_ms(50 + 200 * i as u64);
-        sim.schedule(source, at, Stimulus::SensorReading { id: 0, value: *temp });
+        sim.schedule(
+            source,
+            at,
+            Stimulus::SensorReading {
+                id: 0,
+                value: *temp,
+            },
+        );
         sim.schedule(source, at + SimDuration::from_ms(1), Stimulus::SensorIrq);
     }
 
-    sim.run_until(SimTime::ZERO + SimDuration::from_secs(2)).expect("network runs");
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(2))
+        .expect("network runs");
 
     // Read the sink's log.
     let sink_prog = aodv_node_program(3, &[], "", SINK_APP).unwrap();
     let log = sink_prog.symbol("log_buf").unwrap();
     let pos = sink_prog.symbol("log_pos").unwrap();
     let n = sim.node(sink).cpu().dmem().read(pos) as usize;
-    let readings: Vec<u16> =
-        (0..n).map(|i| sim.node(sink).cpu().dmem().read(log + i as u16)).collect();
+    let readings: Vec<u16> = (0..n)
+        .map(|i| sim.node(sink).cpu().dmem().read(log + i as u16))
+        .collect();
 
     println!("sink received {n} readings: {readings:?}");
-    println!("channel: {} clean deliveries, {} collisions",
-        sim.channel().deliveries(), sim.channel().collisions());
+    println!(
+        "channel: {} clean deliveries, {} collisions",
+        sim.channel().deliveries(),
+        sim.channel().collisions()
+    );
     let fwd_prog = relay_program(2, &[]).unwrap();
     println!(
         "relay forwarded {} packets using {} instructions total",
-        sim.node(relay).cpu().dmem().read(fwd_prog.symbol("aodv_fwds").unwrap()),
+        sim.node(relay)
+            .cpu()
+            .dmem()
+            .read(fwd_prog.symbol("aodv_fwds").unwrap()),
         sim.node(relay).cpu().stats().instructions,
     );
     for id in [source, relay, sink] {
@@ -114,8 +132,14 @@ fn main() {
             s.sleep_time.as_ns() / (s.sleep_time.as_ns() + s.busy_time.as_ns()) * 100.0
         );
     }
-    let delivered = sim.trace().count(|e| matches!(e.kind, TraceKind::Deliver { .. }));
+    let delivered = sim
+        .trace()
+        .count(|e| matches!(e.kind, TraceKind::Deliver { .. }));
     println!("trace recorded {delivered} word deliveries");
 
-    assert_eq!(readings, vec![71, 72, 74, 73, 70], "all five readings must arrive in order");
+    assert_eq!(
+        readings,
+        vec![71, 72, 74, 73, 70],
+        "all five readings must arrive in order"
+    );
 }

@@ -79,5 +79,8 @@ fn main() {
     );
 
     let (snap06, _) = project_snap(OperatingPoint::V0_6, 10.0);
-    assert!(snap06 > 100.0, "SNAP at 0.6 V should be leakage-bound, effectively decades");
+    assert!(
+        snap06 > 100.0,
+        "SNAP at 0.6 V should be leakage-bound, effectively decades"
+    );
 }

@@ -47,9 +47,12 @@ fn main() {
     let boot = install_handler("EV_IRQ", "app_irq");
     let mut programs = Vec::new();
     for id in 1..=5u8 {
-        let (extra, app) = if id == 1 { (boot.as_str(), ORIGIN_APP) } else { ("", RELAY_APP) };
-        let program =
-            aodv_discovery_program(id, &[], extra, app, 0x3f).expect("assembles");
+        let (extra, app) = if id == 1 {
+            (boot.as_str(), ORIGIN_APP)
+        } else {
+            ("", RELAY_APP)
+        };
+        let program = aodv_discovery_program(id, &[], extra, app, 0x3f).expect("assembles");
         sim.add_node(&program, Position::new(5.0 * id as f64, 0.0));
         programs.push(program);
     }
@@ -58,8 +61,13 @@ fn main() {
     assert!(!sim.topology().in_range(origin, sink));
 
     println!("flooding a route request from node 1 for node 5...");
-    sim.schedule(origin, SimTime::ZERO + SimDuration::from_ms(2), Stimulus::SensorIrq);
-    sim.run_until(SimTime::ZERO + SimDuration::from_ms(200)).expect("network runs");
+    sim.schedule(
+        origin,
+        SimTime::ZERO + SimDuration::from_ms(2),
+        Stimulus::SensorIrq,
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(200))
+        .expect("network runs");
 
     // Show every node's learned routing table.
     for (i, program) in programs.iter().enumerate() {
@@ -82,8 +90,13 @@ fn main() {
     );
 
     println!("\nsending data 1 -> 5 over the discovered path...");
-    sim.schedule(origin, SimTime::ZERO + SimDuration::from_ms(210), Stimulus::SensorIrq);
-    sim.run_until(SimTime::ZERO + SimDuration::from_ms(400)).expect("network runs");
+    sim.schedule(
+        origin,
+        SimTime::ZERO + SimDuration::from_ms(210),
+        Stimulus::SensorIrq,
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(400))
+        .expect("network runs");
 
     let local = programs[4].symbol("aodv_local").unwrap();
     let buf = programs[4].symbol("mac_rx_buf").unwrap();
@@ -92,7 +105,9 @@ fn main() {
         sim.node(sink).cpu().dmem().read(local),
         sim.node(sink).cpu().dmem().read(buf + 2)
     );
-    let tx = sim.trace().count(|e| matches!(e.kind, TraceKind::Transmit { .. }));
+    let tx = sim
+        .trace()
+        .count(|e| matches!(e.kind, TraceKind::Transmit { .. }));
     println!(
         "channel totals: {} words on the air, {} clean deliveries, {} collisions",
         tx,

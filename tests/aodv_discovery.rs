@@ -82,7 +82,11 @@ fn discovery_learns_routes_and_data_follows() {
 
     // The origin completed a discovery and learned 3-via-2.
     let done = origin_prog.symbol("disc_done").unwrap();
-    assert_eq!(sim.node(origin).cpu().dmem().read(done), 1, "discovery must complete");
+    assert_eq!(
+        sim.node(origin).cpu().dmem().read(done),
+        1,
+        "discovery must complete"
+    );
     assert_eq!(route_of(&sim, &origin_prog, origin, 3), Some(2));
     // The relay learned both directions.
     assert_eq!(route_of(&sim, &relay_prog, relay, 1), Some(1));
@@ -95,7 +99,11 @@ fn discovery_learns_routes_and_data_follows() {
     sim.run_until(ms(160)).unwrap();
 
     let local = target_prog.symbol("aodv_local").unwrap();
-    assert_eq!(sim.node(target).cpu().dmem().read(local), 1, "payload must reach the target");
+    assert_eq!(
+        sim.node(target).cpu().dmem().read(local),
+        1,
+        "payload must reach the target"
+    );
     let buf = target_prog.symbol("mac_rx_buf").unwrap();
     assert_eq!(sim.node(target).cpu().dmem().read(buf + 2), 0xd15c);
     let fwds = relay_prog.symbol("aodv_fwds").unwrap();
@@ -139,8 +147,9 @@ fn duplicate_suppression_bounds_the_flood() {
     assert_eq!(route_of(&sim, &target_prog, target, 1), Some(1));
     // Bounded traffic: per round at most 1 DRREQ + 2 rebroadcast/reply
     // transmissions of <= 5 words, plus the final DRREP legs.
-    let tx_events =
-        sim.trace().count(|e| matches!(e.kind, snap_net::TraceKind::Transmit { .. }));
+    let tx_events = sim
+        .trace()
+        .count(|e| matches!(e.kind, snap_net::TraceKind::Transmit { .. }));
     let per_round_cap = 5 + 2 * 5 + 2 * 4;
     assert!(
         tx_events <= per_round_cap * rounds as usize,
@@ -160,6 +169,10 @@ fn discovery_for_unreachable_target_learns_nothing_at_origin() {
     sim.run_until(ms(120)).unwrap();
 
     let done = origin_prog.symbol("disc_done").unwrap();
-    assert_eq!(sim.node(origin).cpu().dmem().read(done), 0, "no reply can arrive");
+    assert_eq!(
+        sim.node(origin).cpu().dmem().read(done),
+        0,
+        "no reply can arrive"
+    );
     assert_eq!(route_of(&sim, &origin_prog, origin, 3), None);
 }

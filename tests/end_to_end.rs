@@ -52,7 +52,10 @@ fn c_compiled_node_talks_to_asm_nodes() {
             return 0;
         }
     ";
-    let options = CompileOptions { end: BootEnd::Done, ..CompileOptions::default() };
+    let options = CompileOptions {
+        end: BootEnd::Done,
+        ..CompileOptions::default()
+    };
     let c_program = snapcc::compile_to_program_with(c_source, options).expect("compiles");
 
     let mut sim = NetworkSim::new(10.0);
@@ -97,7 +100,10 @@ fn ten_node_network_is_stable() {
     // A line of relays, each with a route to its right neighbour.
     for i in 1..=10u8 {
         let routes: Vec<(u8, u8)> = if i < 10 { vec![(10, i + 1)] } else { vec![] };
-        sim.add_node(&relay_program(i, &routes).unwrap(), Position::new(3.0 * i as f64, 0.0));
+        sim.add_node(
+            &relay_program(i, &routes).unwrap(),
+            Position::new(3.0 * i as f64, 0.0),
+        );
     }
     // Kick a packet from node 1 toward node 10 by injecting it as if
     // node 0 (outside) had sent it to node 1's radio.
@@ -205,7 +211,10 @@ fn event_flood_drops_gracefully() {
     // The node still responds afterwards.
     node.trigger_sensor_irq();
     node.run_for(SimDuration::from_ms(1)).unwrap();
-    assert_eq!(node.cpu().dmem().read(count) as u64, stats.events_inserted + 1);
+    assert_eq!(
+        node.cpu().dmem().read(count) as u64,
+        stats.events_inserted + 1
+    );
 }
 
 /// Over-the-radio bootstrapping across the simulated network: a
@@ -295,8 +304,17 @@ fl_table:
     sim.run_until(ms(60)).unwrap();
 
     let bl = bootloader_program().unwrap();
-    assert_eq!(sim.node(target).cpu().dmem().read(bl.symbol("bl_loads").unwrap()), 1);
-    assert!(sim.node(target).led().writes() > 10, "flashed blinker must run");
+    assert_eq!(
+        sim.node(target)
+            .cpu()
+            .dmem()
+            .read(bl.symbol("bl_loads").unwrap()),
+        1
+    );
+    assert!(
+        sim.node(target).led().writes() > 10,
+        "flashed blinker must run"
+    );
 }
 
 /// Twenty sampling nodes reporting to a sink keep the parallel network
@@ -339,11 +357,7 @@ app_deliver:
     }
     // Stagger the sampling so the shared channel is not saturated.
     for i in 2..=20u64 {
-        sim.schedule(
-            snap_node::NodeId(i as u16),
-            ms(10 * i),
-            Stimulus::SensorIrq,
-        );
+        sim.schedule(snap_node::NodeId(i as u16), ms(10 * i), Stimulus::SensorIrq);
     }
     sim.run_until(ms(400)).unwrap();
 

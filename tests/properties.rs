@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use snap_asm::{assemble, disassemble};
 use snap_core::{CoreConfig, Processor};
-use snap_isa::{
-    AluImmOp, AluOp, BranchCond, Instruction, Reg, ShiftOp, Word,
-};
+use snap_isa::{AluImmOp, AluOp, BranchCond, Instruction, Reg, ShiftOp, Word};
 
 fn reg() -> impl Strategy<Value = Reg> {
     (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
@@ -19,26 +17,51 @@ fn alu_op() -> impl Strategy<Value = AluOp> {
 fn instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (alu_op(), reg(), reg()).prop_map(|(op, rd, rs)| Instruction::AluReg { op, rd, rs }),
-        (prop::sample::select(AluImmOp::ALL.to_vec()), reg(), any::<u16>())
+        (
+            prop::sample::select(AluImmOp::ALL.to_vec()),
+            reg(),
+            any::<u16>()
+        )
             .prop_map(|(op, rd, imm)| Instruction::AluImm { op, rd, imm }),
         (prop::sample::select(ShiftOp::ALL.to_vec()), reg(), reg())
             .prop_map(|(op, rd, rs)| Instruction::ShiftReg { op, rd, rs }),
         (prop::sample::select(ShiftOp::ALL.to_vec()), reg(), 0u8..16)
             .prop_map(|(op, rd, amount)| Instruction::ShiftImm { op, rd, amount }),
-        (reg(), reg(), any::<u16>())
-            .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
-        (reg(), reg(), any::<u16>())
-            .prop_map(|(rs, base, offset)| Instruction::Store { rs, base, offset }),
-        (reg(), reg(), any::<u16>())
-            .prop_map(|(rd, base, offset)| Instruction::ImemLoad { rd, base, offset }),
-        (reg(), reg(), any::<u16>())
-            .prop_map(|(rs, base, offset)| Instruction::ImemStore { rs, base, offset }),
-        (prop::sample::select(BranchCond::ALL.to_vec()), reg(), reg(), any::<u16>()).prop_map(
-            |(cond, ra, rb, target)| {
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, base, offset)| Instruction::Load {
+            rd,
+            base,
+            offset
+        }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rs, base, offset)| Instruction::Store {
+            rs,
+            base,
+            offset
+        }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, base, offset)| Instruction::ImemLoad {
+            rd,
+            base,
+            offset
+        }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rs, base, offset)| Instruction::ImemStore {
+            rs,
+            base,
+            offset
+        }),
+        (
+            prop::sample::select(BranchCond::ALL.to_vec()),
+            reg(),
+            reg(),
+            any::<u16>()
+        )
+            .prop_map(|(cond, ra, rb, target)| {
                 let rb = if cond.is_unary() { Reg::R0 } else { rb };
-                Instruction::Branch { cond, ra, rb, target }
-            }
-        ),
+                Instruction::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                }
+            }),
         any::<u16>().prop_map(|target| Instruction::Jmp { target }),
         (reg(), any::<u16>()).prop_map(|(rd, target)| Instruction::Jal { rd, target }),
         reg().prop_map(|rs| Instruction::Jr { rs }),
@@ -46,8 +69,7 @@ fn instruction() -> impl Strategy<Value = Instruction> {
         (reg(), reg()).prop_map(|(rt, rv)| Instruction::SchedHi { rt, rv }),
         (reg(), reg()).prop_map(|(rt, rv)| Instruction::SchedLo { rt, rv }),
         reg().prop_map(|rt| Instruction::Cancel { rt }),
-        (reg(), reg(), any::<u16>())
-            .prop_map(|(rd, rs, mask)| Instruction::Bfs { rd, rs, mask }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rd, rs, mask)| Instruction::Bfs { rd, rs, mask }),
         reg().prop_map(|rd| Instruction::Rand { rd }),
         reg().prop_map(|rs| Instruction::Seed { rs }),
         Just(Instruction::Done),
@@ -265,5 +287,147 @@ proptest! {
             let many = one * k;
             prop_assert!((many.as_pj() - one.as_pj() * k as f64).abs() < 1e-9);
         }
+    }
+}
+
+// ---- decode-cache coherence under self-modifying code ----
+
+/// A 1-word instruction safe to patch into the execution zone: it
+/// touches only r1–r3 (never the message port, never control flow), so
+/// a patched zone always runs through to its terminating `jr`.
+fn patch_instruction() -> impl Strategy<Value = Instruction> {
+    fn r(i: u8) -> Reg {
+        Reg::from_index(i).unwrap()
+    }
+    prop_oneof![
+        (alu_op(), 1u8..4, 1u8..4).prop_map(|(op, rd, rs)| Instruction::AluReg {
+            op,
+            rd: r(rd),
+            rs: r(rs)
+        }),
+        (prop::sample::select(ShiftOp::ALL.to_vec()), 1u8..4, 0u8..16).prop_map(
+            |(op, rd, amount)| Instruction::ShiftImm {
+                op,
+                rd: r(rd),
+                amount
+            }
+        ),
+        Just(Instruction::Nop),
+    ]
+}
+
+/// Run `program` on a predecoding core and an uncached reference core
+/// in lockstep, asserting identical architectural state and
+/// bit-identical energy after every step.
+fn assert_lockstep(program: &[Instruction], max_steps: usize) {
+    use snap_core::StepOutcome;
+    let mut fast = Processor::new(CoreConfig::default());
+    let mut reference = Processor::new(CoreConfig {
+        predecode: false,
+        ..CoreConfig::default()
+    });
+    assert!(fast.config().predecode, "cache on by default");
+    fast.load_program(program).unwrap();
+    reference.load_program(program).unwrap();
+    let mut halted = false;
+    for step in 0..max_steps {
+        let a = fast.step();
+        let b = reference.step();
+        assert_eq!(a, b, "outcome diverged at step {step}");
+        assert_eq!(fast.pc(), reference.pc(), "pc diverged at step {step}");
+        assert_eq!(fast.now(), reference.now(), "time diverged at step {step}");
+        assert_eq!(
+            fast.regs(),
+            reference.regs(),
+            "registers diverged at step {step}"
+        );
+        assert_eq!(
+            fast.acct().total_energy().as_pj().to_bits(),
+            reference.acct().total_energy().as_pj().to_bits(),
+            "energy not bit-identical at step {step}"
+        );
+        match a {
+            Ok(StepOutcome::Halted) => {
+                halted = true;
+                break;
+            }
+            Err(e) => panic!("generated program must not fault: {e:?} at step {step}"),
+            _ => {}
+        }
+    }
+    assert!(
+        halted,
+        "generated program must halt within {max_steps} steps"
+    );
+    assert_eq!(fast.imem().as_words(), reference.imem().as_words());
+    assert_eq!(fast.acct().instructions(), reference.acct().instructions());
+    assert_eq!(fast.acct().busy_time(), reference.acct().busy_time());
+    assert_eq!(fast.acct().components(), reference.acct().components());
+    let per_class_fast: Vec<_> = fast.acct().per_class().collect();
+    let per_class_ref: Vec<_> = reference.acct().per_class().collect();
+    assert_eq!(per_class_fast, per_class_ref);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The predecode cache stays coherent under random write/execute
+    /// interleavings of `isw` self-modifying code: each round patches a
+    /// random zone slot with a random 1-word instruction, then executes
+    /// the zone. The cached core must match the uncached reference
+    /// exactly — state, trace of outcomes, and bit-identical energy.
+    #[test]
+    fn decode_cache_coherent_under_isw(
+        patches in prop::collection::vec((0u16..12, patch_instruction()), 1..8),
+        zone_len in 12u16..16,
+    ) {
+        // Layout: [per-patch: li r4,word; li r5,addr; isw; jal r6,zone]
+        // (8 words each), halt (1 word), then the zone: `zone_len` nops
+        // and a `jr r6` back.
+        let zone = patches.len() as u16 * 8 + 1;
+        let mut prog = Vec::new();
+        for &(slot, ins) in &patches {
+            let word = ins.encode().first();
+            prog.push(Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R4, imm: word });
+            prog.push(Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R5, imm: zone + slot });
+            prog.push(Instruction::ImemStore { rs: Reg::R4, base: Reg::R5, offset: 0 });
+            prog.push(Instruction::Jal { rd: Reg::R6, target: zone });
+        }
+        prog.push(Instruction::Halt);
+        for _ in 0..zone_len {
+            prog.push(Instruction::Nop);
+        }
+        prog.push(Instruction::Jr { rs: Reg::R6 });
+        assert_lockstep(&prog, 4_000);
+    }
+
+    /// Patching the *immediate* word of a cached two-word instruction
+    /// must also invalidate it (the write lands at `addr`, the cached
+    /// entry starts at `addr - 1`). The zone is six `li r2, 0`
+    /// instructions; patches overwrite only their immediate words, so
+    /// every zone pass is valid code with different constants.
+    #[test]
+    fn decode_cache_invalidates_immediate_words(
+        patches in prop::collection::vec((0u16..6, any::<u16>()), 1..8),
+    ) {
+        let zone = patches.len() as u16 * 8 + 1;
+        let mut prog = Vec::new();
+        for &(slot, imm) in &patches {
+            prog.push(Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R4, imm });
+            // Immediate word of the slot-th `li r2, _`: zone + 2*slot + 1.
+            prog.push(Instruction::AluImm {
+                op: AluImmOp::Li,
+                rd: Reg::R5,
+                imm: zone + 2 * slot + 1,
+            });
+            prog.push(Instruction::ImemStore { rs: Reg::R4, base: Reg::R5, offset: 0 });
+            prog.push(Instruction::Jal { rd: Reg::R6, target: zone });
+        }
+        prog.push(Instruction::Halt);
+        for _ in 0..6 {
+            prog.push(Instruction::AluImm { op: AluImmOp::Li, rd: Reg::R2, imm: 0 });
+        }
+        prog.push(Instruction::Jr { rs: Reg::R6 });
+        assert_lockstep(&prog, 4_000);
     }
 }

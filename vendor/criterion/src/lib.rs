@@ -1,0 +1,160 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build with no network access; the bench targets
+//! only use `Criterion::bench_function` + `Bencher::iter`, so this
+//! crate provides exactly that: a warm-up, an adaptive iteration count
+//! targeting a fixed measurement window, and a `name  time: […]` line
+//! per benchmark. Statistical analysis, plotting and CLI filtering are
+//! intentionally out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings and result sink.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Criterion {
+        self.measurement_time = window;
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let summary = run_bench(self.measurement_time, &mut f);
+        println!(
+            "{name:<40} time: [{} /iter over {} iters]",
+            format_duration(summary.mean),
+            summary.iterations
+        );
+        self
+    }
+
+    /// Run one benchmark and return its summary without printing
+    /// (used by harnesses that post-process timings, e.g. `--json`).
+    pub fn measure_function<F>(&mut self, f: &mut F) -> Summary
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.measurement_time, f)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(window: Duration, f: &mut F) -> Summary {
+    // Warm-up and calibration pass: one timed iteration decides how
+    // many iterations fit the measurement window.
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let target = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iterations: target,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    Summary {
+        mean: b.elapsed / b.iterations.max(1) as u32,
+        iterations: b.iterations,
+    }
+}
+
+/// Handed to the benchmark closure; times the inner loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Group benchmark functions under one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let summary =
+            c.measure_function(&mut |b: &mut Bencher| b.iter(|| black_box(1u64.wrapping_add(2))));
+        assert!(summary.iterations >= 1);
+        assert!(summary.mean <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

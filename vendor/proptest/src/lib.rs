@@ -1,0 +1,538 @@
+//! A vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build with no network access, so this crate
+//! re-implements exactly the subset of the proptest API its tests use:
+//! [`Strategy`] with `prop_map`/`prop_recursive`, integer-range and
+//! tuple strategies, [`any`], [`Just`], `prop::sample::select`,
+//! `prop::collection::vec`, the `proptest!`/`prop_oneof!` macros and
+//! the `prop_assert*` family.
+//!
+//! Differences from the real crate: generation is deterministic (the
+//! RNG is seeded from the test name, so every run explores the same
+//! cases) and failing inputs are not shrunk — the failing case index
+//! is printed instead so a failure can be re-run under a debugger.
+//! Set `PROPTEST_CASES` to override the per-test case count.
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Runner configuration: how many cases each `proptest!` test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// The effective case count (`PROPTEST_CASES` overrides).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded for one test case.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounding; uniform enough for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. The object-safe core of the API.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and `branch`
+    /// builds one level from an inner strategy. `depth` bounds the
+    /// recursion; the other two parameters (target size hints in the
+    /// real crate) are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(RecursiveInner<Self::Value>) -> S,
+    {
+        let shared = Rc::new(RecursiveShared {
+            base: Box::new(self),
+            branch: std::cell::OnceCell::new(),
+            depth_limit: depth.max(1),
+            depth: Cell::new(0),
+        });
+        let built = branch(RecursiveInner(Rc::clone(&shared)));
+        shared
+            .branch
+            .set(Box::new(built))
+            .unwrap_or_else(|_| unreachable!("branch set once"));
+        Recursive(shared)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+struct RecursiveShared<V> {
+    base: Box<dyn Strategy<Value = V>>,
+    branch: std::cell::OnceCell<Box<dyn Strategy<Value = V>>>,
+    depth_limit: u32,
+    depth: Cell<u32>,
+}
+
+impl<V> RecursiveShared<V> {
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let d = self.depth.get();
+        // Past the limit, or probabilistically as depth grows, take a leaf
+        // so generation terminates.
+        if d >= self.depth_limit || rng.below(self.depth_limit as u64 + 1) <= d as u64 {
+            return self.base.generate(rng);
+        }
+        self.depth.set(d + 1);
+        let v = self.branch.get().expect("branch built").generate(rng);
+        self.depth.set(d);
+        v
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_recursive`].
+pub struct Recursive<V>(Rc<RecursiveShared<V>>);
+
+impl<V> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// The inner handle passed to a `prop_recursive` branch closure.
+pub struct RecursiveInner<V>(Rc<RecursiveShared<V>>);
+
+impl<V> Clone for RecursiveInner<V> {
+    fn clone(&self) -> Self {
+        RecursiveInner(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for RecursiveInner<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+impl<V> Strategy for Rc<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Equal-weight choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Rc<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Build a [`Union`] (used by `prop_oneof!`).
+pub fn union<V>(arms: Vec<Rc<dyn Strategy<Value = V>>>) -> Union<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+/// Erase a strategy's concrete type (used by `prop_oneof!`).
+pub fn rc_strategy<S: Strategy + 'static>(s: S) -> Rc<dyn Strategy<Value = S::Value>> {
+    Rc::new(s)
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u16>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident/$v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A/a)
+    (A/a, B/b)
+    (A/a, B/b, C/c)
+    (A/a, B/b, C/c, D/d)
+    (A/a, B/b, C/c, D/d, E/e)
+    (A/a, B/b, C/c, D/d, E/e, F/f)
+}
+
+/// `prop::…` module tree, mirroring the real crate's prelude layout.
+pub mod prop {
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from a non-empty vector.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Strategy choosing uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs options");
+            Select(options)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vectors of `element` with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Stable hash of a test name, used to seed its case stream.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Boolean assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Equal-weight choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::rc_strategy($arm)),+])
+    };
+}
+
+/// Define property tests. Each test runs its body once per generated
+/// case; panics (from the `prop_assert*` macros or anywhere else) fail
+/// the test with the case index in the message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @config ($cfg) $($rest)* }
+    };
+    (@config ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                for case in 0..cases as u64 {
+                    let mut rng =
+                        $crate::TestRng::new($crate::seed_for(stringify!($name), case));
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let run = std::panic::AssertUnwindSafe(|| { $body });
+                    if let Err(panic) = std::panic::catch_unwind(run) {
+                        eprintln!(
+                            "proptest {}: failing case {case} of {cases} \
+                             (deterministic; re-run reproduces it)",
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (10u16..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i16..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        let strat = prop::collection::vec(any::<u16>(), 0..16);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn oneof_and_select_cover_all_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), 3u8..4];
+        let mut rng = TestRng::new(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let sel = prop::sample::select(vec!['x', 'y']);
+        let mut seen_x = false;
+        let mut seen_y = false;
+        for _ in 0..100 {
+            match sel.generate(&mut rng) {
+                'x' => seen_x = true,
+                _ => seen_y = true,
+            }
+        }
+        assert!(seen_x && seen_y);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::new(3);
+        let mut max = 0;
+        for _ in 0..500 {
+            let t = strat.generate(&mut rng);
+            max = max.max(depth(&t));
+        }
+        assert!(max >= 1, "recursion never taken");
+        assert!(max <= 5, "depth limit exceeded: {max}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u8..10, 0u8..10), v in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len() < 4, true);
+            prop_assert_ne!(a as u16 + 256, b as u16);
+        }
+    }
+}

@@ -9,7 +9,9 @@ fn count_dir(p: &Path) -> usize {
             if path.is_dir() {
                 n += count_dir(&path);
             } else if path.extension().is_some_and(|x| x == "rs") {
-                n += fs::read_to_string(&path).map(|s| s.lines().count()).unwrap_or(0);
+                n += fs::read_to_string(&path)
+                    .map(|s| s.lines().count())
+                    .unwrap_or(0);
             }
         }
     }
@@ -17,7 +19,10 @@ fn count_dir(p: &Path) -> usize {
 }
 
 fn main() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
     let mut total = 0;
     for sub in ["crates", "tests", "examples"] {
         let p = root.join(sub);
