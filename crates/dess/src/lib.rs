@@ -10,6 +10,8 @@
 //!   simulated node lifetime.
 //! * [`calendar`] — a deterministic pending-event calendar with stable
 //!   FIFO ordering for simultaneous events.
+//! * [`wake`] — a re-keyable indexed heap of per-entity wake instants,
+//!   the backbone of the event-driven network scheduler.
 //! * [`rng`] — small deterministic generators: a 16-bit Galois LFSR
 //!   mirroring SNAP's `rand` hardware and a SplitMix64 for workload
 //!   generation.
@@ -31,7 +33,9 @@
 pub mod calendar;
 pub mod rng;
 pub mod time;
+pub mod wake;
 
 pub use calendar::Calendar;
 pub use rng::{Lfsr16, SplitMix64};
 pub use time::{SimDuration, SimTime};
+pub use wake::WakeQueue;

@@ -108,6 +108,18 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// What one [`Processor::run_burst`] call did: how many instructions
+/// executed and the environment action (if any) that ended the burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Burst {
+    /// Dynamic instructions executed in this burst.
+    pub steps: u64,
+    /// The environment action that terminated the burst, if one was
+    /// produced (the environment must apply it before execution
+    /// resumes — e.g. a radio TX must hit the channel).
+    pub action: Option<EnvAction>,
+}
+
 /// Execution errors. These indicate handler/program bugs (or a
 /// malformed image), not recoverable conditions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -549,6 +561,55 @@ impl Processor {
             }
             CoreState::Running => self.exec_one(),
         }
+    }
+
+    /// Execute instructions in a tight loop while the core is
+    /// [`CoreState::Running`], stopping at the first of:
+    ///
+    /// * the core's time reaching `limit` (checked at instruction
+    ///   boundaries, exactly like a per-instruction [`Processor::step`]
+    ///   loop would),
+    /// * an [`EnvAction`] being produced (returned in the burst so the
+    ///   environment can apply it before execution resumes),
+    /// * `done`/`halt` leaving the running state, or
+    /// * `budget` instructions having executed.
+    ///
+    /// This is the batched fast path for node simulation: it executes
+    /// the same instruction sequence as repeated `step()` calls
+    /// (bit-identical state, energy and timing) without constructing a
+    /// [`StepOutcome`] round-trip per dynamic instruction. A call while
+    /// asleep or halted executes nothing — waking still goes through
+    /// [`Processor::step`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StepError`].
+    pub fn run_burst(&mut self, limit: SimTime, budget: u64) -> Result<Burst, StepError> {
+        let mut steps = 0u64;
+        while self.state == CoreState::Running && self.now < limit && steps < budget {
+            let outcome = self.exec_one()?;
+            steps += 1;
+            if let StepOutcome::Executed {
+                action: Some(action),
+                ..
+            } = outcome
+            {
+                return Ok(Burst {
+                    steps,
+                    action: Some(action),
+                });
+            }
+        }
+        Ok(Burst {
+            steps,
+            action: None,
+        })
+    }
+
+    /// Handlers dispatched from the event queue so far (cheap accessor
+    /// for batch-loop callers that only need this one counter).
+    pub fn handlers_dispatched(&self) -> u64 {
+        self.handlers_dispatched
     }
 
     fn dispatch(&mut self, token: EventToken) {

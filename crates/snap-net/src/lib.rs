@@ -10,10 +10,12 @@
 //! * [`channel`] — the broadcast channel: a word transmitted by one
 //!   node is heard by every in-range node whose receiver is on, unless
 //!   another audible transmission overlaps in time (collision).
-//! * [`sim`] — the lock-step network simulator: nodes advance to the
-//!   next global activity instant; transmissions become deliveries;
-//!   external stimuli (sensor interrupts, sensor readings) are injected
-//!   on schedule.
+//! * [`sim`] — the network simulator: by default a sleep-aware
+//!   event-driven scheduler (a wake calendar pops only the nodes that
+//!   are due; idle nodes cost nothing), with the original lockstep
+//!   scheduler kept as a bit-identical reference. Transmissions become
+//!   deliveries; external stimuli (sensor interrupts, sensor readings)
+//!   are injected on schedule.
 //! * [`trace`] — a serializable event trace for analysis/debugging.
 //!
 //! ## Example: two nodes, one packet
@@ -40,6 +42,6 @@ pub mod trace;
 
 pub use channel::Transmission;
 pub use pool::WorkerPool;
-pub use sim::{NetworkSim, Stimulus};
+pub use sim::{NetworkSim, Scheduler, Stimulus};
 pub use topology::{Position, Topology};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{Trace, TraceEvent, TraceKind, TraceMode};

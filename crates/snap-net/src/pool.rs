@@ -6,11 +6,12 @@
 //! costs far more than the work in each window; this pool spawns its
 //! threads once, on first use, and reuses them for every quantum.
 //!
-//! Determinism: nodes are partitioned into contiguous chunks, one per
-//! worker, and each worker advances its chunk in index order. Results
-//! are reassembled by chunk index — never by completion order — so the
-//! fold over node outputs observes exactly the sequence the sequential
-//! path would produce.
+//! Determinism: nodes are partitioned into contiguous chunks (of the
+//! node slice for [`WorkerPool::run`], of the caller's index list for
+//! [`WorkerPool::run_subset`]), one chunk per worker, and each worker
+//! advances its chunk in order. Results are reassembled by chunk index
+//! — never by completion order — so the fold over node outputs observes
+//! exactly the sequence the sequential path would produce.
 
 use dess::SimTime;
 use snap_node::{Node, NodeError, NodeOutput};
@@ -19,16 +20,25 @@ use std::thread::JoinHandle;
 
 type NodeResult = Result<Vec<NodeOutput>, NodeError>;
 
-/// A raw pointer to a worker's chunk, asserted safe to move across
-/// threads: chunks are disjoint `&mut [Node]` ranges and the caller
-/// blocks until every worker reports back before touching the nodes.
-struct ChunkPtr(*mut Node);
-unsafe impl Send for ChunkPtr {}
+/// A raw pointer to the base of the caller's node slice, asserted safe
+/// to move across threads: each job touches a disjoint set of node
+/// indices and the caller blocks until every worker reports back before
+/// touching the nodes.
+struct BasePtr(*mut Node);
+unsafe impl Send for BasePtr {}
+
+/// Which nodes (relative to the base pointer) one job advances.
+enum Span {
+    /// A contiguous range `offset..offset + len` (the dense path).
+    Range { offset: usize, len: usize },
+    /// An explicit strictly-increasing index list (the sparse path).
+    Indices(Vec<usize>),
+}
 
 struct Job {
     chunk: usize,
-    nodes: ChunkPtr,
-    len: usize,
+    base: BasePtr,
+    span: Span,
     deadline: SimTime,
     results: mpsc::Sender<(usize, Vec<NodeResult>)>,
 }
@@ -67,12 +77,19 @@ impl WorkerPool {
                 .name(format!("snap-net-worker-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        let nodes: &mut [Node] =
-                            unsafe { std::slice::from_raw_parts_mut(job.nodes.0, job.len) };
-                        let out: Vec<NodeResult> = nodes
-                            .iter_mut()
-                            .map(|n| n.run_until(job.deadline))
-                            .collect();
+                        // SAFETY: jobs in one batch carry disjoint node
+                        // indices, and the dispatching caller joins on
+                        // every result before using the nodes again.
+                        let node_at = |i: usize| unsafe { &mut *job.base.0.add(i) };
+                        let out: Vec<NodeResult> = match &job.span {
+                            Span::Range { offset, len } => (*offset..offset + len)
+                                .map(|i| node_at(i).run_until(job.deadline))
+                                .collect(),
+                            Span::Indices(indices) => indices
+                                .iter()
+                                .map(|&i| node_at(i).run_until(job.deadline))
+                                .collect(),
+                        };
                         // A send error means the caller died mid-run;
                         // nothing useful left to do with the result.
                         let _ = job.results.send((job.chunk, out));
@@ -84,30 +101,85 @@ impl WorkerPool {
         }
     }
 
-    /// Advance every node to `deadline` on the pool, returning each
-    /// node's result in node-index order.
-    pub fn run(&mut self, nodes: &mut [Node], deadline: SimTime) -> Vec<NodeResult> {
+    fn ensure_workers(&mut self) {
         if self.handles.is_empty() {
             let workers = std::thread::available_parallelism()
                 .map_or(2, usize::from)
                 .min(8);
             self.spawn_workers(workers.max(1));
         }
+    }
+
+    /// Advance every node to `deadline` on the pool, returning each
+    /// node's result in node-index order.
+    pub fn run(&mut self, nodes: &mut [Node], deadline: SimTime) -> Vec<NodeResult> {
+        self.ensure_workers();
         let chunk_len = nodes.len().div_ceil(self.handles.len()).max(1);
+        let base = nodes.as_mut_ptr();
         let (results_tx, results_rx) = mpsc::channel();
         let mut jobs = 0;
-        for (chunk, slice) in nodes.chunks_mut(chunk_len).enumerate() {
+        let mut offset = 0;
+        while offset < nodes.len() {
+            let len = chunk_len.min(nodes.len() - offset);
             let job = Job {
-                chunk,
-                nodes: ChunkPtr(slice.as_mut_ptr()),
-                len: slice.len(),
+                chunk: jobs,
+                base: BasePtr(base),
+                span: Span::Range { offset, len },
                 deadline,
                 results: results_tx.clone(),
             };
-            self.senders[chunk].send(job).expect("pool worker alive");
+            self.senders[jobs].send(job).expect("pool worker alive");
+            jobs += 1;
+            offset += len;
+        }
+        drop(results_tx);
+        Self::collect(results_rx, jobs)
+    }
+
+    /// Advance only the nodes named by `indices` (strictly increasing,
+    /// in range) to `deadline`, returning results in `indices` order —
+    /// the sparse-batch path of the event-driven scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `indices` is not strictly
+    /// increasing; duplicate indices would alias `&mut Node` across
+    /// workers.
+    pub fn run_subset(
+        &mut self,
+        nodes: &mut [Node],
+        indices: &[usize],
+        deadline: SimTime,
+    ) -> Vec<NodeResult> {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        debug_assert!(indices.iter().all(|&i| i < nodes.len()));
+        self.ensure_workers();
+        let chunk_len = indices.len().div_ceil(self.handles.len()).max(1);
+        let base = nodes.as_mut_ptr();
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut jobs = 0;
+        for chunk in indices.chunks(chunk_len) {
+            let job = Job {
+                chunk: jobs,
+                base: BasePtr(base),
+                span: Span::Indices(chunk.to_vec()),
+                deadline,
+                results: results_tx.clone(),
+            };
+            self.senders[jobs].send(job).expect("pool worker alive");
             jobs += 1;
         }
         drop(results_tx);
+        Self::collect(results_rx, jobs)
+    }
+
+    fn collect(
+        results_rx: mpsc::Receiver<(usize, Vec<NodeResult>)>,
+        jobs: usize,
+    ) -> Vec<NodeResult> {
         let mut by_chunk: Vec<Option<Vec<NodeResult>>> = (0..jobs).map(|_| None).collect();
         for _ in 0..jobs {
             let (chunk, out) = results_rx.recv().expect("pool worker panicked");

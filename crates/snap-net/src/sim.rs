@@ -1,27 +1,52 @@
-//! The lock-step network simulator.
+//! The network simulator: sleep-aware event-driven scheduling with a
+//! lockstep reference path.
 //!
-//! Nodes advance together to the next instant anything can happen (a
-//! node handler, a timer, a word finishing serialization, an injected
-//! stimulus). Running nodes get a bounded work window so the loop stays
-//! efficient without letting any delivery or stimulus be skipped. When
-//! the network is large, node windows execute on parallel threads
-//! (nodes are independent between synchronization points).
+//! SNAP/LE's thesis is that an event-driven node does *zero* work while
+//! idle — the simulator mirrors the hardware. The default scheduler
+//! keeps a **wake calendar** ([`dess::WakeQueue`]) of per-node
+//! `next_activity` instants; each synchronization round pops only the
+//! nodes due in the window, so simulation cost is proportional to
+//! *active* nodes, not node count. Sleeping nodes are skipped entirely
+//! and their clocks lazily fast-forwarded when an event finally reaches
+//! them.
+//!
+//! The original lockstep scheduler (advance *every* node each round)
+//! survives as [`Scheduler::Lockstep`], both as the reference for the
+//! equivalence property tests and as the recorded bench baseline. Both
+//! schedulers, and the parallel and sequential execution paths within
+//! each, produce bit-identical traces, energy totals and architectural
+//! state: they compute the very same window boundaries (the wake
+//! calendar always mirrors what a full `next_activity` scan would
+//! return) and apply deliveries/stimuli to nodes whose clocks sit at
+//! the very same instants (skipped sleepers are synced to the window
+//! end before anything is posted to them).
 
 use crate::channel::{Channel, Transmission};
 use crate::pool::WorkerPool;
 use crate::topology::{Position, Topology};
-use crate::trace::{Trace, TraceEvent, TraceKind};
-use dess::{Calendar, SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};
+use dess::{Calendar, SimDuration, SimTime, WakeQueue};
 use snap_asm::Program;
 use snap_isa::Word;
 use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
-use std::collections::BTreeMap;
 
 /// Work window granted to running nodes per synchronization round.
 const RUN_QUANTUM: SimDuration = SimDuration::from_us(100);
 
 /// Default node count at which windows run on the worker pool.
 pub const PARALLEL_THRESHOLD: usize = 8;
+
+/// Which scheduling strategy [`NetworkSim::run_until`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Advance every node every round (the original O(nodes)-per-round
+    /// scheduler; reference implementation and bench baseline).
+    Lockstep,
+    /// Advance only nodes that are due, driven by the wake calendar
+    /// (cost proportional to active nodes). The default.
+    #[default]
+    EventDriven,
+}
 
 /// An external stimulus injected into a node on schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +65,6 @@ pub enum Stimulus {
 /// The multi-node network simulator.
 pub struct NetworkSim {
     nodes: Vec<Node>,
-    index: BTreeMap<NodeId, usize>,
     topology: Topology,
     channel: Channel,
     deliveries: Calendar<Transmission>,
@@ -49,6 +73,11 @@ pub struct NetworkSim {
     now: SimTime,
     pool: WorkerPool,
     parallel_threshold: usize,
+    scheduler: Scheduler,
+    /// Per-node-index wake instants (event-driven scheduler only).
+    wake: WakeQueue,
+    /// Scratch: node indices due in the current window, sorted.
+    batch: Vec<usize>,
 }
 
 impl NetworkSim {
@@ -56,7 +85,6 @@ impl NetworkSim {
     pub fn new(range: f64) -> NetworkSim {
         NetworkSim {
             nodes: Vec::new(),
-            index: BTreeMap::new(),
             topology: Topology::new(range),
             channel: Channel::new(),
             deliveries: Calendar::new(),
@@ -65,6 +93,9 @@ impl NetworkSim {
             now: SimTime::ZERO,
             pool: WorkerPool::new(),
             parallel_threshold: PARALLEL_THRESHOLD,
+            scheduler: Scheduler::default(),
+            wake: WakeQueue::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -73,6 +104,33 @@ impl NetworkSim {
     /// both must produce bit-identical traces and energy totals).
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold.max(1);
+    }
+
+    /// Select the scheduling strategy (default:
+    /// [`Scheduler::EventDriven`]). Both strategies produce
+    /// bit-identical results; lockstep exists as the reference and
+    /// baseline.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
+    }
+
+    /// The active scheduling strategy.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Select how the trace stores events (default: keep everything).
+    /// Bench scenarios use [`TraceMode::CountOnly`] so long sparse runs
+    /// don't grow memory without bound.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
+    }
+
+    /// Node ids are assigned sequentially from 1, so the node slot is
+    /// directly addressable without a map lookup.
+    fn idx(id: NodeId) -> usize {
+        debug_assert!(id.0 >= 1, "node ids start at 1");
+        usize::from(id.0) - 1
     }
 
     /// Add a node at `position` running `program`. Node ids are
@@ -91,7 +149,6 @@ impl NetworkSim {
         let mut node = Node::new(cfg);
         node.load(program).expect("program fits the node memories");
         self.topology.place(id, position);
-        self.index.insert(id, self.nodes.len());
         self.nodes.push(node);
         id
     }
@@ -102,7 +159,7 @@ impl NetworkSim {
     ///
     /// Panics for unknown ids.
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[self.index[&id]]
+        &self.nodes[Self::idx(id)]
     }
 
     /// Mutable access to a node (fixtures: sensors, etc.).
@@ -111,7 +168,7 @@ impl NetworkSim {
     ///
     /// Panics for unknown ids.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[self.index[&id]]
+        &mut self.nodes[Self::idx(id)]
     }
 
     /// The topology.
@@ -154,6 +211,24 @@ impl NetworkSim {
     ///
     /// Propagates the first [`NodeError`] from any node.
     pub fn run_until(&mut self, t_end: SimTime) -> Result<(), NodeError> {
+        match self.scheduler {
+            Scheduler::Lockstep => self.run_lockstep(t_end),
+            Scheduler::EventDriven => self.run_event_driven(t_end),
+        }
+    }
+
+    /// Run the network for `duration` from the current time.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkSim::run_until`].
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), NodeError> {
+        self.run_until(self.now + duration)
+    }
+
+    // ---- lockstep scheduler (reference path) ----
+
+    fn run_lockstep(&mut self, t_end: SimTime) -> Result<(), NodeError> {
         loop {
             let (next, later) = self.next_instants();
             let Some(t) = next else {
@@ -167,27 +242,23 @@ impl NetworkSim {
                 self.now = t_end;
                 return Ok(());
             }
-            // Window: up to the next *later* instant, capped by the
-            // quantum, so running nodes execute efficiently but no
-            // delivery or stimulus is overshot.
-            let mut window_end = t + RUN_QUANTUM;
-            if let Some(l) = later {
-                window_end = window_end.min(l);
-            }
-            window_end = window_end.min(t_end).max(t + SimDuration::from_ps(1));
+            let window_end = Self::window_end(t, later, t_end);
             self.advance_all(window_end)?;
             self.process_due(window_end);
             self.now = window_end;
         }
     }
 
-    /// Run the network for `duration` from the current time.
-    ///
-    /// # Errors
-    ///
-    /// See [`NetworkSim::run_until`].
-    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), NodeError> {
-        self.run_until(self.now + duration)
+    /// Window: up to the next *later* instant, capped by the quantum,
+    /// so running nodes execute efficiently but no delivery or stimulus
+    /// is overshot. Both schedulers use this formula — identical
+    /// windows are what make their traces bit-identical.
+    fn window_end(t: SimTime, later: Option<SimTime>, t_end: SimTime) -> SimTime {
+        let mut window_end = t + RUN_QUANTUM;
+        if let Some(l) = later {
+            window_end = window_end.min(l);
+        }
+        window_end.min(t_end).max(t + SimDuration::from_ps(1))
     }
 
     /// The earliest instant anything can happen, and the earliest
@@ -233,38 +304,203 @@ impl NetworkSim {
 
         for (i, result) in results.into_iter().enumerate() {
             let from = self.nodes[i].id();
-            for output in result? {
-                match output {
-                    NodeOutput::Transmitted { word, start, end } => {
-                        let tx = Transmission {
-                            from,
-                            word,
-                            start,
-                            end,
-                        };
-                        self.channel.transmit(tx);
-                        self.deliveries.schedule(end, tx);
-                        self.trace.record(TraceEvent {
-                            at_ps: start.as_ps(),
-                            node: from,
-                            kind: TraceKind::Transmit { word },
-                        });
-                    }
-                    NodeOutput::LedWrite { value, at } => {
-                        self.trace.record(TraceEvent {
-                            at_ps: at.as_ps(),
-                            node: from,
-                            kind: TraceKind::Led { value },
-                        });
-                    }
-                    NodeOutput::RadioModeChanged { .. } => {}
-                }
-            }
+            let outputs = result?;
+            self.fold_outputs(from, outputs);
         }
         Ok(())
     }
 
-    /// Deliver transmissions and apply stimuli due at or before `t`.
+    // ---- event-driven scheduler (wake calendar) ----
+
+    fn run_event_driven(&mut self, t_end: SimTime) -> Result<(), NodeError> {
+        // Rebuild the calendar: anything may have changed through
+        // `node_mut` (test fixtures poke sensors and CPUs directly)
+        // since the last run. From here on it is maintained
+        // incrementally — re-keyed only when something that can change
+        // a node's wake time happens.
+        self.wake.clear();
+        for i in 0..self.nodes.len() {
+            self.rekey(i);
+        }
+        loop {
+            // The earliest instant anything can happen: the wake
+            // calendar mirrors the per-node scan of the lockstep path.
+            let mut first = self.wake.peek().map(|(t, _)| t);
+            for cand in [self.deliveries.peek_time(), self.stimuli.peek_time()] {
+                first = match (first, cand) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some(t) = first else {
+                // Nothing will ever happen again: sync clocks to the
+                // horizon and stop (mirrors lockstep's tail).
+                self.advance_all(t_end)?;
+                self.now = t_end;
+                return Ok(());
+            };
+            if t >= t_end {
+                self.advance_all(t_end)?;
+                self.process_due(t_end);
+                self.now = t_end;
+                return Ok(());
+            }
+            // Pop the nodes due at exactly `t`; the calendar's next
+            // entry is then the earliest *later* node instant.
+            self.batch.clear();
+            while let Some((wt, i)) = self.wake.peek() {
+                if wt > t {
+                    break;
+                }
+                self.wake.pop();
+                self.batch.push(i);
+            }
+            let mut later = self.wake.peek().map(|(wt, _)| wt);
+            for c in [self.deliveries.peek_time(), self.stimuli.peek_time()]
+                .into_iter()
+                .flatten()
+            {
+                if c > t {
+                    later = Some(later.map_or(c, |l| l.min(c)));
+                }
+            }
+            let window_end = Self::window_end(t, later, t_end);
+            // Nodes waking exactly at the window boundary belong to
+            // this round too (lockstep advances them to `window_end`,
+            // which wakes them).
+            while let Some((wt, i)) = self.wake.peek() {
+                if wt > window_end {
+                    break;
+                }
+                self.wake.pop();
+                self.batch.push(i);
+            }
+            // Outputs must fold in node-index order — the order the
+            // lockstep fold over all nodes observes.
+            self.batch.sort_unstable();
+            self.advance_batch(window_end)?;
+            self.process_due_synced(window_end)?;
+            self.now = window_end;
+        }
+    }
+
+    /// Refresh node `i`'s wake-calendar entry from its current state.
+    fn rekey(&mut self, i: usize) {
+        match self.nodes[i].next_activity() {
+            Some(t) => self.wake.set(i, t),
+            None => self.wake.remove(i),
+        }
+    }
+
+    /// Advance only the due nodes (in parallel when the batch is big)
+    /// and fold their outputs; skipped nodes are untouched — that skip
+    /// is the entire speedup.
+    fn advance_batch(&mut self, deadline: SimTime) -> Result<(), NodeError> {
+        let results: Vec<Result<Vec<NodeOutput>, NodeError>> =
+            if self.batch.len() >= self.parallel_threshold {
+                self.pool.run_subset(&mut self.nodes, &self.batch, deadline)
+            } else {
+                let nodes = &mut self.nodes;
+                self.batch
+                    .iter()
+                    .map(|&i| nodes[i].run_until(deadline))
+                    .collect()
+            };
+        for (b, result) in results.into_iter().enumerate() {
+            let i = self.batch[b];
+            let from = self.nodes[i].id();
+            let outputs = result?;
+            self.fold_outputs(from, outputs);
+            self.rekey(i);
+        }
+        Ok(())
+    }
+
+    /// Bring a node that may have been skipped (lazily-synced clock) to
+    /// the window boundary before an event is posted to it, exactly as
+    /// the lockstep `advance_all` would have. For an already-advanced,
+    /// halted, or quietly sleeping node this is a cheap no-op /
+    /// `advance_idle`; it can execute no instructions and produce no
+    /// outputs, because any node with work before `to` was in this
+    /// window's batch.
+    fn sync_node(&mut self, i: usize, to: SimTime) -> Result<(), NodeError> {
+        let outputs = self.nodes[i].run_until(to)?;
+        debug_assert!(outputs.is_empty(), "clock sync must not produce outputs");
+        Ok(())
+    }
+
+    /// Deliver transmissions and apply stimuli due at or before `t`,
+    /// fast-forwarding each involved node's clock to `t` first (the
+    /// lockstep path has already advanced every node when its
+    /// `process_due` runs; the event-driven path does it lazily, only
+    /// for nodes events actually reach).
+    fn process_due_synced(&mut self, t: SimTime) -> Result<(), NodeError> {
+        while let Some(due) = self.deliveries.peek_time() {
+            if due > t {
+                break;
+            }
+            let (_, tx) = self.deliveries.pop().expect("peeked");
+            for r in 0..self.topology.neighbours(tx.from).len() {
+                let id = self.topology.neighbours(tx.from)[r];
+                self.sync_node(Self::idx(id), t)?;
+            }
+            self.deliver(tx);
+            for r in 0..self.topology.neighbours(tx.from).len() {
+                let id = self.topology.neighbours(tx.from)[r];
+                self.rekey(Self::idx(id));
+            }
+        }
+        while let Some(due) = self.stimuli.peek_time() {
+            if due > t {
+                break;
+            }
+            let (_, (id, stimulus)) = self.stimuli.pop().expect("peeked");
+            self.sync_node(Self::idx(id), t)?;
+            self.apply_stimulus(id, stimulus, t);
+            self.rekey(Self::idx(id));
+        }
+        // Keep a couple of word-times of history for overlap checks.
+        self.expire_channel(t);
+        Ok(())
+    }
+
+    // ---- shared machinery ----
+
+    /// Fold one node's window outputs into the channel, delivery
+    /// calendar and trace (identical for both schedulers — trace byte
+    /// equality depends on it).
+    fn fold_outputs(&mut self, from: NodeId, outputs: Vec<NodeOutput>) {
+        for output in outputs {
+            match output {
+                NodeOutput::Transmitted { word, start, end } => {
+                    let tx = Transmission {
+                        from,
+                        word,
+                        start,
+                        end,
+                    };
+                    self.channel.transmit(tx);
+                    self.deliveries.schedule(end, tx);
+                    self.trace.record(TraceEvent {
+                        at_ps: start.as_ps(),
+                        node: from,
+                        kind: TraceKind::Transmit { word },
+                    });
+                }
+                NodeOutput::LedWrite { value, at } => {
+                    self.trace.record(TraceEvent {
+                        at_ps: at.as_ps(),
+                        node: from,
+                        kind: TraceKind::Led { value },
+                    });
+                }
+                NodeOutput::RadioModeChanged { .. } => {}
+            }
+        }
+    }
+
+    /// Deliver transmissions and apply stimuli due at or before `t`
+    /// (lockstep path: every node is already at `t`).
     fn process_due(&mut self, t: SimTime) {
         while let Some(due) = self.deliveries.peek_time() {
             if due > t {
@@ -280,7 +516,11 @@ impl NetworkSim {
             let (_, (id, stimulus)) = self.stimuli.pop().expect("peeked");
             self.apply_stimulus(id, stimulus, t);
         }
-        // Keep a couple of word-times of history for overlap checks.
+        self.expire_channel(t);
+    }
+
+    /// Keep a couple of word-times of history for overlap checks.
+    fn expire_channel(&mut self, t: SimTime) {
         let cutoff = SimTime::from_ps(t.as_ps().saturating_sub(SimDuration::from_ms(2).as_ps()));
         self.channel.expire(cutoff);
     }
@@ -293,7 +533,7 @@ impl NetworkSim {
             // By symmetry, what `id` hears is exactly its neighbours.
             let audible = self.topology.neighbours(id);
             let clean = self.channel.is_clean(&tx, audible) && !self.channel.fades();
-            let idx = self.index[&id];
+            let idx = Self::idx(id);
             if clean {
                 if self.nodes[idx].deliver_rx(tx.word) {
                     self.channel.note_delivery();
@@ -318,7 +558,7 @@ impl NetworkSim {
     }
 
     fn apply_stimulus(&mut self, id: NodeId, stimulus: Stimulus, at: SimTime) {
-        let idx = self.index[&id];
+        let idx = Self::idx(id);
         match stimulus {
             Stimulus::SensorIrq => {
                 self.nodes[idx].trigger_sensor_irq();

@@ -53,21 +53,33 @@ impl Topology {
         }
     }
 
-    /// Place (or move) a node; rebuilds the neighbour cache.
+    /// Place (or move) a node; updates the neighbour cache
+    /// incrementally — one distance check against each placed node, so
+    /// building an n-node topology costs O(n²) total instead of the
+    /// O(n³) a full rebuild per placement would.
     pub fn place(&mut self, node: NodeId, position: Position) {
-        self.positions.insert(node, position);
-        self.rebuild_neighbours();
-    }
-
-    fn rebuild_neighbours(&mut self) {
-        self.neighbours = self
-            .positions
-            .keys()
-            .map(|&n| {
-                let list = self.nodes().filter(|&m| self.in_range(n, m)).collect();
-                (n, list)
-            })
-            .collect();
+        let moved = self.positions.insert(node, position).is_some();
+        if moved {
+            // The node's old in-range set is unknown now; drop it from
+            // every list and re-derive from the new position.
+            for list in self.neighbours.values_mut() {
+                if let Ok(i) = list.binary_search(&node) {
+                    list.remove(i);
+                }
+            }
+        }
+        let mut mine = Vec::new();
+        for (&other, other_pos) in &self.positions {
+            if other == node || position.distance(other_pos) > self.range {
+                continue;
+            }
+            mine.push(other); // id order: BTreeMap iteration order
+            let list = self.neighbours.entry(other).or_default();
+            if let Err(i) = list.binary_search(&node) {
+                list.insert(i, node);
+            }
+        }
+        self.neighbours.insert(node, mine);
     }
 
     /// The node's position, if placed.

@@ -43,10 +43,29 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// How a [`Trace`] stores what it records.
+///
+/// Long benchmark runs record millions of events; keeping them all
+/// ([`TraceMode::Full`], the default) would make trace memory — not
+/// simulation — the bottleneck. Ring mode keeps a sliding tail for
+/// post-mortems; count-only mode keeps nothing but the total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Keep every event (the default; what tests compare).
+    #[default]
+    Full,
+    /// Keep only the most recent `cap` events (`cap >= 1`).
+    Ring(usize),
+    /// Keep no events, only the running total.
+    CountOnly,
+}
+
 /// The collected trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    mode: TraceMode,
+    recorded: u64,
 }
 
 impl Trace {
@@ -55,24 +74,76 @@ impl Trace {
         Trace::default()
     }
 
+    /// Switch storage mode. Shrinks (ring) or discards (count-only) the
+    /// events already held so the new bound applies immediately.
+    pub fn set_mode(&mut self, mode: TraceMode) {
+        self.mode = mode;
+        match mode {
+            TraceMode::Full => {}
+            TraceMode::Ring(cap) => {
+                let cap = cap.max(1);
+                if self.events.len() > cap {
+                    self.events.drain(..self.events.len() - cap);
+                }
+            }
+            TraceMode::CountOnly => {
+                self.events = Vec::new();
+            }
+        }
+    }
+
+    /// The active storage mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
     /// Record an event.
     pub fn record(&mut self, event: TraceEvent) {
-        self.events.push(event);
+        self.recorded += 1;
+        match self.mode {
+            TraceMode::Full => self.events.push(event),
+            TraceMode::Ring(cap) => {
+                let cap = cap.max(1);
+                // Amortized eviction: let the buffer grow to 2*cap,
+                // then drop the stale half in one memmove, so `events`
+                // stays a plain slice (no ring-buffer index juggling
+                // at every call site) at O(1) amortized cost.
+                if self.events.len() >= cap * 2 {
+                    self.events.drain(..self.events.len() - (cap - 1));
+                }
+                self.events.push(event);
+            }
+            TraceMode::CountOnly => {}
+        }
     }
 
-    /// All events, in recording order.
+    /// Total events recorded, including any no longer retained.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Retained events, in recording order (in ring mode: the most
+    /// recent `cap` events; in count-only mode: empty). The ring's
+    /// backing buffer transiently holds up to 2×cap — this slices off
+    /// the stale prefix.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        match self.mode {
+            TraceMode::Ring(cap) => {
+                let cap = cap.max(1);
+                &self.events[self.events.len().saturating_sub(cap)..]
+            }
+            _ => &self.events,
+        }
     }
 
-    /// Events involving one node.
+    /// Retained events involving one node.
     pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
-        self.events.iter().filter(move |e| e.node == node)
+        self.events().iter().filter(move |e| e.node == node)
     }
 
-    /// Count events matching a predicate.
+    /// Count retained events matching a predicate.
     pub fn count<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> usize {
-        self.events.iter().filter(|e| pred(e)).count()
+        self.events().iter().filter(|e| pred(e)).count()
     }
 
     /// Render the trace as JSON lines (one event per line) for external
@@ -80,7 +151,7 @@ impl Trace {
     /// the workspace deliberately avoids a JSON dependency.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.events() {
             let (kind, detail) = match e.kind {
                 TraceKind::Transmit { word } => ("transmit", format!(r#","word":{word}"#)),
                 TraceKind::Deliver { word, from } => {
@@ -128,6 +199,55 @@ mod tests {
             r#"{"at_ps":5,"node":2,"kind":"deliver","word":7,"from":1}"#
         );
         assert_eq!(lines[1], r#"{"at_ps":9,"node":2,"kind":"stimulus"}"#);
+    }
+
+    #[test]
+    fn ring_mode_keeps_most_recent_cap() {
+        let mut t = Trace::new();
+        t.set_mode(TraceMode::Ring(3));
+        for i in 0..10u64 {
+            t.record(TraceEvent {
+                at_ps: i,
+                node: NodeId(1),
+                kind: TraceKind::Stimulus,
+            });
+        }
+        assert_eq!(t.recorded(), 10);
+        let kept: Vec<u64> = t.events().iter().map(|e| e.at_ps).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(t.count(|_| true), 3);
+        assert_eq!(t.to_json_lines().lines().count(), 3);
+    }
+
+    #[test]
+    fn count_only_mode_keeps_nothing() {
+        let mut t = Trace::new();
+        t.set_mode(TraceMode::CountOnly);
+        for i in 0..5u64 {
+            t.record(TraceEvent {
+                at_ps: i,
+                node: NodeId(1),
+                kind: TraceKind::Stimulus,
+            });
+        }
+        assert_eq!(t.recorded(), 5);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn switching_to_ring_shrinks_existing_events() {
+        let mut t = Trace::new();
+        for i in 0..6u64 {
+            t.record(TraceEvent {
+                at_ps: i,
+                node: NodeId(1),
+                kind: TraceKind::Stimulus,
+            });
+        }
+        t.set_mode(TraceMode::Ring(2));
+        let kept: Vec<u64> = t.events().iter().map(|e| e.at_ps).collect();
+        assert_eq!(kept, vec![4, 5]);
+        assert_eq!(t.recorded(), 6);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Scheduler equivalence: the wake calendar must be invisible.
+//!
+//! The event-driven scheduler skips sleeping nodes and fast-forwards
+//! their clocks lazily; the lockstep scheduler advances every node
+//! every round. If the wake calendar ever disagrees with what a full
+//! `next_activity` scan would return — a missed re-key after a timer
+//! arm, a delivery posted to a stale clock — the two schedulers pick
+//! different window boundaries and their traces diverge. This property
+//! test throws randomized mixed workloads (periodic timers, CSMA
+//! traffic under random loss, staggered sensor interrupts) at all four
+//! scheduler × parallel-threshold combinations and requires
+//! bit-identical results: the full trace, channel counters, and every
+//! node's instruction count, energy (to the bit), busy/sleep time and
+//! architectural registers.
+
+use dess::{SimDuration, SimTime};
+use proptest::prelude::*;
+use snap_apps::blink::blink_program;
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
+use snap_isa::Reg;
+use snap_net::{NetworkSim, Position, Scheduler, Stimulus};
+use snap_node::NodeId;
+
+/// One randomized scenario: `mac_nodes` CSMA senders in a ring on a
+/// grid, `blink_nodes` timer-periodic nodes (pure timer load, no
+/// radio), random per-word loss and staggered sensor interrupts.
+#[derive(Debug, Clone)]
+struct Scenario {
+    mac_nodes: u8,
+    blink_nodes: u8,
+    loss_ppm: u32,
+    loss_seed: u64,
+    stagger_us: u64,
+    extra_irqs: Vec<(u8, u64)>,
+    run_ms: u64,
+}
+
+fn build(s: &Scenario, scheduler: Scheduler, threshold: usize) -> NetworkSim {
+    let mut sim = NetworkSim::new(12.0);
+    sim.set_scheduler(scheduler);
+    sim.set_parallel_threshold(threshold);
+    if s.loss_ppm > 0 {
+        sim.set_loss(f64::from(s.loss_ppm) / 1_000_000.0, s.loss_seed);
+    }
+    for i in 0..s.mac_nodes {
+        let dst = if i + 1 == s.mac_nodes { 1 } else { i + 2 };
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+        let program = mac_program(i + 1, &extra, &app).unwrap();
+        let (col, row) = (f64::from(i % 5), f64::from(i / 5));
+        let id = sim.add_node(&program, Position::new(col * 8.0, row * 8.0));
+        sim.schedule(
+            id,
+            SimTime::ZERO + SimDuration::from_us(1_000 + s.stagger_us * u64::from(i)),
+            Stimulus::SensorIrq,
+        );
+    }
+    // Timer-periodic nodes parked far away: they exercise the wake
+    // calendar's timer path (sleep, periodic expiry, re-arm) without
+    // joining the radio traffic.
+    for i in 0..s.blink_nodes {
+        sim.add_node(
+            &blink_program().unwrap(),
+            Position::new(1_000.0 + f64::from(i) * 100.0, 0.0),
+        );
+    }
+    for &(node, at_us) in &s.extra_irqs {
+        let target = NodeId(u16::from(node % s.mac_nodes) + 1);
+        sim.schedule(
+            target,
+            SimTime::ZERO + SimDuration::from_us(at_us),
+            Stimulus::SensorIrq,
+        );
+    }
+    sim
+}
+
+/// Everything observable about a finished run, collapsed to comparable
+/// (bit-exact) form.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    trace: Vec<snap_net::TraceEvent>,
+    deliveries: u64,
+    collisions: u64,
+    faded: u64,
+    now_ps: u64,
+    per_node: Vec<NodeObserved>,
+}
+
+#[derive(Debug, PartialEq)]
+struct NodeObserved {
+    instructions: u64,
+    energy_bits: u64,
+    busy_ps: u64,
+    sleep_ps: u64,
+    clock_ps: u64,
+    regs: [u16; 15],
+    handlers: u64,
+}
+
+fn run(s: &Scenario, scheduler: Scheduler, threshold: usize) -> Observed {
+    let mut sim = build(s, scheduler, threshold);
+    sim.run_until(SimTime::ZERO + SimDuration::from_ms(s.run_ms))
+        .unwrap();
+    let nodes = u16::from(s.mac_nodes) + u16::from(s.blink_nodes);
+    let per_node = (1..=nodes)
+        .map(|n| {
+            let node = sim.node(NodeId(n));
+            let stats = node.cpu().stats();
+            let mut regs = [0u16; 15];
+            for (i, slot) in regs.iter_mut().enumerate() {
+                *slot = node.cpu().regs().read(Reg::ALL[i]);
+            }
+            NodeObserved {
+                instructions: stats.instructions,
+                energy_bits: stats.energy.as_pj().to_bits(),
+                busy_ps: stats.busy_time.as_ps(),
+                sleep_ps: stats.sleep_time.as_ps(),
+                clock_ps: node.now().as_ps(),
+                regs,
+                handlers: stats.handlers_dispatched,
+            }
+        })
+        .collect();
+    Observed {
+        trace: sim.trace().events().to_vec(),
+        deliveries: sim.channel().deliveries(),
+        collisions: sim.channel().collisions(),
+        faded: sim.channel().faded(),
+        now_ps: sim.now().as_ps(),
+        per_node,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All four scheduler × threshold combinations observe the same
+    /// universe, bit for bit.
+    #[test]
+    fn schedulers_are_observationally_equivalent(
+        mac_nodes in 3u8..9,
+        blink_nodes in 0u8..3,
+        loss_ppm in prop::sample::select(vec![0u32, 20_000, 150_000]),
+        loss_seed in 1u64..1_000,
+        stagger_us in 300u64..1_500,
+        extra_irqs in prop::collection::vec((0u8..8, 2_000u64..30_000), 0..4),
+        run_ms in 20u64..45,
+    ) {
+        let s = Scenario {
+            mac_nodes,
+            blink_nodes,
+            loss_ppm,
+            loss_seed,
+            stagger_us,
+            extra_irqs,
+            run_ms,
+        };
+        // Lockstep sequential is the reference the other three must hit.
+        let reference = run(&s, Scheduler::Lockstep, 100);
+        prop_assert!(
+            !reference.trace.is_empty(),
+            "vacuous scenario: no traffic at all"
+        );
+        let configs = [
+            (Scheduler::Lockstep, 1usize, "lockstep/parallel"),
+            (Scheduler::EventDriven, 100, "event-driven/sequential"),
+            (Scheduler::EventDriven, 1, "event-driven/parallel"),
+        ];
+        for (scheduler, threshold, label) in configs {
+            let got = run(&s, scheduler, threshold);
+            prop_assert_eq!(
+                &got.trace, &reference.trace,
+                "trace diverged under {}", label
+            );
+            prop_assert_eq!(&got, &reference, "state diverged under {}", label);
+        }
+    }
+}
+
+/// A long quiet tail after the traffic dies down: the event-driven
+/// scheduler skips all of it, the lockstep one grinds through — both
+/// must land on identical clocks, sleep totals and energy.
+#[test]
+fn quiet_tail_is_fast_forwarded_identically() {
+    let s = Scenario {
+        mac_nodes: 5,
+        blink_nodes: 1,
+        loss_ppm: 0,
+        loss_seed: 1,
+        stagger_us: 700,
+        extra_irqs: vec![],
+        run_ms: 120, // traffic is over in ~10 ms; 110 ms of near-silence
+    };
+    let reference = run(&s, Scheduler::Lockstep, 100);
+    let event_driven = run(&s, Scheduler::EventDriven, 100);
+    assert_eq!(event_driven, reference);
+}

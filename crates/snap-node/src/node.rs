@@ -6,7 +6,7 @@ use crate::radio::Radio;
 use crate::sensor::SensorBank;
 use dess::{Calendar, SimDuration, SimTime};
 use snap_asm::Program;
-use snap_core::{CoreConfig, CoreState, EnvAction, Processor, StepError, StepOutcome};
+use snap_core::{CoreConfig, CoreState, EnvAction, Processor, StepError};
 use snap_isa::Word;
 use std::fmt;
 
@@ -92,7 +92,11 @@ pub enum NodeError {
         /// When.
         at: SimTime,
     },
-    /// The per-run instruction budget was exhausted (runaway handler).
+    /// The instruction budget of a single awake stretch was exhausted
+    /// (runaway handler). The counter persists across
+    /// [`Node::run_until`] window boundaries and resets only when the
+    /// core sleeps or dispatches a fresh handler, so a runaway handler
+    /// spanning many windows is still caught.
     StepLimit {
         /// Which node.
         node: NodeId,
@@ -133,6 +137,10 @@ pub struct Node {
     led: LedPort,
     pending: Calendar<Pending>,
     step_limit: u64,
+    /// Instructions executed in the current awake stretch. Persists
+    /// across `run_until` calls; resets when the core sleeps or a new
+    /// handler is dispatched (see [`NodeError::StepLimit`]).
+    run_steps: u64,
 }
 
 impl Node {
@@ -146,6 +154,7 @@ impl Node {
             led: LedPort::new(),
             pending: Calendar::new(),
             step_limit: config.step_limit,
+            run_steps: 0,
         }
     }
 
@@ -238,12 +247,17 @@ impl Node {
     /// Advance the node until `deadline`, executing handlers and
     /// delivering radio/sensor events at their due times.
     ///
+    /// Handlers execute in batched bursts ([`Processor::run_burst`])
+    /// bounded by the earliest pending local event, so per-instruction
+    /// polling overhead is gone while event delivery instants — and
+    /// therefore all architectural state — stay bit-identical to the
+    /// stepped loop.
+    ///
     /// # Errors
     ///
     /// See [`NodeError`].
     pub fn run_until(&mut self, deadline: SimTime) -> Result<Vec<NodeOutput>, NodeError> {
         let mut outputs = Vec::new();
-        let mut steps = 0u64;
         loop {
             self.deliver_due();
             match self.cpu.state() {
@@ -252,26 +266,44 @@ impl Node {
                     if self.cpu.now() >= deadline {
                         break;
                     }
-                    steps += 1;
-                    if steps > self.step_limit {
+                    let remaining = self.step_limit.saturating_sub(self.run_steps);
+                    if remaining == 0 {
                         return Err(NodeError::StepLimit {
                             node: self.id,
                             limit: self.step_limit,
                         });
                     }
-                    let outcome = self.cpu.step().map_err(|error| NodeError::Core {
-                        node: self.id,
-                        error,
-                    })?;
-                    if let StepOutcome::Executed {
-                        action: Some(action),
-                        ..
-                    } = outcome
-                    {
+                    // Stop the burst where a stepped loop would have
+                    // delivered the next pending radio/sensor event
+                    // (`deliver_due` polls at instruction boundaries).
+                    let limit = match self.pending.peek_time() {
+                        Some(p) if p < deadline => p,
+                        _ => deadline,
+                    };
+                    let dispatched = self.cpu.handlers_dispatched();
+                    let burst =
+                        self.cpu
+                            .run_burst(limit, remaining)
+                            .map_err(|error| NodeError::Core {
+                                node: self.id,
+                                error,
+                            })?;
+                    if self.cpu.handlers_dispatched() != dispatched {
+                        // `done` chained into a fresh handler mid-burst:
+                        // restart the runaway budget. Attributing the
+                        // whole burst to the newest handler over-counts
+                        // by at most one burst, which only matters when
+                        // the budget was nearly exhausted anyway.
+                        self.run_steps = burst.steps;
+                    } else {
+                        self.run_steps += burst.steps;
+                    }
+                    if let Some(action) = burst.action {
                         self.handle_action(action, &mut outputs)?;
                     }
                 }
                 CoreState::Asleep => {
+                    self.run_steps = 0;
                     if !self.cpu.event_queue().is_empty() {
                         // A token is waiting: wake up.
                         self.cpu.step().map_err(|error| NodeError::Core {
@@ -541,6 +573,63 @@ mod tests {
         node.load(&program).unwrap();
         let err = node.run_for(SimDuration::from_ms(1)).unwrap_err();
         assert!(matches!(err, NodeError::StepLimit { limit: 1000, .. }));
+    }
+
+    #[test]
+    fn step_limit_spans_window_boundaries() {
+        // Windows short enough that each one executes well under the
+        // budget: the counter must accumulate across windows instead of
+        // resetting, or this runaway loop is never caught.
+        let cfg = NodeConfig {
+            step_limit: 1000,
+            ..NodeConfig::default()
+        };
+        let program = assemble("loop: jmp loop").unwrap();
+        let mut node = Node::new(cfg);
+        node.load(&program).unwrap();
+        let mut windows = 0u32;
+        let err = loop {
+            match node.run_for(SimDuration::from_us(1)) {
+                Ok(_) => windows += 1,
+                Err(e) => break e,
+            }
+            assert!(windows < 10_000, "step limit never tripped");
+        };
+        assert!(matches!(err, NodeError::StepLimit { limit: 1000, .. }));
+        assert!(windows > 1, "budget must survive at least one window");
+    }
+
+    #[test]
+    fn step_budget_resets_after_sleep() {
+        // Each IRQ handler runs ~600 instructions — under the 1000
+        // budget — then sleeps. Repeated dispatches must each get a
+        // fresh budget rather than accumulating into a false trip.
+        let src = r"
+            .equ EV_IRQ, 5
+                li      r1, EV_IRQ
+                li      r2, h
+                setaddr r1, r2
+                done
+            h:
+                li      r3, 200
+            spin:
+                subi    r3, 1
+                bnez    r3, spin
+                done
+        ";
+        let cfg = NodeConfig {
+            step_limit: 1000,
+            ..NodeConfig::default()
+        };
+        let program = assemble(src).unwrap();
+        let mut node = Node::new(cfg);
+        node.load(&program).unwrap();
+        node.run_for(SimDuration::from_us(50)).unwrap();
+        for _ in 0..5 {
+            node.trigger_sensor_irq();
+            node.run_for(SimDuration::from_us(50)).unwrap();
+        }
+        assert_eq!(node.cpu().stats().handlers_dispatched, 5);
     }
 
     #[test]
