@@ -235,6 +235,128 @@ fn r15_underflow_faults_with_address() {
     assert_eq!(err, StepError::MsgPortEmpty { at: 0x80 });
 }
 
+/// Assemble a program and load both memory images into a default core.
+fn cpu_from_asm(src: &str) -> Processor {
+    let program = snap_asm::assemble(src).unwrap();
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.load_image(0, &program.imem_image()).unwrap();
+    cpu.load_data(0, &program.dmem_image()).unwrap();
+    cpu
+}
+
+/// A cancel issued *after* the countdown already elapsed — the expiry
+/// token was posted while the cancelling code was still running — must
+/// not add a cancellation token: exactly one handler invocation, and
+/// the cancel is a no-op on the now-inactive timer.
+#[test]
+fn cancel_racing_expiry_posts_exactly_one_token() {
+    let mut cpu = cpu_from_asm(
+        "
+.text
+boot:
+    li      r1, 0
+    li      r2, handler
+    setaddr r1, r2
+    li      r3, 0
+    li      r4, 5           ; expire 5 ticks from now
+    schedlo r3, r4
+    li      r6, 4000        ; spin well past the expiry (~16 us busy)
+spin:
+    subi    r6, 1
+    bnez    r6, spin
+    cancel  r3              ; countdown already elapsed: no token
+    done
+handler:
+    lw      r5, 0x10(r0)
+    addi    r5, 1
+    sw      r5, 0x10(r0)
+    done
+",
+    );
+    cpu.run_until_idle(20_000).unwrap();
+    assert_eq!(cpu.dmem().read(0x10), 1, "exactly one expiry dispatch");
+    assert_eq!(cpu.timers().scheduled(), 1);
+    assert_eq!(cpu.timers().expired(), 1);
+    assert_eq!(
+        cpu.timers().cancelled(),
+        0,
+        "cancel of an expired timer must not count"
+    );
+}
+
+/// Event-queue capacity at the FIFO boundary: nine received words post
+/// eight tokens (the ninth is dropped at the full queue) but all nine
+/// words enter the FIFO, so after the eight dispatches drain one word
+/// each, exactly one word is left behind.
+#[test]
+fn fifo_overflow_drops_event_but_keeps_word() {
+    let mut cpu = cpu_from_asm(
+        "
+.text
+boot:
+    li      r1, 3           ; EV_RADRX
+    li      r2, handler
+    setaddr r1, r2
+    li      r15, 0x1001     ; radio rx on
+    done
+handler:
+    mov     r3, r15         ; pop one word per dispatch
+    lw      r5, 0x20(r0)
+    addi    r5, 1
+    sw      r5, 0x20(r0)
+    done
+",
+    );
+    cpu.run_until_idle(100).unwrap();
+    for i in 0..9u16 {
+        let accepted = cpu.post_radio_rx(0x4000 + i);
+        assert_eq!(accepted, i < 8, "word {i}");
+    }
+    assert_eq!(cpu.msg().words_received(), 9, "all nine words hit the FIFO");
+    cpu.run_until_idle(1_000).unwrap();
+    assert_eq!(cpu.dmem().read(0x20), 8, "one dispatch per queued token");
+    assert_eq!(cpu.stats().events_dropped, 1);
+    assert_eq!(
+        cpu.msg().outgoing_len(),
+        1,
+        "the dropped event's word stays in the FIFO"
+    );
+}
+
+/// The `seed`/`rand` pair is pinned to the hardware LFSR sequence
+/// (16-bit Galois, taps 0xB400, sixteen bit-steps per word). Values
+/// computed independently from the polynomial; a change to the RNG
+/// breaks CSMA backoff reproducibility across the whole repo.
+#[test]
+fn lfsr_sequence_is_pinned() {
+    let mut cpu = cpu_from_asm(
+        "
+.text
+boot:
+    li      r1, 0xBEEF
+    seed    r1
+    rand    r2
+    sw      r2, 0x30(r0)
+    rand    r2
+    sw      r2, 0x31(r0)
+    rand    r2
+    sw      r2, 0x32(r0)
+    rand    r2
+    sw      r2, 0x33(r0)
+    seed    r0              ; zero seed locks the LFSR: mapped to 1
+    rand    r2
+    sw      r2, 0x34(r0)
+    halt
+",
+    );
+    cpu.run_to_halt(100).unwrap();
+    assert_eq!(cpu.dmem().read(0x30), 0xC4BE);
+    assert_eq!(cpu.dmem().read(0x31), 0x64A3);
+    assert_eq!(cpu.dmem().read(0x32), 0xF6FA);
+    assert_eq!(cpu.dmem().read(0x33), 0xC4AC);
+    assert_eq!(cpu.dmem().read(0x34), 0x7C41, "zero seed must act as 1");
+}
+
 /// Sleep accounting: advance_idle splits wall time into sleep time and
 /// never goes backwards.
 #[test]

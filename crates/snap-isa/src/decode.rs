@@ -438,4 +438,67 @@ mod exhaustive {
         // opcodes with their current function-code subsets.
         assert_eq!(legal, 14_592, "the encoding map changed");
     }
+
+    /// Stronger property over the full 16-bit space: re-encoding a
+    /// decoded word is *idempotent canonicalization*. Some legal words
+    /// carry don't-care bits that decode masks and encode zeroes
+    /// (alias words); for every legal word the canonical form must
+    /// decode back to the identical instruction and be a fixpoint of
+    /// encode∘decode, and two-word forms must reproduce their
+    /// immediate word bit-exactly for several immediate patterns.
+    /// This is the assembler/disassembler contract the differential
+    /// fuzzer's round-trip tests rely on.
+    #[test]
+    fn all_words_canonicalize_idempotently() {
+        let mut canonical = 0u32;
+        let mut aliases = 0u32;
+        let mut two_word = 0u32;
+        for first in 0..=u16::MAX {
+            match Instruction::decode(first, Some(0x0000)) {
+                Ok(ins) => {
+                    let enc = ins.encode();
+                    if enc.first() == first {
+                        canonical += 1;
+                    } else {
+                        aliases += 1;
+                    }
+                    // The canonical form is stable: same instruction,
+                    // and a fixpoint of encode∘decode.
+                    let again = Instruction::decode(enc.first(), enc.second())
+                        .unwrap_or_else(|e| panic!("{first:#06x}: canonical form illegal: {e}"));
+                    assert_eq!(again, ins, "{first:#06x}");
+                    let enc2 = again.encode();
+                    assert_eq!(enc2.first(), enc.first(), "{first:#06x} not a fixpoint");
+                    assert_eq!(enc2.second(), enc.second(), "{first:#06x} not a fixpoint");
+                    if ins.is_two_word() {
+                        two_word += 1;
+                        // The immediate word passes through untouched
+                        // for any bit pattern.
+                        for second in [0xffff, 0x5a5a, first ^ 0xa5a5] {
+                            let v = Instruction::decode(first, Some(second)).unwrap();
+                            let e = v.encode();
+                            assert_eq!(e.first(), enc.first(), "{first:#06x}");
+                            assert_eq!(e.second(), Some(second), "{first:#06x}");
+                        }
+                    } else {
+                        assert_eq!(enc.second(), None, "{first:#06x}");
+                    }
+                }
+                // Legality never depends on the second word.
+                Err(_) => {
+                    for second in [0xffff, 0x5a5a, first ^ 0xa5a5] {
+                        assert!(
+                            Instruction::decode(first, Some(second)).is_err(),
+                            "{first:#06x}: legality depends on the second word"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(two_word > 0, "sweep never hit a two-word instruction");
+        // Canaries alongside the legal-first-word count: the
+        // don't-care alias population is part of the encoding map.
+        assert_eq!(canonical + aliases, 14_592, "the encoding map changed");
+        assert_eq!(aliases, 4_860, "the don't-care bit population changed");
+    }
 }

@@ -1,0 +1,32 @@
+//! Diagnostic: print per-seed coverage statistics for the oracle run
+//! of generated programs (instructions executed, handlers dispatched,
+//! environment actions, queue drops). Useful when tuning the
+//! generator's fragment weights.
+
+use snap_smith::diff::{run_program, Runner};
+use snap_smith::gen::generate;
+
+fn main() {
+    for seed in 0..100u64 {
+        let case = generate(seed);
+        let program = match snap_asm::assemble(&case.source) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("seed {seed}: ASSEMBLY FAILURE: {e}");
+                continue;
+            }
+        };
+        match run_program(&program, &case.script, Runner::Oracle) {
+            Ok(out) => println!(
+                "seed {seed}: instr={} handlers={} actions={} dropped={} wakeups={} state={}",
+                out.observed.instructions,
+                out.observed.handlers,
+                out.observed.actions.len(),
+                out.observed.events_dropped,
+                out.observed.wakeups,
+                out.observed.state,
+            ),
+            Err(e) => println!("seed {seed}: run error: {e}"),
+        }
+    }
+}

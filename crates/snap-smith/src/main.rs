@@ -1,0 +1,125 @@
+//! Differential conformance fuzzer for the SNAP pipeline.
+//!
+//! ```text
+//! snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going]
+//! ```
+//!
+//! Fuzz mode generates one program per iteration (iteration `i` uses
+//! seed `seed + i`, so any failure names its exact seed), assembles it,
+//! and diffs the oracle against all four core configurations. On a
+//! divergence the case is shrunk and written to
+//! `snap-smith-repro-<seed>.sasm`; the process exits nonzero.
+//!
+//! Repro mode re-runs a previously written `.sasm` file (the embedded
+//! `; !snap-smith` header restores the environment script).
+
+use snap_smith::diff::check_source;
+use snap_smith::gen::{generate, parse_script};
+use snap_smith::shrink::shrink;
+
+struct Options {
+    seed: u64,
+    iters: u64,
+    repro: Option<String>,
+    keep_going: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: 1,
+        iters: 100,
+        repro: None,
+        keep_going: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--iters" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.iters = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--repro" => {
+                opts.repro = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--keep-going" => opts.keep_going = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn run_repro(path: &str) -> i32 {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snap-smith: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let script = parse_script(&source);
+    match check_source(&source, &script) {
+        None => {
+            println!("{path}: all configurations agree");
+            0
+        }
+        Some(d) => {
+            println!("{path}: DIVERGENCE in {}", d.config);
+            println!("{}", d.detail);
+            1
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(path) = &opts.repro {
+        std::process::exit(run_repro(path));
+    }
+
+    let mut divergences = 0u64;
+    for i in 0..opts.iters {
+        let seed = opts.seed.wrapping_add(i);
+        let case = generate(seed);
+        if let Some(d) = check_source(&case.source, &case.script) {
+            divergences += 1;
+            eprintln!("seed {seed}: DIVERGENCE in {}", d.config);
+            eprintln!("{}", d.detail);
+            eprintln!("shrinking...");
+            let small = shrink(&case.source, &case.script);
+            let out = format!("snap-smith-repro-{seed}.sasm");
+            match std::fs::write(&out, &small) {
+                Ok(()) => eprintln!("reproducer written to {out}"),
+                Err(e) => eprintln!("could not write {out}: {e}"),
+            }
+            if !opts.keep_going {
+                std::process::exit(1);
+            }
+        }
+        if (i + 1) % 100 == 0 {
+            println!(
+                "{}/{} cases, {divergences} divergences (seeds {}..={seed})",
+                i + 1,
+                opts.iters,
+                opts.seed
+            );
+        }
+    }
+    if divergences > 0 {
+        eprintln!("{divergences} divergent cases");
+        std::process::exit(1);
+    }
+    println!(
+        "{} cases, 0 divergences across oracle + 4 core configurations",
+        opts.iters
+    );
+}

@@ -1,0 +1,759 @@
+//! A deliberately naive reference interpreter for SNAP programs.
+//!
+//! The oracle re-implements the architecture from the ISA documentation
+//! alone: it decodes every instruction from IMEM on every fetch (no
+//! predecode cache), keeps its own register file, memories, event
+//! queue, timer and message-coprocessor state, and its own Galois LFSR.
+//! It shares **no code** with `snap-core`'s `Processor`, decode cache
+//! or burst loop — only `snap-isa` (the instruction definitions) and
+//! `snap-energy` (the published cost model, which both sides must
+//! consult to agree on energy to the bit).
+//!
+//! Divergence between this interpreter and `snap-core` under the
+//! differential driver (`crate::diff`) indicates a bug in one of them.
+
+use dess::{SimDuration, SimTime};
+use snap_energy::model::{InstrShape, SnapEnergyModel, SnapTimingModel};
+use snap_energy::{Energy, OperatingPoint};
+use snap_isa::{AluImmOp, AluOp, BranchCond, EventKind, Instruction, MsgCommand, Reg, ShiftOp};
+use std::collections::VecDeque;
+
+/// Memory size in words (both banks; addresses wrap modulo this).
+const MEM_WORDS: usize = 2048;
+const ADDR_MASK: usize = MEM_WORDS - 1;
+/// Event-queue depth in tokens.
+const QUEUE_CAPACITY: usize = 8;
+/// LFSR feedback polynomial (16-bit maximal-length Galois, taps
+/// 16, 14, 13, 11).
+const LFSR_TAPS: u16 = 0xB400;
+
+/// The oracle's activity state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleState {
+    /// Executing boot code or a handler.
+    Running,
+    /// Waiting on the event queue.
+    Asleep,
+    /// Stopped by `halt`.
+    Halted,
+}
+
+/// An action the program asked the environment to take (mirrors
+/// `snap_core::EnvAction` field for field so the driver can compare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleAction {
+    /// Transmit a radio word.
+    TxWord(u16),
+    /// Radio receiver enabled/disabled.
+    RadioMode(bool),
+    /// Poll sensor `id`.
+    Query(u16),
+    /// Drive a value onto the output port.
+    PortWrite(u16),
+}
+
+/// What one [`Oracle::step`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// An instruction was executed.
+    Executed {
+        /// Environment action produced, if any.
+        action: Option<OracleAction>,
+        /// The executed instruction.
+        ins: Instruction,
+        /// The word address it was fetched from.
+        at: u16,
+    },
+    /// The oracle woke up and dispatched a handler.
+    Woke {
+        /// The event that woke it.
+        event: EventKind,
+    },
+    /// Asleep with an empty queue.
+    Asleep,
+    /// Halted.
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OracleTimer {
+    staged_hi: u8,
+    expiry: Option<SimTime>,
+}
+
+/// The naive interpreter. Observable state is public-by-accessor so the
+/// differential driver can snapshot it.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    regs: [u16; 15],
+    carry: bool,
+    pc: u16,
+    state: OracleState,
+    now: SimTime,
+    imem: Vec<u16>,
+    dmem: Vec<u16>,
+    handler_table: [u16; 8],
+    // event queue
+    queue: VecDeque<EventKind>,
+    inserted: u64,
+    dropped: u64,
+    // timers
+    timers: [OracleTimer; 3],
+    tick: SimDuration,
+    timers_scheduled: u64,
+    timers_expired: u64,
+    timers_cancelled: u64,
+    // message coprocessor
+    fifo: VecDeque<u16>,
+    awaiting_tx_payload: bool,
+    rx_enabled: bool,
+    port: u16,
+    words_tx: u64,
+    words_rx: u64,
+    // pseudo-random unit
+    lfsr: u16,
+    // cost model + accounting
+    energy_model: SnapEnergyModel,
+    timing_model: SnapTimingModel,
+    total_energy: Energy,
+    busy: SimDuration,
+    wake_time: SimDuration,
+    sleep_time: SimDuration,
+    instructions: u64,
+    cycles: u64,
+    wakeups: u64,
+    handlers_dispatched: u64,
+    dispatches: [u64; 8],
+}
+
+impl Oracle {
+    /// A power-on oracle: PC 0, running, default operating point.
+    pub fn new(lfsr_seed: u16) -> Oracle {
+        Oracle {
+            regs: [0; 15],
+            carry: false,
+            pc: 0,
+            state: OracleState::Running,
+            now: SimTime::ZERO,
+            imem: vec![0; MEM_WORDS],
+            dmem: vec![0; MEM_WORDS],
+            handler_table: [0; 8],
+            queue: VecDeque::new(),
+            inserted: 0,
+            dropped: 0,
+            timers: [OracleTimer::default(); 3],
+            tick: SimDuration::from_us(1),
+            timers_scheduled: 0,
+            timers_expired: 0,
+            timers_cancelled: 0,
+            fifo: VecDeque::new(),
+            awaiting_tx_payload: false,
+            rx_enabled: false,
+            port: 0,
+            words_tx: 0,
+            words_rx: 0,
+            lfsr: if lfsr_seed == 0 { 1 } else { lfsr_seed },
+            energy_model: SnapEnergyModel::new(OperatingPoint::V1_8),
+            timing_model: SnapTimingModel::new(OperatingPoint::V1_8),
+            total_energy: Energy::ZERO,
+            busy: SimDuration::ZERO,
+            wake_time: SimDuration::ZERO,
+            sleep_time: SimDuration::ZERO,
+            instructions: 0,
+            cycles: 0,
+            wakeups: 0,
+            handlers_dispatched: 0,
+            dispatches: [0; 8],
+        }
+    }
+
+    /// Load a word image into IMEM at `base`.
+    pub fn load_image(&mut self, base: u16, image: &[u16]) {
+        for (i, &w) in image.iter().enumerate() {
+            self.imem[(base as usize + i) & ADDR_MASK] = w;
+        }
+    }
+
+    /// Load a word image into DMEM at `base`.
+    pub fn load_data(&mut self, base: u16, image: &[u16]) {
+        for (i, &w) in image.iter().enumerate() {
+            self.dmem[(base as usize + i) & ADDR_MASK] = w;
+        }
+    }
+
+    // ---- observability ----
+
+    /// Current activity state.
+    pub fn state(&self) -> OracleState {
+        self.state
+    }
+    /// Program counter.
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+    /// Register `r0`–`r14` contents.
+    pub fn regs(&self) -> &[u16; 15] {
+        &self.regs
+    }
+    /// Carry flag.
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+    /// Data memory.
+    pub fn dmem(&self) -> &[u16] {
+        &self.dmem
+    }
+    /// Instruction memory.
+    pub fn imem(&self) -> &[u16] {
+        &self.imem
+    }
+    /// Instructions executed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+    /// Occupancy cycles (IMEM words + memory accesses).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    /// Total instruction energy.
+    pub fn total_energy(&self) -> Energy {
+        self.total_energy
+    }
+    /// Busy time including wake-ups.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy + self.wake_time
+    }
+    /// Time spent asleep.
+    pub fn sleep_time(&self) -> SimDuration {
+        self.sleep_time
+    }
+    /// Idle→active transitions.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+    /// Handlers dispatched.
+    pub fn handlers_dispatched(&self) -> u64 {
+        self.handlers_dispatched
+    }
+    /// Dispatch count per event-table index.
+    pub fn dispatches(&self) -> &[u64; 8] {
+        &self.dispatches
+    }
+    /// Tokens enqueued / dropped.
+    pub fn queue_counts(&self) -> (u64, u64) {
+        (self.inserted, self.dropped)
+    }
+    /// Remaining queued event kinds, head first.
+    pub fn queue_contents(&self) -> Vec<EventKind> {
+        self.queue.iter().copied().collect()
+    }
+    /// Timer counters (scheduled, expired, cancelled).
+    pub fn timer_counts(&self) -> (u64, u64, u64) {
+        (
+            self.timers_scheduled,
+            self.timers_expired,
+            self.timers_cancelled,
+        )
+    }
+    /// Message counters (words transmitted, words received).
+    pub fn msg_counts(&self) -> (u64, u64) {
+        (self.words_tx, self.words_rx)
+    }
+    /// Outgoing-FIFO depth.
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+    /// Last port value.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+    /// Earliest pending timer expiry.
+    pub fn next_timer_expiry(&self) -> Option<SimTime> {
+        self.timers.iter().filter_map(|t| t.expiry).min()
+    }
+
+    // ---- environment side ----
+
+    /// Deliver a radio word (lost when the receiver is off).
+    pub fn post_radio_rx(&mut self, word: u16) -> bool {
+        if !self.rx_enabled {
+            return false;
+        }
+        self.words_rx += 1;
+        self.fifo.push_back(word);
+        self.push_event(EventKind::RadioRx)
+    }
+
+    /// The radio finished serializing a transmitted word.
+    pub fn post_radio_tx_done(&mut self) -> bool {
+        self.push_event(EventKind::RadioTxDone)
+    }
+
+    /// Deliver a sensor reading in answer to a query.
+    pub fn post_sensor_reply(&mut self, reading: u16) -> bool {
+        self.fifo.push_back(reading);
+        self.push_event(EventKind::SensorReply)
+    }
+
+    /// Assert the external sensor-interrupt pin.
+    pub fn post_sensor_irq(&mut self) -> bool {
+        self.push_event(EventKind::SensorIrq)
+    }
+
+    /// Let idle time pass while asleep: advance to `min(to, next timer
+    /// expiry)` and fire any timer that becomes due.
+    pub fn advance_idle(&mut self, to: SimTime) -> SimTime {
+        let target = match self.next_timer_expiry() {
+            Some(exp) if exp < to => exp,
+            _ => to,
+        };
+        if target > self.now {
+            if self.state == OracleState::Asleep {
+                self.sleep_time += target - self.now;
+            }
+            self.now = target;
+        }
+        self.fire_due_timers();
+        self.now
+    }
+
+    fn push_event(&mut self, ev: EventKind) -> bool {
+        if self.queue.len() >= QUEUE_CAPACITY {
+            self.dropped += 1;
+            return false;
+        }
+        self.inserted += 1;
+        self.queue.push_back(ev);
+        true
+    }
+
+    fn fire_due_timers(&mut self) {
+        for n in 0..3 {
+            if let Some(at) = self.timers[n].expiry {
+                if at <= self.now {
+                    self.timers[n].expiry = None;
+                    self.timers_expired += 1;
+                    let ev = [EventKind::Timer0, EventKind::Timer1, EventKind::Timer2][n];
+                    self.push_event(ev);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: EventKind) {
+        self.pc = self.handler_table[ev.index()];
+        self.state = OracleState::Running;
+        self.handlers_dispatched += 1;
+        self.dispatches[ev.index()] += 1;
+    }
+
+    fn lfsr_next_word(&mut self) -> u16 {
+        for _ in 0..16 {
+            let lsb = self.lfsr & 1;
+            self.lfsr >>= 1;
+            if lsb == 1 {
+                self.lfsr ^= LFSR_TAPS;
+            }
+        }
+        self.lfsr
+    }
+
+    // ---- execution ----
+
+    /// Advance by one unit of work (instruction, wake-up, or nothing).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable error formatted exactly like
+    /// `snap_core::StepError`'s `Display`, so the differential driver
+    /// can compare failure modes across implementations.
+    pub fn step(&mut self) -> Result<OracleOutcome, String> {
+        match self.state {
+            OracleState::Halted => Ok(OracleOutcome::Halted),
+            OracleState::Asleep => {
+                self.fire_due_timers();
+                match self.queue.pop_front() {
+                    None => Ok(OracleOutcome::Asleep),
+                    Some(ev) => {
+                        let wake = self.timing_model.wakeup_latency();
+                        self.now += wake;
+                        self.wake_time += wake;
+                        self.wakeups += 1;
+                        self.dispatch(ev);
+                        Ok(OracleOutcome::Woke { event: ev })
+                    }
+                }
+            }
+            OracleState::Running => self.exec_one(),
+        }
+    }
+
+    fn read_reg(&mut self, r: Reg, at: u16) -> Result<u16, String> {
+        if r.is_msg_port() {
+            self.fifo
+                .pop_front()
+                .ok_or_else(|| format!("at {at:#05x}: read of r15 with empty outgoing FIFO"))
+        } else {
+            Ok(self.regs[r.index() as usize])
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u16, at: u16) -> Result<Option<OracleAction>, String> {
+        if r.is_msg_port() {
+            self.msg_write(value)
+                .map_err(|w| format!("at {at:#05x}: invalid message command {w:#06x}"))
+        } else {
+            self.regs[r.index() as usize] = value;
+            Ok(None)
+        }
+    }
+
+    fn msg_write(&mut self, word: u16) -> Result<Option<OracleAction>, u16> {
+        if self.awaiting_tx_payload {
+            self.awaiting_tx_payload = false;
+            self.words_tx += 1;
+            return Ok(Some(OracleAction::TxWord(word)));
+        }
+        match MsgCommand::decode(word) {
+            Some(MsgCommand::RadioTx) => {
+                self.awaiting_tx_payload = true;
+                Ok(None)
+            }
+            Some(MsgCommand::RadioRxOn) => {
+                self.rx_enabled = true;
+                Ok(Some(OracleAction::RadioMode(true)))
+            }
+            Some(MsgCommand::RadioOff) => {
+                self.rx_enabled = false;
+                Ok(Some(OracleAction::RadioMode(false)))
+            }
+            Some(MsgCommand::QuerySensor(id)) => Ok(Some(OracleAction::Query(id))),
+            Some(MsgCommand::PortWrite(v)) => {
+                self.port = v;
+                Ok(Some(OracleAction::PortWrite(v)))
+            }
+            None => Err(word),
+        }
+    }
+
+    fn alu(&mut self, op: AluOp, a: u16, b: u16) -> u16 {
+        match op {
+            AluOp::Add => {
+                let (r, c) = a.overflowing_add(b);
+                self.carry = c;
+                r
+            }
+            AluOp::Addc => {
+                let sum = a as u32 + b as u32 + self.carry as u32;
+                self.carry = sum > 0xffff;
+                sum as u16
+            }
+            AluOp::Sub => {
+                let (r, borrow) = a.overflowing_sub(b);
+                self.carry = borrow;
+                r
+            }
+            AluOp::Subc => {
+                let diff = a as i32 - b as i32 - self.carry as i32;
+                self.carry = diff < 0;
+                diff as u16
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Slt => ((a as i16) < (b as i16)) as u16,
+            AluOp::Sltu => (a < b) as u16,
+            AluOp::Mov | AluOp::Not | AluOp::Neg => unreachable!("unary; handled at call site"),
+        }
+    }
+
+    fn exec_one(&mut self) -> Result<OracleOutcome, String> {
+        let at = self.pc;
+        let first = self.imem[at as usize & ADDR_MASK];
+        let second = if Instruction::first_word_is_two_word(first) {
+            Some(self.imem[at.wrapping_add(1) as usize & ADDR_MASK])
+        } else {
+            None
+        };
+        let ins = Instruction::decode(first, second).map_err(|e| format!("at {at:#05x}: {e}"))?;
+
+        // Cost model first: timer expiries below must observe the
+        // post-instruction time, as on the asynchronous hardware.
+        let shape = InstrShape {
+            class: ins.class(),
+            words: ins.word_count(),
+            dmem: ins.accesses_dmem(),
+            imem_data: ins.accesses_imem_data(),
+        };
+        let latency = self.timing_model.instruction_latency(shape);
+        self.total_energy += self.energy_model.instruction_energy(shape);
+        self.busy += latency;
+        self.now += latency;
+        self.instructions += 1;
+        self.cycles += shape.words as u64 + shape.dmem as u64 + shape.imem_data as u64;
+
+        let fallthrough = at.wrapping_add(ins.word_count() as u16);
+        let mut next_pc = fallthrough;
+        let mut action = None;
+
+        match ins {
+            Instruction::AluReg { op, rd, rs } => {
+                let b = self.read_reg(rs, at)?;
+                let result = match op {
+                    AluOp::Mov => b,
+                    AluOp::Not => !b,
+                    AluOp::Neg => b.wrapping_neg(),
+                    _ => {
+                        let a = self.read_reg(rd, at)?;
+                        self.alu(op, a, b)
+                    }
+                };
+                action = self.write_reg(rd, result, at)?;
+            }
+            Instruction::AluImm { op, rd, imm } => {
+                let result = match op {
+                    AluImmOp::Li => imm,
+                    _ => {
+                        let a = self.read_reg(rd, at)?;
+                        match op {
+                            AluImmOp::Addi => self.alu(AluOp::Add, a, imm),
+                            AluImmOp::Subi => self.alu(AluOp::Sub, a, imm),
+                            AluImmOp::Andi => a & imm,
+                            AluImmOp::Ori => a | imm,
+                            AluImmOp::Xori => a ^ imm,
+                            AluImmOp::Slti => ((a as i16) < (imm as i16)) as u16,
+                            AluImmOp::Sltiu => (a < imm) as u16,
+                            AluImmOp::Li => unreachable!(),
+                        }
+                    }
+                };
+                action = self.write_reg(rd, result, at)?;
+            }
+            Instruction::ShiftReg { op, rd, rs } => {
+                let amount = (self.read_reg(rs, at)? & 0xf) as u32;
+                let a = self.read_reg(rd, at)?;
+                action = self.write_reg(rd, shift(op, a, amount), at)?;
+            }
+            Instruction::ShiftImm { op, rd, amount } => {
+                let a = self.read_reg(rd, at)?;
+                action = self.write_reg(rd, shift(op, a, amount as u32), at)?;
+            }
+            Instruction::Load { rd, base, offset } => {
+                let addr = self.read_reg(base, at)?.wrapping_add(offset);
+                let value = self.dmem[addr as usize & ADDR_MASK];
+                action = self.write_reg(rd, value, at)?;
+            }
+            Instruction::Store { rs, base, offset } => {
+                let addr = self.read_reg(base, at)?.wrapping_add(offset);
+                let value = self.read_reg(rs, at)?;
+                self.dmem[addr as usize & ADDR_MASK] = value;
+            }
+            Instruction::ImemLoad { rd, base, offset } => {
+                let addr = self.read_reg(base, at)?.wrapping_add(offset);
+                let value = self.imem[addr as usize & ADDR_MASK];
+                action = self.write_reg(rd, value, at)?;
+            }
+            Instruction::ImemStore { rs, base, offset } => {
+                let addr = self.read_reg(base, at)?.wrapping_add(offset);
+                let value = self.read_reg(rs, at)?;
+                self.imem[addr as usize & ADDR_MASK] = value;
+            }
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                let a = self.read_reg(ra, at)?;
+                let b = if cond.is_unary() {
+                    0
+                } else {
+                    self.read_reg(rb, at)?
+                };
+                if branch_taken(cond, a, b) {
+                    next_pc = target;
+                }
+            }
+            Instruction::Jmp { target } => next_pc = target,
+            Instruction::Jal { rd, target } => {
+                action = self.write_reg(rd, fallthrough, at)?;
+                next_pc = target;
+            }
+            Instruction::Jr { rs } => next_pc = self.read_reg(rs, at)?,
+            Instruction::Jalr { rd, rs } => {
+                let target = self.read_reg(rs, at)?;
+                action = self.write_reg(rd, fallthrough, at)?;
+                next_pc = target;
+            }
+            Instruction::SchedHi { rt, rv } => {
+                let n = self.read_reg(rt, at)?;
+                let v = self.read_reg(rv, at)?;
+                if n >= 3 {
+                    return Err(bad_timer(n, at));
+                }
+                self.timers[n as usize].staged_hi = (v & 0xff) as u8;
+            }
+            Instruction::SchedLo { rt, rv } => {
+                let n = self.read_reg(rt, at)?;
+                let v = self.read_reg(rv, at)?;
+                if n >= 3 {
+                    return Err(bad_timer(n, at));
+                }
+                let t = &mut self.timers[n as usize];
+                let count = ((t.staged_hi as u32) << 16) | v as u32;
+                t.expiry = Some(self.now + self.tick * count as u64);
+                self.timers_scheduled += 1;
+            }
+            Instruction::Cancel { rt } => {
+                let n = self.read_reg(rt, at)?;
+                if n >= 3 {
+                    return Err(bad_timer(n, at));
+                }
+                if self.timers[n as usize].expiry.take().is_some() {
+                    self.timers_cancelled += 1;
+                    let ev = [EventKind::Timer0, EventKind::Timer1, EventKind::Timer2][n as usize];
+                    self.push_event(ev);
+                }
+            }
+            Instruction::Bfs { rd, rs, mask } => {
+                let field = self.read_reg(rs, at)?;
+                let a = self.read_reg(rd, at)?;
+                action = self.write_reg(rd, (a & !mask) | (field & mask), at)?;
+            }
+            Instruction::Rand { rd } => {
+                let value = self.lfsr_next_word();
+                action = self.write_reg(rd, value, at)?;
+            }
+            Instruction::Seed { rs } => {
+                let seed = self.read_reg(rs, at)?;
+                self.lfsr = if seed == 0 { 1 } else { seed };
+            }
+            Instruction::Done => {
+                self.fire_due_timers();
+                match self.queue.pop_front() {
+                    Some(ev) => {
+                        self.dispatch(ev);
+                        next_pc = self.pc;
+                    }
+                    None => self.state = OracleState::Asleep,
+                }
+            }
+            Instruction::SetAddr { rev, raddr } => {
+                let ev = self.read_reg(rev, at)? as usize % 8;
+                let addr = self.read_reg(raddr, at)?;
+                self.handler_table[ev] = addr;
+            }
+            Instruction::Nop => {}
+            Instruction::Halt => self.state = OracleState::Halted,
+            Instruction::SwEvent { rn } => {
+                let n = self.read_reg(rn, at)? as usize % 8;
+                let ev = EventKind::from_index(n).expect("index < 8");
+                self.push_event(ev);
+            }
+        }
+
+        if self.state == OracleState::Running {
+            self.pc = next_pc;
+        }
+        self.fire_due_timers();
+        Ok(OracleOutcome::Executed { action, ins, at })
+    }
+}
+
+fn bad_timer(n: u16, at: u16) -> String {
+    format!("at {at:#05x}: invalid timer register {n} (valid: 0-2)")
+}
+
+fn shift(op: ShiftOp, a: u16, amount: u32) -> u16 {
+    match op {
+        ShiftOp::Sll => a << amount,
+        ShiftOp::Srl => a >> amount,
+        ShiftOp::Sra => ((a as i16) >> amount) as u16,
+        ShiftOp::Rol => a.rotate_left(amount),
+        ShiftOp::Ror => a.rotate_right(amount),
+    }
+}
+
+fn branch_taken(cond: BranchCond, a: u16, b: u16) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i16) < (b as i16),
+        BranchCond::Ge => (a as i16) >= (b as i16),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+        BranchCond::Eqz => a == 0,
+        BranchCond::Nez => a != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with(prog: &[Instruction]) -> Oracle {
+        let mut o = Oracle::new(0xACE1);
+        let words: Vec<u16> = prog.iter().flat_map(|i| i.encode()).collect();
+        o.load_image(0, &words);
+        o
+    }
+
+    fn li(rd: Reg, imm: u16) -> Instruction {
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd,
+            imm,
+        }
+    }
+
+    #[test]
+    fn boot_arithmetic() {
+        let mut o = oracle_with(&[
+            li(Reg::R1, 40),
+            li(Reg::R2, 2),
+            Instruction::AluReg {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2,
+            },
+            Instruction::Halt,
+        ]);
+        for _ in 0..4 {
+            o.step().unwrap();
+        }
+        assert_eq!(o.regs()[1], 42);
+        assert_eq!(o.state(), OracleState::Halted);
+        assert_eq!(o.instructions(), 4);
+    }
+
+    #[test]
+    fn done_sleeps_and_event_wakes() {
+        let mut o = oracle_with(&[Instruction::Done]);
+        o.step().unwrap();
+        assert_eq!(o.state(), OracleState::Asleep);
+        assert_eq!(o.step().unwrap(), OracleOutcome::Asleep);
+        o.post_sensor_irq();
+        assert_eq!(
+            o.step().unwrap(),
+            OracleOutcome::Woke {
+                event: EventKind::SensorIrq
+            }
+        );
+        assert_eq!(o.wakeups(), 1);
+    }
+
+    #[test]
+    fn empty_fifo_read_is_an_error() {
+        let mut o = oracle_with(&[Instruction::AluReg {
+            op: AluOp::Mov,
+            rd: Reg::R1,
+            rs: Reg::R15,
+        }]);
+        let err = o.step().unwrap_err();
+        assert!(err.contains("empty outgoing FIFO"), "{err}");
+    }
+}

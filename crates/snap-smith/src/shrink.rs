@@ -1,0 +1,60 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a diverging source program, repeatedly try deleting single
+//! lines; a deletion is kept whenever the program still assembles and
+//! still diverges (any divergence counts — the minimal reproducer may
+//! surface a different first-differing field than the original). Runs
+//! to a fixpoint under a bounded number of re-assembly attempts so a
+//! pathological case cannot stall the fuzzer.
+
+use crate::diff::check_source;
+use crate::gen::Script;
+
+/// Upper bound on assemble-and-diff attempts during one shrink.
+const MAX_ATTEMPTS: usize = 600;
+
+/// Lines that must survive shrinking: structure the assembler or the
+/// script parser depends on, or that hold the control-flow skeleton
+/// together.
+fn is_structural(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty()
+        || t.starts_with(';')
+        || t.starts_with('.')
+        || t.ends_with(':')
+        || t == "done"
+        || t == "halt"
+        || t == "ret"
+}
+
+/// Shrink `source` while it keeps diverging; returns the smallest
+/// still-diverging program found (possibly `source` itself).
+pub fn shrink(source: &str, script: &Script) -> String {
+    let mut lines: Vec<String> = source.lines().map(str::to_owned).collect();
+    let mut attempts = 0usize;
+    loop {
+        let mut removed_any = false;
+        // Backward so deleting a line does not shift pending indices.
+        let mut i = lines.len();
+        while i > 0 {
+            i -= 1;
+            if is_structural(&lines[i]) {
+                continue;
+            }
+            if attempts >= MAX_ATTEMPTS {
+                return lines.join("\n");
+            }
+            attempts += 1;
+            let mut candidate = lines.clone();
+            candidate.remove(i);
+            let cand_src = candidate.join("\n");
+            if check_source(&cand_src, script).is_some() {
+                lines = candidate;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            return lines.join("\n");
+        }
+    }
+}
