@@ -62,18 +62,37 @@ fn core_loop_program() -> [Instruction; 5] {
     ]
 }
 
-fn run_core_loop(prog: &[Instruction]) {
+/// Simulated-workload size: (dynamic instructions, energy in pJ).
+/// Deterministic per scenario — reported in the JSON so the bench
+/// record carries the paper's energy units alongside wall time.
+type Workload = (u64, f64);
+
+fn run_core_loop(prog: &[Instruction]) -> Workload {
     let mut cpu = Processor::new(CoreConfig::default());
     cpu.load_program(prog).unwrap();
     cpu.run_to_halt(40_000).unwrap();
-    assert!(cpu.stats().instructions > 30_000);
+    let stats = cpu.stats();
+    assert!(stats.instructions > 30_000);
+    (stats.instructions, stats.energy.as_pj())
+}
+
+/// Sum every node's executed instructions and consumed energy.
+fn network_workload(sim: &NetworkSim) -> Workload {
+    let mut instructions = 0;
+    let mut energy_pj = 0.0;
+    for id in sim.topology().nodes() {
+        let stats = sim.node(id).cpu().stats();
+        instructions += stats.instructions;
+        energy_pj += stats.energy.as_pj();
+    }
+    (instructions, energy_pj)
 }
 
 /// A 25-node CSMA mesh on a 5x5 grid: every node runs the MAC with a
 /// send-on-IRQ app targeting its successor, IRQs staggered so traffic
 /// overlaps. 25 nodes is past `PARALLEL_THRESHOLD`, so this exercises
 /// the parallel node-window path as well as delivery range scans.
-fn run_net_mesh() {
+fn run_net_mesh() -> Workload {
     let mut sim = NetworkSim::new(12.0);
     for i in 0u8..25 {
         let dst = if i == 24 { 1 } else { i + 2 };
@@ -94,6 +113,7 @@ fn run_net_mesh() {
     sim.run_until(SimTime::ZERO + SimDuration::from_ms(60))
         .expect("network runs");
     assert!(sim.channel().deliveries() > 0, "mesh must carry traffic");
+    network_workload(&sim)
 }
 
 /// Nodes in the sparse duty-cycled scenario.
@@ -160,7 +180,7 @@ fn sparse_programs() -> Vec<Program> {
 /// Under the lockstep scheduler every ~20 µs window advances all 256
 /// nodes; under the wake calendar each window touches only the nodes
 /// actually due.
-fn run_net_sparse(programs: &[Program], scheduler: Scheduler) {
+fn run_net_sparse(programs: &[Program], scheduler: Scheduler) -> Workload {
     let mut sim = NetworkSim::new(12.0);
     sim.set_scheduler(scheduler);
     sim.set_trace_mode(TraceMode::CountOnly);
@@ -188,6 +208,7 @@ fn run_net_sparse(programs: &[Program], scheduler: Scheduler) {
         sim.trace().recorded() > 0,
         "count-only trace must still count"
     );
+    network_workload(&sim)
 }
 
 fn bench_core(c: &mut Criterion) {
@@ -221,10 +242,17 @@ fn run_json(measurement: Duration, path: &std::path::Path) {
         b.iter(|| run_net_sparse(&programs, Scheduler::EventDriven))
     });
 
+    // Workload columns (deterministic per scenario): one extra run of
+    // each, outside the timing loop, at the default 1.8 V point.
+    let core_work = run_core_loop(&prog);
+    let net_work = run_net_mesh();
+    let sparse_work = run_net_sparse(&programs, Scheduler::EventDriven);
+
     let core_us = core.mean.as_secs_f64() * 1e6;
     let net_us = net.mean.as_secs_f64() * 1e6;
     let sparse_us = sparse.mean.as_secs_f64() * 1e6;
-    let entry = |name: &str, baseline_us: f64, current_us: f64, iters: u64| {
+    let entry = |name: &str, baseline_us: f64, current_us: f64, iters: u64, work: Workload| {
+        let (instructions, energy_pj) = work;
         format!(
             concat!(
                 "    {{\n",
@@ -232,35 +260,44 @@ fn run_json(measurement: Duration, path: &std::path::Path) {
                 "      \"baseline_us\": {:.1},\n",
                 "      \"current_us\": {:.1},\n",
                 "      \"speedup\": {:.2},\n",
-                "      \"iterations\": {}\n",
+                "      \"iterations\": {},\n",
+                "      \"instructions\": {},\n",
+                "      \"energy_pj\": {:.1},\n",
+                "      \"pj_per_instruction\": {:.2}\n",
                 "    }}"
             ),
             name,
             baseline_us,
             current_us,
             baseline_us / current_us,
-            iters
+            iters,
+            instructions,
+            energy_pj,
+            energy_pj / instructions as f64,
         )
     };
     let json = format!(
-        "{{\n  \"bench\": \"sim_speed\",\n  \"scenarios\": [\n{},\n{},\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sim_speed\",\n  \"vdd_v\": 1.8,\n  \"scenarios\": [\n{},\n{},\n{}\n  ]\n}}\n",
         entry(
             "simulate_30k_instructions",
             BASELINE_30K_US,
             core_us,
-            core.iterations
+            core.iterations,
+            core_work
         ),
         entry(
             "net_speed_25_node_mesh",
             BASELINE_NET_US,
             net_us,
-            net.iterations
+            net.iterations,
+            net_work
         ),
         entry(
             "net_sparse_256",
             BASELINE_SPARSE_LOCKSTEP_US,
             sparse_us,
-            sparse.iterations
+            sparse.iterations,
+            sparse_work
         ),
     );
     std::fs::write(path, &json).expect("write bench report");
@@ -312,20 +349,22 @@ fn validate_report(json: &str) {
             "scenario {name} missing from report"
         );
     }
-    let speedups: Vec<f64> = json
-        .lines()
-        .filter_map(|l| l.trim().strip_prefix("\"speedup\": "))
-        .map(|v| {
-            v.trim_end_matches(',')
-                .parse()
-                .expect("speedup parses as a number")
-        })
-        .collect();
-    assert_eq!(speedups.len(), 3, "one speedup per scenario");
-    assert!(
-        speedups.iter().all(|s| s.is_finite() && *s > 0.0),
-        "speedups must be finite and positive: {speedups:?}"
-    );
+    for field in ["speedup", "instructions", "energy_pj", "pj_per_instruction"] {
+        let values: Vec<f64> = json
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix(&format!("\"{field}\": ")))
+            .map(|v| {
+                v.trim_end_matches(',')
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{field} parses as a number"))
+            })
+            .collect();
+        assert_eq!(values.len(), 3, "one {field} per scenario");
+        assert!(
+            values.iter().all(|s| s.is_finite() && *s > 0.0),
+            "{field} must be finite and positive: {values:?}"
+        );
+    }
 }
 
 /// Re-measure the lockstep reference for the sparse scenario (six

@@ -1,0 +1,192 @@
+//! Golden metrics snapshots for the paper benchmarks.
+//!
+//! Each app runs on a full `snap-node` with per-dispatch sampling
+//! enabled; the resulting `snap-metrics-v1` report (counters, energy
+//! attribution, handler distributions) is compared bit-for-bit against
+//! a checked-in golden file. Where `golden_traces.rs` pins *which
+//! instructions* execute, these pin what the observability layer
+//! *reports* about them — any drift in the energy model, the counters,
+//! the histogram code or the JSON renderer shows up as a diff.
+//!
+//! Regenerating after an intentional change:
+//!
+//! ```text
+//! SNAP_BLESS=1 cargo test -p snap-apps --test golden_metrics
+//! ```
+//!
+//! then review the golden-file diff like any other code change.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::blink::blink_program;
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
+use snap_apps::sense::sense_program;
+use snap_asm::Program;
+use snap_core::CoreConfig;
+use snap_energy::OperatingPoint;
+use snap_node::{Node, NodeConfig};
+
+/// A sampled node at the paper's 0.6 V deployment point.
+fn sampled_node(program: &Program) -> Node {
+    let cfg = NodeConfig {
+        core: CoreConfig::at(OperatingPoint::V0_6),
+        ..NodeConfig::default()
+    };
+    let mut node = Node::new(cfg);
+    node.cpu_mut()
+        .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+    node.load(program).expect("program fits memory");
+    node
+}
+
+fn render(node: &Node) -> String {
+    snap_telemetry::report(
+        "golden",
+        0.6,
+        node.now().as_ps(),
+        vec![snap_telemetry::node_metrics(0, node.cpu())],
+        None,
+    )
+    .to_pretty()
+}
+
+fn check(name: &str, text: &str) {
+    // A golden that the schema validator rejects is useless as
+    // documentation backing — refuse to bless or accept one.
+    snap_telemetry::validate_metrics(text)
+        .unwrap_or_else(|e| panic!("{name}: report violates snap-metrics-v1: {e}"));
+
+    let path = format!(
+        "{}/tests/golden/{name}.metrics.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("SNAP_BLESS").is_some() {
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{name}: cannot read golden file {path}: {e}\n(run with SNAP_BLESS=1 to create it)")
+    });
+    if text != golden {
+        let mismatch = text
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map_or("length".to_string(), |i| format!("line {}", i + 1));
+        panic!(
+            "{name}: metrics differ from golden file at {mismatch}.\n\
+             If the change is intentional, regenerate with:\n\
+             SNAP_BLESS=1 cargo test -p snap-apps --test golden_metrics\n\
+             and review the diff of {path}."
+        );
+    }
+}
+
+#[test]
+fn blink_golden_metrics() {
+    let program = blink_program().unwrap();
+    let mut node = sampled_node(&program);
+    node.run_for(SimDuration::from_ms(10)).unwrap();
+    check("blink", &render(&node));
+}
+
+#[test]
+fn sense_golden_metrics() {
+    let program = sense_program().unwrap();
+    let mut node = sampled_node(&program);
+    node.run_for(SimDuration::from_ms(20)).unwrap();
+    check("sense", &render(&node));
+}
+
+/// The mac sender node used by the network tests: three sensor
+/// interrupts, each of which kicks off a full CSMA send task.
+fn run_mac_sender() -> Node {
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(2), RX_DISPATCH_STUB);
+    let program = mac_program(1, &extra, &app).unwrap();
+    let mut node = sampled_node(&program);
+    for irq_ms in [2u64, 12, 22] {
+        node.run_until(SimTime::ZERO + SimDuration::from_ms(irq_ms))
+            .unwrap();
+        node.trigger_sensor_irq();
+    }
+    node.run_until(SimTime::ZERO + SimDuration::from_ms(50))
+        .unwrap();
+    node
+}
+
+#[test]
+fn mac_golden_metrics() {
+    let node = run_mac_sender();
+    check("mac", &render(&node));
+}
+
+/// The paper's Table 1 ballpark: event-handling tasks of 70–245
+/// dynamic instructions costing about 1.6–5.8 nJ each at 0.6 V. One
+/// *task* here is everything one sensor interrupt causes (the IRQ
+/// handler, the CSMA backoff timers, and the per-word tx-done chain),
+/// so we compare against post-boot totals divided by the three tasks.
+#[test]
+fn mac_tasks_in_paper_band_at_0v6() {
+    let node = run_mac_sender();
+    let cpu = node.cpu();
+    let stats = cpu.stats();
+    let boot = cpu.profile().boot();
+
+    let tasks = 3.0;
+    let task_instructions = (stats.instructions - boot.instructions) as f64 / tasks;
+    assert!(
+        (70.0..=245.0).contains(&task_instructions),
+        "instructions per send task: {task_instructions}"
+    );
+
+    let task_nj = (stats.energy.as_pj() - boot.energy.as_pj()) / 1000.0 / tasks;
+    assert!(
+        (1.6..=5.8).contains(&task_nj),
+        "nJ per send task: {task_nj}"
+    );
+
+    // And the per-instruction average must sit at the paper's 0.6 V
+    // figure of ~24 pJ.
+    let pj_per_ins = stats.energy_per_instruction().as_pj();
+    assert!(
+        (20.0..=28.0).contains(&pj_per_ins),
+        "pJ/instruction at 0.6 V: {pj_per_ins}"
+    );
+}
+
+/// The Chrome export of a real run must be well-formed `trace_event`
+/// JSON with monotonically non-decreasing timestamps — exactly what
+/// `validate_chrome_trace` (and Perfetto) require.
+#[test]
+fn mac_chrome_trace_is_well_formed_and_monotonic() {
+    let node = run_mac_sender();
+    let mut chrome = snap_telemetry::ChromeTrace::new();
+    chrome.process_name("golden");
+    chrome.thread_name(0, "node0");
+    let sampler = node.cpu().sampler().expect("sampling enabled");
+    assert!(sampler.samples().len() > 1, "expected several dispatches");
+    chrome.add_handler_samples(0, sampler.samples());
+    let json = chrome.to_json();
+    snap_telemetry::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+
+    // Belt and braces: re-parse and walk the ts values ourselves.
+    let parsed = snap_telemetry::parse(&json).unwrap();
+    let events = match &parsed {
+        snap_telemetry::Value::Arr(events) => events,
+        other => panic!("expected top-level array, got {other:?}"),
+    };
+    let mut last = f64::NEG_INFINITY;
+    let mut timed = 0;
+    for ev in events {
+        if ev.get("ph").and_then(|p| p.as_str()) == Some("M") {
+            continue;
+        }
+        let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("ts present");
+        assert!(ts >= last, "timestamps went backwards: {last} -> {ts}");
+        last = ts;
+        timed += 1;
+    }
+    assert!(timed > 1, "expected timed events, got {timed}");
+}

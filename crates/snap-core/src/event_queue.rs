@@ -18,13 +18,26 @@ use std::collections::VecDeque;
 /// [`EventQueue::with_capacity`].
 pub const DEFAULT_CAPACITY: usize = 8;
 
+/// Stamp value for a token whose enqueue time is unknown (stamping was
+/// off, or enabled after the token was queued). Waits computed against
+/// it saturate to zero.
+pub const UNKNOWN_STAMP: u64 = u64::MAX;
+
 /// The hardware FIFO of pending event tokens.
+///
+/// When *stamping* is enabled (telemetry), a parallel queue records the
+/// enqueue time of each token so the dispatch path can report how long
+/// the token waited. Stamps are observation-only: they never affect
+/// queue behaviour, ordering, capacity or drop accounting.
 #[derive(Debug, Clone)]
 pub struct EventQueue {
     fifo: VecDeque<EventToken>,
     capacity: usize,
     dropped: u64,
     inserted: u64,
+    /// Enqueue times (ps), parallel to `fifo`; `None` when stamping is
+    /// off (the default — zero cost).
+    stamps: Option<VecDeque<u64>>,
 }
 
 impl EventQueue {
@@ -45,24 +58,63 @@ impl EventQueue {
             capacity,
             dropped: 0,
             inserted: 0,
+            stamps: None,
         }
+    }
+
+    /// Start recording enqueue times. Tokens already queued get
+    /// [`UNKNOWN_STAMP`] (their waits will read as zero).
+    pub fn enable_stamps(&mut self) {
+        if self.stamps.is_none() {
+            let mut stamps = VecDeque::with_capacity(self.capacity);
+            stamps.extend(std::iter::repeat_n(UNKNOWN_STAMP, self.fifo.len()));
+            self.stamps = Some(stamps);
+        }
+    }
+
+    /// Whether enqueue times are being recorded.
+    pub fn stamps_enabled(&self) -> bool {
+        self.stamps.is_some()
     }
 
     /// Insert a token at the tail. Returns `false` (and counts a drop)
     /// when the queue is full.
     pub fn push(&mut self, token: EventToken) -> bool {
+        self.push_at(token, UNKNOWN_STAMP)
+    }
+
+    /// Insert a token at the tail, recording `now_ps` as its enqueue
+    /// time when stamping is enabled. Returns `false` (and counts a
+    /// drop) when the queue is full.
+    pub fn push_at(&mut self, token: EventToken, now_ps: u64) -> bool {
         if self.fifo.len() >= self.capacity {
             self.dropped += 1;
             return false;
         }
         self.inserted += 1;
         self.fifo.push_back(token);
+        if let Some(stamps) = self.stamps.as_mut() {
+            stamps.push_back(now_ps);
+        }
         true
     }
 
     /// Remove the head token, if any.
     pub fn pop(&mut self) -> Option<EventToken> {
-        self.fifo.pop_front()
+        self.pop_with_stamp().map(|(token, _)| token)
+    }
+
+    /// Remove the head token together with its enqueue time.
+    ///
+    /// The stamp is [`UNKNOWN_STAMP`] when stamping is disabled or was
+    /// enabled after the token was queued.
+    pub fn pop_with_stamp(&mut self) -> Option<(EventToken, u64)> {
+        let token = self.fifo.pop_front()?;
+        let stamp = match self.stamps.as_mut() {
+            Some(stamps) => stamps.pop_front().unwrap_or(UNKNOWN_STAMP),
+            None => UNKNOWN_STAMP,
+        };
+        Some((token, stamp))
     }
 
     /// The head token without removing it.
@@ -140,6 +192,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = EventQueue::with_capacity(0);
+    }
+
+    #[test]
+    fn stamps_track_enqueue_times() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push(EventKind::Timer0.into()); // queued before stamping
+        q.enable_stamps();
+        q.push_at(EventKind::Timer1.into(), 500);
+        q.push_at(EventKind::Timer2.into(), 900);
+        let (t, s) = q.pop_with_stamp().unwrap();
+        assert_eq!(t.kind(), EventKind::Timer0);
+        assert_eq!(s, UNKNOWN_STAMP);
+        let (t, s) = q.pop_with_stamp().unwrap();
+        assert_eq!(t.kind(), EventKind::Timer1);
+        assert_eq!(s, 500);
+        // Plain pop keeps the stamp queue aligned.
+        assert_eq!(q.pop().unwrap().kind(), EventKind::Timer2);
+        assert!(q.pop_with_stamp().is_none());
+    }
+
+    #[test]
+    fn stamps_not_recorded_on_drop() {
+        let mut q = EventQueue::with_capacity(1);
+        q.enable_stamps();
+        assert!(q.push_at(EventKind::Timer0.into(), 1));
+        assert!(!q.push_at(EventKind::Timer1.into(), 2));
+        assert_eq!(q.pop_with_stamp().unwrap().1, 1);
+        assert!(q.pop_with_stamp().is_none());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`profile`] — per-handler attribution: instructions, energy and
 //!   time bucketed by the event whose handler was running (Table 1's
 //!   per-task accounting, generalized).
+//! * [`sampler`] — opt-in per-dispatch samples (handler length, energy,
+//!   queue wait) feeding the `snap-telemetry` distributions; strictly
+//!   observation-only.
 //! * [`processor`] — the core itself: boot, handler dispatch, sleep and
 //!   wake-up, and the execution of every instruction.
 //!
@@ -52,6 +55,7 @@ pub mod msg_cop;
 pub mod processor;
 pub mod profile;
 pub mod regfile;
+pub mod sampler;
 pub mod timer_cop;
 
 pub use decode_cache::DecodeCache;
@@ -62,4 +66,5 @@ pub use msg_cop::{EnvAction, MsgCoprocessor};
 pub use processor::{CoreConfig, CoreState, CoreStats, Processor, StepError, StepOutcome};
 pub use profile::{HandlerProfile, HandlerStats};
 pub use regfile::RegFile;
+pub use sampler::{HandlerSample, HandlerSampler};
 pub use timer_cop::TimerCoprocessor;

@@ -20,6 +20,7 @@ use crate::memory::MemBank;
 use crate::msg_cop::{EnvAction, MsgCoprocessor};
 use crate::profile::HandlerProfile;
 use crate::regfile::RegFile;
+use crate::sampler::HandlerSampler;
 use crate::timer_cop::TimerCoprocessor;
 use dess::{Lfsr16, SimDuration, SimTime};
 use snap_energy::model::BusModel;
@@ -279,6 +280,9 @@ pub struct Processor {
     now: SimTime,
     acct: EnergyAccountant,
     profile: HandlerProfile,
+    /// Per-dispatch telemetry; `None` (the default) is the zero-cost
+    /// path — execution is bit-identical either way.
+    sampler: Option<HandlerSampler>,
     current_event: Option<EventKind>,
     sleep_time: SimDuration,
     wakeup_time: SimDuration,
@@ -304,6 +308,7 @@ impl Processor {
             now: SimTime::ZERO,
             acct: EnergyAccountant::with_bus(config.operating_point, config.bus),
             profile: HandlerProfile::new(),
+            sampler: None,
             current_event: None,
             sleep_time: SimDuration::ZERO,
             wakeup_time: SimDuration::ZERO,
@@ -410,6 +415,25 @@ impl Processor {
         &self.profile
     }
 
+    /// Start per-dispatch sampling (telemetry), retaining up to `cap`
+    /// handler samples and recording event-queue enqueue times so each
+    /// sample carries its token's queue wait.
+    ///
+    /// Observation-only: execution, timing and energy are bit-identical
+    /// with sampling on or off. Enable it before running — tokens
+    /// already queued report a zero wait.
+    pub fn enable_sampling(&mut self, cap: usize) {
+        if self.sampler.is_none() {
+            self.sampler = Some(HandlerSampler::new(cap));
+            self.event_queue.enable_stamps();
+        }
+    }
+
+    /// The per-dispatch samples, when sampling was enabled.
+    pub fn sampler(&self) -> Option<&HandlerSampler> {
+        self.sampler.as_ref()
+    }
+
     /// The message coprocessor (observability).
     pub fn msg(&self) -> &MsgCoprocessor {
         &self.msg
@@ -452,7 +476,7 @@ impl Processor {
     /// accepted (receiver enabled and the event token enqueued).
     pub fn post_radio_rx(&mut self, word: Word) -> bool {
         match self.msg.radio_rx_word(word) {
-            Some(ev) => self.event_queue.push(EventToken::new(ev)),
+            Some(ev) => self.post_event(ev),
             None => false,
         }
     }
@@ -461,21 +485,27 @@ impl Processor {
     /// Returns `true` when the token was enqueued.
     pub fn post_radio_tx_done(&mut self) -> bool {
         let ev = self.msg.radio_tx_done();
-        self.event_queue.push(EventToken::new(ev))
+        self.post_event(ev)
     }
 
     /// Deliver a sensor reading in answer to a `Query`. Returns `true`
     /// when the token was enqueued.
     pub fn post_sensor_reply(&mut self, reading: Word) -> bool {
         let ev = self.msg.sensor_reply(reading);
-        self.event_queue.push(EventToken::new(ev))
+        self.post_event(ev)
     }
 
     /// Assert the external sensor-interrupt pin. Returns `true` when the
     /// token was enqueued.
     pub fn post_sensor_irq(&mut self) -> bool {
         let ev = self.msg.sensor_irq();
-        self.event_queue.push(EventToken::new(ev))
+        self.post_event(ev)
+    }
+
+    /// Enqueue an event token stamped with the current time.
+    fn post_event(&mut self, ev: EventKind) -> bool {
+        self.event_queue
+            .push_at(EventToken::new(ev), self.now.as_ps())
     }
 
     // ---- time ----
@@ -513,7 +543,8 @@ impl Processor {
             return;
         }
         for ev in self.timer.poll(self.now) {
-            self.event_queue.push(EventToken::new(ev));
+            self.event_queue
+                .push_at(EventToken::new(ev), self.now.as_ps());
         }
     }
 
@@ -544,15 +575,15 @@ impl Processor {
             CoreState::Halted => Ok(StepOutcome::Halted),
             CoreState::Asleep => {
                 self.fire_due_timers();
-                match self.event_queue.pop() {
+                match self.event_queue.pop_with_stamp() {
                     None => Ok(StepOutcome::Asleep),
-                    Some(token) => {
+                    Some((token, stamp)) => {
                         // Idle→active: eighteen gate delays (paper §4.3).
                         let wake = self.acct.timing_model().wakeup_latency();
                         self.now += wake;
                         self.wakeup_time += wake;
                         self.wakeups += 1;
-                        self.dispatch(token);
+                        self.dispatch(token, stamp);
                         Ok(StepOutcome::Woke {
                             event: token.kind(),
                         })
@@ -612,12 +643,33 @@ impl Processor {
         self.handlers_dispatched
     }
 
-    fn dispatch(&mut self, token: EventToken) {
+    fn dispatch(&mut self, token: EventToken, stamp_ps: u64) {
         self.pc = self.handler_table[token.table_index()];
         self.state = CoreState::Running;
         self.handlers_dispatched += 1;
         self.current_event = Some(token.kind());
         self.profile.note_dispatch(token.kind());
+        if let Some(sampler) = self.sampler.as_mut() {
+            // `begin` closes any still-open sample first (chained
+            // dispatch from `done`), then opens this one. The token's
+            // wait includes the wake-up latency just charged.
+            let wait = SimDuration::from_ps(self.now.as_ps().saturating_sub(stamp_ps));
+            sampler.begin(
+                token.kind(),
+                self.now,
+                self.acct.instructions(),
+                self.acct.total_energy(),
+                wait,
+            );
+        }
+    }
+
+    /// Close the sampler's open handler sample (if any) at the current
+    /// counters — the handler just ended via `done`-to-sleep or `halt`.
+    fn close_sample(&mut self) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.close(self.now, self.acct.instructions(), self.acct.total_energy());
+        }
     }
 
     /// Fetch, decode and derive model costs for the instruction at
@@ -785,7 +837,7 @@ impl Processor {
                     return Err(StepError::BadTimer { number: n, at });
                 }
                 if let Some(ev) = self.timer.cancel(n) {
-                    self.event_queue.push(EventToken::new(ev));
+                    self.post_event(ev);
                 }
             }
             Instruction::Bfs { rd, rs, mask } => {
@@ -803,16 +855,17 @@ impl Processor {
             }
             Instruction::Done => {
                 self.fire_due_timers();
-                match self.event_queue.pop() {
-                    Some(token) => {
+                match self.event_queue.pop_with_stamp() {
+                    Some((token, stamp)) => {
                         // Dispatch straight into the next handler: the
                         // fetch never returns to the word after `done`.
-                        self.dispatch(token);
+                        self.dispatch(token, stamp);
                         next_pc = self.pc;
                     }
                     None => {
                         self.state = CoreState::Asleep;
                         self.current_event = None;
+                        self.close_sample();
                     }
                 }
             }
@@ -822,11 +875,16 @@ impl Processor {
                 self.handler_table[ev] = addr;
             }
             Instruction::Nop => {}
-            Instruction::Halt => self.state = CoreState::Halted,
+            Instruction::Halt => {
+                self.state = CoreState::Halted;
+                // Record the partial handler so a halting run still
+                // reports the work done up to the stop.
+                self.close_sample();
+            }
             Instruction::SwEvent { rn } => {
                 let n = rd_op!(rn) as usize % EVENT_TABLE_ENTRIES;
                 let kind = EventKind::from_index(n).expect("index < 8");
-                self.event_queue.push(EventToken::new(kind));
+                self.post_event(kind);
             }
         }
 
@@ -1502,6 +1560,92 @@ mod tests {
         assert_eq!(profile.event(EventKind::RadioRx).dispatches, 0);
         // Conservation: profile buckets sum to the core's total.
         assert_eq!(profile.total_instructions(), cpu.stats().instructions);
+    }
+
+    #[test]
+    fn sampling_records_per_dispatch_and_changes_nothing() {
+        // Two identical cores, one with sampling; execution must be
+        // bit-identical, and the sampled core must record one sample
+        // per dispatched handler with exact deltas.
+        let boot = [
+            li(Reg::R1, EventKind::SensorIrq.index() as Word),
+            li(Reg::R2, 200),
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
+            Instruction::Done,
+        ];
+        let handler = [li(Reg::R5, 1), li(Reg::R6, 2), Instruction::Done]; // 3 ins
+        let build = |sampling: bool| {
+            let mut cpu = cpu_with(&boot);
+            if sampling {
+                cpu.enable_sampling(64);
+            }
+            let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+            cpu.load_image(200, &img).unwrap();
+            cpu.run_until_idle(100).unwrap();
+            // One wake-up dispatch, then two chained dispatches.
+            cpu.post_sensor_irq();
+            cpu.run_until_idle(100).unwrap();
+            let t = cpu.now();
+            cpu.advance_idle(t + SimDuration::from_us(3));
+            cpu.post_sensor_irq();
+            cpu.post_sensor_irq();
+            cpu.run_until_idle(100).unwrap();
+            cpu
+        };
+        let with = build(true);
+        let without = build(false);
+        assert_eq!(with.stats(), without.stats());
+        assert_eq!(with.now(), without.now());
+
+        let sampler = with.sampler().expect("sampling enabled");
+        assert_eq!(sampler.samples().len(), 3);
+        assert_eq!(sampler.truncated(), 0);
+        let total: u64 = sampler.samples().iter().map(|s| s.instructions).sum();
+        assert_eq!(
+            total,
+            with.profile().event(EventKind::SensorIrq).instructions
+        );
+        for s in sampler.samples() {
+            assert_eq!(s.event, EventKind::SensorIrq);
+            assert_eq!(s.instructions, 3);
+            assert!(s.energy.as_pj() > 0.0);
+            assert!(s.end > s.start);
+        }
+        // First dispatch came through a wake-up: its wait is exactly
+        // the wake latency. The chained second and third dispatches
+        // waited in the queue while the earlier handlers ran.
+        let wake = with.acct().timing_model().wakeup_latency();
+        assert_eq!(sampler.samples()[0].queue_wait, wake);
+        assert!(sampler.samples()[2].queue_wait > sampler.samples()[1].queue_wait);
+    }
+
+    #[test]
+    fn sampler_capacity_truncates() {
+        let boot = [
+            li(Reg::R1, EventKind::SensorIrq.index() as Word),
+            li(Reg::R2, 200),
+            Instruction::SetAddr {
+                rev: Reg::R1,
+                raddr: Reg::R2,
+            },
+            Instruction::Done,
+        ];
+        let handler = [Instruction::Done];
+        let mut cpu = cpu_with(&boot);
+        cpu.enable_sampling(2);
+        let img: Vec<Word> = handler.iter().flat_map(|i| i.encode()).collect();
+        cpu.load_image(200, &img).unwrap();
+        cpu.run_until_idle(100).unwrap();
+        for _ in 0..5 {
+            cpu.post_sensor_irq();
+            cpu.run_until_idle(100).unwrap();
+        }
+        let sampler = cpu.sampler().unwrap();
+        assert_eq!(sampler.samples().len(), 2);
+        assert_eq!(sampler.truncated(), 3);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Opt-in per-dispatch handler sampling.
+//!
+//! [`crate::profile::HandlerProfile`] accumulates *totals* per event
+//! kind; telemetry wants *distributions* — the paper's Table 1 reports
+//! handler lengths as a range (70–245 dynamic instructions) and energy
+//! per handler as nJ figures, which only a per-dispatch record can
+//! reproduce. The sampler records one [`HandlerSample`] per completed
+//! handler dispatch: its dynamic instruction count, its energy, its
+//! start/end instants and how long its event token waited in the queue.
+//!
+//! Sampling is strictly opt-in (see [`crate::Processor::enable_sampling`])
+//! and observation-only: it never changes execution, timing or energy,
+//! so golden traces and differential-conformance runs are bit-identical
+//! with sampling on or off.
+
+use dess::{SimDuration, SimTime};
+use snap_energy::Energy;
+use snap_isa::EventKind;
+
+/// One completed handler dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandlerSample {
+    /// The event whose handler ran.
+    pub event: EventKind,
+    /// When the handler started (after any wake-up latency).
+    pub start: SimTime,
+    /// When the handler's `done` (or `halt`) completed.
+    pub end: SimTime,
+    /// Dynamic instructions the handler executed (including its `done`).
+    pub instructions: u64,
+    /// Energy the handler consumed.
+    pub energy: Energy,
+    /// How long the event token sat in the queue before dispatch
+    /// (includes the wake-up latency when the core was asleep).
+    pub queue_wait: SimDuration,
+}
+
+/// The in-flight dispatch a sampler is currently measuring.
+#[derive(Debug, Clone, Copy)]
+struct OpenSample {
+    event: EventKind,
+    start: SimTime,
+    instructions0: u64,
+    energy0: Energy,
+    queue_wait: SimDuration,
+}
+
+/// Collects [`HandlerSample`]s up to a fixed capacity.
+///
+/// The capacity bounds memory on long runs; samples past it are counted
+/// in [`HandlerSampler::truncated`] but not retained (summary counters
+/// in [`crate::CoreStats`] and [`crate::profile::HandlerProfile`] still
+/// cover the whole run).
+#[derive(Debug, Clone)]
+pub struct HandlerSampler {
+    samples: Vec<HandlerSample>,
+    cap: usize,
+    truncated: u64,
+    open: Option<OpenSample>,
+}
+
+impl HandlerSampler {
+    /// A sampler retaining at most `cap` samples.
+    pub fn new(cap: usize) -> HandlerSampler {
+        HandlerSampler {
+            samples: Vec::new(),
+            cap: cap.max(1),
+            truncated: 0,
+            open: None,
+        }
+    }
+
+    /// The retained samples, in dispatch order.
+    pub fn samples(&self) -> &[HandlerSample] {
+        &self.samples
+    }
+
+    /// Completed dispatches that were not retained (capacity reached).
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The retention capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Start measuring a dispatch. Any still-open sample is closed
+    /// first with the same counters (a chained `done` dispatch ends the
+    /// previous handler at the very instant the next one starts).
+    pub(crate) fn begin(
+        &mut self,
+        event: EventKind,
+        now: SimTime,
+        instructions: u64,
+        energy: Energy,
+        queue_wait: SimDuration,
+    ) {
+        self.close(now, instructions, energy);
+        self.open = Some(OpenSample {
+            event,
+            start: now,
+            instructions0: instructions,
+            energy0: energy,
+            queue_wait,
+        });
+    }
+
+    /// Close the open sample (if any) against the current counters.
+    pub(crate) fn close(&mut self, now: SimTime, instructions: u64, energy: Energy) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        if self.samples.len() >= self.cap {
+            self.truncated += 1;
+            return;
+        }
+        self.samples.push(HandlerSample {
+            event: open.event,
+            start: open.start,
+            end: now,
+            instructions: instructions - open.instructions0,
+            energy: energy - open.energy0,
+            queue_wait: open.queue_wait,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_close_produces_deltas() {
+        let mut s = HandlerSampler::new(10);
+        s.begin(
+            EventKind::Timer0,
+            SimTime::from_ps(100),
+            5,
+            Energy::from_pj(50.0),
+            SimDuration::from_ps(7),
+        );
+        s.close(SimTime::from_ps(400), 12, Energy::from_pj(120.0));
+        assert_eq!(s.samples().len(), 1);
+        let sm = s.samples()[0];
+        assert_eq!(sm.event, EventKind::Timer0);
+        assert_eq!(sm.instructions, 7);
+        assert!((sm.energy.as_pj() - 70.0).abs() < 1e-9);
+        assert_eq!(sm.start, SimTime::from_ps(100));
+        assert_eq!(sm.end, SimTime::from_ps(400));
+        assert_eq!(sm.queue_wait, SimDuration::from_ps(7));
+    }
+
+    #[test]
+    fn chained_begin_closes_previous() {
+        let mut s = HandlerSampler::new(10);
+        s.begin(
+            EventKind::Timer0,
+            SimTime::from_ps(0),
+            0,
+            Energy::ZERO,
+            SimDuration::ZERO,
+        );
+        s.begin(
+            EventKind::RadioRx,
+            SimTime::from_ps(200),
+            3,
+            Energy::from_pj(30.0),
+            SimDuration::from_ps(200),
+        );
+        s.close(SimTime::from_ps(300), 5, Energy::from_pj(55.0));
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.samples()[0].event, EventKind::Timer0);
+        assert_eq!(s.samples()[0].instructions, 3);
+        assert_eq!(s.samples()[1].event, EventKind::RadioRx);
+        assert_eq!(s.samples()[1].instructions, 2);
+    }
+
+    #[test]
+    fn capacity_truncates_but_counts() {
+        let mut s = HandlerSampler::new(1);
+        for i in 0..3u64 {
+            s.begin(
+                EventKind::Soft,
+                SimTime::from_ps(i * 10),
+                i,
+                Energy::ZERO,
+                SimDuration::ZERO,
+            );
+            s.close(SimTime::from_ps(i * 10 + 5), i + 1, Energy::ZERO);
+        }
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.truncated(), 2);
+    }
+
+    #[test]
+    fn close_without_open_is_a_no_op() {
+        let mut s = HandlerSampler::new(4);
+        s.close(SimTime::from_ps(1), 1, Energy::ZERO);
+        assert!(s.samples().is_empty());
+    }
+}

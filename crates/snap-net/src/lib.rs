@@ -17,6 +17,9 @@
 //!   deliveries; external stimuli (sensor interrupts, sensor readings)
 //!   are injected on schedule.
 //! * [`trace`] — a serializable event trace for analysis/debugging.
+//! * [`telemetry`] — observability export: the `snap-metrics-v1`
+//!   report and a Chrome `trace_event` view (one Perfetto track per
+//!   node) of a run, via `snap-telemetry`.
 //!
 //! ## Example: two nodes, one packet
 //!
@@ -37,6 +40,7 @@
 pub mod channel;
 pub mod pool;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 

@@ -27,8 +27,10 @@ use crate::topology::{Position, Topology};
 use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};
 use dess::{Calendar, SimDuration, SimTime, WakeQueue};
 use snap_asm::Program;
+use snap_core::CoreConfig;
 use snap_isa::Word;
 use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
+use snap_telemetry::Histogram;
 
 /// Work window granted to running nodes per synchronization round.
 const RUN_QUANTUM: SimDuration = SimDuration::from_us(100);
@@ -78,6 +80,9 @@ pub struct NetworkSim {
     wake: WakeQueue,
     /// Scratch: node indices due in the current window, sorted.
     batch: Vec<usize>,
+    /// When telemetry is on: distribution of nodes advanced per
+    /// scheduler window, and every node gets per-dispatch sampling.
+    window_activity: Option<Histogram>,
 }
 
 impl NetworkSim {
@@ -96,6 +101,39 @@ impl NetworkSim {
             scheduler: Scheduler::default(),
             wake: WakeQueue::new(),
             batch: Vec::new(),
+            window_activity: None,
+        }
+    }
+
+    /// Turn on the observability layer: per-dispatch handler sampling
+    /// on every node (current and future) and the per-window
+    /// active-node histogram. Observation only — simulated behaviour,
+    /// timing and energy are unchanged (the determinism suites compare
+    /// sampled and unsampled runs).
+    pub fn enable_telemetry(&mut self) {
+        for node in &mut self.nodes {
+            node.cpu_mut()
+                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+        }
+        if self.window_activity.is_none() {
+            self.window_activity = Some(Histogram::new());
+        }
+    }
+
+    /// Whether [`NetworkSim::enable_telemetry`] was called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.window_activity.is_some()
+    }
+
+    /// The per-window active-node distribution (telemetry only).
+    pub(crate) fn window_activity(&self) -> Option<&Histogram> {
+        self.window_activity.as_ref()
+    }
+
+    /// Record how many nodes a scheduler window actually advanced.
+    fn note_window(&mut self, active: usize) {
+        if let Some(h) = &mut self.window_activity {
+            h.record(active as f64);
         }
     }
 
@@ -141,16 +179,42 @@ impl NetworkSim {
     ///
     /// Panics if the program does not fit the node's memories.
     pub fn add_node(&mut self, program: &Program, position: Position) -> NodeId {
+        self.add_node_with_core(program, position, CoreConfig::default())
+    }
+
+    /// [`NetworkSim::add_node`] with an explicit core configuration
+    /// (operating point / timing model) — how `netsim --vdd` builds
+    /// networks at 0.9 V or 0.6 V.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the node's memories.
+    pub fn add_node_with_core(
+        &mut self,
+        program: &Program,
+        position: Position,
+        core: CoreConfig,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u16 + 1);
         let cfg = NodeConfig {
             id,
+            core,
             ..NodeConfig::default()
         };
         let mut node = Node::new(cfg);
+        if self.telemetry_enabled() {
+            node.cpu_mut()
+                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+        }
         node.load(program).expect("program fits the node memories");
         self.topology.place(id, position);
         self.nodes.push(node);
         id
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// The node with this id.
@@ -243,6 +307,7 @@ impl NetworkSim {
                 return Ok(());
             }
             let window_end = Self::window_end(t, later, t_end);
+            self.note_window(self.nodes.len());
             self.advance_all(window_end)?;
             self.process_due(window_end);
             self.now = window_end;
@@ -378,6 +443,7 @@ impl NetworkSim {
             // Outputs must fold in node-index order — the order the
             // lockstep fold over all nodes observes.
             self.batch.sort_unstable();
+            self.note_window(self.batch.len());
             self.advance_batch(window_end)?;
             self.process_due_synced(window_end)?;
             self.now = window_end;

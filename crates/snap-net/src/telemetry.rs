@@ -1,0 +1,92 @@
+//! Network-level observability export.
+//!
+//! With [`NetworkSim::enable_telemetry`] turned on before a run, this
+//! module renders the two documented export formats (see
+//! `docs/OBSERVABILITY.md`):
+//!
+//! * [`NetworkSim::metrics_report`] — one `snap-metrics-v1` report:
+//!   per-node counters / energy attribution / handler distributions,
+//!   plus the network section (channel counters and the per-window
+//!   active-node histogram);
+//! * [`NetworkSim::chrome_trace`] — a Chrome `trace_event` file that
+//!   opens in Perfetto with one track per node: slices are handler
+//!   bursts (the gaps are sleep), instants are the network events the
+//!   [`crate::trace::Trace`] retained (transmit/deliver/collision/
+//!   led/stimulus).
+
+use crate::sim::NetworkSim;
+use crate::trace::TraceKind;
+use snap_node::NodeId;
+use snap_telemetry::{ChromeTrace, NetworkCounters, Value};
+
+impl NetworkSim {
+    /// Render the network section of the metrics report: channel
+    /// counters plus the window-activity histogram (empty when
+    /// telemetry was never enabled).
+    pub fn network_counters(&self) -> NetworkCounters {
+        NetworkCounters {
+            deliveries: self.channel().deliveries(),
+            collisions: self.channel().collisions(),
+            faded: self.channel().faded(),
+            trace_recorded: self.trace().recorded(),
+            window_active_nodes: self.window_activity().cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Assemble the complete `snap-metrics-v1` report for this run.
+    ///
+    /// `tool` names the producer (`netsim`, a test, a bench);
+    /// `vdd_v` records the operating voltage the nodes ran at.
+    pub fn metrics_report(&self, tool: &str, vdd_v: f64) -> Value {
+        let nodes = (1..=self.node_count() as u16)
+            .map(|id| snap_telemetry::node_metrics(i64::from(id), self.node(NodeId(id)).cpu()))
+            .collect();
+        snap_telemetry::report(
+            tool,
+            vdd_v,
+            self.now().as_ps(),
+            nodes,
+            Some(self.network_counters().to_json()),
+        )
+    }
+
+    /// Build the Chrome `trace_event` view of this run: one named
+    /// track per node carrying its handler-burst slices (when sampling
+    /// was enabled) and the retained network-trace events as instants.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut chrome = ChromeTrace::new();
+        chrome.process_name("snap-net");
+        for id in 1..=self.node_count() as u16 {
+            let tid = i64::from(id);
+            chrome.thread_name(tid, &format!("node{id}"));
+            if let Some(sampler) = self.node(NodeId(id)).cpu().sampler() {
+                chrome.add_handler_samples(tid, sampler.samples());
+            }
+        }
+        for e in self.trace().events() {
+            let mut args = Value::obj();
+            let name = match e.kind {
+                TraceKind::Transmit { word } => {
+                    args.set("word", Value::Int(i64::from(word)));
+                    "transmit"
+                }
+                TraceKind::Deliver { word, from } => {
+                    args.set("word", Value::Int(i64::from(word)));
+                    args.set("from", Value::Int(i64::from(from.0)));
+                    "deliver"
+                }
+                TraceKind::Collision { from } => {
+                    args.set("from", Value::Int(i64::from(from.0)));
+                    "collision"
+                }
+                TraceKind::Led { value } => {
+                    args.set("value", Value::Int(i64::from(value)));
+                    "led"
+                }
+                TraceKind::Stimulus => "stimulus",
+            };
+            chrome.instant(i64::from(e.node.0), name, e.at_ps, args);
+        }
+        chrome
+    }
+}

@@ -2,13 +2,19 @@
 //! line, with optional instruction tracing.
 //!
 //! ```text
-//! srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] FILE(.s|.c|.bin)
+//! srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c]
+//!      [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)
 //! ```
 //!
 //! * `.s` sources are assembled, `.c` sources compiled (with `--c` or by
 //!   extension), anything else is loaded as a little-endian word image;
 //! * `--ms N` simulates N milliseconds (default 10);
 //! * `--trace` prints every executed instruction with its address;
+//! * `--metrics OUT.json` writes a `snap-metrics-v1` report (counters,
+//!   energy attribution, handler distributions — see
+//!   `docs/OBSERVABILITY.md`);
+//! * `--trace-out OUT.trace.json` writes a Chrome `trace_event` file of
+//!   the run's handler bursts, viewable in Perfetto;
 //! * exits with the node's statistics summary.
 
 use dess::SimDuration;
@@ -21,6 +27,8 @@ fn main() -> ExitCode {
     let mut millis: u64 = 10;
     let mut vdd = String::from("1.8");
     let mut force_c = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut input: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -35,6 +43,14 @@ fn main() -> ExitCode {
             "--vdd" => match args.next() {
                 Some(v) => vdd = v,
                 None => return usage("--vdd requires a voltage"),
+            },
+            "--metrics" => match args.next() {
+                Some(v) => metrics_out = Some(v),
+                None => return usage("--metrics requires an output path"),
+            },
+            "--trace-out" => match args.next() {
+                Some(v) => trace_out = Some(v),
+                None => return usage("--trace-out requires an output path"),
             },
             "--help" | "-h" => return usage(""),
             other => input = Some(other.to_string()),
@@ -65,6 +81,10 @@ fn main() -> ExitCode {
         ..NodeConfig::default()
     };
     let mut node = Node::new(cfg);
+    if metrics_out.is_some() || trace_out.is_some() {
+        node.cpu_mut()
+            .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+    }
     node.cpu_mut()
         .load_image(0, &imem)
         .expect("image fits IMEM");
@@ -114,7 +134,64 @@ fn main() -> ExitCode {
     if node.cpu().state() == CoreState::Running {
         println!("(still running at the deadline)");
     }
+
+    if let Some(path) = metrics_out {
+        let vdd_v: f64 = vdd.parse().expect("validated above");
+        let report = snap_telemetry::report(
+            "srun",
+            vdd_v,
+            node.now().as_ps(),
+            vec![snap_telemetry::node_metrics(0, node.cpu())],
+            None,
+        );
+        if let Err(e) = std::fs::write(&path, report.to_pretty()) {
+            eprintln!("srun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        print_distributions(node.cpu());
+        println!("metrics:      {path}");
+    }
+    if let Some(path) = trace_out {
+        let mut chrome = snap_telemetry::ChromeTrace::new();
+        chrome.process_name("srun");
+        chrome.thread_name(0, "node0");
+        if let Some(sampler) = node.cpu().sampler() {
+            chrome.add_handler_samples(0, sampler.samples());
+        }
+        if let Err(e) = std::fs::write(&path, chrome.to_json()) {
+            eprintln!("srun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace-out:    {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// Print the handler-length and energy-per-handler distributions the
+/// sampler collected, in the units the paper reports (dynamic
+/// instructions; nJ per handler).
+fn print_distributions(cpu: &snap_core::Processor) {
+    let Some(sampler) = cpu.sampler() else { return };
+    let mut instructions = snap_telemetry::Histogram::new();
+    let mut nj = snap_telemetry::Histogram::new();
+    for s in sampler.samples() {
+        instructions.record(s.instructions as f64);
+        nj.record(s.energy.as_pj() / 1000.0);
+    }
+    let span = |h: &snap_telemetry::Histogram| match (h.min(), h.max(), h.mean()) {
+        (Some(min), Some(max), Some(mean)) => {
+            format!(
+                "min {min:.3}  p50 {p50:.3}  max {max:.3}  mean {mean:.3}",
+                p50 = h.quantile(0.5).unwrap()
+            )
+        }
+        _ => String::from("(no samples)"),
+    };
+    println!(
+        "handler len:  {} (dynamic instructions)",
+        span(&instructions)
+    );
+    println!("handler nJ:   {}", span(&nj));
 }
 
 fn load(path: &str, force_c: bool) -> Result<(Vec<u16>, Vec<u16>), String> {
@@ -143,7 +220,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("srun: {err}");
     }
-    eprintln!("usage: srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] FILE(.s|.c|.bin)");
+    eprintln!(
+        "usage: srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] \
+         [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

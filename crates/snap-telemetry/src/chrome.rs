@@ -1,0 +1,181 @@
+//! Chrome `trace_event` export (Perfetto / `chrome://tracing`).
+//!
+//! The builder produces the JSON-array flavour of the [trace event
+//! format]: metadata (`ph:"M"`) records naming the process and one
+//! thread per node, complete slices (`ph:"X"`) for handler bursts, and
+//! instants (`ph:"i"`) for network events. Timestamps are microseconds
+//! (`ts`/`dur`, fractional allowed); output events are sorted by
+//! timestamp so consumers that require monotonic order load the file
+//! directly.
+//!
+//! Opening a trace: Perfetto (<https://ui.perfetto.dev>) → "Open trace
+//! file". Each node renders as one track: slices are handler
+//! executions, the gaps between them are sleep.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::Value;
+use snap_core::HandlerSample;
+
+const PS_PER_US: f64 = 1_000_000.0;
+
+/// A Chrome `trace_event` JSON builder.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    /// Metadata events (always emitted first, in insertion order).
+    meta: Vec<Value>,
+    /// Timed events, with their ps timestamp for sorting.
+    timed: Vec<(u64, Value)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Name the process (shown as the Perfetto track group).
+    pub fn process_name(&mut self, name: &str) {
+        self.meta.push(meta_event("process_name", 0, name));
+    }
+
+    /// Name a thread (one thread = one node track).
+    pub fn thread_name(&mut self, tid: i64, name: &str) {
+        self.meta.push(meta_event("thread_name", tid, name));
+    }
+
+    /// Add a complete slice (`ph:"X"`): an interval on a track.
+    pub fn complete(&mut self, tid: i64, name: &str, start_ps: u64, end_ps: u64, args: Value) {
+        let mut e = Value::obj();
+        e.set("name", Value::Str(name.to_string()));
+        e.set("ph", Value::Str("X".to_string()));
+        e.set("ts", Value::Float(start_ps as f64 / PS_PER_US));
+        e.set(
+            "dur",
+            Value::Float(end_ps.saturating_sub(start_ps) as f64 / PS_PER_US),
+        );
+        e.set("pid", Value::Int(0));
+        e.set("tid", Value::Int(tid));
+        e.set("args", args);
+        self.timed.push((start_ps, e));
+    }
+
+    /// Add an instant event (`ph:"i"`, thread scope).
+    pub fn instant(&mut self, tid: i64, name: &str, at_ps: u64, args: Value) {
+        let mut e = Value::obj();
+        e.set("name", Value::Str(name.to_string()));
+        e.set("ph", Value::Str("i".to_string()));
+        e.set("s", Value::Str("t".to_string()));
+        e.set("ts", Value::Float(at_ps as f64 / PS_PER_US));
+        e.set("pid", Value::Int(0));
+        e.set("tid", Value::Int(tid));
+        e.set("args", args);
+        self.timed.push((at_ps, e));
+    }
+
+    /// Add one slice per handler sample on the `tid` track — the
+    /// handler-burst view of a node. The gaps between slices are the
+    /// node's sleep intervals.
+    pub fn add_handler_samples(&mut self, tid: i64, samples: &[HandlerSample]) {
+        for s in samples {
+            let mut args = Value::obj();
+            args.set("instructions", Value::Int(s.instructions as i64));
+            args.set("energy_pj", Value::Float(s.energy.as_pj()));
+            args.set("queue_wait_ps", Value::Int(s.queue_wait.as_ps() as i64));
+            self.complete(
+                tid,
+                &s.event.to_string(),
+                s.start.as_ps(),
+                s.end.as_ps(),
+                args,
+            );
+        }
+    }
+
+    /// Number of events added so far (metadata + timed).
+    pub fn len(&self) -> usize {
+        self.meta.len() + self.timed.len()
+    }
+
+    /// `true` when nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty() && self.timed.is_empty()
+    }
+
+    /// Render the complete trace: a JSON array with metadata first,
+    /// then all timed events sorted by timestamp (stable, so equal
+    /// timestamps keep insertion order).
+    pub fn to_json(&self) -> String {
+        let mut timed = self.timed.clone();
+        timed.sort_by_key(|(ts, _)| *ts);
+        let events: Vec<Value> = self
+            .meta
+            .iter()
+            .cloned()
+            .chain(timed.into_iter().map(|(_, e)| e))
+            .collect();
+        Value::Arr(events).to_pretty()
+    }
+}
+
+fn meta_event(kind: &str, tid: i64, name: &str) -> Value {
+    let mut args = Value::obj();
+    args.set("name", Value::Str(name.to_string()));
+    let mut e = Value::obj();
+    e.set("name", Value::Str(kind.to_string()));
+    e.set("ph", Value::Str("M".to_string()));
+    e.set("pid", Value::Int(0));
+    e.set("tid", Value::Int(tid));
+    e.set("args", args);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn output_is_sorted_valid_json() {
+        let mut t = ChromeTrace::new();
+        t.process_name("snap network");
+        t.thread_name(1, "node1");
+        t.instant(1, "transmit", 5_000_000, Value::obj());
+        t.complete(1, "timer0", 1_000_000, 2_000_000, Value::obj());
+        let text = t.to_json();
+        let parsed = parse(&text).unwrap();
+        let events = parsed.elements().unwrap();
+        assert_eq!(events.len(), 4);
+        // Metadata first, then by timestamp.
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some("timer0"));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[2].get("dur").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[3].get("name").unwrap().as_str(), Some("transmit"));
+    }
+
+    #[test]
+    fn handler_samples_become_slices() {
+        use dess::{SimDuration, SimTime};
+        use snap_energy::Energy;
+        use snap_isa::EventKind;
+        let sample = HandlerSample {
+            event: EventKind::RadioRx,
+            start: SimTime::from_ps(10),
+            end: SimTime::from_ps(400),
+            instructions: 12,
+            energy: Energy::from_pj(1234.5),
+            queue_wait: SimDuration::from_ps(7),
+        };
+        let mut t = ChromeTrace::new();
+        t.add_handler_samples(3, &[sample]);
+        let parsed = parse(&t.to_json()).unwrap();
+        let e = &parsed.elements().unwrap()[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("radio-rx"));
+        assert_eq!(e.get("tid").unwrap().as_i64(), Some(3));
+        assert_eq!(
+            e.get("args").unwrap().get("instructions").unwrap().as_i64(),
+            Some(12)
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Streaming histograms for telemetry distributions.
+//!
+//! The paper reports distributions, not just totals — handler lengths
+//! of 70–245 dynamic instructions, energy per handler in nanojoules.
+//! A [`Histogram`] accumulates scalar observations and renders the
+//! documented JSON summary: count/sum/min/max/mean, the p50/p90/p99
+//! percentiles, and cumulative power-of-two buckets (Prometheus-style
+//! `le` upper bounds).
+//!
+//! To bound memory on unbounded runs, only the first
+//! [`Histogram::cap`] observations are retained for percentiles and
+//! buckets; `count`/`sum`/`min`/`max`/`mean` always cover every
+//! observation.
+
+use crate::json::Value;
+
+/// Default retention for percentile computation.
+pub const DEFAULT_RETAIN: usize = 65_536;
+
+/// A scalar distribution.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    cap: usize,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the default retention.
+    pub fn new() -> Histogram {
+        Histogram::with_retention(DEFAULT_RETAIN)
+    }
+
+    /// An empty histogram retaining at most `cap` raw observations for
+    /// percentiles and buckets.
+    pub fn with_retention(cap: usize) -> Histogram {
+        Histogram {
+            samples: Vec::new(),
+            cap: cap.max(1),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.samples.len() < self.cap {
+            self.samples.push(value);
+        }
+    }
+
+    /// Total observations (including any past the retention cap).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// Retention capacity for raw observations.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The `q`-quantile (0.0–1.0) of the retained observations, by the
+    /// nearest-rank method (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Render the documented JSON summary object:
+    ///
+    /// ```json
+    /// {"count":N,"sum":S,"min":m,"max":M,"mean":A,
+    ///  "p50":..,"p90":..,"p99":..,
+    ///  "buckets":[{"le":1,"count":c1},...,{"le":null,"count":N}]}
+    /// ```
+    ///
+    /// Buckets are cumulative with power-of-two upper bounds from 1 up
+    /// to the first power covering `max`; the final `le:null` bucket
+    /// (= +Inf) always holds the full retained count. Empty histograms
+    /// render `min`/`max`/`mean` and percentiles as `null` and no
+    /// finite buckets.
+    pub fn to_json(&self) -> Value {
+        let opt = |v: Option<f64>| v.map(Value::Float).unwrap_or(Value::Null);
+        let mut o = Value::obj();
+        o.set("count", Value::Int(self.count as i64));
+        o.set("sum", Value::Float(self.sum));
+        o.set("min", opt(self.min()));
+        o.set("max", opt(self.max()));
+        o.set("mean", opt(self.mean()));
+        o.set("p50", opt(self.quantile(0.50)));
+        o.set("p90", opt(self.quantile(0.90)));
+        o.set("p99", opt(self.quantile(0.99)));
+        let mut buckets = Vec::new();
+        if !self.samples.is_empty() {
+            let mut le = 1.0f64;
+            loop {
+                let count = self.samples.iter().filter(|&&s| s <= le).count();
+                let mut b = Value::obj();
+                b.set("le", Value::Float(le));
+                b.set("count", Value::Int(count as i64));
+                buckets.push(b);
+                if le >= self.max || le > 1e30 {
+                    break;
+                }
+                le *= 2.0;
+            }
+        }
+        let mut inf = Value::obj();
+        inf.set("le", Value::Null);
+        inf.set("count", Value::Int(self.samples.len() as i64));
+        buckets.push(inf);
+        o.set("buckets", Value::Arr(buckets));
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_renders_nulls() {
+        let h = Histogram::new();
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_i64(), Some(0));
+        assert_eq!(j.get("min"), Some(&Value::Null));
+        assert_eq!(j.get("p50"), Some(&Value::Null));
+        // Only the +Inf bucket.
+        assert_eq!(j.get("buckets").unwrap().elements().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.5, 3.0, 10.0] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let buckets = j.get("buckets").unwrap().elements().unwrap().to_vec();
+        // le: 1, 2, 4, 8, 16, null
+        let les: Vec<Option<f64>> = buckets
+            .iter()
+            .map(|b| b.get("le").unwrap().as_f64())
+            .collect();
+        assert_eq!(
+            les,
+            vec![Some(1.0), Some(2.0), Some(4.0), Some(8.0), Some(16.0), None]
+        );
+        let counts: Vec<i64> = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn retention_cap_bounds_samples_not_counters() {
+        let mut h = Histogram::with_retention(4);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Some(99.0));
+        // Percentiles only see the first 4 observations.
+        assert_eq!(h.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+}

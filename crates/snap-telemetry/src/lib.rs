@@ -1,0 +1,38 @@
+//! Telemetry and energy observability for the SNAP/LE simulator.
+//!
+//! The paper's argument is quantitative — handler lengths of 70–245
+//! dynamic instructions, 1.6–5.8 nJ per task at 0.6 V, idle power set
+//! by leakage alone — so the simulator needs a measurement layer that
+//! can reproduce those numbers from a run. This crate provides it:
+//!
+//! * [`metrics`] — the `snap-metrics-v1` report: per-node counters,
+//!   energy attribution by component / instruction class / handler,
+//!   and (with sampling enabled) handler-length, handler-energy and
+//!   queue-wait distributions.
+//! * [`hist`] — the [`Histogram`] summary type those distributions
+//!   render through.
+//! * [`chrome`] — [`ChromeTrace`], a Chrome `trace_event` exporter;
+//!   network runs open in Perfetto with one track per node.
+//! * [`schema`] — validators used by CI so the emitted JSON, the
+//!   producers, and `docs/OBSERVABILITY.md` cannot drift apart.
+//! * [`json`] — the dependency-free JSON [`Value`] these are built on
+//!   (ordered keys and deterministic float text, so reports are
+//!   bit-stable per seed and can be golden-snapshotted).
+//!
+//! Everything here is observation-only: enabling telemetry never
+//! changes simulated behaviour, timing, or energy (the core's golden
+//! traces are the enforcement mechanism).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+
+pub use chrome::ChromeTrace;
+pub use hist::{Histogram, DEFAULT_RETAIN};
+pub use json::{parse, Value};
+pub use metrics::{class_slug, node_metrics, report, NetworkCounters, SCHEMA};
+pub use schema::{validate_chrome_trace, validate_metrics};

@@ -1,0 +1,310 @@
+//! Validation of the documented export formats.
+//!
+//! Two entry points: [`validate_metrics`] checks a `snap-metrics-v1`
+//! report string against the schema in `docs/OBSERVABILITY.md`, and
+//! [`validate_chrome_trace`] checks a Chrome `trace_event` JSON array.
+//! CI runs both over freshly produced files (`cargo xtask
+//! validate-metrics`), so the docs, the producers, and this module
+//! cannot drift apart silently.
+
+use crate::json::{parse, Value};
+use crate::metrics::SCHEMA;
+
+/// Validate a full `snap-metrics-v1` report. Returns the first problem
+/// found as a human-readable path + message.
+pub fn validate_metrics(text: &str) -> Result<(), String> {
+    let v = parse(text)?;
+    require_str(&v, "schema")?;
+    if v.get("schema").unwrap().as_str() != Some(SCHEMA) {
+        return Err(format!(
+            "schema: expected \"{SCHEMA}\", got {}",
+            v.get("schema").unwrap().to_compact()
+        ));
+    }
+    require_str(&v, "tool")?;
+    require_num(&v, "vdd_v")?;
+    require_int(&v, "duration_ps")?;
+    let nodes = v
+        .get("nodes")
+        .ok_or("missing field: nodes")?
+        .elements()
+        .ok_or("nodes: expected array")?;
+    for (i, node) in nodes.iter().enumerate() {
+        validate_node(node).map_err(|e| format!("nodes[{i}].{e}"))?;
+    }
+    if let Some(network) = v.get("network") {
+        validate_network(network).map_err(|e| format!("network.{e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_node(node: &Value) -> Result<(), String> {
+    require_int(node, "node")?;
+    let state = require_str(node, "state")?;
+    if !matches!(state, "running" | "asleep" | "halted") {
+        return Err(format!("state: unknown value {state:?}"));
+    }
+
+    let counters = node.get("counters").ok_or("missing field: counters")?;
+    for key in [
+        "instructions",
+        "cycles",
+        "handlers_dispatched",
+        "wakeups",
+        "events_inserted",
+        "events_dropped",
+        "busy_ps",
+        "sleep_ps",
+        "now_ps",
+    ] {
+        require_int(counters, key).map_err(|e| format!("counters.{e}"))?;
+    }
+    let by_event = counters
+        .get("dispatches_by_event")
+        .ok_or("counters.missing field: dispatches_by_event")?;
+    for (name, count) in by_event
+        .fields()
+        .ok_or("counters.dispatches_by_event: expected object")?
+    {
+        if count.as_i64().is_none() {
+            return Err(format!(
+                "counters.dispatches_by_event.{name}: expected integer"
+            ));
+        }
+    }
+
+    let energy = node.get("energy").ok_or("missing field: energy")?;
+    require_num(energy, "total_pj").map_err(|e| format!("energy.{e}"))?;
+    require_num(energy, "pj_per_instruction").map_err(|e| format!("energy.{e}"))?;
+    let components = energy
+        .get("by_component_pj")
+        .ok_or("energy.missing field: by_component_pj")?;
+    for label in [
+        "datapath",
+        "fetch",
+        "decode",
+        "mem-interface",
+        "misc",
+        "imem",
+        "dmem",
+    ] {
+        require_num(components, label).map_err(|e| format!("energy.by_component_pj.{e}"))?;
+    }
+    let by_class = energy
+        .get("by_class")
+        .ok_or("energy.missing field: by_class")?
+        .elements()
+        .ok_or("energy.by_class: expected array")?;
+    for (i, c) in by_class.iter().enumerate() {
+        require_str(c, "class").map_err(|e| format!("energy.by_class[{i}].{e}"))?;
+        require_int(c, "count").map_err(|e| format!("energy.by_class[{i}].{e}"))?;
+        require_num(c, "pj").map_err(|e| format!("energy.by_class[{i}].{e}"))?;
+    }
+    let by_handler = energy
+        .get("by_handler")
+        .ok_or("energy.missing field: by_handler")?
+        .elements()
+        .ok_or("energy.by_handler: expected array")?;
+    for (i, h) in by_handler.iter().enumerate() {
+        require_str(h, "event").map_err(|e| format!("energy.by_handler[{i}].{e}"))?;
+        for key in ["dispatches", "instructions", "busy_ps"] {
+            require_int(h, key).map_err(|e| format!("energy.by_handler[{i}].{e}"))?;
+        }
+        require_num(h, "pj").map_err(|e| format!("energy.by_handler[{i}].{e}"))?;
+    }
+
+    if let Some(hists) = node.get("histograms") {
+        for key in ["handler_instructions", "handler_energy_pj", "queue_wait_ps"] {
+            let h = hists
+                .get(key)
+                .ok_or(format!("histograms.missing field: {key}"))?;
+            validate_histogram(h).map_err(|e| format!("histograms.{key}.{e}"))?;
+        }
+        require_int(hists, "samples_retained").map_err(|e| format!("histograms.{e}"))?;
+        require_int(hists, "samples_truncated").map_err(|e| format!("histograms.{e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_network(network: &Value) -> Result<(), String> {
+    for key in ["deliveries", "collisions", "faded", "trace_recorded"] {
+        require_int(network, key)?;
+    }
+    let h = network
+        .get("window_active_nodes")
+        .ok_or("missing field: window_active_nodes")?;
+    validate_histogram(h).map_err(|e| format!("window_active_nodes.{e}"))
+}
+
+/// Validate one histogram summary object (shape produced by
+/// [`crate::Histogram::to_json`]).
+pub fn validate_histogram(h: &Value) -> Result<(), String> {
+    require_int(h, "count")?;
+    require_num(h, "sum")?;
+    for key in ["min", "max", "mean", "p50", "p90", "p99"] {
+        let v = h.get(key).ok_or(format!("missing field: {key}"))?;
+        if !matches!(v, Value::Null) && v.as_f64().is_none() {
+            return Err(format!("{key}: expected number or null"));
+        }
+    }
+    let buckets = h
+        .get("buckets")
+        .ok_or("missing field: buckets")?
+        .elements()
+        .ok_or("buckets: expected array")?;
+    if buckets.is_empty() {
+        return Err("buckets: must end with the le:null bucket".to_string());
+    }
+    let mut prev_le = f64::NEG_INFINITY;
+    let mut prev_count = i64::MIN;
+    for (i, b) in buckets.iter().enumerate() {
+        let le = b
+            .get("le")
+            .ok_or(format!("buckets[{i}].missing field: le"))?;
+        let count = require_int(b, "count").map_err(|e| format!("buckets[{i}].{e}"))?;
+        let last = i == buckets.len() - 1;
+        match le {
+            Value::Null if last => {}
+            Value::Null => return Err(format!("buckets[{i}].le: null before final bucket")),
+            _ => {
+                let le = le
+                    .as_f64()
+                    .ok_or(format!("buckets[{i}].le: expected number or null"))?;
+                if le <= prev_le {
+                    return Err(format!("buckets[{i}].le: not increasing"));
+                }
+                prev_le = le;
+            }
+        }
+        if count < prev_count.max(0) {
+            return Err(format!("buckets[{i}].count: cumulative counts decreased"));
+        }
+        prev_count = count;
+    }
+    Ok(())
+}
+
+/// Validate a Chrome `trace_event` export: a JSON array of event
+/// objects, each with `name`/`ph`/`pid`/`tid`, `ts` on timed events
+/// (with `dur` on `"X"`), and non-decreasing timestamps across the
+/// timed events.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let v = parse(text)?;
+    let events = v.elements().ok_or("expected top-level array")?;
+    let mut prev_ts = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        require_str(e, "name").map_err(|e| format!("[{i}].{e}"))?;
+        let ph = require_str(e, "ph").map_err(|e| format!("[{i}].{e}"))?;
+        require_int(e, "pid").map_err(|e| format!("[{i}].{e}"))?;
+        require_int(e, "tid").map_err(|e| format!("[{i}].{e}"))?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = require_num(e, "ts").map_err(|e| format!("[{i}].{e}"))?;
+        if ts < prev_ts {
+            return Err(format!("[{i}].ts: timestamps not monotonic"));
+        }
+        prev_ts = ts;
+        if ph == "X" {
+            let dur = require_num(e, "dur").map_err(|e| format!("[{i}].{e}"))?;
+            if dur < 0.0 {
+                return Err(format!("[{i}].dur: negative"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn require_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .ok_or(format!("missing field: {key}"))?
+        .as_str()
+        .ok_or(format!("{key}: expected string"))
+}
+
+fn require_int(v: &Value, key: &str) -> Result<i64, String> {
+    v.get(key)
+        .ok_or(format!("missing field: {key}"))?
+        .as_i64()
+        .ok_or(format!("{key}: expected integer"))
+}
+
+fn require_num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .ok_or(format!("missing field: {key}"))?
+        .as_f64()
+        .ok_or(format!("{key}: expected number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::ChromeTrace;
+    use crate::metrics::{node_metrics, report, NetworkCounters};
+    use snap_core::{CoreConfig, Processor};
+    use snap_isa::Instruction;
+
+    fn minimal_report(sampled: bool) -> String {
+        let mut cpu = Processor::new(CoreConfig::default());
+        if sampled {
+            cpu.enable_sampling(16);
+        }
+        cpu.load_program(&[Instruction::Halt]).unwrap();
+        cpu.run_to_halt(10).unwrap();
+        let net = NetworkCounters::default();
+        report(
+            "test",
+            0.6,
+            1_000,
+            vec![node_metrics(0, &cpu)],
+            Some(net.to_json()),
+        )
+        .to_pretty()
+    }
+
+    #[test]
+    fn real_reports_validate() {
+        validate_metrics(&minimal_report(false)).unwrap();
+        validate_metrics(&minimal_report(true)).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_schema_id() {
+        let text = minimal_report(false).replace("snap-metrics-v1", "other-v9");
+        let err = validate_metrics(&text).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_counter() {
+        let text = minimal_report(false).replace("\"wakeups\"", "\"wokeups\"");
+        let err = validate_metrics(&text).unwrap_err();
+        assert!(err.contains("wakeups"), "{err}");
+    }
+
+    #[test]
+    fn real_chrome_trace_validates() {
+        let mut t = ChromeTrace::new();
+        t.process_name("p");
+        t.thread_name(1, "node1");
+        t.complete(1, "timer0", 0, 100, crate::json::Value::obj());
+        t.instant(1, "led", 50, crate::json::Value::obj());
+        validate_chrome_trace(&t.to_json()).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_monotonic_trace() {
+        let text = r#"[
+  {"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":0,"tid":1,"args":{}},
+  {"name":"b","ph":"i","s":"t","ts":2.0,"pid":0,"tid":1,"args":{}}
+]"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("monotonic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_json() {
+        assert!(validate_metrics("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+}

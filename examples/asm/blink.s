@@ -1,0 +1,56 @@
+; Blink — the TinyOS example ported to SNAP, self-contained for `srun`.
+;
+;   cargo run -p snap-node --bin srun -- --ms 10 examples/asm/blink.s
+;   cargo run -p snap-node --bin srun -- --vdd 0.6 --metrics blink.json \
+;       --trace-out blink.trace.json examples/asm/blink.s
+;
+; A periodic timer handler re-arms timer 0 and posts the blink task as
+; a soft event (the hardware-event-queue analogue of TinyOS `post`);
+; the task handler toggles the LED through the output port. Between
+; handlers the core sleeps — with telemetry enabled the gaps show up as
+; empty track space in the Perfetto trace.
+
+.equ EV_TIMER0, 0
+.equ EV_SOFT,   7
+.equ CMD_PORT,  0x4000
+
+.data
+blink_state:  .word 0
+blink_ticks:  .word 0
+
+.text
+boot:
+    li      r1, EV_TIMER0
+    li      r2, blink_timer
+    setaddr r1, r2
+    li      r1, EV_SOFT
+    li      r2, blink_task
+    setaddr r1, r2
+    li      r1, 0               ; arm timer 0: first tick after 1 tick
+    schedhi r1, r0
+    li      r2, 1
+    schedlo r1, r2
+    done
+
+; periodic timer handler: count the tick, re-arm, post the blink task
+blink_timer:
+    lw      r2, blink_ticks(r0)
+    addi    r2, 1
+    sw      r2, blink_ticks(r0)
+    li      r1, 0
+    schedhi r1, r0
+    li      r2, 1000            ; blink period in ticks
+    schedlo r1, r2
+    li      r3, EV_SOFT
+    swev    r3
+    done
+
+; the blink task: toggle the LED on the output port
+blink_task:
+    lw      r4, blink_state(r0)
+    xori    r4, 1
+    sw      r4, blink_state(r0)
+    li      r5, CMD_PORT
+    or      r5, r4
+    mov     r15, r5
+    done

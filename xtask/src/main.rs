@@ -1,5 +1,17 @@
-//! Workspace helper: counts lines of code per crate.
-use std::{fs, path::Path};
+//! Workspace helper tasks.
+//!
+//! ```text
+//! cargo xtask loc                         # lines of code per tree
+//! cargo xtask validate-metrics FILE...    # check snap-metrics-v1 reports
+//! cargo xtask validate-trace FILE...      # check Chrome trace_event files
+//! ```
+//!
+//! The validators enforce the schema documented in
+//! `docs/OBSERVABILITY.md` (via `snap_telemetry::schema`); CI runs them
+//! over freshly produced `srun --metrics` / `--trace-out` files so the
+//! emitters and the docs cannot drift apart.
+
+use std::{fs, path::Path, process::ExitCode};
 
 fn count_dir(p: &Path) -> usize {
     let mut n = 0;
@@ -18,7 +30,7 @@ fn count_dir(p: &Path) -> usize {
     n
 }
 
-fn main() {
+fn loc() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .unwrap()
@@ -31,4 +43,60 @@ fn main() {
         total += n;
     }
     println!("{:10} {total:>7}", "total");
+}
+
+/// Run `validate` over each file, reporting per-file pass/fail.
+fn validate_files(
+    kind: &str,
+    files: &[String],
+    validate: fn(&str) -> Result<(), String>,
+) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("xtask: no files given to validate-{kind}");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate(&text) {
+            Ok(()) => println!("{file}: ok ({kind})"),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("loc") => {
+            loc();
+            ExitCode::SUCCESS
+        }
+        Some("validate-metrics") => {
+            validate_files("metrics", &args[1..], snap_telemetry::validate_metrics)
+        }
+        Some("validate-trace") => {
+            validate_files("trace", &args[1..], snap_telemetry::validate_chrome_trace)
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!("tasks: loc, validate-metrics FILE..., validate-trace FILE...");
+            ExitCode::FAILURE
+        }
+    }
 }
