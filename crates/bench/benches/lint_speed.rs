@@ -1,0 +1,113 @@
+//! Analyzer-runtime benchmark for `snap-lint` (how fast the static
+//! analysis itself runs; not a paper figure). `cargo bench --bench
+//! lint_speed -- --json` re-measures and writes `BENCH_lint.json` at
+//! the repo root; a preflight that costs microseconds per program is
+//! what lets `srun --lint` and `xtask lint-asm` run on every build.
+
+use criterion::{criterion_group, Bencher, Criterion};
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
+use snap_asm::Program;
+use snap_energy::OperatingPoint;
+use snap_lint::Analysis;
+use std::time::Duration;
+
+/// The paper's Packet Transmission sender (same wiring as the lint
+/// golden tests).
+fn mac_send() -> Program {
+    let extra = install_handler("EV_IRQ", "app_send_irq");
+    let app = format!("{}{}", send_on_irq_app(5), RX_DISPATCH_STUB);
+    mac_program(2, &extra, &app).unwrap()
+}
+
+fn scenarios() -> Vec<(&'static str, Program)> {
+    vec![
+        ("lint_blink", snap_apps::blink::blink_program().unwrap()),
+        ("lint_mac_send", mac_send()),
+        (
+            "lint_threshold_aodv",
+            snap_apps::apps::threshold_program(1).unwrap(),
+        ),
+    ]
+}
+
+fn analyze(program: &Program) -> Analysis {
+    snap_lint::analyze_program(program, OperatingPoint::V0_6)
+}
+
+fn bench_lint(c: &mut Criterion) {
+    for (name, program) in scenarios() {
+        c.bench_function(name, |b| b.iter(|| analyze(&program)));
+    }
+}
+
+criterion_group!(benches, bench_lint);
+
+/// Measure each scenario and write the report to `path`.
+fn run_json(measurement: Duration, path: &std::path::Path) {
+    let mut c = Criterion::default().measurement_time(measurement);
+    let mut entries = Vec::new();
+    for (name, program) in scenarios() {
+        let summary = c.measure_function(&mut |b: &mut Bencher| b.iter(|| analyze(&program)));
+        // One run outside the timing loop for the size columns.
+        let analysis = analyze(&program);
+        let us = summary.mean.as_secs_f64() * 1e6;
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"current_us\": {:.1},\n",
+                "      \"iterations\": {},\n",
+                "      \"imem_words\": {},\n",
+                "      \"reachable_words\": {},\n",
+                "      \"diagnostics\": {},\n",
+                "      \"words_per_ms\": {:.0}\n",
+                "    }}"
+            ),
+            name,
+            us,
+            summary.iterations,
+            analysis.imem_words,
+            analysis.reachable.len(),
+            analysis.diagnostics.len(),
+            analysis.imem_words as f64 / (us / 1000.0),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"lint_speed\",\n  \"vdd_v\": 0.6,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write bench report");
+    print!("{json}");
+    println!("wrote {}", path.display());
+}
+
+/// Where `--json` writes the recorded report (the repo root).
+fn report_path() -> std::path::PathBuf {
+    std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_lint.json")
+}
+
+/// Fast harness validation: every scenario analyzes without panicking
+/// and the report is well-formed.
+fn run_check() {
+    let path = std::env::temp_dir().join("BENCH_lint.check.json");
+    run_json(Duration::from_millis(1), &path);
+    let json = std::fs::read_to_string(&path).expect("read back bench report");
+    for name in ["lint_blink", "lint_mac_send", "lint_threshold_aodv"] {
+        assert!(
+            json.contains(&format!("\"name\": \"{name}\"")),
+            "missing scenario {name}"
+        );
+    }
+    println!("lint_speed --check: report well-formed");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+    } else if std::env::args().any(|a| a == "--json") {
+        run_json(Duration::from_millis(400), &report_path());
+    } else {
+        benches();
+    }
+}

@@ -12,7 +12,7 @@ use crate::expr::{Cursor, Expr};
 use crate::lexer::{tokenize, Token};
 use crate::program::{Program, Segment};
 use snap_isa::{Addr, AluImmOp, AluOp, BranchCond, Instruction, Reg, ShiftOp, Word};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which memory bank a section assembles into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,8 @@ struct Item {
     section: Section,
     addr: Addr,
     payload: Payload,
+    /// Lint ids suppressed on this source line (`; lint:allow(id, ...)`).
+    allowed_lints: Vec<String>,
 }
 
 /// The multi-module assembler ("linker" in the paper's toolchain).
@@ -121,6 +123,7 @@ impl Assembler {
     /// Returns the first [`AsmError`] encountered.
     pub fn link(&self) -> Result<Program, AsmError> {
         let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
+        let mut code_symbols: BTreeSet<String> = BTreeSet::new();
         let mut items: Vec<Item> = Vec::new();
         let mut lc_text: Addr = 0;
         let mut lc_data: Addr = 0;
@@ -142,6 +145,9 @@ impl Assembler {
                         Section::Data => lc_data,
                     };
                     define(&mut symbols, module, line, name, lc as i64)?;
+                    if section == Section::Text {
+                        code_symbols.insert(name.to_string());
+                    }
                     rest = tail;
                 }
                 if rest.is_empty() {
@@ -181,6 +187,7 @@ impl Assembler {
                                     section,
                                     addr: *lc,
                                     payload: Payload::Words(exprs),
+                                    allowed_lints: Vec::new(),
                                 });
                                 *lc = bump(*lc, n, module, line)?;
                             }
@@ -199,6 +206,7 @@ impl Assembler {
                                     section,
                                     addr: *lc,
                                     payload: Payload::Space(n as usize),
+                                    allowed_lints: Vec::new(),
                                 });
                                 *lc = bump(*lc, n as usize, module, line)?;
                             }
@@ -211,6 +219,7 @@ impl Assembler {
                                         section,
                                         addr: *lc,
                                         payload: Payload::Ascii(s.clone()),
+                                        allowed_lints: Vec::new(),
                                     });
                                     *lc = bump(*lc, n, module, line)?;
                                 }
@@ -246,6 +255,7 @@ impl Assembler {
                                 mnemonic: mnemonic.clone(),
                                 operands,
                             },
+                            allowed_lints: lint_allows(&raw_line),
                         });
                         *lc = bump(*lc, size, module, line)?;
                     }
@@ -263,6 +273,7 @@ impl Assembler {
         // ---- pass 2 ----
         let mut text_writes: Vec<(Addr, Word)> = Vec::new();
         let mut data_writes: Vec<(Addr, Word)> = Vec::new();
+        let mut lines: BTreeMap<Addr, crate::program::SourceLine> = BTreeMap::new();
         for item in &items {
             let out = match item.section {
                 Section::Text => &mut text_writes,
@@ -293,7 +304,25 @@ impl Assembler {
                 Payload::Instr { mnemonic, operands } => {
                     let ins =
                         build_instruction(mnemonic, operands, &symbols, &item.module, item.line)?;
-                    debug_assert_eq!(ins.word_count(), mnemonic_size(mnemonic).unwrap());
+                    if Some(ins.word_count()) != mnemonic_size(mnemonic) {
+                        return Err(AsmError::new(
+                            &item.module,
+                            item.line,
+                            format!(
+                                "`{mnemonic}` encoded to {} words but was laid out as {:?}",
+                                ins.word_count(),
+                                mnemonic_size(mnemonic)
+                            ),
+                        ));
+                    }
+                    lines.insert(
+                        item.addr,
+                        crate::program::SourceLine {
+                            module: item.module.clone(),
+                            line: item.line,
+                            allowed_lints: item.allowed_lints.clone(),
+                        },
+                    );
                     for w in ins.encode() {
                         emit(w, &mut addr);
                     }
@@ -303,8 +332,27 @@ impl Assembler {
 
         let imem = coalesce(text_writes, "imem")?;
         let dmem = coalesce(data_writes, "dmem")?;
-        Program::new(imem, dmem, symbols)
+        Program::new(imem, dmem, symbols, code_symbols, lines)
     }
+}
+
+/// Extract the lint ids named in a `lint:allow(id, ...)` marker on the
+/// line, if any. The marker conventionally lives in a trailing comment
+/// (`; lint:allow(dead-store)`), but we scan the raw line so it also
+/// works after `#` or `//` comment styles.
+fn lint_allows(raw_line: &str) -> Vec<String> {
+    let Some(pos) = raw_line.find("lint:allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw_line[pos + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// A module-local assembler macro.
@@ -883,6 +931,30 @@ mod tests {
         assert_eq!(p.symbol("start"), Some(0));
         assert_eq!(p.symbol("loop"), Some(3));
         assert_eq!(p.imem_image().len(), 6);
+    }
+
+    #[test]
+    fn source_lines_and_lint_allow_markers() {
+        let p = assemble(
+            "    li   r1, 5\n    mov  r2, r1   ; lint:allow(dead-store, read-never-written)\n    halt\n",
+        )
+        .unwrap();
+        // Only instruction start addresses have entries (li is 2 words).
+        let li = p.source_line(0).unwrap();
+        assert_eq!((li.module.as_str(), li.line), ("<input>", 1));
+        assert!(li.allowed_lints.is_empty());
+        assert!(p.source_line(1).is_none());
+        let mov = p.source_line(2).unwrap();
+        assert_eq!(mov.line, 2);
+        assert_eq!(mov.allowed_lints, ["dead-store", "read-never-written"]);
+        assert_eq!(p.source_line(3).unwrap().line, 3);
+    }
+
+    #[test]
+    fn malformed_lint_allow_is_ignored() {
+        assert!(lint_allows("add r1, r2 ; lint:allow(").is_empty());
+        assert!(lint_allows("add r1, r2 ; lint:allow()").is_empty());
+        assert_eq!(lint_allows("x # lint:allow( a ,, b )"), ["a", "b"]);
     }
 
     #[test]

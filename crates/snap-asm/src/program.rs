@@ -2,7 +2,7 @@
 
 use crate::error::AsmError;
 use snap_isa::{Addr, Word, MEM_WORDS};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A contiguous run of words at a fixed base address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +20,19 @@ impl Segment {
     }
 }
 
+/// Source-level provenance of one assembled instruction: where it came
+/// from and which lints the author suppressed on that line with a
+/// `; lint:allow(id, ...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceLine {
+    /// Module (file) name the instruction was assembled from.
+    pub module: String,
+    /// 1-based line number within the module.
+    pub line: usize,
+    /// Lint ids listed in a `lint:allow(...)` comment on the line.
+    pub allowed_lints: Vec<String>,
+}
+
 /// A fully assembled and linked program: IMEM and DMEM segments plus the
 /// symbol table.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +40,8 @@ pub struct Program {
     imem: Vec<Segment>,
     dmem: Vec<Segment>,
     symbols: BTreeMap<String, i64>,
+    code_symbols: BTreeSet<String>,
+    lines: BTreeMap<Addr, SourceLine>,
 }
 
 impl Program {
@@ -34,6 +49,8 @@ impl Program {
         imem: Vec<Segment>,
         dmem: Vec<Segment>,
         symbols: BTreeMap<String, i64>,
+        code_symbols: BTreeSet<String>,
+        lines: BTreeMap<Addr, SourceLine>,
     ) -> Result<Program, AsmError> {
         check_overlap(&imem, "imem")?;
         check_overlap(&dmem, "dmem")?;
@@ -41,6 +58,8 @@ impl Program {
             imem,
             dmem,
             symbols,
+            code_symbols,
+            lines,
         })
     }
 
@@ -62,6 +81,26 @@ impl Program {
     /// The full symbol table.
     pub fn symbols(&self) -> &BTreeMap<String, i64> {
         &self.symbols
+    }
+
+    /// True when `name` was defined as a label in a `.text` section,
+    /// i.e. its value is an IMEM address rather than a `.equ` constant
+    /// or a DMEM data label. (Those share the flat symbol namespace and
+    /// small constants collide with low code addresses.)
+    pub fn is_code_symbol(&self, name: &str) -> bool {
+        self.code_symbols.contains(name)
+    }
+
+    /// Source provenance of the instruction starting at IMEM address
+    /// `addr`, when known. Only instruction start addresses have
+    /// entries; immediate words and data do not.
+    pub fn source_line(&self, addr: Addr) -> Option<&SourceLine> {
+        self.lines.get(&addr)
+    }
+
+    /// The full instruction-address → source-line table.
+    pub fn source_lines(&self) -> &BTreeMap<Addr, SourceLine> {
+        &self.lines
     }
 
     /// Flattened IMEM image from address 0 to the highest used word,
@@ -141,7 +180,14 @@ mod tests {
 
     #[test]
     fn flatten_zero_fills_gaps() {
-        let p = Program::new(vec![seg(0, &[1, 2]), seg(5, &[9])], vec![], BTreeMap::new()).unwrap();
+        let p = Program::new(
+            vec![seg(0, &[1, 2]), seg(5, &[9])],
+            vec![],
+            BTreeMap::new(),
+            BTreeSet::new(),
+            BTreeMap::new(),
+        )
+        .unwrap();
         assert_eq!(p.imem_image(), vec![1, 2, 0, 0, 0, 9]);
         assert_eq!(p.imem_words_used(), 3);
         assert_eq!(p.code_bytes(), 6);
@@ -153,6 +199,8 @@ mod tests {
             vec![seg(0, &[1, 2, 3]), seg(2, &[9])],
             vec![],
             BTreeMap::new(),
+            BTreeSet::new(),
+            BTreeMap::new(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("overlap"));
@@ -160,7 +208,14 @@ mod tests {
 
     #[test]
     fn beyond_bank_is_rejected() {
-        let err = Program::new(vec![seg(2047, &[1, 2])], vec![], BTreeMap::new()).unwrap_err();
+        let err = Program::new(
+            vec![seg(2047, &[1, 2])],
+            vec![],
+            BTreeMap::new(),
+            BTreeSet::new(),
+            BTreeMap::new(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("beyond"));
     }
 

@@ -1,0 +1,116 @@
+//! `snap-lint` — static analysis for SNAP programs.
+//!
+//! ```text
+//! snap-lint [--json] [--strict] [--vdd 1.8|0.9|0.6] FILE
+//! ```
+//!
+//! `FILE` is assembly (`.s` / `.sasm` / `.asm`, assembled in place with
+//! full source-line attribution and `; lint:allow(...)` support) or a
+//! raw little-endian IMEM image (anything else).
+//!
+//! Exit status: 0 clean, 1 findings at gating severity (errors, or
+//! warnings too under `--strict`), 2 usage or I/O error.
+
+use snap_energy::OperatingPoint;
+use snap_lint::{render_json, render_text, Severity};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snap-lint [--json] [--strict] [--vdd 1.8|0.9|0.6] FILE\n\
+  FILE: .s/.sasm/.asm assembly, or a raw little-endian IMEM image\n\
+  --json    machine-readable report (schema snap-lint-v1)\n\
+  --strict  exit nonzero on warnings, not just errors\n\
+  --vdd V   operating point for energy bounds (default 0.6)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut strict = false;
+    let mut point = OperatingPoint::V0_6;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            "--vdd" => {
+                let Some(v) = args.next() else {
+                    eprintln!("snap-lint: --vdd needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                point = match v.as_str() {
+                    "1.8" => OperatingPoint::V1_8,
+                    "0.9" => OperatingPoint::V0_9,
+                    "0.6" => OperatingPoint::V0_6,
+                    other => {
+                        eprintln!("snap-lint: unsupported vdd {other:?} (use 1.8, 0.9 or 0.6)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("snap-lint: unknown flag {arg:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => {
+                if file.replace(arg).is_some() {
+                    eprintln!("snap-lint: exactly one input file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let Some(path) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let analysis = match load(&path, point) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snap-lint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&analysis, &path));
+    } else {
+        print!("{}", render_text(&analysis, &path));
+    }
+
+    let gate = if strict {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    match analysis.worst_severity() {
+        Some(s) if s >= gate => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+fn load(path: &str, point: OperatingPoint) -> Result<snap_lint::Analysis, String> {
+    let is_asm = [".s", ".sasm", ".asm"]
+        .iter()
+        .any(|ext| path.ends_with(ext));
+    if is_asm {
+        let source = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let program = snap_asm::assemble(&source).map_err(|e| e.to_string())?;
+        Ok(snap_lint::analyze_program(&program, point))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        if bytes.len() % 2 != 0 {
+            return Err("raw image must be an even number of bytes (16-bit words)".into());
+        }
+        let imem: Vec<u16> = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        Ok(snap_lint::analyze_image(&imem, point))
+    }
+}

@@ -1,0 +1,732 @@
+//! Worst-case path costs over a context's CFG.
+//!
+//! Strongly connected components are classified against the
+//! counter-loop idiom: a single header, a single back-edge, and a
+//! unique `addi rX, k`/`subi rX, k` on the tested register that runs on
+//! every cycle. Both placements of the test are recognized —
+//! bottom-tested (`top: ...; subi rX, 1; bnez rX, top`) and top-tested
+//! (`top: bgeu rX, rK, out; ...; jmp top`). Recognized loops get a trip
+//! count — exact when the counter's initial value and bound are known
+//! constants, a sound 65536-iteration wrap bound otherwise (marked
+//! *loose*). Anything else is reported unbounded and poisons every
+//! path cost through it.
+
+use crate::analyzer::{Abs, Cost, Ctx, Node, PathCost};
+use snap_isa::{Addr, AluImmOp, BranchCond, Instruction, Reg};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Cost summary of one context.
+pub(crate) struct CostResult {
+    /// Worst cost from entry through a `done`/`halt` (inclusive), over
+    /// paths that end the activation here or in a callee.
+    pub done: PathCost,
+    /// Worst cost from entry through a `jr <link>` (inclusive).
+    pub ret: PathCost,
+    /// Some reachable loop could not be bounded.
+    pub has_unbounded: bool,
+    /// Some bound used the 65536-iteration fallback trip count.
+    pub loose: bool,
+    /// Representative pc of each unrecognized (unbounded) loop.
+    pub unbounded_sccs: Vec<Addr>,
+}
+
+/// Sequential composition of two path costs.
+fn seq(a: PathCost, b: PathCost) -> PathCost {
+    match (a, b) {
+        (PathCost::Unreached, _) | (_, PathCost::Unreached) => PathCost::Unreached,
+        (PathCost::Unbounded, _) | (_, PathCost::Unbounded) => PathCost::Unbounded,
+        (PathCost::Bounded(x), PathCost::Bounded(y)) => PathCost::Bounded(x.add(y)),
+    }
+}
+
+pub(crate) fn cost_of(ctx: &Ctx) -> CostResult {
+    let mut result = CostResult {
+        done: PathCost::Unreached,
+        ret: PathCost::Unreached,
+        has_unbounded: false,
+        loose: false,
+        unbounded_sccs: Vec::new(),
+    };
+    let nodes = &ctx.nodes;
+    if nodes.is_empty() {
+        return result;
+    }
+    // Successor lists restricted to explored nodes (edges to a pc that
+    // fell off the image or was never materialized are dead ends,
+    // already accounted for by `has_dead_end`).
+    let succs: BTreeMap<Addr, Vec<Addr>> = nodes
+        .iter()
+        .map(|(&pc, n)| {
+            (
+                pc,
+                n.succs
+                    .iter()
+                    .copied()
+                    .filter(|s| nodes.contains_key(s))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let sccs = tarjan(&succs);
+    let mut comp_of: BTreeMap<Addr, usize> = BTreeMap::new();
+    for (i, comp) in sccs.iter().enumerate() {
+        for &pc in comp {
+            comp_of.insert(pc, i);
+        }
+    }
+    let mut enter: Vec<PathCost> = vec![PathCost::Unreached; sccs.len()];
+    enter[comp_of[&ctx.entry]] = PathCost::Bounded(Cost::default());
+
+    // Tarjan emits components callees-first (reverse topological
+    // order); walking the list backwards visits sources before sinks.
+    for ci in (0..sccs.len()).rev() {
+        let comp = &sccs[ci];
+        let e = enter[ci];
+        if !e.reached() {
+            continue;
+        }
+        let self_loop = comp.len() == 1 && succs[&comp[0]].contains(&comp[0]);
+        if comp.len() == 1 && !self_loop {
+            let pc = comp[0];
+            let n = &nodes[&pc];
+            exit_costs(&mut result, n, e);
+            let through = if n.unbounded_through {
+                PathCost::Unbounded
+            } else {
+                e.add(n.cost)
+            };
+            for &s in &succs[&pc] {
+                let sc = comp_of[&s];
+                enter[sc] = enter[sc].join(through);
+            }
+            continue;
+        }
+
+        let set: BTreeSet<Addr> = comp.iter().copied().collect();
+        let shape = classify(ctx, comp, &set, &succs);
+        match shape {
+            Some(shape) => {
+                // Longest acyclic path within the loop body (back-edge
+                // removed), from the header.
+                let dp = inner_paths(ctx, &set, &succs, shape.header, shape.latch);
+                let iter_max = match dp.get(&shape.latch) {
+                    Some(&(_, out)) => out,
+                    None => PathCost::Unbounded,
+                };
+                let prefix = match iter_max {
+                    PathCost::Bounded(c) => {
+                        PathCost::Bounded(c.scale(shape.trips.saturating_sub(1)))
+                    }
+                    _ => PathCost::Unbounded,
+                };
+                if matches!(prefix, PathCost::Unbounded) {
+                    // A call inside the loop body could not be bounded.
+                    unbounded_component(&mut result, comp, nodes, &succs, &comp_of, &mut enter, ci);
+                    continue;
+                }
+                result.loose |= shape.loose;
+                for &pc in comp {
+                    let n = &nodes[&pc];
+                    let (dp_in, _) = dp[&pc];
+                    let at = seq(seq(e, prefix), dp_in);
+                    exit_costs(&mut result, n, at);
+                    let through = if n.unbounded_through {
+                        PathCost::Unbounded
+                    } else {
+                        at.add(n.cost)
+                    };
+                    for &s in &succs[&pc] {
+                        let sc = comp_of[&s];
+                        if sc != ci {
+                            enter[sc] = enter[sc].join(through);
+                        }
+                    }
+                }
+            }
+            None => {
+                result
+                    .unbounded_sccs
+                    .push(comp.iter().copied().min().unwrap_or(ctx.entry));
+                unbounded_component(&mut result, comp, nodes, &succs, &comp_of, &mut enter, ci);
+            }
+        }
+    }
+    result
+}
+
+/// Record the exits an unrecognized loop can take: every one of them
+/// has an unboundable cost.
+fn unbounded_component(
+    result: &mut CostResult,
+    comp: &[Addr],
+    nodes: &BTreeMap<Addr, Node>,
+    succs: &BTreeMap<Addr, Vec<Addr>>,
+    comp_of: &BTreeMap<Addr, usize>,
+    enter: &mut [PathCost],
+    ci: usize,
+) {
+    result.has_unbounded = true;
+    for &pc in comp {
+        let n = &nodes[&pc];
+        exit_costs(result, n, PathCost::Unbounded);
+        for &s in &succs[&pc] {
+            let sc = comp_of[&s];
+            if sc != ci {
+                enter[sc] = enter[sc].join(PathCost::Unbounded);
+            }
+        }
+    }
+}
+
+/// Fold `n`'s activation-ending exits into the result. `at` is the
+/// worst cost to *enter* the node.
+fn exit_costs(result: &mut CostResult, n: &Node, at: PathCost) {
+    if n.done_exit {
+        result.done = result.done.join(at.add(n.base_cost));
+    }
+    if n.ret_exit {
+        result.ret = result.ret.join(at.add(n.base_cost));
+    }
+    if let Some(call) = &n.call {
+        if call.done_exists {
+            // Handler ends inside the callee: jal itself plus the
+            // callee's worst internal path to its `done`.
+            result.done = result.done.join(seq(at.add(n.base_cost), call.done_cost));
+        }
+    }
+}
+
+/// A recognized counter loop.
+struct Shape {
+    header: Addr,
+    latch: Addr,
+    trips: u64,
+    loose: bool,
+}
+
+fn negate(cond: BranchCond) -> BranchCond {
+    match cond {
+        BranchCond::Eq => BranchCond::Ne,
+        BranchCond::Ne => BranchCond::Eq,
+        BranchCond::Lt => BranchCond::Ge,
+        BranchCond::Ge => BranchCond::Lt,
+        BranchCond::Ltu => BranchCond::Geu,
+        BranchCond::Geu => BranchCond::Ltu,
+        BranchCond::Eqz => BranchCond::Nez,
+        BranchCond::Nez => BranchCond::Eqz,
+    }
+}
+
+/// Try to match the component against the counter-loop idiom.
+fn classify(
+    ctx: &Ctx,
+    comp: &[Addr],
+    set: &BTreeSet<Addr>,
+    succs: &BTreeMap<Addr, Vec<Addr>>,
+) -> Option<Shape> {
+    let nodes = &ctx.nodes;
+    // Single entry point (the header): every edge from outside the
+    // component, and the context entry if it lies inside, must land on
+    // the same node.
+    let mut header: Option<Addr> = None;
+    let set_header = |h: Addr, header: &mut Option<Addr>| -> bool {
+        match *header {
+            None => {
+                *header = Some(h);
+                true
+            }
+            Some(prev) => prev == h,
+        }
+    };
+    if set.contains(&ctx.entry) && !set_header(ctx.entry, &mut header) {
+        return None;
+    }
+    for (&pc, n) in nodes {
+        if set.contains(&pc) {
+            continue;
+        }
+        for s in &n.succs {
+            if set.contains(s) && !set_header(*s, &mut header) {
+                return None;
+            }
+        }
+    }
+    let header = header?;
+
+    // Exactly one back-edge.
+    let latches: Vec<Addr> = comp
+        .iter()
+        .copied()
+        .filter(|pc| succs[pc].contains(&header))
+        .collect();
+    if latches.len() != 1 {
+        return None;
+    }
+    let latch = latches[0];
+
+    // Locate the loop test. Bottom-tested: the latch is a conditional
+    // branch whose other successor leaves the component. Top-tested:
+    // the back-edge is unconditional and the header is a conditional
+    // branch with one successor outside.
+    let latch_node = &nodes[&latch];
+    let (test, cont_cond, ra, rb, top_tested) = match latch_node.ins {
+        Instruction::Branch {
+            cond,
+            ra,
+            rb,
+            target,
+        } => {
+            let fallthrough = latch + latch_node.wc as Addr;
+            let (other, cont) = if target == header && fallthrough != header {
+                (fallthrough, cond)
+            } else if fallthrough == header && target != header {
+                (target, negate(cond))
+            } else {
+                return None;
+            };
+            if set.contains(&other) {
+                return None;
+            }
+            (latch, cont, ra, rb, false)
+        }
+        _ if succs[&latch].len() == 1 => {
+            let hn = &nodes[&header];
+            let Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } = hn.ins
+            else {
+                return None;
+            };
+            let fallthrough = header + hn.wc as Addr;
+            let cont = if set.contains(&target) && !set.contains(&fallthrough) {
+                cond
+            } else if set.contains(&fallthrough) && !set.contains(&target) {
+                negate(cond)
+            } else {
+                return None;
+            };
+            (header, cont, ra, rb, true)
+        }
+        _ => return None,
+    };
+    if !cont_cond.is_unary() && ra == rb {
+        return None; // `beq r, r`-style: condition never changes
+    }
+
+    // The body (back-edge removed) must be acyclic — nested loops are
+    // not bounded by this idiom.
+    if !is_acyclic(set, succs, header, latch) {
+        return None;
+    }
+
+    // Counter candidates: the tested register(s).
+    let mut cands: Vec<Reg> = vec![ra];
+    if matches!(cont_cond, BranchCond::Ne | BranchCond::Eq) && !cont_cond.is_unary() {
+        cands.push(rb);
+    }
+    'cand: for counter in cands {
+        let writes: Vec<Addr> = comp
+            .iter()
+            .copied()
+            .filter(|pc| nodes[pc].ins.dest_reg() == Some(counter))
+            .collect();
+        if writes.len() != 1 {
+            continue;
+        }
+        let cnode = writes[0];
+        let Instruction::AluImm { op, rd, imm } = nodes[&cnode].ins else {
+            continue;
+        };
+        if rd != counter || imm == 0 || !matches!(op, AluImmOp::Addi | AluImmOp::Subi) {
+            continue;
+        }
+        // The bound (binary conditions): its abstract value at the test
+        // is the join over every iteration, so a constant there is a
+        // sound invariant bound even if the register is re-materialized
+        // inside the loop (`li rK, 16` each pass). A *non-constant*
+        // bound is only safe if nothing in the loop writes it — a
+        // moving unknown bound (`addi rK, 1` chasing the counter) may
+        // never be reached.
+        let kval = if cont_cond.is_unary() {
+            None
+        } else {
+            let k = if counter == ra { rb } else { ra };
+            let v = nodes[&test].in_state[k.index() as usize];
+            match v {
+                Abs::Const(_) => Some(v),
+                _ => {
+                    for pc in comp {
+                        if nodes[pc].ins.dest_reg() == Some(k) {
+                            continue 'cand;
+                        }
+                    }
+                    Some(Abs::Top)
+                }
+            }
+        };
+        // The counter update must run on every cycle: the latch must be
+        // unreachable from the header without passing it.
+        if cnode != header && reaches_avoiding(set, succs, header, latch, cnode) {
+            continue;
+        }
+        // Initial value, joined over every edge entering the loop.
+        let init = entry_value(ctx, set, header, counter);
+        if let Some((trips, loose)) = trip_count(cont_cond, op, imm, init, kval, top_tested) {
+            return Some(Shape {
+                header,
+                latch,
+                trips,
+                loose,
+            });
+        }
+    }
+    None
+}
+
+/// Join of a register's abstract value over every edge entering the
+/// component from outside (plus the context entry state, if the header
+/// is the context entry).
+fn entry_value(ctx: &Ctx, set: &BTreeSet<Addr>, header: Addr, reg: Reg) -> Abs {
+    let mut val: Option<Abs> = None;
+    let join = |v: Abs, val: &mut Option<Abs>| {
+        *val = Some(match *val {
+            None => v,
+            Some(prev) if prev == v => v,
+            _ => Abs::Top,
+        });
+    };
+    if ctx.entry == header {
+        join(ctx.entry_state[reg.index() as usize], &mut val);
+    }
+    for (&pc, n) in &ctx.nodes {
+        if set.contains(&pc) {
+            continue;
+        }
+        if n.succs.contains(&header) {
+            join(n.out_state[reg.index() as usize], &mut val);
+        }
+    }
+    val.unwrap_or(Abs::Top)
+}
+
+/// Worst-case number of full header-to-latch cycles: `(trips, loose)`.
+/// The cost model charges `(trips - 1)` whole cycles as a prefix before
+/// the exiting partial traversal, so an exit at the latch pays exactly
+/// `trips` cycles and an exit at the header of a top-tested loop pays
+/// `trips - 1` full bodies plus the final test.
+///
+/// Returns `None` when the (condition, update, stride) combination is
+/// not one whose termination we can prove.
+fn trip_count(
+    cond: BranchCond,
+    update: AluImmOp,
+    step: u16,
+    init: Abs,
+    k: Option<Abs>,
+    top_tested: bool,
+) -> Option<(u64, bool)> {
+    use BranchCond::*;
+    // The boundary cases differ by placement: a bottom-tested body runs
+    // once before the first test (a `subi` countdown from 0 wraps for a
+    // full 65536 iterations), while a top-tested loop can run the body
+    // zero times but pays one extra header pass. `fin(b, t)` takes the
+    // body-execution count under each placement.
+    let fin = |bottom: u64, top: u64, loose: bool| {
+        if top_tested {
+            Some((top + 1, loose))
+        } else {
+            Some((bottom, loose))
+        }
+    };
+    // Unknown values: a ±1 counter visits every value mod 2^16, so any
+    // of the shapes below exits within one wrap.
+    let loose = || fin(65536, 65536, true);
+    // Post-test distance `d` for the `Nez`/`Ne` shapes: a bottom-tested
+    // loop that starts *at* the exit value still runs a full wrap.
+    let dist = |d: u16| {
+        fin(
+            if d == 0 { 65536 } else { u64::from(d) },
+            u64::from(d),
+            false,
+        )
+    };
+
+    if step != 1 {
+        // Only the stride-k `bltu` scan terminates provably: the
+        // counter must land exactly on the bound, or overshoot it
+        // without wrapping past 0xffff (a wrapped overshoot restarts
+        // the scan below the bound, forever).
+        if !matches!((cond, update), (Ltu, AluImmOp::Addi)) {
+            return None;
+        }
+        let (Abs::Const(i), Abs::Const(kv)) = (init, k?) else {
+            return None;
+        };
+        if i >= kv {
+            return fin(1, 0, false);
+        }
+        let s = u32::from(step);
+        let n = u32::from(kv - i).div_ceil(s);
+        if u32::from(i) + n * s > 0xffff {
+            return None;
+        }
+        return fin(u64::from(n), u64::from(n), false);
+    }
+
+    match (cond, update) {
+        // `subi rX, 1; bnez rX, top` — the classic countdown.
+        (Nez, AluImmOp::Subi) => match init {
+            Abs::Const(x) => dist(x),
+            _ => loose(),
+        },
+        (Nez, AluImmOp::Addi) => match init {
+            Abs::Const(x) => dist(x.wrapping_neg()),
+            _ => loose(),
+        },
+        // `bne` against an invariant bound: one wrap at most.
+        (Ne, AluImmOp::Subi) => match (init, k?) {
+            (Abs::Const(i), Abs::Const(kv)) => dist(i.wrapping_sub(kv)),
+            _ => loose(),
+        },
+        (Ne, AluImmOp::Addi) => match (init, k?) {
+            (Abs::Const(i), Abs::Const(kv)) => dist(kv.wrapping_sub(i)),
+            _ => loose(),
+        },
+        // `bltu` with an incrementing counter: reaches the bound (or
+        // 65535, which is `>=` everything) within one wrap.
+        (Ltu, AluImmOp::Addi) => match (init, k?) {
+            (Abs::Const(i), Abs::Const(kv)) => {
+                let n = u64::from(kv.saturating_sub(i));
+                fin(n.max(1), n, false)
+            }
+            _ => loose(),
+        },
+        // Continue-while-equal: the counter moves off the bound after
+        // one update and (with a constant or invariant bound) never
+        // returns before exiting.
+        (Eqz, AluImmOp::Subi | AluImmOp::Addi) => fin(2, 1, false),
+        (Eq, AluImmOp::Subi | AluImmOp::Addi) => {
+            k?;
+            fin(2, 1, false)
+        }
+        _ => None,
+    }
+}
+
+/// Is the body acyclic once the `latch -> header` back-edge is removed?
+fn is_acyclic(
+    set: &BTreeSet<Addr>,
+    succs: &BTreeMap<Addr, Vec<Addr>>,
+    header: Addr,
+    latch: Addr,
+) -> bool {
+    // Kahn's algorithm over the inner edges.
+    let inner = |pc: Addr| {
+        succs[&pc]
+            .iter()
+            .copied()
+            .filter(move |s| set.contains(s) && !(pc == latch && *s == header))
+    };
+    let mut indeg: BTreeMap<Addr, usize> = set.iter().map(|&pc| (pc, 0)).collect();
+    for &pc in set {
+        for s in inner(pc) {
+            *indeg.get_mut(&s).unwrap() += 1;
+        }
+    }
+    let mut queue: VecDeque<Addr> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&pc, _)| pc)
+        .collect();
+    let mut seen = 0;
+    while let Some(pc) = queue.pop_front() {
+        seen += 1;
+        for s in inner(pc) {
+            let d = indeg.get_mut(&s).unwrap();
+            *d -= 1;
+            if *d == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    seen == set.len()
+}
+
+/// Can `to` be reached from `from` inside the body without passing
+/// through `avoid`? (Back-edge excluded.)
+fn reaches_avoiding(
+    set: &BTreeSet<Addr>,
+    succs: &BTreeMap<Addr, Vec<Addr>>,
+    from: Addr,
+    to: Addr,
+    avoid: Addr,
+) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(pc) = stack.pop() {
+        if pc == to {
+            return true;
+        }
+        if pc == avoid || !seen.insert(pc) {
+            continue;
+        }
+        for &s in &succs[&pc] {
+            if set.contains(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// Longest-path DP over the loop body: `pc -> (cost to enter, cost
+/// through)`, relative to the header.
+fn inner_paths(
+    ctx: &Ctx,
+    set: &BTreeSet<Addr>,
+    succs: &BTreeMap<Addr, Vec<Addr>>,
+    header: Addr,
+    latch: Addr,
+) -> BTreeMap<Addr, (PathCost, PathCost)> {
+    let inner = |pc: Addr| {
+        succs[&pc]
+            .iter()
+            .copied()
+            .filter(move |s| set.contains(s) && !(pc == latch && *s == header))
+    };
+    // Topological order via Kahn (the caller checked acyclicity).
+    let mut indeg: BTreeMap<Addr, usize> = set.iter().map(|&pc| (pc, 0)).collect();
+    for &pc in set {
+        for s in inner(pc) {
+            *indeg.get_mut(&s).unwrap() += 1;
+        }
+    }
+    let mut queue: VecDeque<Addr> = VecDeque::new();
+    queue.push_back(header);
+    let mut dp: BTreeMap<Addr, (PathCost, PathCost)> = set
+        .iter()
+        .map(|&pc| (pc, (PathCost::Unreached, PathCost::Unreached)))
+        .collect();
+    dp.get_mut(&header).unwrap().0 = PathCost::Bounded(Cost::default());
+    // Process in topo order starting from header; other zero-indegree
+    // nodes (none in an SCC, but be safe) stay Unreached.
+    let mut order: Vec<Addr> = Vec::with_capacity(set.len());
+    let mut indeg2 = indeg.clone();
+    let mut q2: VecDeque<Addr> = indeg2
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&pc, _)| pc)
+        .collect();
+    while let Some(pc) = q2.pop_front() {
+        order.push(pc);
+        for s in inner(pc) {
+            let d = indeg2.get_mut(&s).unwrap();
+            *d -= 1;
+            if *d == 0 {
+                q2.push_back(s);
+            }
+        }
+    }
+    for pc in order {
+        let n = &ctx.nodes[&pc];
+        let (enter, _) = dp[&pc];
+        let through = if n.unbounded_through {
+            match enter {
+                PathCost::Unreached => PathCost::Unreached,
+                _ => PathCost::Unbounded,
+            }
+        } else {
+            enter.add(n.cost)
+        };
+        dp.get_mut(&pc).unwrap().1 = through;
+        for s in inner(pc) {
+            let e = &mut dp.get_mut(&s).unwrap().0;
+            *e = e.join(through);
+        }
+    }
+    dp
+}
+
+/// Iterative Tarjan SCC. Components are emitted callees-first (reverse
+/// topological order of the condensation).
+fn tarjan(succs: &BTreeMap<Addr, Vec<Addr>>) -> Vec<Vec<Addr>> {
+    #[derive(Clone, Copy)]
+    struct Meta {
+        index: u32,
+        low: u32,
+        on_stack: bool,
+    }
+    let mut meta: BTreeMap<Addr, Meta> = BTreeMap::new();
+    let mut stack: Vec<Addr> = Vec::new();
+    let mut sccs: Vec<Vec<Addr>> = Vec::new();
+    let mut counter: u32 = 0;
+
+    for &root in succs.keys() {
+        if meta.contains_key(&root) {
+            continue;
+        }
+        // (node, next child index)
+        let mut frames: Vec<(Addr, usize)> = vec![(root, 0)];
+        meta.insert(
+            root,
+            Meta {
+                index: counter,
+                low: counter,
+                on_stack: true,
+            },
+        );
+        stack.push(root);
+        counter += 1;
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci < succs[&v].len() {
+                let w = succs[&v][*ci];
+                *ci += 1;
+                match meta.get(&w) {
+                    None => {
+                        meta.insert(
+                            w,
+                            Meta {
+                                index: counter,
+                                low: counter,
+                                on_stack: true,
+                            },
+                        );
+                        stack.push(w);
+                        counter += 1;
+                        frames.push((w, 0));
+                    }
+                    Some(mw) => {
+                        if mw.on_stack {
+                            let wi = mw.index;
+                            let mv = meta.get_mut(&v).unwrap();
+                            mv.low = mv.low.min(wi);
+                        }
+                    }
+                }
+            } else {
+                frames.pop();
+                let mv = meta[&v];
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let mp = meta.get_mut(&p).unwrap();
+                    mp.low = mp.low.min(mv.low);
+                }
+                if mv.low == mv.index {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        meta.get_mut(&w).unwrap().on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}

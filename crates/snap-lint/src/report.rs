@@ -1,0 +1,276 @@
+//! Text and JSON rendering of an [`Analysis`].
+//!
+//! The JSON schema is `snap-lint-v1` and is covered by golden snapshots
+//! in `tests/golden_lint.rs`; change it deliberately.
+
+use crate::{Analysis, Bound, HandlerReport, Severity};
+use snap_isa::EventKind;
+use std::fmt::Write as _;
+
+/// Render a human-readable report. `source` names the input (file path
+/// or a placeholder) and appears in the header.
+pub fn render_text(analysis: &Analysis, source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snap-lint: {source} ({} words, {:.1} V{})",
+        analysis.imem_words,
+        analysis.vdd_v,
+        if analysis.degraded { ", DEGRADED" } else { "" }
+    );
+
+    let _ = writeln!(out, "\nhandlers:");
+    let _ = writeln!(out, "  {}", handler_line("boot", &analysis.boot));
+    for h in &analysis.handlers {
+        let name = h.event.map(|e| e.to_string()).unwrap_or_else(|| "?".into());
+        if h.entry.is_none() {
+            continue; // uninstalled: covered by handler-not-installed
+        }
+        let _ = writeln!(out, "  {}", handler_line(&name, h));
+    }
+
+    if analysis.diagnostics.is_empty() {
+        let _ = writeln!(out, "\nno findings");
+    } else {
+        let (e, w, i) = severity_counts(analysis);
+        let _ = writeln!(out, "\nfindings: {e} error(s), {w} warning(s), {i} info(s)");
+        for d in &analysis.diagnostics {
+            let loc = match (&d.line, d.pc) {
+                (Some((m, l)), Some(pc)) => format!("{m}:{l} (pc {pc:#05x})"),
+                (Some((m, l)), None) => format!("{m}:{l}"),
+                (None, Some(pc)) => format!("pc {pc:#05x}"),
+                (None, None) => "program".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {}: [{}] {loc}: {}",
+                d.severity.label(),
+                d.lint,
+                d.message
+            );
+            if !d.hint.is_empty() {
+                let _ = writeln!(out, "      hint: {}", d.hint);
+            }
+        }
+    }
+    out
+}
+
+fn handler_line(name: &str, h: &HandlerReport) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{name:<14}");
+    match h.entry {
+        Some(e) => {
+            let _ = write!(s, " @ {e:#05x}");
+            if let Some(sym) = &h.symbol {
+                let _ = write!(s, " ({sym})");
+            }
+        }
+        None => {
+            let _ = write!(s, " (boot)");
+        }
+    }
+    let _ = write!(s, "  termination: {}", h.terminates.label());
+    match h.bound {
+        Some(b) => {
+            let _ = write!(
+                s,
+                "  bound: {} ins{}, {}",
+                b.instructions,
+                if h.loose { " (loose)" } else { "" },
+                fmt_energy(b.energy_pj)
+            );
+            if let Some(band) = h.paper_band {
+                let _ = write!(s, " [{} paper band]", band.label());
+            }
+        }
+        None => {
+            let _ = write!(s, "  bound: none");
+        }
+    }
+    s
+}
+
+fn fmt_energy(pj: f64) -> String {
+    if pj >= 1000.0 {
+        format!("{:.2} nJ", pj / 1000.0)
+    } else {
+        format!("{pj:.1} pJ")
+    }
+}
+
+fn severity_counts(analysis: &Analysis) -> (usize, usize, usize) {
+    let mut e = 0;
+    let mut w = 0;
+    let mut i = 0;
+    for d in &analysis.diagnostics {
+        match d.severity {
+            Severity::Error => e += 1,
+            Severity::Warning => w += 1,
+            Severity::Info => i += 1,
+        }
+    }
+    (e, w, i)
+}
+
+/// Render the `snap-lint-v1` JSON report. Deterministic: fixed key
+/// order, floats with three decimals, no timestamps.
+pub fn render_json(analysis: &Analysis, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"snap-lint-v1\",");
+    let _ = writeln!(out, "  \"source\": {},", json_str(source));
+    let _ = writeln!(out, "  \"vdd_v\": {},", fmt_f64(analysis.vdd_v));
+    let _ = writeln!(out, "  \"degraded\": {},", analysis.degraded);
+    let _ = writeln!(out, "  \"imem_words\": {},", analysis.imem_words);
+    let _ = writeln!(out, "  \"reachable_words\": {},", analysis.reachable.len());
+
+    let _ = writeln!(
+        out,
+        "  \"boot\": {},",
+        handler_json(&analysis.boot, None, 4)
+    );
+
+    out.push_str("  \"handlers\": [");
+    for (i, h) in analysis.handlers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&handler_json(h, EventKind::from_index(i), 6));
+    }
+    if analysis.handlers.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in analysis.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(out, "\"lint\": {}, ", json_str(d.lint));
+        let _ = write!(out, "\"severity\": {}, ", json_str(d.severity.label()));
+        match d.pc {
+            Some(pc) => {
+                let _ = write!(out, "\"pc\": {pc}, ");
+            }
+            None => out.push_str("\"pc\": null, "),
+        }
+        match &d.line {
+            Some((module, line)) => {
+                let _ = write!(
+                    out,
+                    "\"line\": {{\"module\": {}, \"line\": {line}}}, ",
+                    json_str(module)
+                );
+            }
+            None => out.push_str("\"line\": null, "),
+        }
+        match &d.handler {
+            Some(h) => {
+                let _ = write!(out, "\"handler\": {}, ", json_str(h));
+            }
+            None => out.push_str("\"handler\": null, "),
+        }
+        let _ = write!(out, "\"message\": {}, ", json_str(&d.message));
+        let _ = write!(out, "\"hint\": {}}}", json_str(&d.hint));
+    }
+    if analysis.diagnostics.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn handler_json(h: &HandlerReport, event: Option<EventKind>, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut s = String::new();
+    s.push_str("{\n");
+    match event.or(h.event) {
+        Some(e) => {
+            let _ = writeln!(s, "{pad}\"event\": {},", json_str(&e.to_string()));
+        }
+        None => {
+            let _ = writeln!(s, "{pad}\"event\": null,");
+        }
+    }
+    match h.entry {
+        Some(e) => {
+            let _ = writeln!(s, "{pad}\"entry\": {e},");
+        }
+        None => {
+            let _ = writeln!(s, "{pad}\"entry\": null,");
+        }
+    }
+    match &h.symbol {
+        Some(sym) => {
+            let _ = writeln!(s, "{pad}\"symbol\": {},", json_str(sym));
+        }
+        None => {
+            let _ = writeln!(s, "{pad}\"symbol\": null,");
+        }
+    }
+    let _ = writeln!(
+        s,
+        "{pad}\"terminates\": {},",
+        json_str(h.terminates.label())
+    );
+    match h.bound {
+        Some(Bound {
+            instructions,
+            energy_pj,
+        }) => {
+            let _ = writeln!(
+                s,
+                "{pad}\"bound\": {{\"instructions\": {instructions}, \"energy_pj\": {}}},",
+                fmt_f64(energy_pj)
+            );
+        }
+        None => {
+            let _ = writeln!(s, "{pad}\"bound\": null,");
+        }
+    }
+    let _ = writeln!(s, "{pad}\"loose\": {},", h.loose);
+    match h.paper_band {
+        Some(band) => {
+            let _ = writeln!(s, "{pad}\"paper_band\": {}", json_str(band.label()));
+        }
+        None => {
+            let _ = writeln!(s, "{pad}\"paper_band\": null");
+        }
+    }
+    let close = " ".repeat(indent.saturating_sub(2));
+    let _ = write!(s, "{close}}}");
+    s
+}
+
+/// Three-decimal fixed formatting keeps snapshots stable across
+/// platforms (no shortest-round-trip float noise).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

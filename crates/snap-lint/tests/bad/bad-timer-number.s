@@ -1,0 +1,5 @@
+; The hardware has timers 0-2; scheduling timer 3 is a hard fault.
+boot:
+    li      r1, 3
+    schedhi r1, r0
+    done

@@ -1,0 +1,6 @@
+; The first li is overwritten before anything reads r1.
+boot:
+    li      r1, 1
+    li      r1, 2
+    mov     r15, r1
+    done

@@ -1,0 +1,5 @@
+; No terminator: execution runs past the end of the image into
+; zero-filled memory.
+boot:
+    li      r1, 1
+    mov     r2, r1

@@ -1,0 +1,5 @@
+; jr through a value loaded from memory: the analysis cannot follow it.
+boot:
+    lw      r1, 0(r0)
+    jr      r1
+    done

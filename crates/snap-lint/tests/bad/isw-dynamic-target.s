@@ -1,0 +1,6 @@
+; isw through a computed address could hit any code word.
+boot:
+    lw      r2, 0(r0)
+    li      r1, 5
+    isw     r1, 0(r2)
+    done

@@ -1,0 +1,13 @@
+; Boot patches the immediate word of a li inside the installed handler.
+boot:
+    li      r1, 7
+    li      r2, h
+    setaddr r1, r2
+    li      r3, 99
+    li      r4, h+1
+    isw     r3, 0(r4)
+    done
+h:
+    li      r5, 5
+    mov     r15, r5
+    done

@@ -1,0 +1,10 @@
+; Soft-event handler with no path to `done`: the activation never
+; completes and the node wedges. (The loop lint is suppressed so this
+; file isolates the termination finding.)
+boot:
+    li      r1, 7
+    li      r2, h
+    setaddr r1, r2
+    done
+h:
+    jmp     h              ; lint:allow(unbounded-loop)

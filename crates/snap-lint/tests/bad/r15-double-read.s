@@ -1,0 +1,11 @@
+; A sensor reply delivers one word; the second pop blocks on an empty
+; FIFO.
+boot:
+    li      r1, 6
+    li      r2, h
+    setaddr r1, r2
+    done
+h:
+    mov     r3, r15
+    mov     r4, r15
+    done

@@ -1,0 +1,5 @@
+; Reading the message port in boot faults: the FIFO is empty at
+; power-on.
+boot:
+    mov     r1, r15
+    done

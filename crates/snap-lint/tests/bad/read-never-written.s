@@ -1,0 +1,5 @@
+; r9 is never written anywhere: it always reads as the power-on zero.
+boot:
+    mov     r3, r9
+    mov     r15, r3
+    done

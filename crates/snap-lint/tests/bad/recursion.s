@@ -1,0 +1,8 @@
+; Self-recursive subroutine: no stack, r14 is a single link register,
+; so the return address is lost and the analysis cannot bound it.
+boot:
+    call    f
+    done
+f:
+    call    f
+    ret                    ; lint:allow(indirect-jump)

@@ -1,0 +1,7 @@
+; setaddr with a computed event number: the handler table cannot be
+; recovered statically.
+boot:
+    lw      r1, 0(r0)
+    li      r2, 0
+    setaddr r1, r2
+    done

@@ -1,0 +1,18 @@
+; Boot posts nine soft events back-to-back; the hardware event queue
+; holds eight, so at least one is dropped.
+boot:
+    li      r1, 7
+    li      r2, h
+    setaddr r1, r2
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    swev    r1
+    done
+h:
+    done

@@ -1,0 +1,11 @@
+; The handler posts timer1 as a software event, but no handler is
+; installed for it: the dispatch would run from address 0.
+boot:
+    li      r1, 7
+    li      r2, h
+    setaddr r1, r2
+    done
+h:
+    li      r3, 1
+    swev    r3
+    done

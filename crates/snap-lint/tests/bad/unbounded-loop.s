@@ -1,0 +1,13 @@
+; Stride-2 countdown tested with bnez: 0 can be stepped over, so the
+; counter may wrap forever and no bound exists.
+boot:
+    li      r1, 7
+    li      r2, h
+    setaddr r1, r2
+    done
+h:
+    lw      r1, 0(r0)
+spin:
+    subi    r1, 2
+    bnez    r1, spin
+    done

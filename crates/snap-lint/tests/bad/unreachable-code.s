@@ -1,0 +1,6 @@
+; Nothing jumps to `orphan` and no handler is installed there.
+boot:
+    done
+orphan:
+    li      r1, 1
+    done

@@ -1,0 +1,91 @@
+//! Each file under `tests/bad/` is a minimal program that triggers
+//! exactly one gating (warning-or-error) lint, named by the file stem.
+
+use snap_energy::OperatingPoint;
+use snap_lint::Severity;
+use std::path::Path;
+
+const EXPECT: &[(&str, Severity)] = &[
+    ("bad-timer-number", Severity::Error),
+    ("dead-store", Severity::Warning),
+    ("falls-off-image", Severity::Error),
+    ("indirect-jump", Severity::Warning),
+    ("isw-dynamic-target", Severity::Warning),
+    ("isw-reachable-code", Severity::Warning),
+    ("no-done-path", Severity::Error),
+    ("r15-double-read", Severity::Warning),
+    ("r15-read-unguarded", Severity::Error),
+    ("read-never-written", Severity::Warning),
+    ("recursion", Severity::Warning),
+    ("setaddr-dynamic", Severity::Warning),
+    ("swev-flood", Severity::Warning),
+    ("swev-uninstalled", Severity::Warning),
+    ("unbounded-loop", Severity::Warning),
+    ("unreachable-code", Severity::Warning),
+];
+
+fn analyze(src: &str) -> snap_lint::Analysis {
+    let program = snap_asm::assemble(src).expect("bad-corpus programs must assemble");
+    snap_lint::analyze_program(&program, OperatingPoint::V0_6)
+}
+
+#[test]
+fn each_bad_program_triggers_exactly_its_lint() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/bad");
+    for (stem, severity) in EXPECT {
+        let path = dir.join(format!("{stem}.s"));
+        let src =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let a = analyze(&src);
+        let gating: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .collect();
+        assert_eq!(
+            gating.len(),
+            1,
+            "{stem}: expected exactly one gating finding, got {gating:#?}"
+        );
+        assert_eq!(gating[0].lint, *stem, "{stem}: wrong lint fired");
+        assert_eq!(gating[0].severity, *severity, "{stem}: wrong severity");
+        assert!(
+            gating[0].pc.is_some() || *stem == "no-done-path" || *stem == "swev-flood",
+            "{stem}: finding should carry a pc"
+        );
+    }
+    // Every corpus file must have an expectation row (and vice versa,
+    // checked by the read above).
+    let on_disk = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "s")
+        })
+        .count();
+    assert_eq!(
+        on_disk,
+        EXPECT.len(),
+        "tests/bad has files not covered by EXPECT"
+    );
+}
+
+#[test]
+fn lint_allow_suppresses_the_marked_line() {
+    let dirty = "boot:\n    li r1, 1\n    li r1, 2\n    mov r15, r1\n    done\n";
+    let clean =
+        "boot:\n    li r1, 1 ; lint:allow(dead-store)\n    li r1, 2\n    mov r15, r1\n    done\n";
+    let a = analyze(dirty);
+    assert!(
+        a.diagnostics.iter().any(|d| d.lint == "dead-store"),
+        "unsuppressed program must report the dead store"
+    );
+    let a = analyze(clean);
+    assert!(
+        !a.diagnostics.iter().any(|d| d.lint == "dead-store"),
+        "lint:allow(dead-store) must silence the diagnostic"
+    );
+}

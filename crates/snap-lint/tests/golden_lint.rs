@@ -1,0 +1,70 @@
+//! Golden `--json` lint-report snapshots for the shipped applications.
+//!
+//! Pins the full `snap-lint-v1` report — handler table, termination
+//! verdicts, bounds, paper-band classification and diagnostics — for
+//! blink, sense and the mac sender at the paper's 0.6 V point. Any
+//! drift in the analyzer, the energy model or the JSON renderer shows
+//! up as a diff.
+//!
+//! Regenerating after an intentional change:
+//!
+//! ```text
+//! SNAP_BLESS=1 cargo test -p snap-lint --test golden_lint
+//! ```
+//!
+//! then review the golden-file diff like any other code change.
+
+use snap_energy::OperatingPoint;
+
+fn check(name: &str, program: &snap_asm::Program) {
+    let a = snap_lint::analyze_program(program, OperatingPoint::V0_6);
+    let text = snap_lint::render_json(&a, name);
+    let path = format!(
+        "{}/tests/golden/{name}.lint.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("SNAP_BLESS").is_some() {
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{name}: cannot read golden file {path}: {e}\n(run with SNAP_BLESS=1 to create it)")
+    });
+    if text != golden {
+        let mismatch = text
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map_or("length".to_string(), |i| format!("line {}", i + 1));
+        panic!(
+            "{name}: lint report differs from golden file at {mismatch}.\n\
+             If the change is intentional, regenerate with:\n\
+             SNAP_BLESS=1 cargo test -p snap-lint --test golden_lint\n\
+             and review the diff of {path}."
+        );
+    }
+}
+
+#[test]
+fn blink_golden_lint() {
+    check("blink", &snap_apps::blink::blink_program().unwrap());
+}
+
+#[test]
+fn sense_golden_lint() {
+    check("sense", &snap_apps::sense::sense_program().unwrap());
+}
+
+#[test]
+fn mac_golden_lint() {
+    let extra = snap_apps::prelude::install_handler("EV_IRQ", "app_send_irq");
+    let app = format!(
+        "{}{}",
+        snap_apps::mac::send_on_irq_app(5),
+        snap_apps::mac::RX_DISPATCH_STUB
+    );
+    check(
+        "mac",
+        &snap_apps::mac::mac_program(2, &extra, &app).unwrap(),
+    );
+}

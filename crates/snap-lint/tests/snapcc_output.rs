@@ -1,0 +1,77 @@
+//! Compiler output must lint clean: `snapcc` programs may be slower
+//! than hand-written handlers (the paper's unoptimized-lcc point) but
+//! they must never trip an error-severity lint.
+
+use snap_energy::OperatingPoint;
+use snap_lint::Severity;
+use snapcc::codegen::{BootEnd, CompileOptions};
+
+/// The `c_handlers` example app: C boot + two event handlers.
+const EVENT_APP: &str = r"
+int avg;
+int samples;
+int log_buf[16];
+int log_pos;
+
+handler tick() {
+    __msg_write(0x3000);
+    __sched(0, 0, 500);
+}
+
+handler reading() {
+    int x = __msg_read();
+    avg = avg + (x - avg) / 8;
+    log_buf[log_pos] = x;
+    log_pos = (log_pos + 1) & 15;
+    samples = samples + 1;
+    __msg_write(0x4000 | (avg >> 5 & 7));
+}
+
+int main() {
+    __setaddr(0, tick);
+    __setaddr(6, reading);
+    __sched(0, 0, 50);
+    return 0;
+}
+";
+
+/// A compute-only program that boots, runs and halts.
+const BATCH_APP: &str = r"
+int out;
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 20; i = i + 1) s = s + i * 3;
+    out = s;
+    return s;
+}
+";
+
+fn assert_no_errors(name: &str, program: &snap_asm::Program) {
+    let a = snap_lint::analyze_program(program, OperatingPoint::V0_6);
+    let errors: Vec<_> = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "{name}: snapcc output tripped error lints: {errors:#?}"
+    );
+}
+
+#[test]
+fn event_driven_c_output_lints_clean() {
+    let options = CompileOptions {
+        end: BootEnd::Done,
+        ..CompileOptions::default()
+    };
+    let program = snapcc::compile_to_program_with(EVENT_APP, options).expect("compiles");
+    assert_no_errors("event app", &program);
+}
+
+#[test]
+fn batch_c_output_lints_clean() {
+    let program = snapcc::compile_to_program(BATCH_APP).expect("compiles");
+    assert_no_errors("batch app", &program);
+}

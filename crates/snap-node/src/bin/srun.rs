@@ -2,7 +2,7 @@
 //! line, with optional instruction tracing.
 //!
 //! ```text
-//! srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c]
+//! srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c]
 //!      [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)
 //! ```
 //!
@@ -10,6 +10,8 @@
 //!   extension), anything else is loaded as a little-endian word image;
 //! * `--ms N` simulates N milliseconds (default 10);
 //! * `--trace` prints every executed instruction with its address;
+//! * `--lint` runs the `snap-lint` static analysis as a preflight and
+//!   refuses to run a program with error-severity findings;
 //! * `--metrics OUT.json` writes a `snap-metrics-v1` report (counters,
 //!   energy attribution, handler distributions — see
 //!   `docs/OBSERVABILITY.md`);
@@ -24,6 +26,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut trace = false;
+    let mut lint = false;
     let mut millis: u64 = 10;
     let mut vdd = String::from("1.8");
     let mut force_c = false;
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
+            "--lint" => lint = true,
             "--c" => force_c = true,
             "--ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => millis = v,
@@ -68,12 +72,48 @@ fn main() -> ExitCode {
     };
 
     // Build the program by input kind.
-    let (imem, dmem) = match load(&path, force_c) {
-        Ok(images) => images,
+    let loaded = match load(&path, force_c) {
+        Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("srun: {e}");
             return ExitCode::FAILURE;
         }
+    };
+
+    if lint {
+        let analysis = match &loaded {
+            Loaded::Program(program) => snap_lint::analyze_program(program, point),
+            Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
+        };
+        for d in &analysis.diagnostics {
+            let loc = match (&d.line, d.pc) {
+                (Some((module, line)), _) => format!("{module}:{line}"),
+                (None, Some(pc)) => format!("pc {pc:#05x}"),
+                (None, None) => String::from("program"),
+            };
+            eprintln!(
+                "srun: lint: {}: {} at {loc}: {}",
+                d.severity.label(),
+                d.lint,
+                d.message
+            );
+        }
+        if !analysis.is_clean() {
+            eprintln!(
+                "srun: {path}: refusing to run with error-severity lint findings \
+                 (run `snap-lint {path}` for the full report)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lint:         clean ({} findings below error severity)",
+            analysis.diagnostics.len()
+        );
+    }
+
+    let (imem, dmem) = match loaded {
+        Loaded::Program(program) => (program.imem_image(), program.dmem_image()),
+        Loaded::Raw { imem, dmem } => (imem, dmem),
     };
 
     let cfg = NodeConfig {
@@ -194,15 +234,22 @@ fn print_distributions(cpu: &snap_core::Processor) {
     println!("handler nJ:   {}", span(&nj));
 }
 
-fn load(path: &str, force_c: bool) -> Result<(Vec<u16>, Vec<u16>), String> {
+/// A loaded input: a full [`snap_asm::Program`] (symbols and source
+/// lines available for `--lint`) or a raw word image.
+enum Loaded {
+    Program(snap_asm::Program),
+    Raw { imem: Vec<u16>, dmem: Vec<u16> },
+}
+
+fn load(path: &str, force_c: bool) -> Result<Loaded, String> {
     if force_c || path.ends_with(".c") {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let program = snapcc::compile_to_program(&src).map_err(|e| format!("{path}: {e}"))?;
-        Ok((program.imem_image(), program.dmem_image()))
+        Ok(Loaded::Program(program))
     } else if path.ends_with(".s") {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let program = snap_asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?;
-        Ok((program.imem_image(), program.dmem_image()))
+        Ok(Loaded::Program(program))
     } else {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         if bytes.len() % 2 != 0 {
@@ -212,7 +259,10 @@ fn load(path: &str, force_c: bool) -> Result<(Vec<u16>, Vec<u16>), String> {
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect();
-        Ok((words, Vec::new()))
+        Ok(Loaded::Raw {
+            imem: words,
+            dmem: Vec::new(),
+        })
     }
 }
 
@@ -221,7 +271,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("srun: {err}");
     }
     eprintln!(
-        "usage: srun [--trace] [--ms N] [--vdd 1.8|0.9|0.6] [--c] \
+        "usage: srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c] \
          [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)"
     );
     if err.is_empty() {

@@ -318,6 +318,29 @@ pub fn run_program(program: &Program, script: &Script, runner: Runner) -> RunRes
     }
 }
 
+/// Run the program on a sampling stepped `Processor` through the
+/// script, returning the finished cpu (for its per-dispatch handler
+/// samples) and the executed-instruction trace. This is the dynamic
+/// side of the `snap-lint` soundness cross-check (see
+/// [`crate::soundness`]): the trace checks static reachability, the
+/// samples check termination verdicts and worst-case bounds.
+pub fn run_core_sampled(
+    program: &Program,
+    script: &Script,
+    retain: usize,
+) -> Result<(Processor, Vec<(u16, Instruction)>), String> {
+    let mut cpu = Processor::new(CoreConfig::default());
+    cpu.enable_sampling(retain);
+    cpu.load_image(0, &program.imem_image())
+        .map_err(|e| e.to_string())?;
+    cpu.load_data(0, &program.dmem_image())
+        .map_err(|e| e.to_string())?;
+    let mut target = CoreTarget { cpu, burst: false };
+    let mut trace = Some(Vec::new());
+    drive_traced(&mut target, script, &mut trace)?;
+    Ok((target.cpu, trace.unwrap_or_default()))
+}
+
 /// Drive a target through the script; returns the ordered action log.
 /// The executed-instruction trace (when requested) is appended to
 /// `trace` by `run_chunk`.

@@ -27,3 +27,4 @@ pub mod diff;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod soundness;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going]
+//!            [--soundness N]
 //! ```
 //!
 //! Fuzz mode generates one program per iteration (iteration `i` uses
@@ -12,6 +13,11 @@
 //!
 //! Repro mode re-runs a previously written `.sasm` file (the embedded
 //! `; !snap-smith` header restores the environment script).
+//!
+//! `--soundness N` runs the `snap-lint` soundness cross-check instead:
+//! N generated programs are statically analyzed and then executed, and
+//! every executed pc, completed dispatch and measured cost is checked
+//! against the static reachability/termination/bound claims.
 
 use snap_smith::diff::check_source;
 use snap_smith::gen::{generate, parse_script};
@@ -22,10 +28,13 @@ struct Options {
     iters: u64,
     repro: Option<String>,
     keep_going: bool,
+    soundness: Option<u64>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going]");
+    eprintln!(
+        "usage: snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going] [--soundness N]"
+    );
     std::process::exit(2);
 }
 
@@ -35,6 +44,7 @@ fn parse_args() -> Options {
         iters: 100,
         repro: None,
         keep_going: false,
+        soundness: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +61,10 @@ fn parse_args() -> Options {
                 opts.repro = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--keep-going" => opts.keep_going = true,
+            "--soundness" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.soundness = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -84,6 +98,22 @@ fn main() {
     let opts = parse_args();
     if let Some(path) = &opts.repro {
         std::process::exit(run_repro(path));
+    }
+    if let Some(iters) = opts.soundness {
+        match snap_smith::soundness::run(opts.seed, iters) {
+            Ok(r) => {
+                println!(
+                    "{} seeds: lint soundness holds ({} pcs, {} samples checked; \
+                     {} run failures, {} degraded analyses)",
+                    r.seeds, r.pcs_checked, r.samples_checked, r.run_failures, r.degraded
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("LINT SOUNDNESS VIOLATION: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut divergences = 0u64;

@@ -1,0 +1,173 @@
+//! Dynamic soundness cross-check for `snap-lint`.
+//!
+//! The static analyzer makes three claims a real execution can refute:
+//!
+//! 1. **Reachability** — every executed instruction address must be in
+//!    the analysis' reachable set (unless the analysis degraded and
+//!    said so);
+//! 2. **Termination** — a handler whose verdict is `Never` must never
+//!    complete a dispatch;
+//! 3. **Bounds** — no completed dispatch of a bounded handler may
+//!    execute more dynamic instructions, or consume more energy, than
+//!    its static worst-case bound.
+//!
+//! Each seed generates a random program + environment script (the same
+//! generator the differential fuzzer uses), runs it on a sampling
+//! `Processor`, and checks every retained dispatch sample and every
+//! traced pc against the static report. Any violation is a bug in the
+//! analyzer — the fuzzer found programs the app suite never writes.
+
+use crate::diff::run_core_sampled;
+use crate::gen::generate;
+use snap_energy::OperatingPoint;
+use snap_isa::EventKind;
+use snap_lint::Termination;
+
+/// What one seed contributed to the cross-check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeedStats {
+    /// Executed pcs checked against the reachable set.
+    pub pcs_checked: u64,
+    /// Completed dispatch samples checked against verdicts/bounds.
+    pub samples_checked: u64,
+    /// True when the run ended in a fault/stall and only static
+    /// analysis ran (nothing dynamic to compare).
+    pub run_failed: bool,
+    /// True when the analysis degraded (reachability and bounds make
+    /// no whole-program claim, so only termination-`Never` is checked).
+    pub degraded: bool,
+}
+
+/// Aggregate over a whole soundness run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoundnessReport {
+    /// Seeds processed.
+    pub seeds: u64,
+    /// Seeds whose dynamic run faulted or stalled.
+    pub run_failures: u64,
+    /// Seeds whose analysis degraded.
+    pub degraded: u64,
+    /// Total executed pcs checked.
+    pub pcs_checked: u64,
+    /// Total dispatch samples checked.
+    pub samples_checked: u64,
+}
+
+impl SoundnessReport {
+    fn absorb(&mut self, s: SeedStats) {
+        self.seeds += 1;
+        self.run_failures += u64::from(s.run_failed);
+        self.degraded += u64::from(s.degraded);
+        self.pcs_checked += s.pcs_checked;
+        self.samples_checked += s.samples_checked;
+    }
+}
+
+/// Cross-check one seed. `Err` describes a soundness violation —
+/// always an analyzer bug, never an acceptable outcome.
+pub fn check_seed(seed: u64) -> Result<SeedStats, String> {
+    let case = generate(seed);
+    let program = snap_asm::assemble(&case.source)
+        .map_err(|e| format!("seed {seed}: generated program does not assemble: {e}"))?;
+    // The energy bound must be computed at the operating point the run
+    // uses (`CoreConfig::default()` is the 1.8 V bring-up point).
+    let analysis = snap_lint::analyze_program(&program, OperatingPoint::V1_8);
+
+    let mut stats = SeedStats {
+        degraded: analysis.degraded,
+        ..SeedStats::default()
+    };
+    let (cpu, trace) = match run_core_sampled(&program, &case.script, 1 << 14) {
+        Ok(out) => out,
+        Err(_) => {
+            // A faulting or stalled program still type-checked the
+            // analyzer, but leaves nothing dynamic to compare.
+            stats.run_failed = true;
+            return Ok(stats);
+        }
+    };
+
+    // Claim 1: reachability covers every executed pc.
+    if !analysis.degraded {
+        for &(pc, ins) in &trace {
+            if !analysis.reachable.contains(&pc) {
+                return Err(format!(
+                    "seed {seed}: executed {ins} at {pc:#05x}, which the \
+                     analysis called unreachable"
+                ));
+            }
+            stats.pcs_checked += 1;
+        }
+    }
+
+    // Claims 2 and 3: per-dispatch samples against verdicts and bounds.
+    let samples = cpu.sampler().map(|s| s.samples()).unwrap_or_default();
+    for sample in samples {
+        let idx = EventKind::ALL
+            .iter()
+            .position(|&e| e == sample.event)
+            .expect("sample event is in the table");
+        let report = &analysis.handlers[idx];
+        if report.entry.is_none() {
+            // Dispatched through the power-on default entry; the static
+            // report makes no claim about it.
+            continue;
+        }
+        if report.terminates == Termination::Never {
+            return Err(format!(
+                "seed {seed}: {} handler completed a dispatch of {} \
+                 instructions but the analysis proved it can never reach done",
+                sample.event, sample.instructions
+            ));
+        }
+        if analysis.degraded {
+            continue;
+        }
+        if let Some(bound) = report.bound {
+            if sample.instructions > bound.instructions {
+                return Err(format!(
+                    "seed {seed}: {} handler ran {} instructions, above the \
+                     static worst-case bound of {}",
+                    sample.event, sample.instructions, bound.instructions
+                ));
+            }
+            let pj = sample.energy.as_pj();
+            if pj > bound.energy_pj * (1.0 + 1e-9) + 1e-6 {
+                return Err(format!(
+                    "seed {seed}: {} handler consumed {pj:.3} pJ, above the \
+                     static worst-case bound of {:.3} pJ",
+                    sample.event, bound.energy_pj
+                ));
+            }
+            stats.samples_checked += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Cross-check `iters` consecutive seeds starting at `seed`. Returns
+/// the aggregate report or the first violation.
+pub fn run(seed: u64, iters: u64) -> Result<SoundnessReport, String> {
+    let mut report = SoundnessReport::default();
+    for i in 0..iters {
+        report.absorb(check_seed(seed.wrapping_add(i))?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_soundness_sweep() {
+        // CI runs the full >=500-seed sweep via the snap-smith binary;
+        // this keeps a fast canary in `cargo test`.
+        let report = run(1, 40).unwrap_or_else(|e| panic!("soundness violation: {e}"));
+        assert_eq!(report.seeds, 40);
+        assert!(
+            report.pcs_checked > 0,
+            "sweep never compared a trace: {report:?}"
+        );
+    }
+}

@@ -85,6 +85,15 @@ pub enum CompileError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// A compiler invariant was violated. Reported as a diagnostic
+    /// instead of aborting the process, so a driver (srun, xtask) can
+    /// attribute it to the input file and keep going.
+    Internal {
+        /// The invariant that did not hold.
+        what: &'static str,
+        /// The construct being compiled when it broke.
+        context: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -103,6 +112,12 @@ impl fmt::Display for CompileError {
             CompileError::NoMain => write!(f, "no `main` function"),
             CompileError::NotInLoop(kw) => write!(f, "`{kw}` outside a loop"),
             CompileError::BadIntrinsic { name, reason } => write!(f, "`{name}`: {reason}"),
+            CompileError::Internal { what, context } => {
+                write!(
+                    f,
+                    "internal: {what} while compiling {context} (please report)"
+                )
+            }
         }
     }
 }
@@ -334,7 +349,12 @@ impl Gen {
                     }
                 };
                 ctx.max_slots = ctx.max_slots.max(ctx.next_slot);
-                let scope = ctx.vars.last_mut().expect("scope stack nonempty");
+                let Some(scope) = ctx.vars.last_mut() else {
+                    return Err(CompileError::Internal {
+                        what: "local declared with no open scope",
+                        context: format!("`{name}`"),
+                    });
+                };
                 if scope.insert(name.clone(), storage).is_some() {
                     return Err(CompileError::Duplicate(name.clone()));
                 }
@@ -660,7 +680,15 @@ impl Gen {
                         self.emit("    sltiu   r1, 1");
                         self.emit("    xori    r1, 1");
                     }
-                    BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+                    // Short-circuit operators are lowered by the
+                    // dedicated arms above; reaching here means the
+                    // dispatch order broke.
+                    BinOp::LAnd | BinOp::LOr => {
+                        return Err(CompileError::Internal {
+                            what: "short-circuit operator reached strict lowering",
+                            context: format!("`{op:?}`"),
+                        })
+                    }
                 }
                 Ok(())
             }
@@ -1303,5 +1331,48 @@ mod tests {
             frac > 0.2,
             "load/store fraction {frac} should be large (naive codegen)"
         );
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        // Regression: every error path in the pipeline must surface as
+        // a diagnostic, never a process abort, so drivers (srun --lint,
+        // xtask) can attribute the failure to the input file.
+        let broken = [
+            "int main() { return }",
+            "int main() { { int x = 1; } return x; }",
+            "int main() { int a = (1 ",
+            "int main() { break; }",
+            "int main() { int a; int a; return 0; }",
+            "int main() { return g(); }",
+            "}{",
+            "int main() { 1 = 2; }",
+        ];
+        for src in broken {
+            let err = compile_to_program(src)
+                .expect_err("malformed input must fail")
+                .to_string();
+            assert!(!err.is_empty(), "{src:?} must carry a message");
+        }
+        // Parse errors carry the offending source line.
+        let err = compile_to_program("int main()\n{\n  return\n}\n").unwrap_err();
+        assert!(
+            err.to_string().contains("line"),
+            "parse diagnostics carry line info: {err}"
+        );
+    }
+
+    #[test]
+    fn short_circuit_operators_use_dedicated_lowering() {
+        // Regression for the strict-lowering guard: `&&`/`||` must hit
+        // the short-circuit arms in every expression position.
+        assert_eq!(run_c("int main() { return 1 && 2; }"), 1);
+        assert_eq!(run_c("int main() { return 0 || 3 && 1; }"), 1);
+        assert_eq!(
+            run_c("int main() { int x = (1 || 0) + (1 && 1); return x; }"),
+            2
+        );
+        // Divide-by-zero on the right of && must never run.
+        assert_eq!(run_c("int main() { int z = 0; return 0 && (1 / z); }"), 0);
     }
 }

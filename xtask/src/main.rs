@@ -4,7 +4,13 @@
 //! cargo xtask loc                         # lines of code per tree
 //! cargo xtask validate-metrics FILE...    # check snap-metrics-v1 reports
 //! cargo xtask validate-trace FILE...      # check Chrome trace_event files
+//! cargo xtask lint-asm [--strict] [FILE...]  # snap-lint over assembly
 //! ```
+//!
+//! `lint-asm` without files runs the built-in applications plus every
+//! checked-in `.s`/`.sasm` source under `examples/` and `crates/`
+//! (excluding the intentionally-bad lint corpus) through `snap-lint`
+//! and fails on error-severity findings (`--strict`: warnings too).
 //!
 //! The validators enforce the schema documented in
 //! `docs/OBSERVABILITY.md` (via `snap_telemetry::schema`); CI runs them
@@ -80,6 +86,141 @@ fn validate_files(
     }
 }
 
+/// Collect every checked-in assembly source under `dir`, skipping the
+/// intentionally-bad lint corpus (`crates/snap-lint/tests/bad/`).
+fn asm_sources(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for e in rd.flatten() {
+        let path = e.path();
+        if path.is_dir() {
+            if path.ends_with("tests/bad") {
+                continue;
+            }
+            asm_sources(&path, out);
+        } else if path.extension().is_some_and(|x| x == "s" || x == "sasm") {
+            out.push(path);
+        }
+    }
+}
+
+fn lint_asm(args: &[String]) -> ExitCode {
+    let mut strict = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--strict" => strict = true,
+            f => files.push(f.to_string()),
+        }
+    }
+    let gate = if strict {
+        snap_lint::Severity::Warning
+    } else {
+        snap_lint::Severity::Error
+    };
+    let mut failed = false;
+    // Returns true when the program passes the gate.
+    let check = |name: &str, analysis: &snap_lint::Analysis| -> bool {
+        let mut gating = 0;
+        for d in &analysis.diagnostics {
+            if d.severity < snap_lint::Severity::Warning {
+                continue;
+            }
+            let loc = match (&d.line, d.pc) {
+                (Some((module, line)), _) => format!("{module}:{line}"),
+                (None, Some(pc)) => format!("pc {pc:#05x}"),
+                (None, None) => String::from("program"),
+            };
+            eprintln!(
+                "{name}: {}: {} at {loc}: {}",
+                d.severity.label(),
+                d.lint,
+                d.message
+            );
+            if d.severity >= gate {
+                gating += 1;
+            }
+        }
+        if gating > 0 {
+            eprintln!("{name}: FAILED ({gating} gating findings)");
+            false
+        } else {
+            println!("{name}: ok (lint)");
+            true
+        }
+    };
+
+    let point = snap_energy::OperatingPoint::V0_6;
+    if files.is_empty() {
+        // The built-in applications (assembled from Rust string
+        // constants, so no on-disk .s file covers them).
+        let mac = {
+            let extra = snap_apps::prelude::install_handler("EV_IRQ", "app_send_irq");
+            let app = format!(
+                "{}{}",
+                snap_apps::mac::send_on_irq_app(5),
+                snap_apps::mac::RX_DISPATCH_STUB
+            );
+            snap_apps::mac::mac_program(2, &extra, &app)
+        };
+        let builtins = [
+            ("builtin:blink", snap_apps::blink::blink_program()),
+            ("builtin:sense", snap_apps::sense::sense_program()),
+            ("builtin:mac-send", mac),
+            (
+                "builtin:temperature",
+                snap_apps::apps::temperature_program(),
+            ),
+            ("builtin:threshold", snap_apps::apps::threshold_program(1)),
+        ];
+        for (name, program) in builtins {
+            match program {
+                Ok(p) => {
+                    if !check(name, &snap_lint::analyze_program(&p, point)) {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: does not assemble: {e}");
+                    failed = true;
+                }
+            }
+        }
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+        let mut sources = Vec::new();
+        for sub in ["examples", "crates"] {
+            asm_sources(&root.join(sub), &mut sources);
+        }
+        sources.sort();
+        for path in sources {
+            files.push(path.to_string_lossy().into_owned());
+        }
+    }
+    for file in &files {
+        match fs::read_to_string(file) {
+            Ok(src) => match snap_asm::assemble(&src) {
+                Ok(p) => {
+                    if !check(file, &snap_lint::analyze_program(&p, point)) {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{file}: does not assemble: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -93,9 +234,13 @@ fn main() -> ExitCode {
         Some("validate-trace") => {
             validate_files("trace", &args[1..], snap_telemetry::validate_chrome_trace)
         }
+        Some("lint-asm") => lint_asm(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
-            eprintln!("tasks: loc, validate-metrics FILE..., validate-trace FILE...");
+            eprintln!(
+                "tasks: loc, validate-metrics FILE..., validate-trace FILE..., \
+                 lint-asm [--strict] [FILE...]"
+            );
             ExitCode::FAILURE
         }
     }
