@@ -12,7 +12,7 @@ use snap_asm::{assemble_modules, Program};
 use snap_core::{CoreConfig, Processor};
 use snap_isa::{AluImmOp, AluOp, Instruction, Reg};
 use snap_net::{NetworkSim, Position, Scheduler, Stimulus, TraceMode};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Baseline timings measured on this tree immediately before the
 /// fast-path changes (predecoded IMEM, persistent worker pool, cached
@@ -211,6 +211,276 @@ fn run_net_sparse(programs: &[Program], scheduler: Scheduler) -> Workload {
     network_workload(&sim)
 }
 
+/// Duty-cycle period for grid sleepers, in timer ticks (µs).
+const GRID_PERIOD_TICKS: u16 = 2_000;
+/// MAC nodes per radio cluster in the grid scenarios (strung along a
+/// grid row, 8 m apart — with spatial sharding a cluster spans several
+/// cells, so its deliveries cross shard boundaries).
+const GRID_MAC_NODES: usize = 6;
+/// Independent MAC clusters, spread across the grid on evenly spaced
+/// rows. Clusters sit far outside each other's radio range, so all of
+/// them reuse the same six MAC programs (addresses only have to be
+/// unique within earshot) and their traffic stays cluster-local — but
+/// a single shared calendar still pays a global scheduling boundary
+/// for every cluster's channel events.
+const GRID_CLUSTERS: usize = 10;
+/// Shard count for the sharded grid runs. On one core the curve
+/// flattens past ~64 shards (smaller per-shard calendars, same total
+/// work); with worker threads available the pool runs shards in
+/// parallel, so a generous count also leaves headroom for multi-core
+/// hosts.
+const GRID_SHARDS: usize = 64;
+/// Grid scenario sizes: (width, height, simulated ms).
+const GRID_10K: (usize, usize, u64) = (100, 100, 10);
+const GRID_100K: (usize, usize, u64) = (400, 250, 10);
+const GRID_1M: (usize, usize, u64) = (1_000, 1_000, 10);
+
+/// The shared grid sleeper. Every filler node runs this same image —
+/// program memory and the decode cache stay copy-on-write across the
+/// whole fleet — and per-node phase comes from a staggered one-shot
+/// `SensorIrq` that starts the periodic timer, so a million sleepers
+/// wake at a million distinct instants without a million programs.
+///
+/// The timer handler is a realistic sensing tick, not a bare re-arm:
+/// count the tick, derive a synthetic sample, run it through an EWMA
+/// filter and a running accumulator, then re-arm. Handler length is
+/// what separates the schedulers — a single shared calendar must chop
+/// every running burst at each other node's wake instant (~one window
+/// round-trip per instruction once wakes are denser than the
+/// instruction time), while shard epochs run each burst to completion
+/// in one call.
+fn grid_sleeper_program() -> Program {
+    let app = format!(
+        r"
+.data
+ticks: .word 0
+ewma:  .word 0
+acc:   .word 0
+h0:    .word 0
+h1:    .word 0
+h2:    .word 0
+h3:    .word 0
+smooth: .word 0
+
+.text
+duty_timer:
+    lw      r2, ticks(r0)
+    addi    r2, 1
+    sw      r2, ticks(r0)
+    lw      r3, ewma(r0)
+    mov     r4, r2
+    slli    r4, 3
+    xor     r4, r2
+    add     r3, r4
+    srli    r3, 1
+    sw      r3, ewma(r0)
+    lw      r5, acc(r0)
+    add     r5, r3
+    sw      r5, acc(r0)
+; 4-tap moving average over the filtered history
+    lw      r4, h0(r0)
+    lw      r5, h1(r0)
+    lw      r6, h2(r0)
+    lw      r7, h3(r0)
+    sw      r3, h0(r0)
+    sw      r4, h1(r0)
+    sw      r5, h2(r0)
+    sw      r6, h3(r0)
+    add     r4, r5
+    add     r6, r7
+    add     r4, r6
+    srli    r4, 2
+    sw      r4, smooth(r0)
+    li      r1, 0
+    schedhi r1, r0
+    li      r2, {GRID_PERIOD_TICKS}
+    schedlo r1, r2
+    done
+
+; staggered kick: the scheduled SensorIrq lands here once and starts
+; the periodic timer at this node's own phase
+kick_timer:
+    li      r1, 0
+    schedhi r1, r0
+    li      r2, {GRID_PERIOD_TICKS}
+    schedlo r1, r2
+    done
+"
+    );
+    let mut boot = String::from("boot:\n");
+    boot.push_str(&install_handler("EV_TIMER0", "duty_timer"));
+    boot.push_str(&install_handler("EV_IRQ", "kick_timer"));
+    boot.push_str("    done\n");
+    assemble_modules(&[("prelude.s", PRELUDE), ("boot.s", &boot), ("grid.s", &app)])
+        .expect("grid program assembles")
+}
+
+/// Pre-assembled programs for the grid scenarios.
+struct GridPrograms {
+    mac: Vec<Program>,
+    sleeper: Program,
+}
+
+fn grid_programs() -> GridPrograms {
+    let mut mac = Vec::with_capacity(GRID_MAC_NODES);
+    for i in 0..GRID_MAC_NODES {
+        let dst = if i + 1 == GRID_MAC_NODES { 1 } else { i + 2 } as u8;
+        let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        mac.push(mac_program(i as u8 + 1, &extra, &app).expect("assembles"));
+    }
+    GridPrograms {
+        mac,
+        sleeper: grid_sleeper_program(),
+    }
+}
+
+/// Build one W×H grid fleet: `GRID_CLUSTERS` 6-node MAC clusters on
+/// evenly spaced rows plus duty-cycled sleepers on the remaining grid
+/// slots (8 m pitch), each sleeper's periodic timer started by a kick
+/// IRQ staggered across one full period — so wake instants are spread
+/// ~uniformly instead of beating in sync.
+fn build_grid(
+    (width, height, sim_ms): (usize, usize, u64),
+    scheduler: Scheduler,
+    shards: usize,
+    programs: &GridPrograms,
+) -> NetworkSim {
+    let mut sim = NetworkSim::new(12.0);
+    sim.set_scheduler(scheduler);
+    sim.set_shards(shards);
+    sim.set_trace_mode(TraceMode::CountOnly);
+    let cluster_rows: Vec<usize> = (0..GRID_CLUSTERS)
+        .map(|c| c * height / GRID_CLUSTERS)
+        .collect();
+    let mut mac_ids = Vec::with_capacity(GRID_CLUSTERS * GRID_MAC_NODES);
+    let mut mac_slots = std::collections::HashSet::new();
+    for &row in &cluster_rows {
+        for (i, prog) in programs.mac.iter().enumerate() {
+            mac_slots.insert(row * width + i);
+            mac_ids.push(sim.add_node(prog, Position::new(i as f64 * 8.0, row as f64 * 8.0)));
+        }
+    }
+    let filler = width * height - mac_slots.len();
+    let ids = sim.add_nodes_from(
+        &programs.sleeper,
+        CoreConfig::default(),
+        (0..width * height)
+            .filter(move |slot| !mac_slots.contains(slot))
+            .map(move |slot| {
+                Position::new((slot % width) as f64 * 8.0, (slot / width) as f64 * 8.0)
+            }),
+    );
+    // Every cluster bursts every 5 ms for the whole run. The 700 µs
+    // sender stagger is deliberately less than one word time (833 µs):
+    // each ring has hidden terminals (node 3 cannot hear node 1), so
+    // bursts collide and CSMA retries keep the channel churning for
+    // most of the run — the contended regime where a single shared
+    // calendar pays for every channel event fleet-wide. Retries need
+    // a few word times to drain, so horizons shorter than ~10 ms can
+    // end before any word lands. The 137 µs per-cluster skew keeps the
+    // clusters' (otherwise identical, deterministic) retry schedules
+    // from coinciding: ten clusters mean ten distinct sets of channel
+    // instants, as they would from independent real deployments.
+    for burst in 0..sim_ms.div_ceil(5) {
+        for (i, id) in mac_ids.iter().enumerate() {
+            let (cluster, member) = (i / GRID_MAC_NODES, (i % GRID_MAC_NODES) as u64);
+            let at = SimTime::ZERO
+                + SimDuration::from_us(1_000 + burst * 5_000 + 137 * cluster as u64 + 700 * member);
+            sim.schedule(*id, at, Stimulus::SensorIrq);
+        }
+    }
+    // Staggered kicks: phases spread across exactly one period.
+    let period_ns = u64::from(GRID_PERIOD_TICKS) * 1_000;
+    for (i, id) in ids.into_iter().enumerate() {
+        let phase = SimDuration::from_ns(i as u64 * period_ns / filler as u64);
+        sim.schedule(
+            id,
+            SimTime::ZERO + SimDuration::from_us(1_000) + phase,
+            Stimulus::SensorIrq,
+        );
+    }
+    sim
+}
+
+/// Resident-set size in bytes (`/proc/self/statm`; 0 where absent).
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1)?.parse::<u64>().ok())
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// Hand-timed grid measurement. The fleet build (node cloning, kick
+/// scheduling) is setup and stays outside the timed region; only
+/// `run_until` is measured. When `reps > 1` an extra untimed warm-up
+/// run goes first and is excluded from the stats — the first run in a
+/// fresh process pays one-off costs (allocator arena growth, page
+/// faults for the copy-on-write node clones) that would otherwise
+/// pollute the mean. RSS growth across the first (cold) build gives
+/// the `bytes_per_node` memory column.
+struct GridTiming {
+    min_us: f64,
+    median_us: f64,
+    mean_us: f64,
+    reps: u64,
+    work: Workload,
+    bytes_per_node: u64,
+    deliveries: u64,
+    collisions: u64,
+}
+
+fn time_grid(
+    size: (usize, usize, u64),
+    scheduler: Scheduler,
+    shards: usize,
+    reps: u64,
+    programs: &GridPrograms,
+) -> GridTiming {
+    let mut times = Vec::with_capacity(reps as usize);
+    let mut work = (0u64, 0.0f64);
+    let mut bytes_per_node = 0u64;
+    let (mut deliveries, mut collisions) = (0u64, 0u64);
+    let warmup = u64::from(reps > 1);
+    for rep in 0..reps.max(1) + warmup {
+        let before = rss_bytes();
+        let mut sim = build_grid(size, scheduler, shards, programs);
+        if rep == 0 {
+            bytes_per_node = rss_bytes().saturating_sub(before) / (size.0 * size.1) as u64;
+        }
+        let rss_built = rss_bytes();
+        let start = Instant::now();
+        sim.run_until(SimTime::ZERO + SimDuration::from_ms(size.2))
+            .expect("grid runs");
+        if rep >= warmup {
+            times.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        if rep == 0 && std::env::var_os("GRID_RSS_DEBUG").is_some() {
+            eprintln!(
+                "grid {}x{}: rss {} MB built, {} MB after run",
+                size.0,
+                size.1,
+                rss_built / (1 << 20),
+                rss_bytes() / (1 << 20)
+            );
+        }
+        deliveries = sim.channel().deliveries();
+        collisions = sim.channel().collisions();
+        work = network_workload(&sim);
+    }
+    times.sort_by(f64::total_cmp);
+    GridTiming {
+        min_us: times[0],
+        median_us: times[times.len() / 2],
+        mean_us: times.iter().sum::<f64>() / times.len() as f64,
+        reps: times.len() as u64,
+        work,
+        bytes_per_node,
+        deliveries,
+        collisions,
+    }
+}
+
 fn bench_core(c: &mut Criterion) {
     let prog = core_loop_program();
     c.bench_function("simulate_30k_instructions", |b| {
@@ -231,8 +501,114 @@ fn bench_net(c: &mut Criterion) {
 
 criterion_group!(benches, bench_core, bench_net);
 
+/// One scenario row of the hand-rolled JSON report.
+struct Entry {
+    name: &'static str,
+    baseline_us: f64,
+    min_us: f64,
+    median_us: f64,
+    mean_us: f64,
+    iterations: u64,
+    work: Workload,
+    /// RSS growth per node during fleet build (grid scenarios only).
+    bytes_per_node: Option<u64>,
+    /// Free-text caveat (e.g. baseline provenance at extreme scale).
+    note: Option<&'static str>,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        let (instructions, energy_pj) = self.work;
+        let mut s = format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"baseline_us\": {:.1},\n",
+                "      \"current_us\": {:.1},\n",
+                "      \"min_us\": {:.1},\n",
+                "      \"median_us\": {:.1},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"iterations\": {},\n",
+                "      \"instructions\": {},\n",
+                "      \"energy_pj\": {:.1},\n",
+                "      \"pj_per_instruction\": {:.2}"
+            ),
+            self.name,
+            self.baseline_us,
+            self.mean_us,
+            self.min_us,
+            self.median_us,
+            self.baseline_us / self.mean_us,
+            self.iterations,
+            instructions,
+            energy_pj,
+            energy_pj / instructions as f64,
+        );
+        if let Some(bytes) = self.bytes_per_node {
+            s.push_str(&format!(",\n      \"bytes_per_node\": {bytes}"));
+        }
+        if let Some(note) = self.note {
+            s.push_str(&format!(",\n      \"note\": \"{note}\""));
+        }
+        s.push_str("\n    }");
+        s
+    }
+}
+
+fn summary_entry(
+    name: &'static str,
+    baseline_us: f64,
+    s: criterion::Summary,
+    work: Workload,
+) -> Entry {
+    Entry {
+        name,
+        baseline_us,
+        min_us: s.min.as_secs_f64() * 1e6,
+        median_us: s.median.as_secs_f64() * 1e6,
+        mean_us: s.mean.as_secs_f64() * 1e6,
+        iterations: s.iterations,
+        work,
+        bytes_per_node: None,
+        note: None,
+    }
+}
+
+/// Measure one grid scenario: the sharded engine (`reps` runs) against
+/// a single sequential event-driven run of the same tree as baseline.
+/// A single baseline rep is conservative — it runs warm, after the
+/// sharded reps have paged everything in.
+fn grid_entry(
+    name: &'static str,
+    size: (usize, usize, u64),
+    reps: u64,
+    programs: &GridPrograms,
+) -> Entry {
+    let sharded = time_grid(size, Scheduler::Sharded, GRID_SHARDS, reps, programs);
+    let sequential = time_grid(size, Scheduler::EventDriven, 1, 1, programs);
+    assert!(sharded.deliveries > 0, "cluster must carry traffic");
+    assert_eq!(
+        (sharded.deliveries, sharded.collisions),
+        (sequential.deliveries, sequential.collisions),
+        "engines disagree on channel counters"
+    );
+    Entry {
+        name,
+        baseline_us: sequential.min_us,
+        min_us: sharded.min_us,
+        median_us: sharded.median_us,
+        mean_us: sharded.mean_us,
+        iterations: sharded.reps,
+        work: sharded.work,
+        bytes_per_node: Some(sharded.bytes_per_node),
+        note: None,
+    }
+}
+
 /// Measure the regression scenarios and write the report to `path`.
-fn run_json(measurement: Duration, path: &std::path::Path) {
+/// `full_grids` adds the 100k- and 1M-node scenarios (minutes of
+/// wall time); the check path stops at the 10k grid.
+fn run_json(measurement: Duration, path: &std::path::Path, full_grids: bool) {
     let mut c = Criterion::default().measurement_time(measurement);
     let prog = core_loop_program();
     let core = c.measure_function(&mut |b: &mut Bencher| b.iter(|| run_core_loop(&prog)));
@@ -248,57 +624,45 @@ fn run_json(measurement: Duration, path: &std::path::Path) {
     let net_work = run_net_mesh();
     let sparse_work = run_net_sparse(&programs, Scheduler::EventDriven);
 
-    let core_us = core.mean.as_secs_f64() * 1e6;
-    let net_us = net.mean.as_secs_f64() * 1e6;
-    let sparse_us = sparse.mean.as_secs_f64() * 1e6;
-    let entry = |name: &str, baseline_us: f64, current_us: f64, iters: u64, work: Workload| {
-        let (instructions, energy_pj) = work;
-        format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"baseline_us\": {:.1},\n",
-                "      \"current_us\": {:.1},\n",
-                "      \"speedup\": {:.2},\n",
-                "      \"iterations\": {},\n",
-                "      \"instructions\": {},\n",
-                "      \"energy_pj\": {:.1},\n",
-                "      \"pj_per_instruction\": {:.2}\n",
-                "    }}"
-            ),
-            name,
-            baseline_us,
-            current_us,
-            baseline_us / current_us,
-            iters,
-            instructions,
-            energy_pj,
-            energy_pj / instructions as f64,
-        )
-    };
-    let json = format!(
-        "{{\n  \"bench\": \"sim_speed\",\n  \"vdd_v\": 1.8,\n  \"scenarios\": [\n{},\n{},\n{}\n  ]\n}}\n",
-        entry(
+    let grid_programs = grid_programs();
+    let mut entries = vec![
+        summary_entry(
             "simulate_30k_instructions",
             BASELINE_30K_US,
-            core_us,
-            core.iterations,
-            core_work
+            core,
+            core_work,
         ),
-        entry(
-            "net_speed_25_node_mesh",
-            BASELINE_NET_US,
-            net_us,
-            net.iterations,
-            net_work
-        ),
-        entry(
+        summary_entry("net_speed_25_node_mesh", BASELINE_NET_US, net, net_work),
+        summary_entry(
             "net_sparse_256",
             BASELINE_SPARSE_LOCKSTEP_US,
-            sparse_us,
-            sparse.iterations,
-            sparse_work
+            sparse,
+            sparse_work,
         ),
+        grid_entry("net_grid_10k", GRID_10K, 3, &grid_programs),
+    ];
+    if full_grids {
+        entries.push(grid_entry("net_grid_100k", GRID_100K, 3, &grid_programs));
+        // At a million nodes the sequential baseline would take far
+        // longer than the measurement is worth; the 10k/100k rows
+        // establish the scaling, this row proves the size runs.
+        let m = time_grid(GRID_1M, Scheduler::Sharded, GRID_SHARDS, 1, &grid_programs);
+        entries.push(Entry {
+            name: "net_grid_1m",
+            baseline_us: m.min_us,
+            min_us: m.min_us,
+            median_us: m.median_us,
+            mean_us: m.mean_us,
+            iterations: m.reps,
+            work: m.work,
+            bytes_per_node: Some(m.bytes_per_node),
+            note: Some("sequential baseline not measured at this scale; speedup vs itself"),
+        });
+    }
+    let rows: Vec<String> = entries.iter().map(Entry::to_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sim_speed\",\n  \"vdd_v\": 1.8,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
     );
     std::fs::write(path, &json).expect("write bench report");
     print!("{json}");
@@ -315,18 +679,36 @@ fn report_path() -> std::path::PathBuf {
 /// report-format rot without paying full measurement time.
 fn run_check() {
     // A throwaway path: the smoke run's few-iteration timings must not
-    // clobber the recorded repo-root report.
+    // clobber the recorded repo-root report. The grid coverage is the
+    // scaled-down 10k scenario only; 100k/1m stay out of CI budgets.
     let path = std::env::temp_dir().join("BENCH_sim_speed.check.json");
-    run_json(Duration::from_millis(1), &path);
+    run_json(Duration::from_millis(1), &path, false);
     let json = std::fs::read_to_string(&path).expect("read back bench report");
-    validate_report(&json);
+    validate_report(&json, false);
     println!("bench check ok: {} is well-formed", path.display());
+}
+
+/// Scenario names expected in a report; grid scenarios additionally
+/// carry a `bytes_per_node` column.
+fn expected_scenarios(full_grids: bool) -> (Vec<&'static str>, usize) {
+    let mut names = vec![
+        "simulate_30k_instructions",
+        "net_speed_25_node_mesh",
+        "net_sparse_256",
+        "net_grid_10k",
+    ];
+    let mut grids = 1;
+    if full_grids {
+        names.extend(["net_grid_100k", "net_grid_1m"]);
+        grids += 2;
+    }
+    (names, grids)
 }
 
 /// Minimal structural validation of the hand-rolled report (the
 /// workspace has no JSON parser by design): balanced braces/brackets,
-/// every scenario present, every speedup a finite positive number.
-fn validate_report(json: &str) {
+/// every scenario present, every numeric field finite and positive.
+fn validate_report(json: &str, full_grids: bool) {
     let mut depth = 0i32;
     for ch in json.chars() {
         match ch {
@@ -339,32 +721,44 @@ fn validate_report(json: &str) {
         }
     }
     assert_eq!(depth, 0, "unbalanced braces in report");
-    for name in [
-        "simulate_30k_instructions",
-        "net_speed_25_node_mesh",
-        "net_sparse_256",
-    ] {
+    let (names, grids) = expected_scenarios(full_grids);
+    for name in &names {
         assert!(
             json.contains(&format!("\"name\": \"{name}\"")),
             "scenario {name} missing from report"
         );
     }
-    for field in ["speedup", "instructions", "energy_pj", "pj_per_instruction"] {
-        let values: Vec<f64> = json
-            .lines()
+    let count_of = |field: &str| -> Vec<f64> {
+        json.lines()
             .filter_map(|l| l.trim().strip_prefix(&format!("\"{field}\": ")))
             .map(|v| {
                 v.trim_end_matches(',')
                     .parse()
                     .unwrap_or_else(|_| panic!("{field} parses as a number"))
             })
-            .collect();
-        assert_eq!(values.len(), 3, "one {field} per scenario");
+            .collect()
+    };
+    for field in [
+        "speedup",
+        "min_us",
+        "median_us",
+        "instructions",
+        "energy_pj",
+        "pj_per_instruction",
+    ] {
+        let values = count_of(field);
+        assert_eq!(values.len(), names.len(), "one {field} per scenario");
         assert!(
             values.iter().all(|s| s.is_finite() && *s > 0.0),
             "{field} must be finite and positive: {values:?}"
         );
     }
+    let mem = count_of("bytes_per_node");
+    assert_eq!(mem.len(), grids, "one bytes_per_node per grid scenario");
+    assert!(
+        mem.iter().all(|b| b.is_finite() && *b >= 0.0),
+        "bytes_per_node must be finite: {mem:?}"
+    );
 }
 
 /// Re-measure the lockstep reference for the sparse scenario (six
@@ -383,14 +777,44 @@ fn run_sparse_baseline() {
     println!("minimum: {best:.0} µs  (BASELINE_SPARSE_LOCKSTEP_US)");
 }
 
+/// Development probe: time one grid size under each engine/shard
+/// count, printing raw numbers (not part of the recorded report).
+fn run_grid_probe(size: (usize, usize, u64), reps: u64) {
+    let programs = grid_programs();
+    for (label, scheduler, shards) in [
+        ("warmup", Scheduler::Sharded, GRID_SHARDS),
+        ("event-driven", Scheduler::EventDriven, 1),
+        ("sharded/1", Scheduler::Sharded, 1),
+        ("sharded/8", Scheduler::Sharded, 8),
+        ("sharded/64", Scheduler::Sharded, 64),
+    ] {
+        let t = time_grid(size, scheduler, shards, reps, &programs);
+        println!(
+            "{label:<14} min {:>10.0} µs  median {:>10.0} µs  ({} instr, {} B/node, {} dlv, {} col)",
+            t.min_us, t.median_us, t.work.0, t.bytes_per_node, t.deliveries, t.collisions
+        );
+    }
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--check") {
+    if std::env::args().any(|a| a == "--grid-probe") {
+        run_grid_probe(GRID_10K, 2);
+    } else if std::env::args().any(|a| a == "--grid-probe-100k") {
+        run_grid_probe(GRID_100K, 1);
+    } else if std::env::args().any(|a| a == "--grid-probe-1m") {
+        let programs = grid_programs();
+        let t = time_grid(GRID_1M, Scheduler::Sharded, GRID_SHARDS, 1, &programs);
+        println!(
+            "1m sharded/8: {:.0} µs, {} instr, {} B/node, {} dlv, {} col",
+            t.min_us, t.work.0, t.bytes_per_node, t.deliveries, t.collisions
+        );
+    } else if std::env::args().any(|a| a == "--check") {
         run_check();
     } else if std::env::args().any(|a| a == "--baseline") {
         run_sparse_baseline();
     } else if std::env::args().any(|a| a == "--json") {
         // The shim's default measurement window.
-        run_json(Duration::from_millis(400), &report_path());
+        run_json(Duration::from_millis(400), &report_path(), true);
     } else {
         benches();
     }

@@ -18,6 +18,7 @@
 
 use crate::energy_acct::InstrCosts;
 use snap_isa::{Addr, Instruction, MEM_WORDS};
+use std::sync::Arc;
 
 const ADDR_MASK: usize = MEM_WORDS - 1;
 
@@ -32,9 +33,13 @@ pub struct Predecoded {
 }
 
 /// The cache: one optional [`Predecoded`] slot per IMEM word address.
+///
+/// Copy-on-write like the memory banks: clones share the slot array, so
+/// a fleet built from a template node shares one predecoded image until
+/// a node self-modifies its IMEM.
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
-    slots: Box<[Option<Predecoded>]>,
+    slots: Arc<[Option<Predecoded>; MEM_WORDS]>,
 }
 
 impl Default for DecodeCache {
@@ -47,7 +52,7 @@ impl DecodeCache {
     /// An empty cache covering all of IMEM.
     pub fn new() -> DecodeCache {
         DecodeCache {
-            slots: vec![None; MEM_WORDS].into_boxed_slice(),
+            slots: Arc::new([None; MEM_WORDS]),
         }
     }
 
@@ -61,7 +66,7 @@ impl DecodeCache {
     /// Cache the instruction whose first word is at `at`.
     #[inline]
     pub fn insert(&mut self, at: Addr, entry: Predecoded) {
-        self.slots[at as usize & ADDR_MASK] = Some(entry);
+        Arc::make_mut(&mut self.slots)[at as usize & ADDR_MASK] = Some(entry);
     }
 
     /// Invalidate after an IMEM word write at `addr`: the instruction
@@ -69,13 +74,14 @@ impl DecodeCache {
     /// earlier (whose immediate lives at `addr`).
     #[inline]
     pub fn invalidate_write(&mut self, addr: Addr) {
-        self.slots[addr as usize & ADDR_MASK] = None;
-        self.slots[(addr as usize).wrapping_sub(1) & ADDR_MASK] = None;
+        let slots = Arc::make_mut(&mut self.slots);
+        slots[addr as usize & ADDR_MASK] = None;
+        slots[(addr as usize).wrapping_sub(1) & ADDR_MASK] = None;
     }
 
     /// Drop every entry (bulk IMEM load).
     pub fn invalidate_all(&mut self) {
-        self.slots.fill(None);
+        Arc::make_mut(&mut self.slots).fill(None);
     }
 }
 

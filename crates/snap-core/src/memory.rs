@@ -5,15 +5,21 @@
 //! 16-bit words). Like the hardware, the banks decode only the low
 //! eleven address bits — higher bits are ignored, so addresses wrap
 //! rather than fault.
+//!
+//! Banks are copy-on-write: cloning a bank shares the backing array
+//! until the first write. Million-node fleets clone a loaded template
+//! node, so identical IMEM/DMEM images cost one allocation total and a
+//! node pays for its own 4 KB only once it diverges.
 
 use snap_isa::{Addr, Word, MEM_WORDS};
+use std::sync::Arc;
 
 const ADDR_MASK: usize = MEM_WORDS - 1;
 
 /// One 4 KB, word-addressed memory bank.
 #[derive(Debug, Clone)]
 pub struct MemBank {
-    words: Box<[Word; MEM_WORDS]>,
+    words: Arc<[Word; MEM_WORDS]>,
     name: &'static str,
 }
 
@@ -21,7 +27,7 @@ impl MemBank {
     /// A zeroed bank with a name used in diagnostics (`"imem"`/`"dmem"`).
     pub fn new(name: &'static str) -> MemBank {
         MemBank {
-            words: Box::new([0; MEM_WORDS]),
+            words: Arc::new([0; MEM_WORDS]),
             name,
         }
     }
@@ -38,7 +44,7 @@ impl MemBank {
 
     /// Write the word at `addr` (the address wraps modulo 2048).
     pub fn write(&mut self, addr: Addr, value: Word) {
-        self.words[addr as usize & ADDR_MASK] = value;
+        Arc::make_mut(&mut self.words)[addr as usize & ADDR_MASK] = value;
     }
 
     /// Copy `image` into the bank starting at word address `base`.
@@ -55,13 +61,13 @@ impl MemBank {
                 len: image.len(),
             });
         }
-        self.words[base..base + image.len()].copy_from_slice(image);
+        Arc::make_mut(&mut self.words)[base..base + image.len()].copy_from_slice(image);
         Ok(())
     }
 
     /// Zero the whole bank.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        Arc::make_mut(&mut self.words).fill(0);
     }
 
     /// View the whole bank as a word slice.

@@ -27,7 +27,7 @@ use snap_energy::model::BusModel;
 use snap_energy::{Energy, OperatingPoint};
 use snap_isa::{
     Addr, AluImmOp, AluOp, DecodeError, EventKind, EventToken, Instruction, Reg, ShiftOp, Word,
-    EVENT_TABLE_ENTRIES,
+    EVENT_TABLE_ENTRIES, MEM_WORDS,
 };
 
 /// Configuration of a [`Processor`].
@@ -688,6 +688,26 @@ impl Processor {
             ins,
             costs: self.acct.cost_of(&ins),
         })
+    }
+
+    /// Predecode every decodable IMEM address into the cache.
+    ///
+    /// Entries are the same pure functions of the IMEM words and the
+    /// operating point that lazy cache fills compute, so eager filling
+    /// is observationally identical. Fleets predecode one template node
+    /// and clone it: the copy-on-write cache is then shared read-only
+    /// across every clone and never faults in a slot at run time.
+    /// Addresses that don't hold a valid instruction (data, immediate
+    /// words) are left empty, exactly as the lazy path would.
+    pub fn predecode_all(&mut self) {
+        if !self.config.predecode {
+            return;
+        }
+        for at in 0..MEM_WORDS as Addr {
+            if let Ok(entry) = self.decode_at(at) {
+                self.decode.insert(at, entry);
+            }
+        }
     }
 
     /// Fetch, decode and execute the instruction at PC.

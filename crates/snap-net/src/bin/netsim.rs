@@ -2,7 +2,8 @@
 //! line and export its telemetry.
 //!
 //! ```text
-//! netsim [--app mac|blink|sense] [--nodes N] [--ms N] [--vdd 1.8|0.9|0.6]
+//! netsim [--app mac|blink|sense] [--nodes N] [--grid WxH] [--ms N]
+//!        [--vdd 1.8|0.9|0.6] [--shards N]
 //!        [--metrics OUT.json] [--trace-out OUT.trace.json] [--jsonl OUT.jsonl]
 //! ```
 //!
@@ -13,6 +14,12 @@
 //!   scheduled sensor interrupts, every other node listens.
 //! * `blink` — independent Blink nodes (no radio traffic).
 //! * `sense` — independent periodic sense-and-log nodes.
+//!
+//! `--grid WxH` lays the nodes out on a W×H grid (8 m pitch) instead
+//! of a line, overriding `--nodes` with W·H. `--shards N` switches to
+//! the sharded scheduler with N parallel wake calendars — the scalable
+//! path for very large fleets; results are bit-identical to the
+//! default scheduler.
 //!
 //! Exports: `--metrics` writes the `snap-metrics-v1` report,
 //! `--trace-out` a Chrome `trace_event` file (open it at
@@ -32,8 +39,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut app = String::from("mac");
     let mut nodes: usize = 3;
+    let mut grid: Option<(usize, usize)> = None;
     let mut millis: u64 = 50;
     let mut vdd = String::from("1.8");
+    let mut shards: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
@@ -51,10 +60,16 @@ fn main() -> ExitCode {
                     .map(|n: usize| nodes = n.max(1))
                     .map_err(|_| "--nodes requires a number".to_string())
             }),
+            "--grid" => take("--grid").and_then(|v| parse_grid(&v).map(|wh| grid = Some(wh))),
             "--ms" => take("--ms").and_then(|v| {
                 v.parse()
                     .map(|n| millis = n)
                     .map_err(|_| "--ms requires a number".to_string())
+            }),
+            "--shards" => take("--shards").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| shards = Some(n.max(1)))
+                    .map_err(|_| "--shards requires a number".to_string())
             }),
             "--vdd" => take("--vdd").map(|v| vdd = v),
             "--metrics" => take("--metrics").map(|v| metrics_out = Some(v)),
@@ -78,7 +93,14 @@ fn main() -> ExitCode {
 
     let mut sim = NetworkSim::new(10.0);
     sim.enable_telemetry();
-    if let Err(e) = build_scenario(&mut sim, &app, nodes, core) {
+    if let Some(n) = shards {
+        sim.set_scheduler(snap_net::sim::Scheduler::Sharded);
+        sim.set_shards(n);
+    }
+    if let Some((w, h)) = grid {
+        nodes = w * h;
+    }
+    if let Err(e) = build_scenario(&mut sim, &app, nodes, grid, core) {
         return usage(&e);
     }
     if let Err(e) = sim.run_until(SimTime::ZERO + SimDuration::from_ms(millis)) {
@@ -89,7 +111,7 @@ fn main() -> ExitCode {
     // Run summary on stdout; file exports as requested.
     let mut instructions = 0u64;
     let mut energy_pj = 0.0f64;
-    for id in 1..=sim.node_count() as u16 {
+    for id in 1..=sim.node_count() as u32 {
         let stats = sim.node(snap_node::NodeId(id)).cpu().stats();
         instructions += stats.instructions;
         energy_pj += stats.energy.as_pj();
@@ -130,14 +152,30 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse a `WxH` grid spec.
+fn parse_grid(spec: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--grid requires WxH (e.g. 100x100), got `{spec}`");
+    let (w, h) = spec.split_once(['x', 'X']).ok_or_else(err)?;
+    let w: usize = w.parse().map_err(|_| err())?;
+    let h: usize = h.parse().map_err(|_| err())?;
+    if w == 0 || h == 0 {
+        return Err(err());
+    }
+    Ok((w, h))
+}
+
 /// Populate the network for one named scenario.
 fn build_scenario(
     sim: &mut NetworkSim,
     app: &str,
     nodes: usize,
+    grid: Option<(usize, usize)>,
     core: CoreConfig,
 ) -> Result<(), String> {
-    let position = |i: usize| Position::new(i as f64 * 5.0, 0.0);
+    let position = move |i: usize| match grid {
+        Some((w, _)) => Position::new((i % w) as f64 * 8.0, (i / w) as f64 * 8.0),
+        None => Position::new(i as f64 * 5.0, 0.0),
+    };
     match app {
         "mac" => {
             // Node 1 sends to node 2 on sensor interrupts; everyone
@@ -162,15 +200,11 @@ fn build_scenario(
         }
         "blink" => {
             let prog = blink_program().map_err(|e| format!("blink: {e}"))?;
-            for i in 0..nodes {
-                sim.add_node_with_core(&prog, position(i), core);
-            }
+            sim.add_nodes_from(&prog, core, (0..nodes).map(position));
         }
         "sense" => {
             let prog = sense_program().map_err(|e| format!("sense: {e}"))?;
-            for i in 0..nodes {
-                sim.add_node_with_core(&prog, position(i), core);
-            }
+            sim.add_nodes_from(&prog, core, (0..nodes).map(position));
         }
         other => return Err(format!("unknown app `{other}` (mac, blink or sense)")),
     }
@@ -182,7 +216,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("netsim: {err}");
     }
     eprintln!(
-        "usage: netsim [--app mac|blink|sense] [--nodes N] [--ms N] [--vdd 1.8|0.9|0.6] \
+        "usage: netsim [--app mac|blink|sense] [--nodes N] [--grid WxH] [--ms N] \
+         [--vdd 1.8|0.9|0.6] [--shards N] \
          [--metrics OUT.json] [--trace-out OUT.trace.json] [--jsonl OUT.jsonl]"
     );
     if err.is_empty() {

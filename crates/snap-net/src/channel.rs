@@ -109,12 +109,14 @@ impl Channel {
 
     /// Would `tx` be received cleanly by a listener that hears all of
     /// `audible_from`? Checks for any *other* audible transmission
-    /// overlapping `tx` in time.
+    /// overlapping `tx` in time. `audible_from` must be id-sorted (the
+    /// topology's cached neighbour lists are), so the audibility test
+    /// is a binary search instead of a linear scan.
     pub fn is_clean(&self, tx: &Transmission, audible_from: &[NodeId]) -> bool {
-        !self
-            .active
-            .iter()
-            .any(|other| other != tx && audible_from.contains(&other.from) && tx.overlaps(other))
+        debug_assert!(audible_from.is_sorted());
+        !self.active.iter().any(|other| {
+            other != tx && audible_from.binary_search(&other.from).is_ok() && tx.overlaps(other)
+        })
     }
 
     /// Account a clean delivery.
@@ -149,7 +151,7 @@ mod tests {
     use super::*;
     use dess::SimDuration;
 
-    fn tx(from: u16, start_us: u64, end_us: u64) -> Transmission {
+    fn tx(from: u32, start_us: u64, end_us: u64) -> Transmission {
         Transmission {
             from: NodeId(from),
             word: 0xabcd,

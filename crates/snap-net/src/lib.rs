@@ -13,9 +13,10 @@
 //! * [`sim`] — the network simulator: by default a sleep-aware
 //!   event-driven scheduler (a wake calendar pops only the nodes that
 //!   are due; idle nodes cost nothing), with the original lockstep
-//!   scheduler kept as a bit-identical reference. Transmissions become
-//!   deliveries; external stimuli (sensor interrupts, sensor readings)
-//!   are injected on schedule.
+//!   scheduler kept as a bit-identical reference and a spatially
+//!   sharded conservative-lookahead engine for 10⁵–10⁶-node fleets.
+//!   Transmissions become deliveries; external stimuli (sensor
+//!   interrupts, sensor readings) are injected on schedule.
 //! * [`trace`] — a serializable event trace for analysis/debugging.
 //! * [`telemetry`] — observability export: the `snap-metrics-v1`
 //!   report and a Chrome `trace_event` view (one Perfetto track per

@@ -13,6 +13,7 @@
 //! — never by completion order — so the fold over node outputs observes
 //! exactly the sequence the sequential path would produce.
 
+use crate::sim::Shard;
 use dess::SimTime;
 use snap_node::{Node, NodeError, NodeOutput};
 use std::sync::mpsc;
@@ -27,6 +28,12 @@ type NodeResult = Result<Vec<NodeOutput>, NodeError>;
 struct BasePtr(*mut Node);
 unsafe impl Send for BasePtr {}
 
+/// A raw pointer to one [`Shard`], asserted safe to move across
+/// threads: every shard in a batch is distinct and owns a disjoint
+/// member set, and the caller blocks until every epoch reports done.
+struct ShardPtr(*mut Shard);
+unsafe impl Send for ShardPtr {}
+
 /// Which nodes (relative to the base pointer) one job advances.
 enum Span {
     /// A contiguous range `offset..offset + len` (the dense path).
@@ -35,12 +42,22 @@ enum Span {
     Indices(Vec<usize>),
 }
 
-struct Job {
-    chunk: usize,
-    base: BasePtr,
-    span: Span,
-    deadline: SimTime,
-    results: mpsc::Sender<(usize, Vec<NodeResult>)>,
+enum Job {
+    /// Advance a set of nodes to a common deadline.
+    Nodes {
+        chunk: usize,
+        base: BasePtr,
+        span: Span,
+        deadline: SimTime,
+        results: mpsc::Sender<(usize, Vec<NodeResult>)>,
+    },
+    /// Run one shard's conservative epoch.
+    Epoch {
+        shard: ShardPtr,
+        base: BasePtr,
+        to: SimTime,
+        done: mpsc::Sender<()>,
+    },
 }
 
 /// The persistent pool. Threads start lazily on the first parallel run
@@ -77,22 +94,47 @@ impl WorkerPool {
                 .name(format!("snap-net-worker-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        // SAFETY: jobs in one batch carry disjoint node
-                        // indices, and the dispatching caller joins on
-                        // every result before using the nodes again.
-                        let node_at = |i: usize| unsafe { &mut *job.base.0.add(i) };
-                        let out: Vec<NodeResult> = match &job.span {
-                            Span::Range { offset, len } => (*offset..offset + len)
-                                .map(|i| node_at(i).run_until(job.deadline))
-                                .collect(),
-                            Span::Indices(indices) => indices
-                                .iter()
-                                .map(|&i| node_at(i).run_until(job.deadline))
-                                .collect(),
-                        };
-                        // A send error means the caller died mid-run;
-                        // nothing useful left to do with the result.
-                        let _ = job.results.send((job.chunk, out));
+                        match job {
+                            Job::Nodes {
+                                chunk,
+                                base,
+                                span,
+                                deadline,
+                                results,
+                            } => {
+                                // SAFETY: jobs in one batch carry
+                                // disjoint node indices, and the
+                                // dispatching caller joins on every
+                                // result before using the nodes again.
+                                let node_at = |i: usize| unsafe { &mut *base.0.add(i) };
+                                let out: Vec<NodeResult> = match &span {
+                                    Span::Range { offset, len } => (*offset..offset + len)
+                                        .map(|i| node_at(i).run_until(deadline))
+                                        .collect(),
+                                    Span::Indices(indices) => indices
+                                        .iter()
+                                        .map(|&i| node_at(i).run_until(deadline))
+                                        .collect(),
+                                };
+                                // A send error means the caller died
+                                // mid-run; nothing useful left to do
+                                // with the result.
+                                let _ = results.send((chunk, out));
+                            }
+                            Job::Epoch {
+                                shard,
+                                base,
+                                to,
+                                done,
+                            } => {
+                                // SAFETY: each shard in a batch is
+                                // distinct and owns a disjoint member
+                                // set; the caller blocks on `done`
+                                // before touching shards or nodes.
+                                unsafe { (*shard.0).run_epoch(base.0, to) };
+                                let _ = done.send(());
+                            }
+                        }
                     }
                 })
                 .expect("spawn pool worker");
@@ -121,7 +163,7 @@ impl WorkerPool {
         let mut offset = 0;
         while offset < nodes.len() {
             let len = chunk_len.min(nodes.len() - offset);
-            let job = Job {
+            let job = Job::Nodes {
                 chunk: jobs,
                 base: BasePtr(base),
                 span: Span::Range { offset, len },
@@ -162,7 +204,7 @@ impl WorkerPool {
         let (results_tx, results_rx) = mpsc::channel();
         let mut jobs = 0;
         for chunk in indices.chunks(chunk_len) {
-            let job = Job {
+            let job = Job::Nodes {
                 chunk: jobs,
                 base: BasePtr(base),
                 span: Span::Indices(chunk.to_vec()),
@@ -174,6 +216,45 @@ impl WorkerPool {
         }
         drop(results_tx);
         Self::collect(results_rx, jobs)
+    }
+
+    /// How many workers a parallel run would use (without forcing the
+    /// threads to spawn yet). The sharded scheduler runs epochs inline
+    /// when this is 1 — a single worker would only add channel hops.
+    pub fn parallelism(&self) -> usize {
+        if self.handles.is_empty() {
+            std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .clamp(1, 8)
+        } else {
+            self.handles.len()
+        }
+    }
+
+    /// Run every shard's epoch to `to` on the pool (round-robin over
+    /// workers), blocking until all complete. Shard state and node
+    /// mutations are the workers'; this only dispatches and joins.
+    pub(crate) fn run_shards(&mut self, nodes: &mut [Node], shards: &mut [Shard], to: SimTime) {
+        self.ensure_workers();
+        let base = nodes.as_mut_ptr();
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut jobs = 0;
+        for shard in shards.iter_mut() {
+            let job = Job::Epoch {
+                shard: ShardPtr(shard as *mut Shard),
+                base: BasePtr(base),
+                to,
+                done: done_tx.clone(),
+            };
+            self.senders[jobs % self.senders.len()]
+                .send(job)
+                .expect("pool worker alive");
+            jobs += 1;
+        }
+        drop(done_tx);
+        for _ in 0..jobs {
+            done_rx.recv().expect("pool worker panicked");
+        }
     }
 
     fn collect(

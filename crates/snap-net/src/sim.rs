@@ -1,5 +1,5 @@
 //! The network simulator: sleep-aware event-driven scheduling with a
-//! lockstep reference path.
+//! lockstep reference path and a sharded engine for huge fleets.
 //!
 //! SNAP/LE's thesis is that an event-driven node does *zero* work while
 //! idle — the simulator mirrors the hardware. The default scheduler
@@ -10,16 +10,32 @@
 //! and their clocks lazily fast-forwarded when an event finally reaches
 //! them.
 //!
+//! [`Scheduler::Sharded`] partitions the fleet spatially into shards
+//! (grid cells of the [`Topology`] spatial hash, grouped contiguously),
+//! each with its own wake calendar, and advances shards independently
+//! through conservative *epochs*: since a radio word takes one full
+//! word time (≈833 µs at 19.2 kbps) to serialize, no transmission
+//! started after instant `t` can be delivered before `t + word_time`,
+//! so shards can run to `min(t + word_time, next scheduled delivery)`
+//! without hearing from each other. Cross-shard transmissions are
+//! exchanged at the epoch barrier through the one global delivery
+//! calendar.
+//!
 //! The original lockstep scheduler (advance *every* node each round)
 //! survives as [`Scheduler::Lockstep`], both as the reference for the
-//! equivalence property tests and as the recorded bench baseline. Both
-//! schedulers, and the parallel and sequential execution paths within
-//! each, produce bit-identical traces, energy totals and architectural
-//! state: they compute the very same window boundaries (the wake
-//! calendar always mirrors what a full `next_activity` scan would
-//! return) and apply deliveries/stimuli to nodes whose clocks sit at
-//! the very same instants (skipped sleepers are synced to the window
-//! end before anything is posted to them).
+//! equivalence property tests and as the recorded bench baseline. All
+//! three schedulers produce bit-identical traces, energy totals and
+//! architectural state. The invariant that makes this hold across
+//! *different* window/epoch boundaries: every delivery and stimulus is
+//! applied at its exact due instant, to a node synced to exactly that
+//! instant; between applications a node's evolution is a pure function
+//! of its own state (splitting an idle stretch at any set of interior
+//! deadlines is bit-identical — no energy accrues while asleep and
+//! timer expiries are never skipped); channel interaction (collision
+//! checks, fade draws, counters) happens only at application, in the
+//! delivery calendar's deterministic `(time, insertion)` order; and the
+//! trace is canonically re-ordered chunk by chunk ([`Trace::seal`]), so
+//! recording order within a window is free.
 
 use crate::channel::{Channel, Transmission};
 use crate::pool::WorkerPool;
@@ -31,12 +47,21 @@ use snap_core::CoreConfig;
 use snap_isa::Word;
 use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
 use snap_telemetry::Histogram;
+use std::collections::VecDeque;
 
 /// Work window granted to running nodes per synchronization round.
 const RUN_QUANTUM: SimDuration = SimDuration::from_us(100);
 
 /// Default node count at which windows run on the worker pool.
 pub const PARALLEL_THRESHOLD: usize = 8;
+
+/// Default shard count for [`Scheduler::Sharded`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Node count at which a `Full` trace is considered a mistake: the
+/// simulator switches to [`TraceMode::CountOnly`] (unless the mode was
+/// set explicitly) and logs loudly either way.
+const FULL_TRACE_NODE_LIMIT: usize = 10_000;
 
 /// Which scheduling strategy [`NetworkSim::run_until`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +73,11 @@ pub enum Scheduler {
     /// (cost proportional to active nodes). The default.
     #[default]
     EventDriven,
+    /// Spatially sharded conservative-lookahead engine: per-shard wake
+    /// calendars advance independently between delivery barriers. The
+    /// scalable path for 10⁵–10⁶-node fleets; bit-identical to the
+    /// sequential schedulers for any shard count.
+    Sharded,
 }
 
 /// An external stimulus injected into a node on schedule.
@@ -76,6 +106,10 @@ pub struct NetworkSim {
     pool: WorkerPool,
     parallel_threshold: usize,
     scheduler: Scheduler,
+    num_shards: usize,
+    /// Whether the caller picked the trace mode explicitly (suppresses
+    /// the large-fleet downgrade in [`NetworkSim::guard_trace_mode`]).
+    trace_mode_explicit: bool,
     /// Per-node-index wake instants (event-driven scheduler only).
     wake: WakeQueue,
     /// Scratch: node indices due in the current window, sorted.
@@ -99,6 +133,8 @@ impl NetworkSim {
             pool: WorkerPool::new(),
             parallel_threshold: PARALLEL_THRESHOLD,
             scheduler: Scheduler::default(),
+            num_shards: DEFAULT_SHARDS,
+            trace_mode_explicit: false,
             wake: WakeQueue::new(),
             batch: Vec::new(),
             window_activity: None,
@@ -145,9 +181,9 @@ impl NetworkSim {
     }
 
     /// Select the scheduling strategy (default:
-    /// [`Scheduler::EventDriven`]). Both strategies produce
-    /// bit-identical results; lockstep exists as the reference and
-    /// baseline.
+    /// [`Scheduler::EventDriven`]). All strategies produce bit-identical
+    /// results; lockstep exists as the reference and baseline, sharded
+    /// as the scalable path.
     pub fn set_scheduler(&mut self, scheduler: Scheduler) {
         self.scheduler = scheduler;
     }
@@ -157,10 +193,23 @@ impl NetworkSim {
         self.scheduler
     }
 
+    /// Shard count for [`Scheduler::Sharded`] (default:
+    /// [`DEFAULT_SHARDS`]); clamped to at least 1. Results are
+    /// bit-identical for every shard count.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.num_shards = shards.max(1);
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.num_shards
+    }
+
     /// Select how the trace stores events (default: keep everything).
     /// Bench scenarios use [`TraceMode::CountOnly`] so long sparse runs
     /// don't grow memory without bound.
     pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace_mode_explicit = true;
         self.trace.set_mode(mode);
     }
 
@@ -168,7 +217,7 @@ impl NetworkSim {
     /// directly addressable without a map lookup.
     fn idx(id: NodeId) -> usize {
         debug_assert!(id.0 >= 1, "node ids start at 1");
-        usize::from(id.0) - 1
+        id.0 as usize - 1
     }
 
     /// Add a node at `position` running `program`. Node ids are
@@ -195,7 +244,7 @@ impl NetworkSim {
         position: Position,
         core: CoreConfig,
     ) -> NodeId {
-        let id = NodeId(self.nodes.len() as u16 + 1);
+        let id = NodeId(self.nodes.len() as u32 + 1);
         let cfg = NodeConfig {
             id,
             core,
@@ -210,6 +259,55 @@ impl NetworkSim {
         self.topology.place(id, position);
         self.nodes.push(node);
         id
+    }
+
+    /// Add a whole fleet of nodes running the same program, cloned from
+    /// one fully-loaded template. The program is loaded (and its decode
+    /// cache warmed) exactly once; every clone shares the instruction
+    /// memory, data memory and decode cache copy-on-write, so a
+    /// mostly-idle million-node fleet costs per-node *state* (registers,
+    /// radio, timers), not per-node memory images. Positions are placed
+    /// through [`Topology::place_many`] (batched neighbour
+    /// construction). Returns the new ids in `positions` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the node memories.
+    pub fn add_nodes_from<I>(
+        &mut self,
+        program: &Program,
+        core: CoreConfig,
+        positions: I,
+    ) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = Position>,
+    {
+        let cfg = NodeConfig {
+            id: NodeId(1), // placeholder; every clone gets its own id
+            core,
+            ..NodeConfig::default()
+        };
+        let mut template = Node::new(cfg);
+        template
+            .load(program)
+            .expect("program fits the node memories");
+        template.cpu_mut().predecode_all();
+        let telemetry = self.telemetry_enabled();
+        let mut placed = Vec::new();
+        let mut ids = Vec::new();
+        for position in positions {
+            let id = NodeId(self.nodes.len() as u32 + 1);
+            let mut node = template.clone_with_id(id);
+            if telemetry {
+                node.cpu_mut()
+                    .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+            }
+            self.nodes.push(node);
+            placed.push((id, position));
+            ids.push(id);
+        }
+        self.topology.place_many(placed);
+        ids
     }
 
     /// Number of nodes in the network.
@@ -275,9 +373,37 @@ impl NetworkSim {
     ///
     /// Propagates the first [`NodeError`] from any node.
     pub fn run_until(&mut self, t_end: SimTime) -> Result<(), NodeError> {
+        self.guard_trace_mode();
         match self.scheduler {
             Scheduler::Lockstep => self.run_lockstep(t_end),
             Scheduler::EventDriven => self.run_event_driven(t_end),
+            Scheduler::Sharded => self.run_sharded(t_end),
+        }
+    }
+
+    /// Catch the classic footgun of launching a huge fleet with the
+    /// default keep-everything trace. Unless the caller explicitly
+    /// picked a mode, large runs are downgraded to
+    /// [`TraceMode::CountOnly`]; either way the situation is loudly
+    /// logged.
+    fn guard_trace_mode(&mut self) {
+        if self.nodes.len() < FULL_TRACE_NODE_LIMIT || self.trace.mode() != TraceMode::Full {
+            return;
+        }
+        if self.trace_mode_explicit {
+            eprintln!(
+                "snap-net: WARNING: running {} nodes with TraceMode::Full; \
+                 the trace will grow without bound (explicitly requested, keeping it)",
+                self.nodes.len()
+            );
+        } else {
+            eprintln!(
+                "snap-net: WARNING: {} nodes >= {FULL_TRACE_NODE_LIMIT} with the default \
+                 TraceMode::Full; switching to TraceMode::CountOnly \
+                 (call set_trace_mode to override)",
+                self.nodes.len()
+            );
+            self.trace.set_mode(TraceMode::CountOnly);
         }
     }
 
@@ -294,30 +420,48 @@ impl NetworkSim {
 
     fn run_lockstep(&mut self, t_end: SimTime) -> Result<(), NodeError> {
         loop {
-            let (next, later) = self.next_instants();
-            let Some(t) = next else {
+            let Some(t) = self.next_instant() else {
+                // Nothing will ever happen again: sync clocks to the
+                // horizon and stop.
                 self.advance_all(t_end)?;
                 self.now = t_end;
+                self.trace.seal();
                 return Ok(());
             };
             if t >= t_end {
                 self.advance_all(t_end)?;
                 self.process_due(t_end);
                 self.now = t_end;
+                self.trace.seal();
                 return Ok(());
             }
+            // Phase 1: apply anything due at exactly `t`, with every
+            // clock synced to exactly `t`. The sync itself executes
+            // nothing — `t` is the global minimum instant, so no node
+            // has work before it.
+            if self.deliveries.peek_time().is_some_and(|d| d <= t)
+                || self.stimuli.peek_time().is_some_and(|d| d <= t)
+            {
+                self.advance_all(t)?;
+                self.process_due(t);
+            }
+            // Phase 2: run a window. Its end never overshoots a
+            // calendar instant, so phase 1 always lands exactly on due
+            // events; node wakes inside the window need no boundary —
+            // `advance_all` runs through them.
+            let later = Self::min_time(self.deliveries.peek_time(), self.stimuli.peek_time());
             let window_end = Self::window_end(t, later, t_end);
             self.note_window(self.nodes.len());
             self.advance_all(window_end)?;
-            self.process_due(window_end);
             self.now = window_end;
+            self.trace.seal();
         }
     }
 
-    /// Window: up to the next *later* instant, capped by the quantum,
-    /// so running nodes execute efficiently but no delivery or stimulus
-    /// is overshot. Both schedulers use this formula — identical
-    /// windows are what make their traces bit-identical.
+    /// Window: from `t` up to the next calendar instant, capped by the
+    /// quantum. Schedulers need *not* agree on window boundaries:
+    /// events are applied at exact instants and the trace is sealed
+    /// canonically, so any partitioning yields the same results.
     fn window_end(t: SimTime, later: Option<SimTime>, t_end: SimTime) -> SimTime {
         let mut window_end = t + RUN_QUANTUM;
         if let Some(l) = later {
@@ -326,32 +470,22 @@ impl NetworkSim {
         window_end.min(t_end).max(t + SimDuration::from_ps(1))
     }
 
-    /// The earliest instant anything can happen, and the earliest
-    /// instant strictly after it, in one pass over the calendars and
-    /// all node activities.
-    fn next_instants(&self) -> (Option<SimTime>, Option<SimTime>) {
-        let mut first: Option<SimTime> = None;
-        let mut second: Option<SimTime> = None;
-        let mut consider = |cand: Option<SimTime>| {
-            let Some(c) = cand else { return };
-            match first {
-                None => first = Some(c),
-                Some(f) if c < f => {
-                    second = Some(second.map_or(f, |s| s.min(f)));
-                    first = Some(c);
-                }
-                Some(f) if c > f => {
-                    second = Some(second.map_or(c, |s| s.min(c)));
-                }
-                Some(_) => {} // duplicate of the minimum
-            }
-        };
-        consider(self.deliveries.peek_time());
-        consider(self.stimuli.peek_time());
-        for node in &self.nodes {
-            consider(node.next_activity());
+    /// The earlier of two optional instants.
+    fn min_time(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
-        (first, second)
+    }
+
+    /// The earliest instant anything can happen, over the calendars and
+    /// all node activities.
+    fn next_instant(&self) -> Option<SimTime> {
+        let mut first = Self::min_time(self.deliveries.peek_time(), self.stimuli.peek_time());
+        for node in &self.nodes {
+            first = Self::min_time(first, node.next_activity());
+        }
+        first
     }
 
     /// Advance every node to `deadline` (in parallel for big networks)
@@ -390,28 +524,31 @@ impl NetworkSim {
         loop {
             // The earliest instant anything can happen: the wake
             // calendar mirrors the per-node scan of the lockstep path.
-            let mut first = self.wake.peek().map(|(t, _)| t);
-            for cand in [self.deliveries.peek_time(), self.stimuli.peek_time()] {
-                first = match (first, cand) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-            }
+            let first = Self::min_time(
+                self.wake.peek().map(|(t, _)| t),
+                Self::min_time(self.deliveries.peek_time(), self.stimuli.peek_time()),
+            );
             let Some(t) = first else {
                 // Nothing will ever happen again: sync clocks to the
                 // horizon and stop (mirrors lockstep's tail).
                 self.advance_all(t_end)?;
                 self.now = t_end;
+                self.trace.seal();
                 return Ok(());
             };
             if t >= t_end {
                 self.advance_all(t_end)?;
                 self.process_due(t_end);
                 self.now = t_end;
+                self.trace.seal();
                 return Ok(());
             }
-            // Pop the nodes due at exactly `t`; the calendar's next
-            // entry is then the earliest *later* node instant.
+            // Phase 1: apply events due at exactly `t`, syncing only
+            // the nodes they reach.
+            self.process_due_synced(t)?;
+            // Phase 2: pop the nodes due at `t` and run them through a
+            // window. The window never overshoots a calendar instant or
+            // a skipped node's wake.
             self.batch.clear();
             while let Some((wt, i)) = self.wake.peek() {
                 if wt > t {
@@ -420,19 +557,14 @@ impl NetworkSim {
                 self.wake.pop();
                 self.batch.push(i);
             }
-            let mut later = self.wake.peek().map(|(wt, _)| wt);
-            for c in [self.deliveries.peek_time(), self.stimuli.peek_time()]
-                .into_iter()
-                .flatten()
-            {
-                if c > t {
-                    later = Some(later.map_or(c, |l| l.min(c)));
-                }
-            }
+            let later = Self::min_time(
+                self.wake.peek().map(|(wt, _)| wt),
+                Self::min_time(self.deliveries.peek_time(), self.stimuli.peek_time()),
+            );
             let window_end = Self::window_end(t, later, t_end);
             // Nodes waking exactly at the window boundary belong to
-            // this round too (lockstep advances them to `window_end`,
-            // which wakes them).
+            // this round too (they would otherwise pin the next window
+            // to zero width).
             while let Some((wt, i)) = self.wake.peek() {
                 if wt > window_end {
                     break;
@@ -445,8 +577,8 @@ impl NetworkSim {
             self.batch.sort_unstable();
             self.note_window(self.batch.len());
             self.advance_batch(window_end)?;
-            self.process_due_synced(window_end)?;
             self.now = window_end;
+            self.trace.seal();
         }
     }
 
@@ -520,9 +652,9 @@ impl NetworkSim {
             if due > t {
                 break;
             }
-            let (_, (id, stimulus)) = self.stimuli.pop().expect("peeked");
+            let (due, (id, stimulus)) = self.stimuli.pop().expect("peeked");
             self.sync_node(Self::idx(id), t)?;
-            self.apply_stimulus(id, stimulus, t);
+            self.apply_stimulus(id, stimulus, due);
             self.rekey(Self::idx(id));
         }
         // Keep a couple of word-times of history for overlap checks.
@@ -530,38 +662,255 @@ impl NetworkSim {
         Ok(())
     }
 
+    // ---- sharded scheduler (conservative lookahead epochs) ----
+
+    fn run_sharded(&mut self, t_end: SimTime) -> Result<(), NodeError> {
+        let (mut shards, shard_of) = self.build_shards(t_end);
+        let word_floor = self.min_word_time();
+        loop {
+            // The earliest instant anything can happen, over the global
+            // delivery calendar and every shard's wakes and stimuli.
+            let mut first = self.deliveries.peek_time();
+            for shard in &shards {
+                first = Self::min_time(first, shard.wake.peek().map(|(t, _)| t));
+                first = Self::min_time(first, shard.stimuli.front().map(|s| s.0));
+            }
+            let Some(t) = first else {
+                return self.finish_sharded(&mut shards, t_end);
+            };
+            if t >= t_end {
+                return self.finish_sharded(&mut shards, t_end);
+            }
+            // Phase 1 (coordinator): deliveries, then boundary
+            // stimuli, due at exactly `t` — the sequential order.
+            self.apply_due_sharded(t, &mut shards, &shard_of)?;
+            // Phase 2: every shard runs to the conservative epoch
+            // bound. A word needs `word_floor` to serialize, so no
+            // transmission started after `t` can be delivered before
+            // `t + word_floor`; already-scheduled deliveries cap the
+            // epoch explicitly. Within the bound shards cannot affect
+            // each other, so they advance independently.
+            let mut to = t + word_floor;
+            if let Some(d) = self.deliveries.peek_time() {
+                to = to.min(d);
+            }
+            to = to.min(t_end);
+            self.run_epochs(&mut shards, to)?;
+            self.now = to;
+        }
+    }
+
+    /// The epoch lookahead: the shortest radio word time in the fleet.
+    /// A word takes this long to serialize, so nothing a node does
+    /// after `t` can reach another node before `t + word_floor`.
+    fn min_word_time(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .map(|n| n.radio().word_time())
+            .min()
+            .unwrap_or(RUN_QUANTUM)
+    }
+
+    /// Partition the fleet into shards along the topology's grid-cell
+    /// order (whole cells stay together, so most radio neighbourhoods
+    /// are shard-local), rebuild each shard's wake calendar, and hand
+    /// each shard its slice of this run's stimuli in global pop order.
+    /// Returns the shards plus the global-index → (shard, member
+    /// position) map.
+    #[allow(clippy::type_complexity)]
+    fn build_shards(&mut self, t_end: SimTime) -> (Vec<Shard>, Vec<(u32, u32)>) {
+        let n = self.nodes.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (self.topology.cell(self.nodes[i].id()), i));
+        let shard_count = self.num_shards.min(n.max(1)).max(1);
+        let chunk = n.div_ceil(shard_count).max(1);
+        let mut shards: Vec<Shard> = order
+            .chunks(chunk)
+            .map(|c| Shard::new(c.to_vec()))
+            .collect();
+        let mut shard_of = vec![(0u32, 0u32); n];
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for (local, &gi) in shard.members.iter().enumerate() {
+                shard_of[gi] = (s as u32, local as u32);
+                if let Some(wt) = self.nodes[gi].next_activity() {
+                    shard.wake.set(local, wt);
+                }
+            }
+        }
+        while let Some(due) = self.stimuli.peek_time() {
+            if due > t_end {
+                break;
+            }
+            let (due, (id, stim)) = self.stimuli.pop().expect("peeked");
+            let (s, local) = shard_of[Self::idx(id)];
+            shards[s as usize].push_stimulus(due, local as usize, stim);
+        }
+        (shards, shard_of)
+    }
+
+    /// Refresh one node's entry in its owning shard's wake calendar.
+    fn rekey_sharded(shards: &mut [Shard], shard_of: &[(u32, u32)], node: &Node, gi: usize) {
+        let (s, local) = shard_of[gi];
+        match node.next_activity() {
+            Some(wt) => shards[s as usize].wake.set(local as usize, wt),
+            None => shards[s as usize].wake.remove(local as usize),
+        }
+    }
+
+    /// Coordinator-side phase 1: deliveries due at exactly `t`, then
+    /// stimuli left at the previous epoch's boundary (epochs consume
+    /// interior stimuli themselves but stop strictly before their
+    /// bound, preserving the deliveries-before-stimuli order here).
+    fn apply_due_sharded(
+        &mut self,
+        t: SimTime,
+        shards: &mut [Shard],
+        shard_of: &[(u32, u32)],
+    ) -> Result<(), NodeError> {
+        while let Some(due) = self.deliveries.peek_time() {
+            if due > t {
+                break;
+            }
+            let (_, tx) = self.deliveries.pop().expect("peeked");
+            for r in 0..self.topology.neighbours(tx.from).len() {
+                let id = self.topology.neighbours(tx.from)[r];
+                self.sync_node(Self::idx(id), t)?;
+            }
+            self.deliver(tx);
+            for r in 0..self.topology.neighbours(tx.from).len() {
+                let id = self.topology.neighbours(tx.from)[r];
+                let gi = Self::idx(id);
+                Self::rekey_sharded(shards, shard_of, &self.nodes[gi], gi);
+            }
+        }
+        for s in 0..shards.len() {
+            while let Some(&(due, local, stim)) = shards[s].stimuli.front() {
+                if due > t {
+                    break;
+                }
+                shards[s].pop_stimulus();
+                let gi = shards[s].members[local];
+                self.sync_node(gi, t)?;
+                let id = self.nodes[gi].id();
+                self.apply_stimulus(id, stim, due);
+                Self::rekey_sharded(shards, shard_of, &self.nodes[gi], gi);
+            }
+        }
+        self.expire_channel(t);
+        Ok(())
+    }
+
+    /// Run every shard's epoch to `to` (on the pool when it helps) and
+    /// merge the results at the barrier.
+    fn run_epochs(&mut self, shards: &mut [Shard], to: SimTime) -> Result<(), NodeError> {
+        if shards.len() > 1 && self.pool.parallelism() > 1 {
+            self.pool.run_shards(&mut self.nodes, shards, to);
+        } else {
+            let base = self.nodes.as_mut_ptr();
+            for shard in shards.iter_mut() {
+                // SAFETY: shards own disjoint member index sets and run
+                // one at a time here; `base` covers all of them.
+                unsafe { shard.run_epoch(base, to) };
+            }
+        }
+        self.barrier(shards)
+    }
+
+    /// Epoch barrier: flush shard traces, merge shard outputs into the
+    /// global channel/calendar in a deterministic order, and propagate
+    /// the lowest-node-index error, if any.
+    fn barrier(&mut self, shards: &mut [Shard]) -> Result<(), NodeError> {
+        let mut failed: Option<(usize, NodeError)> = None;
+        let mut ran = 0;
+        let mut merged: Vec<(u64, usize, NodeOutput)> = Vec::new();
+        for shard in shards.iter_mut() {
+            ran += std::mem::take(&mut shard.ran);
+            for e in shard.trace.drain(..) {
+                self.trace.record(e);
+            }
+            merged.append(&mut shard.outputs);
+            if let Some((gi, e)) = shard.error.take() {
+                if failed.as_ref().is_none_or(|(fi, _)| gi < *fi) {
+                    failed = Some((gi, e));
+                }
+            }
+        }
+        self.note_window(ran);
+        // Sort by output instant, then node index (stable, so one
+        // node's outputs keep their chronological order). Everywhere
+        // the global fold order is observable — FIFO ties in the
+        // delivery calendar — this reproduces the sequential engines'
+        // node-index fold order, because equal-length words that end
+        // together also started together.
+        merged.sort_by_key(|&(at, gi, _)| (at, gi));
+        for (_, gi, output) in merged {
+            let from = self.nodes[gi].id();
+            self.fold_output(from, output);
+        }
+        self.trace.seal();
+        match failed {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Tail of a sharded run: bring every node to the horizon, then
+    /// apply anything due at exactly `t_end` — the order the sequential
+    /// engines use. Shard stimulus queues can only hold `t_end`-exact
+    /// leftovers here (epochs consume everything earlier).
+    fn finish_sharded(&mut self, shards: &mut [Shard], t_end: SimTime) -> Result<(), NodeError> {
+        self.advance_all(t_end)?;
+        self.process_due(t_end);
+        for shard in shards.iter_mut() {
+            while let Some((due, local, stim)) = shard.pop_stimulus() {
+                debug_assert!(due == t_end, "interior stimuli are consumed by epochs");
+                let id = self.nodes[shard.members[local]].id();
+                self.apply_stimulus(id, stim, due);
+            }
+        }
+        self.now = t_end;
+        self.trace.seal();
+        Ok(())
+    }
+
     // ---- shared machinery ----
 
     /// Fold one node's window outputs into the channel, delivery
-    /// calendar and trace (identical for both schedulers — trace byte
+    /// calendar and trace (identical for every scheduler — trace byte
     /// equality depends on it).
     fn fold_outputs(&mut self, from: NodeId, outputs: Vec<NodeOutput>) {
         for output in outputs {
-            match output {
-                NodeOutput::Transmitted { word, start, end } => {
-                    let tx = Transmission {
-                        from,
-                        word,
-                        start,
-                        end,
-                    };
-                    self.channel.transmit(tx);
-                    self.deliveries.schedule(end, tx);
-                    self.trace.record(TraceEvent {
-                        at_ps: start.as_ps(),
-                        node: from,
-                        kind: TraceKind::Transmit { word },
-                    });
-                }
-                NodeOutput::LedWrite { value, at } => {
-                    self.trace.record(TraceEvent {
-                        at_ps: at.as_ps(),
-                        node: from,
-                        kind: TraceKind::Led { value },
-                    });
-                }
-                NodeOutput::RadioModeChanged { .. } => {}
+            self.fold_output(from, output);
+        }
+    }
+
+    /// Fold a single node output (the sharded barrier merge interleaves
+    /// outputs from different nodes, so it folds one at a time).
+    fn fold_output(&mut self, from: NodeId, output: NodeOutput) {
+        match output {
+            NodeOutput::Transmitted { word, start, end } => {
+                let tx = Transmission {
+                    from,
+                    word,
+                    start,
+                    end,
+                };
+                self.channel.transmit(tx);
+                self.deliveries.schedule(end, tx);
+                self.trace.record(TraceEvent {
+                    at_ps: start.as_ps(),
+                    node: from,
+                    kind: TraceKind::Transmit { word },
+                });
             }
+            NodeOutput::LedWrite { value, at } => {
+                self.trace.record(TraceEvent {
+                    at_ps: at.as_ps(),
+                    node: from,
+                    kind: TraceKind::Led { value },
+                });
+            }
+            NodeOutput::RadioModeChanged { .. } => {}
         }
     }
 
@@ -579,8 +928,8 @@ impl NetworkSim {
             if due > t {
                 break;
             }
-            let (_, (id, stimulus)) = self.stimuli.pop().expect("peeked");
-            self.apply_stimulus(id, stimulus, t);
+            let (due, (id, stimulus)) = self.stimuli.pop().expect("peeked");
+            self.apply_stimulus(id, stimulus, due);
         }
         self.expire_channel(t);
     }
@@ -638,5 +987,182 @@ impl NetworkSim {
             node: id,
             kind: TraceKind::Stimulus,
         });
+    }
+}
+
+/// One spatial shard of a [`Scheduler::Sharded`] run: a group of grid
+/// cells' nodes with a private wake calendar, advanced independently of
+/// every other shard inside each conservative epoch. All cross-shard
+/// interaction flows through the coordinator at epoch barriers.
+pub(crate) struct Shard {
+    /// Global node indices owned by this shard (grid-cell order).
+    members: Vec<usize>,
+    /// Wake calendar keyed by position in `members`.
+    wake: WakeQueue,
+    /// This run's stimuli for member nodes — `(due, member position,
+    /// stimulus)` — ascending by due time (global-calendar pop order).
+    stimuli: VecDeque<(SimTime, usize, Stimulus)>,
+    /// Pending-stimulus count per member position: lets `run_member`
+    /// skip the queue scan for the (vast) majority of wakes whose node
+    /// has no stimulus left this run.
+    pending_stimuli: Vec<u32>,
+    /// Outputs produced this epoch: `(output instant ps, global node
+    /// index, output)`; the barrier merge sorts by that pair.
+    outputs: Vec<(u64, usize, NodeOutput)>,
+    /// Trace events produced this epoch (stimulus records), flushed
+    /// into the global trace at the barrier.
+    trace: Vec<TraceEvent>,
+    /// Members advanced this epoch (telemetry).
+    ran: usize,
+    /// First node error this epoch, with the global node index.
+    error: Option<(usize, NodeError)>,
+}
+
+impl Shard {
+    fn new(members: Vec<usize>) -> Shard {
+        Shard {
+            pending_stimuli: vec![0; members.len()],
+            members,
+            wake: WakeQueue::new(),
+            stimuli: VecDeque::new(),
+            outputs: Vec::new(),
+            trace: Vec::new(),
+            ran: 0,
+            error: None,
+        }
+    }
+
+    /// Enqueue one stimulus (entries arrive in ascending due order).
+    fn push_stimulus(&mut self, due: SimTime, local: usize, stim: Stimulus) {
+        self.pending_stimuli[local] += 1;
+        self.stimuli.push_back((due, local, stim));
+    }
+
+    /// Dequeue the earliest pending stimulus.
+    fn pop_stimulus(&mut self) -> Option<(SimTime, usize, Stimulus)> {
+        let entry = self.stimuli.pop_front()?;
+        self.pending_stimuli[entry.1] -= 1;
+        Some(entry)
+    }
+
+    /// Advance this shard's due members up to (but excluding) `to`.
+    ///
+    /// `to` is a conservative bound chosen by the coordinator: no radio
+    /// delivery can become due strictly inside the epoch, so the shard
+    /// needs nothing from the rest of the network until the barrier.
+    /// Work falling exactly *at* `to` (wakes, stimuli) is left for the
+    /// next epoch's phase 1, so deliveries at `to` keep the sequential
+    /// deliveries-before-stimuli-before-execution order.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point at the simulator's node slice, every index in
+    /// `members` must be owned by this shard alone for the duration of
+    /// the call, and the caller must not touch those nodes until the
+    /// epoch completes.
+    pub(crate) unsafe fn run_epoch(&mut self, base: *mut Node, to: SimTime) {
+        while self.error.is_none() {
+            let wake_t = self.wake.peek().map(|(wt, _)| wt).filter(|&wt| wt < to);
+            let stim_t = self.stimuli.front().map(|s| s.0).filter(|&st| st < to);
+            match (wake_t, stim_t) {
+                (None, None) => return,
+                // Stimuli win ties: the sequential engines apply a
+                // stimulus due at `t` before running the batch due at
+                // `t`.
+                (w, Some(st)) if w.is_none_or(|wt| st <= wt) => {
+                    let (due, local, stim) = self.pop_stimulus().expect("peeked");
+                    unsafe { self.apply_stimulus(base, due, local, stim) };
+                }
+                _ => {
+                    let (_, local) = self.wake.pop().expect("peeked");
+                    unsafe { self.run_member(base, local, to) };
+                }
+            }
+        }
+    }
+
+    /// Run one member to the epoch bound, collecting its outputs.
+    ///
+    /// A pending stimulus for this member caps its advance below the
+    /// bound: the sequential engines end their window at the stimulus
+    /// instant and interrupt the node there, so running past it would
+    /// deliver the interrupt late in node-local time. The stimulus
+    /// queue is time-ordered, so the first entry for this member is
+    /// its earliest.
+    unsafe fn run_member(&mut self, base: *mut Node, local: usize, to: SimTime) {
+        let gi = self.members[local];
+        // The scan is O(queue), but it only runs for members that
+        // still have a stimulus pending this run — for everyone else
+        // the per-member count short-circuits it.
+        let cap = if self.pending_stimuli[local] == 0 {
+            to
+        } else {
+            self.stimuli
+                .iter()
+                .find(|s| s.1 == local)
+                .map_or(to, |s| s.0.min(to))
+        };
+        // SAFETY: `gi` is a member index, owned by this shard alone.
+        let node = unsafe { &mut *base.add(gi) };
+        self.ran += 1;
+        match node.run_until(cap) {
+            Ok(outputs) => {
+                for output in outputs {
+                    let at = match &output {
+                        NodeOutput::Transmitted { start, .. } => start.as_ps(),
+                        NodeOutput::LedWrite { at, .. } => at.as_ps(),
+                        NodeOutput::RadioModeChanged { .. } => continue,
+                    };
+                    self.outputs.push((at, gi, output));
+                }
+                self.rekey(node, local);
+            }
+            Err(e) => self.error = Some((gi, e)),
+        }
+    }
+
+    /// Apply one stimulus at its exact due instant.
+    unsafe fn apply_stimulus(
+        &mut self,
+        base: *mut Node,
+        due: SimTime,
+        local: usize,
+        stim: Stimulus,
+    ) {
+        let gi = self.members[local];
+        // SAFETY: `gi` is a member index, owned by this shard alone.
+        let node = unsafe { &mut *base.add(gi) };
+        // Sync the target's clock to the stimulus instant. `due` is no
+        // later than any member wake (the epoch loop always picks the
+        // minimum instant), so this executes nothing.
+        match node.run_until(due) {
+            Ok(outputs) => {
+                debug_assert!(outputs.is_empty(), "clock sync must not produce outputs");
+            }
+            Err(e) => {
+                self.error = Some((gi, e));
+                return;
+            }
+        }
+        match stim {
+            Stimulus::SensorIrq => {
+                node.trigger_sensor_irq();
+            }
+            Stimulus::SensorReading { id, value } => node.sensors_mut().set_reading(id, value),
+        }
+        self.trace.push(TraceEvent {
+            at_ps: due.as_ps(),
+            node: node.id(),
+            kind: TraceKind::Stimulus,
+        });
+        self.rekey(node, local);
+    }
+
+    /// Refresh one member's wake-calendar entry from its node state.
+    fn rekey(&mut self, node: &Node, local: usize) {
+        match node.next_activity() {
+            Some(wt) => self.wake.set(local, wt),
+            None => self.wake.remove(local),
+        }
     }
 }

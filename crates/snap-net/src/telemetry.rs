@@ -38,7 +38,7 @@ impl NetworkSim {
     /// `tool` names the producer (`netsim`, a test, a bench);
     /// `vdd_v` records the operating voltage the nodes ran at.
     pub fn metrics_report(&self, tool: &str, vdd_v: f64) -> Value {
-        let nodes = (1..=self.node_count() as u16)
+        let nodes = (1..=self.node_count() as u32)
             .map(|id| snap_telemetry::node_metrics(i64::from(id), self.node(NodeId(id)).cpu()))
             .collect();
         snap_telemetry::report(
@@ -56,7 +56,7 @@ impl NetworkSim {
     pub fn chrome_trace(&self) -> ChromeTrace {
         let mut chrome = ChromeTrace::new();
         chrome.process_name("snap-net");
-        for id in 1..=self.node_count() as u16 {
+        for id in 1..=self.node_count() as u32 {
             let tid = i64::from(id);
             chrome.thread_name(tid, &format!("node{id}"));
             if let Some(sampler) = self.node(NodeId(id)).cpu().sampler() {

@@ -66,6 +66,30 @@ pub struct Trace {
     events: Vec<TraceEvent>,
     mode: TraceMode,
     recorded: u64,
+    /// Buffer index below which events are already in canonical order
+    /// (see [`Trace::seal`]).
+    sealed: usize,
+}
+
+/// Canonical intra-chunk sort key (see [`Trace::seal`]). The `class`
+/// component encodes which side of a chunk boundary an event at the
+/// boundary instant belongs to: node-produced events (`Transmit`,
+/// `Led`) have timestamps strictly inside the chunk that produced them,
+/// while channel/stimulus events (`Deliver`, `Collision`, `Stimulus`)
+/// are applied at the *start* of the chunk that consumes them. Sorting
+/// by `(at_ps, class, …)` therefore orders any concatenation of sealed
+/// chunks identically, regardless of where the scheduler happened to
+/// place its chunk boundaries. The remaining components cover every
+/// event field, so the key is total: equal keys mean equal events.
+fn canonical_key(e: &TraceEvent) -> (u64, u8, u32, u8, u32, u16) {
+    let (class, rank, from, payload) = match e.kind {
+        TraceKind::Transmit { word } => (0, 0, 0, word),
+        TraceKind::Led { value } => (0, 1, 0, value),
+        TraceKind::Deliver { word, from } => (1, 0, from.0, word),
+        TraceKind::Collision { from } => (1, 1, from.0, 0),
+        TraceKind::Stimulus => (1, 2, 0, 0),
+    };
+    (e.at_ps, class, e.node.0, rank, from, payload)
 }
 
 impl Trace {
@@ -83,11 +107,14 @@ impl Trace {
             TraceMode::Ring(cap) => {
                 let cap = cap.max(1);
                 if self.events.len() > cap {
-                    self.events.drain(..self.events.len() - cap);
+                    let dropped = self.events.len() - cap;
+                    self.events.drain(..dropped);
+                    self.sealed = self.sealed.saturating_sub(dropped);
                 }
             }
             TraceMode::CountOnly => {
                 self.events = Vec::new();
+                self.sealed = 0;
             }
         }
     }
@@ -109,7 +136,9 @@ impl Trace {
                 // stays a plain slice (no ring-buffer index juggling
                 // at every call site) at O(1) amortized cost.
                 if self.events.len() >= cap * 2 {
-                    self.events.drain(..self.events.len() - (cap - 1));
+                    let dropped = self.events.len() - (cap - 1);
+                    self.events.drain(..dropped);
+                    self.sealed = self.sealed.saturating_sub(dropped);
                 }
                 self.events.push(event);
             }
@@ -120,6 +149,22 @@ impl Trace {
     /// Total events recorded, including any no longer retained.
     pub fn recorded(&self) -> u64 {
         self.recorded
+    }
+
+    /// Canonically order the events recorded since the last `seal`.
+    ///
+    /// Schedulers call this at every chunk boundary (scheduling window
+    /// or shard epoch). Within a chunk, nodes execute in arbitrary
+    /// order — whichever batch layout or shard the scheduler chose — so
+    /// raw recording order is scheduler-dependent. Sorting each chunk
+    /// by a canonical total key makes the final trace a pure function
+    /// of simulated behaviour: every scheduler produces the identical
+    /// event vector (the equivalence suite relies on this). In ring
+    /// mode, events evicted before their chunk was sealed are simply
+    /// gone; the retained tail is still sorted per chunk.
+    pub fn seal(&mut self) {
+        self.events[self.sealed..].sort_unstable_by_key(canonical_key);
+        self.sealed = self.events.len();
     }
 
     /// Retained events, in recording order (in ring mode: the most
@@ -248,6 +293,56 @@ mod tests {
         let kept: Vec<u64> = t.events().iter().map(|e| e.at_ps).collect();
         assert_eq!(kept, vec![4, 5]);
         assert_eq!(t.recorded(), 6);
+    }
+
+    #[test]
+    fn seal_orders_within_chunks_only() {
+        // Two chunks; the second is recorded out of canonical order.
+        let ev = |at_ps, node| TraceEvent {
+            at_ps,
+            node: NodeId(node),
+            kind: TraceKind::Transmit { word: 1 },
+        };
+        let mut t = Trace::new();
+        t.record(ev(5, 1));
+        t.seal();
+        t.record(ev(9, 2));
+        t.record(ev(7, 3));
+        t.record(ev(7, 1));
+        t.seal();
+        let order: Vec<(u64, u32)> = t.events().iter().map(|e| (e.at_ps, e.node.0)).collect();
+        assert_eq!(order, vec![(5, 1), (7, 1), (7, 3), (9, 2)]);
+        // Same instant: channel-side events sort after node-produced
+        // ones — they belong to the chunk that consumes the instant.
+        let mut t = Trace::new();
+        t.record(TraceEvent {
+            at_ps: 7,
+            node: NodeId(9),
+            kind: TraceKind::Deliver {
+                word: 1,
+                from: NodeId(1),
+            },
+        });
+        t.record(ev(7, 1));
+        t.seal();
+        assert!(matches!(t.events()[0].kind, TraceKind::Transmit { .. }));
+        assert!(matches!(t.events()[1].kind, TraceKind::Deliver { .. }));
+    }
+
+    #[test]
+    fn seal_survives_ring_evictions() {
+        let mut t = Trace::new();
+        t.set_mode(TraceMode::Ring(2));
+        for i in 0..9u64 {
+            t.record(TraceEvent {
+                at_ps: 10 - i, // deliberately decreasing
+                node: NodeId(1),
+                kind: TraceKind::Stimulus,
+            });
+            t.seal();
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.recorded(), 9);
     }
 
     #[test]

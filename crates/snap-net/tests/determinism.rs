@@ -56,7 +56,7 @@ fn parallel_and_sequential_runs_are_bit_identical() {
         parallel.channel().collisions(),
         sequential.channel().collisions()
     );
-    for i in 0u16..10 {
+    for i in 0u32..10 {
         let id = snap_node::NodeId(i + 1);
         let (p, s) = (
             parallel.node(id).cpu().stats(),

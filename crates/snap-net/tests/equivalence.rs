@@ -36,10 +36,11 @@ struct Scenario {
     run_ms: u64,
 }
 
-fn build(s: &Scenario, scheduler: Scheduler, threshold: usize) -> NetworkSim {
+fn build(s: &Scenario, scheduler: Scheduler, threshold: usize, shards: usize) -> NetworkSim {
     let mut sim = NetworkSim::new(12.0);
     sim.set_scheduler(scheduler);
     sim.set_parallel_threshold(threshold);
+    sim.set_shards(shards);
     if s.loss_ppm > 0 {
         sim.set_loss(f64::from(s.loss_ppm) / 1_000_000.0, s.loss_seed);
     }
@@ -66,7 +67,7 @@ fn build(s: &Scenario, scheduler: Scheduler, threshold: usize) -> NetworkSim {
         );
     }
     for &(node, at_us) in &s.extra_irqs {
-        let target = NodeId(u16::from(node % s.mac_nodes) + 1);
+        let target = NodeId(u32::from(node % s.mac_nodes) + 1);
         sim.schedule(
             target,
             SimTime::ZERO + SimDuration::from_us(at_us),
@@ -99,11 +100,14 @@ struct NodeObserved {
     handlers: u64,
 }
 
-fn run(s: &Scenario, scheduler: Scheduler, threshold: usize) -> Observed {
-    let mut sim = build(s, scheduler, threshold);
+fn run(s: &Scenario, scheduler: Scheduler, threshold: usize, shards: usize) -> Observed {
+    let mut sim = build(s, scheduler, threshold, shards);
     sim.run_until(SimTime::ZERO + SimDuration::from_ms(s.run_ms))
         .unwrap();
-    let nodes = u16::from(s.mac_nodes) + u16::from(s.blink_nodes);
+    observe(&sim, u32::from(s.mac_nodes) + u32::from(s.blink_nodes))
+}
+
+fn observe(sim: &NetworkSim, nodes: u32) -> Observed {
     let per_node = (1..=nodes)
         .map(|n| {
             let node = sim.node(NodeId(n));
@@ -157,25 +161,133 @@ proptest! {
             extra_irqs,
             run_ms,
         };
-        // Lockstep sequential is the reference the other three must hit.
-        let reference = run(&s, Scheduler::Lockstep, 100);
+        // Lockstep sequential is the reference the others must hit.
+        let reference = run(&s, Scheduler::Lockstep, 100, 1);
         prop_assert!(
             !reference.trace.is_empty(),
             "vacuous scenario: no traffic at all"
         );
         let configs = [
-            (Scheduler::Lockstep, 1usize, "lockstep/parallel"),
-            (Scheduler::EventDriven, 100, "event-driven/sequential"),
-            (Scheduler::EventDriven, 1, "event-driven/parallel"),
+            (Scheduler::Lockstep, 1usize, 1usize, "lockstep/parallel"),
+            (Scheduler::EventDriven, 100, 1, "event-driven/sequential"),
+            (Scheduler::EventDriven, 1, 1, "event-driven/parallel"),
+            (Scheduler::Sharded, 100, 1, "sharded/1"),
+            (Scheduler::Sharded, 100, 2, "sharded/2"),
+            (Scheduler::Sharded, 100, 4, "sharded/4"),
+            (Scheduler::Sharded, 100, 8, "sharded/8"),
         ];
-        for (scheduler, threshold, label) in configs {
-            let got = run(&s, scheduler, threshold);
+        for (scheduler, threshold, shards, label) in configs {
+            let got = run(&s, scheduler, threshold, shards);
             prop_assert_eq!(
                 &got.trace, &reference.trace,
                 "trace diverged under {}", label
             );
             prop_assert_eq!(&got, &reference, "state diverged under {}", label);
         }
+    }
+
+    /// Sharding is invisible at scale: on a randomized dense grid (64
+    /// to ~500 nodes) with CSMA traffic spanning the whole width — so
+    /// transmissions routinely cross shard boundaries — every shard
+    /// count observes the universe the sequential event-driven
+    /// scheduler does, bit for bit.
+    #[test]
+    fn sharded_grid_matches_sequential(
+        side in 8usize..23,
+        mac_nodes in 4u8..9,
+        loss_ppm in prop::sample::select(vec![0u32, 150_000]),
+        loss_seed in 1u64..1_000,
+        stagger_us in 300u64..1_200,
+        run_ms in 6u64..14,
+    ) {
+        let build_grid = |scheduler: Scheduler, shards: usize| {
+            let mut sim = NetworkSim::new(12.0);
+            sim.set_scheduler(scheduler);
+            sim.set_shards(shards);
+            if loss_ppm > 0 {
+                sim.set_loss(f64::from(loss_ppm) / 1_000_000.0, loss_seed);
+            }
+            // A CSMA ring strung along row 0 of the grid: neighbours
+            // are 8 m apart (in range), and with shard cells sorted
+            // spatially the ring spans several shards.
+            for i in 0..mac_nodes {
+                let dst = if i + 1 == mac_nodes { 1 } else { i + 2 };
+                let extra = install_handler("EV_IRQ", "app_send_irq");
+                let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+                let program = mac_program(i + 1, &extra, &app).unwrap();
+                let id = sim.add_node(
+                    &program,
+                    Position::new(f64::from(i) * 8.0, 0.0),
+                );
+                sim.schedule(
+                    id,
+                    SimTime::ZERO
+                        + SimDuration::from_us(1_000 + stagger_us * u64::from(i)),
+                    Stimulus::SensorIrq,
+                );
+            }
+            // The rest of the grid is timer-periodic filler: each node
+            // wakes on its own schedule, exercising the per-shard wake
+            // calendars without adding radio traffic.
+            let filler = side * side - usize::from(mac_nodes);
+            let blink = blink_program().unwrap();
+            sim.add_nodes_from(
+                &blink,
+                snap_core::CoreConfig::default(),
+                (0..filler).map(|i| {
+                    let slot = i + usize::from(mac_nodes);
+                    Position::new(
+                        (slot % side) as f64 * 8.0,
+                        (slot / side) as f64 * 8.0,
+                    )
+                }),
+            );
+            sim
+        };
+        let nodes = (side * side) as u32;
+        let horizon = SimTime::ZERO + SimDuration::from_ms(run_ms);
+        let mut reference_sim = build_grid(Scheduler::EventDriven, 1);
+        reference_sim.run_until(horizon).unwrap();
+        let reference = observe(&reference_sim, nodes);
+        prop_assert!(!reference.trace.is_empty(), "vacuous grid scenario");
+        for shards in [1usize, 2, 4, 8] {
+            let mut sim = build_grid(Scheduler::Sharded, shards);
+            sim.run_until(horizon).unwrap();
+            let got = observe(&sim, nodes);
+            prop_assert_eq!(
+                &got.trace, &reference.trace,
+                "trace diverged at {} shards", shards
+            );
+            prop_assert_eq!(&got, &reference, "state diverged at {} shards", shards);
+        }
+    }
+}
+
+/// The fade RNG is drawn by the coordinator in delivery order, so the
+/// loss/fade sequence must not depend on how the fleet is sharded:
+/// with 30% word loss the faded/delivered/collided counters and the
+/// full trace are identical at every shard count.
+#[test]
+fn fade_sequence_is_independent_of_shard_count() {
+    let s = Scenario {
+        mac_nodes: 7,
+        blink_nodes: 2,
+        loss_ppm: 300_000,
+        loss_seed: 42,
+        stagger_us: 500,
+        extra_irqs: vec![(2, 9_000), (5, 15_000), (0, 21_000)],
+        run_ms: 35,
+    };
+    let reference = run(&s, Scheduler::EventDriven, 100, 1);
+    assert!(reference.faded > 0, "scenario never exercised the fade RNG");
+    for shards in [1usize, 2, 3, 4, 8] {
+        let got = run(&s, Scheduler::Sharded, 100, shards);
+        assert_eq!(
+            (got.faded, got.deliveries, got.collisions),
+            (reference.faded, reference.deliveries, reference.collisions),
+            "channel counters diverged at {shards} shards"
+        );
+        assert_eq!(got, reference, "state diverged at {shards} shards");
     }
 }
 
@@ -193,7 +305,9 @@ fn quiet_tail_is_fast_forwarded_identically() {
         extra_irqs: vec![],
         run_ms: 120, // traffic is over in ~10 ms; 110 ms of near-silence
     };
-    let reference = run(&s, Scheduler::Lockstep, 100);
-    let event_driven = run(&s, Scheduler::EventDriven, 100);
+    let reference = run(&s, Scheduler::Lockstep, 100, 1);
+    let event_driven = run(&s, Scheduler::EventDriven, 100, 1);
     assert_eq!(event_driven, reference);
+    let sharded = run(&s, Scheduler::Sharded, 100, 4);
+    assert_eq!(sharded, reference);
 }

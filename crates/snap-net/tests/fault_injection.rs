@@ -62,7 +62,7 @@ fn run(loss: f64, seed: u64) -> MacCounters {
         .unwrap();
     // Symbols are assembly-time: re-derive them from a fresh assembly
     // of the same program each node was built with.
-    let read = |node: u16, sym: &str| -> u64 {
+    let read = |node: u32, sym: &str| -> u64 {
         let extra = install_handler("EV_IRQ", "app_send_irq");
         let app = format!("{}{}", send_on_irq_app(3 - node as u8), RX_DISPATCH_STUB);
         let addr = mac_program(node as u8, &extra, &app)

@@ -71,7 +71,7 @@ fn run(seeds: &[u64; 3], loss: f64, scheduler: Scheduler, threshold: usize) -> O
     let mut sim = build(seeds, loss, scheduler, threshold);
     sim.run_until(SimTime::ZERO + SimDuration::from_ms(8))
         .unwrap();
-    let per_node = (1..=3u16)
+    let per_node = (1..=3u32)
         .map(|n| {
             let node = sim.node(NodeId(n));
             let stats = node.cpu().stats();

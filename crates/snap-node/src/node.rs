@@ -12,7 +12,7 @@ use std::fmt;
 
 /// Identifies a node within a network simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -171,6 +171,25 @@ impl Node {
     /// This node's identity.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Clone this node under a new identity.
+    ///
+    /// Memory banks and the decode cache are copy-on-write, so cloning
+    /// a fully-loaded template is the cheap way to build large fleets:
+    /// the program image and predecoded instructions are shared until a
+    /// node first writes to its own DMEM.
+    pub fn clone_with_id(&self, id: NodeId) -> Node {
+        Node {
+            id,
+            cpu: self.cpu.clone(),
+            radio: self.radio.clone(),
+            sensors: self.sensors.clone(),
+            led: self.led.clone(),
+            pending: Calendar::new(),
+            step_limit: self.step_limit,
+            run_steps: self.run_steps,
+        }
     }
 
     /// The processor (statistics, registers, memories).

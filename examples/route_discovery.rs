@@ -71,7 +71,7 @@ fn main() {
 
     // Show every node's learned routing table.
     for (i, program) in programs.iter().enumerate() {
-        let node = NodeId(i as u16 + 1);
+        let node = NodeId(i as u32 + 1);
         let table = program.symbol("rt_table").unwrap();
         let mut routes = Vec::new();
         for slot in 0..8 {

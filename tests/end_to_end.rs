@@ -125,7 +125,7 @@ fn ten_node_network_is_stable() {
     );
     // Every intermediate node forwarded exactly once.
     let fwds = prog.symbol("aodv_fwds").unwrap();
-    for i in 1..=9u16 {
+    for i in 1..=9u32 {
         assert_eq!(
             sim.node(snap_node::NodeId(i)).cpu().dmem().read(fwds),
             1,
@@ -357,7 +357,7 @@ app_deliver:
     }
     // Stagger the sampling so the shared channel is not saturated.
     for i in 2..=20u64 {
-        sim.schedule(snap_node::NodeId(i as u16), ms(10 * i), Stimulus::SensorIrq);
+        sim.schedule(snap_node::NodeId(i as u32), ms(10 * i), Stimulus::SensorIrq);
     }
     sim.run_until(ms(400)).unwrap();
 
@@ -368,7 +368,7 @@ app_deliver:
         "most reports must arrive (collisions may eat a few): {delivered}"
     );
     // No node faulted, every sampler transmitted.
-    for i in 2..=20u16 {
+    for i in 2..=20u32 {
         assert!(sim.node(snap_node::NodeId(i)).radio().words_sent() >= 4);
     }
 }

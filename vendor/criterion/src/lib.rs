@@ -25,11 +25,21 @@ impl Default for Criterion {
 }
 
 /// One benchmark's timing summary.
+///
+/// The measurement window is split into samples (batches of
+/// iterations); `min` and `median` are per-iteration times across
+/// those samples, so a single noisy sample (a context switch, a page
+/// fault storm) shows up as a mean/median gap instead of silently
+/// skewing the only number reported.
 #[derive(Debug, Clone, Copy)]
 pub struct Summary {
-    /// Mean wall-clock time per iteration.
+    /// Mean wall-clock time per iteration, across all samples.
     pub mean: Duration,
-    /// Iterations measured.
+    /// Fastest sample's per-iteration time (least-noise estimate).
+    pub min: Duration,
+    /// Median sample's per-iteration time (noise-robust estimate).
+    pub median: Duration,
+    /// Iterations measured (across all samples, excluding warm-up).
     pub iterations: u64,
 }
 
@@ -47,7 +57,9 @@ impl Criterion {
     {
         let summary = run_bench(self.measurement_time, &mut f);
         println!(
-            "{name:<40} time: [{} /iter over {} iters]",
+            "{name:<40} time: [min {} / med {} / mean {} per iter over {} iters]",
+            format_duration(summary.min),
+            format_duration(summary.median),
             format_duration(summary.mean),
             summary.iterations
         );
@@ -64,9 +76,13 @@ impl Criterion {
     }
 }
 
+/// Samples the measurement window is split into (when the routine is
+/// fast enough to fit that many batches).
+const SAMPLES: u64 = 10;
+
 fn run_bench<F: FnMut(&mut Bencher)>(window: Duration, f: &mut F) -> Summary {
-    // Warm-up and calibration pass: one timed iteration decides how
-    // many iterations fit the measurement window.
+    // Calibration: one timed iteration decides how many iterations
+    // fit the measurement window.
     let mut b = Bencher {
         iterations: 1,
         elapsed: Duration::ZERO,
@@ -75,14 +91,39 @@ fn run_bench<F: FnMut(&mut Bencher)>(window: Duration, f: &mut F) -> Summary {
     let once = b.elapsed.max(Duration::from_nanos(1));
     let target = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
+    // Warm-up: a slice of the target, discarded. The calibration
+    // iteration above ran cold (allocator, caches, branch
+    // predictors); measuring only after a warm-up pass keeps the
+    // first measured sample comparable to the rest.
     let mut b = Bencher {
-        iterations: target,
+        iterations: (target / SAMPLES).max(1),
         elapsed: Duration::ZERO,
     };
     f(&mut b);
+
+    // Measurement: up to SAMPLES batches, each timed separately so
+    // min/median over batches are available alongside the mean.
+    let per_sample = (target / SAMPLES).max(1);
+    let samples = (target / per_sample).max(1);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples as usize);
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / per_sample.max(1) as u32);
+        total += b.elapsed;
+        iterations += per_sample;
+    }
+    per_iter.sort_unstable();
     Summary {
-        mean: b.elapsed / b.iterations.max(1) as u32,
-        iterations: b.iterations,
+        mean: total / iterations.max(1) as u32,
+        min: per_iter[0],
+        median: per_iter[per_iter.len() / 2],
+        iterations,
     }
 }
 
@@ -148,6 +189,18 @@ mod tests {
             c.measure_function(&mut |b: &mut Bencher| b.iter(|| black_box(1u64.wrapping_add(2))));
         assert!(summary.iterations >= 1);
         assert!(summary.mean <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sample_stats_are_ordered() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let summary = c.measure_function(&mut |b: &mut Bencher| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()))
+        });
+        assert!(summary.min <= summary.median, "min beyond median");
+        // The mean sits somewhere within the sample spread.
+        assert!(summary.min <= summary.mean);
+        assert!(summary.min > Duration::ZERO);
     }
 
     #[test]
