@@ -71,6 +71,24 @@ fn check(name: &str, program: &Program, sc: &Script) {
     let text = render(&on);
     assert_eq!(text, render(&off), "{name}: predecode changed the trace");
 
+    // The batched translation tiers expose no per-instruction trace,
+    // but their final observation — registers, memories, event
+    // counters, energy *bits* — must match the stepped run that the
+    // golden file pins, for each benchmark app specifically.
+    for runner in Runner::CORE_CONFIGS {
+        if matches!(runner, Runner::CoreStep { .. }) {
+            continue;
+        }
+        let burst = run_program(program, sc, runner)
+            .unwrap_or_else(|e| panic!("{name}: {} run failed: {e}", runner.label()));
+        assert_eq!(
+            on.observed,
+            burst.observed,
+            "{name}: {} diverged from the golden stepped run",
+            runner.label()
+        );
+    }
+
     let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
     if std::env::var_os("SNAP_BLESS").is_some() {
         std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));

@@ -17,6 +17,7 @@
 //! drives random self-modifying programs against both).
 
 use crate::energy_acct::InstrCosts;
+use crate::fuse::{FusedSlot, MAX_TRACE_WORDS};
 use snap_isa::{Addr, Instruction, MEM_WORDS};
 use std::sync::Arc;
 
@@ -40,6 +41,11 @@ pub struct Predecoded {
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
     slots: Arc<[Option<Predecoded>; MEM_WORDS]>,
+    /// Tier-1 fusion verdicts, one per possible trace entry address.
+    /// Shares the slot array's CoW discipline so a fleet shares one
+    /// fused image; invalidated alongside the decode slots (a write at
+    /// `addr` clears every entry whose trace could span `addr`).
+    fused: Arc<Vec<FusedSlot>>,
 }
 
 impl Default for DecodeCache {
@@ -53,6 +59,7 @@ impl DecodeCache {
     pub fn new() -> DecodeCache {
         DecodeCache {
             slots: Arc::new([None; MEM_WORDS]),
+            fused: Arc::new(vec![FusedSlot::Unknown; MEM_WORDS]),
         }
     }
 
@@ -69,19 +76,37 @@ impl DecodeCache {
         Arc::make_mut(&mut self.slots)[at as usize & ADDR_MASK] = Some(entry);
     }
 
+    /// The fusion verdict for a trace entered at `at`.
+    #[inline]
+    pub(crate) fn fused_get(&self, at: Addr) -> &FusedSlot {
+        &self.fused[at as usize & ADDR_MASK]
+    }
+
+    /// Record the fusion verdict for traces entered at `at`.
+    pub(crate) fn fused_set(&mut self, at: Addr, slot: FusedSlot) {
+        Arc::make_mut(&mut self.fused)[at as usize & ADDR_MASK] = slot;
+    }
+
     /// Invalidate after an IMEM word write at `addr`: the instruction
     /// starting there and the two-word instruction starting one word
-    /// earlier (whose immediate lives at `addr`).
+    /// earlier (whose immediate lives at `addr`), plus every fused
+    /// trace whose span could include `addr` (traces cover at most
+    /// [`MAX_TRACE_WORDS`] words, so entries up to that far back).
     #[inline]
     pub fn invalidate_write(&mut self, addr: Addr) {
         let slots = Arc::make_mut(&mut self.slots);
         slots[addr as usize & ADDR_MASK] = None;
         slots[(addr as usize).wrapping_sub(1) & ADDR_MASK] = None;
+        let fused = Arc::make_mut(&mut self.fused);
+        for back in 0..MAX_TRACE_WORDS {
+            fused[(addr as usize).wrapping_sub(back) & ADDR_MASK] = FusedSlot::Unknown;
+        }
     }
 
     /// Drop every entry (bulk IMEM load).
     pub fn invalidate_all(&mut self) {
         Arc::make_mut(&mut self.slots).fill(None);
+        Arc::make_mut(&mut self.fused).fill(FusedSlot::Unknown);
     }
 }
 
@@ -146,7 +171,34 @@ mod tests {
     fn invalidate_all_clears() {
         let mut c = DecodeCache::new();
         c.insert(3, entry());
+        c.fused_set(3, FusedSlot::NoFuse);
         c.invalidate_all();
         assert!(c.get(3).is_none());
+        assert_eq!(*c.fused_get(3), FusedSlot::Unknown);
+    }
+
+    #[test]
+    fn write_invalidates_fused_span() {
+        let mut c = DecodeCache::new();
+        let entry_at = 40 as Addr;
+        c.fused_set(entry_at, FusedSlot::NoFuse);
+        // A write at the far end of the maximum span clears the entry…
+        c.invalidate_write(entry_at + MAX_TRACE_WORDS as Addr - 1);
+        assert_eq!(*c.fused_get(entry_at), FusedSlot::Unknown);
+        // …but one word past the span leaves it alone.
+        c.fused_set(entry_at, FusedSlot::NoFuse);
+        c.invalidate_write(entry_at + MAX_TRACE_WORDS as Addr);
+        assert_eq!(*c.fused_get(entry_at), FusedSlot::NoFuse);
+    }
+
+    #[test]
+    fn fused_span_invalidation_wraps() {
+        let mut c = DecodeCache::new();
+        let entry_at = (MEM_WORDS - 2) as Addr;
+        c.fused_set(entry_at, FusedSlot::NoFuse);
+        // A trace entered two words before the top of IMEM can wrap
+        // around to low addresses; a write there must clear it.
+        c.invalidate_write(3);
+        assert_eq!(*c.fused_get(entry_at), FusedSlot::Unknown);
     }
 }

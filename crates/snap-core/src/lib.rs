@@ -14,7 +14,11 @@
 //!   fifteen-entry register file with its carry flag.
 //! * [`decode_cache`] — the simulator's predecoded-IMEM fast path:
 //!   decode and model costs computed once per address, invalidated on
-//!   self-modifying `isw` stores.
+//!   self-modifying `isw` stores; also holds the tier-1 superinstruction
+//!   fusion verdicts.
+//! * [`translate`] — tier-2 AOT translation: whole basic blocks of
+//!   proven-terminating handlers compiled to closed micro-op traces
+//!   (see [`processor::Engine`]).
 //! * [`energy_acct`] — per-instruction energy/latency accounting against
 //!   the calibrated `snap-energy` model, attributed per component and
 //!   per instruction class (reproducing Fig. 4 and §4.4).
@@ -50,6 +54,7 @@
 pub mod decode_cache;
 pub mod energy_acct;
 pub mod event_queue;
+mod fuse;
 pub mod memory;
 pub mod msg_cop;
 pub mod processor;
@@ -57,14 +62,16 @@ pub mod profile;
 pub mod regfile;
 pub mod sampler;
 pub mod timer_cop;
+pub mod translate;
 
 pub use decode_cache::DecodeCache;
 pub use energy_acct::EnergyAccountant;
 pub use event_queue::EventQueue;
 pub use memory::MemBank;
 pub use msg_cop::{EnvAction, MsgCoprocessor};
-pub use processor::{CoreConfig, CoreState, CoreStats, Processor, StepError, StepOutcome};
+pub use processor::{CoreConfig, CoreState, CoreStats, Engine, Processor, StepError, StepOutcome};
 pub use profile::{HandlerProfile, HandlerStats};
 pub use regfile::RegFile;
 pub use sampler::{HandlerSample, HandlerSampler};
 pub use timer_cop::TimerCoprocessor;
+pub use translate::{AotImage, AotRegion};

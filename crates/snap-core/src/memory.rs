@@ -38,11 +38,13 @@ impl MemBank {
     }
 
     /// Read the word at `addr` (the address wraps modulo 2048).
+    #[inline]
     pub fn read(&self, addr: Addr) -> Word {
         self.words[addr as usize & ADDR_MASK]
     }
 
     /// Write the word at `addr` (the address wraps modulo 2048).
+    #[inline]
     pub fn write(&mut self, addr: Addr, value: Word) {
         Arc::make_mut(&mut self.words)[addr as usize & ADDR_MASK] = value;
     }

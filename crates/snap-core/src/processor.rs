@@ -16,19 +16,44 @@
 use crate::decode_cache::{DecodeCache, Predecoded};
 use crate::energy_acct::EnergyAccountant;
 use crate::event_queue::EventQueue;
+use crate::fuse::{self, ExecCtx, FusedSlot};
 use crate::memory::MemBank;
 use crate::msg_cop::{EnvAction, MsgCoprocessor};
 use crate::profile::HandlerProfile;
 use crate::regfile::RegFile;
 use crate::sampler::HandlerSampler;
 use crate::timer_cop::TimerCoprocessor;
+use crate::translate::{AotImage, AotRegion};
 use dess::{Lfsr16, SimDuration, SimTime};
 use snap_energy::model::BusModel;
 use snap_energy::{Energy, OperatingPoint};
 use snap_isa::{
-    Addr, AluImmOp, AluOp, DecodeError, EventKind, EventToken, Instruction, Reg, ShiftOp, Word,
+    Addr, AluImmOp, AluOp, DecodeError, EventKind, EventToken, Instruction, Reg, Word,
     EVENT_TABLE_ENTRIES, MEM_WORDS,
 };
+
+/// Which translation tier [`Processor::run_burst`] executes with.
+///
+/// Every engine produces **bit-identical** results — registers,
+/// memories, event order, traces and energy `f64` bits — the tiers only
+/// change how fast the host simulates them (snap-smith's differential
+/// driver holds them to that). [`Processor::step`] always interprets,
+/// whatever the engine; engine selection only affects the batched
+/// burst path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pure interpreter: one decode/dispatch per dynamic instruction
+    /// (the reference semantics).
+    Interp,
+    /// Tier 1: superinstruction fusion over the predecode cache — hot
+    /// multi-word idioms replay as threaded micro-op traces.
+    #[default]
+    Fused,
+    /// Tier 2: fusion plus AOT-compiled basic blocks for regions
+    /// installed via [`Processor::install_aot`] (snap-lint-proven
+    /// handlers); falls back to tier 1, then the interpreter.
+    Aot,
+}
 
 /// Configuration of a [`Processor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,8 +70,12 @@ pub struct CoreConfig {
     pub bus: BusModel,
     /// Cache decoded instructions and their model costs per IMEM
     /// address (default: on). Results are bit-identical either way;
-    /// `false` forces the straight-line path (reference for tests).
+    /// `false` forces the straight-line path (reference for tests) and
+    /// disables translation (both tiers build on the predecode cache).
     pub predecode: bool,
+    /// Translation tier for batched execution (default:
+    /// [`Engine::Fused`]). Results are bit-identical across engines.
+    pub engine: Engine,
 }
 
 impl Default for CoreConfig {
@@ -58,6 +87,7 @@ impl Default for CoreConfig {
             lfsr_seed: 0xACE1,
             bus: BusModel::default(),
             predecode: true,
+            engine: Engine::Fused,
         }
     }
 }
@@ -269,6 +299,9 @@ pub struct Processor {
     regs: RegFile,
     imem: MemBank,
     decode: DecodeCache,
+    /// Tier-2 compiled basic blocks (empty unless installed). Clones
+    /// share the compiled image Arc-CoW style, like the decode cache.
+    aot: AotImage,
     dmem: MemBank,
     event_queue: EventQueue,
     timer: TimerCoprocessor,
@@ -297,6 +330,7 @@ impl Processor {
             regs: RegFile::new(),
             imem: MemBank::new("imem"),
             decode: DecodeCache::new(),
+            aot: AotImage::default(),
             dmem: MemBank::new("dmem"),
             event_queue: EventQueue::with_capacity(config.event_queue_capacity),
             timer: TimerCoprocessor::new(config.timer_tick),
@@ -332,6 +366,7 @@ impl Processor {
         let words: Vec<Word> = program.iter().flat_map(|i| i.encode()).collect();
         self.imem.load(0, &words)?;
         self.decode.invalidate_all();
+        self.aot = AotImage::default();
         Ok(())
     }
 
@@ -347,7 +382,30 @@ impl Processor {
     ) -> Result<(), crate::memory::LoadError> {
         self.imem.load(base, image)?;
         self.decode.invalidate_all();
+        self.aot = AotImage::default();
         Ok(())
+    }
+
+    /// Compile tier-2 AOT blocks for `regions` — handler CFGs a static
+    /// analysis (snap-lint) has proven done-terminating — and install
+    /// them. Replaces any previously installed image; loading a new
+    /// program or image drops it (install after loading). Only
+    /// consulted when the engine is [`Engine::Aot`].
+    ///
+    /// Execution remains bit-identical to the interpreter: blocks only
+    /// cover closed instructions inside the given regions, and any
+    /// unproven edge falls back to tier 1 / the interpreter. `isw`
+    /// stores into a compiled region drop the affected blocks.
+    pub fn install_aot(&mut self, regions: &[AotRegion]) {
+        let image = AotImage::compile(regions, |a| {
+            self.decode_at(a).ok().map(|p| (p.ins, p.costs))
+        });
+        self.aot = image;
+    }
+
+    /// Number of tier-2 compiled blocks currently installed.
+    pub fn aot_block_count(&self) -> usize {
+        self.aot.block_count()
     }
 
     /// Load a raw word image into DMEM at `base`.
@@ -612,12 +670,116 @@ impl Processor {
     /// asleep or halted executes nothing — waking still goes through
     /// [`Processor::step`].
     ///
+    /// Which translation tier runs here is the configured
+    /// [`Engine`]; all tiers honor the same boundary conditions (a
+    /// fused trace or compiled block only replays when *all* of it fits
+    /// the time limit and step budget, since its constituents cannot
+    /// produce actions or leave the running state).
+    ///
     /// # Errors
     ///
     /// See [`StepError`].
     pub fn run_burst(&mut self, limit: SimTime, budget: u64) -> Result<Burst, StepError> {
+        // Both tiers build on predecoded entries; without the cache the
+        // interpreter is the only path.
+        match self.config.engine {
+            _ if !self.config.predecode => self.run_burst_interp(limit, budget),
+            Engine::Interp => self.run_burst_interp(limit, budget),
+            Engine::Fused => self.run_burst_fast(limit, budget, false),
+            Engine::Aot => self.run_burst_fast(limit, budget, true),
+        }
+    }
+
+    /// The reference burst loop: one [`Processor::exec_one`] per
+    /// dynamic instruction.
+    fn run_burst_interp(&mut self, limit: SimTime, budget: u64) -> Result<Burst, StepError> {
         let mut steps = 0u64;
         while self.state == CoreState::Running && self.now < limit && steps < budget {
+            let outcome = self.exec_one()?;
+            steps += 1;
+            if let StepOutcome::Executed {
+                action: Some(action),
+                ..
+            } = outcome
+            {
+                return Ok(Burst {
+                    steps,
+                    action: Some(action),
+                });
+            }
+        }
+        Ok(Burst {
+            steps,
+            action: None,
+        })
+    }
+
+    /// The translated burst loop: replay tier-2 compiled blocks (when
+    /// `aot`) and tier-1 fused traces where available, interpreting
+    /// single instructions everywhere else.
+    fn run_burst_fast(
+        &mut self,
+        limit: SimTime,
+        budget: u64,
+        aot: bool,
+    ) -> Result<Burst, StepError> {
+        let mut steps = 0u64;
+        // Replay `$trace` if the whole of it fits the budget and the
+        // time limit; its intermediate states are then exactly the
+        // interpreter's, and none of its per-instruction boundary
+        // checks could have stopped the burst. Written as a macro so
+        // the trace can stay borrowed from `self.decode`/`self.aot`
+        // while the context borrows the sibling fields.
+        macro_rules! try_trace {
+            ($trace:expr, $at:expr) => {{
+                let trace = $trace;
+                if steps + trace.len <= budget && self.now + trace.prefix < limit {
+                    let mut cx = ExecCtx {
+                        regs: &mut self.regs,
+                        dmem: &mut self.dmem,
+                        acct: &mut self.acct,
+                        bucket: self.profile.bucket_mut(self.current_event),
+                        timer: &mut self.timer,
+                        event_queue: &mut self.event_queue,
+                        now: &mut self.now,
+                        pc: &mut self.pc,
+                    };
+                    steps += fuse::exec_trace_burst(trace, $at, budget - steps, limit, &mut cx);
+                    true
+                } else {
+                    false
+                }
+            }};
+        }
+        while self.state == CoreState::Running && self.now < limit && steps < budget {
+            let at = self.pc;
+            if aot {
+                if let Some(block) = self.aot.block_at(at) {
+                    if try_trace!(block, at) {
+                        continue;
+                    }
+                }
+            }
+            match self.decode.fused_get(at) {
+                FusedSlot::Trace(trace) => {
+                    if try_trace!(&**trace, at) {
+                        continue;
+                    }
+                }
+                FusedSlot::NoFuse => {}
+                FusedSlot::Unknown => {
+                    let slot = fuse::build_trace(at, |a| {
+                        self.decode
+                            .get(a)
+                            .map(|p| (p.ins, p.costs))
+                            .or_else(|| self.decode_at(a).ok().map(|p| (p.ins, p.costs)))
+                    });
+                    self.decode.fused_set(at, slot);
+                    continue;
+                }
+            }
+            // No trace (or it doesn't fit the window): interpret one
+            // instruction, exactly as the reference loop would.
             let outcome = self.exec_one()?;
             steps += 1;
             if let StepOutcome::Executed {
@@ -708,6 +870,13 @@ impl Processor {
                 self.decode.insert(at, entry);
             }
         }
+        // Resolve every tier-1 fusion verdict too, so fleet clones
+        // share one fully-built fused image and never copy-on-write the
+        // verdict array just to fault in a trace lazily.
+        for at in 0..MEM_WORDS as Addr {
+            let slot = fuse::build_trace(at, |a| self.decode.get(a).map(|p| (p.ins, p.costs)));
+            self.decode.fused_set(at, slot);
+        }
     }
 
     /// Fetch, decode and execute the instruction at PC.
@@ -760,7 +929,7 @@ impl Processor {
                     AluOp::Neg => b.wrapping_neg(),
                     _ => {
                         let a = rd_op!(rd);
-                        self.alu_binary(op, a, b)
+                        fuse::alu_binary(&mut self.regs, op, a, b)
                     }
                 };
                 action = self.write_operand(rd, result, at)?;
@@ -771,8 +940,8 @@ impl Processor {
                     _ => {
                         let a = rd_op!(rd);
                         match op {
-                            AluImmOp::Addi => self.alu_binary(AluOp::Add, a, imm),
-                            AluImmOp::Subi => self.alu_binary(AluOp::Sub, a, imm),
+                            AluImmOp::Addi => fuse::alu_binary(&mut self.regs, AluOp::Add, a, imm),
+                            AluImmOp::Subi => fuse::alu_binary(&mut self.regs, AluOp::Sub, a, imm),
                             AluImmOp::Andi => a & imm,
                             AluImmOp::Ori => a | imm,
                             AluImmOp::Xori => a ^ imm,
@@ -787,11 +956,11 @@ impl Processor {
             Instruction::ShiftReg { op, rd, rs } => {
                 let amount = (rd_op!(rs) & 0xf) as u32;
                 let a = rd_op!(rd);
-                action = self.write_operand(rd, shift(op, a, amount), at)?;
+                action = self.write_operand(rd, fuse::shift(op, a, amount), at)?;
             }
             Instruction::ShiftImm { op, rd, amount } => {
                 let a = rd_op!(rd);
-                action = self.write_operand(rd, shift(op, a, amount as u32), at)?;
+                action = self.write_operand(rd, fuse::shift(op, a, amount as u32), at)?;
             }
             Instruction::Load { rd, base, offset } => {
                 let addr = rd_op!(base).wrapping_add(offset);
@@ -813,6 +982,7 @@ impl Processor {
                 let value = rd_op!(rs);
                 self.imem.write(addr, value);
                 self.decode.invalidate_write(addr);
+                self.aot.invalidate_write(addr);
             }
             Instruction::Branch {
                 cond,
@@ -915,37 +1085,6 @@ impl Processor {
         Ok(StepOutcome::Executed { action, ins, at })
     }
 
-    fn alu_binary(&mut self, op: AluOp, a: Word, b: Word) -> Word {
-        match op {
-            AluOp::Add => {
-                let (r, c) = a.overflowing_add(b);
-                self.regs.set_carry(c);
-                r
-            }
-            AluOp::Addc => {
-                let sum = a as u32 + b as u32 + self.regs.carry() as u32;
-                self.regs.set_carry(sum > 0xffff);
-                sum as Word
-            }
-            AluOp::Sub => {
-                let (r, borrow) = a.overflowing_sub(b);
-                self.regs.set_carry(borrow);
-                r
-            }
-            AluOp::Subc => {
-                let diff = a as i32 - b as i32 - self.regs.carry() as i32;
-                self.regs.set_carry(diff < 0);
-                diff as Word
-            }
-            AluOp::And => a & b,
-            AluOp::Or => a | b,
-            AluOp::Xor => a ^ b,
-            AluOp::Slt => ((a as i16) < (b as i16)) as Word,
-            AluOp::Sltu => (a < b) as Word,
-            AluOp::Mov | AluOp::Not | AluOp::Neg => unreachable!("unary ops handled by caller"),
-        }
-    }
-
     /// Read an operand register; `r15` pops the message coprocessor.
     fn read_operand(&mut self, reg: Reg, at: Addr) -> Result<Word, StepError> {
         if reg.is_msg_port() {
@@ -981,57 +1120,94 @@ impl Processor {
     /// Pending timer expiries are fast-forwarded: if the core sleeps with
     /// an active timer, idle time passes instantly until it fires.
     ///
+    /// Running stretches go through [`Processor::run_burst`] (so the
+    /// configured [`Engine`] applies); the unit accounting is exactly
+    /// the historical `step()` loop's — each executed instruction, each
+    /// wake-up, and the final asleep/halted observation all consume one
+    /// of `max_steps`.
+    ///
     /// # Errors
     ///
     /// Any [`StepError`]; [`StepError::StepLimit`] after `max_steps`.
     pub fn run_until_idle(&mut self, max_steps: u64) -> Result<Vec<EnvAction>, StepError> {
+        let no_limit = SimTime::from_ps(u64::MAX);
         let mut actions = Vec::new();
-        for _ in 0..max_steps {
-            match self.step()? {
-                StepOutcome::Executed {
-                    action: Some(a), ..
-                } => actions.push(a),
-                StepOutcome::Executed { action: None, .. } | StepOutcome::Woke { .. } => {}
-                StepOutcome::Asleep | StepOutcome::Halted => return Ok(actions),
+        let mut remaining = max_steps;
+        loop {
+            match self.state {
+                CoreState::Running => {
+                    if remaining == 0 {
+                        return Err(StepError::StepLimit { limit: max_steps });
+                    }
+                    let burst = self.run_burst(no_limit, remaining)?;
+                    remaining -= burst.steps;
+                    if let Some(a) = burst.action {
+                        actions.push(a);
+                    }
+                }
+                CoreState::Asleep | CoreState::Halted => {
+                    if remaining == 0 {
+                        return Err(StepError::StepLimit { limit: max_steps });
+                    }
+                    remaining -= 1;
+                    match self.step()? {
+                        StepOutcome::Asleep | StepOutcome::Halted => return Ok(actions),
+                        // Woke: a handler is running now.
+                        _ => {}
+                    }
+                }
             }
         }
-        Err(StepError::StepLimit { limit: max_steps })
     }
 
     /// Run to `halt`, fast-forwarding through sleeps (timer expiries fire
     /// instantly; a sleep with no timer and no events is [`StepError::Stuck`]).
     ///
+    /// Running stretches go through [`Processor::run_burst`]; unit
+    /// accounting matches the historical `step()` loop, as in
+    /// [`Processor::run_until_idle`].
+    ///
     /// # Errors
     ///
     /// Any [`StepError`]; [`StepError::StepLimit`] after `max_steps`.
     pub fn run_to_halt(&mut self, max_steps: u64) -> Result<Vec<EnvAction>, StepError> {
+        let no_limit = SimTime::from_ps(u64::MAX);
         let mut actions = Vec::new();
-        for _ in 0..max_steps {
-            match self.step()? {
-                StepOutcome::Executed {
-                    action: Some(a), ..
-                } => actions.push(a),
-                StepOutcome::Executed { action: None, .. } | StepOutcome::Woke { .. } => {}
-                StepOutcome::Halted => return Ok(actions),
-                StepOutcome::Asleep => match self.next_timer_expiry() {
-                    Some(at) => {
-                        self.advance_idle(at);
+        let mut remaining = max_steps;
+        loop {
+            match self.state {
+                CoreState::Running => {
+                    if remaining == 0 {
+                        return Err(StepError::StepLimit { limit: max_steps });
                     }
-                    None => return Err(StepError::Stuck { at: self.now }),
-                },
+                    let burst = self.run_burst(no_limit, remaining)?;
+                    remaining -= burst.steps;
+                    if let Some(a) = burst.action {
+                        actions.push(a);
+                    }
+                }
+                CoreState::Asleep => {
+                    if remaining == 0 {
+                        return Err(StepError::StepLimit { limit: max_steps });
+                    }
+                    remaining -= 1;
+                    if matches!(self.step()?, StepOutcome::Asleep) {
+                        match self.next_timer_expiry() {
+                            Some(at) => {
+                                self.advance_idle(at);
+                            }
+                            None => return Err(StepError::Stuck { at: self.now }),
+                        }
+                    }
+                }
+                CoreState::Halted => {
+                    if remaining == 0 {
+                        return Err(StepError::StepLimit { limit: max_steps });
+                    }
+                    return Ok(actions);
+                }
             }
         }
-        Err(StepError::StepLimit { limit: max_steps })
-    }
-}
-
-fn shift(op: ShiftOp, a: Word, amount: u32) -> Word {
-    match op {
-        ShiftOp::Sll => a << amount,
-        ShiftOp::Srl => a >> amount,
-        ShiftOp::Sra => ((a as i16) >> amount) as Word,
-        ShiftOp::Rol => a.rotate_left(amount),
-        ShiftOp::Ror => a.rotate_right(amount),
     }
 }
 

@@ -62,6 +62,7 @@ impl HandlerProfile {
         self.per_event[event.index()].dispatches += 1;
     }
 
+    #[inline]
     pub(crate) fn note_instruction(
         &mut self,
         context: Option<EventKind>,
@@ -75,6 +76,17 @@ impl HandlerProfile {
         bucket.instructions += 1;
         bucket.energy += energy;
         bucket.busy_time += latency;
+    }
+
+    /// The mutable bucket [`HandlerProfile::note_instruction`] would
+    /// charge in `context` — resolved once per fused-trace replay so
+    /// the per-instruction path skips the branch.
+    #[inline]
+    pub(crate) fn bucket_mut(&mut self, context: Option<EventKind>) -> &mut HandlerStats {
+        match context {
+            Some(ev) => &mut self.per_event[ev.index()],
+            None => &mut self.boot,
+        }
     }
 
     /// Statistics for boot code (everything outside any handler).

@@ -26,6 +26,7 @@ impl RegFile {
     ///
     /// Panics on `r15`; the core must route message-port reads to the
     /// message coprocessor before touching the register file.
+    #[inline]
     pub fn read(&self, reg: Reg) -> Word {
         assert!(
             !reg.is_msg_port(),
@@ -39,6 +40,7 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics on `r15` (see [`RegFile::read`]).
+    #[inline]
     pub fn write(&mut self, reg: Reg, value: Word) {
         assert!(
             !reg.is_msg_port(),
@@ -48,11 +50,13 @@ impl RegFile {
     }
 
     /// The carry flag.
+    #[inline]
     pub fn carry(&self) -> bool {
         self.carry
     }
 
     /// Set the carry flag.
+    #[inline]
     pub fn set_carry(&mut self, carry: bool) {
         self.carry = carry;
     }

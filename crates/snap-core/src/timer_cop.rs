@@ -129,6 +129,7 @@ impl TimerCoprocessor {
 
     /// `true` when some active timer has expired at or before `now`
     /// (what [`TimerCoprocessor::poll`] would fire), without allocating.
+    #[inline]
     pub fn any_due(&self, now: SimTime) -> bool {
         self.timers
             .iter()

@@ -1,0 +1,322 @@
+//! Tier-2 translation: AOT-compiled basic blocks for proven handlers.
+//!
+//! Where tier 1 ([`crate::fuse`]) opportunistically fuses short idiom
+//! windows at run time, tier 2 compiles **whole basic blocks** ahead of
+//! time — but only inside handler regions a static analysis
+//! (snap-lint) has proven done-terminating. The caller hands
+//! [`AotImage::compile`] one [`AotRegion`] per proven handler (its
+//! entry plus every CFG node address); the compiler splits each region
+//! at its branch/jump leaders and builds one unbounded
+//! [`FusedTrace`](crate::fuse::FusedTrace) per block. Execution then
+//! chains block to block through the processor's burst loop with no
+//! per-instruction decode at all.
+//!
+//! Safety argument (DESIGN §7): a compiled block contains only closed
+//! micro-ops — the same set tier 1 admits (no `r15`, no
+//! `done`/`halt`/calls, no timer/event/IMEM instructions) — so replay
+//! cannot fault, cannot produce environment actions, and cannot leave
+//! the running state. Anything else ends the block with a
+//! `Fall` terminator that hands the PC back to the interpreter, which
+//! is also the degraded path for edges the proof did not cover.
+//! Accounting replays the interpreter's per-instruction sequence
+//! exactly (see [`crate::fuse`]), so results stay bit-identical.
+//!
+//! Coherence: blocks record their contiguous word span `[start, end)`;
+//! an `isw` store into a span drops every covering block (the leader
+//! index is rebuilt), and bulk image loads reset the whole image. The
+//! inner compiled image is shared Arc-CoW across processor clones, so
+//! a fleet built from one template carries a single copy.
+
+use crate::energy_acct::InstrCosts;
+use crate::fuse::{self, FusedTrace};
+use snap_isa::{Addr, Instruction, MEM_WORDS};
+use std::sync::Arc;
+
+const ADDR_MASK: usize = MEM_WORDS - 1;
+const NO_BLOCK: u32 = u32::MAX;
+
+/// One proven-terminating handler region: the handler's entry address
+/// plus every instruction address in its CFG. Produced from snap-lint's
+/// per-handler analysis by the embedding layer (srun/netsim/snap-smith)
+/// — snap-core deliberately does not depend on the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AotRegion {
+    /// The handler's entry address (becomes the first block leader).
+    pub entry: Addr,
+    /// Every instruction-start address in the handler's CFG.
+    pub addrs: Vec<Addr>,
+}
+
+/// The compiled tier-2 image: basic blocks indexed by leader address.
+/// Cloning shares the image (Arc-CoW); an empty image is free.
+#[derive(Debug, Clone, Default)]
+pub struct AotImage {
+    inner: Option<Arc<AotInner>>,
+}
+
+#[derive(Debug, Clone)]
+struct AotInner {
+    /// Leader address (masked) → index into `blocks`, or [`NO_BLOCK`].
+    index: Vec<u32>,
+    blocks: Vec<AotBlock>,
+}
+
+#[derive(Debug, Clone)]
+struct AotBlock {
+    trace: FusedTrace,
+    /// Word span the block's instructions occupy. `end` is unmasked
+    /// (monotone from `start`), so a span may run past `MEM_WORDS` when
+    /// a block wraps the top of IMEM.
+    start: u32,
+    end: u32,
+}
+
+impl AotImage {
+    /// Compile basic blocks for each region. `decode` supplies the
+    /// instruction and model costs starting at an address (the
+    /// processor's uncached decode path), or `None` where no valid
+    /// instruction starts. Blocks shorter than two instructions are
+    /// skipped — the interpreter handles them at no extra cost.
+    pub fn compile(
+        regions: &[AotRegion],
+        decode: impl Fn(Addr) -> Option<(Instruction, InstrCosts)>,
+    ) -> AotImage {
+        let mut index = vec![NO_BLOCK; MEM_WORDS];
+        let mut blocks = Vec::new();
+        for region in regions {
+            let mut member = vec![false; MEM_WORDS];
+            for &a in &region.addrs {
+                member[a as usize & ADDR_MASK] = true;
+            }
+            // Block leaders: the entry, plus both successors of every
+            // conditional branch and the target of every jump in the
+            // region (a basic block can only be entered at one of
+            // these). Members only — an edge leaving the region is an
+            // interpreter edge.
+            let mut leaders = vec![region.entry];
+            for &a in &region.addrs {
+                let Some((ins, _)) = decode(a) else { continue };
+                match ins {
+                    Instruction::Branch { target, .. } => {
+                        leaders.push(target);
+                        leaders.push(a.wrapping_add(ins.word_count() as Addr));
+                    }
+                    Instruction::Jmp { target } => leaders.push(target),
+                    _ => {}
+                }
+            }
+            leaders.sort_unstable();
+            leaders.dedup();
+            for leader in leaders {
+                let slot = leader as usize & ADDR_MASK;
+                if !member[slot] || index[slot] != NO_BLOCK {
+                    continue;
+                }
+                let run = fuse::build_run(
+                    leader,
+                    usize::MAX,
+                    |a| member[a as usize & ADDR_MASK],
+                    &decode,
+                );
+                if let Some((trace, end)) = run {
+                    index[slot] = blocks.len() as u32;
+                    blocks.push(AotBlock {
+                        trace,
+                        start: leader as u32,
+                        end: if (end as u32) > leader as u32 {
+                            end as u32
+                        } else {
+                            // The run wrapped the 16-bit address space;
+                            // unmask into a monotone span.
+                            end as u32 + MEM_WORDS as u32
+                        },
+                    });
+                }
+            }
+        }
+        if blocks.is_empty() {
+            return AotImage { inner: None };
+        }
+        AotImage {
+            inner: Some(Arc::new(AotInner { index, blocks })),
+        }
+    }
+
+    /// The compiled block whose leader is `at`, if one survives.
+    #[inline]
+    pub(crate) fn block_at(&self, at: Addr) -> Option<&FusedTrace> {
+        let inner = self.inner.as_deref()?;
+        match inner.index[at as usize & ADDR_MASK] {
+            NO_BLOCK => None,
+            i => Some(&inner.blocks[i as usize].trace),
+        }
+    }
+
+    /// Invalidate after an IMEM word write at `addr`: drop every block
+    /// whose span covers the written word and rebuild the leader index.
+    /// No-op (no Arc copy) when nothing covers it.
+    pub fn invalidate_write(&mut self, addr: Addr) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let a = addr as u32 & ADDR_MASK as u32;
+        let covers = |b: &AotBlock| {
+            (a >= b.start && a < b.end)
+                || (a + MEM_WORDS as u32 >= b.start && a + (MEM_WORDS as u32) < b.end)
+        };
+        if !inner.blocks.iter().any(covers) {
+            return;
+        }
+        let inner = Arc::make_mut(self.inner.as_mut().expect("checked above"));
+        inner.blocks.retain(|b| !covers(b));
+        if inner.blocks.is_empty() {
+            self.inner = None;
+            return;
+        }
+        inner.index.fill(NO_BLOCK);
+        for (i, b) in inner.blocks.iter().enumerate() {
+            inner.index[b.start as usize & ADDR_MASK] = i as u32;
+        }
+    }
+
+    /// Number of compiled blocks in the image.
+    pub fn block_count(&self) -> usize {
+        self.inner.as_deref().map_or(0, |i| i.blocks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy_acct::EnergyAccountant;
+    use snap_energy::OperatingPoint;
+    use snap_isa::{AluImmOp, BranchCond, Reg, Word};
+
+    fn decoder(prog: &[Instruction]) -> impl Fn(Addr) -> Option<(Instruction, InstrCosts)> + '_ {
+        let acct = EnergyAccountant::new(OperatingPoint::V1_8);
+        let mut map = std::collections::BTreeMap::new();
+        let mut at: Addr = 0;
+        for ins in prog {
+            map.insert(at, (*ins, acct.cost_of(ins)));
+            at += ins.word_count() as Addr;
+        }
+        move |a| map.get(&a).copied()
+    }
+
+    fn li(rd: Reg, imm: Word) -> Instruction {
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            rd,
+            imm,
+        }
+    }
+
+    /// li r1, 3        ; words 0..2   (leader: entry)
+    /// loop: add r2,r1 ; word  4      (leader: branch target)
+    /// subi r1, 1      ; words 5..7
+    /// bnez r1, 4      ; words 7..9
+    /// done            ; word  9      (leader: branch fallthrough)
+    fn loop_prog() -> Vec<Instruction> {
+        vec![
+            li(Reg::R1, 3),
+            li(Reg::R2, 0),
+            Instruction::AluReg {
+                op: snap_isa::AluOp::Add,
+                rd: Reg::R2,
+                rs: Reg::R1,
+            },
+            Instruction::AluImm {
+                op: AluImmOp::Subi,
+                rd: Reg::R1,
+                imm: 1,
+            },
+            Instruction::Branch {
+                cond: BranchCond::Nez,
+                ra: Reg::R1,
+                rb: Reg::R0,
+                target: 4,
+            },
+            Instruction::Done,
+        ]
+    }
+
+    fn loop_region() -> AotRegion {
+        AotRegion {
+            entry: 0,
+            addrs: vec![0, 2, 4, 5, 7, 9],
+        }
+    }
+
+    #[test]
+    fn compiles_blocks_at_leaders() {
+        let prog = loop_prog();
+        let img = AotImage::compile(&[loop_region()], decoder(&prog));
+        // Blocks build *through* interior leaders (longer runs beat
+        // classic basic-block splits): the entry block runs all the way
+        // to the bnez [0..9), overlapping the loop-body block [4..9).
+        // The `done` leader at 9 is a single unfusable instruction: no
+        // block.
+        assert_eq!(img.block_count(), 2);
+        let entry = img.block_at(0).expect("entry block");
+        assert_eq!(entry.len, 5);
+        let body = img.block_at(4).expect("loop body block");
+        assert_eq!(body.len, 3);
+        assert!(img.block_at(9).is_none());
+        assert!(img.block_at(5).is_none(), "mid-block is not a leader");
+    }
+
+    #[test]
+    fn region_boundary_ends_block() {
+        // Same program, but the region omits the subi/bnez tail: the
+        // body block must stop at the boundary instead of compiling
+        // through it.
+        let prog = loop_prog();
+        let region = AotRegion {
+            entry: 0,
+            addrs: vec![0, 2, 4],
+        };
+        let img = AotImage::compile(&[region], decoder(&prog));
+        assert_eq!(img.block_count(), 1);
+        let entry = img.block_at(0).expect("entry block");
+        // li, li, add — then the boundary at word 5.
+        assert_eq!(entry.len, 3);
+        assert!(matches!(entry.term, crate::fuse::FusedTerm::Fall { to: 5 }));
+    }
+
+    #[test]
+    fn write_inside_block_drops_it() {
+        let prog = loop_prog();
+        let mut img = AotImage::compile(&[loop_region()], decoder(&prog));
+        // Word 1 (entry li's immediate) is covered only by the entry
+        // block [0..9)'s head — but the entry block spans the loop too,
+        // so a write at word 6 (subi immediate) kills both it and the
+        // body block [4..9).
+        img.invalidate_write(1);
+        assert!(img.block_at(0).is_none());
+        assert!(img.block_at(4).is_some(), "body block starts later");
+        assert_eq!(img.block_count(), 1);
+        // Dropping the last block empties the image entirely.
+        img.invalidate_write(6);
+        assert_eq!(img.block_count(), 0);
+        assert!(img.block_at(4).is_none());
+    }
+
+    #[test]
+    fn clones_share_until_invalidated() {
+        let prog = loop_prog();
+        let img = AotImage::compile(&[loop_region()], decoder(&prog));
+        let mut clone = img.clone();
+        clone.invalidate_write(1);
+        assert_eq!(clone.block_count(), 1);
+        assert_eq!(img.block_count(), 2, "original unaffected");
+    }
+
+    #[test]
+    fn empty_regions_compile_to_empty_image() {
+        let img = AotImage::compile(&[], |_| None);
+        assert_eq!(img.block_count(), 0);
+        assert!(img.block_at(0).is_none());
+        let mut img = img;
+        img.invalidate_write(0); // must not panic
+    }
+}

@@ -1,0 +1,184 @@
+//! Bit-identity of the translation tiers, including under `isw`
+//! self-modification of a hot (fused and AOT-compiled) region.
+//!
+//! The broad conformance net is snap-smith's differential matrix; this
+//! suite pins the specific contract the tiers were built around — the
+//! same program run under [`Engine::Interp`], [`Engine::Fused`] and
+//! [`Engine::Aot`] must agree on every architectural register, both
+//! memories, the final pc and simulated time, and every statistic down
+//! to the raw `f64` bits of the energy total — with a deterministic
+//! regression for the invalidation path (a loop that rewrites its own
+//! body after getting hot) and a property test over the loop shape.
+
+use proptest::prelude::*;
+use snap_core::{AotRegion, CoreConfig, Engine, Processor};
+use snap_isa::{AluOp, Instruction, Reg};
+
+/// Every instruction-start address of a straight-assembled image (the
+/// addresses snap-lint's proof would export for a fully proved
+/// program). Stops at the first undecodable word (data padding).
+fn instruction_starts(imem: &[u16]) -> Vec<u16> {
+    let mut addrs = Vec::new();
+    let mut a = 0usize;
+    while a < imem.len() {
+        let second = imem.get(a + 1).copied();
+        let Ok(ins) = Instruction::decode(imem[a], second) else {
+            break;
+        };
+        addrs.push(a as u16);
+        a += ins.word_count();
+    }
+    addrs
+}
+
+/// Everything the tiers must agree on, in bit-comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snapshot {
+    regs: Vec<u16>,
+    carry: bool,
+    pc: u16,
+    now_ps: u64,
+    dmem: Vec<u16>,
+    imem: Vec<u16>,
+    instructions: u64,
+    cycles: u64,
+    energy_bits: u64,
+    busy_ps: u64,
+    sleep_ps: u64,
+    wakeups: u64,
+    handlers: u64,
+}
+
+fn run(source: &str, engine: Engine, max_steps: u64) -> Snapshot {
+    let program = snap_asm::assemble(source).expect("test program assembles");
+    let image = program.imem_image();
+    let mut cpu = Processor::new(CoreConfig {
+        engine,
+        ..CoreConfig::default()
+    });
+    cpu.load_image(0, &image).unwrap();
+    cpu.load_data(0, &program.dmem_image()).unwrap();
+    if engine == Engine::Aot {
+        let addrs = instruction_starts(&image);
+        cpu.install_aot(&[AotRegion { entry: 0, addrs }]);
+        assert!(cpu.aot_block_count() > 0, "AOT tier must actually engage");
+    }
+    cpu.run_to_halt(max_steps).unwrap();
+    let stats = cpu.stats();
+    Snapshot {
+        // r15 is the message FIFO; reading it pops, so observe r0–r14.
+        regs: Reg::ALL[..15].iter().map(|&r| cpu.regs().read(r)).collect(),
+        carry: cpu.regs().carry(),
+        pc: cpu.pc(),
+        now_ps: cpu.now().as_ps(),
+        dmem: (0..64).map(|a| cpu.dmem().read(a)).collect(),
+        imem: (0..64).map(|a| cpu.imem().read(a)).collect(),
+        instructions: stats.instructions,
+        cycles: stats.cycles,
+        energy_bits: stats.energy.as_pj().to_bits(),
+        busy_ps: stats.busy_time.as_ps(),
+        sleep_ps: stats.sleep_time.as_ps(),
+        wakeups: stats.wakeups,
+        handlers: stats.handlers_dispatched,
+    }
+}
+
+/// Run under all three engines and insist on bit-equality; returns the
+/// agreed snapshot for scenario-specific assertions.
+fn assert_engines_agree(source: &str, max_steps: u64) -> Snapshot {
+    let interp = run(source, Engine::Interp, max_steps);
+    let fused = run(source, Engine::Fused, max_steps);
+    let aot = run(source, Engine::Aot, max_steps);
+    assert_eq!(interp, fused, "interp vs fused");
+    assert_eq!(interp, aot, "interp vs aot");
+    interp
+}
+
+/// A counter loop that rewrites its own body once it has run hot:
+/// phase 1 accumulates into `r2`, then the loop's first instruction
+/// (`add r2, r1`) is overwritten via `isw` with `add rd, r1` for a
+/// caller-chosen `rd`, and the same loop re-runs as phase 2. Both the
+/// fused trace and the AOT block covering the loop must be invalidated
+/// by the store — silently replaying the stale body would accumulate
+/// phase 2 into `r2`.
+fn self_modifying_loop(phase1: u16, phase2: u16, rd: Reg) -> String {
+    let patched = Instruction::AluReg {
+        op: AluOp::Add,
+        rd,
+        rs: Reg::R1,
+    };
+    let word = patched.encode().first();
+    format!(
+        "\
+boot:
+    li      r1, {phase1}
+loop:
+    add     r2, r1
+    subi    r1, 1
+    bnez    r1, loop
+    bnez    r7, end
+    li      r7, 1
+    li      r4, loop
+    li      r5, {word}
+    isw     r5, 0(r4)
+    li      r1, {phase2}
+    jmp     loop
+end:
+    halt
+"
+    )
+}
+
+#[test]
+fn hot_loop_agrees_across_engines() {
+    let src = "\
+boot:
+    li      r1, 200
+loop:
+    add     r2, r1
+    add     r3, r2
+    subi    r1, 1
+    bnez    r1, loop
+    halt
+";
+    let snap = assert_engines_agree(src, 10_000);
+    // 200 + 199 + ... + 1.
+    assert_eq!(snap.regs[2], 20_100u32 as u16);
+    assert!(snap.instructions > 800);
+}
+
+#[test]
+fn isw_into_hot_region_invalidates_and_agrees() {
+    let snap = assert_engines_agree(&self_modifying_loop(60, 40, Reg::R9), 10_000);
+    // Phase 1 summed 60..=1 into r2; phase 2 must land in r9, not r2.
+    assert_eq!(snap.regs[2], (1..=60u16).sum::<u16>());
+    assert_eq!(snap.regs[9], (1..=40u16).sum::<u16>());
+}
+
+#[test]
+fn isw_redirecting_to_self_still_terminates() {
+    // Patching the target with the identical instruction is the
+    // degenerate invalidation: nothing observable changes, but the
+    // caches must still drop and rebuild the region.
+    let snap = assert_engines_agree(&self_modifying_loop(25, 30, Reg::R2), 10_000);
+    assert_eq!(
+        snap.regs[2],
+        (1..=25u16).sum::<u16>() + (1..=30u16).sum::<u16>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine bit-identity holds across loop lengths and patch targets,
+    /// including phases short enough that the trace never gets hot and
+    /// lengths that cross the budget boundary mid-loop.
+    #[test]
+    fn self_modifying_loops_agree(
+        phase1 in 1u16..120,
+        phase2 in 1u16..120,
+        rd in prop_oneof![Just(Reg::R2), Just(Reg::R3), Just(Reg::R8), Just(Reg::R9)],
+    ) {
+        assert_engines_agree(&self_modifying_loop(phase1, phase2, rd), 20_000);
+    }
+}

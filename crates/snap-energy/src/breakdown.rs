@@ -92,20 +92,39 @@ impl ComponentEnergy {
     }
 
     /// Add energy to a component.
+    #[inline]
     pub fn add(&mut self, component: Component, energy: Energy) {
         self.per[component.ordinal()] += energy;
     }
 
     /// Merge another attribution into this one.
+    #[inline]
     pub fn merge(&mut self, other: &ComponentEnergy) {
-        for c in Component::ALL {
-            self.per[c.ordinal()] += other.get(c);
+        // Elementwise over the fixed arrays (vectorizes; same sums as
+        // per-component indexing).
+        for (into, from) in self.per.iter_mut().zip(other.per.iter()) {
+            *into += *from;
         }
     }
 
     /// Energy attributed to one component.
+    #[inline]
     pub fn get(&self, component: Component) -> Energy {
         self.per[component.ordinal()]
+    }
+
+    /// The raw per-component array, indexed in [`Component::ALL`]
+    /// order. Hot accumulation loops use this to keep the seven sums
+    /// in registers.
+    #[inline]
+    pub fn as_array(&self) -> &[Energy; 7] {
+        &self.per
+    }
+
+    /// Mutable [`ComponentEnergy::as_array`].
+    #[inline]
+    pub fn as_array_mut(&mut self) -> &mut [Energy; 7] {
+        &mut self.per
     }
 
     /// Total energy across all components.

@@ -57,12 +57,14 @@ impl Energy {
 impl Add for Energy {
     type Output = Energy;
 
+    #[inline]
     fn add(self, rhs: Energy) -> Energy {
         Energy(self.0 + rhs.0)
     }
 }
 
 impl AddAssign for Energy {
+    #[inline]
     fn add_assign(&mut self, rhs: Energy) {
         self.0 += rhs.0;
     }
@@ -71,6 +73,7 @@ impl AddAssign for Energy {
 impl Sub for Energy {
     type Output = Energy;
 
+    #[inline]
     fn sub(self, rhs: Energy) -> Energy {
         Energy(self.0 - rhs.0)
     }

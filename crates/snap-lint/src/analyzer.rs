@@ -943,9 +943,20 @@ pub(crate) fn analyze(
         paper_band: None,
     };
     let mut boot_report = empty_boot.clone();
+    // Done-terminating regions exported for AOT translation: a root
+    // qualifies only when its verdict is Proved (which root_report
+    // already degrades to Unknown under global degradation).
+    let mut regions: Vec<crate::ProvenRegion> = Vec::new();
     for ctx in &pass.ctxs {
         if ctx.kind == CtxKind::Boot {
             let (terminates, bound, loose) = root_report(ctx, global_degraded);
+            if terminates == Termination::Proved {
+                regions.push(crate::ProvenRegion {
+                    event: None,
+                    entry: ctx.entry,
+                    addrs: ctx.nodes.keys().copied().collect(),
+                });
+            }
             boot_report = HandlerReport {
                 event: None,
                 entry: Some(0),
@@ -995,6 +1006,15 @@ pub(crate) fn analyze(
                 // never explored: claim nothing.
                 None => (Termination::Unknown, None, false),
             };
+            if t == Termination::Proved {
+                if let Some(ctx) = ctx {
+                    regions.push(crate::ProvenRegion {
+                        event: Some(event),
+                        entry: root,
+                        addrs: ctx.nodes.keys().copied().collect(),
+                    });
+                }
+            }
             terminates = Some(match terminates {
                 None => t,
                 Some(acc) if acc == t => t,
@@ -1062,6 +1082,7 @@ pub(crate) fn analyze(
         handlers,
         diagnostics,
         imem_words: imem.len(),
+        regions,
     }
 }
 

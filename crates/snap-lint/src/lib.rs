@@ -165,6 +165,22 @@ pub struct HandlerReport {
     pub paper_band: Option<PaperBand>,
 }
 
+/// One done-terminating code region, exported for ahead-of-time
+/// translation (snap-core's tier-2 engine): the root entry plus every
+/// instruction-start address the termination proof covered. Only
+/// regions whose root verdict is [`Termination::Proved`] — and only
+/// when the whole-program analysis is not degraded — are exported, so
+/// a consumer may compile them without re-checking the proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenRegion {
+    /// The dispatching event (`None` for the boot path).
+    pub event: Option<EventKind>,
+    /// Root entry address of the proof.
+    pub entry: Addr,
+    /// Every instruction-start address in the proven CFG, ascending.
+    pub addrs: Vec<Addr>,
+}
+
 /// Whole-program analysis result.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -185,6 +201,9 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Provided image size in words.
     pub imem_words: usize,
+    /// Done-terminating regions safe for ahead-of-time translation
+    /// (boot first when proved, then handler roots in event order).
+    pub regions: Vec<ProvenRegion>,
 }
 
 impl Analysis {

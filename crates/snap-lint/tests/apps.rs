@@ -122,3 +122,45 @@ fn apps_have_no_warning_noise() {
         );
     }
 }
+
+#[test]
+fn proved_programs_export_aot_regions() {
+    let program = snap_apps::blink::blink_program().unwrap();
+    let a = report(&program);
+    // Boot and every installed handler are proved (asserted above), so
+    // each must export a region covering its entry.
+    assert!(
+        !a.regions.is_empty(),
+        "proved program must export AOT regions"
+    );
+    let boot = a
+        .regions
+        .iter()
+        .find(|r| r.event.is_none())
+        .expect("boot region");
+    assert_eq!(boot.entry, 0);
+    assert!(boot.addrs.contains(&boot.entry));
+    for h in a.handlers.iter().filter(|h| h.entry.is_some()) {
+        let entry = h.entry.unwrap();
+        let region = a
+            .regions
+            .iter()
+            .find(|r| r.event == h.event && r.entry == entry)
+            .unwrap_or_else(|| panic!("missing region for {:?}", h.event));
+        assert!(
+            region.addrs.contains(&entry),
+            "region must cover its own entry"
+        );
+        assert!(region.addrs.windows(2).all(|w| w[0] < w[1]), "ascending");
+    }
+}
+
+#[test]
+fn degraded_analysis_exports_no_regions() {
+    // A program whose boot never reaches done: nothing is proved.
+    let src = "boot:\n    jmp boot\n";
+    let program = snap_asm::assemble(src).unwrap();
+    let a = report(&program);
+    assert_ne!(a.boot.terminates, Termination::Proved);
+    assert!(a.regions.iter().all(|r| r.event.is_some() || r.entry != 0));
+}

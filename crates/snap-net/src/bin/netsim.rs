@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! netsim [--app mac|blink|sense] [--nodes N] [--grid WxH] [--ms N]
-//!        [--vdd 1.8|0.9|0.6] [--shards N]
+//!        [--vdd 1.8|0.9|0.6] [--shards N] [--engine interp|fused|aot]
 //!        [--metrics OUT.json] [--trace-out OUT.trace.json] [--jsonl OUT.jsonl]
 //! ```
 //!
@@ -18,8 +18,10 @@
 //! `--grid WxH` lays the nodes out on a W×H grid (8 m pitch) instead
 //! of a line, overriding `--nodes` with W·H. `--shards N` switches to
 //! the sharded scheduler with N parallel wake calendars — the scalable
-//! path for very large fleets; results are bit-identical to the
-//! default scheduler.
+//! path for very large fleets; by default the scheduler picks itself
+//! by fleet size. `--engine` selects the per-node translation tier
+//! (default `fused`; `aot` compiles snap-lint-proven handlers ahead of
+//! time). Every scheduler and engine combination is bit-identical.
 //!
 //! Exports: `--metrics` writes the `snap-metrics-v1` report,
 //! `--trace-out` a Chrome `trace_event` file (open it at
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
     let mut millis: u64 = 50;
     let mut vdd = String::from("1.8");
     let mut shards: Option<usize> = None;
+    let mut engine = snap_core::Engine::Fused;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
@@ -72,6 +75,21 @@ fn main() -> ExitCode {
                     .map_err(|_| "--shards requires a number".to_string())
             }),
             "--vdd" => take("--vdd").map(|v| vdd = v),
+            "--engine" => take("--engine").and_then(|v| match v.as_str() {
+                "interp" => {
+                    engine = snap_core::Engine::Interp;
+                    Ok(())
+                }
+                "fused" => {
+                    engine = snap_core::Engine::Fused;
+                    Ok(())
+                }
+                "aot" => {
+                    engine = snap_core::Engine::Aot;
+                    Ok(())
+                }
+                other => Err(format!("unknown engine `{other}` (interp, fused or aot)")),
+            }),
             "--metrics" => take("--metrics").map(|v| metrics_out = Some(v)),
             "--trace-out" => take("--trace-out").map(|v| trace_out = Some(v)),
             "--jsonl" => take("--jsonl").map(|v| jsonl_out = Some(v)),
@@ -89,7 +107,10 @@ fn main() -> ExitCode {
         "0.6" => snap_energy::OperatingPoint::V0_6,
         other => return usage(&format!("unsupported vdd `{other}` (1.8, 0.9 or 0.6)")),
     };
-    let core = CoreConfig::at(point);
+    let core = CoreConfig {
+        engine,
+        ..CoreConfig::at(point)
+    };
 
     let mut sim = NetworkSim::new(10.0);
     sim.enable_telemetry();
@@ -217,7 +238,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: netsim [--app mac|blink|sense] [--nodes N] [--grid WxH] [--ms N] \
-         [--vdd 1.8|0.9|0.6] [--shards N] \
+         [--vdd 1.8|0.9|0.6] [--shards N] [--engine interp|fused|aot] \
          [--metrics OUT.json] [--trace-out OUT.trace.json] [--jsonl OUT.jsonl]"
     );
     if err.is_empty() {

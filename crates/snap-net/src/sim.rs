@@ -58,6 +58,12 @@ pub const PARALLEL_THRESHOLD: usize = 8;
 /// Default shard count for [`Scheduler::Sharded`].
 pub const DEFAULT_SHARDS: usize = 8;
 
+/// Fleet size at which [`Scheduler::Auto`] switches from the
+/// event-driven scheduler to the sharded engine. Below this the
+/// sharded engine's epoch barriers cost more than they save (see
+/// `DESIGN.md` §6d); at and above it the per-shard wake calendars win.
+pub const AUTO_SHARDED_THRESHOLD: usize = 100_000;
+
 /// Node count at which a `Full` trace is considered a mistake: the
 /// simulator switches to [`TraceMode::CountOnly`] (unless the mode was
 /// set explicitly) and logs loudly either way.
@@ -70,14 +76,19 @@ pub enum Scheduler {
     /// scheduler; reference implementation and bench baseline).
     Lockstep,
     /// Advance only nodes that are due, driven by the wake calendar
-    /// (cost proportional to active nodes). The default.
-    #[default]
+    /// (cost proportional to active nodes).
     EventDriven,
     /// Spatially sharded conservative-lookahead engine: per-shard wake
     /// calendars advance independently between delivery barriers. The
     /// scalable path for 10⁵–10⁶-node fleets; bit-identical to the
     /// sequential schedulers for any shard count.
     Sharded,
+    /// Pick per fleet at [`NetworkSim::run_until`] time: event-driven
+    /// below [`AUTO_SHARDED_THRESHOLD`] nodes, sharded (with a shard
+    /// count scaled to the fleet) at or above it. The default — and
+    /// bit-identical to whichever scheduler it resolves to.
+    #[default]
+    Auto,
 }
 
 /// An external stimulus injected into a node on schedule.
@@ -92,6 +103,26 @@ pub enum Stimulus {
         /// New value.
         value: Word,
     },
+}
+
+/// When the core asks for the tier-2 engine, run snap-lint's
+/// termination proof over `program` and compile every proved handler
+/// region ahead of time (after the node is loaded — loading drops any
+/// compiled image). No-op for the other engines.
+fn install_aot(node: &mut Node, program: &Program, core: &CoreConfig) {
+    if core.engine != snap_core::Engine::Aot {
+        return;
+    }
+    let analysis = snap_lint::analyze_program(program, core.operating_point);
+    let regions: Vec<snap_core::AotRegion> = analysis
+        .regions
+        .iter()
+        .map(|r| snap_core::AotRegion {
+            entry: r.entry,
+            addrs: r.addrs.clone(),
+        })
+        .collect();
+    node.cpu_mut().install_aot(&regions);
 }
 
 /// The multi-node network simulator.
@@ -180,17 +211,48 @@ impl NetworkSim {
         self.parallel_threshold = threshold.max(1);
     }
 
-    /// Select the scheduling strategy (default:
-    /// [`Scheduler::EventDriven`]). All strategies produce bit-identical
-    /// results; lockstep exists as the reference and baseline, sharded
-    /// as the scalable path.
+    /// Select the scheduling strategy (default: [`Scheduler::Auto`]).
+    /// All strategies produce bit-identical results; lockstep exists as
+    /// the reference and baseline, sharded as the scalable path.
     pub fn set_scheduler(&mut self, scheduler: Scheduler) {
         self.scheduler = scheduler;
     }
 
-    /// The active scheduling strategy.
+    /// The configured scheduling strategy (possibly
+    /// [`Scheduler::Auto`]).
     pub fn scheduler(&self) -> Scheduler {
         self.scheduler
+    }
+
+    /// The scheduler [`NetworkSim::run_until`] will actually use for
+    /// the current fleet: [`Scheduler::Auto`] resolves by node count,
+    /// anything else passes through.
+    pub fn resolved_scheduler(&self) -> Scheduler {
+        match self.scheduler {
+            Scheduler::Auto if self.nodes.len() >= AUTO_SHARDED_THRESHOLD => Scheduler::Sharded,
+            Scheduler::Auto => Scheduler::EventDriven,
+            explicit => explicit,
+        }
+    }
+
+    /// Shard count for an auto-resolved sharded run: one shard per
+    /// ~2048 nodes, rounded up to a power of two, clamped to
+    /// [[`DEFAULT_SHARDS`], 128]. Any count is bit-identical; this one
+    /// keeps shards big enough to amortize the epoch barrier and small
+    /// enough that a mostly-idle shard's calendar stays cheap.
+    fn auto_shards(nodes: usize) -> usize {
+        (nodes / 2048)
+            .next_power_of_two()
+            .clamp(DEFAULT_SHARDS, 128)
+    }
+
+    /// The shard count a sharded run will use: the configured count,
+    /// or the fleet-scaled count under [`Scheduler::Auto`].
+    fn effective_shards(&self) -> usize {
+        match self.scheduler {
+            Scheduler::Auto => Self::auto_shards(self.nodes.len()),
+            _ => self.num_shards,
+        }
     }
 
     /// Shard count for [`Scheduler::Sharded`] (default:
@@ -256,6 +318,7 @@ impl NetworkSim {
                 .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
         }
         node.load(program).expect("program fits the node memories");
+        install_aot(&mut node, program, &core);
         self.topology.place(id, position);
         self.nodes.push(node);
         id
@@ -292,6 +355,9 @@ impl NetworkSim {
             .load(program)
             .expect("program fits the node memories");
         template.cpu_mut().predecode_all();
+        // Analyze and compile once on the template; every clone shares
+        // the compiled image copy-on-write like the memories.
+        install_aot(&mut template, program, &core);
         let telemetry = self.telemetry_enabled();
         let mut placed = Vec::new();
         let mut ids = Vec::new();
@@ -374,10 +440,11 @@ impl NetworkSim {
     /// Propagates the first [`NodeError`] from any node.
     pub fn run_until(&mut self, t_end: SimTime) -> Result<(), NodeError> {
         self.guard_trace_mode();
-        match self.scheduler {
+        match self.resolved_scheduler() {
             Scheduler::Lockstep => self.run_lockstep(t_end),
             Scheduler::EventDriven => self.run_event_driven(t_end),
             Scheduler::Sharded => self.run_sharded(t_end),
+            Scheduler::Auto => unreachable!("Auto resolves to a concrete scheduler"),
         }
     }
 
@@ -722,7 +789,7 @@ impl NetworkSim {
         let n = self.nodes.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (self.topology.cell(self.nodes[i].id()), i));
-        let shard_count = self.num_shards.min(n.max(1)).max(1);
+        let shard_count = self.effective_shards().min(n.max(1)).max(1);
         let chunk = n.div_ceil(shard_count).max(1);
         let mut shards: Vec<Shard> = order
             .chunks(chunk)

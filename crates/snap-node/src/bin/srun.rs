@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c]
+//!      [--engine interp|fused|aot]
 //!      [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)
 //! ```
 //!
@@ -12,6 +13,9 @@
 //! * `--trace` prints every executed instruction with its address;
 //! * `--lint` runs the `snap-lint` static analysis as a preflight and
 //!   refuses to run a program with error-severity findings;
+//! * `--engine` selects the translation tier (default `fused`); `aot`
+//!   runs the snap-lint termination proof and compiles every proved
+//!   handler ahead of time — results are bit-identical across engines;
 //! * `--metrics OUT.json` writes a `snap-metrics-v1` report (counters,
 //!   energy attribution, handler distributions — see
 //!   `docs/OBSERVABILITY.md`);
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     let mut force_c = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut engine = snap_core::Engine::Fused;
     let mut input: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +60,15 @@ fn main() -> ExitCode {
             "--trace-out" => match args.next() {
                 Some(v) => trace_out = Some(v),
                 None => return usage("--trace-out requires an output path"),
+            },
+            "--engine" => match args.next().as_deref() {
+                Some("interp") => engine = snap_core::Engine::Interp,
+                Some("fused") => engine = snap_core::Engine::Fused,
+                Some("aot") => engine = snap_core::Engine::Aot,
+                Some(other) => {
+                    return usage(&format!("unknown engine `{other}` (interp, fused or aot)"))
+                }
+                None => return usage("--engine requires interp, fused or aot"),
             },
             "--help" | "-h" => return usage(""),
             other => input = Some(other.to_string()),
@@ -111,13 +125,35 @@ fn main() -> ExitCode {
         );
     }
 
+    // Tier 2 needs the termination proof: every handler snap-lint
+    // proves done-terminating becomes an AOT compilation region.
+    let aot_regions: Vec<snap_core::AotRegion> = if engine == snap_core::Engine::Aot {
+        let analysis = match &loaded {
+            Loaded::Program(program) => snap_lint::analyze_program(program, point),
+            Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
+        };
+        analysis
+            .regions
+            .iter()
+            .map(|r| snap_core::AotRegion {
+                entry: r.entry,
+                addrs: r.addrs.clone(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let (imem, dmem) = match loaded {
         Loaded::Program(program) => (program.imem_image(), program.dmem_image()),
         Loaded::Raw { imem, dmem } => (imem, dmem),
     };
 
     let cfg = NodeConfig {
-        core: snap_core::CoreConfig::at(point),
+        core: snap_core::CoreConfig {
+            engine,
+            ..snap_core::CoreConfig::at(point)
+        },
         ..NodeConfig::default()
     };
     let mut node = Node::new(cfg);
@@ -129,6 +165,15 @@ fn main() -> ExitCode {
         .load_image(0, &imem)
         .expect("image fits IMEM");
     node.cpu_mut().load_data(0, &dmem).expect("image fits DMEM");
+    if engine == snap_core::Engine::Aot {
+        // Install after loading: loading drops any compiled image.
+        node.cpu_mut().install_aot(&aot_regions);
+        println!(
+            "aot:          {} compiled blocks over {} proved regions",
+            node.cpu().aot_block_count(),
+            aot_regions.len()
+        );
+    }
 
     if trace {
         // Manual step loop with per-instruction output; timers are
@@ -272,6 +317,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c] \
+         [--engine interp|fused|aot] \
          [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)"
     );
     if err.is_empty() {

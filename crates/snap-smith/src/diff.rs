@@ -15,7 +15,7 @@ use crate::gen::{Script, StimulusKind};
 use crate::oracle::{Oracle, OracleAction, OracleOutcome, OracleState};
 use dess::SimTime;
 use snap_asm::Program;
-use snap_core::{CoreConfig, CoreState, EnvAction, Processor, StepOutcome};
+use snap_core::{CoreConfig, CoreState, Engine, EnvAction, Processor, StepOutcome};
 use snap_isa::{EventKind, Instruction, Reg};
 
 /// Which implementation/configuration to run.
@@ -23,25 +23,50 @@ use snap_isa::{EventKind, Instruction, Reg};
 pub enum Runner {
     /// The naive reference interpreter.
     Oracle,
-    /// `snap_core::Processor` via `step()`, predecode on/off.
+    /// `snap_core::Processor` via `step()`, predecode on/off (`step`
+    /// always interprets, whatever the engine).
     CoreStep {
         /// Decode-cache configuration under test.
         predecode: bool,
     },
-    /// `snap_core::Processor` via `run_burst()`, predecode on/off.
+    /// `snap_core::Processor` via `run_burst()`, predecode on/off ×
+    /// translation tier. [`Engine::Aot`] additionally runs snap-lint
+    /// over the program and installs every proved handler region, so
+    /// generated `isw` self-modification and unproven fallback edges
+    /// are exercised too.
     CoreBurst {
         /// Decode-cache configuration under test.
         predecode: bool,
+        /// Translation tier under test.
+        engine: Engine,
     },
 }
 
 impl Runner {
-    /// All core configurations the oracle is diffed against.
-    pub const CORE_CONFIGS: [Runner; 4] = [
+    /// All core configurations the oracle is diffed against: the
+    /// stepped interpreter and every batched tier, each against both
+    /// decode-cache settings where that changes the code path
+    /// (`predecode: false` pins every tier to the interpreter, so the
+    /// fused/AOT × no-predecode cells would duplicate the interp row).
+    pub const CORE_CONFIGS: [Runner; 6] = [
         Runner::CoreStep { predecode: false },
         Runner::CoreStep { predecode: true },
-        Runner::CoreBurst { predecode: false },
-        Runner::CoreBurst { predecode: true },
+        Runner::CoreBurst {
+            predecode: false,
+            engine: Engine::Interp,
+        },
+        Runner::CoreBurst {
+            predecode: true,
+            engine: Engine::Interp,
+        },
+        Runner::CoreBurst {
+            predecode: true,
+            engine: Engine::Fused,
+        },
+        Runner::CoreBurst {
+            predecode: true,
+            engine: Engine::Aot,
+        },
     ];
 
     /// Short human-readable label.
@@ -49,7 +74,14 @@ impl Runner {
         match self {
             Runner::Oracle => "oracle".into(),
             Runner::CoreStep { predecode } => format!("core-step/predecode={predecode}"),
-            Runner::CoreBurst { predecode } => format!("core-burst/predecode={predecode}"),
+            Runner::CoreBurst { predecode, engine } => {
+                let engine = match engine {
+                    Engine::Interp => "interp",
+                    Engine::Fused => "fused",
+                    Engine::Aot => "aot",
+                };
+                format!("core-burst/predecode={predecode}/engine={engine}")
+            }
         }
     }
 }
@@ -296,10 +328,15 @@ pub fn run_program(program: &Program, script: &Script, runner: Runner) -> RunRes
                 trace,
             })
         }
-        Runner::CoreStep { predecode } | Runner::CoreBurst { predecode } => {
+        Runner::CoreStep { predecode } | Runner::CoreBurst { predecode, .. } => {
             let burst = matches!(runner, Runner::CoreBurst { .. });
+            let engine = match runner {
+                Runner::CoreBurst { engine, .. } => engine,
+                _ => Engine::default(),
+            };
             let config = CoreConfig {
                 predecode,
+                engine,
                 ..CoreConfig::default()
             };
             let mut cpu = Processor::new(config);
@@ -307,6 +344,20 @@ pub fn run_program(program: &Program, script: &Script, runner: Runner) -> RunRes
                 .map_err(|e| e.to_string())?;
             cpu.load_data(0, &program.dmem_image())
                 .map_err(|e| e.to_string())?;
+            if engine == Engine::Aot {
+                // Tier 2 under test: prove and compile whatever the
+                // analyzer can; everything else falls back.
+                let analysis = snap_lint::analyze_program(program, config.operating_point);
+                let regions: Vec<snap_core::AotRegion> = analysis
+                    .regions
+                    .iter()
+                    .map(|r| snap_core::AotRegion {
+                        entry: r.entry,
+                        addrs: r.addrs.clone(),
+                    })
+                    .collect();
+                cpu.install_aot(&regions);
+            }
             let mut target = CoreTarget { cpu, burst };
             let mut trace = if burst { None } else { Some(Vec::new()) };
             let actions = drive_traced(&mut target, script, &mut trace)?;
@@ -576,7 +627,8 @@ pub struct Divergence {
     pub detail: String,
 }
 
-/// Run `program` under the oracle and all four core configurations;
+/// Run `program` under the oracle and every core configuration in
+/// [`Runner::CORE_CONFIGS`];
 /// `None` when everything is bit-identical.
 pub fn check_program(program: &Program, script: &Script) -> Option<Divergence> {
     let reference = run_program(program, script, Runner::Oracle);

@@ -7,7 +7,8 @@
 //!
 //! Fuzz mode generates one program per iteration (iteration `i` uses
 //! seed `seed + i`, so any failure names its exact seed), assembles it,
-//! and diffs the oracle against all four core configurations. On a
+//! and diffs the oracle against every core configuration (stepped and
+//! batched, across translation tiers). On a
 //! divergence the case is shrunk and written to
 //! `snap-smith-repro-<seed>.sasm`; the process exits nonzero.
 //!
@@ -149,7 +150,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "{} cases, 0 divergences across oracle + 4 core configurations",
-        opts.iters
+        "{} cases, 0 divergences across oracle + {} core configurations",
+        opts.iters,
+        snap_smith::diff::Runner::CORE_CONFIGS.len()
     );
 }
