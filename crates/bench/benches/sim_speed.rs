@@ -583,6 +583,9 @@ struct Entry {
     work: Workload,
     /// RSS growth per node during fleet build (grid scenarios only).
     bytes_per_node: Option<u64>,
+    /// Extra scenario-specific JSON fields, pre-rendered as
+    /// `"key": value` pairs (serve throughput columns).
+    extra: Vec<(&'static str, f64)>,
     /// Free-text caveat (e.g. baseline provenance at extreme scale).
     note: Option<&'static str>,
 }
@@ -618,6 +621,9 @@ impl Entry {
         if let Some(bytes) = self.bytes_per_node {
             s.push_str(&format!(",\n      \"bytes_per_node\": {bytes}"));
         }
+        for (key, value) in &self.extra {
+            s.push_str(&format!(",\n      \"{key}\": {value:.1}"));
+        }
         if let Some(note) = self.note {
             s.push_str(&format!(",\n      \"note\": \"{note}\""));
         }
@@ -641,6 +647,7 @@ fn summary_entry(
         iterations: s.iterations,
         work,
         bytes_per_node: None,
+        extra: Vec::new(),
         note: None,
     }
 }
@@ -702,6 +709,7 @@ fn compute_entry(reps: u64) -> Entry {
         iterations: fused.reps,
         work: fused.work,
         bytes_per_node: None,
+        extra: Vec::new(),
         note: Some("baseline = same tree under Engine::Interp; fused-engine speedup"),
     }
 }
@@ -738,7 +746,194 @@ fn grid_entry(
         iterations: auto.reps,
         work: auto.work,
         bytes_per_node: Some(auto.bytes_per_node),
+        extra: Vec::new(),
         note,
+    }
+}
+
+/// Concurrent tenants in the serve-throughput scenario.
+const SERVE_TENANTS: usize = 8;
+/// Simulated span each tenant requests: long enough that slice and
+/// HTTP overhead amortize and the concurrency win is what's measured.
+const SERVE_RUN_TO_US: u64 = 400_000;
+
+/// The scenario tenant `i` submits: a 3-node MAC ring under a
+/// per-tenant fade seed plus four periodic blink nodes, with a sensor
+/// IRQ kicking a MAC send every 20 ms — sustained traffic for the
+/// whole simulated span, so the cost scales with `run_to_us` rather
+/// than quiescing after the kick-off. The schedule must clear the
+/// ~4.3 ms a 5-word packet spends on the air (plus CSMA backoff) after
+/// the kick-off IRQ and after each send; a tighter schedule faults the
+/// sender with `RadioBusy` (an IRQ landing mid-transmission), which is
+/// program error, not load.
+fn tenant_scenario(i: usize) -> String {
+    let mut irqs = String::new();
+    for node in 1..=3u64 {
+        let mut at = 7_000 + 700 * (node - 1);
+        while at < SERVE_RUN_TO_US {
+            if !irqs.is_empty() {
+                irqs.push(',');
+            }
+            irqs.push_str(&format!(r#"{{"node":{node},"at_us":{at}}}"#));
+            at += 20_000;
+        }
+    }
+    format!(
+        concat!(
+            r#"{{"name":"tenant-{}","mac_nodes":3,"blink_nodes":4,"#,
+            r#""loss":0.1,"loss_seed":{},"engine":"fused","scheduler":"event","#,
+            r#""stagger_us":700,"irqs":[{}],"run_to_us":{},"slice_us":2000}}"#
+        ),
+        i,
+        40 + i,
+        irqs,
+        SERVE_RUN_TO_US
+    )
+}
+
+/// One-shot HTTP/1.1 request against the snap-serve loopback listener
+/// (the server closes every connection, so EOF delimits the response).
+fn http_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to snap-serve");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    assert!(
+        head.split_whitespace().nth(1) == Some("200"),
+        "{method} {path}: {head}\n{body}"
+    );
+    body.to_string()
+}
+
+/// One serve round: start a server, have every tenant submit its
+/// scenario over TCP and poll its status until the sim completes.
+/// Returns the round's wall time, every status-query latency observed,
+/// and the summed workload the tenants report back.
+fn run_serve_round() -> (f64, Vec<f64>, Workload) {
+    let server = std::sync::Arc::new(snap_serve::SimServer::new());
+    let mut handle = snap_serve::serve(std::sync::Arc::clone(&server), "127.0.0.1:0")
+        .expect("bind snap-serve on loopback");
+    let addr = handle.addr();
+    let start = Instant::now();
+    let tenants: Vec<_> = (0..SERVE_TENANTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = tenant_scenario(i);
+                let reply = http_request(addr, "POST", "/sims", body.as_bytes());
+                let v = snap_telemetry::parse(&reply).expect("submit reply json");
+                let id = v.get("id").and_then(|x| x.as_i64()).expect("sim id");
+                let mut latencies = Vec::new();
+                loop {
+                    let t0 = Instant::now();
+                    let status = http_request(addr, "GET", &format!("/sims/{id}"), b"");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                    let v = snap_telemetry::parse(&status).expect("status json");
+                    let state = v.get("state").and_then(|s| s.as_str().map(String::from));
+                    match state.as_deref() {
+                        Some("done") => {
+                            let mut instructions = 0u64;
+                            let mut energy_pj = 0.0f64;
+                            for node in v.get("per_node").and_then(|n| n.elements()).unwrap() {
+                                instructions +=
+                                    node.get("instructions").unwrap().as_i64().unwrap() as u64;
+                                energy_pj += node.get("energy_pj").unwrap().as_f64().unwrap();
+                            }
+                            return (latencies, (instructions, energy_pj));
+                        }
+                        Some("faulted") => panic!("tenant {i} faulted: {status}"),
+                        _ => std::thread::sleep(Duration::from_micros(100)),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut work = (0u64, 0.0f64);
+    for t in tenants {
+        let (lat, (instr, pj)) = t.join().expect("tenant thread");
+        latencies.extend(lat);
+        work.0 += instr;
+        work.1 += pj;
+    }
+    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    handle.shutdown();
+    (wall_us, latencies, work)
+}
+
+/// The same tenant scenarios run directly in-process, one after the
+/// other on one thread — the no-server baseline.
+fn run_serve_direct() -> Workload {
+    let mut work = (0u64, 0.0f64);
+    for i in 0..SERVE_TENANTS {
+        let s = snap_serve::parse_scenario(&tenant_scenario(i)).expect("tenant scenario parses");
+        let mut sim = snap_serve::scenario::build(&s).expect("tenant scenario builds");
+        sim.run_until(SimTime::ZERO + SimDuration::from_us(SERVE_RUN_TO_US))
+            .expect("tenant scenario runs");
+        let (instr, pj) = network_workload(&sim);
+        work.0 += instr;
+        work.1 += pj;
+    }
+    work
+}
+
+/// Measure netsim-as-a-service under `SERVE_TENANTS` concurrent
+/// tenants over real loopback TCP: wall time per round (min/median),
+/// sims/sec, and p99 status-query latency under load. Baseline is the
+/// identical scenarios run directly in-process on one thread, so the
+/// speedup column is the server's concurrency win net of all HTTP,
+/// slicing and locking overhead — and the instruction counts must
+/// match exactly (the service must be simulation-invisible).
+fn serve_entry(reps: u64) -> Entry {
+    let direct = time_runs(reps, run_serve_direct);
+    let mut walls = Vec::new();
+    let mut latencies = Vec::new();
+    let mut work = (0u64, 0.0f64);
+    let warmup = u64::from(reps > 1);
+    for rep in 0..reps.max(1) + warmup {
+        let (wall_us, lat, w) = run_serve_round();
+        if rep >= warmup {
+            walls.push(wall_us);
+            latencies.extend(lat);
+        }
+        work = w;
+    }
+    assert_eq!(
+        work.0, direct.work.0,
+        "served tenants disagree with direct runs on instruction count"
+    );
+    walls.sort_by(f64::total_cmp);
+    latencies.sort_by(f64::total_cmp);
+    let median_us = walls[walls.len() / 2];
+    let p99_us = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    Entry {
+        name: "serve_throughput",
+        baseline_us: direct.min_us,
+        min_us: walls[0],
+        median_us,
+        mean_us: walls.iter().sum::<f64>() / walls.len() as f64,
+        iterations: walls.len() as u64,
+        // The servers report energy as rounded decimals; the direct
+        // runs carry the exact f64s — use those for the energy column.
+        work: direct.work,
+        bytes_per_node: None,
+        extra: vec![
+            ("tenants", SERVE_TENANTS as f64),
+            ("sims_per_sec", SERVE_TENANTS as f64 / (median_us / 1e6)),
+            ("queries", latencies.len() as f64),
+            ("p99_query_us", p99_us),
+        ],
+        note: Some(
+            "baseline = same tenant scenarios run directly in-process, sequentially; \
+             on few-core hosts <1.0x is HTTP+slicing overhead, not a regression",
+        ),
     }
 }
 
@@ -784,6 +979,8 @@ fn run_json(measurement: Duration, path: &std::path::Path, full_grids: bool) {
             &grid_programs,
             Some("auto scheduler resolves to event-driven at this scale: ~1.0x is honest"),
         ),
+        // One quick rep in the CI smoke path; real stats on --json.
+        serve_entry(if full_grids { 5 } else { 1 }),
     ];
     if full_grids {
         entries.push(grid_entry(
@@ -806,6 +1003,7 @@ fn run_json(measurement: Duration, path: &std::path::Path, full_grids: bool) {
             iterations: m.reps,
             work: m.work,
             bytes_per_node: Some(m.bytes_per_node),
+            extra: Vec::new(),
             note: Some("sequential baseline not measured at this scale; speedup vs itself"),
         });
     }
@@ -847,6 +1045,7 @@ fn expected_scenarios(full_grids: bool) -> (Vec<&'static str>, usize) {
         "net_sparse_256",
         "compute_heavy",
         "net_grid_10k",
+        "serve_throughput",
     ];
     let mut grids = 1;
     if full_grids {
@@ -910,6 +1109,14 @@ fn validate_report(json: &str, full_grids: bool) {
         mem.iter().all(|b| b.is_finite() && *b >= 0.0),
         "bytes_per_node must be finite: {mem:?}"
     );
+    for field in ["tenants", "sims_per_sec", "queries", "p99_query_us"] {
+        let values = count_of(field);
+        assert_eq!(values.len(), 1, "one {field} on the serve scenario");
+        assert!(
+            values.iter().all(|s| s.is_finite() && *s > 0.0),
+            "{field} must be finite and positive: {values:?}"
+        );
+    }
 }
 
 /// Re-measure the lockstep reference for the sparse scenario (six
@@ -983,6 +1190,8 @@ fn main() {
             "1m sharded/8: {:.0} µs, {} instr, {} B/node, {} dlv, {} col",
             t.min_us, t.work.0, t.bytes_per_node, t.deliveries, t.collisions
         );
+    } else if std::env::args().any(|a| a == "--serve-probe") {
+        println!("{}", serve_entry(3).to_json());
     } else if std::env::args().any(|a| a == "--check") {
         run_check();
     } else if std::env::args().any(|a| a == "--baseline") {

@@ -131,6 +131,13 @@ impl SplitMix64 {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Current generator state. `SplitMix64::new(rng.state())` resumes
+    /// the exact sequence — `new` stores the seed verbatim, so state
+    /// and seed share a representation (used by snapshot/restore).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +201,18 @@ mod tests {
             for _ in 0..200 {
                 assert!(rng.next_below(bound) < bound);
             }
+        }
+    }
+
+    #[test]
+    fn splitmix_state_resumes_sequence() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let mut resumed = SplitMix64::new(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
         }
     }
 

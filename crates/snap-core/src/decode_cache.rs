@@ -91,7 +91,7 @@ impl DecodeCache {
     /// starting there and the two-word instruction starting one word
     /// earlier (whose immediate lives at `addr`), plus every fused
     /// trace whose span could include `addr` (traces cover at most
-    /// [`MAX_TRACE_WORDS`] words, so entries up to that far back).
+    /// `MAX_TRACE_WORDS` words, so entries up to that far back).
     #[inline]
     pub fn invalidate_write(&mut self, addr: Addr) {
         let slots = Arc::make_mut(&mut self.slots);

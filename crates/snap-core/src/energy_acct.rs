@@ -249,6 +249,34 @@ impl EnergyAccountant {
         &self.components
     }
 
+    /// Rebuild every accumulator from a snapshot (the models are kept —
+    /// they are pure functions of the config the accountant was built
+    /// with). Energy values arrive as the exact `f64`s that were
+    /// running when the snapshot was taken, so subsequent accumulation
+    /// continues bit-identically.
+    pub(crate) fn restore(
+        &mut self,
+        components: ComponentEnergy,
+        per_class: [ClassStats; InstructionClass::ALL.len()],
+        total_energy: Energy,
+        busy_time: SimDuration,
+        instructions: u64,
+        cycles: u64,
+    ) {
+        self.components = components;
+        self.per_class = per_class;
+        self.total_energy = total_energy;
+        self.busy_time = busy_time;
+        self.instructions = instructions;
+        self.cycles = cycles;
+    }
+
+    /// The raw per-class array, Snapshot export side (includes classes
+    /// with zero counts, unlike [`EnergyAccountant::per_class`]).
+    pub(crate) fn per_class_raw(&self) -> &[ClassStats; InstructionClass::ALL.len()] {
+        &self.per_class
+    }
+
     /// Reset all counters (the models are kept).
     pub fn reset(&mut self) {
         self.components = ComponentEnergy::new();

@@ -77,6 +77,39 @@ impl EventQueue {
         self.stamps.is_some()
     }
 
+    /// Queue contents and counters for a snapshot: tokens front-first,
+    /// their stamps (when stamping is on), and the lifetime counters.
+    pub(crate) fn export(&self) -> (Vec<EventToken>, Option<Vec<u64>>, u64, u64) {
+        (
+            self.fifo.iter().copied().collect(),
+            self.stamps.as_ref().map(|s| s.iter().copied().collect()),
+            self.dropped,
+            self.inserted,
+        )
+    }
+
+    /// Rebuild queue contents and counters from a snapshot. `tokens`
+    /// beyond `capacity` cannot occur in a well-formed snapshot (the
+    /// queue never held more than its capacity); extras are dropped
+    /// without counting, keeping restore fail-safe.
+    pub(crate) fn restore(
+        &mut self,
+        tokens: &[EventToken],
+        stamps: Option<&[u64]>,
+        dropped: u64,
+        inserted: u64,
+    ) {
+        self.fifo.clear();
+        self.fifo.extend(tokens.iter().copied().take(self.capacity));
+        self.stamps = stamps.map(|s| {
+            let mut q: VecDeque<u64> = s.iter().copied().take(self.capacity).collect();
+            q.resize(self.fifo.len(), UNKNOWN_STAMP);
+            q
+        });
+        self.dropped = dropped;
+        self.inserted = inserted;
+    }
+
     /// Insert a token at the tail. Returns `false` (and counts a drop)
     /// when the queue is full.
     pub fn push(&mut self, token: EventToken) -> bool {

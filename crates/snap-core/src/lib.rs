@@ -61,6 +61,7 @@ pub mod processor;
 pub mod profile;
 pub mod regfile;
 pub mod sampler;
+pub mod snapshot;
 pub mod timer_cop;
 pub mod translate;
 

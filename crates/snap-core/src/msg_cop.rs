@@ -181,6 +181,39 @@ impl MsgCoprocessor {
     pub fn words_received(&self) -> u64 {
         self.words_rx
     }
+
+    /// Full coprocessor state for a snapshot: the outgoing FIFO
+    /// front-first, the three mode flags/latches and both counters.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn export(&self) -> (Vec<Word>, bool, bool, u16, u64, u64) {
+        (
+            self.outgoing.iter().copied().collect(),
+            self.awaiting_tx_payload,
+            self.rx_enabled,
+            self.port,
+            self.words_tx,
+            self.words_rx,
+        )
+    }
+
+    /// Rebuild coprocessor state from a snapshot.
+    pub(crate) fn restore(
+        &mut self,
+        outgoing: &[Word],
+        awaiting_tx_payload: bool,
+        rx_enabled: bool,
+        port: u16,
+        words_tx: u64,
+        words_rx: u64,
+    ) {
+        self.outgoing.clear();
+        self.outgoing.extend(outgoing.iter().copied());
+        self.awaiting_tx_payload = awaiting_tx_payload;
+        self.rx_enabled = rx_enabled;
+        self.port = port;
+        self.words_tx = words_tx;
+        self.words_rx = words_rx;
+    }
 }
 
 impl Default for MsgCoprocessor {

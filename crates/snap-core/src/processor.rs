@@ -293,34 +293,38 @@ impl CoreStats {
 }
 
 /// The SNAP/LE processor simulator.
+///
+/// Fields are `pub(crate)` for one consumer only: `crate::snapshot`,
+/// which exports and restores the full core state. Everything else goes
+/// through the accessors.
 #[derive(Debug, Clone)]
 pub struct Processor {
-    config: CoreConfig,
-    regs: RegFile,
-    imem: MemBank,
-    decode: DecodeCache,
+    pub(crate) config: CoreConfig,
+    pub(crate) regs: RegFile,
+    pub(crate) imem: MemBank,
+    pub(crate) decode: DecodeCache,
     /// Tier-2 compiled basic blocks (empty unless installed). Clones
     /// share the compiled image Arc-CoW style, like the decode cache.
-    aot: AotImage,
-    dmem: MemBank,
-    event_queue: EventQueue,
-    timer: TimerCoprocessor,
-    msg: MsgCoprocessor,
-    lfsr: Lfsr16,
-    handler_table: [Addr; EVENT_TABLE_ENTRIES],
-    pc: Addr,
-    state: CoreState,
-    now: SimTime,
-    acct: EnergyAccountant,
-    profile: HandlerProfile,
+    pub(crate) aot: AotImage,
+    pub(crate) dmem: MemBank,
+    pub(crate) event_queue: EventQueue,
+    pub(crate) timer: TimerCoprocessor,
+    pub(crate) msg: MsgCoprocessor,
+    pub(crate) lfsr: Lfsr16,
+    pub(crate) handler_table: [Addr; EVENT_TABLE_ENTRIES],
+    pub(crate) pc: Addr,
+    pub(crate) state: CoreState,
+    pub(crate) now: SimTime,
+    pub(crate) acct: EnergyAccountant,
+    pub(crate) profile: HandlerProfile,
     /// Per-dispatch telemetry; `None` (the default) is the zero-cost
     /// path — execution is bit-identical either way.
-    sampler: Option<HandlerSampler>,
-    current_event: Option<EventKind>,
-    sleep_time: SimDuration,
-    wakeup_time: SimDuration,
-    wakeups: u64,
-    handlers_dispatched: u64,
+    pub(crate) sampler: Option<HandlerSampler>,
+    pub(crate) current_event: Option<EventKind>,
+    pub(crate) sleep_time: SimDuration,
+    pub(crate) wakeup_time: SimDuration,
+    pub(crate) wakeups: u64,
+    pub(crate) handlers_dispatched: u64,
 }
 
 impl Processor {

@@ -112,6 +112,21 @@ impl HandlerProfile {
     pub fn total_instructions(&self) -> u64 {
         self.boot.instructions + self.per_event.iter().map(|s| s.instructions).sum::<u64>()
     }
+
+    /// All buckets for a snapshot.
+    pub(crate) fn export(&self) -> (HandlerStats, [HandlerStats; EVENT_TABLE_ENTRIES]) {
+        (self.boot, self.per_event)
+    }
+
+    /// Rebuild all buckets from a snapshot.
+    pub(crate) fn restore(
+        &mut self,
+        boot: HandlerStats,
+        per_event: [HandlerStats; EVENT_TABLE_ENTRIES],
+    ) {
+        self.boot = boot;
+        self.per_event = per_event;
+    }
 }
 
 #[cfg(test)]

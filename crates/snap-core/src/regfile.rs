@@ -66,6 +66,17 @@ impl RegFile {
         self.regs.fill(0);
         self.carry = false;
     }
+
+    /// All registers plus carry, for a snapshot.
+    pub(crate) fn export(&self) -> ([Word; NUM_PHYSICAL_REGS], bool) {
+        (self.regs, self.carry)
+    }
+
+    /// Rebuild from a snapshot.
+    pub(crate) fn restore(&mut self, regs: [Word; NUM_PHYSICAL_REGS], carry: bool) {
+        self.regs = regs;
+        self.carry = carry;
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,33 @@ impl TimerCoprocessor {
     pub fn cancelled(&self) -> u64 {
         self.cancelled
     }
+
+    /// Per-register `(staged_hi, expiry)` plus the lifetime counters,
+    /// for a snapshot.
+    pub(crate) fn export(&self) -> ([(u8, Option<SimTime>); NUM_TIMERS], u64, u64, u64) {
+        let mut regs = [(0u8, None); NUM_TIMERS];
+        for (r, t) in regs.iter_mut().zip(self.timers.iter()) {
+            *r = (t.staged_hi, t.expiry);
+        }
+        (regs, self.scheduled, self.expired, self.cancelled)
+    }
+
+    /// Rebuild register and counter state from a snapshot.
+    pub(crate) fn restore(
+        &mut self,
+        regs: [(u8, Option<SimTime>); NUM_TIMERS],
+        scheduled: u64,
+        expired: u64,
+        cancelled: u64,
+    ) {
+        for (t, (staged_hi, expiry)) in self.timers.iter_mut().zip(regs) {
+            t.staged_hi = staged_hi;
+            t.expiry = expiry;
+        }
+        self.scheduled = scheduled;
+        self.expired = expired;
+        self.cancelled = cancelled;
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
 //! Tier-2 translation: AOT-compiled basic blocks for proven handlers.
 //!
-//! Where tier 1 ([`crate::fuse`]) opportunistically fuses short idiom
+//! Where tier 1 (the private `fuse` module) opportunistically fuses
+//! short idiom
 //! windows at run time, tier 2 compiles **whole basic blocks** ahead of
 //! time — but only inside handler regions a static analysis
 //! (snap-lint) has proven done-terminating. The caller hands
 //! [`AotImage::compile`] one [`AotRegion`] per proven handler (its
 //! entry plus every CFG node address); the compiler splits each region
 //! at its branch/jump leaders and builds one unbounded
-//! [`FusedTrace`](crate::fuse::FusedTrace) per block. Execution then
+//! `FusedTrace` per block. Execution then
 //! chains block to block through the processor's burst loop with no
 //! per-instruction decode at all.
 //!
@@ -19,7 +20,7 @@
 //! `Fall` terminator that hands the PC back to the interpreter, which
 //! is also the degraded path for edges the proof did not cover.
 //! Accounting replays the interpreter's per-instruction sequence
-//! exactly (see [`crate::fuse`]), so results stay bit-identical.
+//! exactly (see the `fuse` module), so results stay bit-identical.
 //!
 //! Coherence: blocks record their contiguous word span `[start, end)`;
 //! an `isw` store into a span drops every covering block (the leader

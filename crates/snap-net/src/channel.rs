@@ -144,6 +144,41 @@ impl Channel {
     pub fn collisions(&self) -> u64 {
         self.collisions
     }
+
+    /// All state for a snapshot: `(active, collisions, deliveries,
+    /// faded, loss_probability, rng state)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn export(&self) -> (&[Transmission], u64, u64, u64, f64, u64) {
+        (
+            &self.active,
+            self.collisions,
+            self.deliveries,
+            self.faded,
+            self.loss_probability,
+            self.rng.state(),
+        )
+    }
+
+    /// Rebuild from a snapshot. `SplitMix64::new(state)` stores the
+    /// state verbatim, so the fade-dice sequence resumes exactly. The
+    /// caller has validated `loss_probability` (finite, in `[0, 1]`).
+    pub(crate) fn restore(
+        active: Vec<Transmission>,
+        collisions: u64,
+        deliveries: u64,
+        faded: u64,
+        loss_probability: f64,
+        rng_state: u64,
+    ) -> Channel {
+        Channel {
+            active,
+            collisions,
+            deliveries,
+            faded,
+            loss_probability,
+            rng: SplitMix64::new(rng_state),
+        }
+    }
 }
 
 #[cfg(test)]

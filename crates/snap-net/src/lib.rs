@@ -41,6 +41,7 @@
 pub mod channel;
 pub mod pool;
 pub mod sim;
+pub mod snapshot;
 pub mod telemetry;
 pub mod topology;
 pub mod trace;

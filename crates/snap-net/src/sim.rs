@@ -126,21 +126,23 @@ fn install_aot(node: &mut Node, program: &Program, core: &CoreConfig) {
 }
 
 /// The multi-node network simulator.
+///
+/// Fields are `pub(crate)` for one consumer only: [`crate::snapshot`].
 pub struct NetworkSim {
-    nodes: Vec<Node>,
-    topology: Topology,
-    channel: Channel,
-    deliveries: Calendar<Transmission>,
-    stimuli: Calendar<(NodeId, Stimulus)>,
-    trace: Trace,
-    now: SimTime,
-    pool: WorkerPool,
-    parallel_threshold: usize,
-    scheduler: Scheduler,
-    num_shards: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) topology: Topology,
+    pub(crate) channel: Channel,
+    pub(crate) deliveries: Calendar<Transmission>,
+    pub(crate) stimuli: Calendar<(NodeId, Stimulus)>,
+    pub(crate) trace: Trace,
+    pub(crate) now: SimTime,
+    pub(crate) pool: WorkerPool,
+    pub(crate) parallel_threshold: usize,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) num_shards: usize,
     /// Whether the caller picked the trace mode explicitly (suppresses
     /// the large-fleet downgrade in [`NetworkSim::guard_trace_mode`]).
-    trace_mode_explicit: bool,
+    pub(crate) trace_mode_explicit: bool,
     /// Per-node-index wake instants (event-driven scheduler only).
     wake: WakeQueue,
     /// Scratch: node indices due in the current window, sorted.

@@ -191,6 +191,27 @@ impl Trace {
         self.events().iter().filter(|e| pred(e)).count()
     }
 
+    /// All state for a snapshot: `(events, mode, recorded, sealed)`.
+    pub(crate) fn export(&self) -> (&[TraceEvent], TraceMode, u64, usize) {
+        (&self.events, self.mode, self.recorded, self.sealed)
+    }
+
+    /// Rebuild from a snapshot. `sealed` is clamped to the event count
+    /// so a corrupt index cannot slice out of bounds later.
+    pub(crate) fn restore(
+        events: Vec<TraceEvent>,
+        mode: TraceMode,
+        recorded: u64,
+        sealed: usize,
+    ) -> Trace {
+        Trace {
+            sealed: sealed.min(events.len()),
+            events,
+            mode,
+            recorded,
+        }
+    }
+
     /// Render the trace as JSON lines (one event per line) for external
     /// analysis. Hand-rolled writer: the event structure is flat and
     /// the workspace deliberately avoids a JSON dependency.

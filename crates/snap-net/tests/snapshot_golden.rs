@@ -1,0 +1,142 @@
+//! Golden snapshot: the on-disk format is a compatibility contract.
+//!
+//! A checked-in, byte-exact fleet snapshot of the `mac` demo at a fixed
+//! tick pins `snap-snapshot`'s wire format. If this test fails, you
+//! changed the serialized representation — which breaks every snapshot
+//! already sitting on disk (`srun --restore`, `snap-serve` forks).
+//!
+//! The rules, from DESIGN.md §11:
+//!
+//! 1. If the change is **intentional**, bump
+//!    [`snap_snapshot::FORMAT_VERSION`] so old bytes are rejected
+//!    loudly instead of misdecoded, then re-bless the golden file:
+//!    `SNAP_BLESS=1 cargo test -p snap-net --test snapshot_golden`.
+//! 2. If you did **not** mean to change the format, fix your change —
+//!    do not re-bless.
+//!
+//! The golden bytes must also keep *decoding and resuming*: format
+//! stability is pointless if the decoder drifts semantically while the
+//! bytes stay put.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
+use snap_core::{CoreConfig, Engine};
+use snap_net::{NetworkSim, Position, Scheduler, Stimulus};
+use snap_snapshot::{Snapshot, FORMAT_VERSION};
+use std::path::PathBuf;
+
+/// Fixed scenario: everything here is deterministic, so the exported
+/// bytes are a pure function of the wire format. Do not edit — editing
+/// the scenario invalidates the golden file just like a format change.
+fn golden_fleet() -> NetworkSim {
+    let core = CoreConfig {
+        engine: Engine::Fused,
+        ..CoreConfig::default()
+    };
+    let mut sim = NetworkSim::new(12.0);
+    sim.set_scheduler(Scheduler::EventDriven);
+    sim.set_loss(0.15, 42);
+    for i in 0..3u8 {
+        let dst = if i + 1 == 3 { 1 } else { i + 2 };
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+        let program = mac_program(i + 1, &extra, &app).unwrap();
+        let id = sim.add_node_with_core(&program, Position::new(f64::from(i) * 8.0, 0.0), core);
+        sim.schedule(
+            id,
+            SimTime::ZERO + SimDuration::from_us(1_000 + 700 * u64::from(i)),
+            Stimulus::SensorIrq,
+        );
+    }
+    sim
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("mac_fleet_v{FORMAT_VERSION}.snap"))
+}
+
+/// The fixed tick. Chosen so words have flown, LEDs have blinked and a
+/// fade-RNG draw has happened — the snapshot exercises every section.
+const GOLDEN_TICK_US: u64 = 6_000;
+
+#[test]
+fn golden_snapshot_bytes_are_stable() {
+    let mut sim = golden_fleet();
+    sim.run_until(SimTime::ZERO + SimDuration::from_us(GOLDEN_TICK_US))
+        .unwrap();
+    let bytes = Snapshot::Fleet(sim.export_snapshot()).to_bytes();
+
+    let path = golden_path();
+    if std::env::var_os("SNAP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), bytes.len());
+        return;
+    }
+
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             run `SNAP_BLESS=1 cargo test -p snap-net --test snapshot_golden` to create it",
+            path.display()
+        )
+    });
+    if bytes != golden {
+        let first_diff = bytes
+            .iter()
+            .zip(&golden)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| bytes.len().min(golden.len()));
+        panic!(
+            "SNAPSHOT WIRE FORMAT DRIFT\n\
+             \n\
+             the serialized fleet snapshot no longer matches the checked-in\n\
+             golden file ({}).\n\
+             got {} bytes, expected {}; first difference at offset {}.\n\
+             \n\
+             Every snapshot on disk (srun --restore, snap-serve forks) decodes\n\
+             with this format. If the change is intentional:\n\
+               1. bump snap_snapshot::FORMAT_VERSION (currently {FORMAT_VERSION}),\n\
+               2. re-bless: SNAP_BLESS=1 cargo test -p snap-net --test snapshot_golden\n\
+             If it is not intentional, fix the encoding — do NOT re-bless.",
+            path.display(),
+            bytes.len(),
+            golden.len(),
+            first_diff,
+        );
+    }
+}
+
+/// The checked-in bytes must keep decoding and *resuming*: a format
+/// that is byte-stable but semantically drifted would still strand old
+/// snapshots. Restores the golden file and runs it 4 ms further.
+#[test]
+fn golden_snapshot_still_restores_and_runs() {
+    let path = golden_path();
+    let golden = match std::fs::read(&path) {
+        Ok(b) => b,
+        // The bless workflow creates the file; the stability test above
+        // reports it missing with instructions.
+        Err(_) => return,
+    };
+    let snap = Snapshot::from_bytes(&golden).expect("golden bytes decode");
+    let fleet = snap.as_fleet().expect("golden snapshot is a fleet");
+    let mut sim = NetworkSim::from_snapshot(fleet).expect("golden fleet restores");
+    assert_eq!(sim.now().as_ps(), GOLDEN_TICK_US * 1_000_000);
+    sim.run_until(SimTime::ZERO + SimDuration::from_us(GOLDEN_TICK_US + 4_000))
+        .unwrap();
+
+    // And it must land exactly where a straight run lands.
+    let mut straight = golden_fleet();
+    straight
+        .run_until(SimTime::ZERO + SimDuration::from_us(GOLDEN_TICK_US + 4_000))
+        .unwrap();
+    assert_eq!(
+        sim.export_snapshot(),
+        straight.export_snapshot(),
+        "golden restore diverged from a straight run"
+    );
+}

@@ -4,12 +4,23 @@
 //! ```text
 //! srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c]
 //!      [--engine interp|fused|aot]
+//!      [--checkpoint-every N] [--restore FILE.snap]
 //!      [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)
 //! ```
 //!
 //! * `.s` sources are assembled, `.c` sources compiled (with `--c` or by
 //!   extension), anything else is loaded as a little-endian word image;
 //! * `--ms N` simulates N milliseconds (default 10);
+//! * `--checkpoint-every N` writes a versioned `snap-snapshot` node
+//!   checkpoint every N simulated milliseconds
+//!   (`FILE.ckpt.<t>ms.snap`); a later `--restore` resumes from one
+//!   **bit-identically** — same registers, memories, trace and energy
+//!   `f64` bits as the uninterrupted run;
+//! * `--restore FILE.snap` resumes from a checkpoint instead of loading
+//!   a program (`--ms` then counts additional milliseconds; the
+//!   engine/vdd flags are ignored — the checkpoint carries its
+//!   configuration, and AOT-engine nodes are re-proved and recompiled
+//!   from the restored IMEM);
 //! * `--trace` prints every executed instruction with its address;
 //! * `--lint` runs the `snap-lint` static analysis as a preflight and
 //!   refuses to run a program with error-severity findings;
@@ -37,6 +48,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut engine = snap_core::Engine::Fused;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut restore: Option<String> = None;
     let mut input: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -61,6 +74,14 @@ fn main() -> ExitCode {
                 Some(v) => trace_out = Some(v),
                 None => return usage("--trace-out requires an output path"),
             },
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(0) | None => return usage("--checkpoint-every requires a positive ms count"),
+                Some(v) => checkpoint_every = Some(v),
+            },
+            "--restore" => match args.next() {
+                Some(v) => restore = Some(v),
+                None => return usage("--restore requires a checkpoint path"),
+            },
             "--engine" => match args.next().as_deref() {
                 Some("interp") => engine = snap_core::Engine::Interp,
                 Some("fused") => engine = snap_core::Engine::Fused,
@@ -74,9 +95,11 @@ fn main() -> ExitCode {
             other => input = Some(other.to_string()),
         }
     }
-    let Some(path) = input else {
-        return usage("no input file");
-    };
+    if trace && checkpoint_every.is_some() {
+        return usage("--checkpoint-every does not combine with --trace");
+    }
+    // Checkpoint files are named after whatever defined this run.
+    let ckpt_base = restore.clone().or_else(|| input.clone());
 
     let point = match vdd.as_str() {
         "1.8" => snap_energy::OperatingPoint::V1_8,
@@ -85,100 +108,128 @@ fn main() -> ExitCode {
         other => return usage(&format!("unsupported vdd `{other}` (1.8, 0.9 or 0.6)")),
     };
 
-    // Build the program by input kind.
-    let loaded = match load(&path, force_c) {
-        Ok(loaded) => loaded,
-        Err(e) => {
-            eprintln!("srun: {e}");
-            return ExitCode::FAILURE;
+    let mut node;
+    if let Some(ckpt) = &restore {
+        if input.is_some() {
+            return usage("--restore replaces the input file");
         }
-    };
-
-    if lint {
-        let analysis = match &loaded {
-            Loaded::Program(program) => snap_lint::analyze_program(program, point),
-            Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
+        if lint {
+            return usage("--lint analyzes a program input; it cannot run on a checkpoint");
+        }
+        node = match load_checkpoint(ckpt) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("srun: {e}");
+                return ExitCode::FAILURE;
+            }
         };
-        for d in &analysis.diagnostics {
-            let loc = match (&d.line, d.pc) {
-                (Some((module, line)), _) => format!("{module}:{line}"),
-                (None, Some(pc)) => format!("pc {pc:#05x}"),
-                (None, None) => String::from("program"),
-            };
-            eprintln!(
-                "srun: lint: {}: {} at {loc}: {}",
-                d.severity.label(),
-                d.lint,
-                d.message
-            );
+        if metrics_out.is_some() || trace_out.is_some() {
+            node.cpu_mut()
+                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
         }
-        if !analysis.is_clean() {
-            eprintln!(
-                "srun: {path}: refusing to run with error-severity lint findings \
-                 (run `snap-lint {path}` for the full report)"
-            );
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "lint:         clean ({} findings below error severity)",
-            analysis.diagnostics.len()
-        );
-    }
-
-    // Tier 2 needs the termination proof: every handler snap-lint
-    // proves done-terminating becomes an AOT compilation region.
-    let aot_regions: Vec<snap_core::AotRegion> = if engine == snap_core::Engine::Aot {
-        let analysis = match &loaded {
-            Loaded::Program(program) => snap_lint::analyze_program(program, point),
-            Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
-        };
-        analysis
-            .regions
-            .iter()
-            .map(|r| snap_core::AotRegion {
-                entry: r.entry,
-                addrs: r.addrs.clone(),
-            })
-            .collect()
+        println!("restored:     {ckpt} at {}", node.now());
     } else {
-        Vec::new()
-    };
+        let Some(path) = input else {
+            return usage("no input file");
+        };
 
-    let (imem, dmem) = match loaded {
-        Loaded::Program(program) => (program.imem_image(), program.dmem_image()),
-        Loaded::Raw { imem, dmem } => (imem, dmem),
-    };
+        // Build the program by input kind.
+        let loaded = match load(&path, force_c) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("srun: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
 
-    let cfg = NodeConfig {
-        core: snap_core::CoreConfig {
-            engine,
-            ..snap_core::CoreConfig::at(point)
-        },
-        ..NodeConfig::default()
-    };
-    let mut node = Node::new(cfg);
-    if metrics_out.is_some() || trace_out.is_some() {
+        if lint {
+            let analysis = match &loaded {
+                Loaded::Program(program) => snap_lint::analyze_program(program, point),
+                Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
+            };
+            for d in &analysis.diagnostics {
+                let loc = match (&d.line, d.pc) {
+                    (Some((module, line)), _) => format!("{module}:{line}"),
+                    (None, Some(pc)) => format!("pc {pc:#05x}"),
+                    (None, None) => String::from("program"),
+                };
+                eprintln!(
+                    "srun: lint: {}: {} at {loc}: {}",
+                    d.severity.label(),
+                    d.lint,
+                    d.message
+                );
+            }
+            if !analysis.is_clean() {
+                eprintln!(
+                    "srun: {path}: refusing to run with error-severity lint findings \
+                     (run `snap-lint {path}` for the full report)"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "lint:         clean ({} findings below error severity)",
+                analysis.diagnostics.len()
+            );
+        }
+
+        // Tier 2 needs the termination proof: every handler snap-lint
+        // proves done-terminating becomes an AOT compilation region.
+        let aot_regions: Vec<snap_core::AotRegion> = if engine == snap_core::Engine::Aot {
+            let analysis = match &loaded {
+                Loaded::Program(program) => snap_lint::analyze_program(program, point),
+                Loaded::Raw { imem, .. } => snap_lint::analyze_image(imem, point),
+            };
+            analysis
+                .regions
+                .iter()
+                .map(|r| snap_core::AotRegion {
+                    entry: r.entry,
+                    addrs: r.addrs.clone(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let (imem, dmem) = match loaded {
+            Loaded::Program(program) => (program.imem_image(), program.dmem_image()),
+            Loaded::Raw { imem, dmem } => (imem, dmem),
+        };
+
+        let cfg = NodeConfig {
+            core: snap_core::CoreConfig {
+                engine,
+                ..snap_core::CoreConfig::at(point)
+            },
+            ..NodeConfig::default()
+        };
+        node = Node::new(cfg);
+        if metrics_out.is_some() || trace_out.is_some() {
+            node.cpu_mut()
+                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+        }
         node.cpu_mut()
-            .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
-    }
-    node.cpu_mut()
-        .load_image(0, &imem)
-        .expect("image fits IMEM");
-    node.cpu_mut().load_data(0, &dmem).expect("image fits DMEM");
-    if engine == snap_core::Engine::Aot {
-        // Install after loading: loading drops any compiled image.
-        node.cpu_mut().install_aot(&aot_regions);
-        println!(
-            "aot:          {} compiled blocks over {} proved regions",
-            node.cpu().aot_block_count(),
-            aot_regions.len()
-        );
+            .load_image(0, &imem)
+            .expect("image fits IMEM");
+        node.cpu_mut().load_data(0, &dmem).expect("image fits DMEM");
+        if engine == snap_core::Engine::Aot {
+            // Install after loading: loading drops any compiled image.
+            node.cpu_mut().install_aot(&aot_regions);
+            println!(
+                "aot:          {} compiled blocks over {} proved regions",
+                node.cpu().aot_block_count(),
+                aot_regions.len()
+            );
+        }
     }
 
     if trace {
         // Manual step loop with per-instruction output; timers are
-        // fast-forwarded like the core's standalone helpers do.
-        let deadline = dess::SimTime::ZERO + SimDuration::from_ms(millis);
+        // fast-forwarded like the core's standalone helpers do. The
+        // deadline is relative to the node's clock so `--restore` runs
+        // `--ms` additional milliseconds.
+        let deadline = node.now() + SimDuration::from_ms(millis);
         loop {
             match node.cpu_mut().step() {
                 Ok(StepOutcome::Executed { ins, at, .. }) => {
@@ -203,6 +254,31 @@ fn main() -> ExitCode {
                 break;
             }
         }
+    } else if let Some(every) = checkpoint_every {
+        // Advance in checkpoint-sized windows, serializing the node at
+        // every boundary. Snapshots are defined exactly at `run_until`
+        // boundaries, and restoring one resumes bit-identically.
+        let base = ckpt_base.expect("checkpointing requires an input or --restore");
+        let deadline = node.now() + SimDuration::from_ms(millis);
+        while node.now() < deadline {
+            let mut next = node.now() + SimDuration::from_ms(every);
+            if next > deadline {
+                next = deadline;
+            }
+            if let Err(e) = node.run_until(next) {
+                eprintln!("srun: fault: {e}");
+                eprintln!("srun: (checkpoints up to the fault remain on disk)");
+                return ExitCode::FAILURE;
+            }
+            let at_ms = node.now().as_ps() / 1_000_000_000;
+            let out = format!("{base}.ckpt.{at_ms}ms.snap");
+            let bytes = snap_snapshot::Snapshot::Node(node.export_snapshot()).to_bytes();
+            if let Err(e) = std::fs::write(&out, &bytes) {
+                eprintln!("srun: {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("checkpoint:   {out} ({} bytes)", bytes.len());
+        }
     } else if let Err(e) = node.run_for(SimDuration::from_ms(millis)) {
         eprintln!("srun: fault: {e}");
         return ExitCode::FAILURE;
@@ -221,7 +297,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = metrics_out {
-        let vdd_v: f64 = vdd.parse().expect("validated above");
+        // From the node's actual configuration, so `--restore` reports
+        // the checkpoint's operating point rather than the flag default.
+        let vdd_v = node.cpu().config().operating_point.vdd();
         let report = snap_telemetry::report(
             "srun",
             vdd_v,
@@ -279,6 +357,34 @@ fn print_distributions(cpu: &snap_core::Processor) {
     println!("handler nJ:   {}", span(&nj));
 }
 
+/// Restore a node from a `snap-snapshot` checkpoint, re-proving and
+/// recompiling the AOT image when the checkpointed engine is tier 2
+/// (caches are pure functions of state; results are bit-identical).
+fn load_checkpoint(path: &str) -> Result<Node, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = snap_snapshot::Snapshot::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let ns = snap.as_node().ok_or_else(|| {
+        format!("{path}: not a node checkpoint (fleet snapshots restore via snap-serve)")
+    })?;
+    let mut node = Node::from_snapshot(ns).map_err(|e| format!("{path}: {e}"))?;
+    if node.cpu().config().engine == snap_core::Engine::Aot {
+        let analysis = snap_lint::analyze_image(
+            node.cpu().imem().as_words(),
+            node.cpu().config().operating_point,
+        );
+        let regions: Vec<snap_core::AotRegion> = analysis
+            .regions
+            .iter()
+            .map(|r| snap_core::AotRegion {
+                entry: r.entry,
+                addrs: r.addrs.clone(),
+            })
+            .collect();
+        node.cpu_mut().install_aot(&regions);
+    }
+    Ok(node)
+}
+
 /// A loaded input: a full [`snap_asm::Program`] (symbols and source
 /// lines available for `--lint`) or a raw word image.
 enum Loaded {
@@ -318,6 +424,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: srun [--trace] [--lint] [--ms N] [--vdd 1.8|0.9|0.6] [--c] \
          [--engine interp|fused|aot] \
+         [--checkpoint-every N] [--restore FILE.snap] \
          [--metrics OUT.json] [--trace-out OUT.trace.json] FILE(.s|.c|.bin)"
     );
     if err.is_empty() {

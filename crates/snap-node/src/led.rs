@@ -41,6 +41,16 @@ impl LedPort {
         self.history.len()
     }
 
+    /// All state for a snapshot: `(value, history)`.
+    pub(crate) fn export(&self) -> (u16, &[(SimTime, u16)]) {
+        (self.value, &self.history)
+    }
+
+    /// Rebuild from a snapshot.
+    pub(crate) fn restore(value: u16, history: Vec<(SimTime, u16)>) -> LedPort {
+        LedPort { value, history }
+    }
+
     /// Number of value *changes* (a blink toggles, so one blink = one
     /// change).
     pub fn changes(&self) -> usize {

@@ -37,6 +37,7 @@ pub mod led;
 pub mod node;
 pub mod radio;
 pub mod sensor;
+pub mod snapshot;
 
 pub use led::LedPort;
 pub use node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};

@@ -122,25 +122,27 @@ impl fmt::Display for NodeError {
 impl std::error::Error for NodeError {}
 
 #[derive(Debug, Clone, Copy)]
-enum Pending {
+pub(crate) enum Pending {
     TxDone,
     SensorReply(Word),
 }
 
 /// A complete simulated sensor node (Fig. 1).
+///
+/// Fields are `pub(crate)` for one consumer only: [`crate::snapshot`].
 #[derive(Debug)]
 pub struct Node {
-    id: NodeId,
-    cpu: Processor,
-    radio: Radio,
-    sensors: SensorBank,
-    led: LedPort,
-    pending: Calendar<Pending>,
-    step_limit: u64,
+    pub(crate) id: NodeId,
+    pub(crate) cpu: Processor,
+    pub(crate) radio: Radio,
+    pub(crate) sensors: SensorBank,
+    pub(crate) led: LedPort,
+    pub(crate) pending: Calendar<Pending>,
+    pub(crate) step_limit: u64,
     /// Instructions executed in the current awake stretch. Persists
     /// across `run_until` calls; resets when the core sleeps or a new
     /// handler is dispatched (see [`NodeError::StepLimit`]).
-    run_steps: u64,
+    pub(crate) run_steps: u64,
 }
 
 impl Node {

@@ -138,6 +138,39 @@ impl Radio {
     pub fn words_heard(&self) -> u64 {
         self.words_heard
     }
+
+    /// All state for a snapshot: `(bit_rate, mode, tx_done_at, tx_word,
+    /// words_sent, words_heard)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn export(&self) -> (f64, RadioMode, Option<SimTime>, Option<Word>, u64, u64) {
+        (
+            self.bit_rate,
+            self.mode,
+            self.tx_done_at,
+            self.tx_word,
+            self.words_sent,
+            self.words_heard,
+        )
+    }
+
+    /// Rebuild from a snapshot. The caller has validated `bit_rate`
+    /// (finite, positive).
+    pub(crate) fn restore(
+        bit_rate: f64,
+        mode: RadioMode,
+        tx_done_at: Option<SimTime>,
+        tx_word: Option<Word>,
+        words_sent: u64,
+        words_heard: u64,
+    ) -> Radio {
+        let mut r = Radio::with_bit_rate(bit_rate);
+        r.mode = mode;
+        r.tx_done_at = tx_done_at;
+        r.tx_word = tx_word;
+        r.words_sent = words_sent;
+        r.words_heard = words_heard;
+        r
+    }
 }
 
 impl Default for Radio {

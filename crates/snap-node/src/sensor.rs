@@ -66,6 +66,29 @@ impl SensorBank {
     pub fn queries(&self) -> u64 {
         self.queries
     }
+
+    /// All state for a snapshot: `(readings, reply_latency, queries)`.
+    /// Readings come out in ascending id order (BTreeMap iteration).
+    pub(crate) fn export(&self) -> (Vec<(u16, Word)>, SimDuration, u64) {
+        (
+            self.readings.iter().map(|(&k, &v)| (k, v)).collect(),
+            self.reply_latency,
+            self.queries,
+        )
+    }
+
+    /// Rebuild from a snapshot.
+    pub(crate) fn restore(
+        readings: &[(u16, Word)],
+        reply_latency: SimDuration,
+        queries: u64,
+    ) -> SensorBank {
+        SensorBank {
+            readings: readings.iter().map(|&(k, v)| (k & 0x0fff, v)).collect(),
+            reply_latency,
+            queries,
+        }
+    }
 }
 
 impl Default for SensorBank {

@@ -1,0 +1,238 @@
+//! Node state export/restore against the `snap-snapshot` format.
+//!
+//! Extends the core snapshot ([`snap_core::snapshot`]) with the node's
+//! peripherals: radio (including an in-flight transmission), sensor
+//! bank, output port history, the pending-event calendar, and the
+//! runaway-handler budget. A restored node resumes bit-identically —
+//! see the format crate's docs for the invariant.
+
+use crate::node::{Node, Pending};
+use crate::radio::{Radio, RadioMode};
+use crate::sensor::SensorBank;
+use crate::{LedPort, NodeId};
+use dess::{Calendar, SimDuration, SimTime};
+use snap_core::Processor;
+use snap_snapshot::node::{pending, radio_mode};
+use snap_snapshot::{
+    LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot, SnapshotError,
+};
+
+fn mode_to_wire(m: RadioMode) -> u8 {
+    match m {
+        RadioMode::Off => radio_mode::OFF,
+        RadioMode::Rx => radio_mode::RX,
+        RadioMode::Tx => radio_mode::TX,
+    }
+}
+
+fn mode_from_wire(w: u8) -> Result<RadioMode, SnapshotError> {
+    match w {
+        radio_mode::OFF => Ok(RadioMode::Off),
+        radio_mode::RX => Ok(RadioMode::Rx),
+        radio_mode::TX => Ok(RadioMode::Tx),
+        _ => Err(SnapshotError::Corrupt("radio mode discriminant")),
+    }
+}
+
+impl Node {
+    /// Capture the complete observable node state.
+    pub fn export_snapshot(&self) -> NodeSnapshot {
+        let (bit_rate, mode, tx_done_at, tx_word, words_sent, words_heard) = self.radio.export();
+        let (readings, reply_latency, queries) = self.sensors.export();
+        let (led_value, led_history) = self.led.export();
+        NodeSnapshot {
+            id: self.id.0,
+            core: self.cpu.export_snapshot(),
+            radio: RadioSnapshot {
+                bit_rate_bits: bit_rate.to_bits(),
+                mode: mode_to_wire(mode),
+                tx_done_at_ps: tx_done_at.map(|t| t.as_ps()),
+                tx_word,
+                words_sent,
+                words_heard,
+            },
+            sensors: SensorSnapshot {
+                readings,
+                reply_latency_ps: reply_latency.as_ps(),
+                queries,
+            },
+            led: LedSnapshot {
+                value: led_value,
+                history: led_history.iter().map(|&(t, v)| (t.as_ps(), v)).collect(),
+            },
+            pending: self
+                .pending
+                .snapshot_entries()
+                .iter()
+                .map(|&(at, ev)| match ev {
+                    Pending::TxDone => PendingSnap {
+                        at_ps: at.as_ps(),
+                        kind: pending::TX_DONE,
+                        value: 0,
+                    },
+                    Pending::SensorReply(v) => PendingSnap {
+                        at_ps: at.as_ps(),
+                        kind: pending::SENSOR_REPLY,
+                        value: v,
+                    },
+                })
+                .collect(),
+            step_limit: self.step_limit,
+            run_steps: self.run_steps,
+        }
+    }
+
+    /// Rebuild a node from a snapshot. The restored node resumes
+    /// bit-identically to the original.
+    ///
+    /// # Errors
+    ///
+    /// Rejects structurally invalid snapshots ([`SnapshotError::Corrupt`]).
+    pub fn from_snapshot(snap: &NodeSnapshot) -> Result<Node, SnapshotError> {
+        let bit_rate = f64::from_bits(snap.radio.bit_rate_bits);
+        if !bit_rate.is_finite() || bit_rate <= 0.0 {
+            return Err(SnapshotError::Corrupt("radio bit rate"));
+        }
+        let mode = mode_from_wire(snap.radio.mode)?;
+        // An in-flight transmission carries both its word and its
+        // completion time, or neither.
+        if snap.radio.tx_done_at_ps.is_some() != snap.radio.tx_word.is_some() {
+            return Err(SnapshotError::Corrupt("in-flight transmission"));
+        }
+        if snap.radio.tx_done_at_ps.is_some() != (mode == RadioMode::Tx) {
+            return Err(SnapshotError::Corrupt("radio mode vs in-flight tx"));
+        }
+        let mut pending_cal = Calendar::new();
+        for p in &snap.pending {
+            let ev = match p.kind {
+                pending::TX_DONE => Pending::TxDone,
+                pending::SENSOR_REPLY => Pending::SensorReply(p.value),
+                _ => return Err(SnapshotError::Corrupt("pending event kind")),
+            };
+            pending_cal.schedule(SimTime::from_ps(p.at_ps), ev);
+        }
+        Ok(Node {
+            id: NodeId(snap.id),
+            cpu: Processor::from_snapshot(&snap.core)?,
+            radio: Radio::restore(
+                bit_rate,
+                mode,
+                snap.radio.tx_done_at_ps.map(SimTime::from_ps),
+                snap.radio.tx_word,
+                snap.radio.words_sent,
+                snap.radio.words_heard,
+            ),
+            sensors: SensorBank::restore(
+                &snap.sensors.readings,
+                SimDuration::from_ps(snap.sensors.reply_latency_ps),
+                snap.sensors.queries,
+            ),
+            led: LedPort::restore(
+                snap.led.value,
+                snap.led
+                    .history
+                    .iter()
+                    .map(|&(t, v)| (SimTime::from_ps(t), v))
+                    .collect(),
+            ),
+            pending: pending_cal,
+            step_limit: snap.step_limit,
+            run_steps: snap.run_steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeConfig;
+    use snap_asm::assemble;
+    use snap_snapshot::Snapshot;
+
+    /// A node frozen mid-transmission with a sensor reply pending and
+    /// port history accumulated.
+    fn busy_node() -> Node {
+        let src = r"
+            .equ EV_TXDONE, 4
+            .equ EV_REPLY, 6
+                li      r1, EV_TXDONE
+                li      r2, sent
+                setaddr r1, r2
+                li      r1, EV_REPLY
+                li      r2, got
+                setaddr r1, r2
+                li      r15, 0x4005     ; port <- 5
+                li      r15, 0x3002     ; query sensor 2
+                li      r15, 0x2000     ; TX command
+                li      r15, 0xbeef     ; payload
+                done
+            sent:
+                li      r15, 0x4006
+                done
+            got:
+                mov     r3, r15
+                done
+        ";
+        let mut node = Node::new(NodeConfig::default());
+        node.load(&assemble(src).unwrap()).unwrap();
+        node.sensors_mut().set_reading(2, 0x7777);
+        // Stop while the word is still on the air (~833 us) and the
+        // sensor reply (~10 us) is still pending.
+        node.run_for(SimDuration::from_us(5)).unwrap();
+        node
+    }
+
+    #[test]
+    fn export_import_round_trip_is_exact() {
+        let node = busy_node();
+        let snap = node.export_snapshot();
+        let restored = Node::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.export_snapshot(), snap);
+    }
+
+    #[test]
+    fn restored_node_resumes_bit_identically() {
+        let mut straight = busy_node();
+        let mut restored = Node::from_snapshot(&busy_node().export_snapshot()).unwrap();
+        // Run both through the pending sensor reply AND the tx-done.
+        let out_a = straight.run_for(SimDuration::from_ms(2)).unwrap();
+        let out_b = restored.run_for(SimDuration::from_ms(2)).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(straight.export_snapshot(), restored.export_snapshot());
+        assert!(straight.radio().words_sent() == 1);
+        assert_eq!(
+            straight.cpu().regs().read(snap_isa::Reg::R3),
+            0x7777,
+            "sensor reply must survive the snapshot"
+        );
+    }
+
+    #[test]
+    fn node_snapshot_serializes_through_bytes() {
+        let snap = busy_node().export_snapshot();
+        let bytes = Snapshot::Node(snap.clone()).to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.as_node().unwrap(), &snap);
+    }
+
+    #[test]
+    fn corrupt_node_fields_are_rejected() {
+        let snap = busy_node().export_snapshot();
+
+        let mut s = snap.clone();
+        s.radio.bit_rate_bits = (-1.0f64).to_bits();
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = snap.clone();
+        s.radio.mode = 9;
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = snap.clone();
+        s.radio.tx_word = None; // in-flight time without a word
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = snap;
+        s.pending[0].kind = 7;
+        assert!(Node::from_snapshot(&s).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `snap-serve` — run the simulation server from the command line.
+//!
+//! ```text
+//! snap-serve [ADDR]        # default 127.0.0.1:7878
+//! ```
+
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if addr == "--help" || addr == "-h" {
+        eprintln!("usage: snap-serve [ADDR]   (default 127.0.0.1:7878)");
+        eprintln!("endpoints: see `snap_serve::http` docs or GET /");
+        return;
+    }
+    let server = Arc::new(snap_serve::SimServer::new());
+    let handle = match snap_serve::serve(server, &addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("snap-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("snap-serve listening on http://{}", handle.addr());
+    eprintln!(
+        "submit: curl -s {}/sims -d '{{\"run_to_us\":100000}}'",
+        handle.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

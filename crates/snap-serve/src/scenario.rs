@@ -1,0 +1,327 @@
+//! Scenario specification — the JSON body of `POST /sims`.
+//!
+//! A scenario describes a fleet the server can build from scratch: how
+//! many MAC ring nodes and blink background nodes, the channel (range,
+//! loss probability, fade seed), the core engine and network scheduler,
+//! and the stimulus schedule. Parsing is strict about types and ranges
+//! — a bad request must come back as HTTP 400, never a panic in a
+//! runner thread.
+//!
+//! ```json
+//! {
+//!   "name": "demo",
+//!   "mac_nodes": 3,
+//!   "blink_nodes": 1,
+//!   "range": 12.0,
+//!   "loss": 0.15,
+//!   "loss_seed": 42,
+//!   "engine": "fused",
+//!   "scheduler": "event",
+//!   "stagger_us": 700,
+//!   "irqs": [{"node": 1, "at_us": 5000}],
+//!   "run_to_us": 10000,
+//!   "slice_us": 1000,
+//!   "start_paused": false
+//! }
+//! ```
+//!
+//! Every field except `run_to_us` has a default.
+
+use dess::{SimDuration, SimTime};
+use snap_apps::blink::blink_program;
+use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
+use snap_apps::prelude::install_handler;
+use snap_core::{CoreConfig, Engine};
+use snap_net::{NetworkSim, Position, Scheduler, Stimulus};
+use snap_node::NodeId;
+use snap_telemetry::{parse, Value};
+
+/// Hard cap on fleet size per submitted sim: the server is a
+/// multi-tenant frontend, not the 10⁵-node batch path (use `netsim`
+/// directly for that).
+pub const MAX_NODES: u32 = 512;
+
+/// Hard cap on the run target: one simulated minute.
+pub const MAX_RUN_US: u64 = 60_000_000;
+
+/// A buildable fleet description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name echoed in status reports.
+    pub name: String,
+    /// CSMA/MAC ring nodes (node `i` sends to `i+1`, wrapping).
+    pub mac_nodes: u8,
+    /// Timer-periodic blink nodes placed out of radio range.
+    pub blink_nodes: u8,
+    /// Radio range (topology units).
+    pub range: f64,
+    /// Per-word loss probability in `[0, 1]`; 0 disables fading.
+    pub loss: f64,
+    /// Fade RNG seed (meaningful only when `loss > 0`).
+    pub loss_seed: u64,
+    /// Core execution engine for every node.
+    pub engine: Engine,
+    /// Network scheduler.
+    pub scheduler: Scheduler,
+    /// Gap between successive nodes' kick-off IRQs.
+    pub stagger_us: u64,
+    /// Extra sensor IRQs: `(node id, microseconds)`.
+    pub irqs: Vec<(u32, u64)>,
+    /// Simulated time the runner advances to.
+    pub run_to_us: u64,
+    /// Runner time slice: control operations (pause/snapshot/fork)
+    /// land on slice boundaries.
+    pub slice_us: u64,
+    /// Submit in the paused state; `POST /sims/{id}/resume` starts it.
+    pub start_paused: bool,
+}
+
+impl Default for Scenario {
+    fn default() -> Scenario {
+        Scenario {
+            name: "sim".to_string(),
+            mac_nodes: 3,
+            blink_nodes: 0,
+            range: 12.0,
+            loss: 0.0,
+            loss_seed: 1,
+            engine: Engine::Fused,
+            scheduler: Scheduler::Auto,
+            stagger_us: 700,
+            irqs: Vec::new(),
+            run_to_us: 10_000,
+            slice_us: 1_000,
+            start_paused: false,
+        }
+    }
+}
+
+fn get_u64(v: &Value, key: &str, max: u64) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => {
+            let n = f
+                .as_i64()
+                .ok_or_else(|| format!("{key}: expected integer"))?;
+            if n < 0 || n as u64 > max {
+                return Err(format!("{key}: out of range (0..={max})"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(f) => Ok(Some(
+            f.as_f64()
+                .ok_or_else(|| format!("{key}: expected number"))?,
+        )),
+    }
+}
+
+/// Parse a scenario from its JSON text.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field (the HTTP layer
+/// wraps it in a 400 response).
+pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
+    let v = parse(text)?;
+    let mut s = Scenario::default();
+    if let Some(name) = v.get("name") {
+        s.name = name
+            .as_str()
+            .ok_or("name: expected string")?
+            .chars()
+            .take(64)
+            .collect();
+    }
+    if let Some(n) = get_u64(&v, "mac_nodes", u64::from(MAX_NODES))? {
+        s.mac_nodes = u8::try_from(n).map_err(|_| "mac_nodes: at most 255")?;
+    }
+    if let Some(n) = get_u64(&v, "blink_nodes", u64::from(MAX_NODES))? {
+        s.blink_nodes = u8::try_from(n).map_err(|_| "blink_nodes: at most 255")?;
+    }
+    let total = u32::from(s.mac_nodes) + u32::from(s.blink_nodes);
+    if total == 0 {
+        return Err("scenario has zero nodes".to_string());
+    }
+    if total > MAX_NODES {
+        return Err(format!(
+            "scenario has {total} nodes; the cap is {MAX_NODES}"
+        ));
+    }
+    if let Some(r) = get_f64(&v, "range")? {
+        if !r.is_finite() || r <= 0.0 {
+            return Err("range: must be finite and positive".to_string());
+        }
+        s.range = r;
+    }
+    if let Some(l) = get_f64(&v, "loss")? {
+        if !l.is_finite() || !(0.0..=1.0).contains(&l) {
+            return Err("loss: must be in [0, 1]".to_string());
+        }
+        s.loss = l;
+    }
+    if let Some(seed) = get_u64(&v, "loss_seed", u64::MAX - 1)? {
+        s.loss_seed = seed;
+    }
+    if let Some(e) = v.get("engine") {
+        s.engine = match e.as_str() {
+            Some("interp") => Engine::Interp,
+            Some("fused") => Engine::Fused,
+            Some("aot") => Engine::Aot,
+            _ => return Err("engine: expected \"interp\", \"fused\" or \"aot\"".to_string()),
+        };
+    }
+    if let Some(sc) = v.get("scheduler") {
+        s.scheduler = match sc.as_str() {
+            Some("lockstep") => Scheduler::Lockstep,
+            Some("event") => Scheduler::EventDriven,
+            Some("sharded") => Scheduler::Sharded,
+            Some("auto") => Scheduler::Auto,
+            _ => {
+                return Err(
+                    "scheduler: expected \"lockstep\", \"event\", \"sharded\" or \"auto\""
+                        .to_string(),
+                )
+            }
+        };
+    }
+    if let Some(us) = get_u64(&v, "stagger_us", MAX_RUN_US)? {
+        s.stagger_us = us;
+    }
+    if let Some(irqs) = v.get("irqs") {
+        for (i, irq) in irqs
+            .elements()
+            .ok_or("irqs: expected array")?
+            .iter()
+            .enumerate()
+        {
+            let node = get_u64(irq, "node", u64::from(MAX_NODES))?
+                .ok_or_else(|| format!("irqs[{i}]: missing node"))?;
+            let at_us = get_u64(irq, "at_us", MAX_RUN_US)?
+                .ok_or_else(|| format!("irqs[{i}]: missing at_us"))?;
+            if node == 0 || node > u64::from(total) {
+                return Err(format!("irqs[{i}].node: no such node"));
+            }
+            s.irqs.push((node as u32, at_us));
+        }
+    }
+    s.run_to_us = get_u64(&v, "run_to_us", MAX_RUN_US)?.ok_or("missing field: run_to_us")?;
+    if let Some(us) = get_u64(&v, "slice_us", 1_000_000)? {
+        if us == 0 {
+            return Err("slice_us: must be positive".to_string());
+        }
+        s.slice_us = us;
+    }
+    if let Some(p) = v.get("start_paused") {
+        s.start_paused = match p {
+            Value::Bool(b) => *b,
+            _ => return Err("start_paused: expected bool".to_string()),
+        };
+    }
+    Ok(s)
+}
+
+/// Build the fleet a scenario describes. Deterministic: the same
+/// scenario always yields the same initial state (this is what makes
+/// the smoke test's straight-run comparison meaningful).
+///
+/// # Errors
+///
+/// Program assembly failures (should not happen for the built-in apps;
+/// surfaced rather than unwrapped so a server never panics).
+pub fn build(s: &Scenario) -> Result<NetworkSim, String> {
+    let core = CoreConfig {
+        engine: s.engine,
+        ..CoreConfig::default()
+    };
+    let mut sim = NetworkSim::new(s.range);
+    sim.set_scheduler(s.scheduler);
+    if s.loss > 0.0 {
+        sim.set_loss(s.loss, s.loss_seed);
+    }
+    for i in 0..s.mac_nodes {
+        let dst = if i + 1 == s.mac_nodes { 1 } else { i + 2 };
+        let extra = install_handler("EV_IRQ", "app_send_irq");
+        let app = format!("{}{}", send_on_irq_app(dst), RX_DISPATCH_STUB);
+        let program = mac_program(i + 1, &extra, &app).map_err(|e| e.to_string())?;
+        let (col, row) = (f64::from(i % 5), f64::from(i / 5));
+        let id = sim.add_node_with_core(&program, Position::new(col * 8.0, row * 8.0), core);
+        sim.schedule(
+            id,
+            SimTime::ZERO + SimDuration::from_us(1_000 + s.stagger_us * u64::from(i)),
+            Stimulus::SensorIrq,
+        );
+    }
+    for i in 0..s.blink_nodes {
+        sim.add_node_with_core(
+            &blink_program().map_err(|e| e.to_string())?,
+            Position::new(10_000.0 + f64::from(i) * 100.0, 0.0),
+            core,
+        );
+    }
+    for &(node, at_us) in &s.irqs {
+        sim.schedule(
+            NodeId(node),
+            SimTime::ZERO + SimDuration::from_us(at_us),
+            Stimulus::SensorIrq,
+        );
+    }
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = parse_scenario(r#"{"run_to_us": 5000}"#).unwrap();
+        assert_eq!(s.mac_nodes, 3);
+        assert_eq!(s.run_to_us, 5_000);
+        assert!(!s.start_paused);
+        assert!(build(&s).is_ok());
+    }
+
+    #[test]
+    fn full_scenario_parses() {
+        let s = parse_scenario(
+            r#"{"name":"x","mac_nodes":4,"blink_nodes":2,"range":20.0,
+                "loss":0.3,"loss_seed":9,"engine":"aot","scheduler":"sharded",
+                "stagger_us":500,"irqs":[{"node":2,"at_us":4000}],
+                "run_to_us":9000,"slice_us":250,"start_paused":true}"#,
+        )
+        .unwrap();
+        assert_eq!(s.mac_nodes, 4);
+        assert_eq!(s.irqs, vec![(2, 4_000)]);
+        assert!(s.start_paused);
+        let sim = build(&s).unwrap();
+        assert_eq!(sim.node_count(), 6);
+    }
+
+    #[test]
+    fn bad_scenarios_are_rejected_with_field_names() {
+        for (body, needle) in [
+            (r#"{}"#, "run_to_us"),
+            (r#"{"run_to_us":1000,"engine":"jit"}"#, "engine"),
+            (r#"{"run_to_us":1000,"loss":1.5}"#, "loss"),
+            (
+                r#"{"run_to_us":1000,"mac_nodes":0,"blink_nodes":0}"#,
+                "zero",
+            ),
+            (
+                r#"{"run_to_us":1000,"irqs":[{"node":9,"at_us":1}]}"#,
+                "node",
+            ),
+            (r#"{"run_to_us":999999999999}"#, "run_to_us"),
+            (r#"not json"#, "invalid"),
+        ] {
+            let err = parse_scenario(body).unwrap_err();
+            assert!(err.contains(needle), "body {body:?}: error {err:?}");
+        }
+    }
+}

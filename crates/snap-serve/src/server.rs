@@ -1,0 +1,626 @@
+//! The multi-tenant simulation registry.
+//!
+//! Each submitted scenario becomes a [`SimHandle`]: the fleet plus a
+//! dedicated runner thread that advances it slice by slice toward its
+//! target time. Control operations (pause, resume, snapshot, fork,
+//! status) take the same mutex the runner holds while advancing a
+//! slice, so every operation lands on a **slice boundary** — exactly
+//! the `run_until` boundary where `snap-net` snapshots are defined
+//! (see `snap_net::snapshot`). There is no way to observe or
+//! checkpoint a sim mid-slice, by construction.
+//!
+//! Forking is snapshot + restore in process: the child starts paused
+//! at the parent's clock with the parent's target, and resuming it
+//! must land bit-identically on the parent's own future — the smoke
+//! test (`tests/smoke.rs`) and the `fork_resume_is_bit_identical` unit
+//! test below enforce that.
+
+use crate::scenario::Scenario;
+use dess::{SimDuration, SimTime};
+use snap_net::{NetworkSim, TraceKind};
+use snap_node::NodeId;
+use snap_snapshot::Snapshot;
+use snap_telemetry::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Identifies one simulation within a server.
+pub type SimId = u64;
+
+/// Lifecycle state of a managed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimStatus {
+    /// The runner is advancing toward the target time.
+    Running,
+    /// Paused on a slice boundary; `resume` continues.
+    Paused,
+    /// Reached the target time. `run_to` with a later target restarts.
+    Done,
+    /// A node faulted ([`snap_node::NodeError`]); terminal.
+    Faulted(String),
+}
+
+impl SimStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            SimStatus::Running => "running",
+            SimStatus::Paused => "paused",
+            SimStatus::Done => "done",
+            SimStatus::Faulted(_) => "faulted",
+        }
+    }
+
+    /// Terminal states end `GET /sims/{id}/stream`.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, SimStatus::Done | SimStatus::Faulted(_))
+    }
+}
+
+struct Inner {
+    sim: NetworkSim,
+    status: SimStatus,
+    target_us: u64,
+    slice_us: u64,
+    /// Bumps on every state change; streaming clients wait on it.
+    seq: u64,
+    stop: bool,
+}
+
+/// One managed simulation: shared state plus the condvar the runner
+/// and streaming clients rendezvous on.
+pub struct SimHandle {
+    id: SimId,
+    name: String,
+    inner: Mutex<Inner>,
+    wake: Condvar,
+}
+
+fn now_us(sim: &NetworkSim) -> u64 {
+    sim.now().as_ps() / 1_000_000
+}
+
+impl SimHandle {
+    /// This sim's id.
+    pub fn id(&self) -> SimId {
+        self.id
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A runner that panicked mid-slice poisons the mutex; the sim
+        // state is still readable and the status tells the story.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Pause on the next slice boundary. No-op unless running.
+    pub fn pause(&self) {
+        let mut g = self.lock();
+        if g.status == SimStatus::Running {
+            g.status = SimStatus::Paused;
+            g.seq += 1;
+            self.wake.notify_all();
+        }
+    }
+
+    /// Resume a paused sim (also restarts a `Done` sim whose target was
+    /// extended). Faulted sims stay faulted.
+    pub fn resume(&self) {
+        let mut g = self.lock();
+        if matches!(g.status, SimStatus::Paused | SimStatus::Done) {
+            g.status = SimStatus::Running;
+            g.seq += 1;
+            self.wake.notify_all();
+        }
+    }
+
+    /// Extend the run target. Does not change pause state; a `Done` sim
+    /// becomes `Running` again when the new target is later.
+    pub fn run_to(&self, target_us: u64) {
+        let mut g = self.lock();
+        g.target_us = g.target_us.max(target_us);
+        if g.status == SimStatus::Done && now_us(&g.sim) < g.target_us {
+            g.status = SimStatus::Running;
+        }
+        g.seq += 1;
+        self.wake.notify_all();
+    }
+
+    /// Serialize the sim at the current slice boundary.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let g = self.lock();
+        Snapshot::Fleet(g.sim.export_snapshot()).to_bytes()
+    }
+
+    /// Current status document (see `docs` on the HTTP layer).
+    pub fn status_json(&self) -> Value {
+        let g = self.lock();
+        self.status_json_locked(&g)
+    }
+
+    fn status_json_locked(&self, g: &Inner) -> Value {
+        let mut per_node = Vec::with_capacity(g.sim.node_count());
+        for n in 1..=g.sim.node_count() as u32 {
+            let node = g.sim.node(NodeId(n));
+            let stats = node.cpu().stats();
+            let mut v = Value::obj();
+            v.set("node", Value::Int(i64::from(n)))
+                .set("instructions", Value::Int(stats.instructions as i64))
+                .set("handlers", Value::Int(stats.handlers_dispatched as i64))
+                .set("energy_pj", Value::Float(stats.energy.as_pj()))
+                // The exact bits, for bit-identity checks over HTTP —
+                // a float rendering would round.
+                .set(
+                    "energy_bits",
+                    Value::Str(format!("{:016x}", stats.energy.as_pj().to_bits())),
+                );
+            per_node.push(v);
+        }
+        let mut v = Value::obj();
+        v.set("id", Value::Int(self.id as i64))
+            .set("name", Value::Str(self.name.clone()))
+            .set("state", Value::Str(g.status.label().to_string()))
+            .set(
+                "fault",
+                match &g.status {
+                    SimStatus::Faulted(e) => Value::Str(e.clone()),
+                    _ => Value::Null,
+                },
+            )
+            .set("now_us", Value::Int(now_us(&g.sim) as i64))
+            .set("target_us", Value::Int(g.target_us as i64))
+            .set("seq", Value::Int(g.seq as i64))
+            .set("nodes", Value::Int(g.sim.node_count() as i64))
+            .set(
+                "deliveries",
+                Value::Int(g.sim.channel().deliveries() as i64),
+            )
+            .set(
+                "collisions",
+                Value::Int(g.sim.channel().collisions() as i64),
+            )
+            .set("faded", Value::Int(g.sim.channel().faded() as i64))
+            .set(
+                "trace_recorded",
+                Value::Int(g.sim.trace().recorded() as i64),
+            )
+            .set("per_node", Value::Arr(per_node));
+        v
+    }
+
+    /// Block until `seq` moves past `last_seq`, the sim reaches a
+    /// terminal state, or `timeout` elapses; returns the fresh status
+    /// document, its `seq`, and whether the state is terminal.
+    pub fn wait_progress(&self, last_seq: u64, timeout: Duration) -> (Value, u64, bool) {
+        let mut g = self.lock();
+        if g.seq == last_seq && !g.status.is_terminal() {
+            let (guard, _timeout) = match self.wake.wait_timeout(g, timeout) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g = guard;
+        }
+        (self.status_json_locked(&g), g.seq, g.status.is_terminal())
+    }
+
+    /// The full `snap-metrics-v1` report for this sim.
+    pub fn metrics_json(&self) -> Value {
+        let g = self.lock();
+        let vdd = g.sim.node(NodeId(1)).cpu().config().operating_point.vdd();
+        g.sim.metrics_report("snap-serve", vdd)
+    }
+
+    /// Trace events from index `from` on, as JSON.
+    pub fn trace_json(&self, from: usize) -> Value {
+        let g = self.lock();
+        let events = g.sim.trace().events();
+        let from = from.min(events.len());
+        let items: Vec<Value> = events[from..]
+            .iter()
+            .map(|e| {
+                let mut v = Value::obj();
+                v.set("at_ps", Value::Int(e.at_ps as i64))
+                    .set("node", Value::Int(i64::from(e.node.0)));
+                match e.kind {
+                    TraceKind::Transmit { word } => {
+                        v.set("kind", Value::Str("transmit".into()))
+                            .set("word", Value::Int(i64::from(word)));
+                    }
+                    TraceKind::Deliver { word, from } => {
+                        v.set("kind", Value::Str("deliver".into()))
+                            .set("word", Value::Int(i64::from(word)))
+                            .set("from", Value::Int(i64::from(from.0)));
+                    }
+                    TraceKind::Collision { from } => {
+                        v.set("kind", Value::Str("collision".into()))
+                            .set("from", Value::Int(i64::from(from.0)));
+                    }
+                    TraceKind::Led { value } => {
+                        v.set("kind", Value::Str("led".into()))
+                            .set("value", Value::Int(i64::from(value)));
+                    }
+                    TraceKind::Stimulus => {
+                        v.set("kind", Value::Str("stimulus".into()));
+                    }
+                }
+                v
+            })
+            .collect();
+        let mut v = Value::obj();
+        v.set("from", Value::Int(from as i64))
+            .set("count", Value::Int(items.len() as i64))
+            .set("events", Value::Arr(items));
+        v
+    }
+
+    fn shutdown(&self) {
+        let mut g = self.lock();
+        g.stop = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The runner: advance slice by slice while `Running`, park otherwise.
+/// Holding the lock across `run_until` is what makes every control
+/// operation land on a slice boundary.
+fn runner(h: Arc<SimHandle>) {
+    let mut g = h.lock();
+    loop {
+        if g.stop {
+            return;
+        }
+        if g.status != SimStatus::Running {
+            g = match h.wake.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            continue;
+        }
+        let now = now_us(&g.sim);
+        if now >= g.target_us {
+            g.status = SimStatus::Done;
+            g.seq += 1;
+            h.wake.notify_all();
+            continue;
+        }
+        let next = (now + g.slice_us).min(g.target_us);
+        if let Err(e) = g.sim.run_until(SimTime::ZERO + SimDuration::from_us(next)) {
+            g.status = SimStatus::Faulted(e.to_string());
+        }
+        g.seq += 1;
+        h.wake.notify_all();
+        // Give queued control operations a chance at the lock between
+        // slices.
+        drop(g);
+        std::thread::yield_now();
+        g = h.lock();
+    }
+}
+
+/// The registry: submit, look up, fork, restore, list, remove.
+pub struct SimServer {
+    sims: Mutex<BTreeMap<SimId, Arc<SimHandle>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for SimServer {
+    fn default() -> SimServer {
+        SimServer::new()
+    }
+}
+
+impl SimServer {
+    /// An empty registry.
+    pub fn new() -> SimServer {
+        SimServer {
+            sims: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn insert(
+        &self,
+        name: String,
+        sim: NetworkSim,
+        target_us: u64,
+        slice_us: u64,
+        paused: bool,
+    ) -> SimId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let handle = Arc::new(SimHandle {
+            id,
+            name,
+            inner: Mutex::new(Inner {
+                sim,
+                status: if paused {
+                    SimStatus::Paused
+                } else {
+                    SimStatus::Running
+                },
+                target_us,
+                slice_us: slice_us.max(1),
+                seq: 0,
+                stop: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let for_runner = Arc::clone(&handle);
+        std::thread::Builder::new()
+            .name(format!("sim-{id}"))
+            .spawn(move || runner(for_runner))
+            .expect("spawn sim runner");
+        self.sims.lock().unwrap().insert(id, handle);
+        id
+    }
+
+    /// Build and start (or park, if `start_paused`) a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Scenario build failures, as a client-facing message.
+    pub fn submit(&self, s: &Scenario) -> Result<SimId, String> {
+        let sim = crate::scenario::build(s)?;
+        Ok(self.insert(s.name.clone(), sim, s.run_to_us, s.slice_us, s.start_paused))
+    }
+
+    /// Look up a sim by id.
+    pub fn get(&self, id: SimId) -> Option<Arc<SimHandle>> {
+        self.sims.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Fork: checkpoint the parent on its current slice boundary and
+    /// restore into a new sim, **paused**, with the parent's target and
+    /// slice. Resuming the child replays the parent's exact future.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, or a snapshot restore failure.
+    pub fn fork(&self, id: SimId) -> Result<SimId, String> {
+        let parent = self.get(id).ok_or("no such sim")?;
+        let (snap, target_us, slice_us) = {
+            let g = parent.lock();
+            (g.sim.export_snapshot(), g.target_us, g.slice_us)
+        };
+        let sim = NetworkSim::from_snapshot(&snap).map_err(|e| e.to_string())?;
+        Ok(self.insert(
+            format!("{}+fork", parent.name),
+            sim,
+            target_us,
+            slice_us,
+            true,
+        ))
+    }
+
+    /// Restore a previously downloaded snapshot into a new, paused sim.
+    /// Its target starts at its own clock; `run_to` then `resume` to
+    /// continue.
+    ///
+    /// # Errors
+    ///
+    /// Undecodable or structurally corrupt snapshot bytes.
+    pub fn restore(&self, bytes: &[u8]) -> Result<SimId, String> {
+        let snap = Snapshot::from_bytes(bytes).map_err(|e| e.to_string())?;
+        let fleet = snap.as_fleet().ok_or("snapshot is not a fleet")?;
+        let sim = NetworkSim::from_snapshot(fleet).map_err(|e| e.to_string())?;
+        let target_us = now_us(&sim);
+        Ok(self.insert("restored".to_string(), sim, target_us, 1_000, true))
+    }
+
+    /// Status documents for every sim, in id order.
+    pub fn list_json(&self) -> Value {
+        let handles: Vec<Arc<SimHandle>> = self.sims.lock().unwrap().values().cloned().collect();
+        let mut v = Value::obj();
+        v.set(
+            "sims",
+            Value::Arr(handles.iter().map(|h| h.status_json()).collect()),
+        );
+        v
+    }
+
+    /// Stop and drop a sim.
+    pub fn remove(&self, id: SimId) -> bool {
+        match self.sims.lock().unwrap().remove(&id) {
+            Some(h) => {
+                h.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stop every runner thread (used on server shutdown and in tests).
+    pub fn shutdown(&self) {
+        for h in self.sims.lock().unwrap().values() {
+            h.shutdown();
+        }
+    }
+}
+
+impl Drop for SimServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Block until the sim reaches a terminal state ([`SimStatus::Done`] or
+/// [`SimStatus::Faulted`]); returns the final status document. Test and
+/// CLI helper; streaming clients use [`SimHandle::wait_progress`].
+pub fn wait_terminal(h: &SimHandle, timeout: Duration) -> Result<Value, String> {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut seq = u64::MAX;
+    loop {
+        let (v, s, terminal) = h.wait_progress(seq, Duration::from_millis(50));
+        if terminal {
+            return Ok(v);
+        }
+        seq = s;
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("sim {} not terminal after {timeout:?}", h.id()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{parse_scenario, Scenario};
+
+    fn mac_scenario(run_to_us: u64) -> Scenario {
+        parse_scenario(&format!(
+            r#"{{"mac_nodes":3,"loss":0.15,"loss_seed":42,"engine":"fused",
+                "scheduler":"event","stagger_us":700,"run_to_us":{run_to_us},
+                "slice_us":500}}"#
+        ))
+        .unwrap()
+    }
+
+    fn energy_bits(v: &Value) -> Vec<String> {
+        v.get("per_node")
+            .unwrap()
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|n| n.get("energy_bits").unwrap().as_str().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn submitted_sim_runs_to_target_and_reports() {
+        let server = SimServer::new();
+        // Lossless and long enough for the MAC ring to complete a
+        // handshake, so the deliveries assertion is meaningful.
+        let s = parse_scenario(
+            r#"{"mac_nodes":3,"engine":"fused","scheduler":"event",
+                "stagger_us":900,"run_to_us":30000,"slice_us":1000}"#,
+        )
+        .unwrap();
+        let id = server.submit(&s).unwrap();
+        let h = server.get(id).unwrap();
+        let v = wait_terminal(&h, Duration::from_secs(30)).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(v.get("now_us").unwrap().as_i64(), Some(30_000));
+        assert!(v.get("deliveries").unwrap().as_i64().unwrap() > 0);
+        let trace = h.trace_json(0);
+        assert!(trace.get("count").unwrap().as_i64().unwrap() > 0);
+        snap_telemetry::validate_metrics(&h.metrics_json().to_pretty()).unwrap();
+    }
+
+    /// The acceptance criterion, in process: a served sim that is
+    /// paused, forked and resumed produces bit-identical traces and
+    /// energy f64 bits to an uninterrupted run of the same scenario.
+    #[test]
+    fn fork_resume_is_bit_identical() {
+        let s = mac_scenario(12_000);
+        let server = SimServer::new();
+        let id = server.submit(&s).unwrap();
+        let parent = server.get(id).unwrap();
+        // Pause somewhere mid-flight (wherever the runner happens to
+        // be), fork, then let both finish.
+        std::thread::sleep(Duration::from_millis(5));
+        parent.pause();
+        let paused_at = parent
+            .status_json()
+            .get("now_us")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let child_id = server.fork(id).unwrap();
+        let child = server.get(child_id).unwrap();
+        parent.resume();
+        child.resume();
+        let pv = wait_terminal(&parent, Duration::from_secs(30)).unwrap();
+        let cv = wait_terminal(&child, Duration::from_secs(30)).unwrap();
+        assert_eq!(pv.get("state").unwrap().as_str(), Some("done"), "{pv:?}");
+        assert_eq!(cv.get("state").unwrap().as_str(), Some("done"), "{cv:?}");
+
+        // Straight, uninterrupted run of the same scenario.
+        let mut straight = crate::scenario::build(&s).unwrap();
+        straight
+            .run_until(SimTime::ZERO + SimDuration::from_us(s.run_to_us))
+            .unwrap();
+
+        assert_eq!(
+            parent.trace_json(0),
+            child.trace_json(0),
+            "fork diverged from parent (paused at {paused_at} us)"
+        );
+        assert_eq!(energy_bits(&pv), energy_bits(&cv));
+        let straight_bits: Vec<String> = (1..=straight.node_count() as u32)
+            .map(|n| {
+                format!(
+                    "{:016x}",
+                    straight
+                        .node(NodeId(n))
+                        .cpu()
+                        .stats()
+                        .energy
+                        .as_pj()
+                        .to_bits()
+                )
+            })
+            .collect();
+        assert_eq!(
+            energy_bits(&pv),
+            straight_bits,
+            "served run diverged from straight run"
+        );
+        assert_eq!(
+            parent.trace_json(0).get("count").unwrap().as_i64().unwrap() as usize,
+            straight.trace().events().len()
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_registry() {
+        let server = SimServer::new();
+        let id = server.submit(&mac_scenario(4_000)).unwrap();
+        let h = server.get(id).unwrap();
+        wait_terminal(&h, Duration::from_secs(30)).unwrap();
+        let bytes = h.snapshot_bytes();
+        let restored_id = server.restore(&bytes).unwrap();
+        let r = server.get(restored_id).unwrap();
+        let v = r.status_json();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("paused"));
+        assert_eq!(v.get("now_us").unwrap().as_i64(), Some(4_000));
+        // Continue the restored sim and the original side by side.
+        h.run_to(8_000);
+        h.resume();
+        r.run_to(8_000);
+        r.resume();
+        wait_terminal(&h, Duration::from_secs(30)).unwrap();
+        wait_terminal(&r, Duration::from_secs(30)).unwrap();
+        assert_eq!(h.trace_json(0), r.trace_json(0));
+    }
+
+    #[test]
+    fn faulting_scenario_reports_faulted() {
+        // IRQ into a node mid-transmission faults the MAC app (see
+        // snap-net/tests/snapshot_equiv.rs).
+        let s = parse_scenario(
+            r#"{"mac_nodes":4,"loss":0.15,"loss_seed":3,"engine":"fused",
+                "scheduler":"event","stagger_us":600,
+                "irqs":[{"node":2,"at_us":5000}],
+                "run_to_us":20000,"slice_us":1000}"#,
+        )
+        .unwrap();
+        let server = SimServer::new();
+        let id = server.submit(&s).unwrap();
+        let h = server.get(id).unwrap();
+        let v = wait_terminal(&h, Duration::from_secs(30)).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("faulted"));
+        let fault = v.get("fault").unwrap().as_str().unwrap();
+        assert!(fault.contains("radio TX while busy"), "{fault}");
+    }
+
+    #[test]
+    fn remove_stops_and_forgets() {
+        let server = SimServer::new();
+        let id = server.submit(&mac_scenario(2_000)).unwrap();
+        assert!(server.remove(id));
+        assert!(!server.remove(id));
+        assert!(server.get(id).is_none());
+    }
+}

@@ -21,8 +21,11 @@
 //!   reproducer.
 //!
 //! The `snap-smith` binary wraps this into a fuzzing loop
-//! (`--seed`, `--iters`) and a reproducer runner (`--repro <file>`).
+//! (`--seed`, `--iters`), a reproducer runner (`--repro <file>`), and
+//! a checkpoint-based divergence localizer (`--bisect <file>`, see
+//! [`bisect`]).
 
+pub mod bisect;
 pub mod diff;
 pub mod gen;
 pub mod oracle;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going]
-//!            [--soundness N]
+//!            [--soundness N] [--bisect FILE] [--every N] [--mutate N]
 //! ```
 //!
 //! Fuzz mode generates one program per iteration (iteration `i` uses
@@ -19,8 +19,18 @@
 //! N generated programs are statically analyzed and then executed, and
 //! every executed pc, completed dispatch and measured cost is checked
 //! against the static reachability/termination/bound claims.
+//!
+//! `--bisect FILE` localizes *when* a `.sasm` reproducer's universes
+//! split: both legs run once with a core snapshot taken every `--every`
+//! instructions (default 256), the checkpoints are binary-searched for
+//! the first disagreeing boundary, and the window is replayed from the
+//! last agreeing checkpoint — not from t = 0 — down to the exact
+//! instruction. `--mutate N` injects an extra sensor IRQ at executed
+//! count N into the suspect leg only: a known-divergent mutation for
+//! validating the bisector against a split whose instant is known.
 
-use snap_smith::diff::check_source;
+use snap_smith::bisect::{bisect, mutate_script, BisectOutcome, LegSpec, DEFAULT_INTERVAL};
+use snap_smith::diff::{check_source, compare, run_program, Runner};
 use snap_smith::gen::{generate, parse_script};
 use snap_smith::shrink::shrink;
 
@@ -30,11 +40,15 @@ struct Options {
     repro: Option<String>,
     keep_going: bool,
     soundness: Option<u64>,
+    bisect: Option<String>,
+    every: u64,
+    mutate: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going] [--soundness N]"
+        "usage: snap-smith [--seed N] [--iters N] [--repro FILE] [--keep-going] [--soundness N]\n\
+         \x20                 [--bisect FILE] [--every N] [--mutate N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +60,9 @@ fn parse_args() -> Options {
         repro: None,
         keep_going: false,
         soundness: None,
+        bisect: None,
+        every: DEFAULT_INTERVAL,
+        mutate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,11 +83,124 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.soundness = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--bisect" => {
+                opts.bisect = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--every" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.every = v.parse().unwrap_or_else(|_| usage());
+                if opts.every == 0 {
+                    usage();
+                }
+            }
+            "--mutate" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.mutate = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     opts
+}
+
+/// The stepped interpreter: the trusted leg every bisection resumes
+/// its reference side from.
+const REFERENCE: Runner = Runner::CoreStep { predecode: false };
+
+fn run_bisect(path: &str, every: u64, mutate: Option<u64>) -> i32 {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snap-smith: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let script = parse_script(&source);
+    let program = match snap_asm::assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("snap-smith: {path} does not assemble: {e}");
+            return 2;
+        }
+    };
+
+    // A seeded mutation pits one configuration against itself under a
+    // perturbed environment; the split instant is known by construction.
+    if let Some(at) = mutate {
+        let mutated = mutate_script(&script, at);
+        let runner = Runner::CoreBurst {
+            predecode: true,
+            engine: snap_core::Engine::Fused,
+        };
+        let reference = LegSpec {
+            program: &program,
+            script: &script,
+            runner,
+        };
+        let suspect = LegSpec {
+            program: &program,
+            script: &mutated,
+            runner,
+        };
+        println!("bisecting {path} against itself with an extra IRQ at instruction {at}");
+        return print_bisect(&reference, &suspect, every);
+    }
+
+    // Otherwise find which core configuration actually diverges.
+    let reference_run = run_program(&program, &script, Runner::Oracle);
+    let mut diverging = None;
+    for runner in Runner::CORE_CONFIGS {
+        let got = run_program(&program, &script, runner);
+        if let Some(detail) = compare(&reference_run, &got) {
+            diverging = Some((runner, detail));
+            break;
+        }
+    }
+    let Some((runner, detail)) = diverging else {
+        println!("{path}: all configurations agree — nothing to bisect");
+        return 0;
+    };
+    println!("{path}: DIVERGENCE in {}", runner.label());
+    println!("{detail}");
+    if runner == REFERENCE {
+        println!(
+            "the stepped interpreter itself diverges from the oracle; \
+             its trace diff above already names the first instruction"
+        );
+        return 1;
+    }
+    let reference = LegSpec {
+        program: &program,
+        script: &script,
+        runner: REFERENCE,
+    };
+    let suspect = LegSpec {
+        program: &program,
+        script: &script,
+        runner,
+    };
+    print_bisect(&reference, &suspect, every)
+}
+
+fn print_bisect(reference: &LegSpec<'_>, suspect: &LegSpec<'_>, every: u64) -> i32 {
+    match bisect(reference, suspect, every) {
+        Ok(BisectOutcome::Agree) => {
+            println!(
+                "bisect: the legs agree at instruction granularity — the divergence \
+                 is only visible against the oracle (core-family-wide)"
+            );
+            1
+        }
+        Ok(BisectOutcome::Diverged(r)) => {
+            println!("{}", snap_smith::bisect::format_report(&r));
+            1
+        }
+        Err(e) => {
+            eprintln!("snap-smith: bisect failed: {e}");
+            2
+        }
+    }
 }
 
 fn run_repro(path: &str) -> i32 {
@@ -97,6 +227,9 @@ fn run_repro(path: &str) -> i32 {
 
 fn main() {
     let opts = parse_args();
+    if let Some(path) = &opts.bisect {
+        std::process::exit(run_bisect(path, opts.every, opts.mutate));
+    }
     if let Some(path) = &opts.repro {
         std::process::exit(run_repro(path));
     }

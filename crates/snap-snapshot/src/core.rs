@@ -1,0 +1,468 @@
+//! Snapshot of one SNAP/LE core.
+//!
+//! Every field is a plain integer — enum discriminants travel as `u8`
+//! (the constants below pin the wire values), floats travel as IEEE-754
+//! bit patterns, times travel as picoseconds. The conversion to and
+//! from live `snap_core::Processor` state lives in `snap-core` itself
+//! (`snap_core::snapshot`); this crate only defines the portable shape
+//! and its byte layout, so leaf binaries and the server can read
+//! checkpoints without dragging in the simulator.
+//!
+//! Simulator *caches* (predecode verdicts, fused traces, AOT images)
+//! are deliberately absent: they are pure functions of IMEM and the
+//! config and rebuild lazily on restore, which keeps the format small
+//! and — because every execution tier is bit-identical — is invisible
+//! to the resumed simulation.
+
+use crate::wire::{Reader, SnapshotError, Writer};
+
+/// Wire values for `CoreState` (`Running`/`Asleep`/`Halted`).
+pub mod state {
+    /// Core executing instructions.
+    pub const RUNNING: u8 = 0;
+    /// Core asleep, waiting on the event queue.
+    pub const ASLEEP: u8 = 1;
+    /// Core halted.
+    pub const HALTED: u8 = 2;
+}
+
+/// Wire values for the execution engine.
+pub mod engine {
+    /// Plain interpreter.
+    pub const INTERP: u8 = 0;
+    /// Tier-1 superinstruction fusion.
+    pub const FUSED: u8 = 1;
+    /// Tier-2 AOT translation.
+    pub const AOT: u8 = 2;
+}
+
+/// Core configuration, captured so a restore rebuilds the identical
+/// energy/timing models before replaying a single instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfigSnap {
+    /// Supply voltage, IEEE-754 bits.
+    pub vdd_bits: u64,
+    /// Delay factor relative to nominal, IEEE-754 bits.
+    pub delay_factor_bits: u64,
+    /// `true` for the flat-bus ablation model, `false` hierarchical.
+    pub bus_flat: bool,
+    /// Hardware event-queue capacity.
+    pub event_queue_capacity: u64,
+    /// Timer coprocessor tick, picoseconds.
+    pub timer_tick_ps: u64,
+    /// LFSR seed from the config (the *live* LFSR state is in
+    /// [`CoreSnapshot::lfsr`]).
+    pub lfsr_seed: u16,
+    /// Whether the predecode cache is enabled.
+    pub predecode: bool,
+    /// Execution engine (see [`engine`]).
+    pub engine: u8,
+}
+
+impl CoreConfigSnap {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u64(self.vdd_bits);
+        w.u64(self.delay_factor_bits);
+        w.bool(self.bus_flat);
+        w.u64(self.event_queue_capacity);
+        w.u64(self.timer_tick_ps);
+        w.u16(self.lfsr_seed);
+        w.bool(self.predecode);
+        w.u8(self.engine);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<CoreConfigSnap, SnapshotError> {
+        let snap = CoreConfigSnap {
+            vdd_bits: r.u64()?,
+            delay_factor_bits: r.u64()?,
+            bus_flat: r.bool()?,
+            event_queue_capacity: r.u64()?,
+            timer_tick_ps: r.u64()?,
+            lfsr_seed: r.u16()?,
+            predecode: r.bool()?,
+            engine: r.u8()?,
+        };
+        if snap.engine > engine::AOT {
+            return Err(SnapshotError::Corrupt("engine discriminant"));
+        }
+        if snap.event_queue_capacity == 0 {
+            return Err(SnapshotError::Corrupt("event queue capacity"));
+        }
+        Ok(snap)
+    }
+}
+
+/// The hardware event queue: tokens as handler-table indices, in FIFO
+/// order, plus the optional arrival stamps and lifetime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Queued tokens, front first, as handler-table indices (0–7).
+    pub fifo: Vec<u8>,
+    /// Arrival stamps (ps) parallel to `fifo`, when stamping is on.
+    pub stamps: Option<Vec<u64>>,
+    /// Tokens dropped on overflow, lifetime.
+    pub dropped: u64,
+    /// Tokens accepted, lifetime.
+    pub inserted: u64,
+}
+
+impl QueueSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.len(self.fifo.len());
+        for &t in &self.fifo {
+            w.u8(t);
+        }
+        match &self.stamps {
+            Some(s) => {
+                w.bool(true);
+                w.seq_u64(s);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.dropped);
+        w.u64(self.inserted);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<QueueSnapshot, SnapshotError> {
+        let n = r.len()?;
+        let mut fifo = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = r.u8()?;
+            if t >= 8 {
+                return Err(SnapshotError::Corrupt("event token index"));
+            }
+            fifo.push(t);
+        }
+        let stamps = if r.bool()? { Some(r.seq_u64()?) } else { None };
+        if let Some(s) = &stamps {
+            if s.len() != fifo.len() {
+                return Err(SnapshotError::Corrupt("stamp count"));
+            }
+        }
+        Ok(QueueSnapshot {
+            fifo,
+            stamps,
+            dropped: r.u64()?,
+            inserted: r.u64()?,
+        })
+    }
+}
+
+/// One timer register of the timer coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerRegSnap {
+    /// Staged high byte from `schedhi`.
+    pub staged_hi: u8,
+    /// Absolute expiry time (ps) when armed.
+    pub expiry_ps: Option<u64>,
+}
+
+/// The timer coprocessor: three registers plus lifetime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// The three timer registers.
+    pub timers: Vec<TimerRegSnap>,
+    /// Timers armed, lifetime.
+    pub scheduled: u64,
+    /// Timers expired, lifetime.
+    pub expired: u64,
+    /// Timers cancelled, lifetime.
+    pub cancelled: u64,
+}
+
+impl TimerSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.len(self.timers.len());
+        for t in &self.timers {
+            w.u8(t.staged_hi);
+            w.opt_u64(t.expiry_ps);
+        }
+        w.u64(self.scheduled);
+        w.u64(self.expired);
+        w.u64(self.cancelled);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<TimerSnapshot, SnapshotError> {
+        let n = r.len()?;
+        let mut timers = Vec::with_capacity(n);
+        for _ in 0..n {
+            timers.push(TimerRegSnap {
+                staged_hi: r.u8()?,
+                expiry_ps: r.opt_u64()?,
+            });
+        }
+        Ok(TimerSnapshot {
+            timers,
+            scheduled: r.u64()?,
+            expired: r.u64()?,
+            cancelled: r.u64()?,
+        })
+    }
+}
+
+/// The message coprocessor: the `r15` FIFO and radio/sensor port state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgSnapshot {
+    /// Words waiting to be read through `r15`, front first.
+    pub outgoing: Vec<u16>,
+    /// A `RadioTx` command was written and the payload word is pending.
+    pub awaiting_tx_payload: bool,
+    /// Radio receiver enabled.
+    pub rx_enabled: bool,
+    /// Last `PortWrite` value.
+    pub port: u16,
+    /// Words transmitted, lifetime.
+    pub words_tx: u64,
+    /// Words received, lifetime.
+    pub words_rx: u64,
+}
+
+impl MsgSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.seq_u16(&self.outgoing);
+        w.bool(self.awaiting_tx_payload);
+        w.bool(self.rx_enabled);
+        w.u16(self.port);
+        w.u64(self.words_tx);
+        w.u64(self.words_rx);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<MsgSnapshot, SnapshotError> {
+        Ok(MsgSnapshot {
+            outgoing: r.seq_u16()?,
+            awaiting_tx_payload: r.bool()?,
+            rx_enabled: r.bool()?,
+            port: r.u16()?,
+            words_tx: r.u64()?,
+            words_rx: r.u64()?,
+        })
+    }
+}
+
+/// Per-instruction-class counters of the energy accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStatSnap {
+    /// Instructions retired in this class.
+    pub count: u64,
+    /// Energy attributed to this class, IEEE-754 bits of picojoules.
+    pub energy_bits: u64,
+}
+
+/// The energy accountant's accumulators. Every energy value is the
+/// IEEE-754 bit pattern of the picojoule `f64` — the format's
+/// bit-identity guarantee lives or dies here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcctSnapshot {
+    /// Per-component energy (Component::ALL order), pJ bits.
+    pub components: Vec<u64>,
+    /// Per-instruction-class counters (InstructionClass::ALL order).
+    pub per_class: Vec<ClassStatSnap>,
+    /// Total energy, pJ bits.
+    pub total_energy_bits: u64,
+    /// Busy time, ps.
+    pub busy_ps: u64,
+    /// Instructions retired, lifetime.
+    pub instructions: u64,
+    /// Cycles, lifetime.
+    pub cycles: u64,
+}
+
+impl AcctSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.seq_u64(&self.components);
+        w.len(self.per_class.len());
+        for c in &self.per_class {
+            w.u64(c.count);
+            w.u64(c.energy_bits);
+        }
+        w.u64(self.total_energy_bits);
+        w.u64(self.busy_ps);
+        w.u64(self.instructions);
+        w.u64(self.cycles);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<AcctSnapshot, SnapshotError> {
+        let components = r.seq_u64()?;
+        let n = r.len()?;
+        let mut per_class = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_class.push(ClassStatSnap {
+                count: r.u64()?,
+                energy_bits: r.u64()?,
+            });
+        }
+        Ok(AcctSnapshot {
+            components,
+            per_class,
+            total_energy_bits: r.u64()?,
+            busy_ps: r.u64()?,
+            instructions: r.u64()?,
+            cycles: r.u64()?,
+        })
+    }
+}
+
+/// One bucket of the per-handler profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerStatSnap {
+    /// Handler dispatches.
+    pub dispatches: u64,
+    /// Instructions retired under this handler.
+    pub instructions: u64,
+    /// Energy attributed, pJ bits.
+    pub energy_bits: u64,
+    /// Busy time attributed, ps.
+    pub busy_ps: u64,
+}
+
+impl HandlerStatSnap {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.dispatches);
+        w.u64(self.instructions);
+        w.u64(self.energy_bits);
+        w.u64(self.busy_ps);
+    }
+
+    fn decode(r: &mut Reader) -> Result<HandlerStatSnap, SnapshotError> {
+        Ok(HandlerStatSnap {
+            dispatches: r.u64()?,
+            instructions: r.u64()?,
+            energy_bits: r.u64()?,
+            busy_ps: r.u64()?,
+        })
+    }
+}
+
+/// The per-handler profile: boot bucket + one bucket per event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// The boot-code bucket.
+    pub boot: HandlerStatSnap,
+    /// Per-event buckets in handler-table order.
+    pub per_event: Vec<HandlerStatSnap>,
+}
+
+impl ProfileSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        self.boot.encode(w);
+        w.len(self.per_event.len());
+        for s in &self.per_event {
+            s.encode(w);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<ProfileSnapshot, SnapshotError> {
+        let boot = HandlerStatSnap::decode(r)?;
+        let n = r.len()?;
+        let mut per_event = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_event.push(HandlerStatSnap::decode(r)?);
+        }
+        Ok(ProfileSnapshot { boot, per_event })
+    }
+}
+
+/// Full architectural + accounting state of one core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Configuration (models are derived from this on restore).
+    pub config: CoreConfigSnap,
+    /// `r0`–`r14`.
+    pub regs: Vec<u16>,
+    /// Carry flag.
+    pub carry: bool,
+    /// The 2048-word instruction memory.
+    pub imem: Vec<u16>,
+    /// The 2048-word data memory.
+    pub dmem: Vec<u16>,
+    /// Program counter.
+    pub pc: u16,
+    /// Core state (see [`state`]).
+    pub state: u8,
+    /// Core-local clock, ps.
+    pub now_ps: u64,
+    /// Event-handler table, one address per event.
+    pub handler_table: Vec<u16>,
+    /// Live LFSR state (`rand`/`seed`).
+    pub lfsr: u16,
+    /// Event whose handler is currently executing, as a table index.
+    pub current_event: Option<u8>,
+    /// Hardware event queue.
+    pub queue: QueueSnapshot,
+    /// Timer coprocessor.
+    pub timers: TimerSnapshot,
+    /// Message coprocessor.
+    pub msg: MsgSnapshot,
+    /// Energy accountant accumulators.
+    pub acct: AcctSnapshot,
+    /// Per-handler profile.
+    pub profile: ProfileSnapshot,
+    /// Accumulated sleep time, ps.
+    pub sleep_ps: u64,
+    /// Accumulated wake-up latency, ps.
+    pub wakeup_ps: u64,
+    /// Wake-ups, lifetime.
+    pub wakeups: u64,
+    /// Handlers dispatched, lifetime.
+    pub handlers_dispatched: u64,
+}
+
+impl CoreSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.seq_u16(&self.regs);
+        w.bool(self.carry);
+        w.seq_u16(&self.imem);
+        w.seq_u16(&self.dmem);
+        w.u16(self.pc);
+        w.u8(self.state);
+        w.u64(self.now_ps);
+        w.seq_u16(&self.handler_table);
+        w.u16(self.lfsr);
+        w.opt_u8(self.current_event);
+        self.queue.encode(w);
+        self.timers.encode(w);
+        self.msg.encode(w);
+        self.acct.encode(w);
+        self.profile.encode(w);
+        w.u64(self.sleep_ps);
+        w.u64(self.wakeup_ps);
+        w.u64(self.wakeups);
+        w.u64(self.handlers_dispatched);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<CoreSnapshot, SnapshotError> {
+        let config = CoreConfigSnap::decode(r)?;
+        let snap = CoreSnapshot {
+            config,
+            regs: r.seq_u16()?,
+            carry: r.bool()?,
+            imem: r.seq_u16()?,
+            dmem: r.seq_u16()?,
+            pc: r.u16()?,
+            state: r.u8()?,
+            now_ps: r.u64()?,
+            handler_table: r.seq_u16()?,
+            lfsr: r.u16()?,
+            current_event: r.opt_u8()?,
+            queue: QueueSnapshot::decode(r)?,
+            timers: TimerSnapshot::decode(r)?,
+            msg: MsgSnapshot::decode(r)?,
+            acct: AcctSnapshot::decode(r)?,
+            profile: ProfileSnapshot::decode(r)?,
+            sleep_ps: r.u64()?,
+            wakeup_ps: r.u64()?,
+            wakeups: r.u64()?,
+            handlers_dispatched: r.u64()?,
+        };
+        if snap.state > state::HALTED {
+            return Err(SnapshotError::Corrupt("core state discriminant"));
+        }
+        if let Some(ev) = snap.current_event {
+            if ev >= 8 {
+                return Err(SnapshotError::Corrupt("current event index"));
+            }
+        }
+        Ok(snap)
+    }
+}

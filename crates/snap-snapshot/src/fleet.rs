@@ -1,0 +1,378 @@
+//! Snapshot of a whole `snap-net` fleet.
+//!
+//! The fleet snapshot is taken at a `run_until` boundary, which is what
+//! makes it small: the wake calendar, the batch scratch vector and the
+//! sharded per-epoch structures are all rebuilt from node state at the
+//! start of the next run, so none of them appear here (see DESIGN.md
+//! §11 for the safety argument). What *does* appear is everything with
+//! history: the nodes, the in-flight transmissions, the delivery and
+//! stimulus calendars, the channel's loss RNG, and the trace.
+
+use crate::node::NodeSnapshot;
+use crate::wire::{Reader, SnapshotError, Writer};
+
+/// Wire values for the network scheduler.
+pub mod scheduler {
+    /// Fixed-quantum lockstep reference scheduler.
+    pub const LOCKSTEP: u8 = 0;
+    /// Sleep-aware event-driven scheduler.
+    pub const EVENT_DRIVEN: u8 = 1;
+    /// Spatially sharded epoch scheduler.
+    pub const SHARDED: u8 = 2;
+    /// Pick per fleet size at run time.
+    pub const AUTO: u8 = 3;
+}
+
+/// Wire values for trace recording modes.
+pub mod trace_mode {
+    /// Record every event.
+    pub const FULL: u8 = 0;
+    /// Keep only the last `cap` events.
+    pub const RING: u8 = 1;
+    /// Count only.
+    pub const COUNT_ONLY: u8 = 2;
+}
+
+/// Wire values for external stimuli.
+pub mod stimulus {
+    /// Raise the sensor-interrupt pin.
+    pub const SENSOR_IRQ: u8 = 0;
+    /// Set a sensor reading, then raise the pin.
+    pub const SENSOR_READING: u8 = 1;
+}
+
+/// Wire values for trace event kinds.
+pub mod trace_kind {
+    /// A node started transmitting a word.
+    pub const TRANSMIT: u8 = 0;
+    /// A word was delivered cleanly.
+    pub const DELIVER: u8 = 1;
+    /// A delivery was lost to a collision.
+    pub const COLLISION: u8 = 2;
+    /// An LED write.
+    pub const LED: u8 = 3;
+    /// An external stimulus was applied.
+    pub const STIMULUS: u8 = 4;
+}
+
+/// One in-flight or scheduled transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransmissionSnap {
+    /// Sending node id.
+    pub from: u32,
+    /// The 16-bit payload.
+    pub word: u16,
+    /// Transmission start, ps.
+    pub start_ps: u64,
+    /// Transmission end, ps.
+    pub end_ps: u64,
+}
+
+impl TransmissionSnap {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.from);
+        w.u16(self.word);
+        w.u64(self.start_ps);
+        w.u64(self.end_ps);
+    }
+
+    fn decode(r: &mut Reader) -> Result<TransmissionSnap, SnapshotError> {
+        Ok(TransmissionSnap {
+            from: r.u32()?,
+            word: r.u16()?,
+            start_ps: r.u64()?,
+            end_ps: r.u64()?,
+        })
+    }
+}
+
+/// The shared radio channel: carrier state, loss model and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// Transmissions still on the air.
+    pub active: Vec<TransmissionSnap>,
+    /// Collisions, lifetime.
+    pub collisions: u64,
+    /// Clean deliveries, lifetime.
+    pub deliveries: u64,
+    /// Deliveries lost to fading, lifetime.
+    pub faded: u64,
+    /// Fade probability, IEEE-754 bits.
+    pub loss_bits: u64,
+    /// SplitMix64 fade-RNG state.
+    pub rng_state: u64,
+}
+
+impl ChannelSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.len(self.active.len());
+        for t in &self.active {
+            t.encode(w);
+        }
+        w.u64(self.collisions);
+        w.u64(self.deliveries);
+        w.u64(self.faded);
+        w.u64(self.loss_bits);
+        w.u64(self.rng_state);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<ChannelSnapshot, SnapshotError> {
+        let n = r.len()?;
+        let mut active = Vec::with_capacity(n);
+        for _ in 0..n {
+            active.push(TransmissionSnap::decode(r)?);
+        }
+        Ok(ChannelSnapshot {
+            active,
+            collisions: r.u64()?,
+            deliveries: r.u64()?,
+            faded: r.u64()?,
+            loss_bits: r.u64()?,
+            rng_state: r.u64()?,
+        })
+    }
+}
+
+/// One calendar entry: a delivery due at `at_ps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliverySnap {
+    /// When the delivery is due, ps.
+    pub at_ps: u64,
+    /// The transmission being delivered.
+    pub tx: TransmissionSnap,
+}
+
+/// One scheduled external stimulus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StimulusSnap {
+    /// When the stimulus fires, ps.
+    pub at_ps: u64,
+    /// Target node id.
+    pub node: u32,
+    /// Stimulus kind (see [`stimulus`]).
+    pub kind: u8,
+    /// `SENSOR_READING` sensor id (0 otherwise).
+    pub id: u16,
+    /// `SENSOR_READING` value (0 otherwise).
+    pub value: u16,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEventSnap {
+    /// Event time, ps.
+    pub at_ps: u64,
+    /// Node the event belongs to.
+    pub node: u32,
+    /// Event kind (see [`trace_kind`]).
+    pub kind: u8,
+    /// Payload word (`TRANSMIT`/`DELIVER` word, `LED` value; else 0).
+    pub payload: u16,
+    /// Peer node id (`DELIVER`/`COLLISION` sender; else 0).
+    pub from: u32,
+}
+
+/// The fleet trace: recorded events plus mode and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Recording mode (see [`trace_mode`]).
+    pub mode: u8,
+    /// Ring capacity when `mode == RING`.
+    pub ring_cap: u64,
+    /// Events recorded, lifetime (may exceed `events.len()`).
+    pub recorded: u64,
+    /// Events protected from ring eviction.
+    pub sealed: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEventSnap>,
+}
+
+impl TraceSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u8(self.mode);
+        w.u64(self.ring_cap);
+        w.u64(self.recorded);
+        w.u64(self.sealed);
+        w.len(self.events.len());
+        for e in &self.events {
+            w.u64(e.at_ps);
+            w.u32(e.node);
+            w.u8(e.kind);
+            w.u16(e.payload);
+            w.u32(e.from);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<TraceSnapshot, SnapshotError> {
+        let mode = r.u8()?;
+        if mode > trace_mode::COUNT_ONLY {
+            return Err(SnapshotError::Corrupt("trace mode discriminant"));
+        }
+        let ring_cap = r.u64()?;
+        let recorded = r.u64()?;
+        let sealed = r.u64()?;
+        let n = r.len()?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e = TraceEventSnap {
+                at_ps: r.u64()?,
+                node: r.u32()?,
+                kind: r.u8()?,
+                payload: r.u16()?,
+                from: r.u32()?,
+            };
+            if e.kind > trace_kind::STIMULUS {
+                return Err(SnapshotError::Corrupt("trace kind discriminant"));
+            }
+            events.push(e);
+        }
+        Ok(TraceSnapshot {
+            mode,
+            ring_cap,
+            recorded,
+            sealed,
+            events,
+        })
+    }
+}
+
+/// A node's position on the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionSnap {
+    /// Node id.
+    pub node: u32,
+    /// X coordinate, IEEE-754 bits of metres.
+    pub x_bits: u64,
+    /// Y coordinate, IEEE-754 bits of metres.
+    pub y_bits: u64,
+}
+
+/// Full fleet state at a `run_until` boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Global simulation clock, ps.
+    pub now_ps: u64,
+    /// Configured scheduler (see [`scheduler`]).
+    pub scheduler: u8,
+    /// Explicit shard count (0 = auto).
+    pub num_shards: u64,
+    /// Node-count threshold for the parallel worker pool.
+    pub parallel_threshold: u64,
+    /// Whether the trace mode was set explicitly by the embedder.
+    pub trace_mode_explicit: bool,
+    /// Radio range, IEEE-754 bits of metres.
+    pub range_bits: u64,
+    /// Node positions.
+    pub positions: Vec<PositionSnap>,
+    /// The nodes, in id order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// The shared channel.
+    pub channel: ChannelSnapshot,
+    /// Pending deliveries in calendar pop order.
+    pub deliveries: Vec<DeliverySnap>,
+    /// Scheduled stimuli in calendar pop order.
+    pub stimuli: Vec<StimulusSnap>,
+    /// The trace.
+    pub trace: TraceSnapshot,
+}
+
+impl FleetSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u64(self.now_ps);
+        w.u8(self.scheduler);
+        w.u64(self.num_shards);
+        w.u64(self.parallel_threshold);
+        w.bool(self.trace_mode_explicit);
+        w.u64(self.range_bits);
+        w.len(self.positions.len());
+        for p in &self.positions {
+            w.u32(p.node);
+            w.u64(p.x_bits);
+            w.u64(p.y_bits);
+        }
+        w.len(self.nodes.len());
+        for n in &self.nodes {
+            n.encode(w);
+        }
+        self.channel.encode(w);
+        w.len(self.deliveries.len());
+        for d in &self.deliveries {
+            w.u64(d.at_ps);
+            d.tx.encode(w);
+        }
+        w.len(self.stimuli.len());
+        for s in &self.stimuli {
+            w.u64(s.at_ps);
+            w.u32(s.node);
+            w.u8(s.kind);
+            w.u16(s.id);
+            w.u16(s.value);
+        }
+        self.trace.encode(w);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<FleetSnapshot, SnapshotError> {
+        let now_ps = r.u64()?;
+        let sched = r.u8()?;
+        if sched > scheduler::AUTO {
+            return Err(SnapshotError::Corrupt("scheduler discriminant"));
+        }
+        let num_shards = r.u64()?;
+        let parallel_threshold = r.u64()?;
+        let trace_mode_explicit = r.bool()?;
+        let range_bits = r.u64()?;
+        let n = r.len()?;
+        let mut positions = Vec::with_capacity(n);
+        for _ in 0..n {
+            positions.push(PositionSnap {
+                node: r.u32()?,
+                x_bits: r.u64()?,
+                y_bits: r.u64()?,
+            });
+        }
+        let n = r.len()?;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(NodeSnapshot::decode(r)?);
+        }
+        let channel = ChannelSnapshot::decode(r)?;
+        let n = r.len()?;
+        let mut deliveries = Vec::with_capacity(n);
+        for _ in 0..n {
+            deliveries.push(DeliverySnap {
+                at_ps: r.u64()?,
+                tx: TransmissionSnap::decode(r)?,
+            });
+        }
+        let n = r.len()?;
+        let mut stimuli = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = StimulusSnap {
+                at_ps: r.u64()?,
+                node: r.u32()?,
+                kind: r.u8()?,
+                id: r.u16()?,
+                value: r.u16()?,
+            };
+            if s.kind > stimulus::SENSOR_READING {
+                return Err(SnapshotError::Corrupt("stimulus discriminant"));
+            }
+            stimuli.push(s);
+        }
+        let trace = TraceSnapshot::decode(r)?;
+        Ok(FleetSnapshot {
+            now_ps,
+            scheduler: sched,
+            num_shards,
+            parallel_threshold,
+            trace_mode_explicit,
+            range_bits,
+            positions,
+            nodes,
+            channel,
+            deliveries,
+            stimuli,
+            trace,
+        })
+    }
+}

@@ -1,0 +1,469 @@
+//! # snap-snapshot — versioned, deterministic simulator checkpoints
+//!
+//! A snapshot captures the *complete* observable state of a simulation
+//! — a single core, a node, or a whole fleet — such that
+//! `restore(snapshot(S))` followed by running to time `T` is
+//! **bit-identical** to running `S` straight to `T`: same registers,
+//! same memories, same event order, same trace, same energy `f64`
+//! bits. That property is enforced by `snap-net/tests/snapshot_equiv.rs`
+//! across every engine × scheduler combination.
+//!
+//! ## Design rules
+//!
+//! * **Plain data only.** This crate depends on nothing and contains no
+//!   simulator types — just integers. Enum discriminants are pinned
+//!   `u8` constants, floats travel as [`f64::to_bits`] patterns, times
+//!   as picoseconds. The conversions live next to the live state
+//!   (`snap_core::snapshot`, `snap_node::snapshot`,
+//!   `snap_net::snapshot`), which keeps private fields private.
+//! * **Caches are not state.** Predecode, fusion and AOT artifacts are
+//!   pure functions of IMEM + config; they rebuild on restore. All
+//!   execution tiers are bit-identical, so this is invisible.
+//! * **Fail closed.** Decoding foreign bytes never panics; every
+//!   discriminant, length and checksum is validated.
+//! * **Versioned.** The header carries [`FORMAT_VERSION`]. Any change
+//!   to the byte layout — even adding a field — must bump it; readers
+//!   reject versions they don't understand rather than guessing. The
+//!   golden-snapshot test pins the current layout.
+//!
+//! ## File format
+//!
+//! ```text
+//! [0..4)   magic  "SNPS"
+//! [4..8)   format version, u32 LE
+//! [8..9)   payload kind: 1 = core, 2 = node, 3 = fleet
+//! [9..17)  FNV-1a 64 checksum of the payload, u64 LE
+//! [17..]   payload (see core/node/fleet modules)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod fleet;
+pub mod node;
+pub mod wire;
+
+pub use crate::core::{
+    AcctSnapshot, ClassStatSnap, CoreConfigSnap, CoreSnapshot, HandlerStatSnap, MsgSnapshot,
+    ProfileSnapshot, QueueSnapshot, TimerRegSnap, TimerSnapshot,
+};
+pub use crate::fleet::{
+    ChannelSnapshot, DeliverySnap, FleetSnapshot, PositionSnap, StimulusSnap, TraceEventSnap,
+    TraceSnapshot, TransmissionSnap,
+};
+pub use crate::node::{LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot};
+pub use crate::wire::{fnv1a, Reader, SnapshotError, Writer};
+
+/// The four magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"SNPS";
+
+/// Current snapshot format version. Bump on **any** byte-layout change;
+/// see the crate docs for the versioning rules.
+pub const FORMAT_VERSION: u32 = 1;
+
+const KIND_CORE: u8 = 1;
+const KIND_NODE: u8 = 2;
+const KIND_FLEET: u8 = 3;
+
+/// A decoded snapshot of any granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Snapshot {
+    /// A single processor.
+    Core(CoreSnapshot),
+    /// A single network node.
+    Node(NodeSnapshot),
+    /// A whole fleet.
+    Fleet(FleetSnapshot),
+}
+
+impl Snapshot {
+    /// Serialize with header and checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        let kind = match self {
+            Snapshot::Core(c) => {
+                c.encode(&mut payload);
+                KIND_CORE
+            }
+            Snapshot::Node(n) => {
+                n.encode(&mut payload);
+                KIND_NODE
+            }
+            Snapshot::Fleet(f) => {
+                f.encode(&mut payload);
+                KIND_FLEET
+            }
+        };
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(17 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse a snapshot, validating magic, version and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input yields a [`SnapshotError`]; this never
+    /// panics on foreign bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 17 {
+            return Err(SnapshotError::Truncated { at: bytes.len() });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::BadVersion {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let kind = bytes[8];
+        let checksum = u64::from_le_bytes([
+            bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15], bytes[16],
+        ]);
+        let payload = &bytes[17..];
+        if fnv1a(payload) != checksum {
+            return Err(SnapshotError::BadChecksum);
+        }
+        let mut r = Reader::new(payload);
+        let snap = match kind {
+            KIND_CORE => Snapshot::Core(CoreSnapshot::decode(&mut r)?),
+            KIND_NODE => Snapshot::Node(NodeSnapshot::decode(&mut r)?),
+            KIND_FLEET => Snapshot::Fleet(FleetSnapshot::decode(&mut r)?),
+            _ => return Err(SnapshotError::Corrupt("payload kind")),
+        };
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(snap)
+    }
+
+    /// The fleet payload, if this is a fleet snapshot.
+    pub fn as_fleet(&self) -> Option<&FleetSnapshot> {
+        match self {
+            Snapshot::Fleet(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The core payload, if this is a core snapshot.
+    pub fn as_core(&self) -> Option<&CoreSnapshot> {
+        match self {
+            Snapshot::Core(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The node payload, if this is a node snapshot.
+    pub fn as_node(&self) -> Option<&NodeSnapshot> {
+        match self {
+            Snapshot::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_core() -> CoreSnapshot {
+        CoreSnapshot {
+            config: CoreConfigSnap {
+                vdd_bits: 1.8f64.to_bits(),
+                delay_factor_bits: 1.0f64.to_bits(),
+                bus_flat: false,
+                event_queue_capacity: 8,
+                timer_tick_ps: 1_000_000,
+                lfsr_seed: 0xACE1,
+                predecode: true,
+                engine: core::engine::FUSED,
+            },
+            regs: vec![0; 15],
+            carry: false,
+            imem: vec![0x1234; 2048],
+            dmem: vec![0; 2048],
+            pc: 7,
+            state: core::state::ASLEEP,
+            now_ps: 123_456,
+            handler_table: vec![0; 8],
+            lfsr: 0xACE1,
+            current_event: Some(5),
+            queue: QueueSnapshot {
+                fifo: vec![5, 3],
+                stamps: None,
+                dropped: 1,
+                inserted: 9,
+            },
+            timers: TimerSnapshot {
+                timers: vec![
+                    TimerRegSnap {
+                        staged_hi: 0,
+                        expiry_ps: Some(999)
+                    };
+                    3
+                ],
+                scheduled: 4,
+                expired: 3,
+                cancelled: 1,
+            },
+            msg: MsgSnapshot {
+                outgoing: vec![0xbeef],
+                awaiting_tx_payload: false,
+                rx_enabled: true,
+                port: 0x2a,
+                words_tx: 5,
+                words_rx: 6,
+            },
+            acct: AcctSnapshot {
+                components: vec![1.5f64.to_bits(); 7],
+                per_class: vec![
+                    ClassStatSnap {
+                        count: 10,
+                        energy_bits: 2.25f64.to_bits()
+                    };
+                    5
+                ],
+                total_energy_bits: 218.017f64.to_bits(),
+                busy_ps: 42,
+                instructions: 100,
+                cycles: 100,
+            },
+            profile: ProfileSnapshot {
+                boot: HandlerStatSnap {
+                    dispatches: 1,
+                    instructions: 4,
+                    energy_bits: 0,
+                    busy_ps: 10,
+                },
+                per_event: vec![
+                    HandlerStatSnap {
+                        dispatches: 0,
+                        instructions: 0,
+                        energy_bits: 0,
+                        busy_ps: 0
+                    };
+                    8
+                ],
+            },
+            sleep_ps: 1000,
+            wakeup_ps: 2500,
+            wakeups: 1,
+            handlers_dispatched: 2,
+        }
+    }
+
+    #[test]
+    fn core_round_trip_is_exact() {
+        let snap = Snapshot::Core(sample_core());
+        let bytes = snap.to_bytes();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn header_fields_are_pinned() {
+        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        assert_eq!(&bytes[0..4], b"SNPS");
+        assert_eq!(
+            u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            FORMAT_VERSION
+        );
+        assert_eq!(bytes[8], KIND_CORE);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadVersion {
+                found: FORMAT_VERSION + 1,
+                expected: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn truncated_payload_fails() {
+        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        // Chopping the payload flips the checksum first; chop before
+        // the checksum can see a Truncated error instead.
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Snapshot::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn nan_energy_bits_survive() {
+        let mut c = sample_core();
+        c.acct.total_energy_bits = f64::NAN.to_bits();
+        let snap = Snapshot::Core(c);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        match back {
+            Snapshot::Core(c) => {
+                assert_eq!(c.acct.total_energy_bits, f64::NAN.to_bits());
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn fleet_round_trip_is_exact() {
+        let fleet = FleetSnapshot {
+            now_ps: 1,
+            scheduler: fleet::scheduler::EVENT_DRIVEN,
+            num_shards: 0,
+            parallel_threshold: 8,
+            trace_mode_explicit: false,
+            range_bits: 10.0f64.to_bits(),
+            positions: vec![PositionSnap {
+                node: 1,
+                x_bits: 0.0f64.to_bits(),
+                y_bits: (-0.0f64).to_bits(),
+            }],
+            nodes: vec![NodeSnapshot {
+                id: 1,
+                core: sample_core(),
+                radio: RadioSnapshot {
+                    bit_rate_bits: 19_200.0f64.to_bits(),
+                    mode: node::radio_mode::RX,
+                    tx_done_at_ps: None,
+                    tx_word: None,
+                    words_sent: 0,
+                    words_heard: 0,
+                },
+                sensors: SensorSnapshot {
+                    readings: vec![(1, 77)],
+                    reply_latency_ps: 1000,
+                    queries: 0,
+                },
+                led: LedSnapshot {
+                    value: 1,
+                    history: vec![(5, 1)],
+                },
+                pending: vec![PendingSnap {
+                    at_ps: 9,
+                    kind: node::pending::SENSOR_REPLY,
+                    value: 3,
+                }],
+                step_limit: 10_000_000,
+                run_steps: 12,
+            }],
+            channel: ChannelSnapshot {
+                active: vec![TransmissionSnap {
+                    from: 1,
+                    word: 0xffff,
+                    start_ps: 0,
+                    end_ps: 9,
+                }],
+                collisions: 0,
+                deliveries: 1,
+                faded: 0,
+                loss_bits: 0.3f64.to_bits(),
+                rng_state: 0x1055,
+            },
+            deliveries: vec![DeliverySnap {
+                at_ps: 9,
+                tx: TransmissionSnap {
+                    from: 1,
+                    word: 2,
+                    start_ps: 3,
+                    end_ps: 9,
+                },
+            }],
+            stimuli: vec![StimulusSnap {
+                at_ps: 50,
+                node: 1,
+                kind: fleet::stimulus::SENSOR_READING,
+                id: 4,
+                value: 0xfff,
+            }],
+            trace: TraceSnapshot {
+                mode: fleet::trace_mode::RING,
+                ring_cap: 64,
+                recorded: 100,
+                sealed: 2,
+                events: vec![TraceEventSnap {
+                    at_ps: 1,
+                    node: 1,
+                    kind: fleet::trace_kind::DELIVER,
+                    payload: 7,
+                    from: 2,
+                }],
+            },
+        };
+        let snap = Snapshot::Fleet(fleet);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes[8], KIND_FLEET);
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn node_round_trip_is_exact() {
+        let n = NodeSnapshot {
+            id: 3,
+            core: sample_core(),
+            radio: RadioSnapshot {
+                bit_rate_bits: 19_200.0f64.to_bits(),
+                mode: node::radio_mode::TX,
+                tx_done_at_ps: Some(833_333_333),
+                tx_word: Some(0xbeef),
+                words_sent: 2,
+                words_heard: 1,
+            },
+            sensors: SensorSnapshot {
+                readings: vec![],
+                reply_latency_ps: 0,
+                queries: 9,
+            },
+            led: LedSnapshot {
+                value: 0,
+                history: vec![],
+            },
+            pending: vec![],
+            step_limit: 1,
+            run_steps: 0,
+        };
+        let snap = Snapshot::Node(n);
+        assert_eq!(Snapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Fail-closed sweep over corrupted prefixes of a real snapshot.
+        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        for cut in 0..bytes.len().min(64) {
+            let _ = Snapshot::from_bytes(&bytes[..cut]);
+        }
+        let mut garbage = bytes.clone();
+        for i in 0..garbage.len().min(256) {
+            garbage[i] = garbage[i].wrapping_add(0x5a);
+            let _ = Snapshot::from_bytes(&garbage);
+        }
+    }
+}

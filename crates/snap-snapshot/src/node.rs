@@ -1,0 +1,213 @@
+//! Snapshot of one network node: core + radio + sensors + LED port +
+//! the node's private delivery calendar.
+
+use crate::core::CoreSnapshot;
+use crate::wire::{Reader, SnapshotError, Writer};
+
+/// Wire values for the radio mode.
+pub mod radio_mode {
+    /// Radio powered down.
+    pub const OFF: u8 = 0;
+    /// Receiver listening.
+    pub const RX: u8 = 1;
+    /// Transmitter serializing a word.
+    pub const TX: u8 = 2;
+}
+
+/// Wire values for a node's pending self-events.
+pub mod pending {
+    /// Radio finishes serializing the in-flight word.
+    pub const TX_DONE: u8 = 0;
+    /// A sensor query reply becomes due.
+    pub const SENSOR_REPLY: u8 = 1;
+}
+
+/// The node's radio front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadioSnapshot {
+    /// Serial bit rate, IEEE-754 bits of bits/second.
+    pub bit_rate_bits: u64,
+    /// Current mode (see [`radio_mode`]).
+    pub mode: u8,
+    /// When the in-flight transmission completes, ps.
+    pub tx_done_at_ps: Option<u64>,
+    /// The word being serialized, if any.
+    pub tx_word: Option<u16>,
+    /// Words sent, lifetime.
+    pub words_sent: u64,
+    /// Words heard, lifetime.
+    pub words_heard: u64,
+}
+
+impl RadioSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u64(self.bit_rate_bits);
+        w.u8(self.mode);
+        w.opt_u64(self.tx_done_at_ps);
+        w.opt_u16(self.tx_word);
+        w.u64(self.words_sent);
+        w.u64(self.words_heard);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<RadioSnapshot, SnapshotError> {
+        let snap = RadioSnapshot {
+            bit_rate_bits: r.u64()?,
+            mode: r.u8()?,
+            tx_done_at_ps: r.opt_u64()?,
+            tx_word: r.opt_u16()?,
+            words_sent: r.u64()?,
+            words_heard: r.u64()?,
+        };
+        if snap.mode > radio_mode::TX {
+            return Err(SnapshotError::Corrupt("radio mode discriminant"));
+        }
+        Ok(snap)
+    }
+}
+
+/// The node's sensor bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorSnapshot {
+    /// `(sensor id, reading)` pairs in ascending id order.
+    pub readings: Vec<(u16, u16)>,
+    /// Query reply latency, ps.
+    pub reply_latency_ps: u64,
+    /// Queries answered, lifetime.
+    pub queries: u64,
+}
+
+impl SensorSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.len(self.readings.len());
+        for &(id, v) in &self.readings {
+            w.u16(id);
+            w.u16(v);
+        }
+        w.u64(self.reply_latency_ps);
+        w.u64(self.queries);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<SensorSnapshot, SnapshotError> {
+        let n = r.len()?;
+        let mut readings = Vec::with_capacity(n);
+        for _ in 0..n {
+            readings.push((r.u16()?, r.u16()?));
+        }
+        Ok(SensorSnapshot {
+            readings,
+            reply_latency_ps: r.u64()?,
+            queries: r.u64()?,
+        })
+    }
+}
+
+/// The node's LED output port, history included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedSnapshot {
+    /// Current port value.
+    pub value: u16,
+    /// `(time ps, value)` write history.
+    pub history: Vec<(u64, u16)>,
+}
+
+impl LedSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u16(self.value);
+        w.len(self.history.len());
+        for &(at, v) in &self.history {
+            w.u64(at);
+            w.u16(v);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<LedSnapshot, SnapshotError> {
+        let value = r.u16()?;
+        let n = r.len()?;
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            history.push((r.u64()?, r.u16()?));
+        }
+        Ok(LedSnapshot { value, history })
+    }
+}
+
+/// One entry of the node's pending-event calendar, in FIFO pop order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSnap {
+    /// When the event becomes due, ps.
+    pub at_ps: u64,
+    /// Event kind (see [`pending`]).
+    pub kind: u8,
+    /// `SENSOR_REPLY` payload word (0 for `TX_DONE`).
+    pub value: u16,
+}
+
+/// One node of the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Node id (1-based, as assigned by the sim).
+    pub id: u32,
+    /// The processor.
+    pub core: CoreSnapshot,
+    /// The radio front-end.
+    pub radio: RadioSnapshot,
+    /// The sensor bank.
+    pub sensors: SensorSnapshot,
+    /// The LED port.
+    pub led: LedSnapshot,
+    /// Pending self-events in calendar pop order.
+    pub pending: Vec<PendingSnap>,
+    /// Step budget per logical run.
+    pub step_limit: u64,
+    /// Steps consumed against the budget so far.
+    pub run_steps: u64,
+}
+
+impl NodeSnapshot {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u32(self.id);
+        self.core.encode(w);
+        self.radio.encode(w);
+        self.sensors.encode(w);
+        self.led.encode(w);
+        w.len(self.pending.len());
+        for p in &self.pending {
+            w.u64(p.at_ps);
+            w.u8(p.kind);
+            w.u16(p.value);
+        }
+        w.u64(self.step_limit);
+        w.u64(self.run_steps);
+    }
+
+    pub(crate) fn decode(r: &mut Reader) -> Result<NodeSnapshot, SnapshotError> {
+        let id = r.u32()?;
+        let core = CoreSnapshot::decode(r)?;
+        let radio = RadioSnapshot::decode(r)?;
+        let sensors = SensorSnapshot::decode(r)?;
+        let led = LedSnapshot::decode(r)?;
+        let n = r.len()?;
+        let mut pending_events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = PendingSnap {
+                at_ps: r.u64()?,
+                kind: r.u8()?,
+                value: r.u16()?,
+            };
+            if p.kind > pending::SENSOR_REPLY {
+                return Err(SnapshotError::Corrupt("pending event discriminant"));
+            }
+            pending_events.push(p);
+        }
+        Ok(NodeSnapshot {
+            id,
+            core,
+            radio,
+            sensors,
+            led,
+            pending: pending_events,
+            step_limit: r.u64()?,
+            run_steps: r.u64()?,
+        })
+    }
+}
