@@ -104,24 +104,31 @@ impl std::fmt::Display for AvrCoreError {
 impl std::error::Error for AvrCoreError {}
 
 #[derive(Debug, Clone, Default)]
-struct Timer {
-    enabled: bool,
-    ocr: u16,
-    next_fire: u64,
+pub(crate) struct Timer {
+    pub(crate) enabled: bool,
+    pub(crate) ocr: u16,
+    pub(crate) next_fire: u64,
 }
 
 #[derive(Debug, Clone, Default)]
-struct Adc {
-    done_at: Option<u64>,
-    value: u8,
-    reading: u8,
+pub(crate) struct Adc {
+    pub(crate) done_at: Option<u64>,
+    pub(crate) value: u8,
+    pub(crate) reading: u8,
 }
 
 #[derive(Debug, Clone)]
-struct Spi {
-    done_at: Option<u64>,
-    byte_cycles: u64,
-    sent: Vec<u8>,
+pub(crate) struct Spi {
+    pub(crate) done_at: Option<u64>,
+    pub(crate) byte_cycles: u64,
+    pub(crate) sent: Vec<u8>,
+    /// Wall cycle at which each sent byte was written (parallel to
+    /// `sent`): the network adapter turns byte writes into radio words
+    /// at their exact write instants.
+    pub(crate) sent_at: Vec<u64>,
+    /// Last byte delivered by [`AvrCore::post_spi_rx`], readable at
+    /// [`io::SPDR`].
+    pub(crate) rx: u8,
 }
 
 /// Observable peripheral outputs.
@@ -141,27 +148,27 @@ impl IoPorts {
 /// The AVR-subset core.
 #[derive(Debug, Clone)]
 pub struct AvrCore {
-    regs: [u8; 32],
-    sram: Box<[u8; SRAM_BYTES]>,
-    flash: Vec<Option<AvrInstr>>,
-    pc: u16,
-    sp: u16,
-    flag_c: bool,
-    flag_z: bool,
-    flag_n: bool,
-    flag_v: bool,
-    flag_i: bool,
-    sleeping: bool,
-    halted: bool,
-    wall_cycles: u64,
-    active_cycles: u64,
-    vectors: [Option<u16>; 3],
-    pending: [bool; 3],
-    timer: Timer,
-    adc: Adc,
-    spi: Spi,
-    ports: IoPorts,
-    irqs_taken: u64,
+    pub(crate) regs: [u8; 32],
+    pub(crate) sram: Box<[u8; SRAM_BYTES]>,
+    pub(crate) flash: Vec<Option<AvrInstr>>,
+    pub(crate) pc: u16,
+    pub(crate) sp: u16,
+    pub(crate) flag_c: bool,
+    pub(crate) flag_z: bool,
+    pub(crate) flag_n: bool,
+    pub(crate) flag_v: bool,
+    pub(crate) flag_i: bool,
+    pub(crate) sleeping: bool,
+    pub(crate) halted: bool,
+    pub(crate) wall_cycles: u64,
+    pub(crate) active_cycles: u64,
+    pub(crate) vectors: [Option<u16>; 3],
+    pub(crate) pending: [bool; 3],
+    pub(crate) timer: Timer,
+    pub(crate) adc: Adc,
+    pub(crate) spi: Spi,
+    pub(crate) ports: IoPorts,
+    pub(crate) irqs_taken: u64,
 }
 
 impl AvrCore {
@@ -190,6 +197,8 @@ impl AvrCore {
                 done_at: None,
                 byte_cycles: SPI_BYTE_CYCLES,
                 sent: Vec::new(),
+                sent_at: Vec::new(),
+                rx: 0,
             },
             ports: IoPorts::default(),
             irqs_taken: 0,
@@ -211,9 +220,50 @@ impl AvrCore {
         &self.spi.sent
     }
 
+    /// Wall cycle at which each SPI byte write happened (parallel to
+    /// [`AvrCore::spi_sent`]).
+    pub fn spi_sent_cycles(&self) -> &[u64] {
+        &self.spi.sent_at
+    }
+
+    /// Deliver a byte *into* the SPI interface (a radio word arriving
+    /// at the mote): the byte becomes readable at [`io::SPDR`] and the
+    /// SPI interrupt is raised — the same completion interrupt a real
+    /// transceiver strobes when a received byte has shifted in.
+    pub fn post_spi_rx(&mut self, byte: u8) {
+        self.spi.rx = byte;
+        self.pending[Irq::Spi.index()] = true;
+    }
+
+    /// Is the core in its sleep state?
+    pub fn sleeping(&self) -> bool {
+        self.sleeping
+    }
+
+    /// Is any interrupt pending?
+    pub fn irq_pending(&self) -> bool {
+        self.pending.iter().any(|&p| p)
+    }
+
+    /// Is the global interrupt flag set?
+    pub fn irqs_enabled(&self) -> bool {
+        self.flag_i
+    }
+
+    /// Wall cycle of the next peripheral event (timer fire, ADC or SPI
+    /// completion), if any peripheral is armed.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.next_peripheral_event()
+    }
+
     /// Peripheral output ports.
     pub fn ports(&self) -> &IoPorts {
         &self.ports
+    }
+
+    /// Current program counter (word address).
+    pub fn pc(&self) -> u16 {
+        self.pc
     }
 
     /// Wall-clock cycles elapsed (including sleep).
@@ -333,6 +383,34 @@ impl AvrCore {
         Ok(())
     }
 
+    /// Like [`AvrCore::run_until_wall`], but also returns control at
+    /// every active→idle boundary: the moment the core is asleep with
+    /// nothing pending, instead of idling forward internally. A node
+    /// layer with its own idle-time policy (battery budgets, external
+    /// event calendars) re-evaluates at each such boundary and decides
+    /// itself how far to idle.
+    ///
+    /// # Errors
+    ///
+    /// See [`AvrCoreError`].
+    pub fn run_active_until_wall(&mut self, deadline: u64) -> Result<(), AvrCoreError> {
+        while !self.halted && self.wall_cycles < deadline {
+            if self.sleeping && self.pending.iter().all(|&p| !p) {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Advance the wall clock without executing anything and without
+    /// firing peripheral events — terminal bookkeeping for a core whose
+    /// node ceased operating mid-sleep (battery exhaustion). The clock
+    /// never moves backwards.
+    pub fn freeze_at_wall(&mut self, cycle: u64) {
+        self.wall_cycles = self.wall_cycles.max(cycle);
+    }
+
     /// One step: take a pending interrupt, wake from sleep, or execute
     /// the instruction at PC.
     ///
@@ -450,6 +528,7 @@ impl AvrCore {
         match io {
             io::PORTB => self.ports.portb(),
             io::ADCD => self.adc.value,
+            io::SPDR => self.spi.rx,
             io::SPL => (self.sp & 0xff) as u8,
             io::SPH => (self.sp >> 8) as u8,
             io::OCRL => (self.timer.ocr & 0xff) as u8,
@@ -476,6 +555,7 @@ impl AvrCore {
             }
             io::SPDR => {
                 self.spi.sent.push(v);
+                self.spi.sent_at.push(self.wall_cycles);
                 self.spi.done_at = Some(self.wall_cycles + self.spi.byte_cycles);
             }
             io::SPL => self.sp = (self.sp & 0xff00) | v as u16,

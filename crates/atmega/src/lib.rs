@@ -29,8 +29,10 @@
 pub mod asm;
 pub mod core;
 pub mod isa;
+pub mod state;
 pub mod tinyos;
 
 pub use crate::core::{AvrCore, AvrCoreError, IoPorts, Irq};
 pub use asm::{assemble_avr, AvrProgram};
 pub use isa::AvrInstr;
+pub use state::AvrStateError;

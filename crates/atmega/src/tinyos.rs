@@ -475,6 +475,95 @@ rs_parity:
     ret
 ";
 
+/// The Beacon application source for one fleet node, parameterised by
+/// its header byte: virtual timer 0 fires periodically, each fire
+/// starts an ADC conversion, the ADC ISR posts the send task, and the
+/// send task ships two SPI bytes — the header (`0x80 | node tag`, so a
+/// gateway can frame the stream) then the sample — sequenced by the
+/// SPI-complete ISR exactly like the radio stack.
+pub fn beacon_app(header: u8) -> String {
+    format!(
+        "
+.equ BK_SAMPLE, 0x0360
+.equ BK_PHASE,  0x0361
+.equ BK_SENT,   0x0362
+
+beacon_fired:
+    ldi  r18, 1
+    out  ADCSRA, r18    ; start a conversion; completion is an interrupt
+    ret
+beacon_adc_isr:
+    push r18
+    push r26
+    push r27
+    push r30
+    push r31
+    in   r18, ADCD
+    sts  BK_SAMPLE, r18
+    ldi  r30, beacon_send_task & 0xff
+    ldi  r31, beacon_send_task >> 8
+    rcall tos_post_isr
+    pop  r31
+    pop  r30
+    pop  r27
+    pop  r26
+    pop  r18
+    reti
+beacon_send_task:
+    ldi  r18, 0
+    sts  BK_PHASE, r18
+    ldi  r18, 0x{header:02x}
+    out  SPDR, r18      ; ship the header; SPI completion interrupts
+    ret
+beacon_spi_isr:
+    push r18
+    lds  r18, BK_PHASE
+    cpi  r18, 0
+    brne beacon_spi_done
+    ldi  r18, 1
+    sts  BK_PHASE, r18
+    lds  r18, BK_SAMPLE
+    out  SPDR, r18      ; ship the sample byte
+    rjmp beacon_spi_out
+beacon_spi_done:
+    lds  r18, BK_SENT
+    inc  r18
+    sts  BK_SENT, r18
+beacon_spi_out:
+    pop  r18
+    reti
+"
+    )
+}
+
+/// Assemble the Beacon program for one fleet node and wire its vectors.
+///
+/// Virtual timer 0 fires every `period_ticks` ≈1 ms ticks (OCR 62);
+/// each fire samples the ADC and ships `0x80 | node_tag` then the
+/// sample through the SPI byte interface.
+pub fn beacon_system(node_tag: u8, period_ticks: u16) -> Result<(AvrCore, AvrProgram), AsmError> {
+    let src = format!(
+        "{TOS_DEFS}{}{TOS_RUNTIME}{}",
+        tos_boot("beacon_fired", period_ticks, 62),
+        beacon_app(0x80 | (node_tag & 0x7f)),
+    );
+    let program = assemble_avr(&src)?;
+    let mut core = AvrCore::new(program.flash.clone());
+    core.set_vector(
+        Irq::Timer,
+        program.symbol("tos_timer_isr").expect("isr symbol"),
+    );
+    core.set_vector(
+        Irq::Adc,
+        program.symbol("beacon_adc_isr").expect("isr symbol"),
+    );
+    core.set_vector(
+        Irq::Spi,
+        program.symbol("beacon_spi_isr").expect("isr symbol"),
+    );
+    Ok((core, program))
+}
+
 /// Assemble the Blink program and wire its vectors.
 ///
 /// The virtual-timer tick is ≈1 ms (OCR 62 → 3968 cycles at 4 MHz) and
@@ -739,6 +828,22 @@ mod tests {
             }
         }
         assert_eq!(crc, expect);
+    }
+
+    #[test]
+    fn beacon_ships_header_then_sample_each_period() {
+        let (mut core, _) = beacon_system(5, 4).unwrap();
+        core.set_adc_reading(0x42);
+        // 3 periods of 4 ticks ≈ 48k wall cycles; allow slack.
+        core.run_until_wall(80_000).unwrap();
+        let sent = core.spi_sent();
+        assert!(sent.len() >= 4, "sent {} bytes", sent.len());
+        assert_eq!(&sent[..4], &[0x85, 0x42, 0x85, 0x42]);
+        // Byte timestamps are strictly increasing and pair-spaced by
+        // the SPI byte time.
+        let at = core.spi_sent_cycles();
+        assert!(at.windows(2).all(|w| w[0] < w[1]));
+        assert!(at[1] - at[0] >= crate::core::SPI_BYTE_CYCLES);
     }
 
     #[test]

@@ -415,7 +415,7 @@ mod tests {
     fn snapshot_serializes_through_bytes() {
         let cpu = busy_core(Engine::Fused);
         let snap = cpu.export_snapshot();
-        let bytes = Snapshot::Core(snap.clone()).to_bytes();
+        let bytes = Snapshot::Core(Box::new(snap.clone())).to_bytes();
         let back = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(back.as_core().unwrap(), &snap);
     }

@@ -1,0 +1,313 @@
+//! Battery / energy-budget model: finite charge, sleep-floor draw and
+//! deterministic exhaustion.
+//!
+//! The paper's bottom line is node *lifetime*: a SNAP/LE node spends
+//! nanowatts asleep while an ATmega-class mote pays tens of microwatts,
+//! so the same battery lasts orders of magnitude longer (Table 2,
+//! §4.7). This module turns that argument into a simulable budget: a
+//! [`BatteryConfig`] describes usable charge and the platform's sleep
+//! floor, and the consumption / exhaustion math here is **pure** — a
+//! function of totals the simulator already tracks exactly (active
+//! energy in pJ, integer sleep picoseconds, words transmitted), never
+//! an incrementally accumulated float.
+//!
+//! ## Why exhaustion is bit-deterministic
+//!
+//! The network schedulers (`snap-net`) split a node's idle stretches at
+//! arbitrary interior instants — lockstep syncs every node to every
+//! global event, the wake calendar only at the node's own wake-ups.
+//! If battery state were accumulated per window (`charge -= f64 draw`)
+//! the result would depend on the split, because float addition is not
+//! associative. Instead:
+//!
+//! * active energy is the core's own total (bit-identical across
+//!   execution engines by the tiering invariant);
+//! * sleep time is an integer picosecond total (exactly associative —
+//!   any window split sums to the same `u64`);
+//! * consumption is recomputed from those totals in one fixed
+//!   expression, so its `f64` bits at a given instant are identical no
+//!   matter how the simulation reached that instant.
+//!
+//! Consumption is therefore monotone in time while a node sleeps, and
+//! "the first picosecond at which consumption reaches capacity" is a
+//! well-defined instant. [`BatteryConfig::sleep_ps_to_exhaustion`]
+//! finds exactly that instant (binary search over the monotone
+//! predicate, not a rounded division), which is what lets `snap-node`
+//! kill an exhausted node at the same picosecond under every scheduler.
+
+use crate::units::{Energy, Power};
+use dess::SimDuration;
+
+/// A finite energy budget: usable charge plus the platform's sleep
+/// floor and optional per-word radio charge.
+///
+/// All consumption queries take the caller's *totals* — active energy,
+/// lifetime sleep picoseconds, lifetime words transmitted — and return
+/// pure functions of them (see the module docs for why).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryConfig {
+    /// Usable capacity in microamp-hours. Real deployments are in the
+    /// hundreds of thousands (a 620 mAh coin cell is 620 000 µAh);
+    /// simulation scenarios use micro-scale cells so exhaustion lands
+    /// inside a tractable simulated span.
+    pub capacity_uah: f64,
+    /// Nominal cell voltage, volts.
+    pub voltage_v: f64,
+    /// Sleep-mode draw in microamps: everything the platform burns
+    /// while the core sleeps (leakage, watchdog, timer oscillator).
+    pub sleep_ua: f64,
+    /// Extra charge per transmitted radio word, pJ (radio front-end
+    /// energy, which the core model does not account). Zero disables
+    /// the term.
+    pub tx_pj_per_word: f64,
+}
+
+/// Exhaustion instants beyond ~2⁶² ps (~53 days of simulated time —
+/// far past any scenario horizon) are reported as "never": the sim
+/// clock is a `u64` of picoseconds and the search must not overflow.
+const EXHAUSTION_HORIZON_PS: u64 = 1 << 62;
+
+impl BatteryConfig {
+    /// A 620 mAh, 3 V lithium coin cell (CR2450 class) powering a
+    /// SNAP/LE node: the sleep floor is the paper's 10 nW leakage
+    /// placeholder (~3.3 nA at 3 V).
+    pub fn coin_cell_snap() -> BatteryConfig {
+        BatteryConfig {
+            capacity_uah: 620_000.0,
+            voltage_v: 3.0,
+            sleep_ua: 0.0033,
+            tx_pj_per_word: 0.0,
+        }
+    }
+
+    /// The same coin cell powering an ATmega128L-class mote: ~25 µA in
+    /// its deepest sleep with the watchdog running (datasheet figure
+    /// the paper's Table 2 comparison leans on).
+    pub fn coin_cell_avr() -> BatteryConfig {
+        BatteryConfig {
+            capacity_uah: 620_000.0,
+            voltage_v: 3.0,
+            sleep_ua: 25.0,
+            tx_pj_per_word: 0.0,
+        }
+    }
+
+    /// Usable energy: `capacity × voltage`.
+    pub fn capacity(&self) -> Energy {
+        // µAh × V → µW·h → J: 1 µAh at 1 V is 3.6 mJ = 3.6e9 pJ.
+        Energy::from_pj(self.capacity_uah * self.voltage_v * 3.6e9)
+    }
+
+    /// Power drawn while asleep: `sleep current × voltage`.
+    pub fn sleep_power(&self) -> Power {
+        Power::from_watts(self.sleep_ua * 1e-6 * self.voltage_v)
+    }
+
+    /// Total charge consumed, given the node's lifetime totals. The
+    /// single place the consumption expression lives — every caller
+    /// (death checks, metrics, projections) goes through it, which is
+    /// what makes the `f64` bits scheduler-invariant.
+    pub fn consumed(&self, active: Energy, sleep_ps: u64, words_sent: u64) -> Energy {
+        // 1 W · 1 ps = 1 pJ, so the sleep term is watts × ps directly.
+        let sleep_pj = self.sleep_power().as_watts() * sleep_ps as f64;
+        let tx_pj = self.tx_pj_per_word * words_sent as f64;
+        Energy::from_pj(active.as_pj() + sleep_pj + tx_pj)
+    }
+
+    /// Charge left in the budget (clamped at zero).
+    pub fn remaining(&self, active: Energy, sleep_ps: u64, words_sent: u64) -> Energy {
+        let left = self.capacity().as_pj() - self.consumed(active, sleep_ps, words_sent).as_pj();
+        Energy::from_pj(left.max(0.0))
+    }
+
+    /// Has the budget run out at these totals?
+    pub fn is_exhausted(&self, active: Energy, sleep_ps: u64, words_sent: u64) -> bool {
+        self.consumed(active, sleep_ps, words_sent).as_pj() >= self.capacity().as_pj()
+    }
+
+    /// The *exact* number of additional sleep picoseconds after which
+    /// the budget is exhausted, holding active energy and the word
+    /// count fixed: the minimal `extra` with
+    /// `is_exhausted(active, sleep_ps + extra, words_sent)`.
+    ///
+    /// Returns `Some(0)` when already exhausted and `None` when the
+    /// instant lies beyond the simulation horizon (no sleep draw, or a
+    /// real-scale battery that would outlive the `u64` clock).
+    ///
+    /// A rounded division would land within a few ULP-ps of the true
+    /// boundary but not *on* it; since different schedulers evaluate at
+    /// different instants, that error would move the death instant.
+    /// Binary search over the monotone predicate finds the first
+    /// exhausted picosecond exactly.
+    pub fn sleep_ps_to_exhaustion(
+        &self,
+        active: Energy,
+        sleep_ps: u64,
+        words_sent: u64,
+    ) -> Option<u64> {
+        let exhausted = |extra: u64| -> bool {
+            match sleep_ps.checked_add(extra) {
+                Some(total) => self.is_exhausted(active, total, words_sent),
+                None => true, // past the u64 clock: unreachable anyway
+            }
+        };
+        if exhausted(0) {
+            return Some(0);
+        }
+        let rate = self.sleep_power().as_watts(); // pJ per ps
+        if rate <= 0.0 {
+            return None;
+        }
+        let margin = self.capacity().as_pj() - self.consumed(active, sleep_ps, words_sent).as_pj();
+        let guess = margin / rate;
+        if !guess.is_finite() || guess >= EXHAUSTION_HORIZON_PS as f64 {
+            return None;
+        }
+        // Bracket the boundary around the guess, then binary-search the
+        // first `extra` where the predicate flips. The guess is within
+        // ULP-scale relative error, so widening terminates immediately
+        // in practice; the loops are only for rigor.
+        let mut hi = (guess as u64).saturating_add(2);
+        while !exhausted(hi) {
+            if hi >= EXHAUSTION_HORIZON_PS {
+                return None;
+            }
+            hi = hi.saturating_mul(2);
+        }
+        let mut lo = 0u64; // exhausted(0) is false, checked above
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if exhausted(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Project total node lifetime in seconds from the average power
+    /// observed so far: `capacity / (consumed / elapsed)`. `None` until
+    /// anything has been consumed over a nonzero span.
+    ///
+    /// This is the duty-cycle extrapolation the metrics report carries:
+    /// if the observed window is representative, a full battery lasts
+    /// this long.
+    pub fn projected_lifetime_s(&self, consumed: Energy, elapsed: SimDuration) -> Option<f64> {
+        if elapsed.is_zero() || consumed.as_pj() <= 0.0 {
+            return None;
+        }
+        let avg_w = consumed.as_pj() / elapsed.as_ps() as f64; // pJ/ps = W
+        Some(self.capacity().as_pj() / avg_w / 1e12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BatteryConfig {
+        // 1 µAh at 1 V = 3.6e9 pJ capacity with a 1 µW sleep draw
+        // (= 1e-6 pJ/ps): exhaustion from full in 3.6e15 ps = 1 h.
+        BatteryConfig {
+            capacity_uah: 1.0,
+            voltage_v: 1.0,
+            sleep_ua: 1.0,
+            tx_pj_per_word: 0.0,
+        }
+    }
+
+    #[test]
+    fn capacity_and_sleep_power_units() {
+        let b = BatteryConfig::coin_cell_snap();
+        // 620 mAh × 3 V = 6.7 kJ.
+        assert!((b.capacity().as_pj() / 1e12 - 6_696.0).abs() < 1.0);
+        assert!((b.sleep_power().as_nw() - 9.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn consumption_is_a_pure_function_of_totals() {
+        let b = tiny();
+        let a = Energy::from_pj(1234.5);
+        // Same totals, same bits — regardless of how a simulation
+        // would have split the sleep stretch.
+        let c1 = b.consumed(a, 1_000_000, 7).as_pj();
+        let c2 = b.consumed(a, 1_000_000, 7).as_pj();
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        // Monotone in sleep time.
+        assert!(b.consumed(a, 2_000_000, 7).as_pj() > c1);
+    }
+
+    #[test]
+    fn exhaustion_boundary_is_exact() {
+        let b = tiny();
+        for active_pj in [0.0, 17.3, 3.5e6] {
+            let active = Energy::from_pj(active_pj);
+            match b.sleep_ps_to_exhaustion(active, 0, 0) {
+                Some(extra) => {
+                    assert!(b.is_exhausted(active, extra, 0), "boundary not exhausted");
+                    assert!(
+                        extra == 0 || !b.is_exhausted(active, extra - 1, 0),
+                        "boundary not minimal"
+                    );
+                }
+                None => panic!("tiny battery must exhaust"),
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_instant_is_split_invariant() {
+        // Evaluating the death search from different interior instants
+        // of the same sleep stretch lands on the same absolute instant.
+        let b = tiny();
+        let active = Energy::from_pj(42.0);
+        let from_start = b.sleep_ps_to_exhaustion(active, 0, 0).unwrap();
+        for interior in [1u64, 999, 1_000_000, from_start - 1] {
+            let rest = b.sleep_ps_to_exhaustion(active, interior, 0).unwrap();
+            assert_eq!(
+                interior + rest,
+                from_start,
+                "death moved when evaluated from interior instant {interior}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_batteries_never_exhaust_within_the_horizon() {
+        let b = BatteryConfig::coin_cell_snap();
+        // Decades of sleep at 10 nW: beyond the u64 clock, so "never".
+        assert_eq!(b.sleep_ps_to_exhaustion(Energy::ZERO, 0, 0), None);
+        // No sleep draw at all: never exhausts on sleep alone.
+        let mains = BatteryConfig {
+            sleep_ua: 0.0,
+            ..tiny()
+        };
+        assert_eq!(mains.sleep_ps_to_exhaustion(Energy::ZERO, 0, 0), None);
+    }
+
+    #[test]
+    fn tx_charge_counts_against_the_budget() {
+        let b = BatteryConfig {
+            tx_pj_per_word: 100.0,
+            ..tiny()
+        };
+        let no_tx = b.consumed(Energy::ZERO, 0, 0).as_pj();
+        let with_tx = b.consumed(Energy::ZERO, 0, 10).as_pj();
+        assert_eq!(with_tx - no_tx, 1_000.0);
+    }
+
+    #[test]
+    fn lifetime_projection_matches_average_power() {
+        let b = tiny();
+        // 3.6e5 pJ over 0.1 s → 3.6e-6 W average → 3.6e9 pJ lasts 1000 s.
+        let s = b
+            .projected_lifetime_s(Energy::from_pj(3.6e5), SimDuration::from_ms(100))
+            .unwrap();
+        assert!((s - 1_000.0).abs() < 1e-6, "{s}");
+        assert_eq!(
+            b.projected_lifetime_s(Energy::ZERO, SimDuration::from_ms(1)),
+            None
+        );
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod avr;
+pub mod battery;
 pub mod breakdown;
 pub mod model;
 pub mod related;
@@ -32,6 +33,7 @@ pub mod units;
 pub mod voltage;
 
 pub use avr::AvrEnergyModel;
+pub use battery::BatteryConfig;
 pub use breakdown::{Component, ComponentEnergy};
 pub use model::{SnapEnergyModel, SnapTimingModel};
 pub use related::{related_processors, RelatedProcessor};

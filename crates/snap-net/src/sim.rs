@@ -44,8 +44,10 @@ use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};
 use dess::{Calendar, SimDuration, SimTime, WakeQueue};
 use snap_asm::Program;
 use snap_core::CoreConfig;
+use snap_energy::BatteryConfig;
 use snap_isa::Word;
-use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
+use snap_node::atmega::AvrCore;
+use snap_node::{Node, NodeConfig, NodeError, NodeId, NodeKind, NodeOutput};
 use snap_telemetry::Histogram;
 use std::collections::VecDeque;
 
@@ -181,8 +183,12 @@ impl NetworkSim {
     /// sampled and unsampled runs).
     pub fn enable_telemetry(&mut self) {
         for node in &mut self.nodes {
-            node.cpu_mut()
-                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+            // AVR motes have no SNAP dispatch sampler; the kind-aware
+            // metrics report covers them from core counters instead.
+            if node.kind() != NodeKind::Avr {
+                node.cpu_mut()
+                    .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+            }
         }
         if self.window_activity.is_none() {
             self.window_activity = Some(Histogram::new());
@@ -376,6 +382,72 @@ impl NetworkSim {
         }
         self.topology.place_many(placed);
         ids
+    }
+
+    /// Add an ATmega-class mote at `position`. The core arrives fully
+    /// programmed (see `atmega::tinyos`); its SPI-radio traffic goes on
+    /// the same air, calendar and trace as every SNAP transmission.
+    /// AVR motes carry no SNAP dispatch sampler — telemetry reports
+    /// them through the kind-aware node metrics instead.
+    pub fn add_avr_node(&mut self, core: AvrCore, position: Position) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32 + 1);
+        let node = Node::new_avr(id, core);
+        self.topology.place(id, position);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a mains-powered gateway at `position`: a SNAP node whose
+    /// receiver listens from boot and which logs every word it hears to
+    /// its uplink buffer (drained by the serving layer via
+    /// [`Node::take_uplink`]). Gateways never carry a battery budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the node's memories.
+    pub fn add_gateway(&mut self, program: &Program, position: Position) -> NodeId {
+        self.add_gateway_with_core(program, position, CoreConfig::default())
+    }
+
+    /// [`NetworkSim::add_gateway`] with an explicit core configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit the node's memories.
+    pub fn add_gateway_with_core(
+        &mut self,
+        program: &Program,
+        position: Position,
+        core: CoreConfig,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32 + 1);
+        let cfg = NodeConfig {
+            id,
+            core,
+            ..NodeConfig::default()
+        };
+        let mut node = Node::new_gateway(cfg);
+        if self.telemetry_enabled() {
+            node.cpu_mut()
+                .enable_sampling(snap_telemetry::DEFAULT_RETAIN);
+        }
+        node.load(program).expect("program fits the node memories");
+        install_aot(&mut node, program, &core);
+        self.topology.place(id, position);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Attach (or remove) a battery budget on one node. A budgeted node
+    /// that exhausts its battery mid-run dies at a deterministic,
+    /// scheduler-invariant instant (a [`TraceKind::NodeDeath`] event)
+    /// and is inert afterwards. No-op on gateways (mains-powered).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown ids.
+    pub fn set_battery(&mut self, id: NodeId, battery: Option<BatteryConfig>) {
+        self.nodes[Self::idx(id)].set_battery(battery);
     }
 
     /// Number of nodes in the network.
@@ -692,7 +764,16 @@ impl NetworkSim {
     /// window's batch.
     fn sync_node(&mut self, i: usize, to: SimTime) -> Result<(), NodeError> {
         let outputs = self.nodes[i].run_until(to)?;
-        debug_assert!(outputs.is_empty(), "clock sync must not produce outputs");
+        // The one output a pure clock sync can produce is battery
+        // death: a skipped node's death instant can land inside the
+        // stretch being fast-forwarded (its wake entry is the death
+        // instant, but an event can reach it at the same instant first).
+        debug_assert!(
+            outputs.iter().all(|o| matches!(o, NodeOutput::Died { .. })),
+            "clock sync must not produce outputs (beyond battery death)"
+        );
+        let from = self.nodes[i].id();
+        self.fold_outputs(from, outputs);
         Ok(())
     }
 
@@ -980,6 +1061,13 @@ impl NetworkSim {
                 });
             }
             NodeOutput::RadioModeChanged { .. } => {}
+            NodeOutput::Died { at } => {
+                self.trace.record(TraceEvent {
+                    at_ps: at.as_ps(),
+                    node: from,
+                    kind: TraceKind::NodeDeath,
+                });
+            }
         }
     }
 
@@ -1180,6 +1268,7 @@ impl Shard {
                     let at = match &output {
                         NodeOutput::Transmitted { start, .. } => start.as_ps(),
                         NodeOutput::LedWrite { at, .. } => at.as_ps(),
+                        NodeOutput::Died { at } => at.as_ps(),
                         NodeOutput::RadioModeChanged { .. } => continue,
                     };
                     self.outputs.push((at, gi, output));
@@ -1206,7 +1295,17 @@ impl Shard {
         // minimum instant), so this executes nothing.
         match node.run_until(due) {
             Ok(outputs) => {
-                debug_assert!(outputs.is_empty(), "clock sync must not produce outputs");
+                for output in outputs {
+                    // As in `NetworkSim::sync_node`: battery death is
+                    // the one output a pure clock sync can surface.
+                    debug_assert!(
+                        matches!(output, NodeOutput::Died { .. }),
+                        "clock sync must not produce outputs (beyond battery death)"
+                    );
+                    if let NodeOutput::Died { at } = output {
+                        self.outputs.push((at.as_ps(), gi, output));
+                    }
+                }
             }
             Err(e) => {
                 self.error = Some((gi, e));

@@ -35,7 +35,7 @@ use crate::sim::{NetworkSim, Scheduler, Stimulus};
 use crate::topology::Position;
 use crate::trace::{Trace, TraceEvent, TraceKind, TraceMode};
 use dess::SimTime;
-use snap_node::{Node, NodeId};
+use snap_node::{Node, NodeId, NodeKind};
 use snap_snapshot::fleet::{scheduler, stimulus, trace_kind, trace_mode};
 use snap_snapshot::{
     ChannelSnapshot, DeliverySnap, FleetSnapshot, PositionSnap, SnapshotError, StimulusSnap,
@@ -86,6 +86,7 @@ fn trace_event_to_snap(e: &TraceEvent) -> TraceEventSnap {
         TraceKind::Collision { from } => (trace_kind::COLLISION, 0, from.0),
         TraceKind::Led { value } => (trace_kind::LED, value, 0),
         TraceKind::Stimulus => (trace_kind::STIMULUS, 0, 0),
+        TraceKind::NodeDeath => (trace_kind::NODE_DEATH, 0, 0),
     };
     TraceEventSnap {
         at_ps: e.at_ps,
@@ -108,6 +109,7 @@ fn trace_event_from_snap(s: &TraceEventSnap) -> Result<TraceEvent, SnapshotError
         },
         trace_kind::LED => TraceKind::Led { value: s.payload },
         trace_kind::STIMULUS => TraceKind::Stimulus,
+        trace_kind::NODE_DEATH => TraceKind::NodeDeath,
         _ => return Err(SnapshotError::Corrupt("trace event kind")),
     };
     Ok(TraceEvent {
@@ -241,7 +243,10 @@ impl NetworkSim {
             let mut node = Node::from_snapshot(ns)?;
             // Tier-2 recompile: prove and compile against the restored
             // IMEM, exactly as loading the original program would have.
-            if node.cpu().config().engine == snap_core::Engine::Aot {
+            // AVR motes restore from their own opaque state blob and
+            // have no SNAP engine to recompile.
+            if node.kind() != NodeKind::Avr && node.cpu().config().engine == snap_core::Engine::Aot
+            {
                 let analysis = snap_lint::analyze_image(
                     node.cpu().imem().as_words(),
                     node.cpu().config().operating_point,

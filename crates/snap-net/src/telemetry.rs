@@ -16,8 +16,70 @@
 
 use crate::sim::NetworkSim;
 use crate::trace::TraceKind;
-use snap_node::NodeId;
+use dess::SimDuration;
+use snap_node::{Node, NodeId, NodeKind};
 use snap_telemetry::{ChromeTrace, NetworkCounters, Value};
+
+/// Report string for a node kind.
+fn kind_str(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Snap => "snap",
+        NodeKind::Avr => "avr",
+        NodeKind::Gateway => "gateway",
+    }
+}
+
+/// Metrics object for an AVR mote. The SNAP counter vocabulary
+/// (handlers, event queue) does not apply; the AVR section carries the
+/// cycle/energy split the lifetime comparison needs.
+fn avr_node_metrics(id: i64, node: &Node) -> Value {
+    let mote = node.avr().expect("avr metrics require an avr node");
+    let core = mote.core();
+    let mut o = Value::obj();
+    o.set("node", Value::Int(id));
+    let state = if core.halted() {
+        "halted"
+    } else if core.sleeping() {
+        "sleeping"
+    } else {
+        "running"
+    };
+    o.set("state", Value::Str(state.to_string()));
+    let mut counters = Value::obj();
+    counters.set("active_cycles", Value::Int(core.active_cycles() as i64));
+    counters.set("wall_cycles", Value::Int(core.wall_cycles() as i64));
+    counters.set("sleep_ps", Value::Int(mote.sleep_ps() as i64));
+    counters.set("now_ps", Value::Int(mote.now().as_ps() as i64));
+    counters.set("spi_bytes_sent", Value::Int(core.spi_sent().len() as i64));
+    o.set("counters", counters);
+    let mut energy = Value::obj();
+    energy.set("total_pj", Value::Float(mote.active_energy().as_pj()));
+    o.set("energy", energy);
+    o
+}
+
+/// The per-node battery section: consumption against capacity plus the
+/// duty-cycle lifetime projection (see `docs/FLEETS.md`). `None` for
+/// nodes without a budget (gateways, unconfigured fleets).
+fn battery_metrics(node: &Node, elapsed: SimDuration) -> Option<Value> {
+    let battery = node.battery()?;
+    let (active, sleep_ps, words) = node.consumption_totals();
+    let consumed = battery.consumed(active, sleep_ps, words);
+    let mut b = Value::obj();
+    b.set("capacity_pj", Value::Float(battery.capacity().as_pj()));
+    b.set("consumed_pj", Value::Float(consumed.as_pj()));
+    b.set(
+        "remaining_pj",
+        Value::Float(battery.remaining(active, sleep_ps, words).as_pj()),
+    );
+    if let Some(s) = battery.projected_lifetime_s(consumed, elapsed) {
+        b.set("projected_lifetime_s", Value::Float(s));
+    }
+    if let Some(at) = node.died_at() {
+        b.set("died_at_ps", Value::Int(at.as_ps() as i64));
+    }
+    Some(b)
+}
 
 impl NetworkSim {
     /// Render the network section of the metrics report: channel
@@ -38,8 +100,20 @@ impl NetworkSim {
     /// `tool` names the producer (`netsim`, a test, a bench);
     /// `vdd_v` records the operating voltage the nodes ran at.
     pub fn metrics_report(&self, tool: &str, vdd_v: f64) -> Value {
+        let elapsed = SimDuration::from_ps(self.now().as_ps());
         let nodes = (1..=self.node_count() as u32)
-            .map(|id| snap_telemetry::node_metrics(i64::from(id), self.node(NodeId(id)).cpu()))
+            .map(|id| {
+                let node = self.node(NodeId(id));
+                let mut m = match node.kind() {
+                    NodeKind::Avr => avr_node_metrics(i64::from(id), node),
+                    _ => snap_telemetry::node_metrics(i64::from(id), node.cpu()),
+                };
+                m.set("kind", Value::Str(kind_str(node.kind()).to_string()));
+                if let Some(b) = battery_metrics(node, elapsed) {
+                    m.set("battery", b);
+                }
+                m
+            })
             .collect();
         snap_telemetry::report(
             tool,
@@ -58,9 +132,12 @@ impl NetworkSim {
         chrome.process_name("snap-net");
         for id in 1..=self.node_count() as u32 {
             let tid = i64::from(id);
+            let node = self.node(NodeId(id));
             chrome.thread_name(tid, &format!("node{id}"));
-            if let Some(sampler) = self.node(NodeId(id)).cpu().sampler() {
-                chrome.add_handler_samples(tid, sampler.samples());
+            if node.kind() != NodeKind::Avr {
+                if let Some(sampler) = node.cpu().sampler() {
+                    chrome.add_handler_samples(tid, sampler.samples());
+                }
             }
         }
         for e in self.trace().events() {
@@ -84,6 +161,7 @@ impl NetworkSim {
                     "led"
                 }
                 TraceKind::Stimulus => "stimulus",
+                TraceKind::NodeDeath => "node_death",
             };
             chrome.instant(i64::from(e.node.0), name, e.at_ps, args);
         }

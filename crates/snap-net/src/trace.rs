@@ -30,6 +30,8 @@ pub enum TraceKind {
     },
     /// An injected stimulus fired.
     Stimulus,
+    /// The node exhausted its battery budget and froze.
+    NodeDeath,
 }
 
 /// One trace event.
@@ -85,6 +87,7 @@ fn canonical_key(e: &TraceEvent) -> (u64, u8, u32, u8, u32, u16) {
     let (class, rank, from, payload) = match e.kind {
         TraceKind::Transmit { word } => (0, 0, 0, word),
         TraceKind::Led { value } => (0, 1, 0, value),
+        TraceKind::NodeDeath => (0, 2, 0, 0),
         TraceKind::Deliver { word, from } => (1, 0, from.0, word),
         TraceKind::Collision { from } => (1, 1, from.0, 0),
         TraceKind::Stimulus => (1, 2, 0, 0),
@@ -226,6 +229,7 @@ impl Trace {
                 TraceKind::Collision { from } => ("collision", format!(r#","from":{}"#, from.0)),
                 TraceKind::Led { value } => ("led", format!(r#","value":{value}"#)),
                 TraceKind::Stimulus => ("stimulus", String::new()),
+                TraceKind::NodeDeath => ("node_death", String::new()),
             };
             out.push_str(&format!(
                 r#"{{"at_ps":{},"node":{},"kind":"{kind}"{detail}}}"#,

@@ -167,7 +167,7 @@ fn straight_vs_resumed(
     }
     // Full wire round trip, not just the in-memory structs: the bytes
     // are what `snap-serve` and `srun --restore` actually move around.
-    let bytes = Snapshot::Fleet(first_leg.export_snapshot()).to_bytes();
+    let bytes = Snapshot::Fleet(Box::new(first_leg.export_snapshot())).to_bytes();
     let restored = Snapshot::from_bytes(&bytes).expect("own bytes decode");
     let mut resumed = NetworkSim::from_snapshot(restored.as_fleet().unwrap()).unwrap();
     drop(first_leg);
@@ -361,7 +361,7 @@ fn chained_checkpoints_accumulate_no_drift() {
     for ms in 1..=20u64 {
         sim.run_until(SimTime::ZERO + SimDuration::from_ms(ms))
             .unwrap();
-        let bytes = Snapshot::Fleet(sim.export_snapshot()).to_bytes();
+        let bytes = Snapshot::Fleet(Box::new(sim.export_snapshot())).to_bytes();
         let back = Snapshot::from_bytes(&bytes).unwrap();
         sim = NetworkSim::from_snapshot(back.as_fleet().unwrap()).unwrap();
     }

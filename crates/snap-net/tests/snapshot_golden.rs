@@ -67,7 +67,7 @@ fn golden_snapshot_bytes_are_stable() {
     let mut sim = golden_fleet();
     sim.run_until(SimTime::ZERO + SimDuration::from_us(GOLDEN_TICK_US))
         .unwrap();
-    let bytes = Snapshot::Fleet(sim.export_snapshot()).to_bytes();
+    let bytes = Snapshot::Fleet(Box::new(sim.export_snapshot())).to_bytes();
 
     let path = golden_path();
     if std::env::var_os("SNAP_BLESS").is_some() {

@@ -1,0 +1,111 @@
+//! The ATmega baseline mote as a network citizen.
+//!
+//! [`AvrMote`] wraps an [`atmega::AvrCore`] behind the same node-facing
+//! contract the SNAP core satisfies, so a `Node` of kind
+//! [`crate::NodeKind::Avr`] participates in the same radio channel,
+//! wake calendar and scheduler machinery as SNAP nodes:
+//!
+//! * **Clock mapping.** The AVR core counts 4 MHz wall cycles; the
+//!   network runs on picoseconds. One cycle is exactly
+//!   [`AVR_CYCLE_PS`] = 250 000 ps, so the mapping is exact integer
+//!   arithmetic in both directions. A `run_until(deadline)` runs the
+//!   core while `wall_cycles × 250 000 < deadline_ps`, i.e. to the
+//!   first instruction boundary at or past the deadline. That stopping
+//!   point is a pure function of (core state, deadline) — independent
+//!   of how a scheduler splits the interval — which is what keeps the
+//!   network's bit-identity invariant intact (every scheduler syncs a
+//!   node to the exact delivery instant before applying a delivery).
+//! * **Radio mapping.** Each byte the program writes to `SPDR` goes on
+//!   the air as one 16-bit radio word (value = the byte) starting at
+//!   the write instant. At the mote's 38.4 kbps a word serializes in
+//!   ≈416.67 µs, just under the 1667-cycle SPI shift (416.75 µs), so a
+//!   program chaining bytes off SPI-complete interrupts never trips
+//!   the radio-busy check. Received words are posted back through
+//!   [`atmega::AvrCore::post_spi_rx`] as SPI-complete interrupts.
+//! * **Energy mapping.** Active energy is the paper's power-based
+//!   accounting (`AvrEnergyModel::task_energy` over total active
+//!   cycles, ≈3.75 nJ per cycle); sleep time is the integer cycle
+//!   difference `wall − active`. Both are lifetime totals, so the
+//!   battery model's consumption stays a pure function of node state
+//!   (see `snap_energy::battery`).
+
+use atmega::AvrCore;
+use dess::SimTime;
+use snap_energy::{AvrEnergyModel, Energy};
+
+/// One 4 MHz AVR clock cycle in picoseconds (exact).
+pub const AVR_CYCLE_PS: u64 = 250_000;
+
+/// Radio bit rate of the AVR mote's transceiver, bits/second. Chosen
+/// so one 16-bit word serializes in slightly less than the 1667-cycle
+/// SPI byte shift: back-to-back SPI bytes never find the radio busy.
+pub const AVR_BIT_RATE: f64 = 38_400.0;
+
+/// An ATmega-class mote core adapted to the node contract.
+///
+/// Owned by [`crate::Node`] when its kind is [`crate::NodeKind::Avr`];
+/// the node event loop drives it via the cycle/radio/energy mappings
+/// described in the module docs.
+#[derive(Debug, Clone)]
+pub struct AvrMote {
+    pub(crate) core: AvrCore,
+    pub(crate) model: AvrEnergyModel,
+    /// SPI bytes already drained into radio words (index into
+    /// [`AvrCore::spi_sent`]).
+    pub(crate) tx_emitted: usize,
+    /// Leave the receiver on after a transmission completes. Off by
+    /// default: beacon-style motes are transmit-only, and a listening
+    /// mote would take spurious SPI-complete interrupts for every word
+    /// it overhears.
+    pub(crate) listen: bool,
+}
+
+impl AvrMote {
+    /// Wrap an assembled-and-wired AVR core.
+    pub fn new(core: AvrCore) -> AvrMote {
+        let model = AvrEnergyModel::atmega128l();
+        debug_assert_eq!(model.cycle_time().as_ps(), AVR_CYCLE_PS);
+        AvrMote {
+            core,
+            model,
+            tx_emitted: 0,
+            listen: false,
+        }
+    }
+
+    /// Node-local simulated time: wall cycles at 250 ns each.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.core.wall_cycles() * AVR_CYCLE_PS)
+    }
+
+    /// Total active (executing) energy so far: the paper's power-based
+    /// accounting over the core's lifetime active-cycle count.
+    pub fn active_energy(&self) -> Energy {
+        self.model.task_energy(self.core.active_cycles())
+    }
+
+    /// Total picoseconds spent asleep so far (integer-exact).
+    pub fn sleep_ps(&self) -> u64 {
+        (self.core.wall_cycles() - self.core.active_cycles()) * AVR_CYCLE_PS
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &AvrCore {
+        &self.core
+    }
+
+    /// Mutable core access (test fixtures and the node event loop).
+    pub fn core_mut(&mut self) -> &mut AvrCore {
+        &mut self.core
+    }
+
+    /// The energy model used for active-cycle accounting.
+    pub fn model(&self) -> &AvrEnergyModel {
+        &self.model
+    }
+
+    /// The first instruction-boundary cycle at or past `t`.
+    pub(crate) fn cycle_deadline(t: SimTime) -> u64 {
+        t.as_ps().div_ceil(AVR_CYCLE_PS)
+    }
+}

@@ -272,7 +272,7 @@ fn main() -> ExitCode {
             }
             let at_ms = node.now().as_ps() / 1_000_000_000;
             let out = format!("{base}.ckpt.{at_ms}ms.snap");
-            let bytes = snap_snapshot::Snapshot::Node(node.export_snapshot()).to_bytes();
+            let bytes = snap_snapshot::Snapshot::Node(Box::new(node.export_snapshot())).to_bytes();
             if let Err(e) = std::fs::write(&out, &bytes) {
                 eprintln!("srun: {out}: {e}");
                 return ExitCode::FAILURE;

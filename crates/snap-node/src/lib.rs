@@ -33,13 +33,17 @@
 
 #![warn(missing_docs)]
 
+pub mod avr;
 pub mod led;
 pub mod node;
 pub mod radio;
 pub mod sensor;
 pub mod snapshot;
 
+pub use atmega;
+pub use avr::{AvrMote, AVR_BIT_RATE, AVR_CYCLE_PS};
 pub use led::LedPort;
-pub use node::{Node, NodeConfig, NodeError, NodeId, NodeOutput};
+pub use node::{Node, NodeConfig, NodeError, NodeId, NodeKind, NodeOutput, UplinkFrame};
 pub use radio::{Radio, RadioMode, WORD_BITS};
 pub use sensor::SensorBank;
+pub use snap_energy::BatteryConfig;

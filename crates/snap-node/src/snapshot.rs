@@ -3,18 +3,26 @@
 //! Extends the core snapshot ([`snap_core::snapshot`]) with the node's
 //! peripherals: radio (including an in-flight transmission), sensor
 //! bank, output port history, the pending-event calendar, and the
-//! runaway-handler budget. A restored node resumes bit-identically —
+//! runaway-handler budget. Format v2 adds the fleet-heterogeneity
+//! state: the node kind, the opaque AVR core blob for
+//! [`NodeKind::Avr`] motes (its own versioned format, see
+//! [`atmega::state`]), the battery budget, the death instant, and the
+//! gateway uplink queue. A restored node resumes bit-identically —
 //! see the format crate's docs for the invariant.
 
-use crate::node::{Node, Pending};
+use crate::avr::AvrMote;
+use crate::node::{Node, NodeCpu, NodeKind, Pending, UplinkFrame};
 use crate::radio::{Radio, RadioMode};
 use crate::sensor::SensorBank;
 use crate::{LedPort, NodeId};
+use atmega::AvrCore;
 use dess::{Calendar, SimDuration, SimTime};
 use snap_core::Processor;
-use snap_snapshot::node::{pending, radio_mode};
+use snap_energy::BatteryConfig;
+use snap_snapshot::node::{node_kind, pending, radio_mode};
 use snap_snapshot::{
-    LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot, SnapshotError,
+    BatterySnapshot, LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot,
+    SnapshotError,
 };
 
 fn mode_to_wire(m: RadioMode) -> u8 {
@@ -34,15 +42,68 @@ fn mode_from_wire(w: u8) -> Result<RadioMode, SnapshotError> {
     }
 }
 
+fn kind_to_wire(k: NodeKind) -> u8 {
+    match k {
+        NodeKind::Snap => node_kind::SNAP,
+        NodeKind::Avr => node_kind::AVR,
+        NodeKind::Gateway => node_kind::GATEWAY,
+    }
+}
+
+fn kind_from_wire(w: u8) -> Result<NodeKind, SnapshotError> {
+    match w {
+        node_kind::SNAP => Ok(NodeKind::Snap),
+        node_kind::AVR => Ok(NodeKind::Avr),
+        node_kind::GATEWAY => Ok(NodeKind::Gateway),
+        _ => Err(SnapshotError::Corrupt("node kind discriminant")),
+    }
+}
+
+fn battery_to_wire(b: &BatteryConfig) -> BatterySnapshot {
+    BatterySnapshot {
+        capacity_uah_bits: b.capacity_uah.to_bits(),
+        voltage_v_bits: b.voltage_v.to_bits(),
+        sleep_ua_bits: b.sleep_ua.to_bits(),
+        tx_pj_per_word_bits: b.tx_pj_per_word.to_bits(),
+    }
+}
+
+fn battery_from_wire(s: &BatterySnapshot) -> Result<BatteryConfig, SnapshotError> {
+    let b = BatteryConfig {
+        capacity_uah: f64::from_bits(s.capacity_uah_bits),
+        voltage_v: f64::from_bits(s.voltage_v_bits),
+        sleep_ua: f64::from_bits(s.sleep_ua_bits),
+        tx_pj_per_word: f64::from_bits(s.tx_pj_per_word_bits),
+    };
+    let sane = |v: f64| v.is_finite() && v >= 0.0;
+    if !(sane(b.capacity_uah) && sane(b.voltage_v) && sane(b.sleep_ua) && sane(b.tx_pj_per_word)) {
+        return Err(SnapshotError::Corrupt("battery config field"));
+    }
+    Ok(b)
+}
+
 impl Node {
     /// Capture the complete observable node state.
     pub fn export_snapshot(&self) -> NodeSnapshot {
         let (bit_rate, mode, tx_done_at, tx_word, words_sent, words_heard) = self.radio.export();
         let (readings, reply_latency, queries) = self.sensors.export();
         let (led_value, led_history) = self.led.export();
+        let (core, avr_state, avr_tx_emitted, avr_listen) = match &self.cpu {
+            NodeCpu::Snap(cpu) => (Some(cpu.export_snapshot()), Vec::new(), 0, false),
+            NodeCpu::Avr(mote) => (
+                None,
+                mote.core().export_state(),
+                mote.tx_emitted as u64,
+                mote.listen,
+            ),
+        };
         NodeSnapshot {
             id: self.id.0,
-            core: self.cpu.export_snapshot(),
+            kind: kind_to_wire(self.kind),
+            core,
+            avr_state,
+            avr_tx_emitted,
+            avr_listen,
             radio: RadioSnapshot {
                 bit_rate_bits: bit_rate.to_bits(),
                 mode: mode_to_wire(mode),
@@ -79,6 +140,9 @@ impl Node {
                 .collect(),
             step_limit: self.step_limit,
             run_steps: self.run_steps,
+            battery: self.battery.as_ref().map(battery_to_wire),
+            died_at_ps: self.died_at.map(|t| t.as_ps()),
+            uplink: self.uplink.iter().map(|f| (f.at.as_ps(), f.word)).collect(),
         }
     }
 
@@ -89,6 +153,7 @@ impl Node {
     ///
     /// Rejects structurally invalid snapshots ([`SnapshotError::Corrupt`]).
     pub fn from_snapshot(snap: &NodeSnapshot) -> Result<Node, SnapshotError> {
+        let kind = kind_from_wire(snap.kind)?;
         let bit_rate = f64::from_bits(snap.radio.bit_rate_bits);
         if !bit_rate.is_finite() || bit_rate <= 0.0 {
             return Err(SnapshotError::Corrupt("radio bit rate"));
@@ -102,6 +167,34 @@ impl Node {
         if snap.radio.tx_done_at_ps.is_some() != (mode == RadioMode::Tx) {
             return Err(SnapshotError::Corrupt("radio mode vs in-flight tx"));
         }
+        // Kind-specific structural invariants. The in-memory struct can
+        // be built by hand, so re-check what the wire decoder checks.
+        if (kind == NodeKind::Avr) != snap.core.is_none() {
+            return Err(SnapshotError::Corrupt("node kind / core presence mismatch"));
+        }
+        if (kind == NodeKind::Avr) == snap.avr_state.is_empty() {
+            return Err(SnapshotError::Corrupt("node kind / avr state mismatch"));
+        }
+        if kind == NodeKind::Gateway && snap.battery.is_some() {
+            return Err(SnapshotError::Corrupt("battery on mains-powered gateway"));
+        }
+        if kind != NodeKind::Gateway && !snap.uplink.is_empty() {
+            return Err(SnapshotError::Corrupt("uplink frames on non-gateway node"));
+        }
+        let cpu = match &snap.core {
+            Some(core) => NodeCpu::Snap(Processor::from_snapshot(core)?),
+            None => {
+                let core = AvrCore::restore_state(&snap.avr_state)
+                    .map_err(|_| SnapshotError::Corrupt("avr core state blob"))?;
+                if snap.avr_tx_emitted as usize > core.spi_sent().len() {
+                    return Err(SnapshotError::Corrupt("avr tx drain cursor"));
+                }
+                let mut mote = AvrMote::new(core);
+                mote.tx_emitted = snap.avr_tx_emitted as usize;
+                mote.listen = snap.avr_listen;
+                NodeCpu::Avr(mote)
+            }
+        };
         let mut pending_cal = Calendar::new();
         for p in &snap.pending {
             let ev = match p.kind {
@@ -113,7 +206,8 @@ impl Node {
         }
         Ok(Node {
             id: NodeId(snap.id),
-            cpu: Processor::from_snapshot(&snap.core)?,
+            kind,
+            cpu,
             radio: Radio::restore(
                 bit_rate,
                 mode,
@@ -138,6 +232,16 @@ impl Node {
             pending: pending_cal,
             step_limit: snap.step_limit,
             run_steps: snap.run_steps,
+            battery: snap.battery.as_ref().map(battery_from_wire).transpose()?,
+            died_at: snap.died_at_ps.map(SimTime::from_ps),
+            uplink: snap
+                .uplink
+                .iter()
+                .map(|&(at, word)| UplinkFrame {
+                    at: SimTime::from_ps(at),
+                    word,
+                })
+                .collect(),
         })
     }
 }
@@ -182,11 +286,51 @@ mod tests {
         node
     }
 
+    /// An AVR beacon mote frozen a few periods in, with a battery.
+    fn busy_avr_node() -> Node {
+        let (core, _) = atmega::tinyos::beacon_system(3, 4).unwrap();
+        let mut node = Node::new_avr(NodeId(2), core);
+        node.set_battery(Some(BatteryConfig::coin_cell_avr()));
+        node.run_for(SimDuration::from_ms(5)).unwrap();
+        node
+    }
+
     #[test]
     fn export_import_round_trip_is_exact() {
         let node = busy_node();
         let snap = node.export_snapshot();
         let restored = Node::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.export_snapshot(), snap);
+    }
+
+    #[test]
+    fn avr_round_trip_is_exact_and_resumes() {
+        let node = busy_avr_node();
+        let snap = node.export_snapshot();
+        assert_eq!(snap.kind, node_kind::AVR);
+        assert!(snap.core.is_none());
+        assert!(!snap.avr_state.is_empty());
+        let restored = Node::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.export_snapshot(), snap);
+
+        let mut straight = busy_avr_node();
+        let mut resumed = Node::from_snapshot(&snap).unwrap();
+        let out_a = straight.run_for(SimDuration::from_ms(10)).unwrap();
+        let out_b = resumed.run_for(SimDuration::from_ms(10)).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(straight.export_snapshot(), resumed.export_snapshot());
+    }
+
+    #[test]
+    fn gateway_uplink_round_trips() {
+        let mut node = Node::new_gateway(NodeConfig::default());
+        node.load(&assemble("halt").unwrap()).unwrap();
+        node.deliver_rx(0xabcd);
+        let snap = node.export_snapshot();
+        assert_eq!(snap.kind, node_kind::GATEWAY);
+        assert_eq!(snap.uplink, vec![(0, 0xabcd)]);
+        let restored = Node::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.uplink(), node.uplink());
         assert_eq!(restored.export_snapshot(), snap);
     }
 
@@ -210,9 +354,13 @@ mod tests {
     #[test]
     fn node_snapshot_serializes_through_bytes() {
         let snap = busy_node().export_snapshot();
-        let bytes = Snapshot::Node(snap.clone()).to_bytes();
+        let bytes = Snapshot::Node(Box::new(snap.clone())).to_bytes();
         let back = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(back.as_node().unwrap(), &snap);
+
+        let snap = busy_avr_node().export_snapshot();
+        let bytes = Snapshot::Node(Box::new(snap.clone())).to_bytes();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap().as_node(), Some(&snap));
     }
 
     #[test]
@@ -231,8 +379,35 @@ mod tests {
         s.radio.tx_word = None; // in-flight time without a word
         assert!(Node::from_snapshot(&s).is_err());
 
-        let mut s = snap;
+        let mut s = snap.clone();
         s.pending[0].kind = 7;
+        assert!(Node::from_snapshot(&s).is_err());
+
+        // Kind-consistency and battery sanity checks.
+        let mut s = snap.clone();
+        s.kind = node_kind::AVR; // AVR kind but a SNAP core present
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = snap.clone();
+        s.uplink = vec![(1, 2)]; // uplink frames on a non-gateway
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = snap;
+        s.battery = Some(BatterySnapshot {
+            capacity_uah_bits: f64::NAN.to_bits(),
+            voltage_v_bits: 3.0f64.to_bits(),
+            sleep_ua_bits: 0.0f64.to_bits(),
+            tx_pj_per_word_bits: 0.0f64.to_bits(),
+        });
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let avr = busy_avr_node().export_snapshot();
+        let mut s = avr.clone();
+        s.avr_state[0] ^= 0xff; // corrupt the opaque blob's magic
+        assert!(Node::from_snapshot(&s).is_err());
+
+        let mut s = avr;
+        s.avr_tx_emitted = u64::MAX; // drain cursor past the send log
         assert!(Node::from_snapshot(&s).is_err());
     }
 }

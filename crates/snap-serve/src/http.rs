@@ -23,6 +23,7 @@
 //! | `POST /sims/restore`        | snapshot bytes → new paused sim → `{id}`          |
 //! | `GET  /sims/{id}/metrics`   | full `snap-metrics-v1` report                     |
 //! | `GET  /sims/{id}/trace?from=N` | trace events from index `N`                    |
+//! | `GET  /sims/{id}/uplink`    | gateway uplink frames (see `docs/FLEETS.md`)      |
 //! | `GET  /sims/{id}/stream`    | SSE: status on every progress tick, ends when terminal |
 //! | `DELETE /sims/{id}`         | stop and forget                                   |
 
@@ -301,6 +302,7 @@ fn route(server: &Arc<SimServer>, stream: &mut TcpStream, req: &Request) {
                     Err(e) => json_error(stream, 400, &e),
                 },
                 ("GET", ["metrics"]) => json_ok(stream, &h.metrics_json()),
+                ("GET", ["uplink"]) => json_ok(stream, &h.uplink_json()),
                 ("GET", ["trace"]) => {
                     let from = query_param(&req.query, "from")
                         .and_then(|s| s.parse().ok())

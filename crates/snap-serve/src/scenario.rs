@@ -1,17 +1,23 @@
 //! Scenario specification — the JSON body of `POST /sims`.
 //!
 //! A scenario describes a fleet the server can build from scratch: how
-//! many MAC ring nodes and blink background nodes, the channel (range,
-//! loss probability, fade seed), the core engine and network scheduler,
-//! and the stimulus schedule. Parsing is strict about types and ranges
-//! — a bad request must come back as HTTP 400, never a panic in a
-//! runner thread.
+//! many MAC ring nodes, blink background nodes, ATmega beacon motes
+//! and gateways, the channel (range, loss probability, fade seed), the
+//! core engine and network scheduler, battery budgets, and the
+//! stimulus schedule. Parsing is strict about types and ranges — a bad
+//! request must come back as HTTP 400, never a panic in a runner
+//! thread.
 //!
 //! ```json
 //! {
 //!   "name": "demo",
 //!   "mac_nodes": 3,
 //!   "blink_nodes": 1,
+//!   "avr_nodes": 2,
+//!   "avr_period_ms": 50,
+//!   "gateway": true,
+//!   "battery": true,
+//!   "battery_capacity_uah": 620.0,
 //!   "range": 12.0,
 //!   "loss": 0.15,
 //!   "loss_seed": 42,
@@ -25,7 +31,9 @@
 //! }
 //! ```
 //!
-//! Every field except `run_to_us` has a default.
+//! Every field except `run_to_us` has a default. Node ids are assigned
+//! MAC ring first, then blink, then AVR motes, then the gateway — see
+//! `docs/FLEETS.md` for the full schema and placement rules.
 
 use dess::{SimDuration, SimTime};
 use snap_apps::blink::blink_program;
@@ -33,7 +41,8 @@ use snap_apps::mac::{mac_program, send_on_irq_app, RX_DISPATCH_STUB};
 use snap_apps::prelude::install_handler;
 use snap_core::{CoreConfig, Engine};
 use snap_net::{NetworkSim, Position, Scheduler, Stimulus};
-use snap_node::NodeId;
+use snap_node::atmega::tinyos::beacon_system;
+use snap_node::{BatteryConfig, NodeId, NodeKind};
 use snap_telemetry::{parse, Value};
 
 /// Hard cap on fleet size per submitted sim: the server is a
@@ -53,6 +62,19 @@ pub struct Scenario {
     pub mac_nodes: u8,
     /// Timer-periodic blink nodes placed out of radio range.
     pub blink_nodes: u8,
+    /// ATmega beacon motes placed in radio range of the MAC grid.
+    pub avr_nodes: u8,
+    /// Beacon period per AVR mote, in ≈1 ms timer ticks.
+    pub avr_period_ms: u16,
+    /// Add one mains-powered gateway that logs every heard word to its
+    /// uplink buffer (`GET /sims/{id}/uplink`).
+    pub gateway: bool,
+    /// Attach chemistry-matched coin-cell budgets (SNAP vs AVR) to
+    /// every non-gateway node; exhausted nodes die mid-run.
+    pub battery: bool,
+    /// Capacity override in µAh for every attached battery (tests use
+    /// tiny values to exercise node death quickly).
+    pub battery_capacity_uah: Option<f64>,
     /// Radio range (topology units).
     pub range: f64,
     /// Per-word loss probability in `[0, 1]`; 0 disables fading.
@@ -82,6 +104,11 @@ impl Default for Scenario {
             name: "sim".to_string(),
             mac_nodes: 3,
             blink_nodes: 0,
+            avr_nodes: 0,
+            avr_period_ms: 50,
+            gateway: false,
+            battery: false,
+            battery_capacity_uah: None,
             range: 12.0,
             loss: 0.0,
             loss_seed: 1,
@@ -144,7 +171,37 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
     if let Some(n) = get_u64(&v, "blink_nodes", u64::from(MAX_NODES))? {
         s.blink_nodes = u8::try_from(n).map_err(|_| "blink_nodes: at most 255")?;
     }
-    let total = u32::from(s.mac_nodes) + u32::from(s.blink_nodes);
+    if let Some(n) = get_u64(&v, "avr_nodes", u64::from(MAX_NODES))? {
+        s.avr_nodes = u8::try_from(n).map_err(|_| "avr_nodes: at most 255")?;
+    }
+    if let Some(n) = get_u64(&v, "avr_period_ms", 60_000)? {
+        if n == 0 {
+            return Err("avr_period_ms: must be positive".to_string());
+        }
+        s.avr_period_ms = n as u16;
+    }
+    if let Some(p) = v.get("gateway") {
+        s.gateway = match p {
+            Value::Bool(b) => *b,
+            _ => return Err("gateway: expected bool".to_string()),
+        };
+    }
+    if let Some(p) = v.get("battery") {
+        s.battery = match p {
+            Value::Bool(b) => *b,
+            _ => return Err("battery: expected bool".to_string()),
+        };
+    }
+    if let Some(c) = get_f64(&v, "battery_capacity_uah")? {
+        if !c.is_finite() || c <= 0.0 {
+            return Err("battery_capacity_uah: must be finite and positive".to_string());
+        }
+        s.battery_capacity_uah = Some(c);
+    }
+    let total = u32::from(s.mac_nodes)
+        + u32::from(s.blink_nodes)
+        + u32::from(s.avr_nodes)
+        + u32::from(s.gateway);
     if total == 0 {
         return Err("scenario has zero nodes".to_string());
     }
@@ -207,6 +264,12 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
             if node == 0 || node > u64::from(total) {
                 return Err(format!("irqs[{i}].node: no such node"));
             }
+            // AVR motes have no SNAP sensor-IRQ pin; ids land after
+            // the MAC + blink block (see `build`).
+            let first_avr = u64::from(s.mac_nodes) + u64::from(s.blink_nodes) + 1;
+            if s.avr_nodes > 0 && node >= first_avr && node < first_avr + u64::from(s.avr_nodes) {
+                return Err(format!("irqs[{i}].node: AVR motes take no sensor IRQ"));
+            }
             s.irqs.push((node as u32, at_us));
         }
     }
@@ -264,6 +327,34 @@ pub fn build(s: &Scenario) -> Result<NetworkSim, String> {
             core,
         );
     }
+    // AVR beacon motes go on a row below the MAC grid, in radio range
+    // of its first column cells: heterogeneous traffic on shared air.
+    for i in 0..s.avr_nodes {
+        let (avr_core, _) =
+            beacon_system(i + 1, s.avr_period_ms.max(1)).map_err(|e| e.to_string())?;
+        let (col, row) = (f64::from(i % 5), f64::from(i / 5));
+        sim.add_avr_node(avr_core, Position::new(col * 8.0, -8.0 - row * 8.0));
+    }
+    if s.gateway {
+        // The gateway bridges from boot regardless of its program; a
+        // boot-and-sleep image keeps its core out of the airtime.
+        let program = snap_asm::assemble("done").map_err(|e| e.to_string())?;
+        sim.add_gateway_with_core(&program, Position::new(4.0, 4.0), core);
+    }
+    if s.battery {
+        for n in 1..=sim.node_count() as u32 {
+            let id = NodeId(n);
+            let mut battery = match sim.node(id).kind() {
+                NodeKind::Snap => BatteryConfig::coin_cell_snap(),
+                NodeKind::Avr => BatteryConfig::coin_cell_avr(),
+                NodeKind::Gateway => continue, // mains-powered
+            };
+            if let Some(c) = s.battery_capacity_uah {
+                battery.capacity_uah = c;
+            }
+            sim.set_battery(id, Some(battery));
+        }
+    }
     for &(node, at_us) in &s.irqs {
         sim.schedule(
             NodeId(node),
@@ -301,6 +392,37 @@ mod tests {
         assert!(s.start_paused);
         let sim = build(&s).unwrap();
         assert_eq!(sim.node_count(), 6);
+    }
+
+    #[test]
+    fn mixed_fleet_scenario_builds_and_validates() {
+        let s = parse_scenario(
+            r#"{"mac_nodes":2,"avr_nodes":2,"gateway":true,"battery":true,
+                "run_to_us":1000}"#,
+        )
+        .unwrap();
+        assert_eq!(s.avr_nodes, 2);
+        assert!(s.gateway && s.battery);
+        let sim = build(&s).unwrap();
+        assert_eq!(sim.node_count(), 5);
+        assert_eq!(sim.node(NodeId(1)).kind(), NodeKind::Snap);
+        assert_eq!(sim.node(NodeId(3)).kind(), NodeKind::Avr);
+        assert_eq!(sim.node(NodeId(5)).kind(), NodeKind::Gateway);
+        assert!(sim.node(NodeId(1)).battery().is_some());
+        assert!(sim.node(NodeId(3)).battery().is_some());
+        // The gateway is mains-powered: no budget even when the fleet
+        // has batteries.
+        assert!(sim.node(NodeId(5)).battery().is_none());
+    }
+
+    #[test]
+    fn avr_irq_targets_are_rejected() {
+        let err = parse_scenario(
+            r#"{"mac_nodes":2,"avr_nodes":1,"run_to_us":1000,
+                "irqs":[{"node":3,"at_us":1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("sensor IRQ"), "{err}");
     }
 
     #[test]

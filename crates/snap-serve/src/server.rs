@@ -18,7 +18,7 @@
 use crate::scenario::Scenario;
 use dess::{SimDuration, SimTime};
 use snap_net::{NetworkSim, TraceKind};
-use snap_node::NodeId;
+use snap_node::{NodeId, NodeKind};
 use snap_snapshot::Snapshot;
 use snap_telemetry::Value;
 use std::collections::BTreeMap;
@@ -132,7 +132,7 @@ impl SimHandle {
     /// Serialize the sim at the current slice boundary.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         let g = self.lock();
-        Snapshot::Fleet(g.sim.export_snapshot()).to_bytes()
+        Snapshot::Fleet(Box::new(g.sim.export_snapshot())).to_bytes()
     }
 
     /// Current status document (see `docs` on the HTTP layer).
@@ -145,18 +145,40 @@ impl SimHandle {
         let mut per_node = Vec::with_capacity(g.sim.node_count());
         for n in 1..=g.sim.node_count() as u32 {
             let node = g.sim.node(NodeId(n));
-            let stats = node.cpu().stats();
             let mut v = Value::obj();
-            v.set("node", Value::Int(i64::from(n)))
-                .set("instructions", Value::Int(stats.instructions as i64))
-                .set("handlers", Value::Int(stats.handlers_dispatched as i64))
-                .set("energy_pj", Value::Float(stats.energy.as_pj()))
+            v.set("node", Value::Int(i64::from(n)));
+            let kind = match node.kind() {
+                NodeKind::Snap => "snap",
+                NodeKind::Avr => "avr",
+                NodeKind::Gateway => "gateway",
+            };
+            v.set("kind", Value::Str(kind.to_string()));
+            let energy = match node.kind() {
+                NodeKind::Avr => {
+                    let mote = node.avr().expect("avr node has a mote");
+                    v.set(
+                        "active_cycles",
+                        Value::Int(mote.core().active_cycles() as i64),
+                    );
+                    mote.active_energy()
+                }
+                _ => {
+                    let stats = node.cpu().stats();
+                    v.set("instructions", Value::Int(stats.instructions as i64))
+                        .set("handlers", Value::Int(stats.handlers_dispatched as i64));
+                    stats.energy
+                }
+            };
+            v.set("energy_pj", Value::Float(energy.as_pj()))
                 // The exact bits, for bit-identity checks over HTTP —
                 // a float rendering would round.
                 .set(
                     "energy_bits",
-                    Value::Str(format!("{:016x}", stats.energy.as_pj().to_bits())),
+                    Value::Str(format!("{:016x}", energy.as_pj().to_bits())),
                 );
+            if let Some(at) = node.died_at() {
+                v.set("died_at_us", Value::Int((at.as_ps() / 1_000_000) as i64));
+            }
             per_node.push(v);
         }
         let mut v = Value::obj();
@@ -209,8 +231,39 @@ impl SimHandle {
     /// The full `snap-metrics-v1` report for this sim.
     pub fn metrics_json(&self) -> Value {
         let g = self.lock();
-        let vdd = g.sim.node(NodeId(1)).cpu().config().operating_point.vdd();
+        // First SNAP-cored node's operating point; an all-AVR fleet
+        // reports the default (the field describes SNAP vdd only).
+        let vdd = (1..=g.sim.node_count() as u32)
+            .map(|n| g.sim.node(NodeId(n)))
+            .find(|node| node.kind() != NodeKind::Avr)
+            .map(|node| node.cpu().config().operating_point.vdd())
+            .unwrap_or_else(|| snap_core::CoreConfig::default().operating_point.vdd());
         g.sim.metrics_report("snap-serve", vdd)
+    }
+
+    /// Buffered gateway uplink frames across the fleet, in node order.
+    /// Non-draining: repeated reads see a growing log, so polling
+    /// clients can diff by count.
+    pub fn uplink_json(&self) -> Value {
+        let g = self.lock();
+        let mut frames = Vec::new();
+        for n in 1..=g.sim.node_count() as u32 {
+            let node = g.sim.node(NodeId(n));
+            if node.kind() != NodeKind::Gateway {
+                continue;
+            }
+            for f in node.uplink() {
+                let mut v = Value::obj();
+                v.set("node", Value::Int(i64::from(n)))
+                    .set("at_ps", Value::Int(f.at.as_ps() as i64))
+                    .set("word", Value::Int(i64::from(f.word)));
+                frames.push(v);
+            }
+        }
+        let mut v = Value::obj();
+        v.set("count", Value::Int(frames.len() as i64))
+            .set("frames", Value::Arr(frames));
+        v
     }
 
     /// Trace events from index `from` on, as JSON.
@@ -244,6 +297,9 @@ impl SimHandle {
                     }
                     TraceKind::Stimulus => {
                         v.set("kind", Value::Str("stimulus".into()));
+                    }
+                    TraceKind::NodeDeath => {
+                        v.set("kind", Value::Str("node_death".into()));
                     }
                 }
                 v
@@ -506,6 +562,48 @@ mod tests {
         let trace = h.trace_json(0);
         assert!(trace.get("count").unwrap().as_i64().unwrap() > 0);
         snap_telemetry::validate_metrics(&h.metrics_json().to_pretty()).unwrap();
+    }
+
+    /// A heterogeneous fleet (SNAP ring + AVR mote + gateway, all on
+    /// battery budgets) runs to target, bridges frames to the uplink,
+    /// and emits a schema-valid mixed-kind metrics report.
+    #[test]
+    fn mixed_fleet_runs_and_bridges_uplink() {
+        let server = SimServer::new();
+        let s = parse_scenario(
+            r#"{"mac_nodes":2,"avr_nodes":1,"gateway":true,"battery":true,
+                "engine":"fused","scheduler":"event","stagger_us":900,
+                "run_to_us":50000,"slice_us":1000}"#,
+        )
+        .unwrap();
+        let id = server.submit(&s).unwrap();
+        let h = server.get(id).unwrap();
+        let v = wait_terminal(&h, Duration::from_secs(60)).unwrap();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("done"), "{v:?}");
+        let kinds: Vec<&str> = v
+            .get("per_node")
+            .unwrap()
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|n| n.get("kind").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, ["snap", "snap", "avr", "gateway"]);
+        // The gateway overhears the MAC ring and bridges what it
+        // decodes into the uplink buffer.
+        let up = h.uplink_json();
+        assert!(up.get("count").unwrap().as_i64().unwrap() > 0, "{up:?}");
+        // Mixed-kind metrics stay valid under snap-metrics-v1, with
+        // battery sections on budgeted nodes only.
+        let metrics = h.metrics_json();
+        snap_telemetry::validate_metrics(&metrics.to_pretty()).unwrap();
+        let nodes = metrics.get("nodes").unwrap().elements().unwrap();
+        assert!(nodes[0].get("battery").is_some(), "SNAP node has a budget");
+        assert!(nodes[2].get("battery").is_some(), "AVR mote has a budget");
+        assert!(
+            nodes[3].get("battery").is_none(),
+            "gateway is mains-powered"
+        );
     }
 
     /// The acceptance criterion, in process: a served sim that is

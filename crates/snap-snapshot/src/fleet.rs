@@ -53,6 +53,8 @@ pub mod trace_kind {
     pub const LED: u8 = 3;
     /// An external stimulus was applied.
     pub const STIMULUS: u8 = 4;
+    /// A node exhausted its battery budget (format v2).
+    pub const NODE_DEATH: u8 = 5;
 }
 
 /// One in-flight or scheduled transmission.
@@ -221,7 +223,7 @@ impl TraceSnapshot {
                 payload: r.u16()?,
                 from: r.u32()?,
             };
-            if e.kind > trace_kind::STIMULUS {
+            if e.kind > trace_kind::NODE_DEATH {
                 return Err(SnapshotError::Corrupt("trace kind discriminant"));
             }
             events.push(e);

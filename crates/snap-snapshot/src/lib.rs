@@ -51,7 +51,9 @@ pub use crate::fleet::{
     ChannelSnapshot, DeliverySnap, FleetSnapshot, PositionSnap, StimulusSnap, TraceEventSnap,
     TraceSnapshot, TransmissionSnap,
 };
-pub use crate::node::{LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot};
+pub use crate::node::{
+    BatterySnapshot, LedSnapshot, NodeSnapshot, PendingSnap, RadioSnapshot, SensorSnapshot,
+};
 pub use crate::wire::{fnv1a, Reader, SnapshotError, Writer};
 
 /// The four magic bytes opening every snapshot file.
@@ -59,7 +61,7 @@ pub const MAGIC: [u8; 4] = *b"SNPS";
 
 /// Current snapshot format version. Bump on **any** byte-layout change;
 /// see the crate docs for the versioning rules.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const KIND_CORE: u8 = 1;
 const KIND_NODE: u8 = 2;
@@ -68,12 +70,15 @@ const KIND_FLEET: u8 = 3;
 /// A decoded snapshot of any granularity.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Snapshot {
-    /// A single processor.
-    Core(CoreSnapshot),
-    /// A single network node.
-    Node(NodeSnapshot),
-    /// A whole fleet.
-    Fleet(FleetSnapshot),
+    /// A single processor (boxed, like [`Snapshot::Node`]: the inline
+    /// payload dwarfs the `Vec`-backed fleet variant).
+    Core(Box<CoreSnapshot>),
+    /// A single network node (boxed: with the fleet-era battery and
+    /// uplink state a node is by far the largest inline payload).
+    Node(Box<NodeSnapshot>),
+    /// A whole fleet (boxed like the others, keeping the enum one
+    /// pointer wide per variant).
+    Fleet(Box<FleetSnapshot>),
 }
 
 impl Snapshot {
@@ -134,9 +139,9 @@ impl Snapshot {
         }
         let mut r = Reader::new(payload);
         let snap = match kind {
-            KIND_CORE => Snapshot::Core(CoreSnapshot::decode(&mut r)?),
-            KIND_NODE => Snapshot::Node(NodeSnapshot::decode(&mut r)?),
-            KIND_FLEET => Snapshot::Fleet(FleetSnapshot::decode(&mut r)?),
+            KIND_CORE => Snapshot::Core(Box::new(CoreSnapshot::decode(&mut r)?)),
+            KIND_NODE => Snapshot::Node(Box::new(NodeSnapshot::decode(&mut r)?)),
+            KIND_FLEET => Snapshot::Fleet(Box::new(FleetSnapshot::decode(&mut r)?)),
             _ => return Err(SnapshotError::Corrupt("payload kind")),
         };
         if !r.is_empty() {
@@ -148,7 +153,7 @@ impl Snapshot {
     /// The fleet payload, if this is a fleet snapshot.
     pub fn as_fleet(&self) -> Option<&FleetSnapshot> {
         match self {
-            Snapshot::Fleet(f) => Some(f),
+            Snapshot::Fleet(f) => Some(f.as_ref()),
             _ => None,
         }
     }
@@ -156,7 +161,7 @@ impl Snapshot {
     /// The core payload, if this is a core snapshot.
     pub fn as_core(&self) -> Option<&CoreSnapshot> {
         match self {
-            Snapshot::Core(c) => Some(c),
+            Snapshot::Core(c) => Some(c.as_ref()),
             _ => None,
         }
     }
@@ -164,7 +169,7 @@ impl Snapshot {
     /// The node payload, if this is a node snapshot.
     pub fn as_node(&self) -> Option<&NodeSnapshot> {
         match self {
-            Snapshot::Node(n) => Some(n),
+            Snapshot::Node(n) => Some(n.as_ref()),
             _ => None,
         }
     }
@@ -262,14 +267,14 @@ mod tests {
 
     #[test]
     fn core_round_trip_is_exact() {
-        let snap = Snapshot::Core(sample_core());
+        let snap = Snapshot::Core(Box::new(sample_core()));
         let bytes = snap.to_bytes();
         assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
     }
 
     #[test]
     fn header_fields_are_pinned() {
-        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        let bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         assert_eq!(&bytes[0..4], b"SNPS");
         assert_eq!(
             u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
@@ -280,14 +285,14 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        let mut bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         bytes[0] = b'X';
         assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
     }
 
     #[test]
     fn future_version_rejected() {
-        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        let mut bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
         assert_eq!(
             Snapshot::from_bytes(&bytes),
@@ -300,7 +305,7 @@ mod tests {
 
     #[test]
     fn flipped_payload_bit_fails_checksum() {
-        let mut bytes = Snapshot::Core(sample_core()).to_bytes();
+        let mut bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         assert_eq!(
@@ -311,7 +316,7 @@ mod tests {
 
     #[test]
     fn truncated_payload_fails() {
-        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        let bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         // Chopping the payload flips the checksum first; chop before
         // the checksum can see a Truncated error instead.
         assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
@@ -322,7 +327,7 @@ mod tests {
     fn nan_energy_bits_survive() {
         let mut c = sample_core();
         c.acct.total_energy_bits = f64::NAN.to_bits();
-        let snap = Snapshot::Core(c);
+        let snap = Snapshot::Core(Box::new(c));
         let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
         match back {
             Snapshot::Core(c) => {
@@ -348,7 +353,11 @@ mod tests {
             }],
             nodes: vec![NodeSnapshot {
                 id: 1,
-                core: sample_core(),
+                kind: node::node_kind::SNAP,
+                core: Some(sample_core()),
+                avr_state: vec![],
+                avr_tx_emitted: 0,
+                avr_listen: false,
                 radio: RadioSnapshot {
                     bit_rate_bits: 19_200.0f64.to_bits(),
                     mode: node::radio_mode::RX,
@@ -373,6 +382,14 @@ mod tests {
                 }],
                 step_limit: 10_000_000,
                 run_steps: 12,
+                battery: Some(BatterySnapshot {
+                    capacity_uah_bits: 620_000.0f64.to_bits(),
+                    voltage_v_bits: 3.0f64.to_bits(),
+                    sleep_ua_bits: 0.0033f64.to_bits(),
+                    tx_pj_per_word_bits: 0.0f64.to_bits(),
+                }),
+                died_at_ps: None,
+                uplink: vec![],
             }],
             channel: ChannelSnapshot {
                 active: vec![TransmissionSnap {
@@ -417,7 +434,7 @@ mod tests {
                 }],
             },
         };
-        let snap = Snapshot::Fleet(fleet);
+        let snap = Snapshot::Fleet(Box::new(fleet));
         let bytes = snap.to_bytes();
         assert_eq!(bytes[8], KIND_FLEET);
         assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
@@ -427,7 +444,11 @@ mod tests {
     fn node_round_trip_is_exact() {
         let n = NodeSnapshot {
             id: 3,
-            core: sample_core(),
+            kind: node::node_kind::GATEWAY,
+            core: Some(sample_core()),
+            avr_state: vec![],
+            avr_tx_emitted: 0,
+            avr_listen: false,
             radio: RadioSnapshot {
                 bit_rate_bits: 19_200.0f64.to_bits(),
                 mode: node::radio_mode::TX,
@@ -448,15 +469,18 @@ mod tests {
             pending: vec![],
             step_limit: 1,
             run_steps: 0,
+            battery: None,
+            died_at_ps: None,
+            uplink: vec![(40, 0xabcd)],
         };
-        let snap = Snapshot::Node(n);
+        let snap = Snapshot::Node(Box::new(n));
         assert_eq!(Snapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
     }
 
     #[test]
     fn garbage_never_panics() {
         // Fail-closed sweep over corrupted prefixes of a real snapshot.
-        let bytes = Snapshot::Core(sample_core()).to_bytes();
+        let bytes = Snapshot::Core(Box::new(sample_core())).to_bytes();
         for cut in 0..bytes.len().min(64) {
             let _ = Snapshot::from_bytes(&bytes[..cut]);
         }

@@ -14,6 +14,16 @@ pub mod radio_mode {
     pub const TX: u8 = 2;
 }
 
+/// Wire values for the node kind (format v2).
+pub mod node_kind {
+    /// SNAP/LE core (battery-powered by default).
+    pub const SNAP: u8 = 0;
+    /// ATmega-class baseline mote core.
+    pub const AVR: u8 = 1;
+    /// Mains-powered SNAP gateway bridging radio traffic uplink.
+    pub const GATEWAY: u8 = 2;
+}
+
 /// Wire values for a node's pending self-events.
 pub mod pending {
     /// Radio finishes serializing the in-flight word.
@@ -142,13 +152,56 @@ pub struct PendingSnap {
     pub value: u16,
 }
 
+/// Battery budget attached to a node, if any.
+///
+/// All four fields are [`f64::to_bits`] patterns of the live
+/// `BatteryConfig` so the round-trip is bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatterySnapshot {
+    /// Rated capacity, µAh (f64 bits).
+    pub capacity_uah_bits: u64,
+    /// Nominal cell voltage, V (f64 bits).
+    pub voltage_v_bits: u64,
+    /// Sleep-mode current draw, µA (f64 bits).
+    pub sleep_ua_bits: u64,
+    /// Radio transmit surcharge per word, pJ (f64 bits).
+    pub tx_pj_per_word_bits: u64,
+}
+
+impl BatterySnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.capacity_uah_bits);
+        w.u64(self.voltage_v_bits);
+        w.u64(self.sleep_ua_bits);
+        w.u64(self.tx_pj_per_word_bits);
+    }
+
+    fn decode(r: &mut Reader) -> Result<BatterySnapshot, SnapshotError> {
+        Ok(BatterySnapshot {
+            capacity_uah_bits: r.u64()?,
+            voltage_v_bits: r.u64()?,
+            sleep_ua_bits: r.u64()?,
+            tx_pj_per_word_bits: r.u64()?,
+        })
+    }
+}
+
 /// One node of the fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSnapshot {
     /// Node id (1-based, as assigned by the sim).
     pub id: u32,
-    /// The processor.
-    pub core: CoreSnapshot,
+    /// Node kind (see [`node_kind`]).
+    pub kind: u8,
+    /// The SNAP processor; `None` exactly when `kind` is AVR.
+    pub core: Option<CoreSnapshot>,
+    /// Opaque `atmega` core state blob (its own versioned format);
+    /// non-empty exactly when `kind` is AVR.
+    pub avr_state: Vec<u8>,
+    /// SPI bytes already drained into radio words (AVR motes; 0 otherwise).
+    pub avr_tx_emitted: u64,
+    /// Whether the AVR mote re-enables its receiver after transmitting.
+    pub avr_listen: bool,
     /// The radio front-end.
     pub radio: RadioSnapshot,
     /// The sensor bank.
@@ -161,12 +214,28 @@ pub struct NodeSnapshot {
     pub step_limit: u64,
     /// Steps consumed against the budget so far.
     pub run_steps: u64,
+    /// Battery budget, if the node is battery-powered.
+    pub battery: Option<BatterySnapshot>,
+    /// When the node exhausted its battery, ps (dead nodes only).
+    pub died_at_ps: Option<u64>,
+    /// Gateway uplink frames not yet drained: `(at_ps, word)`.
+    pub uplink: Vec<(u64, u16)>,
 }
 
 impl NodeSnapshot {
     pub(crate) fn encode(&self, w: &mut Writer) {
         w.u32(self.id);
-        self.core.encode(w);
+        w.u8(self.kind);
+        match &self.core {
+            Some(core) => {
+                w.bool(true);
+                core.encode(w);
+            }
+            None => w.bool(false),
+        }
+        w.bytes(&self.avr_state);
+        w.u64(self.avr_tx_emitted);
+        w.bool(self.avr_listen);
         self.radio.encode(w);
         self.sensors.encode(w);
         self.led.encode(w);
@@ -178,11 +247,41 @@ impl NodeSnapshot {
         }
         w.u64(self.step_limit);
         w.u64(self.run_steps);
+        match &self.battery {
+            Some(b) => {
+                w.bool(true);
+                b.encode(w);
+            }
+            None => w.bool(false),
+        }
+        w.opt_u64(self.died_at_ps);
+        w.len(self.uplink.len());
+        for &(at, word) in &self.uplink {
+            w.u64(at);
+            w.u16(word);
+        }
     }
 
     pub(crate) fn decode(r: &mut Reader) -> Result<NodeSnapshot, SnapshotError> {
         let id = r.u32()?;
-        let core = CoreSnapshot::decode(r)?;
+        let kind = r.u8()?;
+        if kind > node_kind::GATEWAY {
+            return Err(SnapshotError::Corrupt("node kind discriminant"));
+        }
+        let core = if r.bool()? {
+            Some(CoreSnapshot::decode(r)?)
+        } else {
+            None
+        };
+        let avr_state = r.bytes()?;
+        if (kind == node_kind::AVR) != core.is_none() {
+            return Err(SnapshotError::Corrupt("node kind / core presence mismatch"));
+        }
+        if (kind == node_kind::AVR) == avr_state.is_empty() {
+            return Err(SnapshotError::Corrupt("node kind / avr state mismatch"));
+        }
+        let avr_tx_emitted = r.u64()?;
+        let avr_listen = r.bool()?;
         let radio = RadioSnapshot::decode(r)?;
         let sensors = SensorSnapshot::decode(r)?;
         let led = LedSnapshot::decode(r)?;
@@ -199,15 +298,35 @@ impl NodeSnapshot {
             }
             pending_events.push(p);
         }
+        let step_limit = r.u64()?;
+        let run_steps = r.u64()?;
+        let battery = if r.bool()? {
+            Some(BatterySnapshot::decode(r)?)
+        } else {
+            None
+        };
+        let died_at_ps = r.opt_u64()?;
+        let n = r.len()?;
+        let mut uplink = Vec::with_capacity(n);
+        for _ in 0..n {
+            uplink.push((r.u64()?, r.u16()?));
+        }
         Ok(NodeSnapshot {
             id,
+            kind,
             core,
+            avr_state,
+            avr_tx_emitted,
+            avr_listen,
             radio,
             sensors,
             led,
             pending: pending_events,
-            step_limit: r.u64()?,
-            run_steps: r.u64()?,
+            step_limit,
+            run_steps,
+            battery,
+            died_at_ps,
+            uplink,
         })
     }
 }

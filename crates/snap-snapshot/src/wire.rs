@@ -134,6 +134,12 @@ impl Writer {
         }
     }
 
+    /// Write a length-prefixed opaque byte blob.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.len(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
     /// Write a length-prefixed `u16` sequence.
     pub fn seq_u16(&mut self, vs: &[u16]) {
         self.len(vs.len());
@@ -249,6 +255,12 @@ impl<'a> Reader<'a> {
     /// Read an optional `u8`.
     pub fn opt_u8(&mut self) -> Result<Option<u8>, SnapshotError> {
         Ok(if self.bool()? { Some(self.u8()?) } else { None })
+    }
+
+    /// Read a length-prefixed opaque byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Read a length-prefixed `u16` sequence.

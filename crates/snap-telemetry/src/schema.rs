@@ -40,6 +40,65 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
 
 fn validate_node(node: &Value) -> Result<(), String> {
     require_int(node, "node")?;
+    // `kind` arrived with heterogeneous fleets; its absence means a
+    // SNAP node (pre-fleet producers never emit it).
+    let kind = match node.get("kind") {
+        None => "snap",
+        Some(k) => k.as_str().ok_or("kind: expected string")?,
+    };
+    match kind {
+        "snap" | "gateway" => validate_snap_node(node)?,
+        "avr" => validate_avr_node(node)?,
+        other => return Err(format!("kind: unknown value {other:?}")),
+    }
+    if let Some(b) = node.get("battery") {
+        validate_battery(b).map_err(|e| format!("battery.{e}"))?;
+    }
+    Ok(())
+}
+
+/// The per-node battery section (heterogeneous fleets): consumption
+/// against capacity plus the duty-cycle lifetime projection.
+fn validate_battery(b: &Value) -> Result<(), String> {
+    for key in ["capacity_pj", "consumed_pj", "remaining_pj"] {
+        require_num(b, key)?;
+    }
+    if let Some(p) = b.get("projected_lifetime_s") {
+        if p.as_f64().is_none() {
+            return Err("projected_lifetime_s: expected number".to_string());
+        }
+    }
+    if let Some(d) = b.get("died_at_ps") {
+        if d.as_i64().is_none() {
+            return Err("died_at_ps: expected integer".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// An ATmega mote's node object: cycle/sleep counters and the active
+/// energy total — the SNAP handler vocabulary does not apply.
+fn validate_avr_node(node: &Value) -> Result<(), String> {
+    let state = require_str(node, "state")?;
+    if !matches!(state, "running" | "sleeping" | "halted") {
+        return Err(format!("state: unknown value {state:?}"));
+    }
+    let counters = node.get("counters").ok_or("missing field: counters")?;
+    for key in [
+        "active_cycles",
+        "wall_cycles",
+        "sleep_ps",
+        "now_ps",
+        "spi_bytes_sent",
+    ] {
+        require_int(counters, key).map_err(|e| format!("counters.{e}"))?;
+    }
+    let energy = node.get("energy").ok_or("missing field: energy")?;
+    require_num(energy, "total_pj").map_err(|e| format!("energy.{e}"))?;
+    Ok(())
+}
+
+fn validate_snap_node(node: &Value) -> Result<(), String> {
     let state = require_str(node, "state")?;
     if !matches!(state, "running" | "asleep" | "halted") {
         return Err(format!("state: unknown value {state:?}"));

@@ -5,6 +5,7 @@
 //! cargo xtask validate-metrics FILE...    # check snap-metrics-v1 reports
 //! cargo xtask validate-trace FILE...      # check Chrome trace_event files
 //! cargo xtask lint-asm [--strict] [FILE...]  # snap-lint over assembly
+//! cargo xtask check-links [FILE...]       # markdown link checker
 //! ```
 //!
 //! `lint-asm` without files runs the built-in applications plus every
@@ -100,6 +101,167 @@ fn asm_sources(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
         } else if path.extension().is_some_and(|x| x == "s" || x == "sasm") {
             out.push(path);
         }
+    }
+}
+
+/// GitHub-style slug for a markdown heading: lowercase, punctuation
+/// dropped, spaces to hyphens.
+fn heading_slug(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.trim().chars() {
+        match c {
+            'A'..='Z' => slug.push(c.to_ascii_lowercase()),
+            'a'..='z' | '0'..='9' | '-' | '_' => slug.push(c),
+            ' ' => slug.push('-'),
+            _ => {}
+        }
+    }
+    slug
+}
+
+/// Collect the anchor slugs a markdown file defines (its headings).
+fn anchors_of(path: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut in_code = false;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if !in_code && line.starts_with('#') {
+            out.push(heading_slug(line.trim_start_matches('#')));
+        }
+    }
+    out
+}
+
+/// Extract `[text](target)` link targets from one markdown line,
+/// ignoring image links' leading `!` (the syntax is the same).
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while let Some(open) = line[i..].find("](") {
+        let start = i + open + 2;
+        let mut depth = 1;
+        let mut end = start;
+        while end < bytes.len() && depth > 0 {
+            match bytes[end] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        if depth == 0 {
+            out.push(&line[start..end - 1]);
+        }
+        i = end;
+    }
+    out
+}
+
+/// Check every relative markdown link in the given files (default: the
+/// top-level docs plus `docs/*.md`): the target file must exist, and a
+/// `#fragment` must name a heading in it. External links
+/// (`http(s)://`, `mailto:`) are not fetched.
+fn check_links(args: &[String]) -> ExitCode {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let mut files: Vec<std::path::PathBuf> = args.iter().map(Into::into).collect();
+    if files.is_empty() {
+        for name in ["README.md", "DESIGN.md", "ROADMAP.md"] {
+            files.push(root.join(name));
+        }
+        if let Ok(rd) = fs::read_dir(root.join("docs")) {
+            let mut docs: Vec<_> = rd
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "md"))
+                .collect();
+            docs.sort();
+            files.extend(docs);
+        }
+    }
+    let mut checked = 0usize;
+    let mut failed = false;
+    for file in &files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", file.display());
+                failed = true;
+                continue;
+            }
+        };
+        let dir = file.parent().unwrap_or(Path::new("."));
+        let mut in_code = false;
+        let mut bad = 0usize;
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code = !in_code;
+                continue;
+            }
+            if in_code {
+                continue;
+            }
+            for target in link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                checked += 1;
+                let (rel, frag) = match target.split_once('#') {
+                    Some((r, f)) => (r, Some(f)),
+                    None => (target, None),
+                };
+                let dest = if rel.is_empty() {
+                    file.clone()
+                } else {
+                    dir.join(rel)
+                };
+                if !dest.exists() {
+                    eprintln!(
+                        "{}:{}: broken link `{target}` (no such file)",
+                        file.display(),
+                        ln + 1
+                    );
+                    bad += 1;
+                    continue;
+                }
+                if let Some(frag) = frag {
+                    if dest.extension().is_some_and(|x| x == "md")
+                        && !anchors_of(&dest).iter().any(|a| a == frag)
+                    {
+                        eprintln!(
+                            "{}:{}: broken link `{target}` (no heading `#{frag}`)",
+                            file.display(),
+                            ln + 1
+                        );
+                        bad += 1;
+                    }
+                }
+            }
+        }
+        if bad > 0 {
+            eprintln!("{}: FAILED ({bad} broken links)", file.display());
+            failed = true;
+        } else {
+            println!("{}: ok (links)", file.display());
+        }
+    }
+    println!("{checked} relative links checked in {} files", files.len());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -235,11 +397,12 @@ fn main() -> ExitCode {
             validate_files("trace", &args[1..], snap_telemetry::validate_chrome_trace)
         }
         Some("lint-asm") => lint_asm(&args[1..]),
+        Some("check-links") => check_links(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             eprintln!(
                 "tasks: loc, validate-metrics FILE..., validate-trace FILE..., \
-                 lint-asm [--strict] [FILE...]"
+                 lint-asm [--strict] [FILE...], check-links [FILE...]"
             );
             ExitCode::FAILURE
         }
