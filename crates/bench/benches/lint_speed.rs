@@ -20,6 +20,50 @@ fn mac_send() -> Program {
     mac_program(2, &extra, &app).unwrap()
 }
 
+/// A synthetic 64-handler stress image for the whole-image event-flow
+/// analysis: every event has eight alternative handlers installed
+/// behind a runtime mode switch (each arm a const `li` + `setaddr`, so
+/// the handler table stays precise and the analysis non-degraded), and
+/// every handler bumps its event's scratch word and chains a `swev` to
+/// the next event, wrapping at the end — the flow graph is one big
+/// cycle over 64 roots.
+fn flow_stress() -> Program {
+    let mut src = String::from(".data\nmode: .word 0\n");
+    for e in 0..8 {
+        src.push_str(&format!("scratch{e}: .word 0\n"));
+    }
+    src.push_str(".text\nboot:\n    lw      r10, mode(r0)\n    andi    r10, 7\n");
+    for e in 0..8 {
+        src.push_str(&format!("    li      r1, {e}\n"));
+        for m in 0..8 {
+            if m < 7 {
+                src.push_str(&format!(
+                    "    mov     r11, r10\n    xori    r11, {m}\n    bnez    r11, b{e}_{}\n",
+                    m + 1
+                ));
+            }
+            src.push_str(&format!("    li      r2, h{e}_{m}\n    setaddr r1, r2\n"));
+            if m < 7 {
+                src.push_str(&format!("    jmp     b{e}_end\nb{e}_{}:\n", m + 1));
+            }
+        }
+        src.push_str(&format!("b{e}_end:\n"));
+    }
+    src.push_str(
+        "    li      r3, 0\n    schedhi r3, r0\n    li      r4, 50\n    schedlo r3, r4\n    done\n",
+    );
+    for e in 0..8 {
+        for m in 0..8 {
+            src.push_str(&format!(
+                "h{e}_{m}:\n    lw      r4, scratch{e}(r0)\n    addi    r4, {m}\n    \
+                 sw      r4, scratch{e}(r0)\n    li      r5, {}\n    swev    r5\n    done\n",
+                (e + 1) % 8
+            ));
+        }
+    }
+    snap_asm::assemble(&src).expect("flow stress image assembles")
+}
+
 fn scenarios() -> Vec<(&'static str, Program)> {
     vec![
         ("lint_blink", snap_apps::blink::blink_program().unwrap()),
@@ -28,6 +72,7 @@ fn scenarios() -> Vec<(&'static str, Program)> {
             "lint_threshold_aodv",
             snap_apps::apps::threshold_program(1).unwrap(),
         ),
+        ("lint_flow", flow_stress()),
     ]
 }
 
@@ -93,7 +138,12 @@ fn run_check() {
     let path = std::env::temp_dir().join("BENCH_lint.check.json");
     run_json(Duration::from_millis(1), &path);
     let json = std::fs::read_to_string(&path).expect("read back bench report");
-    for name in ["lint_blink", "lint_mac_send", "lint_threshold_aodv"] {
+    for name in [
+        "lint_blink",
+        "lint_mac_send",
+        "lint_threshold_aodv",
+        "lint_flow",
+    ] {
         assert!(
             json.contains(&format!("\"name\": \"{name}\"")),
             "missing scenario {name}"

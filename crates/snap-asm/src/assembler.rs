@@ -124,6 +124,7 @@ impl Assembler {
     pub fn link(&self) -> Result<Program, AsmError> {
         let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
         let mut code_symbols: BTreeSet<String> = BTreeSet::new();
+        let mut data_symbols: BTreeSet<String> = BTreeSet::new();
         let mut items: Vec<Item> = Vec::new();
         let mut lc_text: Addr = 0;
         let mut lc_data: Addr = 0;
@@ -147,6 +148,8 @@ impl Assembler {
                     define(&mut symbols, module, line, name, lc as i64)?;
                     if section == Section::Text {
                         code_symbols.insert(name.to_string());
+                    } else {
+                        data_symbols.insert(name.to_string());
                     }
                     rest = tail;
                 }
@@ -332,7 +335,7 @@ impl Assembler {
 
         let imem = coalesce(text_writes, "imem")?;
         let dmem = coalesce(data_writes, "dmem")?;
-        Program::new(imem, dmem, symbols, code_symbols, lines)
+        Program::new(imem, dmem, symbols, code_symbols, data_symbols, lines)
     }
 }
 

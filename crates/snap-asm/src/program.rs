@@ -41,6 +41,7 @@ pub struct Program {
     dmem: Vec<Segment>,
     symbols: BTreeMap<String, i64>,
     code_symbols: BTreeSet<String>,
+    data_symbols: BTreeSet<String>,
     lines: BTreeMap<Addr, SourceLine>,
 }
 
@@ -50,6 +51,7 @@ impl Program {
         dmem: Vec<Segment>,
         symbols: BTreeMap<String, i64>,
         code_symbols: BTreeSet<String>,
+        data_symbols: BTreeSet<String>,
         lines: BTreeMap<Addr, SourceLine>,
     ) -> Result<Program, AsmError> {
         check_overlap(&imem, "imem")?;
@@ -59,6 +61,7 @@ impl Program {
             dmem,
             symbols,
             code_symbols,
+            data_symbols,
             lines,
         })
     }
@@ -89,6 +92,48 @@ impl Program {
     /// small constants collide with low code addresses.)
     pub fn is_code_symbol(&self, name: &str) -> bool {
         self.code_symbols.contains(name)
+    }
+
+    /// True when `name` was defined as a label in a `.data` section,
+    /// i.e. its value is a DMEM word address.
+    pub fn is_data_symbol(&self, name: &str) -> bool {
+        self.data_symbols.contains(name)
+    }
+
+    /// Address ranges of the named data objects, sorted by base
+    /// address: each data label owns the words from its address up to
+    /// the next data label or the end of its containing DMEM segment.
+    /// Used by the cross-handler DMEM conflict analysis to name the
+    /// object a hazardous store hits.
+    pub fn data_symbol_ranges(&self) -> Vec<(String, Addr, Addr)> {
+        let mut labels: Vec<(Addr, &str)> = self
+            .data_symbols
+            .iter()
+            .filter_map(|name| {
+                self.symbols
+                    .get(name)
+                    .map(|&addr| (addr as Addr, name.as_str()))
+            })
+            .collect();
+        labels.sort();
+        let mut out = Vec::with_capacity(labels.len());
+        for (i, &(base, name)) in labels.iter().enumerate() {
+            let seg_end = self
+                .dmem
+                .iter()
+                .find(|s| s.base <= base && (base as usize) < s.end())
+                .map(|s| s.end() as Addr);
+            let next_label = labels.get(i + 1).map(|&(a, _)| a);
+            let end = match (seg_end, next_label) {
+                (Some(se), Some(nl)) => se.min(nl),
+                (Some(se), None) => se,
+                // Label past every segment (e.g. one-past-the-end
+                // marker): give it an empty range.
+                (None, _) => base,
+            };
+            out.push((name.to_string(), base, end.max(base)));
+        }
+        out
     }
 
     /// Source provenance of the instruction starting at IMEM address
@@ -185,6 +230,7 @@ mod tests {
             vec![],
             BTreeMap::new(),
             BTreeSet::new(),
+            BTreeSet::new(),
             BTreeMap::new(),
         )
         .unwrap();
@@ -200,6 +246,7 @@ mod tests {
             vec![],
             BTreeMap::new(),
             BTreeSet::new(),
+            BTreeSet::new(),
             BTreeMap::new(),
         )
         .unwrap_err();
@@ -212,6 +259,7 @@ mod tests {
             vec![seg(2047, &[1, 2])],
             vec![],
             BTreeMap::new(),
+            BTreeSet::new(),
             BTreeSet::new(),
             BTreeMap::new(),
         )

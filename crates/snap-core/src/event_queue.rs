@@ -35,6 +35,10 @@ pub struct EventQueue {
     capacity: usize,
     dropped: u64,
     inserted: u64,
+    /// Highest occupancy ever reached (observation-only; not part of
+    /// the snapshot wire format — restore resets it to the restored
+    /// queue length).
+    max_len: usize,
     /// Enqueue times (ps), parallel to `fifo`; `None` when stamping is
     /// off (the default — zero cost).
     stamps: Option<VecDeque<u64>>,
@@ -58,6 +62,7 @@ impl EventQueue {
             capacity,
             dropped: 0,
             inserted: 0,
+            max_len: 0,
             stamps: None,
         }
     }
@@ -108,6 +113,7 @@ impl EventQueue {
         });
         self.dropped = dropped;
         self.inserted = inserted;
+        self.max_len = self.fifo.len();
     }
 
     /// Insert a token at the tail. Returns `false` (and counts a drop)
@@ -126,6 +132,7 @@ impl EventQueue {
         }
         self.inserted += 1;
         self.fifo.push_back(token);
+        self.max_len = self.max_len.max(self.fifo.len());
         if let Some(stamps) = self.stamps.as_mut() {
             stamps.push_back(now_ps);
         }
@@ -178,6 +185,14 @@ impl EventQueue {
     /// Tokens successfully inserted over the queue's lifetime.
     pub fn inserted(&self) -> u64 {
         self.inserted
+    }
+
+    /// The high-water mark: the largest number of tokens ever pending
+    /// at once. Dropped insertions do not raise it (the queue clips at
+    /// capacity), so pair it with [`EventQueue::dropped`] when arguing
+    /// about demand rather than occupancy.
+    pub fn max_len(&self) -> usize {
+        self.max_len
     }
 }
 
@@ -253,6 +268,19 @@ mod tests {
         assert!(!q.push_at(EventKind::Timer1.into(), 2));
         assert_eq!(q.pop_with_stamp().unwrap().1, 1);
         assert!(q.pop_with_stamp().is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = EventQueue::with_capacity(2);
+        assert_eq!(q.max_len(), 0);
+        q.push(EventKind::Timer0.into());
+        q.pop();
+        q.push(EventKind::Timer1.into());
+        assert_eq!(q.max_len(), 1, "draining does not lower the mark");
+        q.push(EventKind::Timer2.into());
+        assert!(!q.push(EventKind::Soft.into()), "third push drops");
+        assert_eq!(q.max_len(), 2, "drops never raise the mark past capacity");
     }
 
     #[test]

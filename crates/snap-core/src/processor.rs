@@ -325,6 +325,10 @@ pub struct Processor {
     pub(crate) wakeup_time: SimDuration,
     pub(crate) wakeups: u64,
     pub(crate) handlers_dispatched: u64,
+    /// `swev` instructions executed (attempted software posts).
+    pub(crate) sw_posted: u64,
+    /// `swev` posts the event queue accepted (not dropped).
+    pub(crate) sw_enqueued: u64,
 }
 
 impl Processor {
@@ -352,6 +356,8 @@ impl Processor {
             wakeup_time: SimDuration::ZERO,
             wakeups: 0,
             handlers_dispatched: 0,
+            sw_posted: 0,
+            sw_enqueued: 0,
             config,
         }
     }
@@ -809,6 +815,23 @@ impl Processor {
         self.handlers_dispatched
     }
 
+    /// `swev` instructions executed so far (attempted software posts).
+    pub fn sw_posted(&self) -> u64 {
+        self.sw_posted
+    }
+
+    /// `swev` posts the event queue accepted so far.
+    pub fn sw_enqueued(&self) -> u64 {
+        self.sw_enqueued
+    }
+
+    /// The event queue's high-water mark: the most tokens ever pending
+    /// at once (the dispatch-depth figure the static event-flow
+    /// analysis bounds).
+    pub fn queue_high_water(&self) -> usize {
+        self.event_queue.max_len()
+    }
+
     fn dispatch(&mut self, token: EventToken, stamp_ps: u64) {
         self.pc = self.handler_table[token.table_index()];
         self.state = CoreState::Running;
@@ -818,23 +841,34 @@ impl Processor {
         if let Some(sampler) = self.sampler.as_mut() {
             // `begin` closes any still-open sample first (chained
             // dispatch from `done`), then opens this one. The token's
-            // wait includes the wake-up latency just charged.
+            // wait includes the wake-up latency just charged. The
+            // occupancy at this boundary counts the token just popped:
+            // it is still in the system, about to run.
             let wait = SimDuration::from_ps(self.now.as_ps().saturating_sub(stamp_ps));
-            sampler.begin(
-                token.kind(),
-                self.now,
-                self.acct.instructions(),
-                self.acct.total_energy(),
-                wait,
-            );
+            let at = crate::sampler::DispatchCounters {
+                instructions: self.acct.instructions(),
+                energy: self.acct.total_energy(),
+                sw_posted: self.sw_posted,
+                sw_enqueued: self.sw_enqueued,
+                inserted: self.event_queue.inserted(),
+            };
+            sampler.begin(token.kind(), self.now, at, wait, self.event_queue.len() + 1);
         }
     }
 
     /// Close the sampler's open handler sample (if any) at the current
     /// counters — the handler just ended via `done`-to-sleep or `halt`.
     fn close_sample(&mut self) {
+        let at = crate::sampler::DispatchCounters {
+            instructions: self.acct.instructions(),
+            energy: self.acct.total_energy(),
+            sw_posted: self.sw_posted,
+            sw_enqueued: self.sw_enqueued,
+            inserted: self.event_queue.inserted(),
+        };
+        let queue_len = self.event_queue.len();
         if let Some(sampler) = self.sampler.as_mut() {
-            sampler.close(self.now, self.acct.instructions(), self.acct.total_energy());
+            sampler.close(self.now, at, queue_len);
         }
     }
 
@@ -1078,7 +1112,10 @@ impl Processor {
             Instruction::SwEvent { rn } => {
                 let n = rd_op!(rn) as usize % EVENT_TABLE_ENTRIES;
                 let kind = EventKind::from_index(n).expect("index < 8");
-                self.post_event(kind);
+                self.sw_posted += 1;
+                if self.post_event(kind) {
+                    self.sw_enqueued += 1;
+                }
             }
         }
 

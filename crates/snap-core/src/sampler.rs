@@ -33,6 +33,31 @@ pub struct HandlerSample {
     /// How long the event token sat in the queue before dispatch
     /// (includes the wake-up latency when the core was asleep).
     pub queue_wait: SimDuration,
+    /// `swev` instructions the handler executed (attempted posts,
+    /// whether or not the queue accepted them).
+    pub sw_posted: u64,
+    /// `swev` posts the queue accepted during the handler.
+    pub sw_enqueued: u64,
+    /// Tokens the queue accepted during the handler from *any* source
+    /// (software posts, timers, radio, sensor). Equal to `sw_enqueued`
+    /// exactly when nothing external interleaved with the dispatch.
+    pub enqueued: u64,
+    /// Event tokens in the system when the handler ended: pending
+    /// tokens plus the chained token `done` dispatched into (zero when
+    /// the handler put the core to sleep). This is the occupancy the
+    /// static event-flow analysis bounds per dispatch.
+    pub queue_len: usize,
+}
+
+/// Cumulative processor counters captured at a dispatch boundary; the
+/// sampler stores deltas between two captures.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DispatchCounters {
+    pub instructions: u64,
+    pub energy: Energy,
+    pub sw_posted: u64,
+    pub sw_enqueued: u64,
+    pub inserted: u64,
 }
 
 /// The in-flight dispatch a sampler is currently measuring.
@@ -40,8 +65,7 @@ pub struct HandlerSample {
 struct OpenSample {
     event: EventKind,
     start: SimTime,
-    instructions0: u64,
-    energy0: Energy,
+    at0: DispatchCounters,
     queue_wait: SimDuration,
 }
 
@@ -87,27 +111,28 @@ impl HandlerSampler {
 
     /// Start measuring a dispatch. Any still-open sample is closed
     /// first with the same counters (a chained `done` dispatch ends the
-    /// previous handler at the very instant the next one starts).
+    /// previous handler at the very instant the next one starts), and
+    /// `queue_len` — the occupancy at this boundary — becomes that
+    /// closing sample's end-of-handler depth.
     pub(crate) fn begin(
         &mut self,
         event: EventKind,
         now: SimTime,
-        instructions: u64,
-        energy: Energy,
+        at: DispatchCounters,
         queue_wait: SimDuration,
+        queue_len: usize,
     ) {
-        self.close(now, instructions, energy);
+        self.close(now, at, queue_len);
         self.open = Some(OpenSample {
             event,
             start: now,
-            instructions0: instructions,
-            energy0: energy,
+            at0: at,
             queue_wait,
         });
     }
 
     /// Close the open sample (if any) against the current counters.
-    pub(crate) fn close(&mut self, now: SimTime, instructions: u64, energy: Energy) {
+    pub(crate) fn close(&mut self, now: SimTime, at: DispatchCounters, queue_len: usize) {
         let Some(open) = self.open.take() else {
             return;
         };
@@ -119,9 +144,13 @@ impl HandlerSampler {
             event: open.event,
             start: open.start,
             end: now,
-            instructions: instructions - open.instructions0,
-            energy: energy - open.energy0,
+            instructions: at.instructions - open.at0.instructions,
+            energy: at.energy - open.at0.energy,
             queue_wait: open.queue_wait,
+            sw_posted: at.sw_posted - open.at0.sw_posted,
+            sw_enqueued: at.sw_enqueued - open.at0.sw_enqueued,
+            enqueued: at.inserted - open.at0.inserted,
+            queue_len,
         });
     }
 }
@@ -130,17 +159,35 @@ impl HandlerSampler {
 mod tests {
     use super::*;
 
+    fn at(instructions: u64, pj: f64) -> DispatchCounters {
+        DispatchCounters {
+            instructions,
+            energy: Energy::from_pj(pj),
+            sw_posted: 0,
+            sw_enqueued: 0,
+            inserted: 0,
+        }
+    }
+
     #[test]
     fn begin_close_produces_deltas() {
         let mut s = HandlerSampler::new(10);
+        let mut a0 = at(5, 50.0);
+        a0.sw_posted = 2;
+        a0.sw_enqueued = 2;
+        a0.inserted = 4;
         s.begin(
             EventKind::Timer0,
             SimTime::from_ps(100),
-            5,
-            Energy::from_pj(50.0),
+            a0,
             SimDuration::from_ps(7),
+            3,
         );
-        s.close(SimTime::from_ps(400), 12, Energy::from_pj(120.0));
+        let mut a1 = at(12, 120.0);
+        a1.sw_posted = 5;
+        a1.sw_enqueued = 4;
+        a1.inserted = 7;
+        s.close(SimTime::from_ps(400), a1, 2);
         assert_eq!(s.samples().len(), 1);
         let sm = s.samples()[0];
         assert_eq!(sm.event, EventKind::Timer0);
@@ -149,6 +196,10 @@ mod tests {
         assert_eq!(sm.start, SimTime::from_ps(100));
         assert_eq!(sm.end, SimTime::from_ps(400));
         assert_eq!(sm.queue_wait, SimDuration::from_ps(7));
+        assert_eq!(sm.sw_posted, 3);
+        assert_eq!(sm.sw_enqueued, 2);
+        assert_eq!(sm.enqueued, 3);
+        assert_eq!(sm.queue_len, 2, "close-time occupancy, not begin-time");
     }
 
     #[test]
@@ -157,23 +208,29 @@ mod tests {
         s.begin(
             EventKind::Timer0,
             SimTime::from_ps(0),
-            0,
-            Energy::ZERO,
+            at(0, 0.0),
             SimDuration::ZERO,
+            1,
         );
         s.begin(
             EventKind::RadioRx,
             SimTime::from_ps(200),
-            3,
-            Energy::from_pj(30.0),
+            at(3, 30.0),
             SimDuration::from_ps(200),
+            2,
         );
-        s.close(SimTime::from_ps(300), 5, Energy::from_pj(55.0));
+        s.close(SimTime::from_ps(300), at(5, 55.0), 0);
         assert_eq!(s.samples().len(), 2);
         assert_eq!(s.samples()[0].event, EventKind::Timer0);
         assert_eq!(s.samples()[0].instructions, 3);
+        assert_eq!(
+            s.samples()[0].queue_len,
+            2,
+            "chained begin closes the previous sample at the boundary occupancy"
+        );
         assert_eq!(s.samples()[1].event, EventKind::RadioRx);
         assert_eq!(s.samples()[1].instructions, 2);
+        assert_eq!(s.samples()[1].queue_len, 0);
     }
 
     #[test]
@@ -183,11 +240,11 @@ mod tests {
             s.begin(
                 EventKind::Soft,
                 SimTime::from_ps(i * 10),
-                i,
-                Energy::ZERO,
+                at(i, 0.0),
                 SimDuration::ZERO,
+                1,
             );
-            s.close(SimTime::from_ps(i * 10 + 5), i + 1, Energy::ZERO);
+            s.close(SimTime::from_ps(i * 10 + 5), at(i + 1, 0.0), 0);
         }
         assert_eq!(s.samples().len(), 1);
         assert_eq!(s.truncated(), 2);
@@ -196,7 +253,7 @@ mod tests {
     #[test]
     fn close_without_open_is_a_no_op() {
         let mut s = HandlerSampler::new(4);
-        s.close(SimTime::from_ps(1), 1, Energy::ZERO);
+        s.close(SimTime::from_ps(1), at(1, 0.0), 0);
         assert!(s.samples().is_empty());
     }
 }

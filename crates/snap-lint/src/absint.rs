@@ -1,0 +1,285 @@
+//! Per-root side-effect extraction for the event-flow analysis.
+//!
+//! Walks each explored root context (and, transitively, its callees)
+//! and abstracts every instruction that can influence the event queue
+//! or shared DMEM into a [`RootEffects`] summary: worst-case `swev`
+//! post vectors (from the path-cost analysis), timer arms/cancels,
+//! message-port commands classified by the abstract value written to
+//! `r15`, and the constant-address DMEM read/write footprint. Every
+//! field is an over-approximation of what a real activation can do —
+//! except the DMEM footprint, whose `*_unknown` flags record when it
+//! is not (an unknown-base access) so consumers can bail out.
+
+use crate::analyzer::{Abs, Ctx, CtxKind, PathCost};
+use snap_isa::{Addr, AluImmOp, AluOp, Instruction, MsgCommand, Reg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything one root (boot or a handler entry) can do to the rest of
+/// the image in a single activation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RootEffects {
+    /// Worst-case `swev` posts per target event over one activation
+    /// (elementwise max across paths). `None` when the activation cost
+    /// is unbounded/unreached, the context degraded, or some `swev`
+    /// had an unknown target register.
+    pub posts: Option<[u64; 8]>,
+    /// Worst-case activation energy in pJ, when bounded.
+    pub energy_pj: Option<f64>,
+    /// Worst-case activation instruction count, when bounded.
+    pub instructions: Option<u64>,
+    /// Events some reachable `swev` can post (existence only — known
+    /// even when the activation cost is unbounded).
+    pub swev_targets: [bool; 8],
+    /// Some reachable `swev` had an unknown target register.
+    pub swev_unknown: bool,
+    /// Timers armable by this root (`schedlo` with a constant timer
+    /// register).
+    pub timer_arms: [bool; 3],
+    /// Timers cancellable by this root (`cancel` posts the timer event
+    /// immediately when the timer was active).
+    pub timer_cancels: [bool; 3],
+    /// Some timer instruction had an unknown timer-number register.
+    pub timer_unknown: bool,
+    /// Can enable the radio receiver (`RadioRxOn`).
+    pub rx_enable: bool,
+    /// Can start a radio transmit (completion raises `RadioTxDone`).
+    pub radio_tx: bool,
+    /// Can query a sensor (the reading raises `SensorReply`).
+    pub sensor_query: bool,
+    /// Some `r15` write carried an unknown value: any message command
+    /// is possible.
+    pub r15_unknown: bool,
+    /// DMEM word addresses stored to through a constant base.
+    pub writes: BTreeSet<u16>,
+    /// DMEM word addresses loaded from through a constant base.
+    pub reads: BTreeSet<u16>,
+    /// Some load used an unknown base: the root may read anything.
+    pub reads_unknown: bool,
+    /// Some store used an unknown base: the root may write anything.
+    pub writes_unknown: bool,
+    /// First store pc seen per written DMEM address (for diagnostics).
+    pub store_pcs: BTreeMap<u16, Addr>,
+    /// The effect scan lost track of a callee (degraded context or a
+    /// call the exploration never summarized): claim nothing.
+    pub scan_degraded: bool,
+}
+
+impl RootEffects {
+    fn absorb_local(&mut self, fx: &LocalFx) {
+        for (a, b) in self.swev_targets.iter_mut().zip(fx.swev_targets) {
+            *a |= b;
+        }
+        self.swev_unknown |= fx.swev_unknown;
+        for (a, b) in self.timer_arms.iter_mut().zip(fx.timer_arms) {
+            *a |= b;
+        }
+        for (a, b) in self.timer_cancels.iter_mut().zip(fx.timer_cancels) {
+            *a |= b;
+        }
+        self.timer_unknown |= fx.timer_unknown;
+        self.rx_enable |= fx.rx_enable;
+        self.radio_tx |= fx.radio_tx;
+        self.sensor_query |= fx.sensor_query;
+        self.r15_unknown |= fx.r15_unknown;
+        self.reads_unknown |= fx.reads_unknown;
+        self.writes_unknown |= fx.writes_unknown;
+        self.reads.extend(fx.reads.iter().copied());
+        for (&addr, &pc) in &fx.store_pcs {
+            self.writes.insert(addr);
+            self.store_pcs.entry(addr).or_insert(pc);
+        }
+    }
+}
+
+/// Instruction-level effects of one context, before callee closure.
+#[derive(Debug, Clone, Default)]
+struct LocalFx {
+    swev_targets: [bool; 8],
+    swev_unknown: bool,
+    timer_arms: [bool; 3],
+    timer_cancels: [bool; 3],
+    timer_unknown: bool,
+    rx_enable: bool,
+    radio_tx: bool,
+    sensor_query: bool,
+    r15_unknown: bool,
+    reads: BTreeSet<u16>,
+    reads_unknown: bool,
+    writes_unknown: bool,
+    store_pcs: BTreeMap<u16, Addr>,
+    /// Entry addresses of direct callees (`jal` targets).
+    callees: BTreeSet<Addr>,
+    degraded: bool,
+}
+
+/// The abstract value an instruction writes into `r15`, when it is the
+/// destination. The message port interprets the word as a command (or,
+/// after `RadioTx`, as payload — which we conservatively also classify
+/// as a command: extra graph edges are sound for reachability).
+fn r15_written_value(ins: &Instruction, st: &[Abs; 16]) -> Option<Abs> {
+    let dest = ins.dest_reg()?;
+    if dest != Reg::R15 {
+        return None;
+    }
+    Some(match ins {
+        Instruction::AluImm {
+            op: AluImmOp::Li,
+            imm,
+            ..
+        } => Abs::Const(*imm),
+        Instruction::AluReg {
+            op: AluOp::Mov, rs, ..
+        } => st[rs.index() as usize],
+        _ => Abs::Top,
+    })
+}
+
+fn scan_ctx(ctx: &Ctx, poison: &BTreeSet<Addr>) -> LocalFx {
+    let mut fx = LocalFx {
+        degraded: ctx.degraded || ctx.has_dead_end,
+        ..LocalFx::default()
+    };
+    for (&pc, node) in &ctx.nodes {
+        let st = &node.in_state;
+        match node.ins {
+            Instruction::SwEvent { rn } => match st[rn.index() as usize] {
+                Abs::Const(v) => fx.swev_targets[(v & 7) as usize] = true,
+                _ => fx.swev_unknown = true,
+            },
+            Instruction::SchedLo { rt, .. } => match st[rt.index() as usize] {
+                Abs::Const(t) if (t as usize) < 3 => fx.timer_arms[t as usize] = true,
+                Abs::Const(_) => {} // faults at runtime (BadTimer)
+                _ => fx.timer_unknown = true,
+            },
+            Instruction::Cancel { rt } => match st[rt.index() as usize] {
+                Abs::Const(t) if (t as usize) < 3 => fx.timer_cancels[t as usize] = true,
+                Abs::Const(_) => {}
+                _ => fx.timer_unknown = true,
+            },
+            Instruction::Load { base, offset, .. } => match st[base.index() as usize] {
+                Abs::Const(b) => {
+                    fx.reads.insert(b.wrapping_add(offset));
+                }
+                _ => fx.reads_unknown = true,
+            },
+            Instruction::Store { base, offset, .. } => match st[base.index() as usize] {
+                Abs::Const(b) => {
+                    fx.store_pcs.entry(b.wrapping_add(offset)).or_insert(pc);
+                }
+                _ => fx.writes_unknown = true,
+            },
+            Instruction::Jal { target, .. } => {
+                fx.callees.insert(target);
+            }
+            _ => {}
+        }
+        // Message-port commands: classify by the value written to r15.
+        // A patched `li` immediate (poisoned word) is unknown.
+        let value = match r15_written_value(&node.ins, st) {
+            Some(Abs::Const(_))
+                if matches!(node.ins, Instruction::AluImm { .. }) && poison.contains(&(pc + 1)) =>
+            {
+                Some(Abs::Top)
+            }
+            v => v,
+        };
+        match value {
+            Some(Abs::Const(w)) => match MsgCommand::decode(w) {
+                Some(MsgCommand::RadioRxOn) => fx.rx_enable = true,
+                Some(MsgCommand::RadioTx) => fx.radio_tx = true,
+                Some(MsgCommand::QuerySensor(_)) => fx.sensor_query = true,
+                Some(MsgCommand::RadioOff) | Some(MsgCommand::PortWrite(_)) | None => {}
+            },
+            Some(_) => fx.r15_unknown = true,
+            None => {}
+        }
+    }
+    fx
+}
+
+/// Compute the transitive effect summary for every root context.
+/// Returns one entry per root, in `ctxs` order, `None` for `Sub`
+/// contexts.
+pub(crate) fn root_effects(ctxs: &[Ctx], poison: &BTreeSet<Addr>) -> Vec<Option<RootEffects>> {
+    // Local scans, plus a merged per-entry view of subroutine contexts
+    // (several Sub contexts can share an entry under different entry
+    // states; their union over-approximates any callee behavior).
+    let locals: Vec<LocalFx> = ctxs.iter().map(|c| scan_ctx(c, poison)).collect();
+    let mut sub_by_entry: BTreeMap<Addr, LocalFx> = BTreeMap::new();
+    for (ctx, fx) in ctxs.iter().zip(&locals) {
+        if ctx.kind == CtxKind::Sub {
+            let merged = sub_by_entry.entry(ctx.entry).or_default();
+            for i in 0..8 {
+                merged.swev_targets[i] |= fx.swev_targets[i];
+            }
+            merged.swev_unknown |= fx.swev_unknown;
+            merged.timer_unknown |= fx.timer_unknown;
+            for i in 0..3 {
+                merged.timer_arms[i] |= fx.timer_arms[i];
+                merged.timer_cancels[i] |= fx.timer_cancels[i];
+            }
+            merged.rx_enable |= fx.rx_enable;
+            merged.radio_tx |= fx.radio_tx;
+            merged.sensor_query |= fx.sensor_query;
+            merged.r15_unknown |= fx.r15_unknown;
+            merged.reads_unknown |= fx.reads_unknown;
+            merged.writes_unknown |= fx.writes_unknown;
+            merged.reads.extend(fx.reads.iter().copied());
+            for (&a, &p) in &fx.store_pcs {
+                merged.store_pcs.entry(a).or_insert(p);
+            }
+            merged.callees.extend(fx.callees.iter().copied());
+            merged.degraded |= fx.degraded;
+        }
+    }
+
+    ctxs.iter()
+        .zip(&locals)
+        .map(|(ctx, fx)| {
+            if ctx.kind == CtxKind::Sub {
+                return None;
+            }
+            let mut out = RootEffects {
+                scan_degraded: fx.degraded,
+                ..RootEffects::default()
+            };
+            out.absorb_local(fx);
+            // Close over the callee graph.
+            let mut visited: BTreeSet<Addr> = BTreeSet::new();
+            let mut work: Vec<Addr> = fx.callees.iter().copied().collect();
+            while let Some(entry) = work.pop() {
+                if !visited.insert(entry) {
+                    continue;
+                }
+                match sub_by_entry.get(&entry) {
+                    Some(callee) => {
+                        out.absorb_local(callee);
+                        out.scan_degraded |= callee.degraded;
+                        work.extend(callee.callees.iter().copied());
+                    }
+                    // A call the exploration never summarized as a Sub
+                    // context (recursion/depth-cap fallback).
+                    None => out.scan_degraded = true,
+                }
+            }
+            // Worst-case activation cost: only a bounded `done` cost
+            // yields post/energy claims.
+            match crate::loops::cost_of(ctx).done {
+                PathCost::Bounded(c) if !ctx.degraded => {
+                    out.energy_pj = Some(c.pj);
+                    out.instructions = Some(c.ins);
+                    if !c.swev_unknown {
+                        out.posts = Some(c.swev_by);
+                    }
+                }
+                _ => {}
+            }
+            if out.scan_degraded {
+                out.posts = None;
+                out.energy_pj = None;
+                out.instructions = None;
+            }
+            Some(out)
+        })
+        .collect()
+}

@@ -82,33 +82,58 @@ pub(crate) struct Cost {
     pub pj: f64,
     pub swev: u64,
     pub r15: u64,
+    /// `swev` posts split by target event index, for the `swev rn`
+    /// sites where the abstract value of `rn` is a known constant.
+    pub swev_by: [u64; 8],
+    /// True when some `swev rn` on the path had an unknown `rn`: the
+    /// per-event split under-counts and the event-flow graph must not
+    /// trust it.
+    pub swev_unknown: bool,
 }
 
 impl Cost {
     pub(crate) fn add(self, o: Cost) -> Cost {
+        let mut swev_by = self.swev_by;
+        for (a, b) in swev_by.iter_mut().zip(o.swev_by.iter()) {
+            *a = a.saturating_add(*b);
+        }
         Cost {
             ins: self.ins.saturating_add(o.ins),
             pj: self.pj + o.pj,
             swev: self.swev.saturating_add(o.swev),
             r15: self.r15.saturating_add(o.r15),
+            swev_by,
+            swev_unknown: self.swev_unknown || o.swev_unknown,
         }
     }
 
     pub(crate) fn max(self, o: Cost) -> Cost {
+        let mut swev_by = self.swev_by;
+        for (a, b) in swev_by.iter_mut().zip(o.swev_by.iter()) {
+            *a = (*a).max(*b);
+        }
         Cost {
             ins: self.ins.max(o.ins),
             pj: self.pj.max(o.pj),
             swev: self.swev.max(o.swev),
             r15: self.r15.max(o.r15),
+            swev_by,
+            swev_unknown: self.swev_unknown || o.swev_unknown,
         }
     }
 
     pub(crate) fn scale(self, n: u64) -> Cost {
+        let mut swev_by = self.swev_by;
+        for a in swev_by.iter_mut() {
+            *a = a.saturating_mul(n);
+        }
         Cost {
             ins: self.ins.saturating_mul(n),
             pj: self.pj * n as f64,
             swev: self.swev.saturating_mul(n),
             r15: self.r15.saturating_mul(n),
+            swev_by,
+            swev_unknown: self.swev_unknown,
         }
     }
 }
@@ -316,7 +341,7 @@ impl<'a> Pass<'a> {
         });
     }
 
-    fn base_cost(&self, ins: &Instruction) -> Cost {
+    fn base_cost(&self, ins: &Instruction, st: &RegState) -> Cost {
         let pj = self
             .model
             .instruction_energy(InstrShape {
@@ -326,11 +351,21 @@ impl<'a> Pass<'a> {
                 imem_data: ins.accesses_imem_data(),
             })
             .as_pj();
+        let mut swev_by = [0u64; 8];
+        let mut swev_unknown = false;
+        if let Instruction::SwEvent { rn } = ins {
+            match st[rn.index() as usize] {
+                Abs::Const(v) => swev_by[(v & 7) as usize] = 1,
+                _ => swev_unknown = true,
+            }
+        }
         Cost {
             ins: 1,
             pj,
             swev: u64::from(matches!(ins, Instruction::SwEvent { .. })),
             r15: u64::from(ins.reads_msg_port()),
+            swev_by,
+            swev_unknown,
         }
     }
 
@@ -412,7 +447,7 @@ impl<'a> Pass<'a> {
             };
             let wc = ins.word_count();
             let out = transfer(&ins, &st, pc, self.poison);
-            let base_cost = self.base_cost(&ins);
+            let base_cost = self.base_cost(&ins, &st);
             if ins.reads_msg_port() {
                 r15_reads.push(pc);
             }
@@ -870,6 +905,7 @@ pub(crate) fn analyze(
     symbols: Option<&BTreeMap<String, i64>>,
     lines: Option<&BTreeMap<Addr, snap_asm::SourceLine>>,
     point: OperatingPoint,
+    data_ranges: &[(String, Addr, Addr)],
 ) -> Analysis {
     let mut poison: BTreeSet<Addr> = BTreeSet::new();
     let mut table: BTreeMap<usize, BTreeSet<Addr>> = BTreeMap::new();
@@ -1050,6 +1086,17 @@ pub(crate) fn analyze(
         imem.len(),
     ));
 
+    // Whole-image event-flow analysis: graph, activation-chain proofs,
+    // and the interprocedural lints.
+    let (flow, flow_diags) = crate::flow::analyze_flow(
+        &pass.ctxs,
+        &facts.table,
+        global_degraded,
+        &poison,
+        data_ranges,
+    );
+    diagnostics.extend(flow_diags);
+
     // Reachable instruction starts, across every context.
     let mut reachable: BTreeSet<Addr> = BTreeSet::new();
     for ctx in &pass.ctxs {
@@ -1083,6 +1130,7 @@ pub(crate) fn analyze(
         diagnostics,
         imem_words: imem.len(),
         regions,
+        flow,
     }
 }
 

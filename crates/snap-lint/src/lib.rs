@@ -17,7 +17,9 @@
 //! that matter — reachability, termination, bounds — is continuously
 //! cross-checked against real executions by `snap-smith --soundness`.
 
+mod absint;
 mod analyzer;
+mod flow;
 mod lints;
 mod loops;
 mod report;
@@ -181,6 +183,97 @@ pub struct ProvenRegion {
     pub addrs: Vec<Addr>,
 }
 
+/// How one handler (or boot) causes another event to be raised — one
+/// edge kind per mechanism the hardware funnels into the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowEdgeKind {
+    /// `swev` posts the target event directly.
+    Swev,
+    /// `schedlo` arms a timer; its expiry raises the timer event later.
+    TimerArm,
+    /// `cancel` of an active timer raises the timer event immediately
+    /// (the paper's always-token rule).
+    TimerCancel,
+    /// A `RadioTx` message command; completion raises `RadioTxDone`.
+    RadioTx,
+    /// A `QuerySensor` message command; the reading raises
+    /// `SensorReply`.
+    SensorQuery,
+    /// A `RadioRxOn` message command; incoming words raise `RadioRx`.
+    RadioRxEnable,
+}
+
+impl FlowEdgeKind {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowEdgeKind::Swev => "swev",
+            FlowEdgeKind::TimerArm => "timer-arm",
+            FlowEdgeKind::TimerCancel => "timer-cancel",
+            FlowEdgeKind::RadioTx => "radio-tx",
+            FlowEdgeKind::SensorQuery => "sensor-query",
+            FlowEdgeKind::RadioRxEnable => "radio-rx-enable",
+        }
+    }
+}
+
+/// One edge of the whole-image event-flow graph.
+#[derive(Debug, Clone)]
+pub struct FlowEdge {
+    /// Source: the event whose handler raises `to` (`None` for boot).
+    pub from: Option<EventKind>,
+    /// The event raised.
+    pub to: EventKind,
+    /// The raising mechanism.
+    pub kind: FlowEdgeKind,
+    /// Worst-case raises per activation, when the path-cost analysis
+    /// bounded it (`swev` edges only; arm/command edges are
+    /// existence-level).
+    pub count: Option<u64>,
+}
+
+/// Statically proven properties of one activation chain: the burst of
+/// dispatches a single wake event can trigger through `swev` posts
+/// alone, explored under adversarial dispatch order (any pending event
+/// may be dispatched next — a superset of the hardware's FIFO).
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// The wake event the chain starts from (`None` for the boot
+    /// chain: the events boot itself posts before first sleeping).
+    pub event: Option<EventKind>,
+    /// Worst-case simultaneous pending events at any point in the
+    /// chain. `None` when the chain reaches a handler with unknown
+    /// posts, an uninstalled event, or overflows.
+    pub peak_queue: Option<u64>,
+    /// The chain alone (zero external load) can exceed the queue
+    /// capacity: posts are dropped.
+    pub overflow: bool,
+    /// Worst-case dispatches per wake, including the root dispatch.
+    /// `None` when unbounded (a post cycle) or unknown.
+    pub events_per_wake: Option<u64>,
+    /// Worst-case chain energy per wake in pJ (sum of per-handler
+    /// worst-case activation energies along the worst chain).
+    pub energy_pj_per_wake: Option<f64>,
+    /// Worst-case `swev` posts by any single dispatch in the chain.
+    pub max_swev_posts: Option<u64>,
+}
+
+/// The whole-image event-flow analysis: graph plus per-chain proofs.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// True when whole-image flow claims are untrustworthy (the base
+    /// analysis degraded). Chains carry `None` claims when set.
+    pub degraded: bool,
+    /// Hardware event-queue capacity the proofs are against.
+    pub queue_capacity: u64,
+    /// Edges of the event-flow graph, boot-sourced first, then by
+    /// source event order.
+    pub edges: Vec<FlowEdge>,
+    /// One chain per installed event, in event order, preceded by the
+    /// boot chain.
+    pub chains: Vec<ChainReport>,
+}
+
 /// Whole-program analysis result.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -204,6 +297,8 @@ pub struct Analysis {
     /// Done-terminating regions safe for ahead-of-time translation
     /// (boot first when proved, then handler roots in event order).
     pub regions: Vec<ProvenRegion>,
+    /// Whole-image event-flow graph and activation-chain proofs.
+    pub flow: FlowReport,
 }
 
 impl Analysis {
@@ -224,7 +319,7 @@ impl Analysis {
 /// Analyze a raw IMEM image (little-endian words, as loaded at address
 /// 0). No symbol names or source lines are available in this form.
 pub fn analyze_image(imem: &[u16], point: OperatingPoint) -> Analysis {
-    analyzer::analyze(imem, None, None, point)
+    analyzer::analyze(imem, None, None, point, &[])
 }
 
 /// Analyze an assembled [`snap_asm::Program`]: symbols name handlers in
@@ -241,10 +336,14 @@ pub fn analyze_program(program: &snap_asm::Program, point: OperatingPoint) -> An
         .filter(|(name, _)| program.is_code_symbol(name))
         .map(|(name, &v)| (name.clone(), v))
         .collect();
+    // Data-symbol ranges let the cross-handler DMEM conflict analysis
+    // name the object a hazardous store hits.
+    let data_ranges = program.data_symbol_ranges();
     analyzer::analyze(
         &imem,
         Some(&code_symbols),
         Some(program.source_lines()),
         point,
+        &data_ranges,
     )
 }

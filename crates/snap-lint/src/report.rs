@@ -3,7 +3,7 @@
 //! The JSON schema is `snap-lint-v1` and is covered by golden snapshots
 //! in `tests/golden_lint.rs`; change it deliberately.
 
-use crate::{Analysis, Bound, HandlerReport, Severity};
+use crate::{Analysis, Bound, ChainReport, FlowEdge, HandlerReport, Severity};
 use snap_isa::EventKind;
 use std::fmt::Write as _;
 
@@ -27,6 +27,28 @@ pub fn render_text(analysis: &Analysis, source: &str) -> String {
             continue; // uninstalled: covered by handler-not-installed
         }
         let _ = writeln!(out, "  {}", handler_line(&name, h));
+    }
+
+    let flow = &analysis.flow;
+    if !flow.edges.is_empty() || flow.chains.len() > 1 {
+        let _ = writeln!(
+            out,
+            "\nevent flow ({} edges, queue capacity {}{}):",
+            flow.edges.len(),
+            flow.queue_capacity,
+            if flow.degraded { ", DEGRADED" } else { "" }
+        );
+        for e in &flow.edges {
+            let from = e
+                .from
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "boot".into());
+            let count = e.count.map(|n| format!(" x{n}")).unwrap_or_default();
+            let _ = writeln!(out, "  {from} -> {} [{}{count}]", e.to, e.kind.label());
+        }
+        for c in &flow.chains {
+            let _ = writeln!(out, "  {}", chain_line(c));
+        }
     }
 
     if analysis.diagnostics.is_empty() {
@@ -91,6 +113,39 @@ fn handler_line(name: &str, h: &HandlerReport) -> String {
     s
 }
 
+fn chain_line(c: &ChainReport) -> String {
+    let name = c
+        .event
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "boot".into());
+    let mut s = format!("chain {name:<9}");
+    if c.overflow {
+        let _ = write!(s, " OVERFLOWS the queue");
+        return s;
+    }
+    match c.peak_queue {
+        Some(p) => {
+            let _ = write!(s, " peak queue: {p}");
+        }
+        None => {
+            let _ = write!(s, " peak queue: unknown");
+            return s;
+        }
+    }
+    match c.events_per_wake {
+        Some(n) => {
+            let _ = write!(s, "  events/wake: {n}");
+        }
+        None => {
+            let _ = write!(s, "  events/wake: unbounded");
+        }
+    }
+    if let Some(pj) = c.energy_pj_per_wake {
+        let _ = write!(s, "  energy/wake: {}", fmt_energy(pj));
+    }
+    s
+}
+
 fn fmt_energy(pj: f64) -> String {
     if pj >= 1000.0 {
         format!("{:.2} nJ", pj / 1000.0)
@@ -144,6 +199,38 @@ pub fn render_json(analysis: &Analysis, source: &str) -> String {
     } else {
         out.push_str("\n  ],\n");
     }
+
+    let flow = &analysis.flow;
+    out.push_str("  \"flow\": {\n");
+    let _ = writeln!(out, "    \"degraded\": {},", flow.degraded);
+    let _ = writeln!(out, "    \"queue_capacity\": {},", flow.queue_capacity);
+    out.push_str("    \"edges\": [");
+    for (i, e) in flow.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n      ");
+        out.push_str(&edge_json(e));
+    }
+    if flow.edges.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n    ],\n");
+    }
+    out.push_str("    \"chains\": [");
+    for (i, c) in flow.chains.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n      ");
+        out.push_str(&chain_json(c));
+    }
+    if flow.chains.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n    ]\n");
+    }
+    out.push_str("  },\n");
 
     out.push_str("  \"diagnostics\": [");
     for (i, d) in analysis.diagnostics.iter().enumerate() {
@@ -246,6 +333,63 @@ fn handler_json(h: &HandlerReport, event: Option<EventKind>, indent: usize) -> S
     }
     let close = " ".repeat(indent.saturating_sub(2));
     let _ = write!(s, "{close}}}");
+    s
+}
+
+fn edge_json(e: &FlowEdge) -> String {
+    let mut s = String::new();
+    s.push('{');
+    match e.from {
+        Some(k) => {
+            let _ = write!(s, "\"from\": {}, ", json_str(&k.to_string()));
+        }
+        None => s.push_str("\"from\": null, "),
+    }
+    let _ = write!(s, "\"to\": {}, ", json_str(&e.to.to_string()));
+    let _ = write!(s, "\"kind\": {}, ", json_str(e.kind.label()));
+    match e.count {
+        Some(n) => {
+            let _ = write!(s, "\"count\": {n}}}");
+        }
+        None => s.push_str("\"count\": null}"),
+    }
+    s
+}
+
+fn chain_json(c: &ChainReport) -> String {
+    let mut s = String::new();
+    s.push('{');
+    match c.event {
+        Some(k) => {
+            let _ = write!(s, "\"event\": {}, ", json_str(&k.to_string()));
+        }
+        None => s.push_str("\"event\": null, "),
+    }
+    match c.peak_queue {
+        Some(p) => {
+            let _ = write!(s, "\"peak_queue\": {p}, ");
+        }
+        None => s.push_str("\"peak_queue\": null, "),
+    }
+    let _ = write!(s, "\"overflow\": {}, ", c.overflow);
+    match c.events_per_wake {
+        Some(n) => {
+            let _ = write!(s, "\"events_per_wake\": {n}, ");
+        }
+        None => s.push_str("\"events_per_wake\": null, "),
+    }
+    match c.energy_pj_per_wake {
+        Some(pj) => {
+            let _ = write!(s, "\"energy_pj_per_wake\": {}, ", fmt_f64(pj));
+        }
+        None => s.push_str("\"energy_pj_per_wake\": null, "),
+    }
+    match c.max_swev_posts {
+        Some(n) => {
+            let _ = write!(s, "\"max_swev_posts\": {n}}}");
+        }
+        None => s.push_str("\"max_swev_posts\": null}"),
+    }
     s
 }
 

@@ -1,0 +1,23 @@
+; Handlers of two different events both blind-write the shared word and
+; neither ever reads it: dispatch order silently decides which write
+; survives.
+.data
+shared: .word 0
+
+.text
+boot:
+    li      r2, ha
+    li      r1, 0
+    setaddr r1, r2
+    li      r2, hb
+    li      r1, 1
+    setaddr r1, r2
+    done
+ha:
+    li      r4, 1
+    sw      r4, shared(r0)
+    done
+hb:
+    li      r5, 2
+    sw      r5, shared(r0)
+    done

@@ -1,0 +1,17 @@
+; Each timer0 activation posts three soft copies of its own event: no
+; single activation floods the eight-entry queue (that would be
+; swev-flood), but the leftovers of successive dispatches add up —
+; 3, 5, 7, then 9 pending — until an event is dropped.
+boot:
+    li      r1, 0
+    li      r2, h
+    setaddr r1, r2
+    li      r3, 1
+    schedlo r1, r3
+    done
+h:
+    li      r4, 0
+    swev    r4
+    swev    r4
+    swev    r4
+    done

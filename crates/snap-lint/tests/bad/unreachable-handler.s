@@ -1,0 +1,39 @@
+; All eight events have handlers, and boot arms the timers, enables the
+; radio, transmits once and queries the sensor — so seven events can
+; arrive. Nothing ever posts the soft event: its handler is dead code.
+boot:
+    li      r2, h
+    li      r1, 0
+    setaddr r1, r2
+    li      r1, 1
+    setaddr r1, r2
+    li      r1, 2
+    setaddr r1, r2
+    li      r1, 3
+    setaddr r1, r2
+    li      r1, 4
+    setaddr r1, r2
+    li      r1, 5
+    setaddr r1, r2
+    li      r1, 6
+    setaddr r1, r2
+    li      r1, 7
+    setaddr r1, r2
+    li      r3, 1
+    li      r1, 0
+    schedlo r1, r3
+    li      r1, 1
+    schedlo r1, r3
+    li      r1, 2
+    schedlo r1, r3
+    li      r4, 0x1001          ; radio rx on
+    mov     r15, r4
+    li      r4, 0x2000          ; radio tx ...
+    mov     r15, r4
+    li      r4, 42              ; ... and its payload
+    mov     r15, r4
+    li      r4, 0x3000          ; sensor query
+    mov     r15, r4
+    done
+h:
+    done

@@ -8,11 +8,13 @@ use std::path::Path;
 const EXPECT: &[(&str, Severity)] = &[
     ("bad-timer-number", Severity::Error),
     ("dead-store", Severity::Warning),
+    ("dmem-hazard", Severity::Warning),
     ("falls-off-image", Severity::Error),
     ("indirect-jump", Severity::Warning),
     ("isw-dynamic-target", Severity::Warning),
     ("isw-reachable-code", Severity::Warning),
     ("no-done-path", Severity::Error),
+    ("queue-overflow", Severity::Warning),
     ("r15-double-read", Severity::Warning),
     ("r15-read-unguarded", Severity::Error),
     ("read-never-written", Severity::Warning),
@@ -22,6 +24,7 @@ const EXPECT: &[(&str, Severity)] = &[
     ("swev-uninstalled", Severity::Warning),
     ("unbounded-loop", Severity::Warning),
     ("unreachable-code", Severity::Warning),
+    ("unreachable-handler", Severity::Warning),
 ];
 
 fn analyze(src: &str) -> snap_lint::Analysis {
@@ -71,6 +74,36 @@ fn each_bad_program_triggers_exactly_its_lint() {
         EXPECT.len(),
         "tests/bad has files not covered by EXPECT"
     );
+}
+
+/// The three interprocedural flow lints additionally pin their full
+/// `--json` reports: the event-flow graph and chain claims surrounding
+/// each finding are part of the contract, not just the diagnostic.
+/// Regenerate with `SNAP_BLESS=1` and review the diff.
+#[test]
+fn flow_lint_reports_match_goldens() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for stem in ["dmem-hazard", "queue-overflow", "unreachable-handler"] {
+        let src = std::fs::read_to_string(dir.join(format!("tests/bad/{stem}.s"))).unwrap();
+        let text = snap_lint::render_json(&analyze(&src), stem);
+        let path = dir.join(format!("tests/golden/bad/{stem}.lint.json"));
+        if std::env::var_os("SNAP_BLESS").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, text).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{stem}: cannot read golden file {}: {e}\n(run with SNAP_BLESS=1 to create it)",
+                path.display()
+            )
+        });
+        assert_eq!(
+            text, golden,
+            "{stem}: lint report differs from golden file; if intentional, \
+             regenerate with SNAP_BLESS=1 and review the diff"
+        );
+    }
 }
 
 #[test]

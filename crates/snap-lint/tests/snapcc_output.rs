@@ -75,3 +75,42 @@ fn batch_c_output_lints_clean() {
     let program = snapcc::compile_to_program(BATCH_APP).expect("compiles");
     assert_no_errors("batch app", &program);
 }
+
+/// snapcc epilogues return through `jr`, which degrades the
+/// whole-image analysis — and the flow layer's contract under
+/// degradation is *withdrawal, not fabrication*: the report must be
+/// marked degraded, every chain claim must be `None`, and none of the
+/// interprocedural lints may fire on claims it no longer holds.
+#[test]
+fn event_driven_c_output_flow_degrades_soundly() {
+    let options = CompileOptions {
+        end: BootEnd::Done,
+        ..CompileOptions::default()
+    };
+    let program = snapcc::compile_to_program_with(EVENT_APP, options).expect("compiles");
+    let a = snap_lint::analyze_program(&program, OperatingPoint::V0_6);
+    assert!(
+        a.diagnostics.iter().any(|d| d.lint == "indirect-jump"),
+        "expected snapcc's jr returns to be flagged; if codegen learned \
+         direct returns, strengthen this test to demand bounded chains"
+    );
+    assert!(a.flow.degraded, "degraded base must degrade the flow layer");
+    // One chain per installed handler plus boot still appear — the
+    // graph shape is useful even when the claims are withdrawn.
+    assert!(a.flow.chains.len() >= 3, "boot + tick + reading chains");
+    for c in &a.flow.chains {
+        assert!(
+            c.peak_queue.is_none()
+                && c.events_per_wake.is_none()
+                && c.energy_pj_per_wake.is_none()
+                && !c.overflow,
+            "degraded flow must withdraw claims, found {c:?}"
+        );
+    }
+    for lint in ["queue-overflow", "dmem-hazard", "unreachable-handler"] {
+        assert!(
+            a.diagnostics.iter().all(|d| d.lint != lint),
+            "{lint} fired on a degraded analysis"
+        );
+    }
+}

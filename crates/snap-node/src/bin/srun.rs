@@ -171,6 +171,31 @@ fn main() -> ExitCode {
                 "lint:         clean ({} findings below error severity)",
                 analysis.diagnostics.len()
             );
+            if analysis.flow.degraded {
+                println!("flow:         degraded (whole-image chain claims withdrawn)");
+            } else {
+                let chains = analysis.flow.chains.len();
+                let bounded = analysis
+                    .flow
+                    .chains
+                    .iter()
+                    .filter(|c| c.events_per_wake.is_some())
+                    .count();
+                let peak = analysis
+                    .flow
+                    .chains
+                    .iter()
+                    .filter_map(|c| c.peak_queue)
+                    .max();
+                match peak {
+                    Some(p) => println!(
+                        "flow:         {bounded}/{chains} activation chains bounded, \
+                         worst peak queue {p} of {}",
+                        analysis.flow.queue_capacity
+                    ),
+                    None => println!("flow:         {bounded}/{chains} activation chains bounded"),
+                }
+            }
         }
 
         // Tier 2 needs the termination proof: every handler snap-lint

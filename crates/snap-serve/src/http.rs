@@ -248,8 +248,24 @@ fn route(server: &Arc<SimServer>, stream: &mut TcpStream, req: &Request) {
         ("GET", ["sims"]) => json_ok(stream, &server.list_json()),
         ("POST", ["sims"]) => {
             let text = String::from_utf8_lossy(&req.body);
-            match crate::scenario::parse_scenario(&text).and_then(|s| server.submit(&s)) {
-                Ok(id) => json_ok(stream, &id_json(id)),
+            match crate::scenario::parse_scenario(&text) {
+                Ok(s) => {
+                    // Strict-lint preflight: a custom image with gating
+                    // findings is refused with the structured body.
+                    if let Err(body) = crate::scenario::lint_preflight(&s) {
+                        write_response(
+                            stream,
+                            400,
+                            "application/json",
+                            body.to_pretty().as_bytes(),
+                        );
+                        return;
+                    }
+                    match server.submit(&s) {
+                        Ok(id) => json_ok(stream, &id_json(id)),
+                        Err(e) => json_error(stream, 400, &e),
+                    }
+                }
                 Err(e) => json_error(stream, 400, &e),
             }
         }

@@ -96,6 +96,15 @@ pub struct Scenario {
     pub slice_us: u64,
     /// Submit in the paused state; `POST /sims/{id}/resume` starts it.
     pub start_paused: bool,
+    /// Custom SNAP assembly. When present, one extra node running this
+    /// image joins the fleet, placed out of radio range, with the last
+    /// node id (after the gateway).
+    pub asm: Option<String>,
+    /// Run the strict `snap-lint` preflight over the custom image
+    /// before accepting the submission (the default). `"lint": "skip"`
+    /// opts out — the built-in apps are lint-clean by construction, so
+    /// only `asm` is ever gated.
+    pub lint_strict: bool,
 }
 
 impl Default for Scenario {
@@ -119,6 +128,8 @@ impl Default for Scenario {
             run_to_us: 10_000,
             slice_us: 1_000,
             start_paused: false,
+            asm: None,
+            lint_strict: true,
         }
     }
 }
@@ -198,10 +209,21 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
         }
         s.battery_capacity_uah = Some(c);
     }
+    if let Some(a) = v.get("asm") {
+        s.asm = Some(a.as_str().ok_or("asm: expected string")?.to_string());
+    }
+    if let Some(l) = v.get("lint") {
+        s.lint_strict = match l.as_str() {
+            Some("strict") => true,
+            Some("skip") => false,
+            _ => return Err("lint: expected \"strict\" or \"skip\"".to_string()),
+        };
+    }
     let total = u32::from(s.mac_nodes)
         + u32::from(s.blink_nodes)
         + u32::from(s.avr_nodes)
-        + u32::from(s.gateway);
+        + u32::from(s.gateway)
+        + u32::from(s.asm.is_some());
     if total == 0 {
         return Err("scenario has zero nodes".to_string());
     }
@@ -355,6 +377,12 @@ pub fn build(s: &Scenario) -> Result<NetworkSim, String> {
             sim.set_battery(id, Some(battery));
         }
     }
+    if let Some(src) = &s.asm {
+        let program = snap_asm::assemble(src).map_err(|e| format!("asm: {e}"))?;
+        // Out of radio range of the MAC grid and the blink row: custom
+        // images share the clock, not the air.
+        sim.add_node_with_core(&program, Position::new(-10_000.0, 0.0), core);
+    }
     for &(node, at_us) in &s.irqs {
         sim.schedule(
             NodeId(node),
@@ -363,6 +391,67 @@ pub fn build(s: &Scenario) -> Result<NetworkSim, String> {
         );
     }
     Ok(sim)
+}
+
+/// The strict-lint preflight for `POST /sims`: a custom image that
+/// fails `snap-lint --strict` (any warning-or-error finding, including
+/// the whole-image event-flow lints) is rejected before a runner
+/// thread ever sees it, unless the scenario opted out with
+/// `"lint": "skip"`. The error is a structured JSON body listing every
+/// gating diagnostic.
+///
+/// # Errors
+///
+/// The response body to return with HTTP 400.
+pub fn lint_preflight(s: &Scenario) -> Result<(), Value> {
+    let (Some(src), true) = (&s.asm, s.lint_strict) else {
+        return Ok(());
+    };
+    let fail = |msg: String, diags: Vec<Value>| {
+        let mut v = Value::obj();
+        v.set("error", Value::Str(msg))
+            .set("lint", Value::Str("strict".to_string()))
+            .set(
+                "hint",
+                Value::Str("fix the findings or resubmit with \"lint\": \"skip\"".to_string()),
+            )
+            .set("diagnostics", Value::Arr(diags));
+        v
+    };
+    let program = match snap_asm::assemble(src) {
+        Ok(p) => p,
+        // `build` would also refuse; failing here keeps the error shape
+        // uniform for clients that always inspect `diagnostics`.
+        Err(e) => return Err(fail(format!("asm does not assemble: {e}"), Vec::new())),
+    };
+    // Lint at the operating point the fleet actually runs
+    // (`CoreConfig::default()` is the 1.8 V bring-up point).
+    let analysis = snap_lint::analyze_program(&program, snap_energy::OperatingPoint::V1_8);
+    let gating: Vec<&snap_lint::Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= snap_lint::Severity::Warning)
+        .collect();
+    if gating.is_empty() {
+        return Ok(());
+    }
+    let diags = gating
+        .iter()
+        .map(|d| {
+            let mut v = Value::obj();
+            v.set("lint", Value::Str(d.lint.to_string()))
+                .set("severity", Value::Str(d.severity.label().to_string()))
+                .set("message", Value::Str(d.message.clone()));
+            if let Some(pc) = d.pc {
+                v.set("pc", Value::Int(i64::from(pc)));
+            }
+            v
+        })
+        .collect();
+    Err(fail(
+        format!("asm fails strict lint with {} finding(s)", gating.len()),
+        diags,
+    ))
 }
 
 #[cfg(test)]

@@ -272,3 +272,66 @@ fn bad_requests_get_clean_errors() {
     let (status, _) = request(addr, "GET", "/nope", b"");
     assert_eq!(status, 404);
 }
+
+/// `POST /sims` runs the strict `snap-lint` preflight over a custom
+/// image: a program the whole-image event-flow analysis can prove
+/// overflows the queue is refused with a structured error body, is
+/// accepted with `"lint": "skip"`, and a clean image passes untouched.
+#[test]
+fn submit_preflight_gates_custom_images() {
+    let server = Arc::new(snap_serve::SimServer::new());
+    let handle = snap_serve::serve(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // Each timer0 activation posts three copies of its own event: the
+    // interprocedural queue-overflow lint fires (no single activation
+    // floods the queue, so the old per-handler lints stay silent).
+    let flooding = "boot:\\n li r1, 0\\n li r2, h\\n setaddr r1, r2\\n \
+                    li r3, 1\\n schedlo r1, r3\\n done\\nh:\\n li r4, 0\\n \
+                    swev r4\\n swev r4\\n swev r4\\n done\\n";
+    let scenario = |lint: &str| {
+        format!("{{\"mac_nodes\": 0, \"asm\": \"{flooding}\"{lint}, \"run_to_us\": 1000}}")
+    };
+
+    let (status, body) = request(addr, "POST", "/sims", scenario("").as_bytes());
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let v = parse(&String::from_utf8_lossy(&body)).expect("structured error body");
+    assert_eq!(v.get("lint").unwrap().as_str(), Some("strict"));
+    let diags = v.get("diagnostics").unwrap().elements().unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.get("lint").unwrap().as_str() == Some("queue-overflow")),
+        "diagnostics should name the flow lint: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/sims",
+        scenario(", \"lint\": \"skip\"").as_bytes(),
+    );
+    assert_eq!(
+        status,
+        200,
+        "skip must bypass the gate: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let id = parse(&String::from_utf8_lossy(&body))
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    request(addr, "DELETE", &format!("/sims/{id}"), b"");
+
+    let clean = "{\"mac_nodes\": 0, \"asm\": \"boot:\\n done\\n\", \"run_to_us\": 1000}";
+    let (status, body) = request(addr, "POST", "/sims", clean.as_bytes());
+    assert_eq!(
+        status,
+        200,
+        "lint-clean image must pass: {}",
+        String::from_utf8_lossy(&body)
+    );
+}

@@ -237,9 +237,17 @@ fn main() {
         match snap_smith::soundness::run(opts.seed, iters) {
             Ok(r) => {
                 println!(
-                    "{} seeds: lint soundness holds ({} pcs, {} samples checked; \
+                    "{} seeds: lint soundness holds ({} pcs, {} samples, {} pure \
+                     bursts / {} flow samples checked; max queue depth {}; \
                      {} run failures, {} degraded analyses)",
-                    r.seeds, r.pcs_checked, r.samples_checked, r.run_failures, r.degraded
+                    r.seeds,
+                    r.pcs_checked,
+                    r.samples_checked,
+                    r.bursts_checked,
+                    r.flow_samples_checked,
+                    r.max_queue_depth,
+                    r.run_failures,
+                    r.degraded
                 );
                 std::process::exit(0);
             }

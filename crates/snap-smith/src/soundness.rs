@@ -10,6 +10,16 @@
 //! 3. **Bounds** — no completed dispatch of a bounded handler may
 //!    execute more dynamic instructions, or consume more energy, than
 //!    its static worst-case bound.
+//! 4. **Flow** — the whole-image event-flow chains bound what a *pure
+//!    software burst* can do: starting from a single wake token, with
+//!    every insertion during the burst a successful `swev`, the queue
+//!    depth at each dispatch boundary, the number of dispatches until
+//!    the queue drains, the energy of the whole burst and the `swev`
+//!    posts of any single dispatch must all stay within the chain
+//!    report for the wake event. Bursts with external interleavings
+//!    (timer expiries, radio completions, scripted events) are exactly
+//!    what the static chain model excludes, so they are filtered out
+//!    by the purity test, not checked against it.
 //!
 //! Each seed generates a random program + environment script (the same
 //! generator the differential fuzzer uses), runs it on a sampling
@@ -30,6 +40,13 @@ pub struct SeedStats {
     pub pcs_checked: u64,
     /// Completed dispatch samples checked against verdicts/bounds.
     pub samples_checked: u64,
+    /// Pure software bursts checked against the event-flow chains.
+    pub bursts_checked: u64,
+    /// Dispatch samples inside those bursts checked against the static
+    /// queue-depth / post-count claims.
+    pub flow_samples_checked: u64,
+    /// The run's event-queue high-water mark.
+    pub max_queue_depth: u64,
     /// True when the run ended in a fault/stall and only static
     /// analysis ran (nothing dynamic to compare).
     pub run_failed: bool,
@@ -51,6 +68,12 @@ pub struct SoundnessReport {
     pub pcs_checked: u64,
     /// Total dispatch samples checked.
     pub samples_checked: u64,
+    /// Total pure software bursts checked against event-flow chains.
+    pub bursts_checked: u64,
+    /// Total in-burst samples checked against queue-depth claims.
+    pub flow_samples_checked: u64,
+    /// Highest event-queue occupancy seen across every seed.
+    pub max_queue_depth: u64,
 }
 
 impl SoundnessReport {
@@ -60,6 +83,9 @@ impl SoundnessReport {
         self.degraded += u64::from(s.degraded);
         self.pcs_checked += s.pcs_checked;
         self.samples_checked += s.samples_checked;
+        self.bursts_checked += s.bursts_checked;
+        self.flow_samples_checked += s.flow_samples_checked;
+        self.max_queue_depth = self.max_queue_depth.max(s.max_queue_depth);
     }
 }
 
@@ -142,6 +168,103 @@ pub fn check_seed(seed: u64) -> Result<SeedStats, String> {
             stats.samples_checked += 1;
         }
     }
+
+    // Claim 4: event-flow chains against pure software bursts.
+    stats.max_queue_depth = cpu.queue_high_water() as u64;
+    if !analysis.degraded {
+        if stats.max_queue_depth > analysis.flow.queue_capacity {
+            return Err(format!(
+                "seed {seed}: event queue reached {} pending tokens but the \
+                 analysis assumed a capacity of {}",
+                stats.max_queue_depth, analysis.flow.queue_capacity
+            ));
+        }
+        let truncated = cpu.sampler().map(|s| s.truncated()).unwrap_or(0);
+        let mut i = 0;
+        while i < samples.len() {
+            // A burst is a maximal run of back-to-back chained
+            // dispatches: each next handler starts the instant the
+            // previous one ended.
+            let mut j = i + 1;
+            while j < samples.len() && samples[j].start == samples[j - 1].end {
+                j += 1;
+            }
+            let burst = &samples[i..j];
+            i = j;
+            if j == samples.len() && truncated > 0 {
+                continue; // the burst's tail was not retained
+            }
+            // Only complete bursts (queue drained at the end) compare
+            // against a chain, and only *pure* ones: a single wake
+            // token, every insertion a successful `swev`. Anything
+            // else had environment interleavings the static chain
+            // model deliberately excludes.
+            let last = burst.last().expect("burst is non-empty");
+            if last.queue_len != 0 {
+                continue;
+            }
+            let enqueued: u64 = burst.iter().map(|s| s.enqueued).sum();
+            let sw_enq: u64 = burst.iter().map(|s| s.sw_enqueued).sum();
+            let sw_post: u64 = burst.iter().map(|s| s.sw_posted).sum();
+            let first = burst[0];
+            let start_tokens = (first.queue_len as i64) + 1 - (first.enqueued as i64);
+            if enqueued != sw_enq || sw_post != sw_enq || start_tokens != 1 {
+                continue;
+            }
+            let Some(chain) = analysis
+                .flow
+                .chains
+                .iter()
+                .find(|c| c.event == Some(first.event))
+            else {
+                continue;
+            };
+            if let Some(peak) = chain.peak_queue {
+                for s in burst {
+                    if s.queue_len as u64 > peak {
+                        return Err(format!(
+                            "seed {seed}: a pure {} burst reached queue depth {} \
+                             at a dispatch boundary, above the static chain peak of {peak}",
+                            first.event, s.queue_len
+                        ));
+                    }
+                }
+            }
+            if let Some(max_posts) = chain.max_swev_posts {
+                for s in burst {
+                    if s.sw_posted > max_posts {
+                        return Err(format!(
+                            "seed {seed}: a {} handler posted {} swevs in one dispatch \
+                             of a pure {} burst, above the static per-dispatch maximum of {max_posts}",
+                            s.event, s.sw_posted, first.event
+                        ));
+                    }
+                }
+            }
+            if let Some(dispatches) = chain.events_per_wake {
+                if burst.len() as u64 > dispatches {
+                    return Err(format!(
+                        "seed {seed}: a pure {} burst ran {} dispatches before the \
+                         queue drained, above the static events-per-wake bound of {dispatches}",
+                        first.event,
+                        burst.len()
+                    ));
+                }
+            }
+            if let Some(bound_pj) = chain.energy_pj_per_wake {
+                let pj: f64 = burst.iter().map(|s| s.energy.as_pj()).sum();
+                if pj > bound_pj * (1.0 + 1e-9) + 1e-6 {
+                    return Err(format!(
+                        "seed {seed}: a pure {} burst consumed {pj:.3} pJ, above the \
+                         static energy-per-wake bound of {bound_pj:.3} pJ",
+                        first.event
+                    ));
+                }
+            }
+            stats.bursts_checked += 1;
+            stats.flow_samples_checked += burst.len() as u64;
+        }
+    }
     Ok(stats)
 }
 
@@ -168,6 +291,10 @@ mod tests {
         assert!(
             report.pcs_checked > 0,
             "sweep never compared a trace: {report:?}"
+        );
+        assert!(
+            report.bursts_checked > 0,
+            "sweep never found a pure burst to check flow claims on: {report:?}"
         );
     }
 }

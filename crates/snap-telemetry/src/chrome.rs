@@ -166,6 +166,10 @@ mod tests {
             instructions: 12,
             energy: Energy::from_pj(1234.5),
             queue_wait: SimDuration::from_ps(7),
+            sw_posted: 1,
+            sw_enqueued: 1,
+            enqueued: 1,
+            queue_len: 0,
         };
         let mut t = ChromeTrace::new();
         t.add_handler_samples(3, &[sample]);
